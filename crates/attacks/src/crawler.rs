@@ -1,0 +1,324 @@
+//! The HTML-navigating trainer — the faithful rendition of the paper's
+//! *septic training module*: "It works like a crawler, navigating in the
+//! application looking for forms, to then inject benign inputs that
+//! eventually are inserted in queries transmitted to MySQL."
+//!
+//! Unlike [`crate::trainer`] (which reads route metadata directly), this
+//! module discovers entry points the way the real tool does: it fetches
+//! pages, extracts `<a href>` links and `<form>` elements with their
+//! `<input>` fields, follows the links breadth-first and submits every
+//! discovered form with its benign default values.
+
+use std::collections::{HashSet, VecDeque};
+
+use septic_http::{HttpRequest, Method};
+use septic_webapp::deployment::Deployment;
+
+/// A form discovered in a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredForm {
+    pub method: Method,
+    pub action: String,
+    /// `(name, default value)` pairs from the form's inputs.
+    pub fields: Vec<(String, String)>,
+}
+
+impl DiscoveredForm {
+    /// Builds the submission request with the form's default values.
+    #[must_use]
+    pub fn submit_request(&self) -> HttpRequest {
+        let mut req = match self.method {
+            Method::Get => HttpRequest::get(self.action.clone()),
+            Method::Post => HttpRequest::post(self.action.clone()),
+        };
+        for (name, value) in &self.fields {
+            req = req.param(name, value);
+        }
+        req
+    }
+}
+
+/// Extracts the `href` targets of `<a>` elements (site-local only).
+#[must_use]
+pub fn extract_links(html: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    for tag in scan_tags(html) {
+        if tag.name != "a" {
+            continue;
+        }
+        if let Some(href) = tag.attr("href") {
+            if href.starts_with('/') {
+                links.push(href.to_string());
+            }
+        }
+    }
+    links
+}
+
+/// Extracts forms and their input fields.
+#[must_use]
+pub fn extract_forms(html: &str) -> Vec<DiscoveredForm> {
+    let tags = scan_tags(html);
+    let mut forms = Vec::new();
+    let mut current: Option<DiscoveredForm> = None;
+    for tag in tags {
+        match tag.name.as_str() {
+            "form" => {
+                if let Some(done) = current.take() {
+                    forms.push(done);
+                }
+                let method = match tag.attr("method").unwrap_or("get").to_lowercase().as_str() {
+                    "post" => Method::Post,
+                    _ => Method::Get,
+                };
+                current = Some(DiscoveredForm {
+                    method,
+                    action: tag.attr("action").unwrap_or("/").to_string(),
+                    fields: Vec::new(),
+                });
+            }
+            "/form" => {
+                if let Some(done) = current.take() {
+                    forms.push(done);
+                }
+            }
+            "input" => {
+                if let Some(form) = &mut current {
+                    if tag.attr("type").unwrap_or("text") != "submit" {
+                        if let Some(name) = tag.attr("name") {
+                            form.fields.push((
+                                name.to_string(),
+                                tag.attr("value").unwrap_or("").to_string(),
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(done) = current.take() {
+        forms.push(done);
+    }
+    forms
+}
+
+/// Crawl report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrawlReport {
+    pub pages_visited: usize,
+    pub forms_submitted: usize,
+    pub failures: usize,
+}
+
+/// Breadth-first crawl from the given start paths: fetch, extract links
+/// and forms, follow links (each page once), submit each distinct form
+/// `repeats` times with its benign defaults.
+#[must_use]
+pub fn crawl_html(deployment: &Deployment, starts: &[&str], repeats: usize) -> CrawlReport {
+    let mut report = CrawlReport::default();
+    let mut queue: VecDeque<String> = starts.iter().map(ToString::to_string).collect();
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut submitted: HashSet<String> = HashSet::new();
+    while let Some(path) = queue.pop_front() {
+        if !visited.insert(path.clone()) {
+            continue;
+        }
+        let response = deployment.request(&HttpRequest::get(path));
+        report.pages_visited += 1;
+        if !response.response.is_success() {
+            report.failures += 1;
+            continue;
+        }
+        let html = &response.response.body;
+        for link in extract_links(html) {
+            if !visited.contains(&link) {
+                queue.push_back(link);
+            }
+        }
+        for form in extract_forms(html) {
+            let key = format!("{} {}", form.method, form.action);
+            if !submitted.insert(key) {
+                continue;
+            }
+            for _ in 0..repeats.max(1) {
+                let resp = deployment.request(&form.submit_request());
+                report.forms_submitted += 1;
+                if resp.response.is_success() {
+                    // Result pages may link onwards (a bare visit to the
+                    // form's action would lack its required parameters).
+                    for link in extract_links(&resp.response.body) {
+                        if !visited.contains(&link) {
+                            queue.push_back(link);
+                        }
+                    }
+                } else {
+                    report.failures += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+// ---- minimal tag scanner ---------------------------------------------
+
+#[derive(Debug)]
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+}
+
+impl Tag {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn scan_tags(html: &str) -> Vec<Tag> {
+    let chars: Vec<char> = html.chars().collect();
+    let mut tags = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '<' {
+            i += 1;
+            continue;
+        }
+        i += 1;
+        let mut name = String::new();
+        if i < chars.len() && chars[i] == '/' {
+            name.push('/');
+            i += 1;
+        }
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '-') {
+            name.push(chars[i].to_ascii_lowercase());
+            i += 1;
+        }
+        if name.is_empty() || name == "/" {
+            continue;
+        }
+        let mut attrs = Vec::new();
+        while i < chars.len() && chars[i] != '>' {
+            while i < chars.len() && (chars[i].is_whitespace() || chars[i] == '/') {
+                i += 1;
+            }
+            if i >= chars.len() || chars[i] == '>' {
+                break;
+            }
+            let mut attr_name = String::new();
+            while i < chars.len()
+                && !chars[i].is_whitespace()
+                && chars[i] != '='
+                && chars[i] != '>'
+            {
+                attr_name.push(chars[i].to_ascii_lowercase());
+                i += 1;
+            }
+            let mut value = String::new();
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '=' {
+                i += 1;
+                while i < chars.len() && chars[i].is_whitespace() {
+                    i += 1;
+                }
+                if i < chars.len() && (chars[i] == '"' || chars[i] == '\'') {
+                    let quote = chars[i];
+                    i += 1;
+                    while i < chars.len() && chars[i] != quote {
+                        value.push(chars[i]);
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '>' {
+                        value.push(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            if !attr_name.is_empty() {
+                attrs.push((attr_name, value));
+            }
+        }
+        i += 1;
+        tags.push(Tag { name, attrs });
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use septic::{Mode, Septic};
+    use septic_webapp::WaspMon;
+
+    #[test]
+    fn extracts_links_and_forms() {
+        let html = r#"<html><body>
+            <a href="/devices">devices</a>
+            <a href="https://external.example/x">ext</a>
+            <form action="/login" method="post">
+              <input type="text" name="user" value="alice">
+              <input type="text" name="pass" value="pw">
+              <input type="submit">
+            </form>
+        </body></html>"#;
+        assert_eq!(extract_links(html), vec!["/devices".to_string()]);
+        let forms = extract_forms(html);
+        assert_eq!(forms.len(), 1);
+        assert_eq!(forms[0].method, Method::Post);
+        assert_eq!(forms[0].action, "/login");
+        assert_eq!(
+            forms[0].fields,
+            vec![("user".into(), "alice".into()), ("pass".into(), "pw".into())]
+        );
+        let req = forms[0].submit_request();
+        assert_eq!(req.param_value("user"), Some("alice"));
+    }
+
+    #[test]
+    fn html_crawler_trains_like_the_metadata_trainer() {
+        // The crawler discovers what the route metadata declares, so a
+        // crawl must learn the same query shapes the direct trainer does.
+        let septic_meta = Arc::new(Septic::new());
+        let d1 = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic_meta.clone()))
+            .expect("deploy");
+        let _ = crate::trainer::train(&d1, &septic_meta, Mode::PREVENTION);
+
+        let septic_crawl = Arc::new(Septic::new());
+        let d2 = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic_crawl.clone()))
+            .expect("deploy");
+        septic_crawl.set_mode(Mode::Training);
+        let report = crawl_html(&d2, &["/forms", "/"], 2);
+        septic_crawl.set_mode(Mode::PREVENTION);
+
+        assert!(report.pages_visited >= 2, "{report:?}");
+        assert!(report.forms_submitted > 10, "{report:?}");
+        assert_eq!(report.failures, 0, "{report:?}");
+        // Same models as the metadata-driven trainer.
+        let mut a = septic_meta.store().ids();
+        let mut b = septic_crawl.store().ids();
+        a.sort_by_key(|id| (id.external.clone(), id.internal));
+        b.sort_by_key(|id| (id.external.clone(), id.internal));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crawl_is_idempotent_on_models() {
+        let septic = Arc::new(Septic::new());
+        let d = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
+            .expect("deploy");
+        septic.set_mode(Mode::Training);
+        let _ = crawl_html(&d, &["/forms"], 1);
+        let n = septic.store().len();
+        let _ = crawl_html(&d, &["/forms"], 2);
+        assert_eq!(septic.store().len(), n);
+    }
+}

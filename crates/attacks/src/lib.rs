@@ -1,0 +1,21 @@
+//! # septic-attacks
+//!
+//! The offensive half of the reproduction: the attack taxonomy
+//! ([`taxonomy`]), the executable attack corpus against WaspMon with
+//! ground-truth oracles ([`mod@corpus`]), a sqlmap-style probing engine with
+//! evasion encoders ([`sqlmap`]), the benign-input trainer/crawler
+//! ([`trainer`]) and the detection-matrix runner ([`runner`]) that drives
+//! the demo phases IV-A through IV-E.
+
+pub mod corpus;
+pub mod crawler;
+pub mod runner;
+pub mod sqlmap;
+pub mod taxonomy;
+pub mod trainer;
+
+pub use corpus::{corpus, semantic_mismatch_corpus, AttackSpec};
+pub use crawler::{crawl_html, CrawlReport, DiscoveredForm};
+pub use runner::{run_attack, run_corpus, summarize, AttackResult, Outcome, ProtectionConfig, Summary};
+pub use taxonomy::AttackClass;
+pub use trainer::{crawl, train, TrainReport};

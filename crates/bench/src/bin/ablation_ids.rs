@@ -1,0 +1,93 @@
+//! Ablation: what do **external query identifiers** buy?
+//!
+//! SEPTIC composes its query identifier from an optional external
+//! identifier (shipped by the instrumented SSLE inside a `/* qid:… */`
+//! comment) and an internal structural hash of the query head. The
+//! external part disambiguates *structurally head-identical* queries
+//! issued from different program points. This harness measures, per
+//! application, how many distinct models are learned with and without
+//! external identifiers, and how many call sites would collide onto a
+//! shared model without them.
+//!
+//! ```text
+//! cargo run -p septic-bench --bin ablation_ids
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use septic::{Mode, Septic};
+use septic_attacks::train;
+use septic_bench::{banner, render_table};
+use septic_webapp::deployment::Deployment;
+use septic_webapp::{PhpAddressBook, Refbase, WaspMon, WebApp, ZeroCms};
+
+fn learn_models(app: Arc<dyn WebApp>, use_external: bool) -> (Vec<septic::QueryId>, usize) {
+    let septic = Arc::new(Septic::new());
+    septic.set_use_external_ids(use_external);
+    let deployment = Deployment::new(app, None, Some(septic.clone())).expect("deploy");
+    let _ = train(&deployment, &septic, Mode::PREVENTION);
+    // False-positive probe: replay the same benign traffic in prevention
+    // mode. Call sites whose head collided onto another site's model get
+    // flagged as attacks.
+    let benign = septic_attacks::crawl(&deployment, 1);
+    (septic.store().ids(), benign.failures)
+}
+
+fn main() {
+    println!("{}", banner("External-identifier ablation"));
+    let apps: Vec<Arc<dyn WebApp>> = vec![
+        Arc::new(WaspMon::new()),
+        Arc::new(PhpAddressBook::new()),
+        Arc::new(Refbase::new()),
+        Arc::new(ZeroCms::new()),
+    ];
+    let mut rows = Vec::new();
+    for app in apps {
+        let name = app.name().to_string();
+        let (with_ext, fp_with) = learn_models(app.clone(), true);
+        let (without_ext, fp_without) = learn_models(app, false);
+        // Collisions: distinct external ids mapping to the same internal id.
+        let mut by_internal: HashMap<u64, Vec<String>> = HashMap::new();
+        for id in &with_ext {
+            by_internal
+                .entry(id.internal)
+                .or_default()
+                .push(id.external.clone().unwrap_or_else(|| "(none)".to_string()));
+        }
+        let colliding_sites: usize = by_internal
+            .values()
+            .filter(|sites| sites.len() > 1)
+            .map(Vec::len)
+            .sum();
+        rows.push(vec![
+            name,
+            with_ext.len().to_string(),
+            without_ext.len().to_string(),
+            colliding_sites.to_string(),
+            fp_with.to_string(),
+            fp_without.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "application",
+                "models (with qid)",
+                "models (no qid)",
+                "call sites sharing a head",
+                "benign FPs (with qid)",
+                "benign FPs (no qid)",
+            ],
+            &rows,
+        )
+    );
+    println!("\nWith external identifiers, head-identical queries from different call");
+    println!("sites keep separate models (stricter per-site structures); without them");
+    println!("those call sites share one model. The demo apps ship `/* qid:… */`");
+    println!("comments from their query sites, mirroring the paper's instrumented Zend.");
+    println!("Head-sharing call sites with different WHERE structures become benign");
+    println!("false positives without external identifiers — the concrete reason the");
+    println!("paper makes SSLE support available.");
+}

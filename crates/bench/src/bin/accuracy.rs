@@ -1,0 +1,76 @@
+//! Detection-accuracy comparison across every protection configuration —
+//! the quantitative backbone behind demo phases IV-A/B/D/E, in one matrix.
+//!
+//! ```text
+//! cargo run -p septic-bench --bin accuracy
+//! ```
+
+use septic::Mode;
+use septic_attacks::{corpus, run_corpus, summarize, Outcome, ProtectionConfig};
+use septic_bench::{banner, render_table};
+
+fn main() {
+    let configs = [
+        ProtectionConfig::SANITIZATION_ONLY,
+        ProtectionConfig::WITH_WAF,
+        ProtectionConfig {
+            waf: false,
+            septic: Some(Mode::DETECTION),
+            detection: septic::DetectionConfig::YY,
+            structural_only: false,
+        },
+        ProtectionConfig::WITH_SEPTIC,
+        ProtectionConfig::WAF_AND_SEPTIC,
+    ];
+
+    println!("{}", banner("Per-attack outcome matrix"));
+    let attacks = corpus();
+    let mut all_results = Vec::new();
+    for config in configs {
+        all_results.push(run_corpus(&attacks, config));
+    }
+    let headers: Vec<String> = std::iter::once("attack".to_string())
+        .chain(configs.iter().map(|c| c.label()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = attacks
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            std::iter::once(format!("{} {}", a.id, a.class))
+                .chain(all_results.iter().map(|r| r[i].outcome.to_string()))
+                .collect()
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+
+    println!("{}", banner("Protection rate per configuration"));
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&all_results)
+        .map(|(config, results)| {
+            let s = summarize(results);
+            let protected = results.iter().filter(|r| r.outcome.protected()).count();
+            let fn_count = results
+                .iter()
+                .filter(|r| matches!(r.outcome, Outcome::Succeeded))
+                .count();
+            vec![
+                config.label(),
+                format!("{protected}/{}", s.total),
+                format!("{fn_count}"),
+                format!("{}", s.blocked_waf),
+                format!("{}", s.blocked_septic),
+                format!("{}", s.detected_only),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["configuration", "protected", "false neg", "waf blocks", "septic blocks", "detected only"],
+            &rows,
+        )
+    );
+    println!("(\"detected only\" = SEPTIC detection mode: flagged and logged, not dropped)");
+}

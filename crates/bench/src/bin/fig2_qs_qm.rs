@@ -1,0 +1,70 @@
+//! Regenerates **Figures 2, 3 and 4** of the paper: the query structure
+//! (QS) and query model (QM) of the tickets query, and the structures of
+//! the two attacked variants, each annotated with the detector's verdict.
+//!
+//! ```text
+//! cargo run -p septic-bench --bin fig2_qs_qm
+//! ```
+
+use septic::{detect_sqli, QueryModel, SqliOutcome};
+use septic_bench::banner;
+use septic_sql::{charset, items, parse, ItemStack};
+
+fn stack_of(sql: &str) -> ItemStack {
+    let decoded = charset::decode(sql);
+    let parsed = parse(&decoded.text).expect("parse");
+    items::lower_all(&parsed.statements)
+}
+
+fn main() {
+    const BENIGN: &str =
+        "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
+
+    // ---- Figure 2(a): the query structure ------------------------------
+    println!("{}", banner("Figure 2(a) — query structure (QS), top of stack first"));
+    println!("query: {BENIGN}\n");
+    let qs = stack_of(BENIGN);
+    print!("{qs}");
+
+    // ---- Figure 2(b): the query model ----------------------------------
+    println!("{}", banner("Figure 2(b) — query model (QM): DATA replaced by \u{22A5}"));
+    let model = QueryModel::from_structure(&qs);
+    print!("{model}");
+
+    // ---- Figure 3: second-order attack ---------------------------------
+    println!("{}", banner("Figure 3 — second-order attack: reservID = ID34FG\u{02BC}-- "));
+    let second_order =
+        "SELECT * FROM tickets WHERE reservID = 'ID34FG\u{02BC}-- ' AND creditCard = 0";
+    println!("received query : {second_order}");
+    let decoded = charset::decode(second_order);
+    println!("after decoding : {}", decoded.text);
+    let attacked = stack_of(second_order);
+    print!("\n{attacked}");
+    match detect_sqli(&attacked, &model) {
+        SqliOutcome::Attack(kind) => println!("\nSEPTIC verdict: ATTACK — {kind}"),
+        SqliOutcome::Clean => println!("\nSEPTIC verdict: clean (unexpected!)"),
+    }
+
+    // ---- Figure 4: syntax mimicry ---------------------------------------
+    println!("{}", banner("Figure 4 — mimicry attack: reservID = ID34FG' AND 1=1-- "));
+    let mimicry =
+        "SELECT * FROM tickets WHERE reservID = 'ID34FG\u{02BC} AND 1=1-- ' AND creditCard = 0";
+    println!("received query : {mimicry}");
+    let decoded = charset::decode(mimicry);
+    println!("after decoding : {}", decoded.text);
+    let attacked = stack_of(mimicry);
+    print!("\n{attacked}");
+    match detect_sqli(&attacked, &model) {
+        SqliOutcome::Attack(kind) => println!("\nSEPTIC verdict: ATTACK — {kind}"),
+        SqliOutcome::Clean => println!("\nSEPTIC verdict: clean (unexpected!)"),
+    }
+
+    // ---- benign sanity ----------------------------------------------------
+    println!("{}", banner("Benign variant — different literals, same model"));
+    let benign2 = "SELECT * FROM tickets WHERE reservID = 'ZZ42' AND creditCard = 4321";
+    println!("query: {benign2}");
+    match detect_sqli(&stack_of(benign2), &model) {
+        SqliOutcome::Clean => println!("SEPTIC verdict: clean (as expected)"),
+        SqliOutcome::Attack(kind) => println!("SEPTIC verdict: ATTACK (unexpected!) — {kind}"),
+    }
+}

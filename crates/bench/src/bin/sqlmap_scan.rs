@@ -1,0 +1,82 @@
+//! A sqlmap-style probing session against WaspMon — the attacker's-eye
+//! view the demo drives from the client machine ("a browser … and other
+//! tools to perform SQLI attacks, such as sqlmap").
+//!
+//! Scans the two `/history` parameters under each protection
+//! configuration and reports which techniques/encoders demonstrate
+//! injectability.
+//!
+//! ```text
+//! cargo run -p septic-bench --bin sqlmap_scan
+//! ```
+
+use std::sync::Arc;
+
+use septic::{Mode, Septic};
+use septic_attacks::sqlmap::{numeric_probes, scan_param, string_probes, Encoder};
+use septic_attacks::train;
+use septic_bench::{banner, render_table};
+use septic_http::HttpRequest;
+use septic_waf::ModSecurity;
+use septic_webapp::deployment::Deployment;
+use septic_webapp::WaspMon;
+
+const ENCODERS: [Encoder; 4] =
+    [Encoder::Plain, Encoder::HomoglyphQuote, Encoder::VersionComment, Encoder::CaseMix];
+
+fn deployment(waf: bool, septic_on: bool) -> Deployment {
+    let waf = waf.then(|| Arc::new(ModSecurity::new()));
+    let septic = septic_on.then(|| Arc::new(Septic::new()));
+    let d = Deployment::new(Arc::new(WaspMon::new()), waf, septic.clone()).expect("deploy");
+    if let Some(septic) = septic {
+        let _ = train(&d, &septic, Mode::PREVENTION);
+    }
+    d
+}
+
+fn main() {
+    let base =
+        HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0");
+    println!("{}", banner("sqlmap-style scan of /history (params: days, device)"));
+
+    let mut rows = Vec::new();
+    for (label, waf, septic_on) in [
+        ("sanitization", false, false),
+        ("modsecurity", true, false),
+        ("septic", false, true),
+    ] {
+        let d = deployment(waf, septic_on);
+        let days = scan_param(&d, &base, "days", &numeric_probes(&ENCODERS));
+        let device = scan_param(&d, &base, "device", &string_probes(&ENCODERS));
+        for (param, report) in [("days", &days), ("device", &device)] {
+            let findings = if report.findings.is_empty() {
+                "none".to_string()
+            } else {
+                report
+                    .findings
+                    .iter()
+                    .map(|(t, e)| format!("{t} [{e:?}]"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            rows.push(vec![
+                label.to_string(),
+                param.to_string(),
+                report.probes_sent.to_string(),
+                report.blocked.to_string(),
+                if report.vulnerable() { "VULNERABLE" } else { "not shown" }.to_string(),
+                findings,
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["config", "param", "probes", "blocked", "verdict", "working techniques"],
+            &rows,
+        )
+    );
+    println!("\nExpected shape: the bare app is injectable (numeric context with plain");
+    println!("probes; string context only with the homoglyph tamper); ModSecurity kills");
+    println!("the classic probes but not the tampered ones; SEPTIC leaves sqlmap empty-handed.");
+}

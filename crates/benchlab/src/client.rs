@@ -1,0 +1,120 @@
+//! Virtual clients: machines × browsers replaying workloads in a loop,
+//! mirroring the paper's testbed (up to 4 client machines running up to 5
+//! browsers each).
+
+use std::time::{Duration, Instant};
+
+use septic_webapp::deployment::Deployment;
+
+use crate::workload::Workload;
+
+/// One browser's replay result.
+#[derive(Debug, Clone, Default)]
+pub struct BrowserRun {
+    /// Latency of every request sent, in order.
+    pub latencies: Vec<Duration>,
+    /// Responses that were not 2xx/3xx.
+    pub failures: usize,
+}
+
+/// Replays the workload `loops` times against the deployment, measuring
+/// per-request wall-clock latency ("each browser executed the workload in
+/// a loop many times, sending the requests one by one").
+#[must_use]
+pub fn replay(deployment: &Deployment, workload: &Workload, loops: usize) -> BrowserRun {
+    let mut run = BrowserRun::default();
+    run.latencies.reserve(workload.len() * loops);
+    for _ in 0..loops {
+        for request in &workload.requests {
+            let started = Instant::now();
+            let resp = deployment.request(request);
+            run.latencies.push(started.elapsed());
+            if !resp.response.is_success() {
+                run.failures += 1;
+            }
+        }
+    }
+    run
+}
+
+/// Client fleet shape: `machines × browsers_per_machine` concurrent
+/// browsers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fleet {
+    pub machines: usize,
+    pub browsers_per_machine: usize,
+}
+
+impl Fleet {
+    /// Total concurrent browsers.
+    #[must_use]
+    pub fn browsers(&self) -> usize {
+        self.machines * self.browsers_per_machine
+    }
+
+    /// The paper's final configuration: 20 browsers on 4 machines.
+    #[must_use]
+    pub fn paper_max() -> Self {
+        Fleet { machines: 4, browsers_per_machine: 5 }
+    }
+}
+
+/// Runs the whole fleet concurrently against one deployment and merges the
+/// latency samples.
+#[must_use]
+pub fn run_fleet(
+    deployment: &Deployment,
+    workload: &Workload,
+    fleet: Fleet,
+    loops: usize,
+) -> BrowserRun {
+    let browsers = fleet.browsers().max(1);
+    if browsers == 1 {
+        return replay(deployment, workload, loops);
+    }
+    let mut merged = BrowserRun::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..browsers)
+            .map(|_| scope.spawn(|| replay(deployment, workload, loops)))
+            .collect();
+        for handle in handles {
+            let run = handle.join().expect("browser thread panicked");
+            merged.latencies.extend(run.latencies);
+            merged.failures += run.failures;
+        }
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_webapp::{PhpAddressBook, ZeroCms};
+    use std::sync::Arc;
+
+    #[test]
+    fn replay_measures_every_request() {
+        let d = Deployment::new(Arc::new(PhpAddressBook::new()), None, None).unwrap();
+        let w = Workload::record_from_app(&PhpAddressBook::new());
+        let run = replay(&d, &w, 3);
+        assert_eq!(run.latencies.len(), 36);
+        assert_eq!(run.failures, 0);
+    }
+
+    #[test]
+    fn fleet_shape() {
+        let f = Fleet::paper_max();
+        assert_eq!(f.browsers(), 20);
+        assert_eq!(Fleet { machines: 2, browsers_per_machine: 3 }.browsers(), 6);
+    }
+
+    #[test]
+    fn concurrent_fleet_merges_samples() {
+        let d = Deployment::new(Arc::new(ZeroCms::new()), None, None).unwrap();
+        let w = Workload::record_from_app(&ZeroCms::new());
+        let fleet = Fleet { machines: 2, browsers_per_machine: 2 };
+        let run = run_fleet(&d, &w, fleet, 2);
+        assert_eq!(run.latencies.len(), 26 * 2 * 4);
+        assert_eq!(run.failures, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Latency statistics for the workload experiments.
+
+use std::time::Duration;
+
+/// Aggregated latency statistics over a set of request samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    pub samples: usize,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub min: Duration,
+    pub max: Duration,
+    pub stddev: Duration,
+}
+
+impl LatencyStats {
+    /// Computes statistics from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty — callers must measure something.
+    #[must_use]
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        assert!(!samples.is_empty(), "no latency samples");
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / n as u32;
+        let mean_s = mean.as_secs_f64();
+        let var = sorted
+            .iter()
+            .map(|d| {
+                let diff = d.as_secs_f64() - mean_s;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        LatencyStats {
+            samples: n,
+            mean,
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+            min: sorted[0],
+            max: sorted[n - 1],
+            stddev: Duration::from_secs_f64(var.sqrt()),
+        }
+    }
+
+    /// Relative overhead of `self` versus a baseline mean, in percent
+    /// (positive = slower than baseline).
+    #[must_use]
+    pub fn overhead_vs(&self, baseline: &LatencyStats) -> f64 {
+        let base = baseline.mean.as_secs_f64();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.mean.as_secs_f64() - base) / base * 100.0
+    }
+}
+
+/// Nearest-rank percentile: the smallest sample such that at least `p`% of
+/// samples are ≤ it.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let n = sorted.len();
+    let rank = (p / 100.0 * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = LatencyStats::from_samples(&[ms(10), ms(20), ms(30), ms(40), ms(100)]);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.mean, ms(40));
+        assert_eq!(s.p50, ms(30));
+        assert_eq!(s.min, ms(10));
+        assert_eq!(s.max, ms(100));
+        assert!(s.stddev > Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_cover_range() {
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99)); // rank round(0.99 * 99) = 98 → 99ms sample
+    }
+
+    #[test]
+    fn overhead_computation() {
+        let base = LatencyStats::from_samples(&[ms(100); 10]);
+        let slower = LatencyStats::from_samples(&[ms(102); 10]);
+        let overhead = slower.overhead_vs(&base);
+        assert!((overhead - 2.0).abs() < 1e-9, "{overhead}");
+        assert!(base.overhead_vs(&slower) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no latency samples")]
+    fn empty_samples_panic() {
+        let _ = LatencyStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(&[ms(7)]);
+        assert_eq!(s.p99, ms(7));
+        assert_eq!(s.mean, ms(7));
+    }
+}

@@ -1,0 +1,74 @@
+//! Workload recording and replay (the BenchLab model: workloads are
+//! "previously recorded and stored by the BenchLab server, i.e., a
+//! sequence of requests made to the web applications").
+
+use serde::{Deserialize, Serialize};
+use septic_http::HttpRequest;
+use septic_webapp::WebApp;
+
+/// A named, replayable request sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    pub name: String,
+    pub requests: Vec<HttpRequest>,
+}
+
+impl Workload {
+    /// Records the workload an application ships (its canonical BenchLab
+    /// trace).
+    #[must_use]
+    pub fn record_from_app(app: &dyn WebApp) -> Self {
+        Workload { name: app.name().to_string(), requests: app.workload() }
+    }
+
+    /// Number of requests per loop iteration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when the workload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Serializes to JSON (the "stored by the BenchLab server" part).
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a workload from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Deserialization failures.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_webapp::{PhpAddressBook, Refbase, ZeroCms};
+
+    #[test]
+    fn records_the_paper_request_counts() {
+        assert_eq!(Workload::record_from_app(&PhpAddressBook::new()).len(), 12);
+        assert_eq!(Workload::record_from_app(&Refbase::new()).len(), 14);
+        assert_eq!(Workload::record_from_app(&ZeroCms::new()).len(), 26);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let w = Workload::record_from_app(&ZeroCms::new());
+        let json = w.to_json().expect("serialize");
+        let restored = Workload::from_json(&json).expect("deserialize");
+        assert_eq!(w, restored);
+    }
+}

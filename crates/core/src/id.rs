@@ -1,0 +1,252 @@
+//! The **ID generator** module.
+//!
+//! A query identifier is the composition of up to two identifiers
+//! (Section II-C2 of the paper):
+//!
+//! * an optional **external identifier** the application (or its
+//!   server-side language engine) ships inside a block comment concatenated
+//!   with the query — `/* qid:login-1 */ SELECT …`;
+//! * a mandatory **internal identifier** SEPTIC derives from the query
+//!   model, to guarantee uniqueness.
+//!
+//! The external identifier disambiguates structurally identical queries
+//! issued from different program points, which matters when the
+//! administrator wants per-call-site models.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use septic_sql::ItemStack;
+
+/// Prefix that marks a block comment as an external query identifier.
+/// (Any first comment is accepted as an identifier too; the prefix form is
+/// what the instrumented SSLE emits.)
+pub const EXTERNAL_ID_PREFIX: &str = "qid:";
+
+/// A composed query identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryId {
+    /// Application/SSLE-provided identifier, when present.
+    pub external: Option<String>,
+    /// Structural hash of the query model.
+    pub internal: u64,
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.external {
+            Some(ext) => write!(f, "{ext}#{:016x}", self.internal),
+            None => write!(f, "#{:016x}", self.internal),
+        }
+    }
+}
+
+/// Computes the internal identifier: a 64-bit FNV-1a hash over the
+/// **injection-invariant head** of the item stack.
+///
+/// The head is the leading run of nodes that the *programmer* fully
+/// controls and that precede every user-data position in the lowering
+/// order: the `FROM` tables / `JOIN`s / projected fields of a `SELECT`,
+/// the target table and column list of an `INSERT`, the target table and
+/// first assigned column of an `UPDATE`, the target table of a `DELETE`.
+/// Everything an injection can add (extra conditions, `UNION` arms,
+/// piggybacked statements, extra assignments) appears *after* the head, so
+/// an attacked query keeps the identifier of the benign query it mutates —
+/// which is exactly what lets the detector find the learned model and flag
+/// the mismatch instead of mistaking the attack for a brand-new query.
+///
+/// Structurally head-identical but distinct program queries (same table and
+/// projection, different `WHERE` shape) collide on the internal identifier;
+/// the external identifier exists to disambiguate them (Section II-C2 —
+/// this is why the instrumented SSLE support exists). Queries with an empty
+/// head (`SELECT 1`) fall back to hashing the full canonical stack.
+#[must_use]
+pub fn internal_id(stack: &ItemStack) -> u64 {
+    use septic_sql::ItemTag;
+    let head: Vec<&septic_sql::Item> = stack
+        .items()
+        .iter()
+        .take_while(|i| {
+            matches!(
+                i.tag,
+                ItemTag::FromTable
+                    | ItemTag::JoinItem
+                    | ItemTag::SelectField
+                    | ItemTag::InsertTable
+                    | ItemTag::InsertField
+                    | ItemTag::UpdateTable
+                    | ItemTag::UpdateField
+                    | ItemTag::DeleteTable
+                    | ItemTag::DdlItem
+            )
+        })
+        .collect();
+    let mut bytes = Vec::with_capacity(head.len().max(stack.len()) * 16);
+    if head.is_empty() {
+        return structural_hash(stack);
+    }
+    for item in head {
+        item.canonical_bytes(&mut bytes);
+    }
+    fnv1a(&bytes)
+}
+
+/// Hash of the *entire* canonical stack (data payloads contribute only
+/// their type). Used as the fallback for head-less queries and by the
+/// identifier ablation harness.
+#[must_use]
+pub fn structural_hash(stack: &ItemStack) -> u64 {
+    let mut bytes = Vec::with_capacity(stack.len() * 16);
+    for item in stack.items() {
+        item.canonical_bytes(&mut bytes);
+    }
+    fnv1a(&bytes)
+}
+
+/// Extracts the external identifier from the query's comments: the first
+/// comment, with the optional `qid:` prefix stripped.
+#[must_use]
+pub fn external_id(comments: &[String]) -> Option<String> {
+    let first = comments.first()?.trim();
+    if first.is_empty() {
+        return None;
+    }
+    let id = first.strip_prefix(EXTERNAL_ID_PREFIX).unwrap_or(first).trim();
+    if id.is_empty() {
+        None
+    } else {
+        Some(id.to_string())
+    }
+}
+
+/// The ID generator: composes external and internal identifiers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdGenerator {
+    /// When false, external identifiers are ignored (ablation switch).
+    pub use_external: bool,
+}
+
+impl IdGenerator {
+    /// Creates a generator that honours external identifiers.
+    #[must_use]
+    pub fn new() -> Self {
+        IdGenerator { use_external: true }
+    }
+
+    /// Generates the query identifier for a validated query.
+    #[must_use]
+    pub fn generate(&self, stack: &ItemStack, comments: &[String]) -> QueryId {
+        QueryId {
+            external: if self.use_external { external_id(comments) } else { None },
+            internal: internal_id(stack),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_sql::{items, parse};
+
+    fn qs(sql: &str) -> ItemStack {
+        items::lower_all(&parse(sql).expect("parse").statements)
+    }
+
+    #[test]
+    fn internal_id_ignores_literals() {
+        let a = internal_id(&qs("SELECT * FROM t WHERE x = 'aaa'"));
+        let b = internal_id(&qs("SELECT * FROM t WHERE x = 'bbb'"));
+        // WHERE-clause fields are *not* part of the head: substituting a
+        // field is a mimicry attack the detector must see (same model).
+        let c = internal_id(&qs("SELECT * FROM t WHERE y = 'aaa'"));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn internal_id_is_invariant_under_injection_payloads() {
+        // The whole point of the head-hash: an attacked query keeps the
+        // identifier of the benign query it mutates, so the model lookup
+        // succeeds and the detector can compare structures.
+        let plain = internal_id(&qs("SELECT a FROM t WHERE id = 1"));
+        let union = internal_id(&qs("SELECT a FROM t WHERE id = 1 UNION SELECT b FROM u"));
+        let taut = internal_id(&qs("SELECT a FROM t WHERE id = 1 OR 1 = 1"));
+        let piggy = internal_id(&qs("SELECT a FROM t WHERE id = 1; DROP TABLE t"));
+        assert_eq!(plain, union);
+        assert_eq!(plain, taut);
+        assert_eq!(plain, piggy);
+    }
+
+    #[test]
+    fn internal_id_distinguishes_program_queries() {
+        let a = internal_id(&qs("SELECT a FROM t WHERE id = 1"));
+        let b = internal_id(&qs("SELECT b FROM t WHERE id = 1"));
+        let c = internal_id(&qs("SELECT a FROM u WHERE id = 1"));
+        let d = internal_id(&qs("INSERT INTO t (a) VALUES ('x')"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn fromless_selects_keep_distinct_ids() {
+        // `SELECT 1` still has a head (its SELECT_FIELD label), so
+        // constant probes do not all collapse onto one identifier.
+        let a = internal_id(&qs("SELECT 1"));
+        let b = internal_id(&qs("SELECT VERSION()"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn structural_hash_covers_whole_stack() {
+        let plain = structural_hash(&qs("SELECT a FROM t WHERE id = 1"));
+        let taut = structural_hash(&qs("SELECT a FROM t WHERE id = 1 OR 1 = 1"));
+        assert_ne!(plain, taut);
+    }
+
+    #[test]
+    fn external_id_parsing() {
+        assert_eq!(external_id(&["qid:login-1".into()]), Some("login-1".into()));
+        assert_eq!(external_id(&["free text".into()]), Some("free text".into()));
+        assert_eq!(external_id(&[]), None);
+        assert_eq!(external_id(&["  ".into()]), None);
+        assert_eq!(external_id(&["qid:  ".into()]), None);
+    }
+
+    #[test]
+    fn generator_composes_both_parts() {
+        let stack = qs("SELECT 1");
+        let id = IdGenerator::new().generate(&stack, &["qid:x".to_string()]);
+        assert_eq!(id.external.as_deref(), Some("x"));
+        assert_eq!(id.internal, internal_id(&stack));
+        let no_ext = IdGenerator { use_external: false }.generate(&stack, &["qid:x".to_string()]);
+        assert_eq!(no_ext.external, None);
+    }
+
+    #[test]
+    fn same_structure_different_external_ids_are_distinct() {
+        let stack = qs("SELECT a FROM t WHERE id = 1");
+        let gen = IdGenerator::new();
+        let a = gen.generate(&stack, &["qid:page-a".to_string()]);
+        let b = gen.generate(&stack, &["qid:page-b".to_string()]);
+        assert_ne!(a, b);
+        assert_eq!(a.internal, b.internal);
+    }
+
+    #[test]
+    fn display_format() {
+        let id = QueryId { external: Some("login".into()), internal: 0xabcd };
+        assert_eq!(id.to_string(), "login#000000000000abcd");
+        let id = QueryId { external: None, internal: 1 };
+        assert_eq!(id.to_string(), "#0000000000000001");
+    }
+}

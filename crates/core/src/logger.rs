@@ -1,0 +1,230 @@
+//! The **logger** module: SEPTIC's register of events.
+//!
+//! Records everything the demo's "SEPTIC events" display shows: query
+//! structure construction, identifier generation, model discovery/creation,
+//! attack detection (with the algorithm step), and mode changes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::detector::SqliKind;
+use crate::id::QueryId;
+use crate::mode::Mode;
+use crate::plugins::StoredAttack;
+
+/// The action SEPTIC took for a flagged query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackAction {
+    /// Prevention mode: query dropped.
+    Dropped,
+    /// Detection mode: logged only, query executed.
+    LoggedOnly,
+}
+
+impl fmt::Display for AttackAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackAction::Dropped => f.write_str("dropped"),
+            AttackAction::LoggedOnly => f.write_str("logged-only"),
+        }
+    }
+}
+
+/// One event in SEPTIC's register.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A query passed through SEPTIC.
+    QueryProcessed { id: QueryId, command: String },
+    /// A model was created and stored (training or incremental learning).
+    ModelCreated { id: QueryId, incremental: bool },
+    /// An already-known query arrived; no model was created.
+    ModelFound { id: QueryId },
+    /// A SQLI attack was flagged.
+    SqliDetected { id: QueryId, kind: SqliKind, action: AttackAction, query: String },
+    /// A stored-injection attack was flagged by a plugin.
+    StoredDetected { id: QueryId, attack: StoredAttack, action: AttackAction, query: String },
+    /// A query whose identifier the administrator rejected arrived again
+    /// and was refused.
+    RejectedQueryRefused { id: QueryId, query: String },
+    /// The operation mode changed.
+    ModeChanged { from: Mode, to: Mode },
+    /// Persistent models were loaded at startup.
+    StoreLoaded { count: usize },
+}
+
+/// A sequenced event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotone sequence number.
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:06}] ", self.seq)?;
+        match &self.kind {
+            EventKind::QueryProcessed { id, command } => {
+                write!(f, "query processed id={id} cmd={command}")
+            }
+            EventKind::ModelCreated { id, incremental } => write!(
+                f,
+                "query model created id={id}{}",
+                if *incremental { " (incremental)" } else { "" }
+            ),
+            EventKind::ModelFound { id } => write!(f, "query model found id={id}"),
+            EventKind::SqliDetected { id, kind, action, query } => {
+                write!(f, "SQLI attack id={id} {kind} action={action} query={query}")
+            }
+            EventKind::StoredDetected { id, attack, action, query } => {
+                write!(f, "stored injection id={id} {attack} action={action} query={query}")
+            }
+            EventKind::RejectedQueryRefused { id, query } => {
+                write!(f, "administrator-rejected query refused id={id} query={query}")
+            }
+            EventKind::ModeChanged { from, to } => write!(f, "mode changed {from} -> {to}"),
+            EventKind::StoreLoaded { count } => write!(f, "loaded {count} persisted models"),
+        }
+    }
+}
+
+/// Bounded in-memory event register.
+#[derive(Debug)]
+pub struct Logger {
+    events: Mutex<Vec<Event>>,
+    seq: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::new(16_384)
+    }
+}
+
+impl Logger {
+    /// Creates a logger retaining at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Logger { events: Mutex::new(Vec::new()), seq: AtomicU64::new(1), capacity: capacity.max(16) }
+    }
+
+    /// Appends an event and returns its sequence number.
+    pub fn record(&self, kind: EventKind) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut events = self.events.lock();
+        if events.len() >= self.capacity {
+            let drop_n = events.len() / 2;
+            events.drain(..drop_n);
+        }
+        events.push(Event { seq, kind });
+        seq
+    }
+
+    /// Snapshot of the retained events.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Events matching a predicate.
+    #[must_use]
+    pub fn events_where(&self, pred: impl Fn(&EventKind) -> bool) -> Vec<Event> {
+        self.events.lock().iter().filter(|e| pred(&e.kind)).cloned().collect()
+    }
+
+    /// Count of attack events (SQLI + stored).
+    #[must_use]
+    pub fn attack_count(&self) -> usize {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::SqliDetected { .. } | EventKind::StoredDetected { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Clears the register.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qid() -> QueryId {
+        QueryId { external: None, internal: 7 }
+    }
+
+    #[test]
+    fn records_in_sequence() {
+        let log = Logger::default();
+        let a = log.record(EventKind::ModelFound { id: qid() });
+        let b = log.record(EventKind::StoreLoaded { count: 3 });
+        assert!(b > a);
+        assert_eq!(log.events().len(), 2);
+    }
+
+    #[test]
+    fn attack_count_counts_both_kinds() {
+        let log = Logger::default();
+        log.record(EventKind::SqliDetected {
+            id: qid(),
+            kind: SqliKind::Structural { expected: 9, observed: 5 },
+            action: AttackAction::Dropped,
+            query: "q".into(),
+        });
+        log.record(EventKind::ModelFound { id: qid() });
+        log.record(EventKind::StoredDetected {
+            id: qid(),
+            attack: StoredAttack::new("stored XSS", "script tag"),
+            action: AttackAction::LoggedOnly,
+            query: "q".into(),
+        });
+        assert_eq!(log.attack_count(), 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let log = Logger::new(16);
+        for _ in 0..100 {
+            log.record(EventKind::StoreLoaded { count: 0 });
+        }
+        assert!(log.events().len() <= 16);
+        // Sequence numbers keep increasing even after eviction.
+        assert!(log.events().last().unwrap().seq == 100);
+    }
+
+    #[test]
+    fn display_mentions_the_step() {
+        let e = Event {
+            seq: 1,
+            kind: EventKind::SqliDetected {
+                id: qid(),
+                kind: SqliKind::Structural { expected: 2, observed: 1 },
+                action: AttackAction::Dropped,
+                query: "SELECT 1".into(),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 1") && s.contains("dropped"));
+    }
+
+    #[test]
+    fn filter_helper() {
+        let log = Logger::default();
+        log.record(EventKind::StoreLoaded { count: 1 });
+        log.record(EventKind::ModelFound { id: qid() });
+        let found = log.events_where(|k| matches!(k, EventKind::ModelFound { .. }));
+        assert_eq!(found.len(), 1);
+    }
+}

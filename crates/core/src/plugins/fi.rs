@@ -1,0 +1,157 @@
+//! Remote and local file inclusion plugins (RFI / LFI).
+//!
+//! RFI: user data carrying a remote URL or a PHP stream wrapper that, if it
+//! later reaches an `include`-like sink, pulls code from elsewhere.
+//! LFI: path-traversal sequences and well-known sensitive paths.
+
+use super::{Plugin, StoredAttack};
+
+/// URL schemes / stream wrappers whose inclusion executes remote content.
+const REMOTE_SCHEMES: &[&str] = &[
+    "http://", "https://", "ftp://", "ftps://", "php://", "data://", "expect://", "zip://",
+    "phar://", "file://", "\\\\", // UNC path
+];
+
+/// Sensitive local paths LFI payloads aim at.
+const SENSITIVE_PATHS: &[&str] = &[
+    "/etc/passwd",
+    "/etc/shadow",
+    "/etc/hosts",
+    "/proc/self/environ",
+    "/var/log/",
+    "c:\\windows",
+    "boot.ini",
+    "win.ini",
+];
+
+/// The RFI plugin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RfiPlugin;
+
+impl Plugin for RfiPlugin {
+    fn name(&self) -> &'static str {
+        "rfi"
+    }
+
+    fn quick_filter(&self, input: &str) -> bool {
+        input.contains("://") || input.contains("\\\\")
+    }
+
+    fn confirm(&self, input: &str) -> Option<StoredAttack> {
+        let lower = input.to_lowercase();
+        for scheme in REMOTE_SCHEMES {
+            if let Some(pos) = lower.find(scheme) {
+                // Heuristic: a URL buried in prose ("see https://docs…")
+                // is only a finding when it smells like an include target:
+                // a script extension, a query string, or a wrapper scheme.
+                let rest = &lower[pos..];
+                let wrapper = !scheme.starts_with("http") && !scheme.starts_with("ftp");
+                let scripty = [".php", ".txt?", ".jpg?", "?", ".inc"]
+                    .iter()
+                    .any(|m| rest.contains(m));
+                let bare = lower.trim() == rest.trim(); // the whole input is the URL
+                if wrapper || scripty || bare {
+                    return Some(StoredAttack::new(
+                        "RFI",
+                        format!("remote inclusion target `{}`", truncate(rest, 48)),
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The LFI plugin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LfiPlugin;
+
+impl Plugin for LfiPlugin {
+    fn name(&self) -> &'static str {
+        "lfi"
+    }
+
+    fn quick_filter(&self, input: &str) -> bool {
+        input.contains("..") || input.contains('/') || input.contains('\\') || input.contains('\0')
+    }
+
+    fn confirm(&self, input: &str) -> Option<StoredAttack> {
+        let lower = input.to_lowercase();
+        // Decoded traversal sequences (payloads often pre-encode them; the
+        // application layer URL-decodes before the value reaches SQL).
+        let traversal = ["../", "..\\", "....//", "%2e%2e%2f", "..%2f", "%2e%2e/"];
+        for t in traversal {
+            if lower.contains(t) {
+                return Some(StoredAttack::new(
+                    "LFI",
+                    format!("path traversal `{}`", truncate(&lower, 48)),
+                ));
+            }
+        }
+        for p in SENSITIVE_PATHS {
+            if lower.contains(p) {
+                return Some(StoredAttack::new("LFI", format!("sensitive path `{p}`")));
+            }
+        }
+        if input.contains('\0') {
+            return Some(StoredAttack::new("LFI", "NUL byte truncation".to_string()));
+        }
+        None
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfi_flags_wrappers_and_script_urls() {
+        let p = RfiPlugin;
+        assert!(p.scan("http://evil.example/shell.php").is_some());
+        assert!(p.scan("php://filter/convert.base64-encode/resource=index").is_some());
+        assert!(p.scan("data://text/plain;base64,cGhwaW5mbygp").is_some());
+        assert!(p.scan("expect://ls").is_some());
+        assert!(p.scan("https://evil.example/x.txt?cmd=id").is_some());
+    }
+
+    #[test]
+    fn rfi_bare_url_is_flagged_but_prose_is_not() {
+        let p = RfiPlugin;
+        assert!(p.scan("https://evil.example/payload").is_some());
+        assert_eq!(p.scan("read the docs at https://docs.example.org/intro before asking"), None);
+    }
+
+    #[test]
+    fn lfi_flags_traversal_and_sensitive_paths() {
+        let p = LfiPlugin;
+        assert!(p.scan("../../../../etc/passwd").is_some());
+        assert!(p.scan("..\\..\\windows\\win.ini").is_some());
+        assert!(p.scan("/etc/shadow").is_some());
+        assert!(p.scan("....//....//etc/hosts").is_some());
+        assert!(p.scan("index.php\0.png").is_some());
+    }
+
+    #[test]
+    fn lfi_passes_normal_paths() {
+        let p = LfiPlugin;
+        assert_eq!(p.scan("photos/2024/summer.jpg"), None);
+        assert_eq!(p.scan("a/b/c"), None);
+        assert_eq!(p.scan("no slashes at all"), None);
+    }
+
+    #[test]
+    fn quick_filters_gate_cheaply() {
+        assert!(!RfiPlugin.quick_filter("plain text"));
+        assert!(!LfiPlugin.quick_filter("plain text"));
+        assert!(LfiPlugin.quick_filter("a/b"));
+    }
+}

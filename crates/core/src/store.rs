@@ -1,0 +1,366 @@
+//! The **QM learned** store: query models indexed by query identifier,
+//! kept in memory and optionally persisted ("All query models are in memory
+//! and are stored persistently" — Section IV-C).
+//!
+//! Models learned *incrementally* in normal mode are held in
+//! **quarantine** until the administrator decides whether the query that
+//! produced them was benign (approve) or malicious (reject) — the
+//! Section II-E workflow: "Later, the programmer/administrator will have
+//! to decide if the query model comes from a malicious or a benign query."
+//! Rejected identifiers are remembered: the same query arriving again is
+//! refused instead of being re-learned.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::id::QueryId;
+use crate::model::QueryModel;
+
+/// Thread-safe store of learned query models plus the administrative
+/// review state for incrementally-learned ones.
+#[derive(Debug, Default)]
+pub struct ModelStore {
+    models: RwLock<HashMap<QueryId, QueryModel>>,
+    /// Incrementally-learned models awaiting administrator review.
+    quarantine: RwLock<HashSet<QueryId>>,
+    /// Identifiers the administrator rejected as malicious.
+    rejected: RwLock<HashSet<QueryId>>,
+}
+
+/// Serialized form of the store.
+#[derive(Debug, Serialize, Deserialize)]
+struct PersistedStore {
+    models: Vec<(QueryId, QueryModel)>,
+    #[serde(default)]
+    quarantine: Vec<QueryId>,
+    #[serde(default)]
+    rejected: Vec<QueryId>,
+}
+
+impl ModelStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ModelStore::default()
+    }
+
+    /// Looks up the model for an identifier.
+    #[must_use]
+    pub fn get(&self, id: &QueryId) -> Option<QueryModel> {
+        self.models.read().get(id).cloned()
+    }
+
+    /// True when a model exists for the identifier.
+    #[must_use]
+    pub fn contains(&self, id: &QueryId) -> bool {
+        self.models.read().contains_key(id)
+    }
+
+    /// Stores a model from an explicit training run. Returns `true` when
+    /// the model is new, `false` when a model with this identifier already
+    /// existed (the paper: a query processed twice creates its model only
+    /// once). Training expresses the administrator's intent that the query
+    /// is benign, so a previous rejection of the identifier is lifted.
+    pub fn learn(&self, id: QueryId, model: QueryModel) -> bool {
+        self.rejected.write().remove(&id);
+        let mut models = self.models.write();
+        if models.contains_key(&id) {
+            return false;
+        }
+        models.insert(id, model);
+        true
+    }
+
+    /// Stores a model learned *incrementally* (normal mode, unknown
+    /// query): it is usable immediately but also placed in quarantine for
+    /// administrator review. Returns `true` when the model is new.
+    pub fn learn_provisional(&self, id: QueryId, model: QueryModel) -> bool {
+        let mut models = self.models.write();
+        if models.contains_key(&id) {
+            return false;
+        }
+        models.insert(id.clone(), model);
+        self.quarantine.write().insert(id);
+        true
+    }
+
+    /// Identifiers awaiting administrator review.
+    #[must_use]
+    pub fn pending_review(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.quarantine.read().iter().cloned().collect();
+        ids.sort_by_key(|id| (id.external.clone(), id.internal));
+        ids
+    }
+
+    /// Administrator verdict: the incrementally-learned query was benign.
+    /// The model leaves quarantine and becomes permanent. Returns `false`
+    /// when the id was not pending.
+    pub fn approve(&self, id: &QueryId) -> bool {
+        self.quarantine.write().remove(id)
+    }
+
+    /// Administrator verdict: the incrementally-learned query was
+    /// malicious. The model is removed and the identifier blacklisted so
+    /// the same query is refused instead of re-learned. Returns `false`
+    /// when the id was unknown.
+    pub fn reject(&self, id: &QueryId) -> bool {
+        self.quarantine.write().remove(id);
+        let existed = self.models.write().remove(id).is_some();
+        self.rejected.write().insert(id.clone());
+        existed
+    }
+
+    /// True when the administrator has rejected this identifier.
+    #[must_use]
+    pub fn is_rejected(&self, id: &QueryId) -> bool {
+        self.rejected.read().contains(id)
+    }
+
+    /// Removes a model (the administrator decided a learned query was
+    /// malicious — Section II-E).
+    pub fn forget(&self, id: &QueryId) -> bool {
+        self.models.write().remove(id).is_some()
+    }
+
+    /// Number of learned models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// True when nothing has been learned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+
+    /// Drops every learned model and all review state.
+    pub fn clear(&self) {
+        self.models.write().clear();
+        self.quarantine.write().clear();
+        self.rejected.write().clear();
+    }
+
+    /// Snapshot of all identifiers.
+    #[must_use]
+    pub fn ids(&self) -> Vec<QueryId> {
+        self.models.read().keys().cloned().collect()
+    }
+
+    /// Serializes the store to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        let models = self.models.read();
+        let mut list: Vec<(QueryId, QueryModel)> =
+            models.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        list.sort_by_key(|(k, _)| (k.external.clone(), k.internal));
+        let mut quarantine: Vec<QueryId> = self.quarantine.read().iter().cloned().collect();
+        quarantine.sort_by_key(|k| (k.external.clone(), k.internal));
+        let mut rejected: Vec<QueryId> = self.rejected.read().iter().cloned().collect();
+        rejected.sort_by_key(|k| (k.external.clone(), k.internal));
+        serde_json::to_string_pretty(&PersistedStore { models: list, quarantine, rejected })
+    }
+
+    /// Replaces the store contents from JSON produced by
+    /// [`ModelStore::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer errors.
+    pub fn load_json(&self, json: &str) -> serde_json::Result<usize> {
+        let persisted: PersistedStore = serde_json::from_str(json)?;
+        let mut models = self.models.write();
+        models.clear();
+        let n = persisted.models.len();
+        models.extend(persisted.models);
+        *self.quarantine.write() = persisted.quarantine.into_iter().collect();
+        *self.rejected.write() = persisted.rejected.into_iter().collect();
+        Ok(n)
+    }
+
+    /// Persists the store to a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; serialization errors are surfaced as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads the store from a file written by [`ModelStore::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; malformed content surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load_from(&self, path: &Path) -> io::Result<usize> {
+        let json = std::fs::read_to_string(path)?;
+        self.load_json(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_sql::{items, parse};
+
+    fn model(sql: &str) -> QueryModel {
+        QueryModel::from_structure(&items::lower_all(&parse(sql).expect("parse").statements))
+    }
+
+    fn id(n: u64) -> QueryId {
+        QueryId { external: None, internal: n }
+    }
+
+    #[test]
+    fn learn_once_only() {
+        let store = ModelStore::new();
+        let m = model("SELECT 1");
+        assert!(store.learn(id(1), m.clone()));
+        assert!(!store.learn(id(1), m.clone()));
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&id(1)));
+        assert_eq!(store.get(&id(1)), Some(m));
+    }
+
+    #[test]
+    fn forget_removes() {
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT 1"));
+        assert!(store.forget(&id(1)));
+        assert!(!store.forget(&id(1)));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT a FROM t WHERE x = 'v'"));
+        store.learn(
+            QueryId { external: Some("login".into()), internal: 7 },
+            model("SELECT b FROM u"),
+        );
+        let json = store.to_json().expect("serialize");
+        let restored = ModelStore::new();
+        assert_eq!(restored.load_json(&json).expect("load"), 2);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(&id(1)), store.get(&id(1)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let store = ModelStore::new();
+        store.learn(id(42), model("SELECT 1"));
+        let dir = std::env::temp_dir().join("septic-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        store.save_to(&path).expect("save");
+        let restored = ModelStore::new();
+        assert_eq!(restored.load_from(&path).expect("load"), 1);
+        assert!(restored.contains(&id(42)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_replaces_existing_content() {
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT 1"));
+        let json = store.to_json().unwrap();
+        store.clear();
+        store.learn(id(99), model("SELECT 2"));
+        store.load_json(&json).unwrap();
+        assert!(store.contains(&id(1)));
+        assert!(!store.contains(&id(99)));
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        let store = ModelStore::new();
+        assert!(store.load_json("not json").is_err());
+    }
+
+    #[test]
+    fn provisional_models_await_review() {
+        let store = ModelStore::new();
+        assert!(store.learn_provisional(id(1), model("SELECT 1")));
+        assert!(!store.learn_provisional(id(1), model("SELECT 1")));
+        assert!(store.contains(&id(1)), "usable immediately");
+        assert_eq!(store.pending_review(), vec![id(1)]);
+    }
+
+    #[test]
+    fn approve_keeps_the_model() {
+        let store = ModelStore::new();
+        store.learn_provisional(id(1), model("SELECT 1"));
+        assert!(store.approve(&id(1)));
+        assert!(!store.approve(&id(1)));
+        assert!(store.pending_review().is_empty());
+        assert!(store.contains(&id(1)));
+        assert!(!store.is_rejected(&id(1)));
+    }
+
+    #[test]
+    fn reject_removes_and_blacklists() {
+        let store = ModelStore::new();
+        store.learn_provisional(id(2), model("SELECT 2"));
+        assert!(store.reject(&id(2)));
+        assert!(!store.contains(&id(2)));
+        assert!(store.is_rejected(&id(2)));
+        assert!(store.pending_review().is_empty());
+    }
+
+    #[test]
+    fn trained_models_skip_quarantine() {
+        let store = ModelStore::new();
+        store.learn(id(3), model("SELECT 3"));
+        assert!(store.pending_review().is_empty());
+    }
+
+    #[test]
+    fn explicit_retraining_lifts_a_rejection() {
+        let store = ModelStore::new();
+        store.learn_provisional(id(1), model("SELECT 1"));
+        store.reject(&id(1));
+        assert!(store.is_rejected(&id(1)));
+        // The administrator retrains the (updated) application: the shape
+        // is benign again.
+        assert!(store.learn(id(1), model("SELECT 1")));
+        assert!(!store.is_rejected(&id(1)));
+        assert!(store.contains(&id(1)));
+    }
+
+    #[test]
+    fn review_state_persists() {
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT 1"));
+        store.learn_provisional(id(2), model("SELECT 2"));
+        store.learn_provisional(id(3), model("SELECT 3"));
+        store.reject(&id(3));
+        let json = store.to_json().unwrap();
+        let restored = ModelStore::new();
+        restored.load_json(&json).unwrap();
+        assert_eq!(restored.pending_review(), vec![id(2)]);
+        assert!(restored.is_rejected(&id(3)));
+        assert!(restored.contains(&id(1)) && restored.contains(&id(2)));
+    }
+
+    #[test]
+    fn old_persisted_format_still_loads() {
+        // Files written before the review workflow lack the new fields.
+        let legacy = r#"{"models": []}"#;
+        let store = ModelStore::new();
+        assert_eq!(store.load_json(legacy).unwrap(), 0);
+    }
+}

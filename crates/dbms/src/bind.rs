@@ -1,0 +1,248 @@
+//! Server-side parameter binding (prepared statements).
+//!
+//! MySQL prepared statements ship parameter values *outside* the query
+//! text: the data is never parsed as SQL, so no charset conversion or
+//! quote processing applies to it. This is why binding is immune to the
+//! semantic mismatch — and why a value like `ID34FG`+`U+02BC`+`-- ` can be
+//! *stored* verbatim through a prepared `INSERT` and only explodes later
+//! when legacy code re-embeds it into query text (the second-order attack
+//! of the paper's Section II-D1).
+//!
+//! Binding replaces each `?` placeholder, in order, with a literal carrying
+//! the bound [`Value`]. It runs *after* parsing (the template is
+//! programmer-authored text) and *before* validation, lowering and the
+//! SEPTIC hook — the hook therefore sees the bound values as data nodes,
+//! just as SEPTIC inside MySQL sees the execution-time item list.
+
+use septic_sql::ast::*;
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// Replaces `?` placeholders with the given values, in order.
+///
+/// # Errors
+///
+/// [`DbError::Semantic`] when the placeholder count and value count differ.
+pub fn bind_params(stmt: &Statement, params: &[Value]) -> Result<Statement, DbError> {
+    let mut bound = stmt.clone();
+    let mut iter = params.iter();
+    bind_statement(&mut bound, &mut iter)?;
+    if iter.next().is_some() {
+        return Err(DbError::Semantic("too many bound parameters".into()));
+    }
+    Ok(bound)
+}
+
+fn too_few() -> DbError {
+    DbError::Semantic("not enough bound parameters".into())
+}
+
+fn bind_statement<'a>(
+    stmt: &mut Statement,
+    params: &mut impl Iterator<Item = &'a Value>,
+) -> Result<(), DbError> {
+    match stmt {
+        Statement::Select(s) => bind_select(s, params),
+        Statement::Insert(i) => {
+            match &mut i.source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        for e in row {
+                            bind_expr(e, params)?;
+                        }
+                    }
+                }
+                InsertSource::Select(s) => bind_select(s, params)?,
+            }
+            Ok(())
+        }
+        Statement::Update(u) => {
+            for (_, e) in &mut u.assignments {
+                bind_expr(e, params)?;
+            }
+            if let Some(w) = &mut u.where_clause {
+                bind_expr(w, params)?;
+            }
+            Ok(())
+        }
+        Statement::Delete(d) => {
+            if let Some(w) = &mut d.where_clause {
+                bind_expr(w, params)?;
+            }
+            Ok(())
+        }
+        Statement::CreateTable(_) | Statement::DropTable(_) => Ok(()),
+    }
+}
+
+fn bind_select<'a>(
+    select: &mut Select,
+    params: &mut impl Iterator<Item = &'a Value>,
+) -> Result<(), DbError> {
+    for item in &mut select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            bind_expr(expr, params)?;
+        }
+    }
+    for join in &mut select.joins {
+        if let Some(on) = &mut join.on {
+            bind_expr(on, params)?;
+        }
+    }
+    if let Some(w) = &mut select.where_clause {
+        bind_expr(w, params)?;
+    }
+    for g in &mut select.group_by {
+        bind_expr(g, params)?;
+    }
+    if let Some(h) = &mut select.having {
+        bind_expr(h, params)?;
+    }
+    for o in &mut select.order_by {
+        bind_expr(&mut o.expr, params)?;
+    }
+    if let Some((_, next)) = &mut select.union {
+        bind_select(next, params)?;
+    }
+    Ok(())
+}
+
+fn value_to_literal(v: &Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(*i),
+        Value::Real(r) => Literal::Float(*r),
+        Value::Str(s) => Literal::Str(s.clone()),
+    }
+}
+
+fn bind_expr<'a>(
+    expr: &mut Expr,
+    params: &mut impl Iterator<Item = &'a Value>,
+) -> Result<(), DbError> {
+    match expr {
+        Expr::Param => {
+            let v = params.next().ok_or_else(too_few)?;
+            *expr = Expr::Literal(value_to_literal(v));
+            Ok(())
+        }
+        Expr::Literal(_) | Expr::Column { .. } => Ok(()),
+        Expr::Unary { operand, .. } => bind_expr(operand, params),
+        Expr::Binary { left, right, .. } => {
+            bind_expr(left, params)?;
+            bind_expr(right, params)
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                bind_expr(a, params)?;
+            }
+            Ok(())
+        }
+        Expr::IsNull { expr, .. } => bind_expr(expr, params),
+        Expr::InList { expr, list, .. } => {
+            bind_expr(expr, params)?;
+            for e in list {
+                bind_expr(e, params)?;
+            }
+            Ok(())
+        }
+        Expr::InSelect { expr, select, .. } => {
+            bind_expr(expr, params)?;
+            bind_select(select, params)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            bind_expr(expr, params)?;
+            bind_expr(low, params)?;
+            bind_expr(high, params)
+        }
+        Expr::Subquery(s) => bind_select(s, params),
+        Expr::Exists { select, .. } => bind_select(select, params),
+        Expr::Case { operand, branches, else_branch } => {
+            if let Some(op) = operand {
+                bind_expr(op, params)?;
+            }
+            for (w, t) in branches {
+                bind_expr(w, params)?;
+                bind_expr(t, params)?;
+            }
+            if let Some(e) = else_branch {
+                bind_expr(e, params)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_sql::parse;
+
+    fn bind(sql: &str, params: &[Value]) -> Result<Statement, DbError> {
+        let parsed = parse(sql).expect("parse");
+        bind_params(&parsed.statements[0], params)
+    }
+
+    #[test]
+    fn binds_in_order() {
+        let s = bind(
+            "SELECT * FROM t WHERE a = ? AND b = ?",
+            &[Value::from("x"), Value::Int(2)],
+        )
+        .unwrap();
+        let text = s.to_string();
+        assert!(text.contains("a = 'x'") && text.contains("b = 2"), "{text}");
+    }
+
+    #[test]
+    fn injection_in_bound_value_stays_data() {
+        let s = bind(
+            "SELECT * FROM t WHERE a = ?",
+            &[Value::from("' OR 1=1-- ")],
+        )
+        .unwrap();
+        // The payload is inside the literal; printing escapes it, and the
+        // structure has exactly one comparison.
+        let Statement::Select(sel) = &s else { panic!() };
+        assert!(matches!(
+            sel.where_clause,
+            Some(Expr::Binary { op: BinaryOp::Eq, .. })
+        ));
+    }
+
+    #[test]
+    fn count_mismatches_error() {
+        assert!(bind("SELECT * FROM t WHERE a = ?", &[]).is_err());
+        assert!(bind("SELECT * FROM t WHERE a = 1", &[Value::Int(1)]).is_err());
+        assert!(bind(
+            "SELECT * FROM t WHERE a = ?",
+            &[Value::Int(1), Value::Int(2)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn binds_inserts_updates_deletes() {
+        let s = bind(
+            "INSERT INTO t (a, b) VALUES (?, ?)",
+            &[Value::from("v"), Value::Null],
+        )
+        .unwrap();
+        assert!(s.to_string().contains("'v'"));
+        let s = bind("UPDATE t SET a = ? WHERE id = ?", &[Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(s.to_string().contains("a = 1"));
+        let s = bind("DELETE FROM t WHERE id = ?", &[Value::Int(3)]).unwrap();
+        assert!(s.to_string().contains("id = 3"));
+    }
+
+    #[test]
+    fn binds_nested_positions() {
+        let s = bind(
+            "SELECT CASE WHEN a = ? THEN ? ELSE 0 END FROM t \
+             WHERE id IN (SELECT x FROM u WHERE y = ?) ORDER BY ?",
+            &[Value::Int(1), Value::Int(2), Value::from("k"), Value::Int(1)],
+        );
+        assert!(s.is_ok());
+    }
+}

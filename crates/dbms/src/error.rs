@@ -1,0 +1,73 @@
+//! Engine error types.
+
+use std::error::Error;
+use std::fmt;
+
+use septic_sql::ParseError;
+
+/// Error returned by the query pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Front-end parse failure.
+    Parse(ParseError),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column (optionally table-qualified).
+    UnknownColumn(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Column count / value count mismatch, bad types, etc.
+    Semantic(String),
+    /// A NOT NULL constraint was violated.
+    NotNull(String),
+    /// Duplicate primary key.
+    DuplicateKey(String),
+    /// The query was dropped by an installed guard (SEPTIC in prevention
+    /// mode). Carries the guard's reason string.
+    Blocked(String),
+    /// Runtime evaluation error (division by zero is NULL in MySQL, so this
+    /// is rare — unsupported function etc.).
+    Runtime(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            DbError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            DbError::Semantic(m) => write!(f, "{m}"),
+            DbError::NotNull(c) => write!(f, "column '{c}' cannot be null"),
+            DbError::DuplicateKey(k) => write!(f, "duplicate entry '{k}' for primary key"),
+            DbError::Blocked(r) => write!(f, "query blocked by guard: {r}"),
+            DbError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(DbError::UnknownTable("t".into()).to_string(), "unknown table 't'");
+        assert!(DbError::Blocked("sqli".into()).to_string().contains("blocked"));
+    }
+}

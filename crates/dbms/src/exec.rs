@@ -1,0 +1,1316 @@
+//! Query evaluator and executor.
+//!
+//! Executes validated statements against the in-memory [`Database`] with
+//! MySQL evaluation semantics: three-valued logic, implicit numeric
+//! coercion, division-by-zero-is-NULL, case-insensitive identifiers.
+
+use std::collections::HashMap;
+
+use septic_sql::ast::*;
+
+use crate::catalog::TableSchema;
+use crate::error::DbError;
+use crate::expr::{call_scalar, is_aggregate, SideEffects};
+use crate::storage::{Database, Row};
+use crate::value::Value;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// Column labels (SELECT only).
+    pub columns: Vec<String>,
+    /// Result rows (SELECT only).
+    pub rows: Vec<Row>,
+    /// Rows affected (INSERT/UPDATE/DELETE).
+    pub affected: usize,
+    /// `AUTO_INCREMENT` id of the last inserted row.
+    pub last_insert_id: Option<i64>,
+    /// Side effects (e.g. requested `SLEEP` time).
+    pub effects: SideEffects,
+}
+
+impl QueryOutput {
+    /// First cell of the first row, if any — the common app-code shortcut.
+    #[must_use]
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// Executes a statement.
+///
+/// # Errors
+///
+/// Any [`DbError`] raised during name resolution, constraint checking or
+/// evaluation.
+pub fn execute(db: &mut Database, stmt: &Statement, now: i64) -> Result<QueryOutput, DbError> {
+    let mut effects = SideEffects::default();
+    let mut out = match stmt {
+        Statement::Select(s) => {
+            let (columns, rows) = run_select(db, s, now, None, &mut effects)?;
+            QueryOutput { columns, rows, ..QueryOutput::default() }
+        }
+        Statement::Insert(i) => run_insert(db, i, now, &mut effects)?,
+        Statement::Update(u) => run_update(db, u, now, &mut effects)?,
+        Statement::Delete(d) => run_delete(db, d, now, &mut effects)?,
+        Statement::CreateTable(c) => {
+            let created = db.create_table(TableSchema::new(&c.name, &c.columns), c.if_not_exists)?;
+            QueryOutput { affected: usize::from(created), ..QueryOutput::default() }
+        }
+        Statement::DropTable(d) => {
+            let dropped = db.drop_table(&d.name, d.if_exists)?;
+            QueryOutput { affected: usize::from(dropped), ..QueryOutput::default() }
+        }
+    };
+    out.effects = effects;
+    Ok(out)
+}
+
+/// Statement-level validation: every referenced table must exist (this is
+/// the "validated by the DBMS" step that runs before the SEPTIC hook).
+///
+/// # Errors
+///
+/// [`DbError::UnknownTable`] for missing tables.
+pub fn validate(db: &Database, stmt: &Statement) -> Result<(), DbError> {
+    let check = |name: &str| -> Result<(), DbError> {
+        if db.has_table(name) {
+            Ok(())
+        } else {
+            Err(DbError::UnknownTable(name.to_string()))
+        }
+    };
+    match stmt {
+        Statement::Select(s) => validate_select(db, s),
+        Statement::Insert(i) => {
+            check(&i.table)?;
+            if let InsertSource::Select(s) = &i.source {
+                validate_select(db, s)?;
+            }
+            Ok(())
+        }
+        Statement::Update(u) => check(&u.table),
+        Statement::Delete(d) => check(&d.table),
+        Statement::CreateTable(_) => Ok(()),
+        Statement::DropTable(d) => {
+            if d.if_exists {
+                Ok(())
+            } else {
+                check(&d.name)
+            }
+        }
+    }
+}
+
+fn validate_select(db: &Database, select: &Select) -> Result<(), DbError> {
+    for arm in select.arms() {
+        for t in &arm.from {
+            if !db.has_table_or_virtual(&t.name) {
+                return Err(DbError::UnknownTable(t.name.clone()));
+            }
+        }
+        for j in &arm.joins {
+            if !db.has_table_or_virtual(&j.table.name) {
+                return Err(DbError::UnknownTable(j.table.name.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// evaluation context
+// ---------------------------------------------------------------------------
+
+/// One table binding in the FROM clause: the alias it is visible under plus
+/// its schema.
+struct Binding {
+    name: String,
+    schema: TableSchema,
+}
+
+/// A composite row: one storage row per binding (parallel to the layout).
+#[derive(Debug, Clone)]
+struct CRow {
+    cells: Vec<Row>,
+}
+
+#[derive(Clone, Copy)]
+struct EvalCtx<'a> {
+    db: &'a Database,
+    layout: &'a [Binding],
+    row: &'a CRow,
+    /// All rows of the current group when aggregating.
+    group: Option<&'a [CRow]>,
+    /// Enclosing scope for correlated subqueries.
+    outer: Option<&'a EvalCtx<'a>>,
+    now: i64,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Option<Value> {
+        for (bi, binding) in self.layout.iter().enumerate() {
+            if let Some(t) = table {
+                if !binding.name.eq_ignore_ascii_case(t) {
+                    continue;
+                }
+            }
+            if let Ok(ci) = binding.schema.column_index(name) {
+                return Some(self.row.cells[bi][ci].clone());
+            }
+            if table.is_some() {
+                return None;
+            }
+        }
+        self.outer.and_then(|o| o.resolve(table, name))
+    }
+}
+
+fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(Literal::Int(v)) => Ok(Value::Int(*v)),
+        Expr::Literal(Literal::Float(v)) => Ok(Value::Real(*v)),
+        Expr::Literal(Literal::Str(s)) => Ok(Value::Str(s.clone())),
+        Expr::Literal(Literal::Null) => Ok(Value::Null),
+        Expr::Param => Err(DbError::Runtime("unbound parameter".into())),
+        Expr::Column { table, name } => ctx
+            .resolve(table.as_deref(), name)
+            .ok_or_else(|| DbError::UnknownColumn(name.clone())),
+        Expr::Unary { op, operand } => {
+            let v = eval(operand, ctx, fx)?;
+            Ok(match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Value::Null,
+                    Value::Int(i) => Value::Int(-i),
+                    other => Value::Real(-other.to_real().unwrap_or(0.0)),
+                },
+                UnaryOp::Not => match v {
+                    Value::Null => Value::Null,
+                    other => Value::Int(i64::from(!other.is_truthy())),
+                },
+                UnaryOp::BitNot => match v.to_int() {
+                    None => Value::Null,
+                    Some(i) => Value::Int(!i),
+                },
+            })
+        }
+        Expr::Binary { left, op, right } => eval_binary(left, *op, right, ctx, fx),
+        Expr::Function { name, args } => {
+            if is_aggregate(name) {
+                return eval_aggregate(name, args, ctx, fx);
+            }
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, ctx, fx)?);
+            }
+            call_scalar(name, &vals, ctx.now, fx)
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx, fx)?;
+            Ok(Value::Int(i64::from(v.is_null() != *negated)))
+        }
+        Expr::InList { expr, list, negated } => {
+            let needle = eval(expr, ctx, fx)?;
+            if needle.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let v = eval(item, ctx, fx)?;
+                match needle.sql_eq(&v) {
+                    Some(true) => return Ok(Value::Int(i64::from(!*negated))),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(i64::from(*negated)))
+            }
+        }
+        Expr::InSelect { expr, select, negated } => {
+            let needle = eval(expr, ctx, fx)?;
+            if needle.is_null() {
+                return Ok(Value::Null);
+            }
+            let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
+            let mut saw_null = false;
+            for row in &rows {
+                let v = row.first().cloned().unwrap_or(Value::Null);
+                match needle.sql_eq(&v) {
+                    Some(true) => return Ok(Value::Int(i64::from(!*negated))),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(i64::from(*negated)))
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, ctx, fx)?;
+            let lo = eval(low, ctx, fx)?;
+            let hi = eval(high, ctx, fx)?;
+            let ge = match v.sql_cmp(&lo) {
+                None => return Ok(Value::Null),
+                Some(o) => o != std::cmp::Ordering::Less,
+            };
+            let le = match v.sql_cmp(&hi) {
+                None => return Ok(Value::Null),
+                Some(o) => o != std::cmp::Ordering::Greater,
+            };
+            Ok(Value::Int(i64::from((ge && le) != *negated)))
+        }
+        Expr::Subquery(select) => {
+            let (cols, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
+            if cols.len() != 1 {
+                return Err(DbError::Semantic("scalar subquery must return one column".into()));
+            }
+            Ok(rows.into_iter().next().and_then(|mut r| r.drain(..).next()).unwrap_or(Value::Null))
+        }
+        Expr::Exists { select, negated } => {
+            let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
+            Ok(Value::Int(i64::from(rows.is_empty() == *negated)))
+        }
+        Expr::Case { operand, branches, else_branch } => {
+            let op_val = operand.as_ref().map(|o| eval(o, ctx, fx)).transpose()?;
+            for (when, then) in branches {
+                let w = eval(when, ctx, fx)?;
+                let hit = match &op_val {
+                    Some(v) => v.sql_eq(&w) == Some(true),
+                    None => w.is_truthy(),
+                };
+                if hit {
+                    return eval(then, ctx, fx);
+                }
+            }
+            match else_branch {
+                Some(e) => eval(e, ctx, fx),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+fn eval_binary(
+    left: &Expr,
+    op: BinaryOp,
+    right: &Expr,
+    ctx: &EvalCtx<'_>,
+    fx: &mut SideEffects,
+) -> Result<Value, DbError> {
+    use BinaryOp::*;
+    // Logical operators need MySQL's three-valued logic.
+    if matches!(op, And | Or | Xor) {
+        let l = eval(left, ctx, fx)?;
+        let r = eval(right, ctx, fx)?;
+        let lt = if l.is_null() { None } else { Some(l.is_truthy()) };
+        let rt = if r.is_null() { None } else { Some(r.is_truthy()) };
+        return Ok(match op {
+            And => match (lt, rt) {
+                (Some(false), _) | (_, Some(false)) => Value::Int(0),
+                (Some(true), Some(true)) => Value::Int(1),
+                _ => Value::Null,
+            },
+            Or => match (lt, rt) {
+                (Some(true), _) | (_, Some(true)) => Value::Int(1),
+                (Some(false), Some(false)) => Value::Int(0),
+                _ => Value::Null,
+            },
+            Xor => match (lt, rt) {
+                (Some(a), Some(b)) => Value::Int(i64::from(a != b)),
+                _ => Value::Null,
+            },
+            _ => unreachable!(),
+        });
+    }
+    let l = eval(left, ctx, fx)?;
+    let r = eval(right, ctx, fx)?;
+    let cmp = |o: Option<std::cmp::Ordering>, f: fn(std::cmp::Ordering) -> bool| match o {
+        None => Value::Null,
+        Some(ord) => Value::Int(i64::from(f(ord))),
+    };
+    Ok(match op {
+        Eq => cmp(l.sql_cmp(&r), |o| o == std::cmp::Ordering::Equal),
+        Ne => cmp(l.sql_cmp(&r), |o| o != std::cmp::Ordering::Equal),
+        Lt => cmp(l.sql_cmp(&r), |o| o == std::cmp::Ordering::Less),
+        Le => cmp(l.sql_cmp(&r), |o| o != std::cmp::Ordering::Greater),
+        Gt => cmp(l.sql_cmp(&r), |o| o == std::cmp::Ordering::Greater),
+        Ge => cmp(l.sql_cmp(&r), |o| o != std::cmp::Ordering::Less),
+        NullSafeEq => Value::Int(i64::from(l.null_safe_eq(&r))),
+        Like => l.sql_like(&r).map_or(Value::Null, |b| Value::Int(i64::from(b))),
+        NotLike => l.sql_like(&r).map_or(Value::Null, |b| Value::Int(i64::from(!b))),
+        Add | Sub | Mul | Div | IntDiv | Mod => {
+            let (Some(a), Some(b)) = (l.to_real(), r.to_real()) else {
+                return Ok(Value::Null);
+            };
+            let both_int = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
+            match op {
+                Add if both_int => Value::Int(a as i64 + b as i64),
+                Sub if both_int => Value::Int(a as i64 - b as i64),
+                Mul if both_int => Value::Int((a as i64).wrapping_mul(b as i64)),
+                Add => Value::Real(a + b),
+                Sub => Value::Real(a - b),
+                Mul => Value::Real(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Real(a / b)
+                    }
+                }
+                IntDiv => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Int((a / b) as i64)
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Real(a % b)
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        BitAnd | BitOr | BitXor | Shl | Shr => {
+            let (Some(a), Some(b)) = (l.to_int(), r.to_int()) else {
+                return Ok(Value::Null);
+            };
+            match op {
+                BitAnd => Value::Int(a & b),
+                BitOr => Value::Int(a | b),
+                BitXor => Value::Int(a ^ b),
+                Shl => Value::Int(a.wrapping_shl(b as u32)),
+                Shr => Value::Int(a.wrapping_shr(b as u32)),
+                _ => unreachable!(),
+            }
+        }
+        And | Or | Xor => unreachable!("handled above"),
+    })
+}
+
+fn eval_aggregate(
+    name: &str,
+    args: &[Expr],
+    ctx: &EvalCtx<'_>,
+    fx: &mut SideEffects,
+) -> Result<Value, DbError> {
+    let group = ctx
+        .group
+        .ok_or_else(|| DbError::Semantic(format!("aggregate {name}() outside grouping")))?;
+    let eval_member = |row: &CRow, e: &Expr, fx: &mut SideEffects| -> Result<Value, DbError> {
+        let member_ctx = EvalCtx { row, group: None, ..*ctx };
+        eval(e, &member_ctx, fx)
+    };
+    match name {
+        "COUNT" => {
+            if args.is_empty() {
+                // COUNT(*)
+                return Ok(Value::Int(group.len() as i64));
+            }
+            let mut n = 0i64;
+            for row in group {
+                if !eval_member(row, &args[0], fx)?.is_null() {
+                    n += 1;
+                }
+            }
+            Ok(Value::Int(n))
+        }
+        "SUM" | "AVG" => {
+            let arg = args.first().ok_or_else(|| {
+                DbError::Semantic(format!("{name}() requires an argument"))
+            })?;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for row in group {
+                let v = eval_member(row, arg, fx)?;
+                if let Some(f) = v.to_real() {
+                    sum += f;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                return Ok(Value::Null);
+            }
+            Ok(if name == "SUM" { Value::Real(sum) } else { Value::Real(sum / n as f64) })
+        }
+        "MIN" | "MAX" => {
+            let arg = args.first().ok_or_else(|| {
+                DbError::Semantic(format!("{name}() requires an argument"))
+            })?;
+            let mut best: Option<Value> = None;
+            for row in group {
+                let v = eval_member(row, arg, fx)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take = match v.sql_cmp(&b) {
+                            Some(std::cmp::Ordering::Greater) => name == "MAX",
+                            Some(std::cmp::Ordering::Less) => name == "MIN",
+                            _ => false,
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        "GROUP_CONCAT" => {
+            let arg = args.first().ok_or_else(|| {
+                DbError::Semantic("GROUP_CONCAT() requires an argument".into())
+            })?;
+            let mut parts = Vec::new();
+            for row in group {
+                let v = eval_member(row, arg, fx)?;
+                if !v.is_null() {
+                    parts.push(v.to_display_string());
+                }
+            }
+            if parts.is_empty() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Str(parts.join(",")))
+            }
+        }
+        other => Err(DbError::Runtime(format!("unknown aggregate {other}()"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+fn expr_has_aggregate(expr: &Expr) -> bool {
+    match expr {
+        Expr::Function { name, args } => {
+            is_aggregate(name) || args.iter().any(expr_has_aggregate)
+        }
+        Expr::Unary { operand, .. } => expr_has_aggregate(operand),
+        Expr::Binary { left, right, .. } => {
+            expr_has_aggregate(left) || expr_has_aggregate(right)
+        }
+        Expr::IsNull { expr, .. } => expr_has_aggregate(expr),
+        Expr::InList { expr, list, .. } => {
+            expr_has_aggregate(expr) || list.iter().any(expr_has_aggregate)
+        }
+        Expr::InSelect { expr, .. } => expr_has_aggregate(expr),
+        Expr::Between { expr, low, high, .. } => {
+            expr_has_aggregate(expr) || expr_has_aggregate(low) || expr_has_aggregate(high)
+        }
+        Expr::Case { operand, branches, else_branch } => {
+            operand.as_deref().is_some_and(expr_has_aggregate)
+                || branches.iter().any(|(w, t)| expr_has_aggregate(w) || expr_has_aggregate(t))
+                || else_branch.as_deref().is_some_and(expr_has_aggregate)
+        }
+        _ => false,
+    }
+}
+
+fn run_select(
+    db: &Database,
+    select: &Select,
+    now: i64,
+    outer: Option<&EvalCtx<'_>>,
+    fx: &mut SideEffects,
+) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    let (columns, mut rows) = run_select_arm(db, select, now, outer, fx)?;
+    // UNION chain: arms concatenate; `UNION` (without ALL) deduplicates.
+    if let Some((all, next)) = &select.union {
+        let (next_cols, next_rows) = run_select(db, next, now, outer, fx)?;
+        if next_cols.len() != columns.len() {
+            return Err(DbError::Semantic(
+                "the used SELECT statements have a different number of columns".into(),
+            ));
+        }
+        rows.extend(next_rows);
+        if !all {
+            let mut seen = std::collections::HashSet::new();
+            rows.retain(|r| seen.insert(row_key(r)));
+        }
+    }
+    Ok((columns, rows))
+}
+
+fn row_key(row: &Row) -> String {
+    let mut k = String::new();
+    for v in row {
+        k.push_str(&format!("{v:?}"));
+        k.push('\u{1f}');
+    }
+    k
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_select_arm(
+    db: &Database,
+    select: &Select,
+    now: i64,
+    outer: Option<&EvalCtx<'_>>,
+    fx: &mut SideEffects,
+) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    // 1. layout + cartesian product of FROM tables
+    let mut layout: Vec<Binding> = Vec::new();
+    for t in &select.from {
+        let store = db.table_or_virtual(&t.name)?;
+        layout.push(Binding { name: t.binding_name().to_string(), schema: store.schema.clone() });
+    }
+    let mut rows: Vec<CRow> = vec![CRow { cells: Vec::new() }];
+    for t in &select.from {
+        let store = db.table_or_virtual(&t.name)?;
+        let mut next = Vec::new();
+        for base in &rows {
+            for (_, row) in store.scan() {
+                let mut cells = base.cells.clone();
+                cells.push(row.clone());
+                next.push(CRow { cells });
+            }
+        }
+        rows = next;
+    }
+    if select.from.is_empty() {
+        // `SELECT 1` — a single empty composite row.
+        rows = vec![CRow { cells: Vec::new() }];
+    }
+
+    // 2. joins
+    for join in &select.joins {
+        let store = db.table_or_virtual(&join.table.name)?;
+        layout.push(Binding {
+            name: join.table.binding_name().to_string(),
+            schema: store.schema.clone(),
+        });
+        let joined_idx = layout.len() - 1;
+        let mut next = Vec::new();
+        for base in &rows {
+            let mut matched = false;
+            for (_, row) in store.scan() {
+                let mut cells = base.cells.clone();
+                cells.push(row.clone());
+                let candidate = CRow { cells };
+                let keep = match &join.on {
+                    None => true,
+                    Some(on) => {
+                        let ctx = EvalCtx {
+                            db,
+                            layout: &layout,
+                            row: &candidate,
+                            group: None,
+                            outer,
+                            now,
+                        };
+                        eval(on, &ctx, fx)?.is_truthy()
+                    }
+                };
+                if keep {
+                    matched = true;
+                    next.push(candidate);
+                }
+            }
+            if !matched && join.kind == JoinKind::Left {
+                let mut cells = base.cells.clone();
+                cells.push(vec![Value::Null; layout[joined_idx].schema.columns.len()]);
+                next.push(CRow { cells });
+            }
+        }
+        rows = next;
+    }
+
+    // 3. WHERE
+    if let Some(where_clause) = &select.where_clause {
+        let mut kept = Vec::new();
+        for row in rows {
+            let ctx = EvalCtx { db, layout: &layout, row: &row, group: None, outer, now };
+            if eval(where_clause, &ctx, fx)?.is_truthy() {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // 4. aggregation decision
+    let has_agg = select.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr_has_aggregate(expr),
+        _ => false,
+    }) || select.having.as_ref().is_some_and(expr_has_aggregate);
+    let grouped = has_agg || !select.group_by.is_empty();
+
+    // 5. projection labels
+    let mut columns: Vec<String> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for b in &layout {
+                    for c in &b.schema.columns {
+                        columns.push(c.name.clone());
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let b = layout
+                    .iter()
+                    .find(|b| b.name.eq_ignore_ascii_case(t))
+                    .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
+                for c in &b.schema.columns {
+                    columns.push(c.name.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+            }
+        }
+    }
+
+    let project = |row: &CRow,
+                   group: Option<&[CRow]>,
+                   fx: &mut SideEffects|
+     -> Result<Row, DbError> {
+        let ctx = EvalCtx { db, layout: &layout, row, group, outer, now };
+        let mut out = Vec::with_capacity(columns.len());
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => {
+                    for (bi, _) in layout.iter().enumerate() {
+                        out.extend(row.cells[bi].iter().cloned());
+                    }
+                }
+                SelectItem::QualifiedWildcard(t) => {
+                    let bi = layout
+                        .iter()
+                        .position(|b| b.name.eq_ignore_ascii_case(t))
+                        .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
+                    out.extend(row.cells[bi].iter().cloned());
+                }
+                SelectItem::Expr { expr, .. } => out.push(eval(expr, &ctx, fx)?),
+            }
+        }
+        Ok(out)
+    };
+
+    let mut result: Vec<Row>;
+    if grouped {
+        // group rows
+        let mut groups: Vec<(CRow, Vec<CRow>)> = Vec::new();
+        if select.group_by.is_empty() {
+            let rep = rows.first().cloned().unwrap_or(CRow {
+                cells: layout
+                    .iter()
+                    .map(|b| vec![Value::Null; b.schema.columns.len()])
+                    .collect(),
+            });
+            groups.push((rep, rows));
+        } else {
+            let mut index: HashMap<String, usize> = HashMap::new();
+            for row in rows {
+                let ctx = EvalCtx { db, layout: &layout, row: &row, group: None, outer, now };
+                let mut key = String::new();
+                for g in &select.group_by {
+                    key.push_str(&format!("{:?}", eval(g, &ctx, fx)?));
+                    key.push('\u{1f}');
+                }
+                match index.get(&key) {
+                    Some(&gi) => groups[gi].1.push(row),
+                    None => {
+                        index.insert(key, groups.len());
+                        groups.push((row.clone(), vec![row]));
+                    }
+                }
+            }
+            // With GROUP BY and no matching rows there is no output at all.
+        }
+        // HAVING + projection
+        result = Vec::new();
+        let mut order_keys: Vec<Vec<Value>> = Vec::new();
+        for (rep, members) in &groups {
+            if let Some(h) = &select.having {
+                let ctx = EvalCtx {
+                    db,
+                    layout: &layout,
+                    row: rep,
+                    group: Some(members),
+                    outer,
+                    now,
+                };
+                if !eval(h, &ctx, fx)?.is_truthy() {
+                    continue;
+                }
+            }
+            result.push(project(rep, Some(members), fx)?);
+            if !select.order_by.is_empty() {
+                let ctx = EvalCtx {
+                    db,
+                    layout: &layout,
+                    row: rep,
+                    group: Some(members),
+                    outer,
+                    now,
+                };
+                let mut keys = Vec::new();
+                for o in &select.order_by {
+                    keys.push(order_key(&o.expr, &ctx, &result[result.len() - 1], fx)?);
+                }
+                order_keys.push(keys);
+            }
+        }
+        if !select.order_by.is_empty() {
+            result = sort_rows(result, order_keys, &select.order_by);
+        }
+    } else {
+        // ORDER BY over raw rows, then project
+        if !select.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, CRow)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let ctx = EvalCtx { db, layout: &layout, row: &row, group: None, outer, now };
+                let projected = project(&row, None, fx)?;
+                let mut keys = Vec::new();
+                for o in &select.order_by {
+                    keys.push(order_key(&o.expr, &ctx, &projected, fx)?);
+                }
+                keyed.push((keys, row));
+            }
+            let order = &select.order_by;
+            keyed.sort_by(|a, b| compare_key_vecs(&a.0, &b.0, order));
+            result = Vec::with_capacity(keyed.len());
+            for (_, row) in keyed {
+                result.push(project(&row, None, fx)?);
+            }
+        } else {
+            result = Vec::with_capacity(rows.len());
+            for row in &rows {
+                result.push(project(row, None, fx)?);
+            }
+        }
+        if select.distinct {
+            let mut seen = std::collections::HashSet::new();
+            result.retain(|r| seen.insert(row_key(r)));
+        }
+    }
+
+    // 6. LIMIT/OFFSET
+    if let Some(limit) = &select.limit {
+        let start = (limit.offset as usize).min(result.len());
+        let end = start.saturating_add(limit.count as usize).min(result.len());
+        result = result[start..end].to_vec();
+    }
+
+    Ok((columns, result))
+}
+
+/// ORDER BY key: positional `ORDER BY 2` picks the projected column (the
+/// form union-based injection probes use); otherwise evaluate the
+/// expression.
+fn order_key(
+    expr: &Expr,
+    ctx: &EvalCtx<'_>,
+    projected: &Row,
+    fx: &mut SideEffects,
+) -> Result<Value, DbError> {
+    if let Expr::Literal(Literal::Int(n)) = expr {
+        let idx = *n as usize;
+        if idx == 0 || idx > projected.len() {
+            return Err(DbError::Semantic(format!("unknown column '{n}' in order clause")));
+        }
+        return Ok(projected[idx - 1].clone());
+    }
+    eval(expr, ctx, fx)
+}
+
+fn compare_key_vecs(a: &[Value], b: &[Value], order: &[OrderBy]) -> std::cmp::Ordering {
+    for (i, o) in order.iter().enumerate() {
+        let ord = match (a[i].is_null(), b[i].is_null()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less, // NULLs sort first in MySQL ASC
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => a[i].sql_cmp(&b[i]).unwrap_or(std::cmp::Ordering::Equal),
+        };
+        let ord = if o.descending { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn sort_rows(rows: Vec<Row>, keys: Vec<Vec<Value>>, order: &[OrderBy]) -> Vec<Row> {
+    let mut zipped: Vec<(Vec<Value>, Row)> = keys.into_iter().zip(rows).collect();
+    zipped.sort_by(|a, b| compare_key_vecs(&a.0, &b.0, order));
+    zipped.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------------
+// INSERT / UPDATE / DELETE
+// ---------------------------------------------------------------------------
+
+fn run_insert(
+    db: &mut Database,
+    insert: &Insert,
+    now: i64,
+    fx: &mut SideEffects,
+) -> Result<QueryOutput, DbError> {
+    let schema = db.table(&insert.table)?.schema.clone();
+    // Resolve target column indexes.
+    let targets: Vec<usize> = if insert.columns.is_empty() {
+        (0..schema.columns.len()).collect()
+    } else {
+        insert
+            .columns
+            .iter()
+            .map(|c| schema.column_index(c))
+            .collect::<Result<_, _>>()?
+    };
+    let source_rows: Vec<Row> = match &insert.source {
+        InsertSource::Values(rows) => {
+            let layout: Vec<Binding> = Vec::new();
+            let crow = CRow { cells: Vec::new() };
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if row.len() != targets.len() {
+                    return Err(DbError::Semantic(
+                        "column count doesn't match value count".into(),
+                    ));
+                }
+                let ctx = EvalCtx { db, layout: &layout, row: &crow, group: None, outer: None, now };
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(eval(e, &ctx, fx)?);
+                }
+                out.push(vals);
+            }
+            out
+        }
+        InsertSource::Select(select) => {
+            let (cols, rows) = run_select(db, select, now, None, fx)?;
+            if cols.len() != targets.len() {
+                return Err(DbError::Semantic("column count doesn't match value count".into()));
+            }
+            rows
+        }
+    };
+    let mut affected = 0usize;
+    let mut last_id = None;
+    for vals in source_rows {
+        let mut full: Row = schema
+            .columns
+            .iter()
+            .map(|c| c.default.clone().unwrap_or(Value::Null))
+            .collect();
+        for (v, &ti) in vals.into_iter().zip(&targets) {
+            full[ti] = schema.columns[ti].coerce(v);
+        }
+        let store = db.table_mut(&insert.table)?;
+        let slot = store.insert(full)?;
+        if let Some(pk) = store.schema.primary_key_index() {
+            last_id = store
+                .scan()
+                .find(|(s, _)| *s == slot)
+                .and_then(|(_, row)| row[pk].to_int());
+        }
+        affected += 1;
+    }
+    Ok(QueryOutput { affected, last_insert_id: last_id, ..QueryOutput::default() })
+}
+
+fn run_update(
+    db: &mut Database,
+    update: &Update,
+    now: i64,
+    fx: &mut SideEffects,
+) -> Result<QueryOutput, DbError> {
+    let schema = db.table(&update.table)?.schema.clone();
+    let layout = vec![Binding { name: schema.name.clone(), schema: schema.clone() }];
+    let targets: Vec<usize> = update
+        .assignments
+        .iter()
+        .map(|(c, _)| schema.column_index(c))
+        .collect::<Result<_, _>>()?;
+    // Plan phase (immutable): decide slot → new row.
+    let mut plan: Vec<(usize, Row)> = Vec::new();
+    {
+        let store = db.table(&update.table)?;
+        for (slot, row) in store.scan() {
+            let crow = CRow { cells: vec![row.clone()] };
+            let ctx = EvalCtx { db, layout: &layout, row: &crow, group: None, outer: None, now };
+            let keep = match &update.where_clause {
+                None => true,
+                Some(w) => eval(w, &ctx, fx)?.is_truthy(),
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for ((_, e), &ti) in update.assignments.iter().zip(&targets) {
+                new_row[ti] = schema.columns[ti].coerce(eval(e, &ctx, fx)?);
+            }
+            plan.push((slot, new_row));
+            if let Some(l) = &update.limit {
+                if plan.len() as u64 >= l.count {
+                    break;
+                }
+            }
+        }
+    }
+    let affected = plan.len();
+    let store = db.table_mut(&update.table)?;
+    for (slot, new_row) in plan {
+        store.update_slot(slot, new_row)?;
+    }
+    Ok(QueryOutput { affected, ..QueryOutput::default() })
+}
+
+fn run_delete(
+    db: &mut Database,
+    delete: &Delete,
+    now: i64,
+    fx: &mut SideEffects,
+) -> Result<QueryOutput, DbError> {
+    let schema = db.table(&delete.table)?.schema.clone();
+    let layout = vec![Binding { name: schema.name.clone(), schema }];
+    let mut victims: Vec<usize> = Vec::new();
+    {
+        let store = db.table(&delete.table)?;
+        for (slot, row) in store.scan() {
+            let crow = CRow { cells: vec![row.clone()] };
+            let ctx = EvalCtx { db, layout: &layout, row: &crow, group: None, outer: None, now };
+            let hit = match &delete.where_clause {
+                None => true,
+                Some(w) => eval(w, &ctx, fx)?.is_truthy(),
+            };
+            if hit {
+                victims.push(slot);
+                if let Some(l) = &delete.limit {
+                    if victims.len() as u64 >= l.count {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let affected = victims.len();
+    let store = db.table_mut(&delete.table)?;
+    for slot in victims {
+        store.delete_slot(slot);
+    }
+    Ok(QueryOutput { affected, ..QueryOutput::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_sql::parse;
+
+    fn run(db: &mut Database, sql: &str) -> QueryOutput {
+        let parsed = parse(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+        execute(db, &parsed.statements[0], 1000)
+            .unwrap_or_else(|e| panic!("exec `{sql}`: {e}"))
+    }
+
+    fn run_err(db: &mut Database, sql: &str) -> DbError {
+        let parsed = parse(sql).expect("parse ok");
+        execute(db, &parsed.statements[0], 1000).expect_err("expected error")
+    }
+
+    fn fixture() -> Database {
+        let mut db = Database::new();
+        run(
+            &mut db,
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, \
+             name VARCHAR(32) NOT NULL, age INT, city VARCHAR(32))",
+        );
+        run(
+            &mut db,
+            "INSERT INTO users (name, age, city) VALUES \
+             ('ann', 31, 'lisbon'), ('bob', 25, 'porto'), ('cyn', 42, 'lisbon'), \
+             ('dan', NULL, 'faro')",
+        );
+        db
+    }
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT name FROM users WHERE age > 30 ORDER BY name");
+        assert_eq!(out.rows, vec![vec![Value::from("ann")], vec![Value::from("cyn")]]);
+    }
+
+    #[test]
+    fn select_star_and_columns() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT * FROM users WHERE id = 1");
+        assert_eq!(out.columns, vec!["id", "name", "age", "city"]);
+        assert_eq!(out.rows[0][1], Value::from("ann"));
+    }
+
+    #[test]
+    fn where_with_coercion_tautology() {
+        // '1'='1' is a tautology; every row matches.
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT id FROM users WHERE name = '' OR '1'='1'");
+        assert_eq!(out.rows.len(), 4);
+        // 'abc' = 0 — MySQL numeric coercion.
+        let out = run(&mut db, "SELECT id FROM users WHERE 'abc' = 0");
+        assert_eq!(out.rows.len(), 4);
+    }
+
+    #[test]
+    fn null_semantics_in_where() {
+        let mut db = fixture();
+        // dan has NULL age: NULL > 30 is NULL → filtered out.
+        let out = run(&mut db, "SELECT name FROM users WHERE age > 0");
+        assert_eq!(out.rows.len(), 3);
+        let out = run(&mut db, "SELECT name FROM users WHERE age IS NULL");
+        assert_eq!(out.rows, vec![vec![Value::from("dan")]]);
+    }
+
+    #[test]
+    fn update_and_delete_affect_counts() {
+        let mut db = fixture();
+        let out = run(&mut db, "UPDATE users SET city = 'lx' WHERE city = 'lisbon'");
+        assert_eq!(out.affected, 2);
+        let out = run(&mut db, "DELETE FROM users WHERE city = 'lx'");
+        assert_eq!(out.affected, 2);
+        let out = run(&mut db, "SELECT COUNT(*) FROM users");
+        assert_eq!(out.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn update_with_limit() {
+        let mut db = fixture();
+        let out = run(&mut db, "UPDATE users SET age = 0 LIMIT 2");
+        assert_eq!(out.affected, 2);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT COUNT(*), AVG(age), MIN(age), MAX(age) FROM users");
+        assert_eq!(
+            out.rows[0],
+            vec![
+                Value::Int(4),
+                Value::Real((31.0 + 25.0 + 42.0) / 3.0),
+                Value::Int(25),
+                Value::Int(42)
+            ]
+        );
+    }
+
+    #[test]
+    fn count_on_empty_table_is_zero() {
+        let mut db = fixture();
+        run(&mut db, "DELETE FROM users");
+        let out = run(&mut db, "SELECT COUNT(*) FROM users");
+        assert_eq!(out.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn group_by_and_having() {
+        let mut db = fixture();
+        let out = run(
+            &mut db,
+            "SELECT city, COUNT(*) AS n FROM users GROUP BY city HAVING COUNT(*) > 1",
+        );
+        assert_eq!(out.rows, vec![vec![Value::from("lisbon"), Value::Int(2)]]);
+        assert_eq!(out.columns, vec!["city", "n"]);
+    }
+
+    #[test]
+    fn order_by_desc_and_positional() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY age DESC");
+        assert_eq!(out.rows[0][0], Value::from("cyn"));
+        let out = run(&mut db, "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY 2");
+        assert_eq!(out.rows[0][0], Value::from("bob"));
+    }
+
+    #[test]
+    fn limit_offset() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT id FROM users ORDER BY id LIMIT 1, 2");
+        assert_eq!(out.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn union_and_column_count_check() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT name FROM users WHERE id = 1 UNION SELECT city FROM users WHERE id = 2");
+        assert_eq!(out.rows.len(), 2);
+        // union dedup
+        let out = run(&mut db, "SELECT city FROM users WHERE id = 1 UNION SELECT city FROM users WHERE id = 3");
+        assert_eq!(out.rows.len(), 1);
+        let err = run_err(&mut db, "SELECT name, age FROM users UNION SELECT city FROM users");
+        assert!(matches!(err, DbError::Semantic(_)));
+    }
+
+    #[test]
+    fn joins() {
+        let mut db = fixture();
+        run(&mut db, "CREATE TABLE pets (id INT PRIMARY KEY AUTO_INCREMENT, owner INT, pname VARCHAR(16))");
+        run(&mut db, "INSERT INTO pets (owner, pname) VALUES (1, 'rex'), (1, 'tom'), (3, 'fly')");
+        let out = run(
+            &mut db,
+            "SELECT u.name, p.pname FROM users u JOIN pets p ON p.owner = u.id ORDER BY p.pname",
+        );
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0], vec![Value::from("cyn"), Value::from("fly")]);
+        let out = run(
+            &mut db,
+            "SELECT u.name, p.pname FROM users u LEFT JOIN pets p ON p.owner = u.id \
+             WHERE p.pname IS NULL ORDER BY u.name",
+        );
+        assert_eq!(out.rows.len(), 2); // bob and dan have no pets
+    }
+
+    #[test]
+    fn subqueries_scalar_in_exists() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT (SELECT MAX(age) FROM users)");
+        assert_eq!(out.scalar(), Some(&Value::Int(42)));
+        let out = run(&mut db, "SELECT name FROM users WHERE id IN (SELECT id FROM users WHERE age > 30)");
+        assert_eq!(out.rows.len(), 2);
+        let out = run(
+            &mut db,
+            "SELECT name FROM users u WHERE EXISTS \
+             (SELECT 1 FROM users v WHERE v.city = u.city AND v.id <> u.id)",
+        );
+        assert_eq!(out.rows.len(), 2); // the two lisboetas
+    }
+
+    #[test]
+    fn insert_select_statement() {
+        let mut db = fixture();
+        run(&mut db, "CREATE TABLE names (n VARCHAR(32))");
+        let out = run(&mut db, "INSERT INTO names (n) SELECT name FROM users WHERE age > 30");
+        assert_eq!(out.affected, 2);
+    }
+
+    #[test]
+    fn insert_defaults_and_auto_increment() {
+        let mut db = fixture();
+        let out = run(&mut db, "INSERT INTO users (name) VALUES ('eve')");
+        assert_eq!(out.last_insert_id, Some(5));
+        let out = run(&mut db, "SELECT age FROM users WHERE id = 5");
+        assert_eq!(out.scalar(), Some(&Value::Null));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let mut db = Database::new();
+        let out = run(&mut db, "SELECT 1 + 1, CONCAT('a', 'b')");
+        assert_eq!(out.rows[0], vec![Value::Int(2), Value::from("ab")]);
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let mut db = Database::new();
+        let out = run(&mut db, "SELECT 1 / 0, 5 DIV 0, 5 % 0");
+        assert_eq!(out.rows[0], vec![Value::Null, Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let mut db = Database::new();
+        let out = run(&mut db, "SELECT NULL AND 0, NULL AND 1, NULL OR 1, NULL OR 0, NOT NULL");
+        assert_eq!(
+            out.rows[0],
+            vec![Value::Int(0), Value::Null, Value::Int(1), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn sleep_side_effect_propagates() {
+        let mut db = Database::new();
+        let out = run(&mut db, "SELECT SLEEP(3)");
+        assert_eq!(out.effects.sleep_seconds, 3.0);
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let mut db = Database::new();
+        let out = run(&mut db, "SELECT 2 IN (1, NULL), 1 IN (1, NULL), 1 NOT IN (2, 3)");
+        assert_eq!(out.rows[0], vec![Value::Null, Value::Int(1), Value::Int(1)]);
+    }
+
+    #[test]
+    fn case_expressions() {
+        let mut db = fixture();
+        let out = run(
+            &mut db,
+            "SELECT name, CASE WHEN age >= 40 THEN 'old' WHEN age >= 30 THEN 'mid' ELSE 'young' END \
+             FROM users WHERE age IS NOT NULL ORDER BY id",
+        );
+        assert_eq!(out.rows[0][1], Value::from("mid"));
+        assert_eq!(out.rows[1][1], Value::from("young"));
+        assert_eq!(out.rows[2][1], Value::from("old"));
+    }
+
+    #[test]
+    fn distinct() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT DISTINCT city FROM users");
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn information_schema_is_queryable() {
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT table_name, table_rows FROM information_schema.tables");
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::from("users"));
+        assert_eq!(out.rows[0][1], Value::Int(4));
+        let out = run(
+            &mut db,
+            "SELECT column_name FROM information_schema.columns \
+             WHERE table_name = 'users' ORDER BY ordinal_position",
+        );
+        assert_eq!(out.rows.len(), 4);
+        assert_eq!(out.rows[0][0], Value::from("id"));
+        // Writes to the virtual views are refused (the INSERT grammar does
+        // not even accept a qualified target; MySQL denies them too).
+        assert!(parse("INSERT INTO information_schema.tables (x) VALUES ('x')").is_err());
+    }
+
+    #[test]
+    fn validate_catches_unknown_tables() {
+        let db = fixture();
+        let parsed = parse("SELECT * FROM nope").unwrap();
+        assert!(matches!(
+            validate(&db, &parsed.statements[0]),
+            Err(DbError::UnknownTable(_))
+        ));
+        let parsed = parse("SELECT * FROM users UNION SELECT * FROM ghosts").unwrap();
+        assert!(validate(&db, &parsed.statements[0]).is_err());
+        let parsed = parse("DROP TABLE IF EXISTS ghosts").unwrap();
+        assert!(validate(&db, &parsed.statements[0]).is_ok());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let mut db = fixture();
+        assert!(matches!(
+            run_err(&mut db, "SELECT ghost FROM users"),
+            DbError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn group_concat_exfiltration_shape() {
+        // The classic one-row exfiltration aggregate used by injections.
+        let mut db = fixture();
+        let out = run(&mut db, "SELECT GROUP_CONCAT(name) FROM users");
+        let Value::Str(s) = out.scalar().unwrap() else { panic!() };
+        assert!(s.contains("ann") && s.contains("dan"));
+    }
+}

@@ -1,0 +1,620 @@
+//! Scalar SQL function implementations (the non-aggregate builtins).
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// Outcome side effects of evaluating scalar functions that do more than
+/// compute a value (currently `SLEEP`/`BENCHMARK`, which time-based blind
+/// injection payloads rely on).
+#[derive(Debug, Default, Clone)]
+pub struct SideEffects {
+    /// Total seconds of `SLEEP()` the query requested. The server adds this
+    /// to the reported latency instead of actually blocking the thread.
+    pub sleep_seconds: f64,
+}
+
+/// Evaluates a scalar builtin over already-evaluated arguments.
+///
+/// # Errors
+///
+/// [`DbError::Runtime`] for unknown functions or arity violations.
+pub fn call_scalar(
+    name: &str,
+    args: &[Value],
+    now: i64,
+    effects: &mut SideEffects,
+) -> Result<Value, DbError> {
+    let need = |n: usize| -> Result<(), DbError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(DbError::Runtime(format!("{name}() expects {n} arguments, got {}", args.len())))
+        }
+    };
+    match name {
+        "CONCAT" => {
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Str(args.iter().map(Value::to_display_string).collect()))
+        }
+        "CONCAT_WS" => {
+            if args.is_empty() {
+                return Err(DbError::Runtime("CONCAT_WS() needs a separator".into()));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let sep = args[0].to_display_string();
+            let parts: Vec<String> = args[1..]
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(Value::to_display_string)
+                .collect();
+            Ok(Value::Str(parts.join(&sep)))
+        }
+        "LENGTH" | "CHAR_LENGTH" | "CHARACTER_LENGTH" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                v => Value::Int(v.to_display_string().chars().count() as i64),
+            })
+        }
+        "UPPER" | "UCASE" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| s.to_uppercase()))
+        }
+        "LOWER" | "LCASE" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| s.to_lowercase()))
+        }
+        "TRIM" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| s.trim().to_string()))
+        }
+        "LTRIM" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| s.trim_start().to_string()))
+        }
+        "RTRIM" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| s.trim_end().to_string()))
+        }
+        "REVERSE" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| s.chars().rev().collect()))
+        }
+        "REPLACE" => {
+            need(3)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let s = args[0].to_display_string();
+            Ok(Value::Str(s.replace(&args[1].to_display_string(), &args[2].to_display_string())))
+        }
+        "SUBSTRING" | "SUBSTR" | "MID" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(DbError::Runtime(format!(
+                    "{name}() expects 2 or 3 arguments, got {}",
+                    args.len()
+                )));
+            }
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let s: Vec<char> = args[0].to_display_string().chars().collect();
+            let pos = args[1].to_int().unwrap_or(0);
+            // MySQL: 1-based; negative counts from the end; 0 yields empty.
+            let start = if pos > 0 {
+                (pos - 1) as usize
+            } else if pos < 0 {
+                s.len().saturating_sub((-pos) as usize)
+            } else {
+                return Ok(Value::Str(String::new()));
+            };
+            let len = match args.get(2) {
+                Some(v) => {
+                    let l = v.to_int().unwrap_or(0);
+                    if l <= 0 {
+                        return Ok(Value::Str(String::new()));
+                    }
+                    l as usize
+                }
+                None => usize::MAX,
+            };
+            Ok(Value::Str(s.iter().skip(start).take(len).collect()))
+        }
+        "LEFT" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let n = args[1].to_int().unwrap_or(0).max(0) as usize;
+            Ok(Value::Str(args[0].to_display_string().chars().take(n).collect()))
+        }
+        "RIGHT" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let s: Vec<char> = args[0].to_display_string().chars().collect();
+            let n = (args[1].to_int().unwrap_or(0).max(0) as usize).min(s.len());
+            Ok(Value::Str(s[s.len() - n..].iter().collect()))
+        }
+        "ABS" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                Value::Int(v) => Value::Int(v.abs()),
+                v => Value::Real(v.to_real().unwrap_or(0.0).abs()),
+            })
+        }
+        "ROUND" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(DbError::Runtime("ROUND() expects 1 or 2 arguments".into()));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Null);
+            }
+            let v = args[0].to_real().unwrap_or(0.0);
+            let d = args.get(1).and_then(Value::to_int).unwrap_or(0);
+            let m = 10f64.powi(d as i32);
+            let r = (v * m).round() / m;
+            Ok(if d <= 0 { Value::Int(r as i64) } else { Value::Real(r) })
+        }
+        "FLOOR" => {
+            need(1)?;
+            Ok(num_to_int(&args[0], f64::floor))
+        }
+        "CEIL" | "CEILING" => {
+            need(1)?;
+            Ok(num_to_int(&args[0], f64::ceil))
+        }
+        "MOD" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let b = args[1].to_real().unwrap_or(0.0);
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            let a = args[0].to_real().unwrap_or(0.0);
+            Ok(Value::Real(a % b))
+        }
+        "COALESCE" => Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+        "IFNULL" => {
+            need(2)?;
+            Ok(if args[0].is_null() { args[1].clone() } else { args[0].clone() })
+        }
+        "NULLIF" => {
+            need(2)?;
+            Ok(if args[0].sql_eq(&args[1]) == Some(true) {
+                Value::Null
+            } else {
+                args[0].clone()
+            })
+        }
+        "IF" => {
+            need(3)?;
+            Ok(if args[0].is_truthy() { args[1].clone() } else { args[2].clone() })
+        }
+        "GREATEST" => fold_extreme(args, true),
+        "LEAST" => fold_extreme(args, false),
+        "NOW" | "CURRENT_TIMESTAMP" | "SYSDATE" | "UNIX_TIMESTAMP" => Ok(Value::Int(now)),
+        "VERSION" => Ok(Value::from("5.7.0-septic-sim")),
+        "DATABASE" | "SCHEMA" => Ok(Value::from("app")),
+        "USER" | "CURRENT_USER" => Ok(Value::from("webapp@localhost")),
+        "MD5" | "SHA1" | "SHA" | "PASSWORD" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                v => Value::Str(pseudo_digest(name, &v.to_display_string())),
+            })
+        }
+        "HEX" => {
+            need(1)?;
+            Ok(map_str(&args[0], |s| {
+                s.bytes().map(|b| format!("{b:02X}")).collect::<String>()
+            }))
+        }
+        "ASCII" | "ORD" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Null => Value::Null,
+                v => Value::Int(
+                    v.to_display_string().bytes().next().map_or(0, i64::from),
+                ),
+            })
+        }
+        "CHAR" => {
+            // CHAR(65, 66) -> "AB" — beloved by obfuscated payloads.
+            let mut s = String::new();
+            for a in args {
+                if let Some(code) = a.to_int() {
+                    if let Some(c) = char::from_u32((code as u32) & 0xff) {
+                        s.push(c);
+                    }
+                }
+            }
+            Ok(Value::Str(s))
+        }
+        "SLEEP" => {
+            need(1)?;
+            effects.sleep_seconds += args[0].to_real().unwrap_or(0.0).max(0.0);
+            Ok(Value::Int(0))
+        }
+        "BENCHMARK" => {
+            need(2)?;
+            // Model BENCHMARK(n, expr) cost as n microseconds.
+            let n = args[0].to_real().unwrap_or(0.0).max(0.0);
+            effects.sleep_seconds += n * 1e-6;
+            Ok(Value::Int(0))
+        }
+        "INSTR" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let hay = args[0].to_display_string().to_lowercase();
+            let needle = args[1].to_display_string().to_lowercase();
+            Ok(Value::Int(find_one_based(&hay, &needle)))
+        }
+        "LOCATE" | "POSITION" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            // LOCATE(substr, str) — argument order is reversed vs INSTR.
+            let needle = args[0].to_display_string().to_lowercase();
+            let hay = args[1].to_display_string().to_lowercase();
+            Ok(Value::Int(find_one_based(&hay, &needle)))
+        }
+        "LPAD" | "RPAD" => {
+            need(3)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let s: Vec<char> = args[0].to_display_string().chars().collect();
+            let target = args[1].to_int().unwrap_or(0).max(0) as usize;
+            let pad: Vec<char> = args[2].to_display_string().chars().collect();
+            if target <= s.len() {
+                return Ok(Value::Str(s[..target].iter().collect()));
+            }
+            if pad.is_empty() {
+                return Ok(Value::Null); // MySQL returns NULL for empty pad
+            }
+            let mut fill: Vec<char> = Vec::with_capacity(target - s.len());
+            while fill.len() < target - s.len() {
+                fill.push(pad[fill.len() % pad.len()]);
+            }
+            let out: String = if name == "LPAD" {
+                fill.into_iter().chain(s).collect()
+            } else {
+                s.into_iter().chain(fill).collect()
+            };
+            Ok(Value::Str(out))
+        }
+        "REPEAT" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            let n = args[1].to_int().unwrap_or(0);
+            if n <= 0 {
+                return Ok(Value::Str(String::new()));
+            }
+            // Cap like MySQL's max_allowed_packet would.
+            let n = (n as usize).min(1 << 20);
+            Ok(Value::Str(args[0].to_display_string().repeat(n)))
+        }
+        "SPACE" => {
+            need(1)?;
+            let n = args[0].to_int().unwrap_or(0).max(0) as usize;
+            Ok(Value::Str(" ".repeat(n.min(1 << 20))))
+        }
+        "STRCMP" => {
+            need(2)?;
+            if args.iter().any(Value::is_null) {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Int(match args[0].sql_cmp(&args[1]) {
+                Some(std::cmp::Ordering::Less) => -1,
+                Some(std::cmp::Ordering::Greater) => 1,
+                _ => 0,
+            }))
+        }
+        "SIGN" => {
+            need(1)?;
+            Ok(match args[0].to_real() {
+                None => Value::Null,
+                Some(v) if v > 0.0 => Value::Int(1),
+                Some(v) if v < 0.0 => Value::Int(-1),
+                Some(_) => Value::Int(0),
+            })
+        }
+        "POW" | "POWER" => {
+            need(2)?;
+            match (args[0].to_real(), args[1].to_real()) {
+                (Some(a), Some(b)) => Ok(Value::Real(a.powf(b))),
+                _ => Ok(Value::Null),
+            }
+        }
+        "SQRT" => {
+            need(1)?;
+            Ok(match args[0].to_real() {
+                None => Value::Null,
+                Some(v) if v < 0.0 => Value::Null,
+                Some(v) => Value::Real(v.sqrt()),
+            })
+        }
+        "TRUNCATE" => {
+            need(2)?;
+            match (args[0].to_real(), args[1].to_int()) {
+                (Some(v), Some(d)) => {
+                    let m = 10f64.powi(d as i32);
+                    Ok(Value::Real((v * m).trunc() / m))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        "BIN" => {
+            need(1)?;
+            Ok(match args[0].to_int() {
+                None => Value::Null,
+                Some(v) => Value::Str(format!("{v:b}")),
+            })
+        }
+        "OCT" => {
+            need(1)?;
+            Ok(match args[0].to_int() {
+                None => Value::Null,
+                Some(v) => Value::Str(format!("{v:o}")),
+            })
+        }
+        "ELT" => {
+            // ELT(n, a, b, c) — the n-th argument, 1-based.
+            if args.len() < 2 {
+                return Err(DbError::Runtime("ELT() needs an index and values".into()));
+            }
+            let n = args[0].to_int().unwrap_or(0);
+            if n < 1 || (n as usize) >= args.len() {
+                return Ok(Value::Null);
+            }
+            Ok(args[n as usize].clone())
+        }
+        "FIELD" => {
+            // FIELD(needle, a, b, c) — 1-based index of needle, 0 if absent.
+            if args.is_empty() {
+                return Err(DbError::Runtime("FIELD() needs arguments".into()));
+            }
+            if args[0].is_null() {
+                return Ok(Value::Int(0));
+            }
+            for (i, candidate) in args[1..].iter().enumerate() {
+                if args[0].sql_eq(candidate) == Some(true) {
+                    return Ok(Value::Int(i as i64 + 1));
+                }
+            }
+            Ok(Value::Int(0))
+        }
+        "RAND" => Ok(Value::Real(0.42)), // deterministic stand-in
+        "LAST_INSERT_ID" => Ok(Value::Int(0)),
+        other => Err(DbError::Runtime(format!("unknown function {other}()"))),
+    }
+}
+
+/// Names the executor treats as aggregates rather than scalars.
+#[must_use]
+pub fn is_aggregate(name: &str) -> bool {
+    matches!(name, "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "GROUP_CONCAT")
+}
+
+/// 1-based position of `needle` in `hay`; 0 when absent (MySQL INSTR).
+fn find_one_based(hay: &str, needle: &str) -> i64 {
+    if needle.is_empty() {
+        return 1;
+    }
+    match hay.find(needle) {
+        Some(byte_pos) => hay[..byte_pos].chars().count() as i64 + 1,
+        None => 0,
+    }
+}
+
+fn map_str(v: &Value, f: impl FnOnce(&str) -> String) -> Value {
+    match v {
+        Value::Null => Value::Null,
+        other => Value::Str(f(&other.to_display_string())),
+    }
+}
+
+fn num_to_int(v: &Value, f: impl FnOnce(f64) -> f64) -> Value {
+    match v {
+        Value::Null => Value::Null,
+        other => Value::Int(f(other.to_real().unwrap_or(0.0)) as i64),
+    }
+}
+
+fn fold_extreme(args: &[Value], greatest: bool) -> Result<Value, DbError> {
+    if args.is_empty() {
+        return Err(DbError::Runtime("GREATEST/LEAST need arguments".into()));
+    }
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    let mut best = args[0].clone();
+    for v in &args[1..] {
+        let take = match v.sql_cmp(&best) {
+            Some(std::cmp::Ordering::Greater) => greatest,
+            Some(std::cmp::Ordering::Less) => !greatest,
+            _ => false,
+        };
+        if take {
+            best = v.clone();
+        }
+    }
+    Ok(best)
+}
+
+/// Deterministic stand-in for MySQL digest functions: not cryptographic,
+/// but stable, hex-shaped and collision-resistant enough for the workloads
+/// (FNV-1a folded to 32 hex chars).
+#[must_use]
+pub fn pseudo_digest(alg: &str, input: &str) -> String {
+    let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in alg.bytes().chain(input.bytes()) {
+        h1 ^= u64::from(b);
+        h1 = h1.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut h2: u64 = h1 ^ 0x9e37_79b9_7f4a_7c15;
+    for b in input.bytes().rev() {
+        h2 ^= u64::from(b);
+        h2 = h2.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h1:016x}{h2:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        let mut fx = SideEffects::default();
+        call_scalar(name, args, 1000, &mut fx).expect("call ok")
+    }
+
+    #[test]
+    fn concat_and_null() {
+        assert_eq!(call("CONCAT", &["a".into(), Value::Int(1)]), Value::from("a1"));
+        assert_eq!(call("CONCAT", &["a".into(), Value::Null]), Value::Null);
+        assert_eq!(
+            call("CONCAT_WS", &[",".into(), "a".into(), Value::Null, "b".into()]),
+            Value::from("a,b")
+        );
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(call("UPPER", &["ab".into()]), Value::from("AB"));
+        assert_eq!(call("LENGTH", &["héllo".into()]), Value::Int(5));
+        assert_eq!(call("SUBSTRING", &["hello".into(), Value::Int(2)]), Value::from("ello"));
+        assert_eq!(
+            call("SUBSTRING", &["hello".into(), Value::Int(2), Value::Int(2)]),
+            Value::from("el")
+        );
+        assert_eq!(call("SUBSTRING", &["hello".into(), Value::Int(-3)]), Value::from("llo"));
+        assert_eq!(call("LEFT", &["hello".into(), Value::Int(2)]), Value::from("he"));
+        assert_eq!(call("RIGHT", &["hello".into(), Value::Int(2)]), Value::from("lo"));
+        assert_eq!(
+            call("REPLACE", &["a-b".into(), "-".into(), "+".into()]),
+            Value::from("a+b")
+        );
+        assert_eq!(call("REVERSE", &["ab".into()]), Value::from("ba"));
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("ABS", &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(call("ROUND", &[Value::Real(2.6)]), Value::Int(3));
+        assert_eq!(call("ROUND", &[Value::Real(2.625), Value::Int(2)]), Value::Real(2.63));
+        assert_eq!(call("FLOOR", &[Value::Real(2.9)]), Value::Int(2));
+        assert_eq!(call("CEIL", &[Value::Real(2.1)]), Value::Int(3));
+        assert_eq!(call("MOD", &[Value::Int(7), Value::Int(0)]), Value::Null);
+    }
+
+    #[test]
+    fn null_handling_functions() {
+        assert_eq!(call("COALESCE", &[Value::Null, Value::Int(2)]), Value::Int(2));
+        assert_eq!(call("IFNULL", &[Value::Null, "x".into()]), Value::from("x"));
+        assert_eq!(call("NULLIF", &[Value::Int(1), Value::Int(1)]), Value::Null);
+        assert_eq!(call("IF", &[Value::Int(0), "t".into(), "f".into()]), Value::from("f"));
+    }
+
+    #[test]
+    fn sleep_records_side_effect() {
+        let mut fx = SideEffects::default();
+        call_scalar("SLEEP", &[Value::Int(5)], 0, &mut fx).unwrap();
+        assert_eq!(fx.sleep_seconds, 5.0);
+        call_scalar("BENCHMARK", &[Value::Int(1_000_000), Value::Int(1)], 0, &mut fx).unwrap();
+        assert!(fx.sleep_seconds > 5.9);
+    }
+
+    #[test]
+    fn obfuscation_helpers() {
+        assert_eq!(call("CHAR", &[Value::Int(65), Value::Int(66)]), Value::from("AB"));
+        assert_eq!(call("HEX", &["AB".into()]), Value::from("4142"));
+        assert_eq!(call("ASCII", &["A".into()]), Value::Int(65));
+    }
+
+    #[test]
+    fn digests_are_stable_and_distinct() {
+        let a = pseudo_digest("MD5", "secret");
+        let b = pseudo_digest("MD5", "secret");
+        let c = pseudo_digest("MD5", "other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn position_functions() {
+        assert_eq!(call("INSTR", &["foobar".into(), "bar".into()]), Value::Int(4));
+        assert_eq!(call("INSTR", &["foobar".into(), "zzz".into()]), Value::Int(0));
+        assert_eq!(call("LOCATE", &["bar".into(), "foobar".into()]), Value::Int(4));
+        assert_eq!(call("INSTR", &["FooBar".into(), "bar".into()]), Value::Int(4));
+        assert_eq!(call("INSTR", &["x".into(), "".into()]), Value::Int(1));
+    }
+
+    #[test]
+    fn padding_and_repeat() {
+        assert_eq!(call("LPAD", &["5".into(), Value::Int(3), "0".into()]), Value::from("005"));
+        assert_eq!(call("RPAD", &["ab".into(), Value::Int(5), "xy".into()]), Value::from("abxyx"));
+        assert_eq!(call("LPAD", &["hello".into(), Value::Int(3), "0".into()]), Value::from("hel"));
+        assert_eq!(call("LPAD", &["a".into(), Value::Int(3), "".into()]), Value::Null);
+        assert_eq!(call("REPEAT", &["ab".into(), Value::Int(3)]), Value::from("ababab"));
+        assert_eq!(call("REPEAT", &["ab".into(), Value::Int(-1)]), Value::from(""));
+        assert_eq!(call("SPACE", &[Value::Int(3)]), Value::from("   "));
+    }
+
+    #[test]
+    fn math_extras() {
+        assert_eq!(call("SIGN", &[Value::Int(-9)]), Value::Int(-1));
+        assert_eq!(call("SIGN", &[Value::Int(0)]), Value::Int(0));
+        assert_eq!(call("POW", &[Value::Int(2), Value::Int(10)]), Value::Real(1024.0));
+        assert_eq!(call("SQRT", &[Value::Int(9)]), Value::Real(3.0));
+        assert_eq!(call("SQRT", &[Value::Int(-1)]), Value::Null);
+        assert_eq!(call("TRUNCATE", &[Value::Real(2.987), Value::Int(2)]), Value::Real(2.98));
+        assert_eq!(call("BIN", &[Value::Int(5)]), Value::from("101"));
+        assert_eq!(call("OCT", &[Value::Int(9)]), Value::from("11"));
+    }
+
+    #[test]
+    fn elt_and_field() {
+        assert_eq!(
+            call("ELT", &[Value::Int(2), "a".into(), "b".into(), "c".into()]),
+            Value::from("b")
+        );
+        assert_eq!(call("ELT", &[Value::Int(9), "a".into()]), Value::Null);
+        assert_eq!(
+            call("FIELD", &["b".into(), "a".into(), "b".into(), "c".into()]),
+            Value::Int(2)
+        );
+        assert_eq!(call("FIELD", &["z".into(), "a".into()]), Value::Int(0));
+        assert_eq!(call("STRCMP", &["a".into(), "b".into()]), Value::Int(-1));
+        assert_eq!(call("STRCMP", &["b".into(), "a".into()]), Value::Int(1));
+        assert_eq!(call("STRCMP", &["A".into(), "a".into()]), Value::Int(0));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let mut fx = SideEffects::default();
+        assert!(call_scalar("LOAD_FILE", &[], 0, &mut fx).is_err());
+    }
+
+    #[test]
+    fn aggregates_identified() {
+        assert!(is_aggregate("COUNT"));
+        assert!(is_aggregate("SUM"));
+        assert!(!is_aggregate("CONCAT"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The pre-execution guard hook — where SEPTIC plugs into the engine.
+//!
+//! The paper: *"SEPTIC runs right before the execution step, after all
+//! potential modifications have been applied to the queries"*. The server
+//! calls the installed [`QueryGuard`] with the fully parsed, validated and
+//! lowered query; the guard's [`GuardDecision`] determines whether the
+//! executor runs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use septic_sql::{ItemStack, Statement};
+
+/// Everything a guard can see about a query at the interception point.
+///
+/// Borrows the server's in-flight structures — the reproduction analogue
+/// of SEPTIC reading MySQL's item list in place rather than copying it.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryContext<'a> {
+    /// The raw query text as received from the client (before charset
+    /// decoding).
+    pub raw_sql: &'a str,
+    /// The query text after connection-charset decoding — what the parser
+    /// actually consumed.
+    pub decoded_sql: &'a str,
+    /// Parsed statements (piggybacked queries arrive as several).
+    pub statements: &'a [Statement],
+    /// The validated item stack (the input to SEPTIC's QS).
+    pub stack: &'a ItemStack,
+    /// Bodies of `/* ... */` comments (external query identifiers).
+    pub comments: &'a [String],
+    /// True when a line comment swallowed the tail of the query.
+    pub trailing_line_comment: bool,
+    /// String literals appearing in `INSERT`/`UPDATE` statements — the
+    /// candidate user inputs for stored-injection plugins.
+    pub write_data: &'a [String],
+}
+
+impl QueryContext<'_> {
+    /// The command name of the first statement (`SELECT`, `INSERT`, …).
+    #[must_use]
+    pub fn command(&self) -> &'static str {
+        self.statements.first().map_or("EMPTY", Statement::command)
+    }
+}
+
+/// Guard verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardDecision {
+    /// Let the executor run the query.
+    Proceed,
+    /// Drop the query; the client receives [`crate::DbError::Blocked`] with
+    /// the given reason.
+    Block(String),
+}
+
+impl fmt::Display for GuardDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardDecision::Proceed => f.write_str("proceed"),
+            GuardDecision::Block(r) => write!(f, "block: {r}"),
+        }
+    }
+}
+
+/// A pre-execution query inspector (SEPTIC implements this).
+pub trait QueryGuard: Send + Sync {
+    /// Inspects a validated query immediately before execution.
+    fn inspect(&self, ctx: &QueryContext<'_>) -> GuardDecision;
+
+    /// Guard name for the server log.
+    fn name(&self) -> &str {
+        "guard"
+    }
+}
+
+/// Shared guard handle installed on a server.
+pub type SharedGuard = Arc<dyn QueryGuard>;
+
+/// A guard that lets everything through (the "vanilla MySQL" baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl QueryGuard for AllowAll {
+    fn inspect(&self, _ctx: &QueryContext<'_>) -> GuardDecision {
+        GuardDecision::Proceed
+    }
+
+    fn name(&self) -> &str {
+        "allow-all"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_all_proceeds() {
+        let stack = ItemStack::new();
+        let ctx = QueryContext {
+            raw_sql: "SELECT 1",
+            decoded_sql: "SELECT 1",
+            statements: &[],
+            stack: &stack,
+            comments: &[],
+            trailing_line_comment: false,
+            write_data: &[],
+        };
+        assert_eq!(AllowAll.inspect(&ctx), GuardDecision::Proceed);
+        assert_eq!(ctx.command(), "EMPTY");
+    }
+
+    #[test]
+    fn decision_display() {
+        assert_eq!(GuardDecision::Proceed.to_string(), "proceed");
+        assert_eq!(GuardDecision::Block("x".into()).to_string(), "block: x");
+    }
+}

@@ -1,0 +1,41 @@
+//! # septic-dbms
+//!
+//! An in-memory, MySQL-like relational engine with a **pre-execution guard
+//! hook** — the substrate the SEPTIC reproduction runs inside of, standing
+//! in for a patched MySQL server.
+//!
+//! The pipeline mirrors MySQL's: the server receives raw query bytes,
+//! decodes them from the connection charset (folding Unicode homoglyphs the
+//! way `utf8_general_ci` does), parses and validates them, lowers the
+//! statements to the item-stack representation, then invokes the installed
+//! [`guard::QueryGuard`] *right before execution* — exactly the point the
+//! paper inserts SEPTIC at — and finally executes.
+//!
+//! ```
+//! use septic_dbms::Server;
+//!
+//! let server = Server::new();
+//! let conn = server.connect();
+//! conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)")?;
+//! conn.execute("INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)")?;
+//! let out = conn.query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")?;
+//! assert_eq!(out.rows.len(), 1);
+//! # Ok::<(), septic_dbms::DbError>(())
+//! ```
+
+pub mod bind;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod guard;
+pub mod server;
+pub mod storage;
+pub mod value;
+
+pub use error::DbError;
+pub use exec::QueryOutput;
+pub use guard::{AllowAll, GuardDecision, QueryContext, QueryGuard, SharedGuard};
+pub use server::{Connection, ExecResult, GeneralLogEntry, Server, ServerConfig};
+pub use storage::{Database, Row, TableStore};
+pub use value::Value;

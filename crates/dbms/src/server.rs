@@ -1,0 +1,565 @@
+//! The server front end: receive → decode → parse → validate → lower →
+//! **guard** → execute.
+//!
+//! This is the MySQL stand-in of the reproduction. A [`Server`] owns the
+//! database, an optional [`crate::guard::QueryGuard`] (SEPTIC), a general log and a
+//! logical clock; [`Connection`]s are cheap handles that run queries
+//! through the full pipeline.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use septic_sql::ast::InsertSource;
+use septic_sql::{charset, items, parse, Statement};
+
+use crate::error::DbError;
+use crate::exec::{execute, validate, QueryOutput};
+use crate::guard::{GuardDecision, QueryContext, SharedGuard};
+use crate::storage::Database;
+use crate::value::Value;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Whether stacked (`;`-separated) statements are accepted in one call.
+    /// Mirrors MySQL's `CLIENT_MULTI_STATEMENTS`; the demo's piggyback
+    /// attacks need it on.
+    pub allow_multi_statements: bool,
+    /// Capacity of the in-memory general log.
+    pub general_log_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { allow_multi_statements: true, general_log_capacity: 4096 }
+    }
+}
+
+/// One entry of the general query log.
+#[derive(Debug, Clone)]
+pub struct GeneralLogEntry {
+    /// Logical timestamp (monotone per server).
+    pub at: i64,
+    /// The raw query as received.
+    pub sql: String,
+    /// Outcome summary: `ok`, `blocked: …` or `error: …`.
+    pub outcome: String,
+}
+
+/// Result of one client call (possibly several stacked statements).
+#[derive(Debug, Clone, Default)]
+pub struct ExecResult {
+    /// Output per executed statement, in order.
+    pub outputs: Vec<QueryOutput>,
+    /// Wall-clock time spent in the pipeline.
+    pub elapsed: Duration,
+    /// Additional *simulated* latency requested by the query itself
+    /// (`SLEEP`, `BENCHMARK`) — the time-based blind injection channel.
+    pub simulated_delay: Duration,
+}
+
+impl ExecResult {
+    /// The last statement's output (the result set a client API reports).
+    #[must_use]
+    pub fn last(&self) -> Option<&QueryOutput> {
+        self.outputs.last()
+    }
+
+    /// Total latency a client would observe (wall + simulated).
+    #[must_use]
+    pub fn observed_latency(&self) -> Duration {
+        self.elapsed + self.simulated_delay
+    }
+}
+
+/// The DBMS server.
+pub struct Server {
+    db: RwLock<Database>,
+    guard: RwLock<Option<SharedGuard>>,
+    config: ServerConfig,
+    clock: AtomicI64,
+    general_log: Mutex<Vec<GeneralLogEntry>>,
+    /// Total simulated delay (`SLEEP`/`BENCHMARK`) accumulated across all
+    /// queries — the observable for time-based blind injection.
+    simulated_total_micros: AtomicI64,
+}
+
+impl Server {
+    /// Creates a server with the default configuration and empty database.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Self::with_config(ServerConfig::default())
+    }
+
+    /// Creates a server with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: ServerConfig) -> Arc<Self> {
+        Arc::new(Server {
+            db: RwLock::new(Database::new()),
+            guard: RwLock::new(None),
+            config,
+            clock: AtomicI64::new(1_000_000),
+            general_log: Mutex::new(Vec::new()),
+            simulated_total_micros: AtomicI64::new(0),
+        })
+    }
+
+    /// Installs (or replaces) the pre-execution guard. Passing a SEPTIC
+    /// instance here is the reproduction's analogue of recompiling MySQL
+    /// with SEPTIC linked in.
+    pub fn install_guard(&self, guard: SharedGuard) {
+        *self.guard.write() = Some(guard);
+    }
+
+    /// Removes the guard (vanilla MySQL baseline).
+    pub fn remove_guard(&self) {
+        *self.guard.write() = None;
+    }
+
+    /// True when a guard is installed.
+    #[must_use]
+    pub fn has_guard(&self) -> bool {
+        self.guard.read().is_some()
+    }
+
+    /// Opens a connection.
+    #[must_use]
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        Connection { server: Arc::clone(self) }
+    }
+
+    /// Snapshot of the general log.
+    #[must_use]
+    pub fn general_log(&self) -> Vec<GeneralLogEntry> {
+        self.general_log.lock().clone()
+    }
+
+    /// Clears the general log.
+    pub fn clear_general_log(&self) {
+        self.general_log.lock().clear();
+    }
+
+    /// Direct read access to the database (test/bench support).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    /// Total simulated (`SLEEP`/`BENCHMARK`) delay the server has been
+    /// asked for since start. Time-based blind probes observe deltas of
+    /// this value — the deterministic stand-in for wall-clock stalls.
+    #[must_use]
+    pub fn simulated_delay_total(&self) -> Duration {
+        Duration::from_micros(
+            self.simulated_total_micros.load(Ordering::Relaxed).max(0) as u64,
+        )
+    }
+
+    fn log(&self, at: i64, sql: &str, outcome: String) {
+        let mut log = self.general_log.lock();
+        if log.len() >= self.config.general_log_capacity {
+            let drop_n = log.len() / 2;
+            log.drain(..drop_n);
+        }
+        log.push(GeneralLogEntry { at, sql: sql.to_string(), outcome });
+    }
+
+    fn run(&self, raw_sql: &str, params: Option<&[Value]>) -> Result<ExecResult, DbError> {
+        let started = Instant::now();
+        let at = self.clock.fetch_add(1, Ordering::Relaxed);
+
+        // 1. connection-charset decoding (the semantic-mismatch step).
+        //    Prepared-statement *templates* are programmer text and decode
+        //    harmlessly; bound values never pass through here.
+        let decoded = charset::decode(raw_sql);
+
+        // 2. parse
+        let mut parsed = match parse(&decoded.text) {
+            Ok(p) => p,
+            Err(e) => {
+                self.log(at, raw_sql, format!("error: {e}"));
+                return Err(e.into());
+            }
+        };
+        if parsed.statements.len() > 1 && (!self.config.allow_multi_statements || params.is_some())
+        {
+            let err = DbError::Semantic("multi-statement queries are disabled".into());
+            self.log(at, raw_sql, format!("error: {err}"));
+            return Err(err);
+        }
+
+        // 2b. server-side parameter binding (prepared statements)
+        if let Some(values) = params {
+            for stmt in &mut parsed.statements {
+                match crate::bind::bind_params(stmt, values) {
+                    Ok(bound) => *stmt = bound,
+                    Err(e) => {
+                        self.log(at, raw_sql, format!("error: {e}"));
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // 3. validate (DBMS-side name checks — runs before the guard, as in
+        //    the paper's "Q received, parsed & validated by the DBMS")
+        {
+            let db = self.db.read();
+            for stmt in &parsed.statements {
+                if let Err(e) = validate(&db, stmt) {
+                    self.log(at, raw_sql, format!("error: {e}"));
+                    return Err(e);
+                }
+            }
+        }
+
+        // 4. lower to the item stack
+        let stack = items::lower_all(&parsed.statements);
+
+        // 5+6. guard (SEPTIC hook): user data of INSERT/UPDATE statements
+        //       is gathered only when a guard is installed.
+        let guard = self.guard.read().clone();
+        if let Some(guard) = guard {
+            let mut write_data: Vec<String> = Vec::new();
+            for stmt in &parsed.statements {
+                collect_write_data(stmt, &mut write_data);
+            }
+            let ctx = QueryContext {
+                raw_sql,
+                decoded_sql: &decoded.text,
+                statements: &parsed.statements,
+                stack: &stack,
+                comments: &parsed.comments,
+                trailing_line_comment: parsed.trailing_line_comment,
+                write_data: &write_data,
+            };
+            if let GuardDecision::Block(reason) = guard.inspect(&ctx) {
+                self.log(at, raw_sql, format!("blocked: {reason}"));
+                return Err(DbError::Blocked(reason));
+            }
+        }
+        drop(stack);
+
+        // 7. execute
+        let mut outputs = Vec::with_capacity(parsed.statements.len());
+        let mut simulated = Duration::ZERO;
+        {
+            let mut db = self.db.write();
+            for stmt in &parsed.statements {
+                match execute(&mut db, stmt, at) {
+                    Ok(out) => {
+                        let delay = Duration::from_secs_f64(out.effects.sleep_seconds);
+                        simulated += delay;
+                        self.simulated_total_micros
+                            .fetch_add(delay.as_micros() as i64, Ordering::Relaxed);
+                        outputs.push(out);
+                    }
+                    Err(e) => {
+                        self.log(at, raw_sql, format!("error: {e}"));
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        self.log(at, raw_sql, "ok".to_string());
+        Ok(ExecResult { outputs, elapsed: started.elapsed(), simulated_delay: simulated })
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server {
+            db: RwLock::new(Database::new()),
+            guard: RwLock::new(None),
+            config: ServerConfig::default(),
+            clock: AtomicI64::new(1_000_000),
+            general_log: Mutex::new(Vec::new()),
+            simulated_total_micros: AtomicI64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("has_guard", &self.has_guard())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Extracts string literals from `INSERT`/`UPDATE` statements (the user
+/// inputs stored-injection plugins scan).
+fn collect_write_data(stmt: &Statement, out: &mut Vec<String>) {
+    match stmt {
+        Statement::Insert(i) => {
+            if let InsertSource::Values(rows) = &i.source {
+                for row in rows {
+                    for e in row {
+                        let mut lits = Vec::new();
+                        e.collect_string_literals(&mut lits);
+                        out.extend(lits.into_iter().map(String::from));
+                    }
+                }
+            }
+        }
+        Statement::Update(u) => {
+            for (_, e) in &u.assignments {
+                let mut lits = Vec::new();
+                e.collect_string_literals(&mut lits);
+                out.extend(lits.into_iter().map(String::from));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A client connection to a [`Server`].
+#[derive(Clone)]
+pub struct Connection {
+    server: Arc<Server>,
+}
+
+impl Connection {
+    /// Runs a query through the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Parse, validation, constraint, runtime errors — or
+    /// [`DbError::Blocked`] when the guard drops the query.
+    pub fn execute(&self, sql: &str) -> Result<ExecResult, DbError> {
+        self.server.run(sql, None)
+    }
+
+    /// Runs a prepared statement: `?` placeholders in the template are
+    /// bound server-side to `params` — the values never enter query text,
+    /// so neither charset decoding nor quote processing applies to them.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::execute`], plus parameter-count mismatches.
+    pub fn execute_prepared(&self, sql: &str, params: &[Value]) -> Result<ExecResult, DbError> {
+        self.server.run(sql, Some(params))
+    }
+
+    /// Convenience: prepared execution returning the last output.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::execute_prepared`].
+    pub fn query_prepared(&self, sql: &str, params: &[Value]) -> Result<QueryOutput, DbError> {
+        let mut result = self.server.run(sql, Some(params))?;
+        Ok(result.outputs.pop().unwrap_or_default())
+    }
+
+    /// Convenience: run and return the last statement's output.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::execute`].
+    pub fn query(&self, sql: &str) -> Result<QueryOutput, DbError> {
+        let mut result = self.server.run(sql, None)?;
+        Ok(result.outputs.pop().unwrap_or_default())
+    }
+
+    /// The server this connection talks to.
+    #[must_use]
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{AllowAll, GuardDecision, QueryGuard};
+    use crate::value::Value;
+
+    #[test]
+    fn end_to_end_pipeline() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v VARCHAR(8))")
+            .unwrap();
+        conn.execute("INSERT INTO t (v) VALUES ('a')").unwrap();
+        let out = conn.query("SELECT v FROM t WHERE id = 1").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::from("a")));
+    }
+
+    #[test]
+    fn charset_decoding_happens_before_parse() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT, v VARCHAR(20))").unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (1, 'x')").unwrap();
+        // U+02BC closes the string at the DBMS even though the app saw no
+        // ASCII quote; the `-- ` comments out the tail.
+        let out = conn
+            .query("SELECT v FROM t WHERE v = 'x\u{02BC} OR 1=1-- '")
+            .unwrap();
+        // 'x' OR 1=1 → tautology matches the row.
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn guard_block_drops_query() {
+        struct DenySelect;
+        impl QueryGuard for DenySelect {
+            fn inspect(&self, ctx: &QueryContext<'_>) -> GuardDecision {
+                if ctx.command() == "SELECT" {
+                    GuardDecision::Block("no selects".into())
+                } else {
+                    GuardDecision::Proceed
+                }
+            }
+        }
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        server.install_guard(Arc::new(DenySelect));
+        conn.execute("INSERT INTO t (id) VALUES (1)").unwrap();
+        let err = conn.execute("SELECT * FROM t").unwrap_err();
+        assert!(matches!(err, DbError::Blocked(_)));
+        // The blocked query never executed; the table still has one row.
+        server.remove_guard();
+        assert_eq!(conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn guard_sees_write_data() {
+        struct Capture(Mutex<Vec<String>>);
+        impl QueryGuard for Capture {
+            fn inspect(&self, ctx: &QueryContext<'_>) -> GuardDecision {
+                self.0.lock().extend(ctx.write_data.iter().cloned());
+                GuardDecision::Proceed
+            }
+        }
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (a VARCHAR(64), b VARCHAR(64))").unwrap();
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        server.install_guard(cap.clone());
+        conn.execute("INSERT INTO t (a, b) VALUES ('<script>x</script>', 'ok')").unwrap();
+        conn.execute("UPDATE t SET a = 'new' WHERE b = 'filter-not-captured'").unwrap();
+        let seen = cap.0.lock().clone();
+        assert!(seen.contains(&"<script>x</script>".to_string()));
+        assert!(seen.contains(&"new".to_string()));
+        // WHERE-clause literals of UPDATE are not write data.
+        assert!(!seen.contains(&"filter-not-captured".to_string()));
+    }
+
+    #[test]
+    fn multi_statement_toggle() {
+        let server = Server::with_config(ServerConfig {
+            allow_multi_statements: false,
+            ..ServerConfig::default()
+        });
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        let err = conn.execute("SELECT 1; SELECT 2").unwrap_err();
+        assert!(matches!(err, DbError::Semantic(_)));
+        let server = Server::new();
+        let conn = server.connect();
+        let res = conn.execute("SELECT 1; SELECT 2").unwrap();
+        assert_eq!(res.outputs.len(), 2);
+    }
+
+    #[test]
+    fn general_log_records_outcomes() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        conn.execute("INSERT INTO t (id) VALUES (1)").unwrap();
+        let _ = conn.execute("SELECT broken FROM t");
+        server.install_guard(Arc::new(AllowAll));
+        conn.execute("SELECT * FROM t").unwrap();
+        let log = server.general_log();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log[0].outcome, "ok");
+        assert!(log[2].outcome.starts_with("error"));
+        assert_eq!(log[3].outcome, "ok");
+        server.clear_general_log();
+        assert!(server.general_log().is_empty());
+    }
+
+    #[test]
+    fn sleep_reports_simulated_delay_without_blocking() {
+        let server = Server::new();
+        let conn = server.connect();
+        let before = server.simulated_delay_total();
+        let res = conn.execute("SELECT SLEEP(5)").unwrap();
+        assert_eq!(res.simulated_delay, Duration::from_secs(5));
+        assert_eq!(server.simulated_delay_total() - before, Duration::from_secs(5));
+        // Wall time is far below the simulated delay — we did not block.
+        assert!(res.elapsed < Duration::from_secs(1));
+        assert!(res.observed_latency() >= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn prepared_statements_bind_server_side() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v VARCHAR(40))")
+            .unwrap();
+        // A value full of SQL syntax is stored verbatim: it never enters
+        // query text.
+        let payload = "x' OR 1=1; DROP TABLE t-- ";
+        conn.execute_prepared("INSERT INTO t (v) VALUES (?)", &[Value::from(payload)])
+            .unwrap();
+        let out = conn
+            .query_prepared("SELECT v FROM t WHERE v = ?", &[Value::from(payload)])
+            .unwrap();
+        assert_eq!(out.scalar(), Some(&Value::from(payload)));
+    }
+
+    #[test]
+    fn prepared_statements_preserve_homoglyphs() {
+        // The second-order setup: U+02BC survives storage through a
+        // prepared INSERT (no charset decoding applies to bound values)…
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE devices (name VARCHAR(40))").unwrap();
+        let stored = "ID34FG\u{02BC}-- ";
+        conn.execute_prepared("INSERT INTO devices (name) VALUES (?)", &[Value::from(stored)])
+            .unwrap();
+        let out = conn.query("SELECT name FROM devices").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::from(stored)));
+        // …whereas embedding the same bytes in query text would have been
+        // folded (and here, broken the statement).
+        assert!(conn
+            .execute(&format!("INSERT INTO devices (name) VALUES ('{stored}')"))
+            .is_err());
+    }
+
+    #[test]
+    fn prepared_rejects_stacked_statements() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        assert!(conn
+            .execute_prepared("SELECT 1; SELECT 2", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn validation_precedes_guard() {
+        struct Panic;
+        impl QueryGuard for Panic {
+            fn inspect(&self, _: &QueryContext<'_>) -> GuardDecision {
+                panic!("guard must not run for invalid queries")
+            }
+        }
+        let server = Server::new();
+        server.install_guard(Arc::new(Panic));
+        let conn = server.connect();
+        let err = conn.execute("SELECT * FROM missing").unwrap_err();
+        assert!(matches!(err, DbError::UnknownTable(_)));
+    }
+}

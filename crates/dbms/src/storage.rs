@@ -1,0 +1,448 @@
+//! In-memory row storage with primary-key indexes.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::catalog::TableSchema;
+use crate::error::DbError;
+use crate::value::Value;
+
+
+/// A stored row.
+pub type Row = Vec<Value>;
+
+/// Storage for one table: rows in insertion order plus an optional
+/// primary-key index (integer PKs, which is what `AUTO_INCREMENT` produces).
+#[derive(Debug, Clone)]
+pub struct TableStore {
+    pub schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    /// live row count (rows minus tombstones)
+    live: usize,
+    /// PK value → slot, for integer primary keys.
+    pk_index: BTreeMap<i64, usize>,
+    next_auto_increment: i64,
+}
+
+impl TableStore {
+    /// Creates an empty store for the schema.
+    #[must_use]
+    pub fn new(schema: TableSchema) -> Self {
+        TableStore {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            pk_index: BTreeMap::new(),
+            next_auto_increment: 1,
+        }
+    }
+
+    /// Number of live rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when the table has no live rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a fully-resolved row (one value per column, already coerced).
+    /// Fills `AUTO_INCREMENT` when the PK cell is NULL.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotNull`] and [`DbError::DuplicateKey`] on constraint
+    /// violations.
+    pub fn insert(&mut self, mut row: Row) -> Result<usize, DbError> {
+        debug_assert_eq!(row.len(), self.schema.columns.len());
+        if let Some(pk) = self.schema.primary_key_index() {
+            if row[pk].is_null() && self.schema.columns[pk].auto_increment {
+                row[pk] = Value::Int(self.next_auto_increment);
+            }
+        }
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if col.not_null && row[i].is_null() {
+                return Err(DbError::NotNull(col.name.clone()));
+            }
+        }
+        if let Some(pk) = self.schema.primary_key_index() {
+            if let Some(key) = row[pk].to_int() {
+                if self.pk_index.contains_key(&key) {
+                    return Err(DbError::DuplicateKey(key.to_string()));
+                }
+                self.pk_index.insert(key, self.rows.len());
+                if key >= self.next_auto_increment {
+                    self.next_auto_increment = key + 1;
+                }
+            }
+        }
+        let slot = self.rows.len();
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(slot)
+    }
+
+    /// Iterates over live rows with their slot numbers.
+    pub fn scan(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
+    }
+
+    /// Point lookup through the PK index.
+    #[must_use]
+    pub fn get_by_pk(&self, key: i64) -> Option<&Row> {
+        self.pk_index.get(&key).and_then(|&slot| self.rows[slot].as_ref())
+    }
+
+    /// Replaces the row in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Constraint errors as in [`TableStore::insert`]; `Runtime` if the slot
+    /// is dead.
+    pub fn update_slot(&mut self, slot: usize, row: Row) -> Result<(), DbError> {
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if col.not_null && row[i].is_null() {
+                return Err(DbError::NotNull(col.name.clone()));
+            }
+        }
+        let old = self.rows.get_mut(slot).and_then(Option::as_mut).ok_or_else(|| {
+            DbError::Runtime(format!("update of dead slot {slot}"))
+        })?;
+        if let Some(pk) = self.schema.primary_key_index() {
+            let old_key = old[pk].to_int();
+            let new_key = row[pk].to_int();
+            if old_key != new_key {
+                if let Some(nk) = new_key {
+                    if self.pk_index.contains_key(&nk) {
+                        return Err(DbError::DuplicateKey(nk.to_string()));
+                    }
+                    self.pk_index.insert(nk, slot);
+                }
+                if let Some(ok) = old_key {
+                    self.pk_index.remove(&ok);
+                }
+            }
+        }
+        *self.rows[slot].as_mut().expect("checked above") = row;
+        Ok(())
+    }
+
+    /// Deletes the row in `slot` (no-op when already dead).
+    pub fn delete_slot(&mut self, slot: usize) {
+        if let Some(row) = self.rows.get_mut(slot).and_then(Option::take) {
+            if let Some(pk) = self.schema.primary_key_index() {
+                if let Some(key) = row[pk].to_int() {
+                    self.pk_index.remove(&key);
+                }
+            }
+            self.live -= 1;
+        }
+    }
+}
+
+/// The database: a set of named tables, plus synthesized
+/// `information_schema` views (the catalog surface UNION-based attackers
+/// enumerate schemas through).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, TableStore>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] unless `if_not_exists`.
+    pub fn create_table(
+        &mut self,
+        schema: TableSchema,
+        if_not_exists: bool,
+    ) -> Result<bool, DbError> {
+        let key = schema.name.clone();
+        if self.tables.contains_key(&key) {
+            if if_not_exists {
+                return Ok(false);
+            }
+            return Err(DbError::TableExists(key));
+        }
+        self.tables.insert(key, TableStore::new(schema));
+        Ok(true)
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] unless `if_exists`.
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<bool, DbError> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.remove(&key).is_none() {
+            if if_exists {
+                return Ok(false);
+            }
+            return Err(DbError::UnknownTable(name.to_string()));
+        }
+        Ok(true)
+    }
+
+    /// Immutable table lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when absent.
+    pub fn table(&self, name: &str) -> Result<&TableStore, DbError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when absent.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableStore, DbError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// True when the table exists.
+    #[must_use]
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Synthesizes the MySQL `information_schema` views this engine
+    /// exposes: `information_schema.tables` and
+    /// `information_schema.columns`. Returns `None` for other names.
+    #[must_use]
+    pub fn virtual_table(&self, name: &str) -> Option<TableStore> {
+        use septic_sql::ast::{ColumnDef, ColumnType};
+        let varchar = |name: &str| ColumnDef {
+            name: name.to_string(),
+            column_type: ColumnType::Varchar(128),
+            not_null: true,
+            primary_key: false,
+            auto_increment: false,
+            default: None,
+        };
+        let int = |name: &str| ColumnDef {
+            name: name.to_string(),
+            column_type: ColumnType::BigInt,
+            not_null: true,
+            primary_key: false,
+            auto_increment: false,
+            default: None,
+        };
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        match name.to_ascii_lowercase().as_str() {
+            "information_schema.tables" => {
+                let schema = TableSchema::new(
+                    "information_schema.tables",
+                    &[varchar("table_schema"), varchar("table_name"), int("table_rows")],
+                );
+                let mut store = TableStore::new(schema);
+                for table_name in names {
+                    let rows = self.tables[table_name].len() as i64;
+                    store
+                        .insert(vec![
+                            Value::from("app"),
+                            Value::from(table_name.clone()),
+                            Value::Int(rows),
+                        ])
+                        .expect("schema rows are well-formed");
+                }
+                Some(store)
+            }
+            "information_schema.columns" => {
+                let schema = TableSchema::new(
+                    "information_schema.columns",
+                    &[
+                        varchar("table_schema"),
+                        varchar("table_name"),
+                        varchar("column_name"),
+                        varchar("data_type"),
+                        int("ordinal_position"),
+                    ],
+                );
+                let mut store = TableStore::new(schema);
+                for table_name in names {
+                    for (i, column) in self.tables[table_name].schema.columns.iter().enumerate() {
+                        store
+                            .insert(vec![
+                                Value::from("app"),
+                                Value::from(table_name.clone()),
+                                Value::from(column.name.clone()),
+                                Value::from(column.column_type.to_string()),
+                                Value::Int(i as i64 + 1),
+                            ])
+                            .expect("schema rows are well-formed");
+                    }
+                }
+                Some(store)
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolves a physical table or a synthesized `information_schema`
+    /// view.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownTable`] when neither exists.
+    pub fn table_or_virtual(&self, name: &str) -> Result<std::borrow::Cow<'_, TableStore>, DbError> {
+        if let Ok(store) = self.table(name) {
+            return Ok(std::borrow::Cow::Borrowed(store));
+        }
+        self.virtual_table(name)
+            .map(std::borrow::Cow::Owned)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// True when the name resolves to a physical table or a virtual view.
+    #[must_use]
+    pub fn has_table_or_virtual(&self, name: &str) -> bool {
+        self.has_table(name)
+            || matches!(
+                name.to_ascii_lowercase().as_str(),
+                "information_schema.tables" | "information_schema.columns"
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use septic_sql::ast::{ColumnDef, ColumnType};
+
+    fn users_schema() -> TableSchema {
+        TableSchema::new(
+            "users",
+            &[
+                ColumnDef {
+                    name: "id".into(),
+                    column_type: ColumnType::Int,
+                    not_null: false,
+                    primary_key: true,
+                    auto_increment: true,
+                    default: None,
+                },
+                ColumnDef {
+                    name: "name".into(),
+                    column_type: ColumnType::Varchar(32),
+                    not_null: true,
+                    primary_key: false,
+                    auto_increment: false,
+                    default: None,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn auto_increment_fills_null_pk() {
+        let mut t = TableStore::new(users_schema());
+        t.insert(vec![Value::Null, Value::from("a")]).unwrap();
+        t.insert(vec![Value::Null, Value::from("b")]).unwrap();
+        assert_eq!(t.get_by_pk(1).unwrap()[1], Value::from("a"));
+        assert_eq!(t.get_by_pk(2).unwrap()[1], Value::from("b"));
+    }
+
+    #[test]
+    fn explicit_pk_advances_auto_increment() {
+        let mut t = TableStore::new(users_schema());
+        t.insert(vec![Value::Int(10), Value::from("x")]).unwrap();
+        t.insert(vec![Value::Null, Value::from("y")]).unwrap();
+        assert!(t.get_by_pk(11).is_some());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = TableStore::new(users_schema());
+        t.insert(vec![Value::Int(1), Value::from("x")]).unwrap();
+        let err = t.insert(vec![Value::Int(1), Value::from("y")]).unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = TableStore::new(users_schema());
+        let err = t.insert(vec![Value::Null, Value::Null]).unwrap_err();
+        assert!(matches!(err, DbError::NotNull(_)));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let mut t = TableStore::new(users_schema());
+        let slot = t.insert(vec![Value::Null, Value::from("a")]).unwrap();
+        t.update_slot(slot, vec![Value::Int(1), Value::from("z")]).unwrap();
+        assert_eq!(t.get_by_pk(1).unwrap()[1], Value::from("z"));
+        t.delete_slot(slot);
+        assert!(t.is_empty());
+        assert!(t.get_by_pk(1).is_none());
+        // Deleting again is a no-op.
+        t.delete_slot(slot);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn pk_reindex_on_update() {
+        let mut t = TableStore::new(users_schema());
+        let slot = t.insert(vec![Value::Int(5), Value::from("a")]).unwrap();
+        t.update_slot(slot, vec![Value::Int(9), Value::from("a")]).unwrap();
+        assert!(t.get_by_pk(5).is_none());
+        assert!(t.get_by_pk(9).is_some());
+    }
+
+    #[test]
+    fn information_schema_views() {
+        let mut db = Database::new();
+        db.create_table(users_schema(), false).unwrap();
+        let tables = db.virtual_table("information_schema.tables").unwrap();
+        assert_eq!(tables.len(), 1);
+        let (_, row) = tables.scan().next().unwrap();
+        assert_eq!(row[1], Value::from("users"));
+        let columns = db.virtual_table("INFORMATION_SCHEMA.COLUMNS").unwrap();
+        assert_eq!(columns.len(), 2);
+        assert!(db.virtual_table("information_schema.nope").is_none());
+        assert!(db.has_table_or_virtual("information_schema.tables"));
+        assert!(db.table_or_virtual("users").is_ok());
+        assert!(db.table_or_virtual("ghost").is_err());
+    }
+
+    #[test]
+    fn database_create_drop() {
+        let mut db = Database::new();
+        assert!(db.create_table(users_schema(), false).unwrap());
+        assert!(!db.create_table(users_schema(), true).unwrap());
+        assert!(matches!(
+            db.create_table(users_schema(), false),
+            Err(DbError::TableExists(_))
+        ));
+        assert!(db.has_table("USERS"));
+        assert!(db.drop_table("users", false).unwrap());
+        assert!(!db.drop_table("users", true).unwrap());
+        assert!(matches!(db.drop_table("users", false), Err(DbError::UnknownTable(_))));
+    }
+}

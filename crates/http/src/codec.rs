@@ -1,0 +1,124 @@
+//! URL percent-encoding and form codecs.
+
+/// Percent-encodes everything outside the unreserved set.
+#[must_use]
+pub fn url_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for b in input.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes percent-escapes and `+` (form flavour). Invalid escapes pass
+/// through literally, as browsers and PHP do.
+#[must_use]
+pub fn url_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 <= bytes.len() => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| {
+                    let hi = (h[0] as char).to_digit(16)?;
+                    let lo = (h[1] as char).to_digit(16)?;
+                    Some((hi * 16 + lo) as u8)
+                }) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Encodes key/value pairs as `a=1&b=2`.
+#[must_use]
+pub fn form_encode<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> String {
+    pairs
+        .into_iter()
+        .map(|(k, v)| format!("{}={}", url_encode(k), url_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+/// Decodes `a=1&b=2` into pairs (percent-decoded).
+#[must_use]
+pub fn form_decode(body: &str) -> Vec<(String, String)> {
+    body.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_round_trip() {
+        for s in ["hello world", "a=b&c", "quote ' and <tag>", "100% sure", "ünïcödé"] {
+            assert_eq!(url_decode(&url_encode(s)), s, "{s}");
+        }
+    }
+
+    #[test]
+    fn plus_is_space_on_decode() {
+        assert_eq!(url_decode("a+b"), "a b");
+        assert_eq!(url_encode("a b"), "a+b");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(url_decode("100%"), "100%");
+        assert_eq!(url_decode("%zz"), "%zz");
+        assert_eq!(url_decode("%4"), "%4");
+    }
+
+    #[test]
+    fn classic_evasion_decodes() {
+        // %27 = ', %2D%2D = --
+        assert_eq!(url_decode("%27%20OR%201%3D1%2D%2D"), "' OR 1=1--");
+    }
+
+    #[test]
+    fn form_round_trip() {
+        let pairs = [("user", "ann o'neil"), ("q", "a&b=c")];
+        let encoded = form_encode(pairs.iter().map(|(k, v)| (*k, *v)));
+        let decoded = form_decode(&encoded);
+        assert_eq!(decoded[0], ("user".to_string(), "ann o'neil".to_string()));
+        assert_eq!(decoded[1], ("q".to_string(), "a&b=c".to_string()));
+    }
+
+    #[test]
+    fn form_decode_tolerates_bare_keys() {
+        let decoded = form_decode("flag&x=1&");
+        assert_eq!(decoded, vec![("flag".into(), String::new()), ("x".into(), "1".into())]);
+    }
+}

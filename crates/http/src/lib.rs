@@ -1,0 +1,22 @@
+//! # septic-http
+//!
+//! Minimal simulated HTTP layer shared by the web applications and the WAF:
+//! requests with query/body parameters, responses, and the URL
+//! percent-codec (whose decode step is itself part of several WAF-evasion
+//! stories).
+//!
+//! ```
+//! use septic_http::{HttpRequest, Method};
+//!
+//! let req = HttpRequest::post("/login")
+//!     .param("user", "admin")
+//!     .param("pass", "secret");
+//! assert_eq!(req.method, Method::Post);
+//! assert_eq!(req.param_value("user"), Some("admin"));
+//! ```
+
+pub mod codec;
+pub mod message;
+
+pub use codec::{form_decode, form_encode, url_decode, url_encode};
+pub use message::{HttpRequest, HttpResponse, Method, Status};

@@ -1,0 +1,520 @@
+//! Abstract syntax tree for the MySQL dialect subset the engine executes.
+//!
+//! The AST is deliberately close to MySQL's internal representation: the
+//! same query element categories (fields, functions, conditions, literals)
+//! exist here that MySQL stores in its item list, which is what SEPTIC's
+//! query structures are derived from.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    Select(Select),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    CreateTable(CreateTable),
+    DropTable(DropTable),
+}
+
+impl Statement {
+    /// Short uppercase command name (`SELECT`, `INSERT`, …) as MySQL's
+    /// general log prints it.
+    #[must_use]
+    pub fn command(&self) -> &'static str {
+        match self {
+            Statement::Select(_) => "SELECT",
+            Statement::Insert(_) => "INSERT",
+            Statement::Update(_) => "UPDATE",
+            Statement::Delete(_) => "DELETE",
+            Statement::CreateTable(_) => "CREATE TABLE",
+            Statement::DropTable(_) => "DROP TABLE",
+        }
+    }
+
+    /// True for the statements whose user data SEPTIC's stored-injection
+    /// plugins examine (the paper: `INSERT` and `UPDATE` commands).
+    #[must_use]
+    pub fn is_write_with_user_data(&self) -> bool {
+        matches!(self, Statement::Insert(_) | Statement::Update(_))
+    }
+}
+
+/// `SELECT` statement (one arm of a possible `UNION` chain).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderBy>,
+    pub limit: Option<Limit>,
+    /// `UNION [ALL] <select>` continuation.
+    pub union: Option<(bool, Box<Select>)>,
+}
+
+impl Select {
+    /// An empty `SELECT` skeleton; used by builders and tests.
+    #[must_use]
+    pub fn new() -> Self {
+        Select {
+            distinct: false,
+            items: Vec::new(),
+            from: Vec::new(),
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            union: None,
+        }
+    }
+
+    /// Iterates over this select and every `UNION` arm after it.
+    pub fn arms(&self) -> impl Iterator<Item = &Select> {
+        let mut arms = vec![self];
+        let mut cur = self;
+        while let Some((_, next)) = &cur.union {
+            arms.push(next);
+            cur = next;
+        }
+        arms.into_iter()
+    }
+}
+
+impl Default for Select {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One projected column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    QualifiedWildcard(String),
+    /// Expression with optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TableRef { name: name.into(), alias: None }
+    }
+
+    /// Name the executor binds columns against (alias wins).
+    #[must_use]
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// Join kinds supported by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinKind::Inner => write!(f, "JOIN"),
+            JoinKind::Left => write!(f, "LEFT JOIN"),
+        }
+    }
+}
+
+/// `JOIN <table> ON <expr>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Option<Expr>,
+}
+
+/// `ORDER BY` element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderBy {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// `LIMIT [offset,] count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Limit {
+    pub count: u64,
+    pub offset: u64,
+}
+
+/// `INSERT INTO t (cols) VALUES (...), ...` or `INSERT INTO t ... SELECT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Insert {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+}
+
+/// The row source of an `INSERT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<Select>),
+}
+
+/// `UPDATE t SET col = expr, ... [WHERE ...] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+    pub limit: Option<Limit>,
+}
+
+/// `DELETE FROM t [WHERE ...] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delete {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+    pub limit: Option<Limit>,
+}
+
+/// Column data types (MySQL subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    Int,
+    BigInt,
+    Double,
+    Varchar(u32),
+    Text,
+    DateTime,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "INT"),
+            ColumnType::BigInt => write!(f, "BIGINT"),
+            ColumnType::Double => write!(f, "DOUBLE"),
+            ColumnType::Varchar(n) => write!(f, "VARCHAR({n})"),
+            ColumnType::Text => write!(f, "TEXT"),
+            ColumnType::DateTime => write!(f, "DATETIME"),
+        }
+    }
+}
+
+/// A column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub column_type: ColumnType,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub auto_increment: bool,
+    pub default: Option<Literal>,
+}
+
+/// `CREATE TABLE [IF NOT EXISTS] t (...)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateTable {
+    pub name: String,
+    pub if_not_exists: bool,
+    pub columns: Vec<ColumnDef>,
+}
+
+/// `DROP TABLE [IF EXISTS] t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DropTable {
+    pub name: String,
+    pub if_exists: bool,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Null,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Binary operators, carrying the MySQL spelling for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Xor,
+    Eq,
+    NullSafeEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IntDiv,
+    Mod,
+    Like,
+    NotLike,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinaryOp {
+    /// True for `AND`/`OR`/`XOR` — MySQL models those as `COND_ITEM`s,
+    /// everything else as `FUNC_ITEM`s, and the distinction shows up in the
+    /// SEPTIC query structure.
+    #[must_use]
+    pub fn is_condition(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or | BinaryOp::Xor)
+    }
+
+    /// The SQL spelling of the operator.
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Xor => "XOR",
+            BinaryOp::Eq => "=",
+            BinaryOp::NullSafeEq => "<=>",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::IntDiv => "DIV",
+            BinaryOp::Mod => "%",
+            BinaryOp::Like => "LIKE",
+            BinaryOp::NotLike => "NOT LIKE",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+impl UnaryOp {
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Not => "NOT",
+            UnaryOp::BitNot => "~",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Literal(Literal),
+    /// Column reference, optionally table-qualified.
+    Column { table: Option<String>, name: String },
+    /// `?` placeholder.
+    Param,
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// Function call, e.g. `CONCAT(a, b)`. Name stored uppercase.
+    Function { name: String, args: Vec<Expr> },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr [NOT] IN (items...)` or `expr [NOT] IN (SELECT ...)`.
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InSelect { expr: Box<Expr>, select: Box<Select>, negated: bool },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// Scalar subquery `(SELECT ...)`.
+    Subquery(Box<Select>),
+    /// `EXISTS (SELECT ...)`.
+    Exists { select: Box<Select>, negated: bool },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience: a string literal expression.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Expr::Literal(Literal::Str(s.into()))
+    }
+
+    /// Convenience: an integer literal expression.
+    #[must_use]
+    pub fn int(v: i64) -> Self {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Convenience: an unqualified column reference.
+    #[must_use]
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Column { table: None, name: name.into() }
+    }
+
+    /// Convenience: binary expression.
+    #[must_use]
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Self {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Collects every string literal in the expression tree, in evaluation
+    /// order. SEPTIC's stored-injection plugins scan these as the candidate
+    /// user inputs of `INSERT`/`UPDATE` statements.
+    pub fn collect_string_literals<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Literal(Literal::Str(s)) => out.push(s),
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param => {}
+            Expr::Unary { operand, .. } => operand.collect_string_literals(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_string_literals(out);
+                right.collect_string_literals(out);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.collect_string_literals(out);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.collect_string_literals(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_string_literals(out);
+                for e in list {
+                    e.collect_string_literals(out);
+                }
+            }
+            Expr::InSelect { expr, .. } => expr.collect_string_literals(out),
+            Expr::Between { expr, low, high, .. } => {
+                expr.collect_string_literals(out);
+                low.collect_string_literals(out);
+                high.collect_string_literals(out);
+            }
+            Expr::Subquery(_) | Expr::Exists { .. } => {}
+            Expr::Case { operand, branches, else_branch } => {
+                if let Some(op) = operand {
+                    op.collect_string_literals(out);
+                }
+                for (w, t) in branches {
+                    w.collect_string_literals(out);
+                    t.collect_string_literals(out);
+                }
+                if let Some(e) = else_branch {
+                    e.collect_string_literals(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_names() {
+        let s = Statement::Select(Select::new());
+        assert_eq!(s.command(), "SELECT");
+        assert!(!s.is_write_with_user_data());
+        let i = Statement::Insert(Insert {
+            table: "t".into(),
+            columns: vec![],
+            source: InsertSource::Values(vec![]),
+        });
+        assert!(i.is_write_with_user_data());
+    }
+
+    #[test]
+    fn cond_vs_func_operators() {
+        assert!(BinaryOp::And.is_condition());
+        assert!(BinaryOp::Or.is_condition());
+        assert!(BinaryOp::Xor.is_condition());
+        assert!(!BinaryOp::Eq.is_condition());
+        assert!(!BinaryOp::Like.is_condition());
+    }
+
+    #[test]
+    fn collects_string_literals_in_order() {
+        let e = Expr::binary(
+            Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::str("one")),
+            BinaryOp::And,
+            Expr::Function {
+                name: "CONCAT".into(),
+                args: vec![Expr::str("two"), Expr::int(3), Expr::str("four")],
+            },
+        );
+        let mut out = Vec::new();
+        e.collect_string_literals(&mut out);
+        assert_eq!(out, vec!["one", "two", "four"]);
+    }
+
+    #[test]
+    fn union_arms_iterates_chain() {
+        let mut s = Select::new();
+        let mut second = Select::new();
+        second.distinct = true;
+        s.union = Some((true, Box::new(second)));
+        assert_eq!(s.arms().count(), 2);
+    }
+
+    #[test]
+    fn literal_display_escapes_quotes() {
+        assert_eq!(Literal::Str("a'b".into()).to_string(), "'a''b'");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,304 @@
+//! SQL rendering of the AST (used for logging and round-trip testing).
+
+use std::fmt;
+
+use crate::ast::*;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Insert(i) => write!(f, "{i}"),
+            Statement::Update(u) => write!(f, "{u}"),
+            Statement::Delete(d) => write!(f, "{d}"),
+            Statement::CreateTable(c) => write!(f, "{c}"),
+            Statement::DropTable(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        for j in &self.joins {
+            write!(f, " {} {}", j.kind, j.table)?;
+            if let Some(on) = &j.on {
+                write!(f, " ON {on}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}{}", o.expr, if o.descending { " DESC" } else { "" })?;
+            }
+        }
+        if let Some(l) = &self.limit {
+            if l.offset > 0 {
+                write!(f, " LIMIT {}, {}", l.offset, l.count)?;
+            } else {
+                write!(f, " LIMIT {}", l.count)?;
+            }
+        }
+        if let Some((all, next)) = &self.union {
+            write!(f, " UNION {}{next}", if *all { "ALL " } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} AS {a}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl fmt::Display for Insert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        match &self.source {
+            InsertSource::Values(rows) => {
+                write!(f, " VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, v) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            InsertSource::Select(s) => write!(f, " {s}"),
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPDATE {} SET ", self.table)?;
+        for (i, (c, v)) in self.assignments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c} = {v}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {}", l.count)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DELETE FROM {}", self.table)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if let Some(l) = &self.limit {
+            write!(f, " LIMIT {}", l.count)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE ")?;
+        if self.if_not_exists {
+            write!(f, "IF NOT EXISTS ")?;
+        }
+        write!(f, "{} (", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.column_type)?;
+            if c.not_null {
+                write!(f, " NOT NULL")?;
+            }
+            if c.auto_increment {
+                write!(f, " AUTO_INCREMENT")?;
+            }
+            if c.primary_key {
+                write!(f, " PRIMARY KEY")?;
+            }
+            if let Some(d) = &c.default {
+                write!(f, " DEFAULT {d}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for DropTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DROP TABLE ")?;
+        if self.if_exists {
+            write!(f, "IF EXISTS ")?;
+        }
+        write!(f, "{}", self.name)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Param => write!(f, "?"),
+            Expr::Unary { op: UnaryOp::Not, operand } => write!(f, "NOT ({operand})"),
+            Expr::Unary { op, operand } => write!(f, "{}({operand})", op.symbol()),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::Function { name, args } => {
+                if name == "COUNT" && args.is_empty() {
+                    return write!(f, "COUNT(*)");
+                }
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::InSelect { expr, select, negated } => {
+                write!(f, "({expr} {}IN ({select}))", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between { expr, low, high, negated } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Subquery(s) => write!(f, "({s})"),
+            Expr::Exists { select, negated } => {
+                write!(f, "{}EXISTS ({select})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_branch {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// Parses, prints, re-parses and compares ASTs.
+    fn round_trip(sql: &str) {
+        let first = parse(sql).expect("first parse");
+        let printed = first.statements[0].to_string();
+        let second = parse(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(first.statements[0], second.statements[0], "printed: {printed}");
+    }
+
+    #[test]
+    fn round_trips() {
+        for sql in [
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+            "SELECT DISTINCT a, b AS x FROM t WHERE a > 1 OR b < 2 ORDER BY a DESC LIMIT 3, 4",
+            "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+            "SELECT a FROM t UNION ALL SELECT b FROM u",
+            "SELECT t.a FROM t JOIN u ON t.id = u.tid LEFT JOIN v ON v.x = 1",
+            "INSERT INTO users (name, age) VALUES ('a''b', 31), ('c', NULL)",
+            "INSERT INTO a (x) SELECT y FROM b WHERE y IS NOT NULL",
+            "UPDATE t SET a = 1, b = CONCAT(a, 'x') WHERE id IN (1, 2) LIMIT 1",
+            "DELETE FROM t WHERE a BETWEEN 1 AND 2",
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, n VARCHAR(10) NOT NULL DEFAULT 'x')",
+            "DROP TABLE IF EXISTS t",
+            "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+            "SELECT a FROM t WHERE id IN (SELECT x FROM u)",
+            "SELECT a FROM t WHERE s LIKE '%x%' AND r NOT LIKE 'y'",
+        ] {
+            round_trip(sql);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Parse-layer error types.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Byte range in the source query (character indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Error produced while lexing or parsing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Lexical error (bad literal, unterminated string/comment, …).
+    Lex { message: String, span: Span },
+    /// Grammar error.
+    Syntax { message: String, span: Span },
+    /// The statement kind is recognised but not supported by this engine.
+    Unsupported { message: String },
+}
+
+impl ParseError {
+    /// Convenience constructor for grammar errors.
+    #[must_use]
+    pub fn syntax(message: impl Into<String>, span: Span) -> Self {
+        ParseError::Syntax { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex { message, span } => {
+                write!(f, "lexical error at {span}: {message}")
+            }
+            ParseError::Syntax { message, span } => {
+                write!(f, "syntax error at {span}: {message}")
+            }
+            ParseError::Unsupported { message } => write!(f, "unsupported SQL: {message}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ParseError::syntax("expected FROM", Span { start: 3, end: 7 });
+        assert_eq!(e.to_string(), "syntax error at 3..7: expected FROM");
+        let e = ParseError::Unsupported { message: "LOAD DATA".into() };
+        assert_eq!(e.to_string(), "unsupported SQL: LOAD DATA");
+    }
+}

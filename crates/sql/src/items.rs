@@ -1,0 +1,672 @@
+//! The query **item stack** — MySQL's post-validation representation.
+//!
+//! After parsing and validating a query, MySQL stores the query elements in
+//! a stack of items; SEPTIC receives this structure and derives the *query
+//! structure* (QS) from it. Each node is either
+//! `⟨ELEM_TYPE, ELEM_DATA⟩` (structure: clauses, fields, functions,
+//! conditions) or `⟨DATA_TYPE, DATA⟩` (user data: literals), exactly as in
+//! Figure 2 of the paper.
+//!
+//! The stack is built bottom-up: `FROM_TABLE` entries first, then
+//! `SELECT_FIELD`s, then the `WHERE` expression in postfix order (operands
+//! before their operator), so the query
+//! `SELECT * FROM tickets WHERE reservID='ID34FG' AND creditCard=1234`
+//! lowers to (top of stack first):
+//!
+//! ```text
+//! COND_ITEM    AND
+//! FUNC_ITEM    =
+//! INT_ITEM     1234
+//! FIELD_ITEM   creditcard
+//! FUNC_ITEM    =
+//! STRING_ITEM  ID34FG
+//! FIELD_ITEM   reservid
+//! SELECT_FIELD *
+//! FROM_TABLE   tickets
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::*;
+
+/// The category of a stack node.
+///
+/// Tags ending in `Item` that carry literals (`IntItem`, `StringItem`,
+/// `RealItem`, `NullItem`, `ParamItem`) are **data** nodes: their payload is
+/// user-controlled and is blanked to ⊥ in query models. All other tags are
+/// **element** nodes whose payload is part of the query structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemTag {
+    // -- element (structure) tags --
+    FromTable,
+    SelectField,
+    FieldItem,
+    FuncItem,
+    CondItem,
+    OrderField,
+    GroupField,
+    HavingItem,
+    LimitItem,
+    UnionItem,
+    JoinItem,
+    SubselectBegin,
+    SubselectEnd,
+    InsertTable,
+    InsertField,
+    RowItem,
+    UpdateTable,
+    UpdateField,
+    DeleteTable,
+    DdlItem,
+    // -- data tags --
+    IntItem,
+    StringItem,
+    RealItem,
+    NullItem,
+    ParamItem,
+}
+
+impl ItemTag {
+    /// True for `⟨DATA_TYPE, DATA⟩` nodes (their payload is blanked in the
+    /// query model).
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        matches!(
+            self,
+            ItemTag::IntItem
+                | ItemTag::StringItem
+                | ItemTag::RealItem
+                | ItemTag::NullItem
+                | ItemTag::ParamItem
+        )
+    }
+
+    /// The `SCREAMING_SNAKE` name MySQL/SEPTIC logs use.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ItemTag::FromTable => "FROM_TABLE",
+            ItemTag::SelectField => "SELECT_FIELD",
+            ItemTag::FieldItem => "FIELD_ITEM",
+            ItemTag::FuncItem => "FUNC_ITEM",
+            ItemTag::CondItem => "COND_ITEM",
+            ItemTag::OrderField => "ORDER_FIELD",
+            ItemTag::GroupField => "GROUP_FIELD",
+            ItemTag::HavingItem => "HAVING_ITEM",
+            ItemTag::LimitItem => "LIMIT_ITEM",
+            ItemTag::UnionItem => "UNION_ITEM",
+            ItemTag::JoinItem => "JOIN_ITEM",
+            ItemTag::SubselectBegin => "SUBSELECT_BEGIN",
+            ItemTag::SubselectEnd => "SUBSELECT_END",
+            ItemTag::InsertTable => "INSERT_TABLE",
+            ItemTag::InsertField => "INSERT_FIELD",
+            ItemTag::RowItem => "ROW_ITEM",
+            ItemTag::UpdateTable => "UPDATE_TABLE",
+            ItemTag::UpdateField => "UPDATE_FIELD",
+            ItemTag::DeleteTable => "DELETE_TABLE",
+            ItemTag::DdlItem => "DDL_ITEM",
+            ItemTag::IntItem => "INT_ITEM",
+            ItemTag::StringItem => "STRING_ITEM",
+            ItemTag::RealItem => "REAL_ITEM",
+            ItemTag::NullItem => "NULL_ITEM",
+            ItemTag::ParamItem => "PARAM_ITEM",
+        }
+    }
+}
+
+impl fmt::Display for ItemTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Payload of a stack node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ItemData {
+    Text(String),
+    Int(i64),
+    Real(f64),
+    Null,
+    /// ⊥ — the blanked value in query models.
+    Bot,
+}
+
+impl fmt::Display for ItemData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItemData::Text(s) => f.write_str(s),
+            ItemData::Int(v) => write!(f, "{v}"),
+            ItemData::Real(v) => write!(f, "{v}"),
+            ItemData::Null => f.write_str("NULL"),
+            ItemData::Bot => f.write_str("\u{22A5}"), // ⊥
+        }
+    }
+}
+
+/// One node of the item stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    pub tag: ItemTag,
+    pub data: ItemData,
+}
+
+impl Item {
+    #[must_use]
+    pub fn elem(tag: ItemTag, data: impl Into<String>) -> Self {
+        debug_assert!(!tag.is_data(), "element constructor used with data tag");
+        Item { tag, data: ItemData::Text(data.into()) }
+    }
+
+    /// Canonical bytes used for hashing into the internal query identifier.
+    /// Data payloads contribute only their tag, so queries differing only in
+    /// literals hash identically.
+    pub fn canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.tag.name().as_bytes());
+        out.push(0x1f);
+        if !self.tag.is_data() {
+            if let ItemData::Text(s) = &self.data {
+                // Identifiers are case-insensitive in MySQL.
+                out.extend_from_slice(s.to_ascii_lowercase().as_bytes());
+            }
+        }
+        out.push(0x1e);
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<15} {}", self.tag, self.data)
+    }
+}
+
+/// The full item stack of a validated query. Index 0 is the **bottom** of
+/// the stack; [`ItemStack::rows_top_down`] yields the paper's figure order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ItemStack {
+    items: Vec<Item>,
+}
+
+impl ItemStack {
+    #[must_use]
+    pub fn new() -> Self {
+        ItemStack { items: Vec::new() }
+    }
+
+    pub fn push(&mut self, item: Item) {
+        self.items.push(item);
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Bottom-up view of the nodes.
+    #[must_use]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Nodes from the top of the stack downwards — the order the paper's
+    /// figures are drawn in.
+    pub fn rows_top_down(&self) -> impl Iterator<Item = &Item> {
+        self.items.iter().rev()
+    }
+
+    /// String literal payloads in the stack (candidate user inputs for the
+    /// stored-injection plugins).
+    pub fn string_data(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().filter_map(|i| match (&i.tag, &i.data) {
+            (ItemTag::StringItem, ItemData::Text(s)) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for ItemStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in self.rows_top_down() {
+            writeln!(f, "{item}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Item> for ItemStack {
+    fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
+        ItemStack { items: iter.into_iter().collect() }
+    }
+}
+
+/// Lowers a validated statement to its item stack.
+#[must_use]
+pub fn lower(statement: &Statement) -> ItemStack {
+    let mut stack = ItemStack::new();
+    lower_into(statement, &mut stack);
+    stack
+}
+
+/// Lowers a whole (possibly piggybacked) statement list, separating the
+/// statements with `DDL_ITEM ;` markers so a piggyback attack always changes
+/// the structure.
+#[must_use]
+pub fn lower_all(statements: &[Statement]) -> ItemStack {
+    let mut stack = ItemStack::new();
+    for (i, s) in statements.iter().enumerate() {
+        if i > 0 {
+            stack.push(Item::elem(ItemTag::DdlItem, ";"));
+        }
+        lower_into(s, &mut stack);
+    }
+    stack
+}
+
+fn lower_into(statement: &Statement, stack: &mut ItemStack) {
+    match statement {
+        Statement::Select(s) => lower_select(s, stack),
+        Statement::Insert(i) => lower_insert(i, stack),
+        Statement::Update(u) => lower_update(u, stack),
+        Statement::Delete(d) => lower_delete(d, stack),
+        Statement::CreateTable(c) => {
+            stack.push(Item::elem(ItemTag::DdlItem, format!("CREATE TABLE {}", lc(&c.name))));
+        }
+        Statement::DropTable(d) => {
+            stack.push(Item::elem(ItemTag::DdlItem, format!("DROP TABLE {}", lc(&d.name))));
+        }
+    }
+}
+
+fn lc(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+fn lower_select(select: &Select, stack: &mut ItemStack) {
+    for table in &select.from {
+        stack.push(Item::elem(ItemTag::FromTable, lc(&table.name)));
+    }
+    for join in &select.joins {
+        stack.push(Item::elem(
+            ItemTag::JoinItem,
+            format!("{} {}", join.kind, lc(&join.table.name)),
+        ));
+        if let Some(on) = &join.on {
+            lower_expr(on, stack);
+        }
+    }
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => stack.push(Item::elem(ItemTag::SelectField, "*")),
+            SelectItem::QualifiedWildcard(t) => {
+                stack.push(Item::elem(ItemTag::SelectField, format!("{}.*", lc(t))));
+            }
+            SelectItem::Expr { expr, .. } => {
+                stack.push(Item::elem(ItemTag::SelectField, expr_label(expr)));
+                // Non-trivial projected expressions contribute their own
+                // structure (a projected subquery or function can smuggle
+                // data out).
+                if !matches!(expr, Expr::Column { .. }) {
+                    lower_expr(expr, stack);
+                }
+            }
+        }
+    }
+    if let Some(where_clause) = &select.where_clause {
+        lower_expr(where_clause, stack);
+    }
+    for g in &select.group_by {
+        lower_expr(g, stack);
+        stack.push(Item::elem(ItemTag::GroupField, ""));
+    }
+    if let Some(h) = &select.having {
+        lower_expr(h, stack);
+        stack.push(Item::elem(ItemTag::HavingItem, ""));
+    }
+    for o in &select.order_by {
+        lower_expr(&o.expr, stack);
+        stack.push(Item::elem(
+            ItemTag::OrderField,
+            if o.descending { "DESC" } else { "ASC" },
+        ));
+    }
+    if let Some(limit) = &select.limit {
+        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.count as i64) });
+        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.offset as i64) });
+        stack.push(Item::elem(ItemTag::LimitItem, ""));
+    }
+    if let Some((all, next)) = &select.union {
+        stack.push(Item::elem(ItemTag::UnionItem, if *all { "UNION ALL" } else { "UNION" }));
+        lower_select(next, stack);
+    }
+}
+
+fn lower_insert(insert: &Insert, stack: &mut ItemStack) {
+    stack.push(Item::elem(ItemTag::InsertTable, lc(&insert.table)));
+    for col in &insert.columns {
+        stack.push(Item::elem(ItemTag::InsertField, lc(col)));
+    }
+    match &insert.source {
+        InsertSource::Values(rows) => {
+            for row in rows {
+                for value in row {
+                    lower_expr(value, stack);
+                }
+                stack.push(Item::elem(ItemTag::RowItem, ""));
+            }
+        }
+        InsertSource::Select(select) => {
+            stack.push(Item::elem(ItemTag::SubselectBegin, ""));
+            lower_select(select, stack);
+            stack.push(Item::elem(ItemTag::SubselectEnd, ""));
+        }
+    }
+}
+
+fn lower_update(update: &Update, stack: &mut ItemStack) {
+    stack.push(Item::elem(ItemTag::UpdateTable, lc(&update.table)));
+    for (col, value) in &update.assignments {
+        stack.push(Item::elem(ItemTag::UpdateField, lc(col)));
+        lower_expr(value, stack);
+    }
+    if let Some(where_clause) = &update.where_clause {
+        lower_expr(where_clause, stack);
+    }
+    if let Some(limit) = &update.limit {
+        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.count as i64) });
+        stack.push(Item::elem(ItemTag::LimitItem, ""));
+    }
+}
+
+fn lower_delete(delete: &Delete, stack: &mut ItemStack) {
+    stack.push(Item::elem(ItemTag::DeleteTable, lc(&delete.table)));
+    if let Some(where_clause) = &delete.where_clause {
+        lower_expr(where_clause, stack);
+    }
+    if let Some(limit) = &delete.limit {
+        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.count as i64) });
+        stack.push(Item::elem(ItemTag::LimitItem, ""));
+    }
+}
+
+/// Postfix lowering of an expression: operands first, operator on top.
+fn lower_expr(expr: &Expr, stack: &mut ItemStack) {
+    match expr {
+        Expr::Literal(Literal::Int(v)) => {
+            stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(*v) });
+        }
+        Expr::Literal(Literal::Float(v)) => {
+            stack.push(Item { tag: ItemTag::RealItem, data: ItemData::Real(*v) });
+        }
+        Expr::Literal(Literal::Str(s)) => {
+            stack.push(Item { tag: ItemTag::StringItem, data: ItemData::Text(s.clone()) });
+        }
+        Expr::Literal(Literal::Null) => {
+            stack.push(Item { tag: ItemTag::NullItem, data: ItemData::Null });
+        }
+        Expr::Param => stack.push(Item { tag: ItemTag::ParamItem, data: ItemData::Bot }),
+        Expr::Column { table, name } => {
+            let label = match table {
+                Some(t) => format!("{}.{}", lc(t), lc(name)),
+                None => lc(name),
+            };
+            stack.push(Item::elem(ItemTag::FieldItem, label));
+        }
+        Expr::Unary { op, operand } => {
+            lower_expr(operand, stack);
+            stack.push(Item::elem(ItemTag::FuncItem, op.symbol()));
+        }
+        Expr::Binary { left, op, right } => {
+            lower_expr(left, stack);
+            lower_expr(right, stack);
+            let tag = if op.is_condition() { ItemTag::CondItem } else { ItemTag::FuncItem };
+            stack.push(Item::elem(tag, op.symbol()));
+        }
+        Expr::Function { name, args } => {
+            for a in args {
+                lower_expr(a, stack);
+            }
+            stack.push(Item::elem(ItemTag::FuncItem, name.clone()));
+        }
+        Expr::IsNull { expr, negated } => {
+            lower_expr(expr, stack);
+            stack.push(Item::elem(
+                ItemTag::FuncItem,
+                if *negated { "IS NOT NULL" } else { "IS NULL" },
+            ));
+        }
+        Expr::InList { expr, list, negated } => {
+            lower_expr(expr, stack);
+            for e in list {
+                lower_expr(e, stack);
+            }
+            stack.push(Item::elem(ItemTag::FuncItem, if *negated { "NOT IN" } else { "IN" }));
+        }
+        Expr::InSelect { expr, select, negated } => {
+            lower_expr(expr, stack);
+            stack.push(Item::elem(ItemTag::SubselectBegin, ""));
+            lower_select(select, stack);
+            stack.push(Item::elem(ItemTag::SubselectEnd, ""));
+            stack.push(Item::elem(ItemTag::FuncItem, if *negated { "NOT IN" } else { "IN" }));
+        }
+        Expr::Between { expr, low, high, negated } => {
+            lower_expr(expr, stack);
+            lower_expr(low, stack);
+            lower_expr(high, stack);
+            stack.push(Item::elem(
+                ItemTag::FuncItem,
+                if *negated { "NOT BETWEEN" } else { "BETWEEN" },
+            ));
+        }
+        Expr::Subquery(select) => {
+            stack.push(Item::elem(ItemTag::SubselectBegin, ""));
+            lower_select(select, stack);
+            stack.push(Item::elem(ItemTag::SubselectEnd, ""));
+        }
+        Expr::Exists { select, negated } => {
+            stack.push(Item::elem(ItemTag::SubselectBegin, ""));
+            lower_select(select, stack);
+            stack.push(Item::elem(ItemTag::SubselectEnd, ""));
+            stack.push(Item::elem(
+                ItemTag::FuncItem,
+                if *negated { "NOT EXISTS" } else { "EXISTS" },
+            ));
+        }
+        Expr::Case { operand, branches, else_branch } => {
+            if let Some(op) = operand {
+                lower_expr(op, stack);
+            }
+            for (when, then) in branches {
+                lower_expr(when, stack);
+                lower_expr(then, stack);
+            }
+            if let Some(e) = else_branch {
+                lower_expr(e, stack);
+            }
+            stack.push(Item::elem(ItemTag::FuncItem, "CASE"));
+        }
+    }
+}
+
+/// Short label for a projected expression (shown in `SELECT_FIELD` nodes).
+fn expr_label(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { table: Some(t), name } => format!("{}.{}", lc(t), lc(name)),
+        Expr::Column { table: None, name } => lc(name),
+        Expr::Function { name, .. } => format!("{name}()"),
+        Expr::Literal(l) => l.to_string(),
+        Expr::Subquery(_) => "(subquery)".to_string(),
+        _ => "(expr)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn stack_of(sql: &str) -> ItemStack {
+        let parsed = parse(sql).expect("parse ok");
+        lower_all(&parsed.statements)
+    }
+
+    fn rows(sql: &str) -> Vec<(ItemTag, String)> {
+        stack_of(sql)
+            .rows_top_down()
+            .map(|i| (i.tag, i.data.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn figure2a_query_structure() {
+        // The paper's Figure 2(a), top of stack first.
+        let got = rows("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234");
+        let expected = vec![
+            (ItemTag::CondItem, "AND".to_string()),
+            (ItemTag::FuncItem, "=".to_string()),
+            (ItemTag::IntItem, "1234".to_string()),
+            (ItemTag::FieldItem, "creditcard".to_string()),
+            (ItemTag::FuncItem, "=".to_string()),
+            (ItemTag::StringItem, "ID34FG".to_string()),
+            (ItemTag::FieldItem, "reservid".to_string()),
+            (ItemTag::SelectField, "*".to_string()),
+            (ItemTag::FromTable, "tickets".to_string()),
+        ];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn figure3_second_order_structure_changes() {
+        // After MySQL decodes U+02BC and the `--` comments out the tail,
+        // the query collapses to a single comparison: 4 fewer nodes.
+        let benign = stack_of("SELECT * FROM tickets WHERE reservID = 'x' AND creditCard = 1");
+        let attacked = stack_of("SELECT * FROM tickets WHERE reservID = 'ID34FG'");
+        assert_eq!(benign.len(), 9);
+        assert_eq!(attacked.len(), 5);
+    }
+
+    #[test]
+    fn figure4_mimicry_same_arity_different_types() {
+        let benign = stack_of("SELECT * FROM tickets WHERE reservID = 'x' AND creditCard = 1");
+        let mimicry = stack_of("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1 = 1");
+        assert_eq!(benign.len(), mimicry.len());
+        // Fourth row from the top: FIELD_ITEM creditcard vs INT_ITEM 1.
+        let b: Vec<_> = benign.rows_top_down().collect();
+        let m: Vec<_> = mimicry.rows_top_down().collect();
+        assert_eq!(b[3].tag, ItemTag::FieldItem);
+        assert_eq!(m[3].tag, ItemTag::IntItem);
+    }
+
+    #[test]
+    fn literals_only_differ_in_data_not_structure() {
+        let a = stack_of("SELECT * FROM t WHERE x = 'aaa' AND y = 1");
+        let b = stack_of("SELECT * FROM t WHERE x = 'zzz' AND y = 99");
+        let tags_a: Vec<_> = a.items().iter().map(|i| i.tag).collect();
+        let tags_b: Vec<_> = b.items().iter().map(|i| i.tag).collect();
+        assert_eq!(tags_a, tags_b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_data_payloads() {
+        let a = stack_of("SELECT * FROM t WHERE x = 'aaa'");
+        let b = stack_of("SELECT * FROM t WHERE x = 'bbb'");
+        let bytes = |s: &ItemStack| {
+            let mut v = Vec::new();
+            for i in s.items() {
+                i.canonical_bytes(&mut v);
+            }
+            v
+        };
+        assert_eq!(bytes(&a), bytes(&b));
+        let c = stack_of("SELECT * FROM t WHERE y = 'aaa'");
+        assert_ne!(bytes(&a), bytes(&c));
+    }
+
+    #[test]
+    fn union_changes_structure() {
+        let plain = stack_of("SELECT a FROM t WHERE id = 1");
+        let union = stack_of("SELECT a FROM t WHERE id = 1 UNION SELECT password FROM users");
+        assert!(union.len() > plain.len());
+        assert!(union.items().iter().any(|i| i.tag == ItemTag::UnionItem));
+    }
+
+    #[test]
+    fn piggyback_adds_separator() {
+        let s = stack_of("SELECT 1; DROP TABLE users");
+        assert!(s
+            .items()
+            .iter()
+            .any(|i| i.tag == ItemTag::DdlItem && i.data == ItemData::Text(";".into())));
+    }
+
+    #[test]
+    fn insert_stack_shape() {
+        let got = rows("INSERT INTO users (name, bio) VALUES ('ann', 'hello')");
+        assert_eq!(
+            got,
+            vec![
+                (ItemTag::RowItem, String::new()),
+                (ItemTag::StringItem, "hello".to_string()),
+                (ItemTag::StringItem, "ann".to_string()),
+                (ItemTag::InsertField, "bio".to_string()),
+                (ItemTag::InsertField, "name".to_string()),
+                (ItemTag::InsertTable, "users".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn update_stack_shape() {
+        let s = stack_of("UPDATE t SET a = 'x' WHERE id = 7");
+        let tags: Vec<_> = s.items().iter().map(|i| i.tag).collect();
+        assert_eq!(
+            tags,
+            vec![
+                ItemTag::UpdateTable,
+                ItemTag::UpdateField,
+                ItemTag::StringItem,
+                ItemTag::FieldItem,
+                ItemTag::IntItem,
+                ItemTag::FuncItem,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_data_iterates_literals() {
+        let s = stack_of("INSERT INTO t (a, b) VALUES ('<script>', 'ok')");
+        let data: Vec<_> = s.string_data().collect();
+        assert_eq!(data, vec!["<script>", "ok"]);
+    }
+
+    #[test]
+    fn limit_values_are_data_nodes() {
+        let a = stack_of("SELECT a FROM t LIMIT 10");
+        let b = stack_of("SELECT a FROM t LIMIT 20");
+        let tags = |s: &ItemStack| s.items().iter().map(|i| i.tag).collect::<Vec<_>>();
+        assert_eq!(tags(&a), tags(&b));
+    }
+
+    #[test]
+    fn subquery_is_bracketed() {
+        let s = stack_of("SELECT a FROM t WHERE id IN (SELECT tid FROM u)");
+        let tags: Vec<_> = s.items().iter().map(|i| i.tag).collect();
+        assert!(tags.contains(&ItemTag::SubselectBegin));
+        assert!(tags.contains(&ItemTag::SubselectEnd));
+    }
+
+    #[test]
+    fn display_matches_figure_layout() {
+        let s = stack_of("SELECT * FROM tickets WHERE reservID = 'ID34FG'");
+        let text = s.to_string();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("FUNC_ITEM"), "got: {first}");
+        assert!(text.lines().last().unwrap().starts_with("FROM_TABLE"));
+    }
+}

@@ -1,0 +1,1045 @@
+//! Recursive-descent parser for the MySQL dialect subset.
+//!
+//! The grammar follows MySQL's operator precedence:
+//! `OR` < `XOR` < `AND` < `NOT` < comparison/`LIKE`/`IN`/`BETWEEN`/`IS`
+//! < `|` < `&` < shift < additive < multiplicative < unary < primary.
+
+use crate::ast::*;
+use crate::error::{ParseError, Span};
+use crate::token::{lex, LexOutput, SpannedToken, Token};
+
+/// A parsed query: the statement list plus lexer side-channel data.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The statements (`;`-separated). Injection-crafted piggyback queries
+    /// arrive as multiple statements.
+    pub statements: Vec<Statement>,
+    /// Block-comment bodies (SEPTIC external identifiers live here).
+    pub comments: Vec<String>,
+    /// Whether a line comment swallowed the tail of the query.
+    pub trailing_line_comment: bool,
+}
+
+impl Parsed {
+    /// The single statement of a non-piggybacked query.
+    #[must_use]
+    pub fn single(&self) -> Option<&Statement> {
+        if self.statements.len() == 1 {
+            self.statements.first()
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses one or more `;`-separated statements.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical errors, grammar violations, or
+/// recognised-but-unsupported statements.
+///
+/// # Examples
+///
+/// ```
+/// use septic_sql::parse;
+///
+/// let parsed = parse("SELECT * FROM tickets WHERE reservID = 'ID34FG'")?;
+/// assert_eq!(parsed.statements.len(), 1);
+/// # Ok::<(), septic_sql::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Parsed, ParseError> {
+    let LexOutput { tokens, comments, trailing_line_comment } = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    loop {
+        while parser.eat_token(&Token::Semicolon) {}
+        if parser.at_end() {
+            break;
+        }
+        statements.push(parser.statement()?);
+        if !parser.at_end() && !parser.check_token(&Token::Semicolon) {
+            return Err(parser.unexpected("`;` or end of query"));
+        }
+    }
+    if statements.is_empty() {
+        return Err(ParseError::syntax("empty query", Span::default()));
+    }
+    Ok(Parsed { statements, comments, trailing_line_comment })
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or_else(Span::default, |t| t.span)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check_token(&self, t: &Token) -> bool {
+        self.peek() == Some(t)
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.check_token(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token, what: &str) -> Result<(), ParseError> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn check_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.check_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        let found = self.peek().map_or_else(|| "end of query".to_string(), |t| format!("`{t}`"));
+        ParseError::syntax(format!("expected {what}, found {found}"), self.span())
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.advance() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!("peeked ident"),
+            },
+            Some(Token::QuotedIdent(_)) => match self.advance() {
+                Some(Token::QuotedIdent(s)) => Ok(s),
+                _ => unreachable!("peeked quoted ident"),
+            },
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.check_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.check_kw("INSERT") {
+            self.insert()
+        } else if self.check_kw("UPDATE") {
+            self.update()
+        } else if self.check_kw("DELETE") {
+            self.delete()
+        } else if self.check_kw("CREATE") {
+            self.create_table()
+        } else if self.check_kw("DROP") {
+            self.drop_table()
+        } else if let Some(Token::Ident(kw)) = self.peek() {
+            Err(ParseError::Unsupported { message: format!("statement `{}`", kw.to_uppercase()) })
+        } else {
+            Err(self.unexpected("a statement"))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("SELECT")?;
+        let mut select = Select::new();
+        select.distinct = self.eat_kw("DISTINCT");
+        if !select.distinct {
+            self.eat_kw("ALL");
+        }
+        loop {
+            select.items.push(self.select_item()?);
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        if self.eat_kw("FROM") {
+            loop {
+                select.from.push(self.table_ref()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            loop {
+                let kind = if self.check_kw("JOIN") || self.check_kw("INNER") {
+                    self.eat_kw("INNER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Inner
+                } else if self.check_kw("LEFT") {
+                    self.pos += 1;
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Left
+                } else {
+                    break;
+                };
+                let table = self.table_ref()?;
+                let on = if self.eat_kw("ON") { Some(self.expr()?) } else { None };
+                select.joins.push(Join { kind, table, on });
+            }
+        }
+        if self.eat_kw("WHERE") {
+            select.where_clause = Some(self.expr()?);
+        }
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                select.group_by.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("HAVING") {
+            select.having = Some(self.expr()?);
+        }
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                select.order_by.push(OrderBy { expr, descending });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("LIMIT") {
+            select.limit = Some(self.limit()?);
+        }
+        if self.eat_kw("UNION") {
+            let all = self.eat_kw("ALL");
+            if !all {
+                self.eat_kw("DISTINCT");
+            }
+            let next = self.select()?;
+            select.union = Some((all, Box::new(next)));
+        }
+        Ok(select)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_token(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `t.*`
+        if let (Some(Token::Ident(name)), Some(t1), Some(t2)) = (
+            self.peek(),
+            self.tokens.get(self.pos + 1).map(|t| &t.token),
+            self.tokens.get(self.pos + 2).map(|t| &t.token),
+        ) {
+            if *t1 == Token::Dot && *t2 == Token::Star {
+                let table = name.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(table));
+            }
+        }
+        let expr = self.expr()?;
+        let has_alias = self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s));
+        let alias = if has_alias { Some(self.identifier("alias")?) } else { None };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut name = self.identifier("table name")?;
+        // Schema-qualified name (`information_schema.tables`): keep the
+        // full dotted form as the table name.
+        if self.eat_token(&Token::Dot) {
+            let table = self.identifier("table name")?;
+            name = format!("{name}.{table}");
+        }
+        let has_alias = self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s) && !is_join_keyword(s));
+        let alias = if has_alias { Some(self.identifier("alias")?) } else { None };
+        Ok(TableRef { name, alias })
+    }
+
+    fn limit(&mut self) -> Result<Limit, ParseError> {
+        let first = self.limit_number()?;
+        if self.eat_token(&Token::Comma) {
+            let count = self.limit_number()?;
+            Ok(Limit { offset: first, count })
+        } else if self.eat_kw("OFFSET") {
+            let offset = self.limit_number()?;
+            Ok(Limit { count: first, offset })
+        } else {
+            Ok(Limit { count: first, offset: 0 })
+        }
+    }
+
+    fn limit_number(&mut self) -> Result<u64, ParseError> {
+        match self.advance() {
+            Some(Token::Int(v)) if v >= 0 => Ok(v as u64),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.unexpected("a non-negative integer"))
+            }
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("INSERT")?;
+        self.eat_kw("IGNORE");
+        self.expect_kw("INTO")?;
+        let table = self.identifier("table name")?;
+        let mut columns = Vec::new();
+        if self.eat_token(&Token::LParen) {
+            loop {
+                columns.push(self.identifier("column name")?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen, "`)`")?;
+        }
+        let source = if self.eat_kw("VALUES") || self.eat_kw("VALUE") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_token(&Token::LParen, "`(`")?;
+                let mut row = Vec::new();
+                if !self.check_token(&Token::RParen) {
+                    loop {
+                        row.push(self.expr()?);
+                        if !self.eat_token(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_token(&Token::RParen, "`)`")?;
+                rows.push(row);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.check_kw("SELECT") {
+            InsertSource::Select(Box::new(self.select()?))
+        } else {
+            return Err(self.unexpected("VALUES or SELECT"));
+        };
+        Ok(Statement::Insert(Insert { table, columns, source }))
+    }
+
+    fn update(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("UPDATE")?;
+        let table = self.identifier("table name")?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.identifier("column name")?;
+            self.expect_token(&Token::Eq, "`=`")?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let limit = if self.eat_kw("LIMIT") { Some(self.limit()?) } else { None };
+        Ok(Statement::Update(Update { table, assignments, where_clause, limit }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.identifier("table name")?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let limit = if self.eat_kw("LIMIT") { Some(self.limit()?) } else { None };
+        Ok(Statement::Delete(Delete { table, where_clause, limit }))
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("TABLE")?;
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.identifier("table name")?;
+        self.expect_token(&Token::LParen, "`(`")?;
+        let mut columns: Vec<ColumnDef> = Vec::new();
+        loop {
+            if self.eat_kw("PRIMARY") {
+                // Table-level `PRIMARY KEY (col)` constraint.
+                self.expect_kw("KEY")?;
+                self.expect_token(&Token::LParen, "`(`")?;
+                let col = self.identifier("column name")?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                if let Some(def) = columns.iter_mut().find(|c| c.name.eq_ignore_ascii_case(&col)) {
+                    def.primary_key = true;
+                } else {
+                    return Err(ParseError::syntax(
+                        format!("PRIMARY KEY references unknown column `{col}`"),
+                        self.span(),
+                    ));
+                }
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&Token::RParen, "`)`")?;
+        Ok(Statement::CreateTable(CreateTable { name, if_not_exists, columns }))
+    }
+
+    fn column_def(&mut self) -> Result<ColumnDef, ParseError> {
+        let name = self.identifier("column name")?;
+        let type_name = self.identifier("column type")?.to_uppercase();
+        let column_type = match type_name.as_str() {
+            "INT" | "INTEGER" | "SMALLINT" | "TINYINT" | "MEDIUMINT" => ColumnType::Int,
+            "BIGINT" => ColumnType::BigInt,
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => ColumnType::Double,
+            "VARCHAR" | "CHAR" => {
+                self.expect_token(&Token::LParen, "`(`")?;
+                let n = self.limit_number()?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                ColumnType::Varchar(n as u32)
+            }
+            "TEXT" | "MEDIUMTEXT" | "LONGTEXT" | "BLOB" => ColumnType::Text,
+            "DATETIME" | "TIMESTAMP" | "DATE" => ColumnType::DateTime,
+            other => {
+                return Err(ParseError::Unsupported { message: format!("column type `{other}`") })
+            }
+        };
+        // Optional `(n)` display width for numeric types.
+        if self.eat_token(&Token::LParen) {
+            self.limit_number()?;
+            self.expect_token(&Token::RParen, "`)`")?;
+        }
+        let mut def = ColumnDef {
+            name,
+            column_type,
+            not_null: false,
+            primary_key: false,
+            auto_increment: false,
+            default: None,
+        };
+        loop {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                def.not_null = true;
+            } else if self.eat_kw("NULL") {
+                def.not_null = false;
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                def.primary_key = true;
+            } else if self.eat_kw("AUTO_INCREMENT") {
+                def.auto_increment = true;
+            } else if self.eat_kw("DEFAULT") {
+                def.default = Some(match self.advance() {
+                    Some(Token::Int(v)) => Literal::Int(v),
+                    Some(Token::Float(v)) => Literal::Float(v),
+                    Some(Token::Str(s)) => Literal::Str(s),
+                    Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Literal::Null,
+                    Some(Token::Ident(s)) if s.eq_ignore_ascii_case("CURRENT_TIMESTAMP") => {
+                        Literal::Str("CURRENT_TIMESTAMP".into())
+                    }
+                    _ => return Err(self.unexpected("a literal default")),
+                });
+            } else if self.eat_kw("UNIQUE") {
+                // accepted, not enforced
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn drop_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("DROP")?;
+        self.expect_kw("TABLE")?;
+        let if_exists = if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.identifier("table name")?;
+        Ok(Statement::DropTable(DropTable { name, if_exists }))
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.xor_expr()?;
+        loop {
+            if self.eat_kw("OR") || self.eat_token(&Token::OrOr) {
+                let right = self.xor_expr()?;
+                left = Expr::binary(left, BinaryOp::Or, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("XOR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinaryOp::Xor, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        loop {
+            if self.eat_kw("AND") || self.eat_token(&Token::AndAnd) {
+                let right = self.not_expr()?;
+                left = Expr::binary(left, BinaryOp::And, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") || self.eat_token(&Token::Bang) {
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.bit_or()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("LIKE") {
+            let right = self.bit_or()?;
+            let op = if negated { BinaryOp::NotLike } else { BinaryOp::Like };
+            return Ok(Expr::binary(left, op, right));
+        }
+        if self.eat_kw("IN") {
+            self.expect_token(&Token::LParen, "`(`")?;
+            if self.check_kw("SELECT") {
+                let select = self.select()?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                return Ok(Expr::InSelect {
+                    expr: Box::new(left),
+                    select: Box::new(select),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen, "`)`")?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.bit_or()?;
+            self.expect_kw("AND")?;
+            let high = self.bit_or()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("LIKE, IN or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NullSafeEq) => Some(BinaryOp::NullSafeEq),
+            Some(Token::Ne) => Some(BinaryOp::Ne),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::Le) => Some(BinaryOp::Le),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::Ge) => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.bit_or()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.bit_and()?;
+        while self.eat_token(&Token::Pipe) {
+            let right = self.bit_and()?;
+            left = Expr::binary(left, BinaryOp::BitOr, right);
+        }
+        Ok(left)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.shift()?;
+        while self.eat_token(&Token::Ampersand) {
+            let right = self.shift()?;
+            left = Expr::binary(left, BinaryOp::BitAnd, right);
+        }
+        Ok(left)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.additive()?;
+        loop {
+            let op = if self.eat_token(&Token::Shl) {
+                BinaryOp::Shl
+            } else if self.eat_token(&Token::Shr) {
+                BinaryOp::Shr
+            } else {
+                return Ok(left);
+            };
+            let right = self.additive()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.eat_token(&Token::Plus) {
+                BinaryOp::Add
+            } else if self.eat_token(&Token::Minus) {
+                BinaryOp::Sub
+            } else {
+                return Ok(left);
+            };
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.eat_token(&Token::Star) {
+                BinaryOp::Mul
+            } else if self.eat_token(&Token::Slash) {
+                BinaryOp::Div
+            } else if self.eat_token(&Token::Percent) || self.check_kw("MOD") {
+                self.eat_kw("MOD");
+                BinaryOp::Mod
+            } else if self.eat_kw("DIV") {
+                BinaryOp::IntDiv
+            } else if self.eat_token(&Token::Caret) {
+                BinaryOp::BitXor
+            } else {
+                return Ok(left);
+            };
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_token(&Token::Minus) {
+            let operand = self.unary()?;
+            // Fold the sign into numeric literals (as MySQL's parser does):
+            // `-5` is one data item, not an operator applied to data.
+            return Ok(match operand {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Unary { op: UnaryOp::Neg, operand: Box::new(other) },
+            });
+        }
+        if self.eat_token(&Token::Plus) {
+            return self.unary();
+        }
+        if self.eat_token(&Token::Tilde) {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::BitNot, operand: Box::new(operand) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Token::Param) => {
+                self.pos += 1;
+                Ok(Expr::Param)
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.check_kw("SELECT") {
+                    let select = self.select()?;
+                    self.expect_token(&Token::RParen, "`)`")?;
+                    return Ok(Expr::Subquery(Box::new(select)));
+                }
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if is_clause_keyword(&name)
+                    && !name.eq_ignore_ascii_case("IN")
+                    && !name.eq_ignore_ascii_case("LIKE")
+                {
+                    return Err(self.unexpected("an expression"));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Int(1)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Literal::Int(0)));
+                }
+                if name.eq_ignore_ascii_case("EXISTS") {
+                    self.pos += 1;
+                    self.expect_token(&Token::LParen, "`(`")?;
+                    let select = self.select()?;
+                    self.expect_token(&Token::RParen, "`)`")?;
+                    return Ok(Expr::Exists { select: Box::new(select), negated: false });
+                }
+                if name.eq_ignore_ascii_case("CASE") {
+                    return self.case_expr();
+                }
+                self.pos += 1;
+                // Function call?
+                if self.check_token(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    // COUNT(*) special form.
+                    if name.eq_ignore_ascii_case("COUNT") && self.eat_token(&Token::Star) {
+                        self.expect_token(&Token::RParen, "`)`")?;
+                        return Ok(Expr::Function { name: "COUNT".into(), args: vec![] });
+                    }
+                    if name.eq_ignore_ascii_case("COUNT") && self.eat_kw("DISTINCT") {
+                        // COUNT(DISTINCT x) — treated as COUNT(x).
+                    }
+                    if !self.check_token(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_token(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_token(&Token::RParen, "`)`")?;
+                    return Ok(Expr::Function { name: name.to_uppercase(), args });
+                }
+                // Qualified column?
+                if self.eat_token(&Token::Dot) {
+                    let col = self.identifier("column name")?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            Some(Token::QuotedIdent(name)) => {
+                self.pos += 1;
+                if self.eat_token(&Token::Dot) {
+                    let col = self.identifier("column name")?;
+                    return Ok(Expr::Column { table: Some(name), name: col });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("CASE")?;
+        let operand = if self.check_kw("WHEN") { None } else { Some(Box::new(self.expr()?)) };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let when = self.expr()?;
+            self.expect_kw("THEN")?;
+            let then = self.expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.unexpected("WHEN"));
+        }
+        let else_branch =
+            if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { operand, branches, else_branch })
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    const CLAUSES: &[&str] = &[
+        "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "UNION", "ON", "SET", "VALUES",
+        "AND", "OR", "XOR", "NOT", "AS", "JOIN", "INNER", "LEFT", "ASC", "DESC", "LIKE", "IN",
+        "BETWEEN", "IS", "OFFSET", "INTO", "DIV", "MOD",
+    ];
+    CLAUSES.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+fn is_join_keyword(s: &str) -> bool {
+    const KWS: &[&str] = &["JOIN", "INNER", "LEFT", "OUTER"];
+    KWS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Statement {
+        parse(src).expect("parse ok").statements.remove(0)
+    }
+
+    #[test]
+    fn parses_paper_query() {
+        let s = one("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234");
+        let Statement::Select(sel) = s else { panic!("expected SELECT") };
+        assert_eq!(sel.items, vec![SelectItem::Wildcard]);
+        assert_eq!(sel.from[0].name, "tickets");
+        let Some(Expr::Binary { op: BinaryOp::And, .. }) = sel.where_clause else {
+            panic!("expected AND condition")
+        };
+    }
+
+    #[test]
+    fn tautology_attack_parses_as_or() {
+        let s = one("SELECT * FROM users WHERE name = '' OR '1'='1'");
+        let Statement::Select(sel) = s else { panic!() };
+        let Some(Expr::Binary { op: BinaryOp::Or, .. }) = sel.where_clause else {
+            panic!("expected OR")
+        };
+    }
+
+    #[test]
+    fn comment_attack_truncates_where() {
+        let p = parse("SELECT * FROM t WHERE a = 'x'-- ' AND b = 'y'").unwrap();
+        assert!(p.trailing_line_comment);
+        let Statement::Select(sel) = &p.statements[0] else { panic!() };
+        // Only the first comparison survives.
+        let Some(Expr::Binary { op: BinaryOp::Eq, .. }) = &sel.where_clause else {
+            panic!("expected single equality")
+        };
+    }
+
+    #[test]
+    fn union_attack() {
+        let s = one("SELECT a FROM t WHERE id = 1 UNION SELECT password FROM users");
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.arms().count(), 2);
+    }
+
+    #[test]
+    fn piggyback_parses_as_two_statements() {
+        let p = parse("SELECT 1; DROP TABLE users").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert!(p.single().is_none());
+    }
+
+    #[test]
+    fn insert_values() {
+        let s = one("INSERT INTO users (name, age) VALUES ('ann', 31), ('bob', 25)");
+        let Statement::Insert(i) = s else { panic!() };
+        assert_eq!(i.columns, vec!["name", "age"]);
+        let InsertSource::Values(rows) = i.source else { panic!() };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_select() {
+        let s = one("INSERT INTO archive (id) SELECT id FROM t WHERE old = 1");
+        let Statement::Insert(i) = s else { panic!() };
+        assert!(matches!(i.source, InsertSource::Select(_)));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let s = one("UPDATE t SET a = 1, b = 'x' WHERE id = 3 LIMIT 1");
+        let Statement::Update(u) = s else { panic!() };
+        assert_eq!(u.assignments.len(), 2);
+        assert!(u.where_clause.is_some());
+        assert_eq!(u.limit, Some(Limit { count: 1, offset: 0 }));
+
+        let s = one("DELETE FROM t WHERE id = 3");
+        let Statement::Delete(d) = s else { panic!() };
+        assert_eq!(d.table, "t");
+    }
+
+    #[test]
+    fn create_table_with_constraints() {
+        let s = one(
+            "CREATE TABLE IF NOT EXISTS users (\
+             id INT PRIMARY KEY AUTO_INCREMENT, \
+             name VARCHAR(64) NOT NULL, \
+             bio TEXT, \
+             score DOUBLE DEFAULT 0)",
+        );
+        let Statement::CreateTable(c) = s else { panic!() };
+        assert!(c.if_not_exists);
+        assert_eq!(c.columns.len(), 4);
+        assert!(c.columns[0].primary_key && c.columns[0].auto_increment);
+        assert!(c.columns[1].not_null);
+        assert_eq!(c.columns[3].default, Some(Literal::Int(0)));
+    }
+
+    #[test]
+    fn table_level_primary_key() {
+        let s = one("CREATE TABLE t (id INT, name VARCHAR(10), PRIMARY KEY (id))");
+        let Statement::CreateTable(c) = s else { panic!() };
+        assert!(c.columns[0].primary_key);
+    }
+
+    #[test]
+    fn functions_and_aggregates() {
+        let s = one("SELECT COUNT(*), CONCAT(a, 'x'), UPPER(b) FROM t GROUP BY b HAVING COUNT(*) > 2");
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 3);
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let s = one("SELECT a FROM t ORDER BY a DESC, b LIMIT 5, 10");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.order_by[0].descending);
+        assert!(!sel.order_by[1].descending);
+        assert_eq!(sel.limit, Some(Limit { offset: 5, count: 10 }));
+    }
+
+    #[test]
+    fn in_between_like_isnull() {
+        let s = one(
+            "SELECT * FROM t WHERE a IN (1,2,3) AND b NOT LIKE '%x%' \
+             AND c BETWEEN 1 AND 9 AND d IS NOT NULL",
+        );
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn subqueries() {
+        let s = one("SELECT * FROM t WHERE id IN (SELECT tid FROM u) AND EXISTS (SELECT 1 FROM v)");
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn joins() {
+        let s = one("SELECT t.a, u.b FROM t JOIN u ON t.id = u.tid LEFT JOIN v ON v.id = t.vid");
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.joins.len(), 2);
+        assert_eq!(sel.joins[0].kind, JoinKind::Inner);
+        assert_eq!(sel.joins[1].kind, JoinKind::Left);
+    }
+
+    #[test]
+    fn case_expression() {
+        let s = one("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectItem::Expr { expr: Expr::Case { .. }, .. } = &sel.items[0] else {
+            panic!("expected CASE")
+        };
+    }
+
+    #[test]
+    fn aliases() {
+        let s = one("SELECT a AS x, b y FROM t1 AS p, t2 q");
+        let Statement::Select(sel) = s else { panic!() };
+        let SelectItem::Expr { alias: Some(x), .. } = &sel.items[0] else { panic!() };
+        assert_eq!(x, "x");
+        assert_eq!(sel.from[0].alias.as_deref(), Some("p"));
+        assert_eq!(sel.from[1].alias.as_deref(), Some("q"));
+    }
+
+    #[test]
+    fn schema_qualified_table_names() {
+        let s = one("SELECT table_name FROM information_schema.tables");
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.from[0].name, "information_schema.tables");
+    }
+
+    #[test]
+    fn unsupported_statement() {
+        assert!(matches!(parse("GRANT ALL ON x TO y"), Err(ParseError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("INSERT INTO").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn external_id_comment_surfaces() {
+        let p = parse("/* qid:42 */ SELECT 1").unwrap();
+        assert_eq!(p.comments, vec!["qid:42".to_string()]);
+    }
+}

@@ -1,0 +1,295 @@
+//! The CRS-inspired rule pack.
+//!
+//! Reproduces the detection envelope of ModSecurity + OWASP CRS 3.0 at
+//! paranoia level 1 for the attack classes the demo exercises: classic
+//! SQLI shapes are caught; semantic-mismatch payloads (Unicode homoglyph
+//! quotes, version-comment keyword hiding, second-order stores) are not —
+//! by construction of the transforms, exactly as with the real WAF.
+
+use crate::pattern::Pattern;
+use crate::rule::{Rule, Severity, Target};
+
+/// Builds the full rule pack.
+#[must_use]
+pub fn ruleset() -> Vec<Rule> {
+    use Pattern::*;
+    use Severity::*;
+    let mut rules = vec![
+        // ---- 942xxx: SQL injection -------------------------------------
+        Rule::args(942_130, "SQL tautology detected", Critical, NumericTautology),
+        Rule::args(942_131, "SQL string tautology detected", Critical, StringTautology),
+        Rule::args(
+            942_140,
+            "SQL injection: common DB names",
+            Critical,
+            AnyOf(&[
+                Substr("information_schema"),
+                Substr("mysql.user"),
+                Substr("pg_catalog"),
+                Substr("sysobjects"),
+            ]),
+        ),
+        Rule::args(
+            942_150,
+            "SQL injection: DB function names",
+            Critical,
+            AnyOf(&[
+                Substr("sleep("),
+                Substr("benchmark("),
+                Substr("load_file("),
+                Substr("group_concat("),
+                Substr("updatexml("),
+                Substr("extractvalue("),
+                Substr("concat_ws("),
+                Substr("version()"),
+                Substr("@@version"),
+                Substr("current_user"),
+            ]),
+        ),
+        Rule::args(
+            942_190,
+            "UNION-based SQL injection",
+            Critical,
+            AnyOf(&[
+                TokenSeq(&["union", "select"]),
+                TokenSeq(&["union", "all", "select"]),
+                TokenSeq(&["union", "distinct", "select"]),
+            ]),
+        ),
+        Rule::args(942_180, "Basic SQL authentication bypass", Critical, QuoteThenComment),
+        Rule::args(
+            942_210,
+            "Chained SQL injection",
+            Critical,
+            AnyOf(&[
+                TokenSeq(&[";", "drop"]),
+                TokenSeq(&[";", "insert"]),
+                TokenSeq(&[";", "update"]),
+                TokenSeq(&[";", "delete"]),
+                TokenSeq(&[";", "shutdown"]),
+            ]),
+        ),
+        Rule::args(
+            942_230,
+            "Conditional SQL injection",
+            Critical,
+            AnyOf(&[
+                TokenSeq(&["case", "when"]),
+                Substr("if(1=1"),
+                TokenSeq(&["waitfor", "delay"]),
+            ]),
+        ),
+        Rule::args(
+            942_270,
+            "Common SQLI probe",
+            Critical,
+            AnyOf(&[
+                TokenSeq(&["select", "from"]),
+                TokenSeq(&["insert", "into"]),
+                TokenSeq(&["delete", "from"]),
+                TokenSeq(&["update", "set"]),
+            ]),
+        ),
+        Rule::args(
+            942_240,
+            "SQL comment/termination obfuscation",
+            Error,
+            AnyOf(&[Substr("'||'"), Substr("'+'"), Substr("char(")]),
+        ),
+        Rule::args(
+            942_160,
+            "Blind SQLI probe (boolean pair)",
+            Error,
+            AnyOf(&[
+                TokenSeq(&["and", "1=1"]),
+                TokenSeq(&["and", "1=2"]),
+                TokenSeq(&["or", "1=1"]),
+                TokenSeq(&["or", "1=2"]),
+            ]),
+        ),
+        Rule::args(
+            942_120,
+            "SQL operator keywords",
+            Error,
+            AnyOf(&[
+                TokenSeq(&["sounds", "like"]),
+                Substr(" regexp "),
+                Substr(" rlike "),
+                TokenSeq(&["is", "not", "null", "and"]),
+            ]),
+        ),
+        Rule::args(
+            942_170,
+            "Conditional sleep/benchmark probe",
+            Critical,
+            AnyOf(&[
+                TokenSeq(&["if(", "sleep("]),
+                TokenSeq(&["case", "sleep("]),
+                TokenSeq(&["or", "sleep("]),
+                TokenSeq(&["and", "sleep("]),
+                TokenSeq(&["or", "benchmark("]),
+            ]),
+        ),
+        Rule::args(
+            942_101,
+            "Stacked statement terminator followed by keyword",
+            Error,
+            AnyOf(&[TokenSeq(&[";", "select"]), TokenSeq(&[";", "create"])]),
+        ),
+        // ---- 941xxx: XSS -------------------------------------------------
+        Rule::args(941_100, "XSS: script tag", Critical, Substr("<script")),
+        Rule::args(
+            941_110,
+            "XSS: event handler attribute",
+            Critical,
+            AnyOf(&[
+                Substr("onerror"),
+                Substr("onload"),
+                Substr("onclick"),
+                Substr("onmouseover"),
+                Substr("onfocus"),
+            ]),
+        ),
+        Rule::args(941_120, "XSS: javascript URI", Critical, Substr("javascript:")),
+        Rule::args(
+            941_130,
+            "XSS: script-capable element",
+            Critical,
+            AnyOf(&[Substr("<iframe"), Substr("<object"), Substr("<embed"), Substr("<applet")]),
+        ),
+        Rule::args(
+            941_140,
+            "XSS: CSS/attribute vectors",
+            Critical,
+            AnyOf(&[
+                Substr("expression("),
+                Substr("style="),
+                Substr("formaction"),
+                Substr("srcdoc"),
+                Substr("vbscript:"),
+            ]),
+        ),
+        Rule::args(
+            941_160,
+            "XSS: obfuscated tag openers",
+            Critical,
+            AnyOf(&[Substr("<scr<script"), Substr("<svg"), Substr("<math"), Substr("<base")]),
+        ),
+        Rule::args(
+            920_270,
+            "NUL byte in request value",
+            Critical,
+            Substr("\u{0}"),
+        ),
+        // ---- 930xxx: LFI / 931xxx: RFI -----------------------------------
+        Rule::args(
+            930_100,
+            "Path traversal",
+            Critical,
+            AnyOf(&[Substr("../"), Substr("..\\")]),
+        ),
+        Rule::args(
+            930_120,
+            "OS file access attempt",
+            Critical,
+            AnyOf(&[Substr("/etc/passwd"), Substr("/etc/shadow"), Substr("boot.ini")]),
+        ),
+        Rule::args(
+            931_100,
+            "RFI: URL in parameter",
+            Error,
+            AnyOf(&[Substr("http://"), Substr("https://"), Substr("ftp://"), Substr("php://")]),
+        ),
+        // ---- 932xxx: RCE ---------------------------------------------------
+        Rule::args(
+            932_160,
+            "OS command injection",
+            Critical,
+            AnyOf(&[
+                Substr("/bin/bash"),
+                Substr("/bin/sh"),
+                TokenSeq(&[";", "cat "]),
+                TokenSeq(&["|", "nc "]),
+                Substr("$("),
+                Substr("`"),
+            ]),
+        ),
+        Rule::args(
+            933_160,
+            "PHP code injection",
+            Critical,
+            AnyOf(&[Substr("eval("), Substr("system("), Substr("<?php"), Substr("passthru(")]),
+        ),
+    ];
+    // Paranoia-2 extras: stricter, FP-prone rules off by default.
+    rules.push(Rule {
+        id: 942_430,
+        msg: "Restricted SQL character anomaly (PL2)",
+        severity: Severity::Warning,
+        paranoia: 2,
+        target: Target::Args,
+        pattern: Pattern::AnyOf(&[Pattern::Substr("';"), Pattern::Substr("')")]),
+    });
+    rules.push(Rule {
+        id: 920_260,
+        msg: "Unicode full/half-width abuse (PL2)",
+        severity: Severity::Warning,
+        paranoia: 2,
+        target: Target::Args,
+        pattern: Pattern::AnyOf(&[Pattern::Substr("\u{ff07}"), Pattern::Substr("\u{ff02}")]),
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_has_expected_coverage() {
+        let rules = ruleset();
+        assert!(rules.len() >= 25);
+        // At least one rule per family.
+        for family in [942, 941, 930, 931, 932, 933] {
+            assert!(
+                rules.iter().any(|r| r.id / 1000 == family),
+                "missing family {family}xxx"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let rules = ruleset();
+        let mut ids: Vec<u32> = rules.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), rules.len());
+    }
+
+    #[test]
+    fn new_rules_fire_on_their_payloads() {
+        use crate::engine::ModSecurity;
+        use septic_http::HttpRequest;
+        let waf = ModSecurity::new();
+        for payload in [
+            "1 OR SLEEP(9)",
+            "x; SELECT password FROM users",
+            "<div style=width:expression(alert(1))>",
+            "<svg onload=alert(1)>",
+            "a\u{0}b and 1=1",
+        ] {
+            let blocked = waf
+                .inspect(&HttpRequest::post("/f").param("v", payload))
+                .is_blocked();
+            assert!(blocked, "should block: {payload:?}");
+        }
+    }
+
+    #[test]
+    fn default_pack_is_paranoia_1_heavy() {
+        let rules = ruleset();
+        let pl1 = rules.iter().filter(|r| r.paranoia == 1).count();
+        assert!(pl1 >= rules.len() - 2);
+    }
+}

@@ -1,0 +1,337 @@
+//! The WAF engine: anomaly-scoring inspection of requests.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use septic_http::HttpRequest;
+
+use crate::crs::ruleset;
+use crate::rule::{Rule, RuleMatch, Target};
+use crate::transform::standard_chain;
+
+/// Engine mode, mirroring `SecRuleEngine`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WafMode {
+    /// Inspect and block over-threshold requests.
+    #[default]
+    On,
+    /// Inspect and log, never block.
+    DetectionOnly,
+    /// Pass everything through untouched.
+    Off,
+}
+
+/// Verdict for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WafDecision {
+    /// Request may proceed to the application.
+    Pass,
+    /// Request blocked (HTTP 403). Carries the anomaly score and matches.
+    Blocked { score: u32, matches: Vec<RuleMatch> },
+}
+
+impl WafDecision {
+    /// True when the request was blocked.
+    #[must_use]
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, WafDecision::Blocked { .. })
+    }
+}
+
+/// One audit-log entry.
+#[derive(Debug, Clone)]
+pub struct AuditEntry {
+    pub request: String,
+    pub score: u32,
+    pub matches: Vec<RuleMatch>,
+    pub blocked: bool,
+}
+
+impl fmt::Display for AuditEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} score={} {}",
+            self.request,
+            self.score,
+            if self.blocked { "BLOCKED" } else { "passed" }
+        )?;
+        for m in &self.matches {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The ModSecurity-style engine. Version string mirrors the demo setup
+/// (ModSecurity 2.9.1 + OWASP CRS 3.0).
+pub struct ModSecurity {
+    mode: Mutex<WafMode>,
+    rules: Vec<Rule>,
+    paranoia: u8,
+    inbound_threshold: u32,
+    audit: Mutex<Vec<AuditEntry>>,
+}
+
+impl Default for ModSecurity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModSecurity {
+    /// Engine with the CRS-inspired pack, paranoia level 1 and the CRS
+    /// default inbound threshold of 5.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_paranoia(1)
+    }
+
+    /// Engine at an explicit paranoia level (rules above the level are
+    /// skipped).
+    #[must_use]
+    pub fn with_paranoia(paranoia: u8) -> Self {
+        ModSecurity {
+            mode: Mutex::new(WafMode::On),
+            rules: ruleset(),
+            paranoia,
+            inbound_threshold: 5,
+            audit: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Engine version banner (shown by the demo's status display).
+    #[must_use]
+    pub fn version(&self) -> &'static str {
+        "ModSecurity/2.9.1-sim (OWASP CRS/3.0-sim)"
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> WafMode {
+        *self.mode.lock()
+    }
+
+    /// Switches the engine mode (the demo toggles ModSecurity on and off
+    /// between phases, restarting the web server).
+    pub fn set_mode(&self, mode: WafMode) {
+        *self.mode.lock() = mode;
+    }
+
+    /// Inspects a request and decides.
+    #[must_use]
+    pub fn inspect(&self, request: &HttpRequest) -> WafDecision {
+        let mode = self.mode();
+        if mode == WafMode::Off {
+            return WafDecision::Pass;
+        }
+        let mut matches = Vec::new();
+        let mut score = 0u32;
+        let mut seen_rule_location: Vec<(u32, String)> = Vec::new();
+        // Transform each inspected value once; every rule matches on the
+        // same transformed view (as ModSecurity caches t: chains).
+        let transformed_params: Vec<(String, String)> = request
+            .params
+            .iter()
+            .map(|(name, value)| (name.clone(), standard_chain(value)))
+            .collect();
+        let transformed_names: Vec<String> =
+            request.params.iter().map(|(name, _)| standard_chain(name)).collect();
+        let transformed_path = standard_chain(&request.path);
+        let mut check = |rule: &Rule, location: &str, transformed: &str| {
+            if rule.pattern.matches(transformed) {
+                let key = (rule.id, location.to_string());
+                if !seen_rule_location.contains(&key) {
+                    seen_rule_location.push(key);
+                    score += rule.severity.score();
+                    matches.push(RuleMatch {
+                        rule_id: rule.id,
+                        msg: rule.msg,
+                        severity: rule.severity,
+                        location: location.to_string(),
+                        matched_value: truncate(transformed, 80),
+                    });
+                }
+            }
+        };
+        for rule in &self.rules {
+            if rule.paranoia > self.paranoia {
+                continue;
+            }
+            match rule.target {
+                Target::Args => {
+                    for (name, transformed) in &transformed_params {
+                        check(rule, &format!("ARGS:{name}"), transformed);
+                    }
+                }
+                Target::ArgNames => {
+                    for transformed in &transformed_names {
+                        check(rule, "ARGS_NAMES", transformed);
+                    }
+                }
+                Target::Path => check(rule, "REQUEST_URI", &transformed_path),
+            }
+        }
+        let blocked = mode == WafMode::On && score >= self.inbound_threshold;
+        if score > 0 {
+            self.audit.lock().push(AuditEntry {
+                request: request.to_string(),
+                score,
+                matches: matches.clone(),
+                blocked,
+            });
+        }
+        if blocked {
+            WafDecision::Blocked { score, matches }
+        } else {
+            WafDecision::Pass
+        }
+    }
+
+    /// Snapshot of the audit log.
+    #[must_use]
+    pub fn audit_log(&self) -> Vec<AuditEntry> {
+        self.audit.lock().clone()
+    }
+
+    /// Clears the audit log.
+    pub fn clear_audit_log(&self) {
+        self.audit.lock().clear();
+    }
+}
+
+impl fmt::Debug for ModSecurity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModSecurity")
+            .field("mode", &self.mode())
+            .field("rules", &self.rules.len())
+            .field("paranoia", &self.paranoia)
+            .finish_non_exhaustive()
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(value: &str) -> HttpRequest {
+        HttpRequest::post("/form").param("field", value)
+    }
+
+    #[test]
+    fn classic_payloads_are_blocked() {
+        let waf = ModSecurity::new();
+        for payload in [
+            "' OR 1=1-- ",
+            "' OR '1'='1",
+            "x' UNION SELECT password FROM users-- ",
+            "admin'-- ",
+            "1 AND SLEEP(5)",
+            "<script>alert(1)</script>",
+            "<img src=x onerror=alert(1)>",
+            "../../../etc/passwd",
+            "x; DROP TABLE users",
+        ] {
+            assert!(
+                waf.inspect(&req(payload)).is_blocked(),
+                "should block: {payload}"
+            );
+        }
+    }
+
+    #[test]
+    fn benign_values_pass() {
+        let waf = ModSecurity::new();
+        for value in [
+            "john doe",
+            "O'Neil",                       // lone quote scores < threshold
+            "price is 10 and qty is 2",
+            "select your favourite colour", // word, no FROM
+            "the on-off switch",
+        ] {
+            assert_eq!(waf.inspect(&req(value)), WafDecision::Pass, "FP on: {value}");
+        }
+    }
+
+    #[test]
+    fn semantic_mismatch_payloads_pass_the_waf() {
+        let waf = ModSecurity::new();
+        // Unicode homoglyph quote: no ASCII quote, keywords hidden in a
+        // version comment that replaceComments erases.
+        let evasive = "ID34FG\u{02BC} /*!UNION*/ /*!SELECT*/ password FROM users";
+        // (the naked `FROM users` tail alone scores below the threshold)
+        assert_eq!(waf.inspect(&req(evasive)), WafDecision::Pass, "{evasive}");
+        // Second-order store: benign-looking value.
+        let second_order = "ID34FG\u{02BC}-- ";
+        assert_eq!(waf.inspect(&req(second_order)), WafDecision::Pass);
+    }
+
+    #[test]
+    fn url_encoded_payloads_are_still_caught() {
+        let waf = ModSecurity::new();
+        let encoded = "%27%20OR%201%3D1--%20";
+        assert!(waf.inspect(&req(encoded)).is_blocked());
+    }
+
+    #[test]
+    fn detection_only_logs_without_blocking() {
+        let waf = ModSecurity::new();
+        waf.set_mode(WafMode::DetectionOnly);
+        assert_eq!(waf.inspect(&req("' OR 1=1-- ")), WafDecision::Pass);
+        let log = waf.audit_log();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].blocked);
+        assert!(log[0].score >= 5);
+    }
+
+    #[test]
+    fn off_mode_skips_everything() {
+        let waf = ModSecurity::new();
+        waf.set_mode(WafMode::Off);
+        assert_eq!(waf.inspect(&req("' OR 1=1-- ")), WafDecision::Pass);
+        assert!(waf.audit_log().is_empty());
+    }
+
+    #[test]
+    fn audit_log_records_matches() {
+        let waf = ModSecurity::new();
+        let _ = waf.inspect(&req("' UNION SELECT a FROM b-- "));
+        let log = waf.audit_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].blocked);
+        assert!(log[0].matches.iter().any(|m| m.rule_id == 942_190));
+        waf.clear_audit_log();
+        assert!(waf.audit_log().is_empty());
+    }
+
+    #[test]
+    fn paranoia_2_catches_fullwidth_quote() {
+        let pl1 = ModSecurity::new();
+        let pl2 = ModSecurity::with_paranoia(2);
+        // A full-width quote: invisible at PL1, scored by the PL2 rule.
+        let r = req("x\u{ff07} OR 2=2");
+        let _ = pl1.inspect(&r);
+        assert!(!pl1
+            .audit_log()
+            .iter()
+            .any(|e| e.matches.iter().any(|m| m.rule_id == 920_260)));
+        let _ = pl2.inspect(&r);
+        assert!(pl2
+            .audit_log()
+            .iter()
+            .any(|e| e.matches.iter().any(|m| m.rule_id == 920_260)));
+    }
+
+    #[test]
+    fn version_banner() {
+        assert!(ModSecurity::new().version().contains("2.9.1"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # septic-waf
+//!
+//! A ModSecurity-style web application firewall with a CRS-inspired rule
+//! pack — the demo's comparison baseline (phases IV-B and IV-E).
+//!
+//! The engine reproduces ModSecurity's anomaly-scoring pipeline: each
+//! request parameter is transformed (URL-decode, HTML-entity decode,
+//! comment replacement, whitespace compression, lowercasing) and matched
+//! against the rule pack; severities accumulate into an anomaly score and
+//! the request is blocked at the CRS default inbound threshold.
+//!
+//! By construction — the same construction as the real CRS transforms —
+//! classic payloads are caught while the paper's semantic-mismatch attacks
+//! (Unicode homoglyph quotes, version-comment keyword hiding, second-order
+//! stores) pass, producing the false negatives phase IV-E tabulates.
+//!
+//! ```
+//! use septic_http::HttpRequest;
+//! use septic_waf::ModSecurity;
+//!
+//! let waf = ModSecurity::new();
+//! let classic = HttpRequest::post("/login").param("user", "' OR 1=1-- ");
+//! assert!(waf.inspect(&classic).is_blocked());
+//!
+//! let mismatch = HttpRequest::post("/login").param("user", "ID34FG\u{02BC}-- ");
+//! assert!(!waf.inspect(&mismatch).is_blocked());
+//! ```
+
+pub mod crs;
+pub mod engine;
+pub mod pattern;
+pub mod rule;
+pub mod transform;
+
+pub use engine::{AuditEntry, ModSecurity, WafDecision, WafMode};
+pub use pattern::Pattern;
+pub use rule::{Rule, RuleMatch, Severity, Target};

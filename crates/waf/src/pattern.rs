@@ -1,0 +1,207 @@
+//! The rule pattern language.
+//!
+//! A deliberately small matcher standing in for the CRS regexes: literal
+//! substrings, ordered token sequences, alternation, plus two structured
+//! detectors (numeric tautology, quote-then-comment) that cover the most
+//! load-bearing CRS expressions. Patterns run over the *transformed*
+//! (lowercased, decoded, comment-stripped) value.
+
+/// A matchable pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Literal substring (input is already lowercased by the transforms).
+    Substr(&'static str),
+    /// Every token appears, in order, with arbitrary gaps.
+    TokenSeq(&'static [&'static str]),
+    /// Any alternative matches.
+    AnyOf(&'static [Pattern]),
+    /// `N op N` with the same number on both sides (`1=1`, `7 = 7`,
+    /// `2>1`-style probes are *not* matched — only equality tautologies).
+    NumericTautology,
+    /// String tautology of the shape `'x'='x'` (same quoted token).
+    StringTautology,
+    /// A quote followed by a line-comment/terminator (`'--`, `'#`, `';`),
+    /// possibly with spaces in between — the classic "close and cut" shape.
+    QuoteThenComment,
+}
+
+impl Pattern {
+    /// Whether the pattern matches the (transformed) value.
+    #[must_use]
+    pub fn matches(&self, value: &str) -> bool {
+        match self {
+            Pattern::Substr(s) => value.contains(s),
+            Pattern::TokenSeq(tokens) => {
+                let mut rest = value;
+                for token in *tokens {
+                    match rest.find(token) {
+                        Some(pos) => rest = &rest[pos + token.len()..],
+                        None => return false,
+                    }
+                }
+                true
+            }
+            Pattern::AnyOf(alternatives) => alternatives.iter().any(|p| p.matches(value)),
+            Pattern::NumericTautology => numeric_tautology(value),
+            Pattern::StringTautology => string_tautology(value),
+            Pattern::QuoteThenComment => quote_then_comment(value),
+        }
+    }
+}
+
+fn numeric_tautology(value: &str) -> bool {
+    let bytes = value.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let left = &value[start..i];
+            let mut j = i;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'=' {
+                j += 1;
+                while j < bytes.len() && bytes[j] == b' ' {
+                    j += 1;
+                }
+                let rstart = j;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j > rstart && value[rstart..j] == *left {
+                    return true;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+fn string_tautology(value: &str) -> bool {
+    // 'x' = 'x' (single-quoted, same content both sides)
+    let chars: Vec<char> = value.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\'' {
+            // read left quoted token
+            let l_start = i + 1;
+            let mut j = l_start;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            if j >= chars.len() {
+                return false; // no further quote pairs possible
+            }
+            let left: String = chars[l_start..j].iter().collect();
+            let mut k = j + 1;
+            while k < chars.len() && chars[k] == ' ' {
+                k += 1;
+            }
+            if k < chars.len() && chars[k] == '=' {
+                k += 1;
+                while k < chars.len() && chars[k] == ' ' {
+                    k += 1;
+                }
+                if k < chars.len() && chars[k] == '\'' {
+                    let r_start = k + 1;
+                    let mut m = r_start;
+                    while m < chars.len() && chars[m] != '\'' {
+                        m += 1;
+                    }
+                    // Right side may be cut by a comment before its closing
+                    // quote ('a'='a): compare what is there.
+                    let right: String = chars[r_start..m.min(chars.len())].iter().collect();
+                    if !left.is_empty() && left == right {
+                        return true;
+                    }
+                    if left.is_empty() && right.is_empty() {
+                        return true; // ''='' shape
+                    }
+                }
+            }
+            // Try every quote position as a potential left side: quote
+            // pairing is ambiguous in injected fragments.
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+fn quote_then_comment(value: &str) -> bool {
+    let chars: Vec<char> = value.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '\'' || c == '"' {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] == ' ' {
+                j += 1;
+            }
+            if j < chars.len() && (chars[j] == '#' || chars[j] == ';') {
+                return true;
+            }
+            if j + 1 < chars.len() && chars[j] == '-' && chars[j + 1] == '-' {
+                return true;
+            }
+            if j >= chars.len() && i + 1 < chars.len() {
+                // quote then only spaces to the end: not a comment
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substr_and_tokens() {
+        assert!(Pattern::Substr("union").matches("a union b"));
+        assert!(!Pattern::Substr("union").matches("uni on"));
+        assert!(Pattern::TokenSeq(&["union", "select"]).matches("x union all select y"));
+        assert!(!Pattern::TokenSeq(&["union", "select"]).matches("select ... union"));
+    }
+
+    #[test]
+    fn any_of() {
+        const P: Pattern =
+            Pattern::AnyOf(&[Pattern::Substr("sleep("), Pattern::Substr("benchmark(")]);
+        assert!(P.matches("1 and sleep(5)"));
+        assert!(P.matches("benchmark(100,md5(1))"));
+        assert!(!P.matches("asleep at the wheel"));
+    }
+
+    #[test]
+    fn numeric_tautology_shapes() {
+        assert!(Pattern::NumericTautology.matches("or 1=1"));
+        assert!(Pattern::NumericTautology.matches("or 23 = 23 --"));
+        assert!(!Pattern::NumericTautology.matches("or 1=2"));
+        assert!(!Pattern::NumericTautology.matches("price=10 and qty=2"));
+        assert!(Pattern::NumericTautology.matches("x=5 or 7=7"));
+    }
+
+    #[test]
+    fn string_tautology_shapes() {
+        assert!(Pattern::StringTautology.matches("' or 'a'='a"));
+        assert!(Pattern::StringTautology.matches("'x' = 'x'"));
+        assert!(!Pattern::StringTautology.matches("'a'='b'"));
+        assert!(!Pattern::StringTautology.matches("it's a nice day"));
+    }
+
+    #[test]
+    fn quote_then_comment_shapes() {
+        assert!(Pattern::QuoteThenComment.matches("admin'--"));
+        assert!(Pattern::QuoteThenComment.matches("x' -- y"));
+        assert!(Pattern::QuoteThenComment.matches("x'#"));
+        assert!(Pattern::QuoteThenComment.matches("x';"));
+        assert!(!Pattern::QuoteThenComment.matches("o'neil said -- wait"));
+        assert!(!Pattern::QuoteThenComment.matches("plain"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Input transformations applied before rule matching (ModSecurity's
+//! `t:` actions).
+//!
+//! The standard chain mirrors what CRS rules typically request:
+//! `urlDecodeUni, htmlEntityDecode, replaceComments, compressWhitespace,
+//! lowercase`. Note that `replaceComments` substitutes each complete
+//! C-style comment — *including its content* — with one space. MySQL's
+//! executable version comments (`/*!50000 UNION*/`) therefore vanish from
+//! the WAF's view while the DBMS executes their body: one of the
+//! semantic-mismatch channels the demo exercises.
+
+use septic_http::url_decode;
+
+/// Replaces every `/* ... */` comment with a single space. Unterminated
+/// comments are removed to the end of the input (matching ModSecurity).
+#[must_use]
+pub fn replace_comments(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i < bytes.len() && !(bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/')
+            {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            out.push(' ');
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Collapses runs of whitespace into single spaces.
+#[must_use]
+pub fn compress_whitespace(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut in_ws = false;
+    for c in input.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+            }
+            in_ws = true;
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    out
+}
+
+/// Decodes the HTML entities payloads commonly hide behind.
+#[must_use]
+pub fn html_entity_decode(input: &str) -> String {
+    let mut out = input.to_string();
+    for (entity, ch) in [
+        ("&lt;", "<"),
+        ("&gt;", ">"),
+        ("&quot;", "\""),
+        ("&#x27;", "'"),
+        ("&#39;", "'"),
+        ("&#x2f;", "/"),
+        ("&amp;", "&"),
+    ] {
+        out = out.replace(entity, ch);
+    }
+    out
+}
+
+/// The standard transformation chain applied to every inspected value.
+#[must_use]
+pub fn standard_chain(input: &str) -> String {
+    let decoded = url_decode(input);
+    let decoded = html_entity_decode(&decoded);
+    let decoded = replace_comments(&decoded);
+    let decoded = compress_whitespace(&decoded);
+    decoded.to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_vanish_entirely() {
+        assert_eq!(replace_comments("UNI/**/ON"), "UNI ON");
+        // The body of a version comment disappears from the WAF's view…
+        assert_eq!(replace_comments("1 /*!50000 UNION SELECT*/ 2"), "1   2");
+        assert_eq!(replace_comments("a /* unterminated"), "a  ");
+    }
+
+    #[test]
+    fn whitespace_compression() {
+        assert_eq!(compress_whitespace("a  b\t\nc"), "a b c");
+    }
+
+    #[test]
+    fn entity_decode() {
+        assert_eq!(html_entity_decode("&lt;script&gt;"), "<script>");
+        assert_eq!(html_entity_decode("a&#39;b"), "a'b");
+    }
+
+    #[test]
+    fn standard_chain_normalises_classic_payload() {
+        assert_eq!(standard_chain("%27%20OR%20%20 1%3D1--"), "' or 1=1--");
+    }
+
+    #[test]
+    fn standard_chain_loses_version_comment_body() {
+        let t = standard_chain("x' /*!UNION SELECT*/ password FROM users");
+        assert!(!t.contains("union"), "WAF view must not contain the keyword: {t}");
+    }
+}

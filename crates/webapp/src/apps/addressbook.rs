@@ -1,0 +1,233 @@
+//! **PHP Address Book** — one of the three real applications used for the
+//! Figure 5 overhead workloads (12 requests: contact browsing, search,
+//! add/edit, plus static objects).
+
+use septic_dbms::{Connection, DbError, Value};
+use septic_http::{HttpRequest, HttpResponse, Method, Status};
+
+use crate::framework::{db_error_response, html_table, page, RouteSpec, WebApp};
+use crate::php::{intval, mysql_real_escape_string as esc};
+
+/// The application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhpAddressBook;
+
+impl PhpAddressBook {
+    /// Creates the application.
+    #[must_use]
+    pub fn new() -> Self {
+        PhpAddressBook
+    }
+}
+
+impl WebApp for PhpAddressBook {
+    fn name(&self) -> &'static str {
+        "PHP Address Book"
+    }
+
+    fn install(&self, conn: &Connection) -> Result<(), DbError> {
+        conn.execute(
+            "CREATE TABLE addresses (id INT PRIMARY KEY AUTO_INCREMENT, \
+             firstname VARCHAR(40) NOT NULL, lastname VARCHAR(40), \
+             email VARCHAR(64), phone VARCHAR(24), city VARCHAR(40))",
+        )?;
+        conn.execute(
+            "INSERT INTO addresses (firstname, lastname, email, phone, city) VALUES \
+             ('Ana', 'Silva', 'ana@example.org', '21-555-0100', 'Lisboa'), \
+             ('Bruno', 'Costa', 'bruno@example.org', '22-555-0101', 'Porto'), \
+             ('Carla', 'Santos', 'carla@example.org', '21-555-0102', 'Lisboa'), \
+             ('Duarte', 'Pereira', 'duarte@example.org', '289-555-0103', 'Faro')",
+        )?;
+        Ok(())
+    }
+
+    fn handle(&self, req: &HttpRequest, conn: &Connection) -> HttpResponse {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/") | (Method::Get, "/index.php") => {
+                match conn.query(
+                    "/* qid:ab-list */ SELECT id, firstname, lastname, city FROM addresses \
+                     ORDER BY lastname, firstname",
+                ) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Address Book",
+                        &html_table(&["id", "first", "last", "city"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/view.php") => {
+                let id = intval(req.param_or_empty("id"));
+                let sql = format!(
+                    "/* qid:ab-view */ SELECT firstname, lastname, email, phone, city \
+                     FROM addresses WHERE id = {id}"
+                );
+                match conn.query(&sql) {
+                    Ok(out) if !out.rows.is_empty() => HttpResponse::ok(page(
+                        "Contact",
+                        &html_table(
+                            &["first", "last", "email", "phone", "city"],
+                            &to_strings(&out.rows),
+                        ),
+                    )),
+                    Ok(_) => HttpResponse::error(Status::NotFound, "no such contact"),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/search.php") => {
+                let q = esc(req.param_or_empty("q"));
+                let sql = format!(
+                    "/* qid:ab-search */ SELECT firstname, lastname, email FROM addresses \
+                     WHERE lastname LIKE '%{q}%' OR firstname LIKE '%{q}%' ORDER BY lastname"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Search",
+                        &html_table(&["first", "last", "email"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/add.php") => {
+                let first = esc(req.param_or_empty("firstname"));
+                let last = esc(req.param_or_empty("lastname"));
+                let email = esc(req.param_or_empty("email"));
+                let city = esc(req.param_or_empty("city"));
+                if first.is_empty() {
+                    return HttpResponse::error(Status::BadRequest, "firstname required");
+                }
+                let sql = format!(
+                    "/* qid:ab-add */ INSERT INTO addresses (firstname, lastname, email, city) \
+                     VALUES ('{first}', '{last}', '{email}', '{city}')"
+                );
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Added", "contact saved")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/edit.php") => {
+                let id = intval(req.param_or_empty("id"));
+                let phone = esc(req.param_or_empty("phone"));
+                let sql = format!(
+                    "/* qid:ab-edit */ UPDATE addresses SET phone = '{phone}' WHERE id = {id}"
+                );
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Updated", "contact updated")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/delete.php") => {
+                let id = intval(req.param_or_empty("id"));
+                match conn.execute_prepared(
+                    "DELETE FROM addresses WHERE id = ?",
+                    &[Value::Int(id)],
+                ) {
+                    Ok(_) => HttpResponse::ok(page("Deleted", "contact removed")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/style.css") => HttpResponse::ok(".list { margin: 1em; }".repeat(6)),
+            _ => HttpResponse::error(Status::NotFound, "not found"),
+        }
+    }
+
+    fn routes(&self) -> Vec<RouteSpec> {
+        vec![
+            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/view.php",
+                params: &[("id", "1")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/search.php",
+                params: &[("q", "Silva")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/add.php",
+                params: &[
+                    ("firstname", "Eva"),
+                    ("lastname", "Martins"),
+                    ("email", "eva@example.org"),
+                    ("city", "Braga"),
+                ],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/edit.php",
+                params: &[("id", "1"), ("phone", "21-555-0199")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/delete.php",
+                params: &[("id", "4")],
+                is_static: false,
+            },
+            RouteSpec { method: Method::Get, path: "/style.css", params: &[], is_static: true },
+        ]
+    }
+
+    /// The 12-request PHP Address Book workload of the paper's evaluation.
+    fn workload(&self) -> Vec<HttpRequest> {
+        vec![
+            HttpRequest::get("/"),
+            HttpRequest::get("/style.css"),
+            HttpRequest::get("/view.php").param("id", "1"),
+            HttpRequest::get("/view.php").param("id", "2"),
+            HttpRequest::get("/search.php").param("q", "Silva"),
+            HttpRequest::post("/add.php")
+                .param("firstname", "Eva")
+                .param("lastname", "Martins")
+                .param("email", "eva@example.org")
+                .param("city", "Braga"),
+            HttpRequest::get("/"),
+            HttpRequest::get("/search.php").param("q", "Martins"),
+            HttpRequest::post("/edit.php").param("id", "2").param("phone", "22-555-0777"),
+            HttpRequest::get("/view.php").param("id", "2"),
+            HttpRequest::get("/search.php").param("q", "Costa"),
+            HttpRequest::get("/style.css"),
+        ]
+    }
+}
+
+fn to_strings(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| r.iter().map(Value::to_display_string).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use std::sync::Arc;
+
+    #[test]
+    fn workload_has_12_requests_and_succeeds() {
+        let app = PhpAddressBook::new();
+        assert_eq!(app.workload().len(), 12);
+        let d = Deployment::new(Arc::new(app), None, None).unwrap();
+        for req in PhpAddressBook::new().workload() {
+            let resp = d.request(&req);
+            assert!(resp.response.is_success(), "{req}: {}", resp.response.body);
+        }
+    }
+
+    #[test]
+    fn crud_cycle() {
+        let d = Deployment::new(Arc::new(PhpAddressBook::new()), None, None).unwrap();
+        let _ = d.request(
+            &HttpRequest::post("/add.php").param("firstname", "Zed").param("lastname", "Zz"),
+        );
+        let found = d.request(&HttpRequest::get("/search.php").param("q", "Zz"));
+        assert!(found.response.body.contains("Zed"));
+        let _ = d.request(&HttpRequest::post("/delete.php").param("id", "5"));
+        let gone = d.request(&HttpRequest::get("/search.php").param("q", "Zz"));
+        assert!(!gone.response.body.contains("Zed"));
+    }
+}

@@ -1,0 +1,22 @@
+//! The simulated applications: the demo scenario (WaspMon) and the three
+//! Figure 5 workload applications.
+
+pub mod addressbook;
+pub mod refbase;
+pub mod waspmon;
+pub mod zerocms;
+
+pub use addressbook::PhpAddressBook;
+pub use refbase::Refbase;
+pub use waspmon::WaspMon;
+pub use zerocms::ZeroCms;
+
+/// All three Figure 5 workload applications, in the paper's order.
+#[must_use]
+pub fn workload_apps() -> Vec<std::sync::Arc<dyn crate::framework::WebApp>> {
+    vec![
+        std::sync::Arc::new(PhpAddressBook::new()),
+        std::sync::Arc::new(Refbase::new()),
+        std::sync::Arc::new(ZeroCms::new()),
+    ]
+}

@@ -1,0 +1,234 @@
+//! **refbase** — the bibliographic reference manager used as the second
+//! Figure 5 workload application (14 requests: browsing, queries by
+//! author/year, detail views, an import, plus static objects).
+
+use septic_dbms::{Connection, DbError, Value};
+use septic_http::{HttpRequest, HttpResponse, Method, Status};
+
+use crate::framework::{db_error_response, html_table, page, RouteSpec, WebApp};
+use crate::php::{intval, mysql_real_escape_string as esc};
+
+/// The application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Refbase;
+
+impl Refbase {
+    /// Creates the application.
+    #[must_use]
+    pub fn new() -> Self {
+        Refbase
+    }
+}
+
+impl WebApp for Refbase {
+    fn name(&self) -> &'static str {
+        "refbase"
+    }
+
+    fn install(&self, conn: &Connection) -> Result<(), DbError> {
+        conn.execute(
+            "CREATE TABLE refs (id INT PRIMARY KEY AUTO_INCREMENT, \
+             author VARCHAR(120) NOT NULL, title VARCHAR(200) NOT NULL, \
+             journal VARCHAR(120), year INT, cited INT DEFAULT 0)",
+        )?;
+        conn.execute(
+            "INSERT INTO refs (author, title, journal, year, cited) VALUES \
+             ('Medeiros, I.', 'Hacking the DBMS to prevent injection attacks', 'CODASPY', 2016, 42), \
+             ('Halfond, W.', 'AMNESIA: analysis and monitoring', 'ASE', 2005, 500), \
+             ('Boyd, S.', 'SQLrand: preventing SQL injection', 'ACNS', 2004, 380), \
+             ('Su, Z.', 'The essence of command injection attacks', 'POPL', 2006, 410), \
+             ('Son, S.', 'Diglossia: detecting code injection', 'CCS', 2013, 120)",
+        )?;
+        Ok(())
+    }
+
+    fn handle(&self, req: &HttpRequest, conn: &Connection) -> HttpResponse {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/") | (Method::Get, "/index.php") => {
+                match conn.query(
+                    "/* qid:rb-list */ SELECT id, author, title, year FROM refs ORDER BY year DESC",
+                ) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "refbase",
+                        &html_table(&["id", "author", "title", "year"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/show.php") => {
+                let id = intval(req.param_or_empty("record"));
+                let sql = format!(
+                    "/* qid:rb-show */ SELECT author, title, journal, year, cited \
+                     FROM refs WHERE id = {id}"
+                );
+                match conn.query(&sql) {
+                    Ok(out) if !out.rows.is_empty() => HttpResponse::ok(page(
+                        "Record",
+                        &html_table(
+                            &["author", "title", "journal", "year", "cited"],
+                            &to_strings(&out.rows),
+                        ),
+                    )),
+                    Ok(_) => HttpResponse::error(Status::NotFound, "no such record"),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/search.php") => {
+                let author = esc(req.param_or_empty("author"));
+                let year = intval(req.param_or_empty("year"));
+                let sql = if year > 0 {
+                    format!(
+                        "/* qid:rb-search-y */ SELECT author, title, year FROM refs \
+                         WHERE author LIKE '%{author}%' AND year = {year} ORDER BY cited DESC"
+                    )
+                } else {
+                    format!(
+                        "/* qid:rb-search */ SELECT author, title, year FROM refs \
+                         WHERE author LIKE '%{author}%' ORDER BY cited DESC"
+                    )
+                };
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Results",
+                        &html_table(&["author", "title", "year"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/stats.php") => {
+                match conn.query(
+                    "/* qid:rb-stats */ SELECT year, COUNT(*), AVG(cited) FROM refs \
+                     GROUP BY year ORDER BY year",
+                ) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Statistics",
+                        &html_table(&["year", "records", "avg cited"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/import.php") => {
+                let author = req.param_or_empty("author").to_string();
+                let title = req.param_or_empty("title").to_string();
+                let year = intval(req.param_or_empty("year"));
+                match conn.execute_prepared(
+                    "INSERT INTO refs (author, title, year) VALUES (?, ?, ?)",
+                    &[Value::from(author), Value::from(title), Value::Int(year)],
+                ) {
+                    Ok(_) => HttpResponse::ok(page("Imported", "record stored")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/cite.php") => {
+                let id = intval(req.param_or_empty("record"));
+                let sql = format!(
+                    "/* qid:rb-cite */ UPDATE refs SET cited = cited + 1 WHERE id = {id}"
+                );
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Cited", "count bumped")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/css/refbase.css") => {
+                HttpResponse::ok(".record { padding: 2px; }".repeat(8))
+            }
+            (Method::Get, "/img/logo.gif") => HttpResponse::ok("GIF89a-logo".repeat(24)),
+            _ => HttpResponse::error(Status::NotFound, "not found"),
+        }
+    }
+
+    fn routes(&self) -> Vec<RouteSpec> {
+        vec![
+            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/show.php",
+                params: &[("record", "1")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/search.php",
+                params: &[("author", "Medeiros"), ("year", "2016")],
+                is_static: false,
+            },
+            RouteSpec { method: Method::Get, path: "/stats.php", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Post,
+                path: "/import.php",
+                params: &[("author", "Trainer, T."), ("title", "Benign record"), ("year", "2017")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/cite.php",
+                params: &[("record", "1")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/css/refbase.css",
+                params: &[],
+                is_static: true,
+            },
+            RouteSpec { method: Method::Get, path: "/img/logo.gif", params: &[], is_static: true },
+        ]
+    }
+
+    /// The 14-request refbase workload of the paper's evaluation.
+    fn workload(&self) -> Vec<HttpRequest> {
+        vec![
+            HttpRequest::get("/"),
+            HttpRequest::get("/css/refbase.css"),
+            HttpRequest::get("/img/logo.gif"),
+            HttpRequest::get("/show.php").param("record", "1"),
+            HttpRequest::get("/search.php").param("author", "Halfond"),
+            HttpRequest::get("/search.php").param("author", "Medeiros").param("year", "2016"),
+            HttpRequest::get("/stats.php"),
+            HttpRequest::post("/import.php")
+                .param("author", "Neves, N.")
+                .param("title", "A new record")
+                .param("year", "2017"),
+            HttpRequest::get("/"),
+            HttpRequest::get("/show.php").param("record", "2"),
+            HttpRequest::post("/cite.php").param("record", "2"),
+            HttpRequest::get("/show.php").param("record", "2"),
+            HttpRequest::get("/search.php").param("author", "Su"),
+            HttpRequest::get("/css/refbase.css"),
+        ]
+    }
+}
+
+fn to_strings(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| r.iter().map(Value::to_display_string).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use std::sync::Arc;
+
+    #[test]
+    fn workload_has_14_requests_and_succeeds() {
+        let app = Refbase::new();
+        assert_eq!(app.workload().len(), 14);
+        let d = Deployment::new(Arc::new(app), None, None).unwrap();
+        for req in Refbase::new().workload() {
+            let resp = d.request(&req);
+            assert!(resp.response.is_success(), "{req}: {}", resp.response.body);
+        }
+    }
+
+    #[test]
+    fn cite_increments() {
+        let d = Deployment::new(Arc::new(Refbase::new()), None, None).unwrap();
+        let before = d.request(&HttpRequest::get("/show.php").param("record", "1"));
+        let _ = d.request(&HttpRequest::post("/cite.php").param("record", "1"));
+        let after = d.request(&HttpRequest::get("/show.php").param("record", "1"));
+        assert!(before.response.body.contains("42"));
+        assert!(after.response.body.contains("43"));
+    }
+}

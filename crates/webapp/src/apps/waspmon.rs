@@ -1,0 +1,588 @@
+//! **WaspMon** — the demo's application scenario (Section III): an energy
+//! consumption monitor managing devices and their readings, written the way
+//! real PHP applications are written: a *careful* programmer sanitizing
+//! every input with `mysql_real_escape_string`, a mix of modern prepared
+//! statements (registration, device creation) and legacy string-built
+//! queries (reports, search), and HTML pages rendering stored data.
+//!
+//! The vulnerabilities are exactly the paper's: they all survive
+//! sanitization because they live in the semantic mismatch —
+//!
+//! * numeric-context injection (`/history` `days`): escaping without
+//!   quoting protects nothing;
+//! * first-order Unicode-homoglyph breakout (`/history` `device`):
+//!   `U+02BC` is not an ASCII quote to PHP, but becomes one in the DBMS;
+//! * second-order injection (`/devices/add` → `/export`): the payload is
+//!   *stored* through a safe prepared statement and explodes later when
+//!   legacy code re-embeds it — re-escaping does not help;
+//! * stored XSS / OSCI (`/notes/add`), RFI/LFI (`/collectors/add`): the
+//!   SQL layer is clean, the payload is data.
+
+use septic_dbms::{Connection, DbError, Value};
+use septic_http::{HttpRequest, HttpResponse, Method, Status};
+
+use crate::framework::{db_error_response, html_table, page, RouteSpec, WebApp};
+use crate::php::{intval, mysql_real_escape_string as esc};
+
+/// The WaspMon application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaspMon;
+
+impl WaspMon {
+    /// Creates the application.
+    #[must_use]
+    pub fn new() -> Self {
+        WaspMon
+    }
+}
+
+/// Admin seed password (referenced by attack ground-truth checks).
+pub const ADMIN_PASSWORD: &str = "S3cr3t-Gr1d";
+/// Regular user seed password.
+pub const ALICE_PASSWORD: &str = "wonderland";
+
+impl WebApp for WaspMon {
+    fn name(&self) -> &'static str {
+        "WaspMon"
+    }
+
+    fn install(&self, conn: &Connection) -> Result<(), DbError> {
+        conn.execute(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, \
+             username VARCHAR(32) NOT NULL, password VARCHAR(64) NOT NULL, \
+             role VARCHAR(16) DEFAULT 'user')",
+        )?;
+        conn.execute(
+            "CREATE TABLE devices (id INT PRIMARY KEY AUTO_INCREMENT, \
+             name VARCHAR(80) NOT NULL, location VARCHAR(64), owner INT)",
+        )?;
+        conn.execute(
+            "CREATE TABLE readings (id INT PRIMARY KEY AUTO_INCREMENT, \
+             device_id INT NOT NULL, ts INT NOT NULL, watts DOUBLE)",
+        )?;
+        conn.execute(
+            "CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, \
+             device_id INT NOT NULL, body TEXT, author VARCHAR(32))",
+        )?;
+        conn.execute(
+            "CREATE TABLE collectors (id INT PRIMARY KEY AUTO_INCREMENT, \
+             url VARCHAR(128) NOT NULL)",
+        )?;
+        conn.execute(&format!(
+            "INSERT INTO users (username, password, role) VALUES \
+             ('admin', '{ADMIN_PASSWORD}', 'admin'), ('alice', '{ALICE_PASSWORD}', 'user')"
+        ))?;
+        conn.execute(
+            "INSERT INTO devices (name, location, owner) VALUES \
+             ('Kitchen Meter', 'kitchen', 2), ('Garage Meter', 'garage', 2)",
+        )?;
+        conn.execute(
+            "INSERT INTO readings (device_id, ts, watts) VALUES \
+             (1, 1, 120.5), (1, 2, 130.0), (1, 3, 90.25), (2, 1, 800.0), (2, 2, 815.5)",
+        )?;
+        conn.execute(
+            "INSERT INTO notes (device_id, body, author) VALUES \
+             (1, 'installed by technician', 'alice')",
+        )?;
+        conn.execute("INSERT INTO collectors (url) VALUES ('collector-eu-1')")?;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn handle(&self, req: &HttpRequest, conn: &Connection) -> HttpResponse {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/") => HttpResponse::ok(page(
+                "WaspMon",
+                "<p>Energy consumption monitoring</p>\
+                 <a href=/devices>devices</a> <a href=/history>history</a>",
+            )),
+            (Method::Get, "/static/style.css") => {
+                HttpResponse::ok("body { font-family: sans-serif; }".repeat(8))
+            }
+            (Method::Get, "/static/logo.png") => HttpResponse::ok("PNG\u{1a}logo-bytes".repeat(32)),
+
+            // -- auth ----------------------------------------------------
+            (Method::Post, "/login") => {
+                // Legacy, careful code: every input escaped… and still
+                // vulnerable to homoglyph mimicry.
+                let user = esc(req.param_or_empty("user"));
+                let pass = esc(req.param_or_empty("pass"));
+                let sql = format!(
+                    "/* qid:login */ SELECT id, username, role FROM users \
+                     WHERE username = '{user}' AND password = '{pass}'"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => match out.rows.first() {
+                        Some(row) => HttpResponse::ok(page(
+                            "Welcome",
+                            &format!("Logged in as {} ({})", row[1], row[2]),
+                        ))
+                        .with_session(format!("uid:{}", row[0])),
+                        None => HttpResponse::error(Status::Forbidden, "Invalid credentials"),
+                    },
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/register") => {
+                // Modern code path: prepared statement.
+                let user = req.param_or_empty("user").to_string();
+                let pass = req.param_or_empty("pass").to_string();
+                if user.is_empty() || pass.len() < 4 {
+                    return HttpResponse::error(Status::BadRequest, "username/password required");
+                }
+                match conn.execute_prepared(
+                    "INSERT INTO users (username, password) VALUES (?, ?)",
+                    &[Value::from(user.clone()), Value::from(pass)],
+                ) {
+                    Ok(_) => HttpResponse::ok(page("Registered", &format!("welcome {user}"))),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            // -- devices ---------------------------------------------------
+            (Method::Get, "/devices") => {
+                match conn.query(
+                    "/* qid:devices */ SELECT id, name, location FROM devices ORDER BY id",
+                ) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Devices",
+                        &html_table(
+                            &["id", "name", "location"],
+                            &rows_to_strings(&out.rows),
+                        ),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/devices/add") => {
+                // Modern path: prepared INSERT. Whatever bytes arrive are
+                // stored verbatim — including a U+02BC time bomb.
+                let name = req.param_or_empty("name").to_string();
+                let location = req.param_or_empty("location").to_string();
+                if name.is_empty() {
+                    return HttpResponse::error(Status::BadRequest, "name required");
+                }
+                match conn.execute_prepared(
+                    "INSERT INTO devices (name, location, owner) VALUES (?, ?, 1)",
+                    &[Value::from(name.clone()), Value::from(location)],
+                ) {
+                    Ok(_) => HttpResponse::ok(page("Device added", &format!("added {name}"))),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            // -- readings ---------------------------------------------------
+            (Method::Post, "/readings/add") => {
+                let device_id = intval(req.param_or_empty("device_id"));
+                let ts = intval(req.param_or_empty("ts"));
+                let watts: f64 = req.param_or_empty("watts").parse().unwrap_or(0.0);
+                match conn.execute_prepared(
+                    "INSERT INTO readings (device_id, ts, watts) VALUES (?, ?, ?)",
+                    &[Value::Int(device_id), Value::Int(ts), Value::Real(watts)],
+                ) {
+                    Ok(_) => HttpResponse::ok(page("Reading stored", "ok")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/history") => {
+                // Legacy report page. `device` is escaped-and-quoted;
+                // `days` is escaped but used in numeric context — the
+                // classic careful-but-wrong pattern.
+                let device = esc(req.param_or_empty("device"));
+                let days = esc(req.param_or_empty("days"));
+                let days = if days.is_empty() { "0".to_string() } else { days };
+                let sql = format!(
+                    "/* qid:history */ SELECT r.ts, r.watts FROM readings r \
+                     JOIN devices d ON r.device_id = d.id \
+                     WHERE d.name = '{device}' AND r.ts > {days}"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "History",
+                        &html_table(&["ts", "watts"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/export") => {
+                // The second-order sink: device name is read back from the
+                // database and re-embedded into a legacy query — even
+                // re-escaped, the homoglyph passes and the DBMS folds it.
+                let device_id = intval(req.param_or_empty("device_id"));
+                let name = match conn.query_prepared(
+                    "SELECT name FROM devices WHERE id = ?",
+                    &[Value::Int(device_id)],
+                ) {
+                    Ok(out) => match out.scalar() {
+                        Some(v) => v.to_display_string(),
+                        None => {
+                            return HttpResponse::error(Status::NotFound, "no such device")
+                        }
+                    },
+                    Err(e) => return db_error_response(&e),
+                };
+                let sql = format!(
+                    "/* qid:export */ SELECT d.name, r.ts, r.watts FROM devices d \
+                     JOIN readings r ON r.device_id = d.id \
+                     WHERE d.name = '{}' ORDER BY r.ts",
+                    esc(&name)
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Export",
+                        &html_table(&["name", "ts", "watts"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            // -- notes (stored-injection surface) --------------------------
+            (Method::Get, "/notes") => {
+                let device_id = intval(req.param_or_empty("device_id"));
+                match conn.query_prepared(
+                    "SELECT body, author FROM notes WHERE device_id = ?",
+                    &[Value::Int(device_id)],
+                ) {
+                    Ok(out) => {
+                        // Classic stored-XSS sink: bodies rendered raw.
+                        let mut body = String::new();
+                        for row in &out.rows {
+                            body.push_str(&format!(
+                                "<div class=note>{} — {}</div>",
+                                row[0], row[1]
+                            ));
+                        }
+                        HttpResponse::ok(page("Notes", &body))
+                    }
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/notes/add") => {
+                // Legacy INSERT by concatenation — SQL-safe thanks to the
+                // escaping, but the *content* is the attack (XSS/OSCI).
+                let device_id = intval(req.param_or_empty("device_id"));
+                let body = esc(req.param_or_empty("body"));
+                let author = esc(req.param_or_empty("author"));
+                let sql = format!(
+                    "/* qid:notes-add */ INSERT INTO notes (device_id, body, author) \
+                     VALUES ({device_id}, '{body}', '{author}')"
+                );
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Note stored", "ok")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            (Method::Post, "/notes/edit") => {
+                // Legacy UPDATE by concatenation — the second statement
+                // kind SEPTIC's stored-injection plugins cover.
+                let note_id = intval(req.param_or_empty("id"));
+                let body = esc(req.param_or_empty("body"));
+                let sql = format!(
+                    "/* qid:notes-edit */ UPDATE notes SET body = '{body}' WHERE id = {note_id}"
+                );
+                match conn.query(&sql) {
+                    Ok(out) if out.affected > 0 => {
+                        HttpResponse::ok(page("Note updated", "ok"))
+                    }
+                    Ok(_) => HttpResponse::error(Status::NotFound, "no such note"),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            // -- collectors (file-inclusion surface) -----------------------
+            (Method::Get, "/collectors") => {
+                match conn
+                    .query("/* qid:collectors */ SELECT id, url FROM collectors ORDER BY id")
+                {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Collectors",
+                        &html_table(&["id", "url"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/collectors/add") => {
+                let url = esc(req.param_or_empty("url"));
+                let sql = format!(
+                    "/* qid:collectors-add */ INSERT INTO collectors (url) VALUES ('{url}')"
+                );
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Collector stored", "ok")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            // -- search ------------------------------------------------------
+            (Method::Get, "/search") => {
+                let q = esc(req.param_or_empty("q"));
+                let sql = format!(
+                    "/* qid:search */ SELECT name, location FROM devices \
+                     WHERE name LIKE '%{q}%' ORDER BY name"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Search",
+                        &html_table(&["name", "location"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
+            _ => HttpResponse::error(Status::NotFound, "not found"),
+        }
+    }
+
+    fn routes(&self) -> Vec<RouteSpec> {
+        vec![
+            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/static/style.css",
+                params: &[],
+                is_static: true,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/static/logo.png",
+                params: &[],
+                is_static: true,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/login",
+                params: &[("user", "alice"), ("pass", ALICE_PASSWORD)],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/register",
+                params: &[("user", "trainee"), ("pass", "training-pw")],
+                is_static: false,
+            },
+            RouteSpec { method: Method::Get, path: "/devices", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Post,
+                path: "/devices/add",
+                params: &[("name", "Porch Meter"), ("location", "porch")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/readings/add",
+                params: &[("device_id", "1"), ("ts", "9"), ("watts", "55.5")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/history",
+                params: &[("device", "Kitchen Meter"), ("days", "0")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/export",
+                params: &[("device_id", "1")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/notes",
+                params: &[("device_id", "1")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/notes/add",
+                params: &[("device_id", "1"), ("body", "checked wiring today"), ("author", "alice")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/notes/edit",
+                params: &[("id", "1"), ("body", "rechecked wiring, all good")],
+                is_static: false,
+            },
+            RouteSpec { method: Method::Get, path: "/collectors", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Post,
+                path: "/collectors/add",
+                params: &[("url", "collector-eu-2")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/search",
+                params: &[("q", "Meter")],
+                is_static: false,
+            },
+        ]
+    }
+
+    fn workload(&self) -> Vec<HttpRequest> {
+        vec![
+            HttpRequest::get("/"),
+            HttpRequest::get("/static/style.css"),
+            HttpRequest::post("/login").param("user", "alice").param("pass", ALICE_PASSWORD),
+            HttpRequest::get("/devices"),
+            HttpRequest::post("/readings/add")
+                .param("device_id", "1")
+                .param("ts", "12")
+                .param("watts", "61.0"),
+            HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0"),
+            HttpRequest::get("/export").param("device_id", "1"),
+            HttpRequest::get("/notes").param("device_id", "1"),
+            HttpRequest::get("/search").param("q", "Meter"),
+            HttpRequest::get("/static/logo.png"),
+        ]
+    }
+}
+
+fn rows_to_strings(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| r.iter().map(Value::to_display_string).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use std::sync::Arc;
+
+    fn deploy() -> Deployment {
+        Deployment::new(Arc::new(WaspMon::new()), None, None).expect("install")
+    }
+
+    #[test]
+    fn benign_flows_work() {
+        let d = deploy();
+        for req in WaspMon::new().workload() {
+            let resp = d.request(&req);
+            assert!(
+                resp.response.is_success(),
+                "{req}: {} {}",
+                resp.response.status,
+                resp.response.body
+            );
+        }
+    }
+
+    #[test]
+    fn login_accepts_and_rejects() {
+        let d = deploy();
+        let ok = d.request(
+            &HttpRequest::post("/login").param("user", "alice").param("pass", ALICE_PASSWORD),
+        );
+        assert!(ok.response.is_success());
+        assert!(ok.response.set_session.is_some());
+        let bad =
+            d.request(&HttpRequest::post("/login").param("user", "alice").param("pass", "nope"));
+        assert_eq!(bad.response.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn sanitization_stops_plain_quote_attacks() {
+        // The escaping DOES work against ASCII-quote payloads.
+        let d = deploy();
+        let resp = d.request(
+            &HttpRequest::post("/login")
+                .param("user", "admin' OR '1'='1")
+                .param("pass", "x"),
+        );
+        assert_eq!(resp.response.status, Status::Forbidden);
+    }
+
+    #[test]
+    fn numeric_context_injection_dumps_everything() {
+        // Phase IV-A attack 1: escaping without quotes is no protection.
+        let d = deploy();
+        let benign = d.request(
+            &HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0"),
+        );
+        let attack = d.request(
+            &HttpRequest::get("/history")
+                .param("device", "zzz-no-such")
+                .param("days", "0 OR 1=1"),
+        );
+        // The attack returns rows for a device that does not exist.
+        assert!(attack.response.body.matches("<tr>").count()
+            >= benign.response.body.matches("<tr>").count());
+        assert!(attack.response.body.contains("800"), "garage rows leak");
+    }
+
+    #[test]
+    fn homoglyph_breakout_leaks_passwords_first_order() {
+        // Phase IV-A attack 2: U+02BC passes the escaping, the DBMS folds
+        // it into a quote, and the hidden UNION exfiltrates credentials.
+        let d = deploy();
+        let payload = "zz\u{02BC} UNION SELECT username, password FROM users-- ".to_string();
+        let resp = d.request(
+            &HttpRequest::get("/history").param("device", payload).param("days", "0"),
+        );
+        assert!(resp.response.body.contains(ADMIN_PASSWORD), "{}", resp.response.body);
+    }
+
+    #[test]
+    fn login_mimicry_bypasses_authentication() {
+        // Phase IV-A attack 3: syntax mimicry through the homoglyph.
+        let d = deploy();
+        let resp = d.request(
+            &HttpRequest::post("/login")
+                .param("user", "admin\u{02BC} AND 1=1-- ")
+                .param("pass", "whatever"),
+        );
+        assert!(resp.response.is_success(), "{}", resp.response.body);
+        assert!(resp.response.body.contains("admin"));
+    }
+
+    #[test]
+    fn second_order_export_leaks_passwords() {
+        // Phase IV-A attack 4: store through the safe path, detonate in
+        // the legacy path.
+        let d = deploy();
+        let bomb = "X\u{02BC} UNION SELECT username, password, 1 FROM users-- ";
+        let store = d.request(
+            &HttpRequest::post("/devices/add").param("name", bomb).param("location", "attic"),
+        );
+        assert!(store.response.is_success(), "store must look benign");
+        // Find the new device's id (3: after the two seeded ones).
+        let resp = d.request(&HttpRequest::get("/export").param("device_id", "3"));
+        assert!(resp.response.body.contains(ADMIN_PASSWORD), "{}", resp.response.body);
+    }
+
+    #[test]
+    fn stored_xss_round_trip_without_septic() {
+        let d = deploy();
+        let store = d.request(
+            &HttpRequest::post("/notes/add")
+                .param("device_id", "1")
+                .param("body", "<script>alert('Hello!');</script>")
+                .param("author", "mallory"),
+        );
+        assert!(store.response.is_success());
+        let view = d.request(&HttpRequest::get("/notes").param("device_id", "1"));
+        assert!(view.response.body.contains("<script>"), "XSS executes in the page");
+    }
+
+    #[test]
+    fn note_edit_updates_body() {
+        let d = deploy();
+        let resp = d.request(
+            &HttpRequest::post("/notes/edit").param("id", "1").param("body", "new text"),
+        );
+        assert!(resp.response.is_success());
+        let view = d.request(&HttpRequest::get("/notes").param("device_id", "1"));
+        assert!(view.response.body.contains("new text"));
+        let missing = d.request(
+            &HttpRequest::post("/notes/edit").param("id", "99").param("body", "x"),
+        );
+        assert_eq!(missing.response.status, Status::NotFound);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let d = deploy();
+        assert_eq!(d.request(&HttpRequest::get("/nope")).response.status, Status::NotFound);
+    }
+}

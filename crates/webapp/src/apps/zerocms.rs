@@ -1,0 +1,309 @@
+//! **ZeroCMS** — the content management system used as the third Figure 5
+//! workload application. Its recorded workload is the largest of the three:
+//! 26 requests mixing `SELECT`, `UPDATE`, `INSERT` and `DELETE` plus web
+//! object downloads (images, css), exactly as the paper describes.
+
+use septic_dbms::{Connection, DbError, Value};
+use septic_http::{HttpRequest, HttpResponse, Method, Status};
+
+use crate::framework::{db_error_response, html_table, page, RouteSpec, WebApp};
+use crate::php::{intval, mysql_real_escape_string as esc};
+
+/// The application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroCms;
+
+impl ZeroCms {
+    /// Creates the application.
+    #[must_use]
+    pub fn new() -> Self {
+        ZeroCms
+    }
+}
+
+impl WebApp for ZeroCms {
+    fn name(&self) -> &'static str {
+        "ZeroCMS"
+    }
+
+    fn install(&self, conn: &Connection) -> Result<(), DbError> {
+        conn.execute(
+            "CREATE TABLE cms_users (id INT PRIMARY KEY AUTO_INCREMENT, \
+             name VARCHAR(40) NOT NULL, email VARCHAR(64), pass VARCHAR(64))",
+        )?;
+        conn.execute(
+            "CREATE TABLE articles (id INT PRIMARY KEY AUTO_INCREMENT, \
+             title VARCHAR(120) NOT NULL, body TEXT, author INT, views INT DEFAULT 0)",
+        )?;
+        conn.execute(
+            "CREATE TABLE comments (id INT PRIMARY KEY AUTO_INCREMENT, \
+             article_id INT NOT NULL, author VARCHAR(40), body TEXT)",
+        )?;
+        conn.execute(
+            "INSERT INTO cms_users (name, email, pass) VALUES \
+             ('editor', 'editor@example.org', 'editor-pass'), \
+             ('reader', 'reader@example.org', 'reader-pass')",
+        )?;
+        conn.execute(
+            "INSERT INTO articles (title, body, author) VALUES \
+             ('Welcome to ZeroCMS', 'First post body', 1), \
+             ('Securing web apps', 'Sanitize all the things', 1), \
+             ('Power grid news', 'Smart meters everywhere', 2)",
+        )?;
+        conn.execute(
+            "INSERT INTO comments (article_id, author, body) VALUES \
+             (1, 'reader', 'nice start'), (2, 'reader', 'or use SEPTIC')",
+        )?;
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn handle(&self, req: &HttpRequest, conn: &Connection) -> HttpResponse {
+        match (req.method, req.path.as_str()) {
+            (Method::Get, "/") | (Method::Get, "/index.php") => {
+                match conn.query(
+                    "/* qid:cms-home */ SELECT id, title, views FROM articles ORDER BY id DESC",
+                ) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "ZeroCMS",
+                        &html_table(&["id", "title", "views"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/article.php") => {
+                let id = intval(req.param_or_empty("id"));
+                // View counter: the UPDATE in the workload mix.
+                if let Err(e) = conn.execute(&format!(
+                    "/* qid:cms-views */ UPDATE articles SET views = views + 1 WHERE id = {id}"
+                )) {
+                    return db_error_response(&e);
+                }
+                let article = match conn.query(&format!(
+                    "/* qid:cms-article */ SELECT title, body, views FROM articles WHERE id = {id}"
+                )) {
+                    Ok(out) if !out.rows.is_empty() => out,
+                    Ok(_) => return HttpResponse::error(Status::NotFound, "no such article"),
+                    Err(e) => return db_error_response(&e),
+                };
+                let comments = match conn.query(&format!(
+                    "/* qid:cms-comments */ SELECT author, body FROM comments \
+                     WHERE article_id = {id} ORDER BY id"
+                )) {
+                    Ok(out) => out,
+                    Err(e) => return db_error_response(&e),
+                };
+                let mut body = html_table(&["title", "body", "views"], &to_strings(&article.rows));
+                body.push_str(&html_table(&["author", "comment"], &to_strings(&comments.rows)));
+                HttpResponse::ok(page("Article", &body))
+            }
+            (Method::Post, "/comment.php") => {
+                let article = intval(req.param_or_empty("article_id"));
+                let author = esc(req.param_or_empty("author"));
+                let body = esc(req.param_or_empty("body"));
+                let sql = format!(
+                    "/* qid:cms-comment */ INSERT INTO comments (article_id, author, body) \
+                     VALUES ({article}, '{author}', '{body}')"
+                );
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Comment stored", "thanks")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/article_new.php") => {
+                let title = req.param_or_empty("title").to_string();
+                let body = req.param_or_empty("body").to_string();
+                match conn.execute_prepared(
+                    "INSERT INTO articles (title, body, author) VALUES (?, ?, 1)",
+                    &[Value::from(title), Value::from(body)],
+                ) {
+                    Ok(_) => HttpResponse::ok(page("Published", "article stored")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/comment_delete.php") => {
+                let id = intval(req.param_or_empty("id"));
+                let sql =
+                    format!("/* qid:cms-comment-del */ DELETE FROM comments WHERE id = {id}");
+                match conn.execute(&sql) {
+                    Ok(_) => HttpResponse::ok(page("Deleted", "comment removed")),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/search.php") => {
+                let q = esc(req.param_or_empty("q"));
+                let sql = format!(
+                    "/* qid:cms-search */ SELECT id, title FROM articles \
+                     WHERE title LIKE '%{q}%' OR body LIKE '%{q}%' ORDER BY id"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Search",
+                        &html_table(&["id", "title"], &to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Post, "/login.php") => {
+                let email = esc(req.param_or_empty("email"));
+                let pass = esc(req.param_or_empty("pass"));
+                let sql = format!(
+                    "/* qid:cms-login */ SELECT id, name FROM cms_users \
+                     WHERE email = '{email}' AND pass = '{pass}'"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => match out.rows.first() {
+                        Some(row) => HttpResponse::ok(page("Hi", &format!("hello {}", row[1])))
+                            .with_session(format!("uid:{}", row[0])),
+                        None => HttpResponse::error(Status::Forbidden, "bad login"),
+                    },
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/css/zero.css") => HttpResponse::ok("article { margin: 8px; }".repeat(8)),
+            (Method::Get, "/img/banner.jpg") => HttpResponse::ok("JFIF-banner".repeat(64)),
+            (Method::Get, "/img/icon.png") => HttpResponse::ok("PNG-icon".repeat(16)),
+            _ => HttpResponse::error(Status::NotFound, "not found"),
+        }
+    }
+
+    fn routes(&self) -> Vec<RouteSpec> {
+        vec![
+            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/article.php",
+                params: &[("id", "1")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/comment.php",
+                params: &[("article_id", "1"), ("author", "trainer"), ("body", "a benign comment")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/article_new.php",
+                params: &[("title", "Training title"), ("body", "Training body")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/comment_delete.php",
+                params: &[("id", "99")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/search.php",
+                params: &[("q", "web")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Post,
+                path: "/login.php",
+                params: &[("email", "reader@example.org"), ("pass", "reader-pass")],
+                is_static: false,
+            },
+            RouteSpec { method: Method::Get, path: "/css/zero.css", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/img/banner.jpg",
+                params: &[],
+                is_static: true,
+            },
+            RouteSpec { method: Method::Get, path: "/img/icon.png", params: &[], is_static: true },
+        ]
+    }
+
+    /// The 26-request ZeroCMS workload: "queries of several types (SELECT,
+    /// UPDATE, INSERT and DELETE) and downloading of web objects".
+    fn workload(&self) -> Vec<HttpRequest> {
+        vec![
+            HttpRequest::get("/"),
+            HttpRequest::get("/css/zero.css"),
+            HttpRequest::get("/img/banner.jpg"),
+            HttpRequest::get("/img/icon.png"),
+            HttpRequest::post("/login.php")
+                .param("email", "reader@example.org")
+                .param("pass", "reader-pass"),
+            HttpRequest::get("/article.php").param("id", "1"),
+            HttpRequest::get("/article.php").param("id", "2"),
+            HttpRequest::post("/comment.php")
+                .param("article_id", "2")
+                .param("author", "reader")
+                .param("body", "useful article"),
+            HttpRequest::get("/article.php").param("id", "2"),
+            HttpRequest::get("/search.php").param("q", "grid"),
+            HttpRequest::get("/article.php").param("id", "3"),
+            HttpRequest::post("/comment.php")
+                .param("article_id", "3")
+                .param("author", "reader")
+                .param("body", "more meters please"),
+            HttpRequest::get("/article.php").param("id", "3"),
+            HttpRequest::post("/article_new.php")
+                .param("title", "A fresh article")
+                .param("body", "Fresh body text"),
+            HttpRequest::get("/"),
+            HttpRequest::get("/article.php").param("id", "4"),
+            HttpRequest::get("/css/zero.css"),
+            HttpRequest::get("/img/banner.jpg"),
+            HttpRequest::post("/comment.php")
+                .param("article_id", "4")
+                .param("author", "reader")
+                .param("body", "first"),
+            HttpRequest::get("/article.php").param("id", "4"),
+            HttpRequest::post("/comment_delete.php").param("id", "3"),
+            HttpRequest::get("/article.php").param("id", "2"),
+            HttpRequest::get("/search.php").param("q", "zerocms"),
+            HttpRequest::get("/"),
+            HttpRequest::get("/img/icon.png"),
+            HttpRequest::get("/css/zero.css"),
+        ]
+    }
+}
+
+fn to_strings(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| r.iter().map(Value::to_display_string).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use std::sync::Arc;
+
+    #[test]
+    fn workload_has_26_requests_and_succeeds() {
+        let app = ZeroCms::new();
+        assert_eq!(app.workload().len(), 26);
+        let d = Deployment::new(Arc::new(app), None, None).unwrap();
+        for req in ZeroCms::new().workload() {
+            let resp = d.request(&req);
+            assert!(resp.response.is_success(), "{req}: {}", resp.response.body);
+        }
+    }
+
+    #[test]
+    fn workload_mixes_statement_kinds() {
+        let d = Deployment::new(Arc::new(ZeroCms::new()), None, None).unwrap();
+        for req in ZeroCms::new().workload() {
+            let _ = d.request(&req);
+        }
+        let log = d.server().general_log();
+        let has = |kw: &str| log.iter().any(|e| e.sql.to_uppercase().contains(kw));
+        assert!(has("SELECT") && has("UPDATE") && has("INSERT") && has("DELETE"));
+    }
+
+    #[test]
+    fn view_counter_updates() {
+        let d = Deployment::new(Arc::new(ZeroCms::new()), None, None).unwrap();
+        let _ = d.request(&HttpRequest::get("/article.php").param("id", "1"));
+        let _ = d.request(&HttpRequest::get("/article.php").param("id", "1"));
+        let resp = d.request(&HttpRequest::get("/article.php").param("id", "1"));
+        assert!(resp.response.body.contains("<td>3</td>"), "{}", resp.response.body);
+    }
+}

@@ -1,0 +1,134 @@
+//! Deployment wiring: browser → `[ModSecurity]` → application → MySQL(+
+//! SEPTIC) — Figure 7 of the paper, as one object.
+
+use std::sync::Arc;
+
+use septic::Septic;
+use septic_dbms::{Connection, DbError, Server};
+use septic_http::{HttpRequest, HttpResponse, Status};
+use septic_waf::{ModSecurity, WafDecision};
+
+use crate::framework::WebApp;
+
+/// Which layer answered a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnsweredBy {
+    /// ModSecurity blocked it with the given anomaly score.
+    Waf { score: u32 },
+    /// The application handled it (possibly seeing a DBMS/SEPTIC error).
+    App,
+}
+
+/// A response annotated with the answering layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentResponse {
+    pub response: HttpResponse,
+    pub answered_by: AnsweredBy,
+}
+
+impl DeploymentResponse {
+    /// True when the WAF blocked the request.
+    #[must_use]
+    pub fn waf_blocked(&self) -> bool {
+        matches!(self.answered_by, AnsweredBy::Waf { .. })
+    }
+}
+
+/// The full demo stack.
+pub struct Deployment {
+    server: Arc<Server>,
+    conn: Connection,
+    app: Arc<dyn WebApp>,
+    waf: Option<Arc<ModSecurity>>,
+    septic: Option<Arc<Septic>>,
+}
+
+impl Deployment {
+    /// Stands up a fresh deployment: new DBMS, installed application
+    /// schema, optional WAF, optional SEPTIC guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema installation failures.
+    pub fn new(
+        app: Arc<dyn WebApp>,
+        waf: Option<Arc<ModSecurity>>,
+        septic: Option<Arc<Septic>>,
+    ) -> Result<Self, DbError> {
+        let server = Server::new();
+        let conn = server.connect();
+        app.install(&conn)?;
+        if let Some(s) = &septic {
+            server.install_guard(s.clone());
+        }
+        Ok(Deployment { server, conn, app, waf, septic })
+    }
+
+    /// Routes one request through the stack.
+    #[must_use]
+    pub fn request(&self, req: &HttpRequest) -> DeploymentResponse {
+        if let Some(waf) = &self.waf {
+            if let WafDecision::Blocked { score, .. } = waf.inspect(req) {
+                return DeploymentResponse {
+                    response: HttpResponse::error(Status::Forbidden, "Forbidden (ModSecurity)"),
+                    answered_by: AnsweredBy::Waf { score },
+                };
+            }
+        }
+        // Every deployment serves a site map at `/forms` — the entry page
+        // the crawler-style trainer navigates from.
+        if req.path == "/forms" && req.method == septic_http::Method::Get {
+            return DeploymentResponse {
+                response: HttpResponse::ok(crate::framework::site_map(
+                    self.app.name(),
+                    &self.app.routes(),
+                )),
+                answered_by: AnsweredBy::App,
+            };
+        }
+        DeploymentResponse {
+            response: self.app.handle(req, &self.conn),
+            answered_by: AnsweredBy::App,
+        }
+    }
+
+    /// The DBMS server (for log inspection and direct queries in tests).
+    #[must_use]
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// A database connection (the application's own).
+    #[must_use]
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+
+    /// The application.
+    #[must_use]
+    pub fn app(&self) -> &Arc<dyn WebApp> {
+        &self.app
+    }
+
+    /// The WAF, when deployed.
+    #[must_use]
+    pub fn waf(&self) -> Option<&Arc<ModSecurity>> {
+        self.waf.as_ref()
+    }
+
+    /// SEPTIC, when deployed.
+    #[must_use]
+    pub fn septic(&self) -> Option<&Arc<Septic>> {
+        self.septic.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("app", &self.app.name())
+            .field("waf", &self.waf.is_some())
+            .field("septic", &self.septic.is_some())
+            .finish_non_exhaustive()
+    }
+}

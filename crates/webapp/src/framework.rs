@@ -1,0 +1,203 @@
+//! The tiny application framework: the [`WebApp`] trait, route metadata
+//! used by the trainer/crawler, and HTML rendering helpers.
+
+use septic_dbms::{Connection, DbError};
+use septic_http::{HttpRequest, HttpResponse, Method};
+
+/// Metadata about one application entry point — what the paper's *septic
+/// training module* crawls: "navigating in the application looking for
+/// forms, to then inject benign inputs".
+#[derive(Debug, Clone)]
+pub struct RouteSpec {
+    pub method: Method,
+    pub path: &'static str,
+    /// Form fields with benign sample values the trainer submits.
+    pub params: &'static [(&'static str, &'static str)],
+    /// True when the route serves a static web object (image, css) that
+    /// never touches the database.
+    pub is_static: bool,
+}
+
+impl RouteSpec {
+    /// Builds the trainer's benign request for this route.
+    #[must_use]
+    pub fn benign_request(&self) -> HttpRequest {
+        let mut req = match self.method {
+            Method::Get => HttpRequest::get(self.path),
+            Method::Post => HttpRequest::post(self.path),
+        };
+        for (name, value) in self.params {
+            req = req.param(*name, *value);
+        }
+        req
+    }
+}
+
+/// A simulated PHP web application.
+pub trait WebApp: Send + Sync {
+    /// Application name (matches the paper's naming).
+    fn name(&self) -> &'static str;
+
+    /// Creates the schema and seed data on a fresh database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DDL/DML failures.
+    fn install(&self, conn: &Connection) -> Result<(), DbError>;
+
+    /// Handles one request (the PHP page).
+    fn handle(&self, req: &HttpRequest, conn: &Connection) -> HttpResponse;
+
+    /// Entry points, for the trainer.
+    fn routes(&self) -> Vec<RouteSpec>;
+
+    /// The recorded BenchLab-style workload: the exact request sequence a
+    /// browser replays in a loop.
+    fn workload(&self) -> Vec<HttpRequest>;
+}
+
+/// Renders rows as a minimal HTML table (what the demo pages show).
+#[must_use]
+pub fn html_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table>");
+    out.push_str("<tr>");
+    for h in headers {
+        out.push_str(&format!("<th>{h}</th>"));
+    }
+    out.push_str("</tr>");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            out.push_str(&format!("<td>{cell}</td>"));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Renders a page skeleton.
+#[must_use]
+pub fn page(title: &str, body: &str) -> String {
+    format!("<html><head><title>{title}</title></head><body><h1>{title}</h1>{body}</body></html>")
+}
+
+/// Renders an HTML form for a route — what the crawler-style trainer
+/// discovers and submits ("navigating in the application looking for
+/// forms"). Inputs carry benign default values.
+#[must_use]
+pub fn html_form(spec: &RouteSpec) -> String {
+    let mut out = format!(
+        "<form action=\"{}\" method=\"{}\">",
+        spec.path,
+        match spec.method {
+            Method::Get => "get",
+            Method::Post => "post",
+        }
+    );
+    for (name, default) in spec.params {
+        out.push_str(&format!(
+            "<input type=\"text\" name=\"{name}\" value=\"{default}\">"
+        ));
+    }
+    out.push_str("<input type=\"submit\"></form>");
+    out
+}
+
+/// Renders the site map page every app serves at `/forms`: one form per
+/// route plus links to the GET pages — the crawler's seed.
+#[must_use]
+pub fn site_map(title: &str, routes: &[RouteSpec]) -> String {
+    let mut body = String::new();
+    for route in routes {
+        if route.is_static {
+            continue;
+        }
+        if route.params.is_empty() && route.method == Method::Get {
+            body.push_str(&format!("<a href=\"{}\">{}</a> ", route.path, route.path));
+        } else {
+            body.push_str(&html_form(route));
+        }
+    }
+    page(title, &body)
+}
+
+/// Converts a database error into the HTTP response PHP's `die(mysql_error())`
+/// idiom produces — a 500 carrying the error text (error-based injection
+/// feedback relies on this).
+#[must_use]
+pub fn db_error_response(err: &DbError) -> HttpResponse {
+    match err {
+        DbError::Blocked(reason) => HttpResponse::error(
+            septic_http::Status::ServerError,
+            format!("Query failed: query blocked ({reason})"),
+        ),
+        other => HttpResponse::error(
+            septic_http::Status::ServerError,
+            format!("Query failed: {other}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_request_builder() {
+        let spec = RouteSpec {
+            method: Method::Post,
+            path: "/login",
+            params: &[("user", "alice"), ("pass", "secret1")],
+            is_static: false,
+        };
+        let req = spec.benign_request();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.param_value("user"), Some("alice"));
+    }
+
+    #[test]
+    fn html_form_renders_inputs_with_defaults() {
+        let spec = RouteSpec {
+            method: Method::Post,
+            path: "/login",
+            params: &[("user", "alice"), ("pass", "pw")],
+            is_static: false,
+        };
+        let html = html_form(&spec);
+        assert!(html.contains("action=\"/login\""));
+        assert!(html.contains("method=\"post\""));
+        assert!(html.contains("name=\"user\" value=\"alice\""));
+    }
+
+    #[test]
+    fn site_map_links_and_forms() {
+        let routes = vec![
+            RouteSpec { method: Method::Get, path: "/list", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Post,
+                path: "/add",
+                params: &[("x", "1")],
+                is_static: false,
+            },
+            RouteSpec { method: Method::Get, path: "/s.css", params: &[], is_static: true },
+        ];
+        let html = site_map("app", &routes);
+        assert!(html.contains("href=\"/list\""));
+        assert!(html.contains("action=\"/add\""));
+        assert!(!html.contains("s.css"), "static assets are not crawl targets");
+    }
+
+    #[test]
+    fn html_table_renders() {
+        let html = html_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(html.contains("<th>a</th>") && html.contains("<td>2</td>"));
+    }
+
+    #[test]
+    fn db_error_maps_to_500() {
+        let resp = db_error_response(&DbError::UnknownTable("x".into()));
+        assert_eq!(resp.status, septic_http::Status::ServerError);
+        assert!(resp.body.contains("unknown table"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # septic-webapp
+//!
+//! The PHP-semantics web layer of the reproduction: sanitization functions
+//! with exact PHP behaviour ([`php`]), a small application framework
+//! ([`framework`]), the deployment wiring browser → WAF → app → DBMS
+//! ([`deployment`]), and four applications ([`apps`]):
+//!
+//! * **WaspMon** — the demo scenario (energy monitoring, Section III),
+//!   carefully sanitized yet vulnerable through the semantic mismatch;
+//! * **PHP Address Book**, **refbase**, **ZeroCMS** — the three real
+//!   applications whose recorded workloads drive the Figure 5 overhead
+//!   evaluation (12, 14 and 26 requests respectively).
+
+pub mod apps;
+pub mod deployment;
+pub mod framework;
+pub mod php;
+
+pub use apps::{PhpAddressBook, Refbase, WaspMon, ZeroCms};
+pub use deployment::{AnsweredBy, Deployment, DeploymentResponse};
+pub use framework::{RouteSpec, WebApp};

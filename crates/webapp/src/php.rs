@@ -1,0 +1,172 @@
+//! PHP sanitization-function semantics, reproduced bit-for-bit for the
+//! functions the demo applications call.
+//!
+//! The crucial property (the paper's phase IV-A): these functions operate
+//! on **bytes/ASCII characters**. `mysql_real_escape_string` escapes the
+//! ASCII quote `'` (0x27) but has no idea that `U+02BC` will be folded
+//! into a quote by the DBMS's charset conversion — the semantic mismatch
+//! in one line.
+
+/// PHP `mysql_real_escape_string` / `mysqli_real_escape_string`: prefixes
+/// `\0`, `\n`, `\r`, `\`, `'`, `"` and Ctrl-Z with a backslash.
+#[must_use]
+pub fn mysql_real_escape_string(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '\0' => out.push_str("\\0"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            '\'' => out.push_str("\\'"),
+            '"' => out.push_str("\\\""),
+            '\u{1a}' => out.push_str("\\Z"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// PHP `addslashes`: quotes `'`, `"`, `\` and NUL.
+#[must_use]
+pub fn addslashes(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '\'' => out.push_str("\\'"),
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// PHP `stripslashes`.
+#[must_use]
+pub fn stripslashes(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut chars = input.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Quote handling flavour for [`htmlspecialchars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntQuotes {
+    /// `ENT_COMPAT`: double quotes only (the PHP 5 default the demo apps
+    /// were written against).
+    Compat,
+    /// `ENT_QUOTES`: both quote kinds.
+    Quotes,
+}
+
+/// PHP `htmlspecialchars`.
+#[must_use]
+pub fn htmlspecialchars(input: &str, flags: EntQuotes) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' if flags == EntQuotes::Quotes => out.push_str("&#039;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// PHP `intval`: parses a leading optional-sign integer, ignoring leading
+/// whitespace; anything else yields 0.
+#[must_use]
+pub fn intval(input: &str) -> i64 {
+    let t = input.trim_start();
+    let bytes = t.as_bytes();
+    let mut end = 0;
+    if end < bytes.len() && (bytes[end] == b'+' || bytes[end] == b'-') {
+        end += 1;
+    }
+    let digits_start = end;
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    if end == digits_start {
+        return 0;
+    }
+    t[..end].parse::<i64>().unwrap_or(i64::MAX)
+}
+
+/// PHP `is_numeric` (the subset relevant to the apps: int/float with
+/// optional exponent, leading whitespace allowed, no trailing junk).
+#[must_use]
+pub fn is_numeric(input: &str) -> bool {
+    let t = input.trim_start();
+    !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_escape_string_handles_ascii_metacharacters() {
+        assert_eq!(mysql_real_escape_string("O'Neil"), "O\\'Neil");
+        assert_eq!(mysql_real_escape_string(r#"a"b\c"#), "a\\\"b\\\\c");
+        assert_eq!(mysql_real_escape_string("a\nb\rc\0d\u{1a}e"), "a\\nb\\rc\\0d\\Ze");
+    }
+
+    #[test]
+    fn real_escape_string_misses_the_homoglyph() {
+        // The semantic mismatch: U+02BC passes through untouched.
+        let payload = "ID34FG\u{02BC}-- ";
+        assert_eq!(mysql_real_escape_string(payload), payload);
+    }
+
+    #[test]
+    fn addslashes_and_stripslashes_round_trip() {
+        let s = "it's \"quoted\" \\ and\0null";
+        assert_eq!(stripslashes(&addslashes(s)), s);
+    }
+
+    #[test]
+    fn htmlspecialchars_flavours() {
+        assert_eq!(htmlspecialchars("<a href=\"x\">", EntQuotes::Compat), "&lt;a href=&quot;x&quot;&gt;");
+        assert_eq!(htmlspecialchars("it's", EntQuotes::Compat), "it's");
+        assert_eq!(htmlspecialchars("it's", EntQuotes::Quotes), "it&#039;s");
+        assert_eq!(htmlspecialchars("a&b", EntQuotes::Compat), "a&amp;b");
+    }
+
+    #[test]
+    fn intval_semantics() {
+        assert_eq!(intval("42"), 42);
+        assert_eq!(intval("  -7 days"), -7);
+        assert_eq!(intval("12abc"), 12);
+        assert_eq!(intval("abc"), 0);
+        assert_eq!(intval(""), 0);
+        assert_eq!(intval("+5"), 5);
+        // The injection-relevant fact: intval crushes payloads to a number.
+        assert_eq!(intval("1 OR 1=1"), 1);
+    }
+
+    #[test]
+    fn is_numeric_shapes() {
+        assert!(is_numeric("3.5"));
+        assert!(is_numeric(" 1e3"));
+        assert!(!is_numeric("1 OR 1=1"));
+        assert!(!is_numeric(""));
+        assert!(!is_numeric("12abc"));
+    }
+}

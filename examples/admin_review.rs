@@ -1,0 +1,58 @@
+//! The administrator's side of incremental learning (Section II-E): a new
+//! query arrives in normal mode, is learned provisionally and executed;
+//! later the administrator reviews the quarantined model and decides —
+//! benign (approve, keep the model) or malicious (reject, refuse the
+//! query from then on).
+//!
+//! ```text
+//! cargo run --example admin_review
+//! ```
+
+use std::sync::Arc;
+
+use septic_repro::dbms::Server;
+use septic_repro::septic::{Mode, Septic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE invoices (id INT PRIMARY KEY AUTO_INCREMENT, total INT)")?;
+    conn.execute("INSERT INTO invoices (total) VALUES (10), (20)")?;
+
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("SELECT total FROM invoices WHERE id = 1")?;
+    septic.set_mode(Mode::PREVENTION);
+
+    // A query shape nobody trained arrives in production. SEPTIC learns it
+    // incrementally (and executes it), but quarantines the model.
+    conn.execute("SELECT COUNT(*) FROM invoices WHERE total > 15")?;
+    println!("{}", septic.status_report());
+
+    for id in septic.pending_review() {
+        println!("pending review: {id}");
+        // The administrator inspects the logged query and decides this one
+        // was a legitimate new report page:
+        septic.approve_model(&id);
+        println!("  -> approved");
+    }
+
+    // Another genuinely new query shape arrives; this time the admin
+    // recognises an attack footprint in the log (a tautology smuggled into
+    // a shape nobody trained) and rejects the learned model.
+    conn.execute("SELECT id FROM invoices WHERE total = 0 OR 1 = 1")?;
+    let pending = septic.pending_review();
+    println!("\nnew pending: {}", pending[0]);
+    septic.reject_model(&pending[0]);
+    println!("  -> rejected");
+
+    // The rejected query is refused from now on — no re-learning.
+    match conn.execute("SELECT id FROM invoices WHERE total = 9 OR 2 = 2") {
+        Err(e) => println!("\nsame shape again: {e}"),
+        Ok(_) => println!("\nunexpected: rejected query executed"),
+    }
+
+    println!("\n{}", septic.status_report());
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! SEPTIC is not web-specific: "any class of applications that use a
+//! database as backend may be vulnerable to injection attacks" (Section
+//! I). This example is a small warehouse/inventory *desktop* application
+//! talking straight to the DBMS — no HTTP, no WAF in front — with the
+//! same legacy string-building habit, protected by the same in-DBMS
+//! mechanism.
+//!
+//! ```text
+//! cargo run --example business_app
+//! ```
+
+use std::sync::Arc;
+
+use septic_repro::dbms::{Connection, DbError, Server, Value};
+use septic_repro::septic::{Mode, Septic};
+
+/// The "application": an inventory manager whose search function builds
+/// SQL by concatenation (escaped, of course — the developer was careful).
+struct InventoryApp {
+    conn: Connection,
+}
+
+impl InventoryApp {
+    fn install(conn: &Connection) -> Result<(), DbError> {
+        conn.execute(
+            "CREATE TABLE stock (id INT PRIMARY KEY AUTO_INCREMENT, \
+             sku VARCHAR(24) NOT NULL, qty INT NOT NULL, secret_cost DOUBLE)",
+        )?;
+        conn.execute(
+            "INSERT INTO stock (sku, qty, secret_cost) VALUES \
+             ('WIDGET-1', 40, 2.25), ('GADGET-7', 12, 17.5)",
+        )?;
+        Ok(())
+    }
+
+    fn search(&self, sku_fragment: &str) -> Result<Vec<String>, DbError> {
+        let escaped = septic_repro::webapp::php::mysql_real_escape_string(sku_fragment);
+        let out = self.conn.query(&format!(
+            "/* qid:inv-search */ SELECT sku, qty FROM stock WHERE sku LIKE '%{escaped}%'"
+        ))?;
+        Ok(out
+            .rows
+            .iter()
+            .map(|r| format!("{} x{}", r[0], r[1]))
+            .collect())
+    }
+
+    fn receive(&self, sku: &str, qty: i64) -> Result<(), DbError> {
+        // Modern path: prepared statement.
+        self.conn
+            .execute_prepared(
+                "INSERT INTO stock (sku, qty) VALUES (?, ?)",
+                &[Value::from(sku), Value::Int(qty)],
+            )
+            .map(|_| ())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = Server::new();
+    let conn = server.connect();
+    InventoryApp::install(&conn)?;
+    let app = InventoryApp { conn };
+
+    // Protect the DBMS; train by exercising the app's functions.
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    app.receive("CABLE-3", 100)?;
+    let _ = app.search("WIDGET")?;
+    septic.set_mode(Mode::PREVENTION);
+
+    println!("benign search: {:?}", app.search("GADGET")?);
+
+    // The same homoglyph breakout that owns web applications works against
+    // desktop/business apps — and is stopped in the same place.
+    let payload = "x\u{02BC} UNION SELECT sku, secret_cost FROM stock-- ";
+    match app.search(payload) {
+        Err(e) => println!("attack on the desktop app blocked in-DBMS: {e}"),
+        Ok(rows) => println!("unexpected: cost data leaked: {rows:?}"),
+    }
+    assert_eq!(septic.counters().queries_dropped, 1);
+    Ok(())
+}

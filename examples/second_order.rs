@@ -1,0 +1,70 @@
+//! The paper's Section II-D1 second-order attack, step by step: how a
+//! payload stored through a perfectly safe prepared statement detonates
+//! later inside legacy query-building code — and how SEPTIC catches it at
+//! the only reliable place, inside the DBMS.
+//!
+//! ```text
+//! cargo run --example second_order
+//! ```
+
+use std::sync::Arc;
+
+use septic_repro::attacks::train;
+use septic_repro::http::HttpRequest;
+use septic_repro::septic::{Mode, Septic};
+use septic_repro::webapp::deployment::Deployment;
+use septic_repro::webapp::apps::waspmon::ADMIN_PASSWORD;
+use septic_repro::webapp::WaspMon;
+
+const BOMB: &str = "Meter-7\u{02BC} UNION SELECT username, password, 1 FROM users-- ";
+
+fn attack(deployment: &Deployment) -> (bool, bool) {
+    // Step 1: store the bomb. mysql_real_escape_string sees no ASCII quote;
+    // the prepared INSERT stores the bytes verbatim. Looks 100% benign.
+    let store = deployment.request(
+        &HttpRequest::post("/devices/add").param("name", BOMB).param("location", "attic"),
+    );
+    // Step 2: legacy code re-reads the name and embeds it into query text;
+    // the DBMS folds U+02BC into a quote and the UNION runs.
+    let device_id = deployment.server().with_db(|db| {
+        db.table("devices")
+            .ok()
+            .and_then(|t| {
+                t.scan()
+                    .find(|(_, row)| row[1].to_display_string().starts_with("Meter-7"))
+                    .and_then(|(_, row)| row[0].to_int())
+            })
+            .unwrap_or(0)
+    });
+    let trigger = deployment
+        .request(&HttpRequest::get("/export").param("device_id", device_id.to_string()));
+    (store.response.is_success(), trigger.response.body.contains(ADMIN_PASSWORD))
+}
+
+fn main() {
+    println!("payload stored as device name: {BOMB:?}\n");
+
+    // Without SEPTIC: the store looks benign and the trigger leaks.
+    let unprotected = Deployment::new(Arc::new(WaspMon::new()), None, None).expect("deploy");
+    let (stored, leaked) = attack(&unprotected);
+    println!("without SEPTIC: store accepted = {stored}, passwords leaked = {leaked}");
+    assert!(stored && leaked);
+
+    // With SEPTIC: the store is still accepted (it IS just data — there is
+    // nothing to block yet), but the detonating query is dropped.
+    let septic = Arc::new(Septic::new());
+    let protected = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
+        .expect("deploy");
+    let _ = train(&protected, &septic, Mode::PREVENTION);
+    let (stored, leaked) = attack(&protected);
+    println!("with SEPTIC:    store accepted = {stored}, passwords leaked = {leaked}");
+    assert!(stored && !leaked);
+
+    println!("\nSEPTIC attack log:");
+    for event in septic.logger().events() {
+        let text = event.to_string();
+        if text.contains("SQLI attack") {
+            println!("  {text}");
+        }
+    }
+}

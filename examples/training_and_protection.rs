@@ -1,0 +1,63 @@
+//! Training-to-protection lifecycle with persistence: crawl the
+//! application with benign inputs (the "septic training module"), persist
+//! the learned models, restart the DBMS, reload the models and enter
+//! prevention mode — the exact sequence of demo phases IV-C and IV-D.
+//!
+//! ```text
+//! cargo run --example training_and_protection
+//! ```
+
+use std::sync::Arc;
+
+use septic_repro::attacks::{crawl, train};
+use septic_repro::http::HttpRequest;
+use septic_repro::septic::{Mode, Septic};
+use septic_repro::webapp::deployment::Deployment;
+use septic_repro::webapp::WaspMon;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- phase IV-C: training ------------------------------------------
+    let septic = Arc::new(Septic::new());
+    let deployment = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))?;
+    let report = train(&deployment, &septic, Mode::PREVENTION);
+    println!(
+        "training crawl: {} requests, {} models learned, {} failures",
+        report.requests_sent, report.models_learned, report.failures
+    );
+
+    // Persist the models ("stored persistently").
+    let path = std::env::temp_dir().join("waspmon-models.json");
+    septic.save_models(&path)?;
+    println!("models persisted to {}", path.display());
+
+    // ---- restart: fresh server, fresh SEPTIC, reloaded models -----------
+    let septic2 = Arc::new(Septic::new());
+    let loaded = septic2.load_models(&path)?;
+    septic2.set_mode(Mode::PREVENTION);
+    let deployment2 = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic2.clone()))?;
+    println!("after restart: {loaded} models loaded, mode = {}", septic2.mode());
+
+    // ---- phase IV-D: protection ------------------------------------------
+    // Benign traffic: no false positives.
+    let benign = crawl(&deployment2, 1);
+    println!("benign crawl under prevention: {} failures", benign.failures);
+
+    // Attack traffic: blocked.
+    let attack = deployment2.request(
+        &HttpRequest::post("/login")
+            .param("user", "admin\u{02BC} AND 1=1-- ")
+            .param("pass", "x"),
+    );
+    println!(
+        "mimicry login attempt: HTTP {} — {}",
+        attack.response.status,
+        if attack.response.body.contains("blocked") { "query dropped by SEPTIC" } else { "?" }
+    );
+    let counters = septic2.counters();
+    println!(
+        "counters: {} queries seen, {} SQLI detected, {} dropped",
+        counters.queries_seen, counters.sqli_detected, counters.queries_dropped
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Client-diversity and concurrency tests: "several DBMS clients of
+//! different types may be connected to a single DBMS server with SEPTIC"
+//! (Section II-B). Multiple connections — web application traffic, a
+//! direct SQL client, an attacker's tool — hit one server concurrently
+//! while SEPTIC protects all of them with a single model store.
+
+use std::sync::Arc;
+
+use septic_repro::dbms::{DbError, Server, Value};
+use septic_repro::septic::{Mode, Septic};
+
+fn protected_server() -> (Arc<Server>, Arc<Septic>) {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute(
+        "CREATE TABLE accounts (id INT PRIMARY KEY AUTO_INCREMENT, \
+         owner VARCHAR(32) NOT NULL, balance INT NOT NULL)",
+    )
+    .unwrap();
+    conn.execute(
+        "INSERT INTO accounts (owner, balance) VALUES ('ann', 100), ('bob', 50)",
+    )
+    .unwrap();
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("SELECT balance FROM accounts WHERE owner = 'ann'").unwrap();
+    conn.execute("UPDATE accounts SET balance = 1 WHERE owner = 'ann'").unwrap();
+    conn.execute("INSERT INTO accounts (owner, balance) VALUES ('seed', 0)").unwrap();
+    septic.set_mode(Mode::PREVENTION);
+    (server, septic)
+}
+
+#[test]
+fn many_clients_share_one_protected_server() {
+    let (server, septic) = protected_server();
+    let threads = 8;
+    let per_thread = 50;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let conn = server.connect();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Benign traffic with varying literals.
+                    let out = conn
+                        .query(&format!(
+                            "SELECT balance FROM accounts WHERE owner = 'client{t}-{i}'"
+                        ))
+                        .expect("benign query must pass");
+                    assert!(out.rows.is_empty());
+                    // Writes too.
+                    conn.execute(&format!(
+                        "INSERT INTO accounts (owner, balance) VALUES ('w{t}-{i}', {i})"
+                    ))
+                    .expect("benign insert must pass");
+                }
+            });
+        }
+    });
+    let snapshot = septic.counters();
+    assert_eq!(snapshot.sqli_detected, 0, "no false positives under concurrency");
+    assert_eq!(snapshot.queries_dropped, 0);
+    // All writes landed.
+    let conn = server.connect();
+    let out = conn.query("SELECT COUNT(*) FROM accounts").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(3 + threads * per_thread)));
+}
+
+#[test]
+fn concurrent_attacks_are_all_blocked() {
+    let (server, septic) = protected_server();
+    let attacks_per_thread = 20;
+    let threads = 4;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let conn = server.connect();
+            scope.spawn(move || {
+                for i in 0..attacks_per_thread {
+                    let err = conn
+                        .execute(&format!(
+                            "SELECT balance FROM accounts WHERE owner = '' OR {i}={i}-- '"
+                        ))
+                        .expect_err("attack must be dropped");
+                    assert!(matches!(err, DbError::Blocked(_)));
+                }
+            });
+        }
+    });
+    assert_eq!(
+        septic.counters().queries_dropped,
+        (threads * attacks_per_thread) as u64
+    );
+}
+
+#[test]
+fn mixed_benign_and_attack_traffic() {
+    let (server, septic) = protected_server();
+    std::thread::scope(|scope| {
+        // A well-behaved application client…
+        let benign_conn = server.connect();
+        scope.spawn(move || {
+            for i in 0..100 {
+                benign_conn
+                    .query(&format!("SELECT balance FROM accounts WHERE owner = 'u{i}'"))
+                    .expect("benign must pass");
+            }
+        });
+        // …and an attacker hammering in parallel.
+        let attack_conn = server.connect();
+        scope.spawn(move || {
+            for _ in 0..100 {
+                let _ = attack_conn
+                    .execute("SELECT balance FROM accounts WHERE owner = '' OR 1=1-- '");
+            }
+        });
+    });
+    let snapshot = septic.counters();
+    assert_eq!(snapshot.queries_dropped, 100);
+    assert!(snapshot.models_found >= 100);
+}
+
+#[test]
+fn training_concurrently_learns_each_shape_once() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (a VARCHAR(16))").unwrap();
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let conn = server.connect();
+            scope.spawn(move || {
+                for i in 0..25 {
+                    conn.execute(&format!("SELECT a FROM t WHERE a = 'x{t}-{i}'")).unwrap();
+                }
+            });
+        }
+    });
+    // One shape, one model — regardless of 200 concurrent learnings.
+    assert_eq!(septic.store().len(), 1);
+}

@@ -1,0 +1,156 @@
+//! Property-based tests over the core invariants (DESIGN.md §5).
+
+use proptest::prelude::*;
+
+use septic_repro::dbms::value::numeric_prefix;
+use septic_repro::dbms::Value;
+use septic_repro::http::{url_decode, url_encode};
+use septic_repro::septic::{detect_sqli, QueryModel, SqliOutcome};
+use septic_repro::sql::{charset, items, parse, ItemStack};
+use septic_repro::webapp::php::{addslashes, mysql_real_escape_string, stripslashes};
+
+fn stack_of(sql: &str) -> ItemStack {
+    items::lower_all(&parse(sql).expect("parse").statements)
+}
+
+/// Benign literal strings: anything without ASCII quotes/backslashes and
+/// without homoglyphs (those are the attack space, exercised elsewhere).
+fn benign_literal() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _.,;:!@#$%^&(){}\\[\\]<>=+*/?|~-]{0,24}"
+}
+
+proptest! {
+    /// No false positives by construction: every query matches the model
+    /// derived from itself, whatever the literals.
+    #[test]
+    fn qs_matches_own_model(s in benign_literal(), n in any::<i32>()) {
+        let sql = format!("SELECT a, b FROM t WHERE a = '{s}' AND b = {n} ORDER BY a LIMIT 5");
+        let qs = stack_of(&sql);
+        let model = QueryModel::from_structure(&qs);
+        prop_assert_eq!(detect_sqli(&qs, &model), SqliOutcome::Clean);
+    }
+
+    /// Literal values never influence the model: two queries differing only
+    /// in data yield identical models and identical structures-for-matching.
+    #[test]
+    fn models_are_data_independent(
+        s1 in benign_literal(), s2 in benign_literal(),
+        n1 in any::<i32>(), n2 in any::<i32>(),
+    ) {
+        let a = stack_of(&format!("SELECT x FROM t WHERE a = '{s1}' AND b = {n1}"));
+        let b = stack_of(&format!("SELECT x FROM t WHERE a = '{s2}' AND b = {n2}"));
+        prop_assert_eq!(QueryModel::from_structure(&a), QueryModel::from_structure(&b));
+        prop_assert_eq!(
+            septic_repro::septic::id::internal_id(&a),
+            septic_repro::septic::id::internal_id(&b)
+        );
+        // Cross-matching is clean too.
+        prop_assert_eq!(detect_sqli(&a, &QueryModel::from_structure(&b)), SqliOutcome::Clean);
+    }
+
+    /// Escaped values survive the round trip through query text intact:
+    /// building `'...'` with `mysql_real_escape_string` always parses back
+    /// to a single string literal equal to the input, even with quotes and
+    /// backslashes in it (ASCII sanitization is *correct*; the mismatch is
+    /// elsewhere).
+    #[test]
+    fn escaping_round_trips_ascii(raw in "[ -~]{0,24}") {
+        let escaped = mysql_real_escape_string(&raw);
+        let sql = format!("SELECT * FROM t WHERE a = '{escaped}'");
+        let parsed = parse(&sql).expect("escaped value must parse");
+        let stack = items::lower_all(&parsed.statements);
+        let literals: Vec<&str> = stack.string_data().collect();
+        prop_assert_eq!(literals, vec![raw.as_str()]);
+    }
+
+    /// addslashes/stripslashes are inverse.
+    #[test]
+    fn slashes_round_trip(raw in "[ -~]{0,32}") {
+        prop_assert_eq!(stripslashes(&addslashes(&raw)), raw);
+    }
+
+    /// Charset decoding is idempotent and length-preserving in characters.
+    #[test]
+    fn charset_decode_idempotent(raw in "\\PC{0,32}") {
+        let once = charset::decode(&raw);
+        let twice = charset::decode(&once.text);
+        prop_assert_eq!(&once.text, &twice.text);
+        prop_assert!(twice.substitutions.is_empty());
+        prop_assert_eq!(raw.chars().count(), once.text.chars().count());
+    }
+
+    /// URL codec round-trips arbitrary unicode.
+    #[test]
+    fn url_codec_round_trips(raw in "\\PC{0,32}") {
+        prop_assert_eq!(url_decode(&url_encode(&raw)), raw);
+    }
+
+    /// Numeric coercion is total and agrees with full parses on clean input.
+    #[test]
+    fn numeric_prefix_total(raw in "\\PC{0,16}") {
+        let _ = numeric_prefix(&raw); // must not panic
+    }
+
+    #[test]
+    fn numeric_prefix_agrees_on_integers(n in any::<i32>()) {
+        prop_assert_eq!(numeric_prefix(&n.to_string()), f64::from(n));
+    }
+
+    /// Value comparisons are symmetric-consistent and NULL-propagating.
+    #[test]
+    fn value_comparison_consistency(a in any::<i64>(), s in benign_literal()) {
+        let int_value = Value::Int(a);
+        let str_value = Value::Str(s);
+        let ab = int_value.sql_cmp(&str_value);
+        let ba = str_value.sql_cmp(&int_value);
+        prop_assert_eq!(ab.map(std::cmp::Ordering::reverse), ba);
+        prop_assert_eq!(Value::Null.sql_cmp(&int_value), None);
+    }
+
+    /// Round-trip: parse → print → parse is a fixed point on a family of
+    /// generated SELECT queries.
+    #[test]
+    fn parser_print_fixed_point(
+        s in benign_literal(),
+        n in 0i64..1000,
+        desc in any::<bool>(),
+        limit in 1u64..50,
+    ) {
+        let sql = format!(
+            "SELECT a, COUNT(*) FROM t WHERE a = '{s}' AND b > {n} \
+             GROUP BY a HAVING COUNT(*) > 1 ORDER BY a{} LIMIT {limit}",
+            if desc { " DESC" } else { "" },
+        );
+        let first = parse(&sql).expect("generated query parses");
+        let printed = first.statements[0].to_string();
+        let second = parse(&printed).expect("printed query reparses");
+        prop_assert_eq!(&first.statements[0], &second.statements[0]);
+        // And printing is a fixed point from then on.
+        prop_assert_eq!(printed.clone(), second.statements[0].to_string());
+    }
+
+    /// The parser never panics: arbitrary input yields Ok or Err, only.
+    #[test]
+    fn parser_total_on_arbitrary_input(raw in "\\PC{0,64}") {
+        let _ = parse(&raw);
+        let _ = parse(&charset::decode(&raw).text);
+    }
+
+    /// The lexer-sensitive corner: arbitrary bytes around quote/comment
+    /// starters never panic either.
+    #[test]
+    fn parser_total_on_quote_heavy_input(raw in "['\"`#/*;-]{0,24}") {
+        let _ = parse(&raw);
+    }
+
+    /// Any single-character flip inside the WHERE structure of a learned
+    /// query either keeps it equivalent or is caught by the detector —
+    /// appended tautologies always are.
+    #[test]
+    fn appended_conditions_always_detected(s in benign_literal(), n in any::<i32>()) {
+        let learned = stack_of("SELECT a FROM t WHERE a = 'x'");
+        let model = QueryModel::from_structure(&learned);
+        let attacked = stack_of(&format!("SELECT a FROM t WHERE a = '{s}' OR {n} = {n}"));
+        prop_assert!(detect_sqli(&attacked, &model).is_attack());
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the Section II-E administrator review workflow
+//! across the full stack: incremental learning quarantines models,
+//! verdicts persist across DBMS "restarts", and explicit retraining lifts
+//! a rejection.
+
+use std::sync::Arc;
+
+use septic_repro::attacks::train;
+use septic_repro::septic::{Mode, Septic};
+use septic_repro::webapp::deployment::Deployment;
+use septic_repro::webapp::WaspMon;
+
+fn deploy_with(septic: Arc<Septic>) -> Deployment {
+    Deployment::new(Arc::new(WaspMon::new()), None, Some(septic)).expect("deploy")
+}
+
+#[test]
+fn unknown_queries_reach_quarantine_through_the_web_stack() {
+    let septic = Arc::new(Septic::new());
+    let d = deploy_with(septic.clone());
+    let _ = train(&d, &septic, Mode::PREVENTION);
+    assert!(septic.pending_review().is_empty(), "training fills no quarantine");
+
+    // A route the trainer missed (direct DB access by a batch job, say).
+    d.connection()
+        .query("SELECT username FROM users WHERE role = 'admin'")
+        .expect("incremental learning executes the query");
+    let pending = septic.pending_review();
+    assert_eq!(pending.len(), 1);
+}
+
+#[test]
+fn verdicts_survive_a_restart() {
+    let septic = Arc::new(Septic::new());
+    let d = deploy_with(septic.clone());
+    let _ = train(&d, &septic, Mode::PREVENTION);
+
+    // Two unknown shapes arrive one at a time, so each verdict
+    // unambiguously targets the right model.
+    d.connection().query("SELECT username FROM users WHERE role = 'admin'").unwrap();
+    let pending = septic.pending_review();
+    assert_eq!(pending.len(), 1);
+    septic.approve_model(&pending[0]);
+    d.connection().query("SELECT COUNT(*) FROM readings WHERE watts > 1000").unwrap();
+    let pending = septic.pending_review();
+    assert_eq!(pending.len(), 1);
+    septic.reject_model(&pending[0]);
+
+    // Persist, "restart" the DBMS, reload.
+    let dir = std::env::temp_dir().join("septic-review-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("models.json");
+    septic.save_models(&path).unwrap();
+
+    let septic2 = Arc::new(Septic::new());
+    septic2.load_models(&path).unwrap();
+    septic2.set_mode(Mode::PREVENTION);
+    let d2 = deploy_with(septic2.clone());
+
+    // The approved shape flows; the rejected one is refused — across the
+    // restart, with no re-training and no re-review.
+    let approved = d2
+        .connection()
+        .query("SELECT username FROM users WHERE role = 'user'");
+    let rejected = d2
+        .connection()
+        .query("SELECT COUNT(*) FROM readings WHERE watts > 5");
+    assert!(approved.is_ok(), "approved shape must keep working: {approved:?}");
+    let err = rejected.expect_err("rejected shape must be refused");
+    assert!(err.to_string().contains("rejected by administrator"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn explicit_retraining_lifts_a_rejection_end_to_end() {
+    let septic = Arc::new(Septic::new());
+    let d = deploy_with(septic.clone());
+    let _ = train(&d, &septic, Mode::PREVENTION);
+
+    d.connection().query("SELECT COUNT(*) FROM notes WHERE author = 'alice'").unwrap();
+    let pending = septic.pending_review();
+    septic.reject_model(&pending[0]);
+    assert!(d
+        .connection()
+        .query("SELECT COUNT(*) FROM notes WHERE author = 'bob'")
+        .is_err());
+
+    // The application is updated; the administrator retrains deliberately.
+    septic.set_mode(Mode::Training);
+    d.connection().query("SELECT COUNT(*) FROM notes WHERE author = 'carol'").unwrap();
+    septic.set_mode(Mode::PREVENTION);
+
+    // The shape is trusted again — and still guarded against injection.
+    assert!(d
+        .connection()
+        .query("SELECT COUNT(*) FROM notes WHERE author = 'dave'")
+        .is_ok());
+    assert!(d
+        .connection()
+        .query("SELECT COUNT(*) FROM notes WHERE author = '' OR 1=1-- '")
+        .is_err(), "the detector still covers the rehabilitated shape");
+}
+
+#[test]
+fn web_attacks_that_are_incrementally_learned_can_be_rejected_later() {
+    // The operational loop the paper sketches: an attack with a novel head
+    // slips in via incremental learning, the administrator reviews the log,
+    // rejects it, and the attacker's replay fails.
+    let septic = Arc::new(Septic::new());
+    let d = deploy_with(septic.clone());
+    let _ = train(&d, &septic, Mode::PREVENTION);
+
+    // Nothing pending after training + benign traffic.
+    assert!(septic.pending_review().is_empty());
+
+    // The attacker finds an untrained maintenance endpoint shape (simulated
+    // as a direct query with a new head).
+    d.connection()
+        .query("SELECT password FROM users WHERE username = 'admin' OR 1=1")
+        .expect("first sight is learned, not blocked");
+    let pending = septic.pending_review();
+    assert_eq!(pending.len(), 1);
+    septic.reject_model(&pending[0]);
+
+    let replay = d
+        .connection()
+        .query("SELECT password FROM users WHERE username = 'x' OR 2=2");
+    assert!(replay.is_err(), "replays of the rejected shape are refused");
+}

@@ -1,0 +1,114 @@
+//! The semantic mismatch, layer by layer: these tests pin down *why* each
+//! defense layer sees a different query than the one MySQL executes —
+//! the paper's central claim, verified end to end.
+
+use std::sync::Arc;
+
+use septic_repro::dbms::{DbError, Server, Value};
+use septic_repro::http::HttpRequest;
+use septic_repro::septic::{Mode, Septic};
+use septic_repro::sql::charset;
+use septic_repro::waf::ModSecurity;
+use septic_repro::webapp::php::mysql_real_escape_string;
+
+const PAYLOAD: &str = "ID34FG\u{02BC}-- ";
+
+#[test]
+fn layer1_php_escaping_does_not_see_the_quote() {
+    // PHP: the homoglyph is not one of the escaped bytes.
+    assert_eq!(mysql_real_escape_string(PAYLOAD), PAYLOAD);
+    // …whereas the ASCII version is neutralised.
+    assert_eq!(mysql_real_escape_string("ID34FG'-- "), "ID34FG\\'-- ");
+}
+
+#[test]
+fn layer2_waf_does_not_see_the_quote() {
+    let waf = ModSecurity::new();
+    let request = HttpRequest::post("/f").param("v", PAYLOAD);
+    assert!(!waf.inspect(&request).is_blocked());
+    // …whereas the ASCII version trips the quote-then-comment rule family.
+    let ascii = HttpRequest::post("/f").param("v", "ID34FG'-- x' OR 1=1");
+    assert!(waf.inspect(&ascii).is_blocked());
+}
+
+#[test]
+fn layer3_the_dbms_decodes_the_quote() {
+    let decoded = charset::decode(&format!("SELECT 1 FROM t WHERE a = '{PAYLOAD}'"));
+    assert!(decoded.text.contains("'ID34FG'-- "));
+    assert_eq!(decoded.substitutions.len(), 1);
+}
+
+#[test]
+fn the_gap_is_exploitable_without_septic_and_closed_with_it() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)").unwrap();
+    conn.execute("INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)")
+        .unwrap();
+
+    // The application-built query (inputs escaped!) — credit card check
+    // silently amputated by the decoded quote + comment.
+    let escaped = mysql_real_escape_string(PAYLOAD);
+    let sql = format!(
+        "SELECT * FROM tickets WHERE reservID = '{escaped}' AND creditCard = 9999"
+    );
+    let out = conn.query(&sql).expect("executes without SEPTIC");
+    assert_eq!(out.rows.len(), 1, "wrong credit card, row returned anyway");
+
+    // Same server, SEPTIC installed and trained: the attack is dropped.
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.query("SELECT * FROM tickets WHERE reservID = 'OK' AND creditCard = 1").unwrap();
+    septic.set_mode(Mode::PREVENTION);
+    let err = conn.query(&sql).expect_err("SEPTIC must drop the attack");
+    assert!(matches!(err, DbError::Blocked(_)));
+}
+
+#[test]
+fn numeric_coercion_mismatch_is_reproduced() {
+    // MySQL type juggling: the string 'abc' equals the number 0.
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (pin VARCHAR(8))").unwrap();
+    conn.execute("INSERT INTO t (pin) VALUES ('abc')").unwrap();
+    // A developer comparing a VARCHAR column against user-supplied `0`
+    // believes nothing matches; MySQL coerces and everything matches.
+    let out = conn.query("SELECT COUNT(*) FROM t WHERE pin = 0").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(1)));
+    let out = conn.query("SELECT COUNT(*) FROM t WHERE pin = '0'").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(0)), "string compare is exact");
+}
+
+#[test]
+fn version_comments_are_invisible_to_the_waf_but_executed_by_the_dbms() {
+    // WAF view: replaceComments erases the body.
+    let waf = ModSecurity::new();
+    let evasive = "zz\u{02BC} /*!UNION*/ /*!SELECT*/ password FROM users-- ";
+    assert!(!waf.inspect(&HttpRequest::post("/f").param("v", evasive)).is_blocked());
+
+    // DBMS view: the body is part of the query.
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE users (password VARCHAR(16))").unwrap();
+    conn.execute("INSERT INTO users (password) VALUES ('hunter2')").unwrap();
+    let out = conn
+        .query("SELECT 'x' /*!UNION*/ /*!SELECT*/ password FROM users")
+        .unwrap();
+    assert!(out.rows.iter().any(|r| r[0] == Value::from("hunter2")));
+}
+
+#[test]
+fn prepared_statements_are_immune_by_construction() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (v VARCHAR(64))").unwrap();
+    // Both the homoglyph bomb and a stacked-query payload are inert data.
+    for payload in [PAYLOAD, "x'; DROP TABLE t-- "] {
+        conn.execute_prepared("INSERT INTO t (v) VALUES (?)", &[Value::from(payload)])
+            .unwrap();
+    }
+    assert!(server.with_db(|db| db.has_table("t")));
+    let out = conn.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Int(2)));
+}

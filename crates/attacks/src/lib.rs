@@ -16,6 +16,8 @@ pub mod trainer;
 
 pub use corpus::{corpus, semantic_mismatch_corpus, AttackSpec};
 pub use crawler::{crawl_html, CrawlReport, DiscoveredForm};
-pub use runner::{run_attack, run_corpus, summarize, AttackResult, Outcome, ProtectionConfig, Summary};
+pub use runner::{
+    run_attack, run_corpus, summarize, AttackResult, Outcome, ProtectionConfig, Summary,
+};
 pub use taxonomy::AttackClass;
 pub use trainer::{crawl, train, TrainReport};

@@ -64,7 +64,11 @@ impl ProtectionConfig {
     /// Short label for report tables.
     #[must_use]
     pub fn label(&self) -> String {
-        let ablation = if self.structural_only { "-step1only" } else { "" };
+        let ablation = if self.structural_only {
+            "-step1only"
+        } else {
+            ""
+        };
         match (self.waf, self.septic) {
             (false, None) => "sanitization".to_string(),
             (true, None) => "modsecurity".to_string(),
@@ -95,7 +99,10 @@ impl Outcome {
     /// True when the application was protected (the effect did not occur).
     #[must_use]
     pub fn protected(&self) -> bool {
-        matches!(self, Outcome::BlockedByWaf | Outcome::BlockedBySeptic | Outcome::Thwarted)
+        matches!(
+            self,
+            Outcome::BlockedByWaf | Outcome::BlockedBySeptic | Outcome::Thwarted
+        )
     }
 }
 
@@ -132,8 +139,8 @@ pub fn run_attack(attack: &AttackSpec, config: ProtectionConfig) -> AttackResult
         s.set_structural_only(config.structural_only);
         Arc::new(s)
     });
-    let deployment = Deployment::new(target_app(), waf, septic.clone())
-        .expect("deployment install");
+    let deployment =
+        Deployment::new(target_app(), waf, septic.clone()).expect("deployment install");
     if let (Some(septic), Some(mode)) = (&septic, config.septic) {
         let report = trainer::train(&deployment, septic, mode);
         debug_assert_eq!(report.failures, 0, "training must be clean");
@@ -141,7 +148,9 @@ pub fn run_attack(attack: &AttackSpec, config: ProtectionConfig) -> AttackResult
     let dropped_before = septic.as_ref().map_or(0, |s| s.counters().queries_dropped);
 
     let responses = (attack.execute)(&deployment);
-    let waf_blocked = responses.iter().any(septic_webapp::DeploymentResponse::waf_blocked);
+    let waf_blocked = responses
+        .iter()
+        .any(septic_webapp::DeploymentResponse::waf_blocked);
     let dropped_during =
         septic.as_ref().map_or(0, |s| s.counters().queries_dropped) - dropped_before;
     let flagged = septic
@@ -192,7 +201,10 @@ pub struct Summary {
 /// Aggregates results.
 #[must_use]
 pub fn summarize(results: &[AttackResult]) -> Summary {
-    let mut s = Summary { total: results.len(), ..Summary::default() };
+    let mut s = Summary {
+        total: results.len(),
+        ..Summary::default()
+    };
     for r in results {
         match r.outcome {
             Outcome::Succeeded => s.succeeded += 1,
@@ -228,7 +240,10 @@ mod tests {
         let results = run_corpus(&corpus(), ProtectionConfig::WITH_WAF);
         let s = summarize(&results);
         assert!(s.blocked_waf >= 4, "WAF should block classic shapes: {s:?}");
-        assert!(s.succeeded >= 4, "semantic-mismatch attacks must pass the WAF: {s:?}");
+        assert!(
+            s.succeeded >= 4,
+            "semantic-mismatch attacks must pass the WAF: {s:?}"
+        );
         // The WAF's false negatives are exactly semantic-mismatch or
         // evasive stored-injection attacks.
         for r in &results {
@@ -237,9 +252,7 @@ mod tests {
                     r.class.is_semantic_mismatch()
                         || matches!(
                             r.class,
-                            AttackClass::StoredXss
-                                | AttackClass::Rfi
-                                | AttackClass::Osci
+                            AttackClass::StoredXss | AttackClass::Rfi | AttackClass::Osci
                         ),
                     "unexpected WAF miss: {} ({})",
                     r.attack_id,
@@ -288,13 +301,24 @@ mod tests {
         // arity (S3's UNION lands on the same node count as the learned
         // query) — all of them SQLI, none of them stored-injection.
         let missed: Vec<_> = ablated.iter().filter(|r| !r.outcome.protected()).collect();
-        assert!(missed.len() >= 2, "expected mimicry (and friends) to slip: {missed:?}");
+        assert!(
+            missed.len() >= 2,
+            "expected mimicry (and friends) to slip: {missed:?}"
+        );
         for r in &missed {
-            assert!(r.class.is_sqli(), "{}: only SQLI outcomes depend on the detector", r.attack_id);
+            assert!(
+                r.class.is_sqli(),
+                "{}: only SQLI outcomes depend on the detector",
+                r.attack_id
+            );
         }
         // The full two-step detector catches every one of them.
         for r in &full {
-            assert!(r.outcome.protected(), "{}: two-step must protect", r.attack_id);
+            assert!(
+                r.outcome.protected(),
+                "{}: two-step must protect",
+                r.attack_id
+            );
         }
     }
 

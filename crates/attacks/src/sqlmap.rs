@@ -218,7 +218,9 @@ pub fn scan_param(
                     >= std::time::Duration::from_secs(2)
             }
             Technique::BooleanBlind => {
-                let Some(false_value) = &probe.false_value else { continue };
+                let Some(false_value) = &probe.false_value else {
+                    continue;
+                };
                 let mut false_req = base.clone();
                 false_req.set_param(param, false_value.clone());
                 let false_resp = deployment.request(&false_req);
@@ -232,8 +234,9 @@ pub fn scan_param(
                 .marker
                 .as_ref()
                 .is_some_and(|m| resp.response.body.contains(m)),
-            Technique::Stacked => resp.response.is_success()
-                && !resp.response.body.contains("Query failed"),
+            Technique::Stacked => {
+                resp.response.is_success() && !resp.response.body.contains("Query failed")
+            }
         };
         if hit && !report.findings.contains(&(probe.technique, probe.encoder)) {
             report.findings.push((probe.technique, probe.encoder));
@@ -281,7 +284,10 @@ mod tests {
             .iter()
             .any(|(t, _)| *t == Technique::UnionBased));
         assert!(
-            report.findings.iter().any(|(t, _)| *t == Technique::TimeBased),
+            report
+                .findings
+                .iter()
+                .any(|(t, _)| *t == Technique::TimeBased),
             "the SLEEP probe must register through the delay oracle: {report:?}"
         );
     }
@@ -293,9 +299,16 @@ mod tests {
             .param("device", "Kitchen Meter")
             .param("days", "0");
         let plain = scan_param(&d, &base, "device", &string_probes(&[Encoder::Plain]));
-        assert!(!plain.vulnerable(), "escaping stops ASCII quotes: {plain:?}");
-        let homoglyph =
-            scan_param(&d, &base, "device", &string_probes(&[Encoder::HomoglyphQuote]));
+        assert!(
+            !plain.vulnerable(),
+            "escaping stops ASCII quotes: {plain:?}"
+        );
+        let homoglyph = scan_param(
+            &d,
+            &base,
+            "device",
+            &string_probes(&[Encoder::HomoglyphQuote]),
+        );
         assert!(homoglyph.vulnerable(), "{homoglyph:?}");
     }
 

@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(AttackClass::HomoglyphFirstOrder.to_string(), "homoglyph first-order SQLI");
+        assert_eq!(
+            AttackClass::HomoglyphFirstOrder.to_string(),
+            "homoglyph first-order SQLI"
+        );
         assert_eq!(AttackClass::Osci.to_string(), "OSCI");
     }
 }

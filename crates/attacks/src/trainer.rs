@@ -72,23 +72,31 @@ mod tests {
     #[test]
     fn training_learns_each_shape_once() {
         let septic = Arc::new(Septic::new());
-        let d = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
-            .expect("deploy");
+        let d =
+            Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("deploy");
         let report = train(&d, &septic, Mode::PREVENTION);
         assert_eq!(report.failures, 0, "benign crawl must not fail");
-        assert!(report.models_learned > 5, "learned {}", report.models_learned);
+        assert!(
+            report.models_learned > 5,
+            "learned {}",
+            report.models_learned
+        );
         // Crawling twice more must not create new models.
         septic.set_mode(Mode::Training);
         let before = septic.counters().models_created;
         let _ = crawl(&d, 2);
-        assert_eq!(septic.counters().models_created, before, "no new models on repeat");
+        assert_eq!(
+            septic.counters().models_created,
+            before,
+            "no new models on repeat"
+        );
     }
 
     #[test]
     fn trained_app_serves_benign_traffic_without_false_positives() {
         let septic = Arc::new(Septic::new());
-        let d = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
-            .expect("deploy");
+        let d =
+            Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("deploy");
         let _ = train(&d, &septic, Mode::PREVENTION);
         // Fresh benign traffic with different literals flows untouched.
         let report = crawl(&d, 1);

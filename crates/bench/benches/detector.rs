@@ -12,7 +12,10 @@ fn stack_of(sql: &str) -> ItemStack {
 }
 
 const QUERIES: &[(&str, &str)] = &[
-    ("small", "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"),
+    (
+        "small",
+        "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+    ),
     (
         "medium",
         "SELECT u.name, COUNT(*), AVG(r.watts) FROM users u \
@@ -36,13 +39,9 @@ fn bench_detection(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("two_step", label), &qs, |b, qs| {
             b.iter(|| std::hint::black_box(detect_sqli(qs, &model)));
         });
-        group.bench_with_input(
-            BenchmarkId::new("structural_only", label),
-            &qs,
-            |b, qs| {
-                b.iter(|| std::hint::black_box(detect_sqli_structural_only(qs, &model)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("structural_only", label), &qs, |b, qs| {
+            b.iter(|| std::hint::black_box(detect_sqli_structural_only(qs, &model)));
+        });
     }
     group.finish();
 }

@@ -11,10 +11,7 @@ use septic_webapp::apps::workload_apps;
 use septic_webapp::deployment::Deployment;
 use septic_webapp::WebApp;
 
-fn deployment_for(
-    app: Arc<dyn WebApp>,
-    config: Option<DetectionConfig>,
-) -> (Deployment, Workload) {
+fn deployment_for(app: Arc<dyn WebApp>, config: Option<DetectionConfig>) -> (Deployment, Workload) {
     let workload = Workload::record_from_app(app.as_ref());
     let septic = config.map(|c| Arc::new(Septic::with_config(c)));
     let deployment = Deployment::new(app, None, septic.clone()).expect("install");

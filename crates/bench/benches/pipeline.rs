@@ -11,13 +11,19 @@ use septic_waf::ModSecurity;
 fn bench_front_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("sql_front_end");
     let queries = [
-        ("point", "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234"),
+        (
+            "point",
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234",
+        ),
         (
             "join_group",
             "SELECT u.name, COUNT(*) FROM users u JOIN devices d ON d.owner = u.id \
              WHERE u.role = 'user' GROUP BY u.name ORDER BY u.name LIMIT 10",
         ),
-        ("insert", "INSERT INTO readings (device_id, ts, watts) VALUES (1, 99, 42.5)"),
+        (
+            "insert",
+            "INSERT INTO readings (device_id, ts, watts) VALUES (1, 99, 42.5)",
+        ),
     ];
     for (label, sql) in queries {
         group.bench_with_input(BenchmarkId::new("decode", label), sql, |b, sql| {
@@ -37,9 +43,12 @@ fn bench_front_end(c: &mut Criterion) {
 fn bench_waf(c: &mut Criterion) {
     let mut group = c.benchmark_group("waf_inspect");
     let waf = ModSecurity::new();
-    let benign = HttpRequest::post("/login").param("user", "alice").param("pass", "wonderland");
-    let attack =
-        HttpRequest::post("/login").param("user", "' OR 1=1-- ").param("pass", "x");
+    let benign = HttpRequest::post("/login")
+        .param("user", "alice")
+        .param("pass", "wonderland");
+    let attack = HttpRequest::post("/login")
+        .param("user", "' OR 1=1-- ")
+        .param("pass", "x");
     group.bench_function("benign", |b| {
         b.iter(|| std::hint::black_box(waf.inspect(&benign)));
     });
@@ -54,13 +63,27 @@ fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_store");
     let store = septic::ModelStore::new();
     let model = QueryModel::from_structure(&items::lower_all(
-        &parse("SELECT * FROM t WHERE a = 'x' AND b = 1").expect("parse").statements,
+        &parse("SELECT * FROM t WHERE a = 'x' AND b = 1")
+            .expect("parse")
+            .statements,
     ));
     for i in 0..1000u64 {
-        store.learn(QueryId { external: None, internal: i }, model.clone());
+        store.learn(
+            QueryId {
+                external: None,
+                internal: i,
+            },
+            model.clone(),
+        );
     }
-    let hot = QueryId { external: None, internal: 500 };
-    let missing = QueryId { external: None, internal: 1_000_001 };
+    let hot = QueryId {
+        external: None,
+        internal: 500,
+    };
+    let missing = QueryId {
+        external: None,
+        internal: 1_000_001,
+    };
     group.bench_function("get_hit_1000", |b| {
         b.iter(|| std::hint::black_box(store.get(&hot)));
     });

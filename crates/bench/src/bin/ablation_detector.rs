@@ -13,13 +13,21 @@ use septic_attacks::{corpus, run_corpus, Outcome, ProtectionConfig};
 use septic_bench::{banner, render_table};
 
 fn main() {
-    println!("{}", banner("Detector ablation — two-step vs structural-only"));
+    println!(
+        "{}",
+        banner("Detector ablation — two-step vs structural-only")
+    );
     let attacks: Vec<_> = corpus().into_iter().filter(|a| a.class.is_sqli()).collect();
     let full = run_corpus(&attacks, ProtectionConfig::WITH_SEPTIC);
     let ablated = run_corpus(&attacks, ProtectionConfig::SEPTIC_STRUCTURAL_ONLY);
 
     let mark = |outcome: Outcome| {
-        if outcome.protected() { "protected" } else { "MISSED" }.to_string()
+        if outcome.protected() {
+            "protected"
+        } else {
+            "MISSED"
+        }
+        .to_string()
     };
     let rows: Vec<Vec<String>> = full
         .iter()

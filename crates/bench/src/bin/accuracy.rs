@@ -68,7 +68,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["configuration", "protected", "false neg", "waf blocks", "septic blocks", "detected only"],
+            &[
+                "configuration",
+                "protected",
+                "false neg",
+                "waf blocks",
+                "septic blocks",
+                "detected only"
+            ],
             &rows,
         )
     );

@@ -15,9 +15,7 @@
 use std::sync::Arc;
 
 use septic::{EventKind, Mode, Septic};
-use septic_attacks::{
-    corpus, crawl, run_corpus, summarize, train, Outcome, ProtectionConfig,
-};
+use septic_attacks::{corpus, crawl, run_corpus, summarize, train, Outcome, ProtectionConfig};
 use septic_bench::{banner, render_table};
 use septic_webapp::deployment::Deployment;
 use septic_webapp::WaspMon;
@@ -68,7 +66,10 @@ fn phase_a() {
         banner("Phase IV-A — attacks vs sanitization only (PHP escaping, no WAF, no SEPTIC)")
     );
     let (rows, s) = results_table(ProtectionConfig::SANITIZATION_ONLY);
-    println!("{}", render_table(&["id", "class", "attack", "outcome"], &rows));
+    println!(
+        "{}",
+        render_table(&["id", "class", "attack", "outcome"], &rows)
+    );
     println!(
         "summary: {} attacks, {} succeeded, {} thwarted by sanitization",
         s.total, s.succeeded, s.thwarted
@@ -77,9 +78,15 @@ fn phase_a() {
 }
 
 fn phase_b() {
-    println!("{}", banner("Phase IV-B — ModSecurity (CRS) added in front of the application"));
+    println!(
+        "{}",
+        banner("Phase IV-B — ModSecurity (CRS) added in front of the application")
+    );
     let (rows, s) = results_table(ProtectionConfig::WITH_WAF);
-    println!("{}", render_table(&["id", "class", "attack", "outcome"], &rows));
+    println!(
+        "{}",
+        render_table(&["id", "class", "attack", "outcome"], &rows)
+    );
     println!(
         "summary: {} blocked by ModSecurity, {} still SUCCEEDED (WAF false negatives), {} thwarted",
         s.blocked_waf, s.succeeded, s.thwarted
@@ -90,8 +97,8 @@ fn phase_b() {
 fn phase_c() {
     println!("{}", banner("Phase IV-C — training SEPTIC"));
     let septic = Arc::new(Septic::new());
-    let deployment = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
-        .expect("deploy");
+    let deployment =
+        Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("deploy");
     let report = train(&deployment, &septic, Mode::PREVENTION);
     println!(
         "crawled {} benign requests; {} query models learned; {} failures",
@@ -122,15 +129,27 @@ fn phase_c() {
     let path = std::env::temp_dir().join("septic-demo-models.json");
     septic.save_models(&path).expect("persist models");
     let restarted = Septic::new();
-    let loaded = restarted.load_models(&path).expect("load models");
-    println!("persisted {} models; fresh SEPTIC instance loaded {loaded} after 'restart'", before);
+    let loaded = restarted
+        .load_models(&path)
+        .expect("load models")
+        .models_loaded;
+    println!(
+        "persisted {} models; fresh SEPTIC instance loaded {loaded} after 'restart'",
+        before
+    );
     std::fs::remove_file(&path).ok();
 }
 
 fn phase_d() {
-    println!("{}", banner("Phase IV-D — SEPTIC protection (prevention mode)"));
+    println!(
+        "{}",
+        banner("Phase IV-D — SEPTIC protection (prevention mode)")
+    );
     let (rows, s) = results_table(ProtectionConfig::WITH_SEPTIC);
-    println!("{}", render_table(&["id", "class", "attack", "outcome"], &rows));
+    println!(
+        "{}",
+        render_table(&["id", "class", "attack", "outcome"], &rows)
+    );
     println!(
         "summary: {} blocked by SEPTIC, {} thwarted by sanitization, {} succeeded",
         s.blocked_septic, s.thwarted, s.succeeded
@@ -139,8 +158,8 @@ fn phase_d() {
 
     // No false positives: benign traffic flows through the trained stack.
     let septic = Arc::new(Septic::new());
-    let deployment = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
-        .expect("deploy");
+    let deployment =
+        Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("deploy");
     let _ = train(&deployment, &septic, Mode::PREVENTION);
     let benign = crawl(&deployment, 1);
     println!(
@@ -170,8 +189,14 @@ fn phase_e() {
         "{}",
         render_table(&["id", "class", "ModSecurity", "SEPTIC"], &rows)
     );
-    let waf_missed = waf_results.iter().filter(|r| !r.outcome.protected()).count();
-    let septic_missed = septic_results.iter().filter(|r| !r.outcome.protected()).count();
+    let waf_missed = waf_results
+        .iter()
+        .filter(|r| !r.outcome.protected())
+        .count();
+    let septic_missed = septic_results
+        .iter()
+        .filter(|r| !r.outcome.protected())
+        .count();
     println!("ModSecurity false negatives: {waf_missed}; SEPTIC false negatives: {septic_missed}");
     println!("paper: \"ModSecurity does not protect the application from all injected");
     println!("attacks. For SEPTIC we observe that all attacks are detected and no false");

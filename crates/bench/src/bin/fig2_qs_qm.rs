@@ -17,22 +17,30 @@ fn stack_of(sql: &str) -> ItemStack {
 }
 
 fn main() {
-    const BENIGN: &str =
-        "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
+    const BENIGN: &str = "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
 
     // ---- Figure 2(a): the query structure ------------------------------
-    println!("{}", banner("Figure 2(a) — query structure (QS), top of stack first"));
+    println!(
+        "{}",
+        banner("Figure 2(a) — query structure (QS), top of stack first")
+    );
     println!("query: {BENIGN}\n");
     let qs = stack_of(BENIGN);
     print!("{qs}");
 
     // ---- Figure 2(b): the query model ----------------------------------
-    println!("{}", banner("Figure 2(b) — query model (QM): DATA replaced by \u{22A5}"));
+    println!(
+        "{}",
+        banner("Figure 2(b) — query model (QM): DATA replaced by \u{22A5}")
+    );
     let model = QueryModel::from_structure(&qs);
     print!("{model}");
 
     // ---- Figure 3: second-order attack ---------------------------------
-    println!("{}", banner("Figure 3 — second-order attack: reservID = ID34FG\u{02BC}-- "));
+    println!(
+        "{}",
+        banner("Figure 3 — second-order attack: reservID = ID34FG\u{02BC}-- ")
+    );
     let second_order =
         "SELECT * FROM tickets WHERE reservID = 'ID34FG\u{02BC}-- ' AND creditCard = 0";
     println!("received query : {second_order}");
@@ -46,7 +54,10 @@ fn main() {
     }
 
     // ---- Figure 4: syntax mimicry ---------------------------------------
-    println!("{}", banner("Figure 4 — mimicry attack: reservID = ID34FG' AND 1=1-- "));
+    println!(
+        "{}",
+        banner("Figure 4 — mimicry attack: reservID = ID34FG' AND 1=1-- ")
+    );
     let mimicry =
         "SELECT * FROM tickets WHERE reservID = 'ID34FG\u{02BC} AND 1=1-- ' AND creditCard = 0";
     println!("received query : {mimicry}");
@@ -60,7 +71,10 @@ fn main() {
     }
 
     // ---- benign sanity ----------------------------------------------------
-    println!("{}", banner("Benign variant — different literals, same model"));
+    println!(
+        "{}",
+        banner("Benign variant — different literals, same model")
+    );
     let benign2 = "SELECT * FROM tickets WHERE reservID = 'ZZ42' AND creditCard = 4321";
     println!("query: {benign2}");
     match detect_sqli(&stack_of(benign2), &model) {

@@ -13,8 +13,8 @@
 //! cargo run --release -p septic-bench --bin fig5_overhead [-- --quick|--scaling]
 //! ```
 
-use septic_benchlab::{measure, overhead_sweep, ExperimentPlan, Fleet, GuardSetup};
 use septic_bench::{banner, render_table};
+use septic_benchlab::{measure, overhead_sweep, ExperimentPlan, Fleet, GuardSetup};
 use septic_webapp::apps::workload_apps;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
     // oversubscription adds noise larger than the measured effect).
     let plan = if quick {
         ExperimentPlan {
-            fleet: Fleet { machines: 1, browsers_per_machine: 1 },
+            fleet: Fleet {
+                machines: 1,
+                browsers_per_machine: 1,
+            },
             warmup_loops: 2,
             loops: 15,
             ..ExperimentPlan::default()
@@ -38,7 +41,10 @@ fn main() {
         ExperimentPlan::default()
     } else {
         ExperimentPlan {
-            fleet: Fleet { machines: 1, browsers_per_machine: 1 },
+            fleet: Fleet {
+                machines: 1,
+                browsers_per_machine: 1,
+            },
             warmup_loops: 5,
             loops: 120,
             ..ExperimentPlan::default()
@@ -66,9 +72,15 @@ fn main() {
                 .collect::<Vec<String>>(),
         );
     }
-    println!("{}", render_table(&["application", "NN", "YN", "NY", "YY"], &rows));
+    println!(
+        "{}",
+        render_table(&["application", "NN", "YN", "NY", "YY"], &rows)
+    );
     println!("paper: 0.5% (NN) … 2.2% (YY); YN ≈ 0.8%; similar across the three applications");
-    println!("(client-observed latency = measured DBMS+app time + {:?} simulated", plan.service_pad);
+    println!(
+        "(client-observed latency = measured DBMS+app time + {:?} simulated",
+        plan.service_pad
+    );
     println!(" web/network tier; see EXPERIMENTS.md for the calibration rationale)");
 
     if scaling {
@@ -82,19 +94,26 @@ fn client_scaling() {
     println!("{}", banner("Client scaling (refbase workload, SEPTIC YY)"));
     let mut rows = Vec::new();
     let fleets: Vec<Fleet> = (1..=4)
-        .map(|m| Fleet { machines: m, browsers_per_machine: 1 })
-        .chain((2..=5).map(|b| Fleet { machines: 4, browsers_per_machine: b }))
+        .map(|m| Fleet {
+            machines: m,
+            browsers_per_machine: 1,
+        })
+        .chain((2..=5).map(|b| Fleet {
+            machines: 4,
+            browsers_per_machine: b,
+        }))
         .collect();
     for fleet in fleets {
-        let plan = ExperimentPlan { fleet, warmup_loops: 1, loops: 10, ..ExperimentPlan::default() };
+        let plan = ExperimentPlan {
+            fleet,
+            warmup_loops: 1,
+            loops: 10,
+            ..ExperimentPlan::default()
+        };
         let app: std::sync::Arc<dyn septic_webapp::WebApp> =
             std::sync::Arc::new(septic_webapp::Refbase::new());
         let vanilla = measure(app.clone(), GuardSetup::Vanilla, plan);
-        let septic = measure(
-            app,
-            GuardSetup::Septic(septic::DetectionConfig::YY),
-            plan,
-        );
+        let septic = measure(app, GuardSetup::Septic(septic::DetectionConfig::YY), plan);
         rows.push(vec![
             format!("{}x{}", fleet.machines, fleet.browsers_per_machine),
             format!("{}", fleet.browsers()),
@@ -106,7 +125,13 @@ fn client_scaling() {
     println!(
         "{}",
         render_table(
-            &["machines x browsers", "total", "vanilla mean", "septic YY mean", "overhead"],
+            &[
+                "machines x browsers",
+                "total",
+                "vanilla mean",
+                "septic YY mean",
+                "overhead"
+            ],
             &rows,
         )
     );

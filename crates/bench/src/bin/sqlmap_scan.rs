@@ -21,8 +21,12 @@ use septic_waf::ModSecurity;
 use septic_webapp::deployment::Deployment;
 use septic_webapp::WaspMon;
 
-const ENCODERS: [Encoder; 4] =
-    [Encoder::Plain, Encoder::HomoglyphQuote, Encoder::VersionComment, Encoder::CaseMix];
+const ENCODERS: [Encoder; 4] = [
+    Encoder::Plain,
+    Encoder::HomoglyphQuote,
+    Encoder::VersionComment,
+    Encoder::CaseMix,
+];
 
 fn deployment(waf: bool, septic_on: bool) -> Deployment {
     let waf = waf.then(|| Arc::new(ModSecurity::new()));
@@ -35,9 +39,13 @@ fn deployment(waf: bool, septic_on: bool) -> Deployment {
 }
 
 fn main() {
-    let base =
-        HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0");
-    println!("{}", banner("sqlmap-style scan of /history (params: days, device)"));
+    let base = HttpRequest::get("/history")
+        .param("device", "Kitchen Meter")
+        .param("days", "0");
+    println!(
+        "{}",
+        banner("sqlmap-style scan of /history (params: days, device)")
+    );
 
     let mut rows = Vec::new();
     for (label, waf, septic_on) in [
@@ -64,7 +72,12 @@ fn main() {
                 param.to_string(),
                 report.probes_sent.to_string(),
                 report.blocked.to_string(),
-                if report.vulnerable() { "VULNERABLE" } else { "not shown" }.to_string(),
+                if report.vulnerable() {
+                    "VULNERABLE"
+                } else {
+                    "not shown"
+                }
+                .to_string(),
                 findings,
             ]);
         }
@@ -72,7 +85,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "param", "probes", "blocked", "verdict", "working techniques"],
+            &[
+                "config",
+                "param",
+                "probes",
+                "blocked",
+                "verdict",
+                "working techniques"
+            ],
             &rows,
         )
     );

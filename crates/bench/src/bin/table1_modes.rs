@@ -31,8 +31,10 @@ struct Observed {
 fn observe(mode: Mode) -> Observed {
     let server = Server::new();
     let conn = server.connect();
-    conn.execute("CREATE TABLE t (a VARCHAR(40), b INT)").unwrap();
-    conn.execute("INSERT INTO t (a, b) VALUES ('seed', 1)").unwrap();
+    conn.execute("CREATE TABLE t (a VARCHAR(40), b INT)")
+        .unwrap();
+    conn.execute("INSERT INTO t (a, b) VALUES ('seed', 1)")
+        .unwrap();
 
     let septic = Arc::new(Septic::new());
     server.install_guard(septic.clone());
@@ -68,7 +70,8 @@ fn observe(mode: Mode) -> Observed {
     // Stored-injection attack (INSERT trained in normal modes via
     // incremental learning on first sight — train it explicitly).
     septic.set_mode(Mode::Training);
-    conn.execute("INSERT INTO t (a, b) VALUES ('clean', 2)").unwrap();
+    conn.execute("INSERT INTO t (a, b) VALUES ('clean', 2)")
+        .unwrap();
     septic.set_mode(mode);
     let stored = conn.execute("INSERT INTO t (a, b) VALUES ('<script>x</script>', 3)");
 
@@ -105,7 +108,15 @@ fn main() {
         "{}",
         render_table(
             &[
-                "mode", "QM: T", "QM: I", "QM: log", "SQLI", "Stored Inj", "Log", "Drop", "Exec",
+                "mode",
+                "QM: T",
+                "QM: I",
+                "QM: log",
+                "SQLI",
+                "Stored Inj",
+                "Log",
+                "Drop",
+                "Exec",
             ],
             &rows,
         )

@@ -55,7 +55,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Formats a boolean as the paper's Table I check mark (`x`) or blank.
 #[must_use]
 pub fn check(b: bool) -> String {
-    if b { "x".to_string() } else { String::new() }
+    if b {
+        "x".to_string()
+    } else {
+        String::new()
+    }
 }
 
 /// Section banner for harness output.

@@ -80,7 +80,10 @@ fn demo_phase_a_shows_semantic_mismatch_successes() {
 fn demo_phase_b_shows_waf_false_negatives() {
     let out = run("demo_phases", &["b"]);
     assert!(out.contains("blocked (WAF)"));
-    assert!(out.contains("SUCCEEDED"), "WAF must have false negatives:\n{out}");
+    assert!(
+        out.contains("SUCCEEDED"),
+        "WAF must have false negatives:\n{out}"
+    );
 }
 
 #[test]
@@ -96,7 +99,10 @@ fn demo_phase_d_blocks_everything() {
     let out = run("demo_phases", &["d"]);
     assert!(out.contains("0 succeeded"), "{out}");
     assert!(out.contains("0 failures (no false positives)"), "{out}");
-    assert!(!out.contains("| SUCCEEDED"), "no attack may get through:\n{out}");
+    assert!(
+        !out.contains("| SUCCEEDED"),
+        "no attack may get through:\n{out}"
+    );
 }
 
 #[test]
@@ -134,9 +140,15 @@ fn ablation_reports_the_refbase_collision() {
 fn ablation_detector_shows_step2_value() {
     let out = run("ablation_detector", &[]);
     assert!(out.contains("structural-only false negatives:"));
-    assert!(out.contains("MISSED"), "step 1 alone must miss attacks:\n{out}");
+    assert!(
+        out.contains("MISSED"),
+        "step 1 alone must miss attacks:\n{out}"
+    );
     // The full detector column contains no miss.
-    for line in out.lines().filter(|l| l.starts_with("| S") || l.starts_with("| C")) {
+    for line in out
+        .lines()
+        .filter(|l| l.starts_with("| S") || l.starts_with("| C"))
+    {
         let cells: Vec<&str> = line.split('|').collect();
         assert!(
             cells.last().unwrap_or(&"").trim().is_empty()

@@ -55,7 +55,10 @@ impl Fleet {
     /// The paper's final configuration: 20 browsers on 4 machines.
     #[must_use]
     pub fn paper_max() -> Self {
-        Fleet { machines: 4, browsers_per_machine: 5 }
+        Fleet {
+            machines: 4,
+            browsers_per_machine: 5,
+        }
     }
 }
 
@@ -105,14 +108,24 @@ mod tests {
     fn fleet_shape() {
         let f = Fleet::paper_max();
         assert_eq!(f.browsers(), 20);
-        assert_eq!(Fleet { machines: 2, browsers_per_machine: 3 }.browsers(), 6);
+        assert_eq!(
+            Fleet {
+                machines: 2,
+                browsers_per_machine: 3
+            }
+            .browsers(),
+            6
+        );
     }
 
     #[test]
     fn concurrent_fleet_merges_samples() {
         let d = Deployment::new(Arc::new(ZeroCms::new()), None, None).unwrap();
         let w = Workload::record_from_app(&ZeroCms::new());
-        let fleet = Fleet { machines: 2, browsers_per_machine: 2 };
+        let fleet = Fleet {
+            machines: 2,
+            browsers_per_machine: 2,
+        };
         let run = run_fleet(&d, &w, fleet, 2);
         assert_eq!(run.latencies.len(), 26 * 2 * 4);
         assert_eq!(run.failures, 0);

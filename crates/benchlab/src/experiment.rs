@@ -93,7 +93,10 @@ fn build_deployment(app: Arc<dyn WebApp>, setup: GuardSetup, workload: &Workload
         let _ = run_fleet(
             &deployment,
             workload,
-            Fleet { machines: 1, browsers_per_machine: 1 },
+            Fleet {
+                machines: 1,
+                browsers_per_machine: 1,
+            },
             2,
         );
         septic.set_mode(Mode::PREVENTION);
@@ -137,7 +140,10 @@ pub struct OverheadRow {
 ///
 /// Panics on an empty sample set — callers must measure at least one round.
 fn trimmed_mean(samples: &mut [Duration]) -> Duration {
-    assert!(!samples.is_empty(), "no measurement rounds (plan.loops must be >= 1)");
+    assert!(
+        !samples.is_empty(),
+        "no measurement rounds (plan.loops must be >= 1)"
+    );
     samples.sort_unstable();
     let n = samples.len();
     let trim = n / 5;
@@ -177,7 +183,12 @@ pub fn overhead_sweep(app: Arc<dyn WebApp>, plan: ExperimentPlan) -> OverheadRow
             let started = Instant::now();
             let run = run_fleet(deployment, &workload, plan.fleet, 1);
             round_times[i].push(started.elapsed());
-            assert_eq!(run.failures, 0, "workload must stay clean under {}", setups[i].label());
+            assert_eq!(
+                run.failures,
+                0,
+                "workload must stay clean under {}",
+                setups[i].label()
+            );
         }
     }
 
@@ -209,7 +220,10 @@ mod tests {
 
     fn quick_plan() -> ExperimentPlan {
         ExperimentPlan {
-            fleet: Fleet { machines: 1, browsers_per_machine: 2 },
+            fleet: Fleet {
+                machines: 1,
+                browsers_per_machine: 2,
+            },
             warmup_loops: 1,
             loops: 4,
             service_pad: Duration::from_millis(1),
@@ -242,7 +256,18 @@ mod tests {
     #[test]
     fn trimmed_mean_drops_outliers() {
         let ms = |v: u64| Duration::from_millis(v);
-        let mut samples = vec![ms(10), ms(10), ms(10), ms(10), ms(10), ms(10), ms(10), ms(10), ms(1), ms(500)];
+        let mut samples = vec![
+            ms(10),
+            ms(10),
+            ms(10),
+            ms(10),
+            ms(10),
+            ms(10),
+            ms(10),
+            ms(10),
+            ms(1),
+            ms(500),
+        ];
         assert_eq!(trimmed_mean(&mut samples), ms(10));
     }
 }

@@ -15,6 +15,8 @@ pub mod stats;
 pub mod workload;
 
 pub use client::{replay, run_fleet, BrowserRun, Fleet};
-pub use experiment::{measure, overhead_sweep, ExperimentPlan, GuardSetup, Measurement, OverheadRow};
+pub use experiment::{
+    measure, overhead_sweep, ExperimentPlan, GuardSetup, Measurement, OverheadRow,
+};
 pub use stats::LatencyStats;
 pub use workload::Workload;

@@ -2,9 +2,9 @@
 //! "previously recorded and stored by the BenchLab server, i.e., a
 //! sequence of requests made to the web applications").
 
-use serde::{Deserialize, Serialize};
 use septic_http::HttpRequest;
 use septic_webapp::WebApp;
+use serde::{Deserialize, Serialize};
 
 /// A named, replayable request sequence.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,7 +18,10 @@ impl Workload {
     /// trace).
     #[must_use]
     pub fn record_from_app(app: &dyn WebApp) -> Self {
-        Workload { name: app.name().to_string(), requests: app.workload() }
+        Workload {
+            name: app.name().to_string(),
+            requests: app.workload(),
+        }
     }
 
     /// Number of requests per loop iteration.

@@ -14,8 +14,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use septic_sql::ItemStack;
+use serde::{Deserialize, Serialize};
 
 use crate::model::QueryModel;
 
@@ -49,7 +49,11 @@ impl fmt::Display for SqliKind {
                 f,
                 "structural (step 1): model has {expected} nodes, query has {observed}"
             ),
-            SqliKind::Mimicry { index, expected, observed } => write!(
+            SqliKind::Mimicry {
+                index,
+                expected,
+                observed,
+            } => write!(
                 f,
                 "syntactic (step 2): node {index} expected [{expected}] observed [{observed}]"
             ),
@@ -145,8 +149,7 @@ mod tests {
         QueryModel::from_structure(&qs(sql))
     }
 
-    const TICKETS: &str =
-        "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
+    const TICKETS: &str = "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234";
 
     #[test]
     fn benign_variants_are_clean() {
@@ -178,8 +181,9 @@ mod tests {
         // Figure 4: `ID34FG' AND 1=1-- ` reproduces the arity.
         let m = model(TICKETS);
         let attacked = qs("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1 = 1");
-        let SqliOutcome::Attack(SqliKind::Mimicry { expected, observed, .. }) =
-            detect_sqli(&attacked, &m)
+        let SqliOutcome::Attack(SqliKind::Mimicry {
+            expected, observed, ..
+        }) = detect_sqli(&attacked, &m)
         else {
             panic!("expected syntactic detection");
         };
@@ -191,7 +195,10 @@ mod tests {
     fn structural_only_misses_mimicry() {
         let m = model(TICKETS);
         let attacked = qs("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1 = 1");
-        assert_eq!(detect_sqli_structural_only(&attacked, &m), SqliOutcome::Clean);
+        assert_eq!(
+            detect_sqli_structural_only(&attacked, &m),
+            SqliOutcome::Clean
+        );
         assert!(detect_sqli(&attacked, &m).is_attack());
     }
 
@@ -236,9 +243,16 @@ mod tests {
 
     #[test]
     fn displays_name_the_algorithm_step() {
-        let k = SqliKind::Structural { expected: 9, observed: 5 };
+        let k = SqliKind::Structural {
+            expected: 9,
+            observed: 5,
+        };
         assert!(k.to_string().contains("step 1"));
-        let k = SqliKind::Mimicry { index: 3, expected: "a".into(), observed: "b".into() };
+        let k = SqliKind::Mimicry {
+            index: 3,
+            expected: "a".into(),
+            observed: "b".into(),
+        };
         assert!(k.to_string().contains("step 2"));
     }
 }

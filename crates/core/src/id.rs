@@ -15,8 +15,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use septic_sql::ItemStack;
+use serde::{Deserialize, Serialize};
 
 /// Prefix that marks a block comment as an external query identifier.
 /// (Any first comment is accepted as an identifier too; the prefix form is
@@ -111,7 +111,10 @@ pub fn external_id(comments: &[String]) -> Option<String> {
     if first.is_empty() {
         return None;
     }
-    let id = first.strip_prefix(EXTERNAL_ID_PREFIX).unwrap_or(first).trim();
+    let id = first
+        .strip_prefix(EXTERNAL_ID_PREFIX)
+        .unwrap_or(first)
+        .trim();
     if id.is_empty() {
         None
     } else {
@@ -137,7 +140,11 @@ impl IdGenerator {
     #[must_use]
     pub fn generate(&self, stack: &ItemStack, comments: &[String]) -> QueryId {
         QueryId {
-            external: if self.use_external { external_id(comments) } else { None },
+            external: if self.use_external {
+                external_id(comments)
+            } else {
+                None
+            },
             internal: internal_id(stack),
         }
     }
@@ -228,7 +235,10 @@ mod tests {
         let id = IdGenerator::new().generate(&stack, &["qid:x".to_string()]);
         assert_eq!(id.external.as_deref(), Some("x"));
         assert_eq!(id.internal, internal_id(&stack));
-        let no_ext = IdGenerator { use_external: false }.generate(&stack, &["qid:x".to_string()]);
+        let no_ext = IdGenerator {
+            use_external: false,
+        }
+        .generate(&stack, &["qid:x".to_string()]);
         assert_eq!(no_ext.external, None);
     }
 
@@ -244,9 +254,15 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let id = QueryId { external: Some("login".into()), internal: 0xabcd };
+        let id = QueryId {
+            external: Some("login".into()),
+            internal: 0xabcd,
+        };
         assert_eq!(id.to_string(), "login#000000000000abcd");
-        let id = QueryId { external: None, internal: 1 };
+        let id = QueryId {
+            external: None,
+            internal: 1,
+        };
         assert_eq!(id.to_string(), "#0000000000000001");
     }
 }

@@ -4,6 +4,7 @@
 //! structure construction, identifier generation, model discovery/creation,
 //! attack detection (with the algorithm step), and mode changes.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -43,9 +44,19 @@ pub enum EventKind {
     /// An already-known query arrived; no model was created.
     ModelFound { id: QueryId },
     /// A SQLI attack was flagged.
-    SqliDetected { id: QueryId, kind: SqliKind, action: AttackAction, query: String },
+    SqliDetected {
+        id: QueryId,
+        kind: SqliKind,
+        action: AttackAction,
+        query: String,
+    },
     /// A stored-injection attack was flagged by a plugin.
-    StoredDetected { id: QueryId, attack: StoredAttack, action: AttackAction, query: String },
+    StoredDetected {
+        id: QueryId,
+        attack: StoredAttack,
+        action: AttackAction,
+        query: String,
+    },
     /// A query whose identifier the administrator rejected arrived again
     /// and was refused.
     RejectedQueryRefused { id: QueryId, query: String },
@@ -53,6 +64,20 @@ pub enum EventKind {
     ModeChanged { from: Mode, to: Mode },
     /// Persistent models were loaded at startup.
     StoreLoaded { count: usize },
+    /// A detector or plugin failed (panicked) while inspecting a query;
+    /// the configured failure policy decided the query's fate.
+    DetectorFailed {
+        id: QueryId,
+        what: String,
+        fail_open: bool,
+    },
+    /// Detection ran past the configured deadline budget.
+    DeadlineExceeded {
+        id: QueryId,
+        elapsed_us: u64,
+        budget_us: u64,
+        fail_open: bool,
+    },
 }
 
 /// A sequenced event.
@@ -76,26 +101,73 @@ impl fmt::Display for Event {
                 if *incremental { " (incremental)" } else { "" }
             ),
             EventKind::ModelFound { id } => write!(f, "query model found id={id}"),
-            EventKind::SqliDetected { id, kind, action, query } => {
-                write!(f, "SQLI attack id={id} {kind} action={action} query={query}")
+            EventKind::SqliDetected {
+                id,
+                kind,
+                action,
+                query,
+            } => {
+                write!(
+                    f,
+                    "SQLI attack id={id} {kind} action={action} query={query}"
+                )
             }
-            EventKind::StoredDetected { id, attack, action, query } => {
-                write!(f, "stored injection id={id} {attack} action={action} query={query}")
+            EventKind::StoredDetected {
+                id,
+                attack,
+                action,
+                query,
+            } => {
+                write!(
+                    f,
+                    "stored injection id={id} {attack} action={action} query={query}"
+                )
             }
             EventKind::RejectedQueryRefused { id, query } => {
-                write!(f, "administrator-rejected query refused id={id} query={query}")
+                write!(
+                    f,
+                    "administrator-rejected query refused id={id} query={query}"
+                )
             }
             EventKind::ModeChanged { from, to } => write!(f, "mode changed {from} -> {to}"),
             EventKind::StoreLoaded { count } => write!(f, "loaded {count} persisted models"),
+            EventKind::DetectorFailed {
+                id,
+                what,
+                fail_open,
+            } => write!(
+                f,
+                "detector failure id={id} ({what}) policy={}",
+                if *fail_open {
+                    "fail-open"
+                } else {
+                    "fail-closed"
+                }
+            ),
+            EventKind::DeadlineExceeded {
+                id,
+                elapsed_us,
+                budget_us,
+                fail_open,
+            } => {
+                write!(
+                f,
+                "detection deadline exceeded id={id} ({elapsed_us}us > {budget_us}us) policy={}",
+                if *fail_open { "fail-open" } else { "fail-closed" }
+            )
+            }
         }
     }
 }
 
-/// Bounded in-memory event register.
+/// Bounded in-memory event register: a ring buffer that evicts the oldest
+/// event when full, counting what it dropped so degradation is visible
+/// instead of silent.
 #[derive(Debug)]
 pub struct Logger {
-    events: Mutex<Vec<Event>>,
+    events: Mutex<VecDeque<Event>>,
     seq: AtomicU64,
+    dropped: AtomicU64,
     capacity: usize,
 }
 
@@ -109,31 +181,47 @@ impl Logger {
     /// Creates a logger retaining at most `capacity` events.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Logger { events: Mutex::new(Vec::new()), seq: AtomicU64::new(1), capacity: capacity.max(16) }
+        Logger {
+            events: Mutex::new(VecDeque::new()),
+            seq: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(16),
+        }
     }
 
     /// Appends an event and returns its sequence number.
     pub fn record(&self, kind: EventKind) -> u64 {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut events = self.events.lock();
-        if events.len() >= self.capacity {
-            let drop_n = events.len() / 2;
-            events.drain(..drop_n);
+        while events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        events.push(Event { seq, kind });
+        events.push_back(Event { seq, kind });
         seq
+    }
+
+    /// Events evicted from the bounded register since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the retained events.
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().clone()
+        self.events.lock().iter().cloned().collect()
     }
 
     /// Events matching a predicate.
     #[must_use]
     pub fn events_where(&self, pred: impl Fn(&EventKind) -> bool) -> Vec<Event> {
-        self.events.lock().iter().filter(|e| pred(&e.kind)).cloned().collect()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| pred(&e.kind))
+            .cloned()
+            .collect()
     }
 
     /// Count of attack events (SQLI + stored).
@@ -162,7 +250,10 @@ mod tests {
     use super::*;
 
     fn qid() -> QueryId {
-        QueryId { external: None, internal: 7 }
+        QueryId {
+            external: None,
+            internal: 7,
+        }
     }
 
     #[test]
@@ -179,7 +270,10 @@ mod tests {
         let log = Logger::default();
         log.record(EventKind::SqliDetected {
             id: qid(),
-            kind: SqliKind::Structural { expected: 9, observed: 5 },
+            kind: SqliKind::Structural {
+                expected: 9,
+                observed: 5,
+            },
             action: AttackAction::Dropped,
             query: "q".into(),
         });
@@ -199,9 +293,13 @@ mod tests {
         for _ in 0..100 {
             log.record(EventKind::StoreLoaded { count: 0 });
         }
-        assert!(log.events().len() <= 16);
+        // A ring buffer: exactly the newest `capacity` events survive and
+        // evictions are counted, not silent.
+        assert_eq!(log.events().len(), 16);
+        assert_eq!(log.dropped(), 84);
         // Sequence numbers keep increasing even after eviction.
         assert!(log.events().last().unwrap().seq == 100);
+        assert_eq!(log.events().first().unwrap().seq, 85);
     }
 
     #[test]
@@ -210,7 +308,10 @@ mod tests {
             seq: 1,
             kind: EventKind::SqliDetected {
                 id: qid(),
-                kind: SqliKind::Structural { expected: 2, observed: 1 },
+                kind: SqliKind::Structural {
+                    expected: 2,
+                    observed: 1,
+                },
                 action: AttackAction::Dropped,
                 query: "SELECT 1".into(),
             },

@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use septic_dbms::FailurePolicy;
 use serde::{Deserialize, Serialize};
 
 /// Normal-mode sub-mode.
@@ -106,6 +107,46 @@ impl ModeActions {
     }
 }
 
+/// Per-mode failure policy: what happens to a query when SEPTIC *itself*
+/// fails (a detector panics, or detection blows its deadline budget).
+///
+/// The defaults follow each mode's contract. Training and detection never
+/// drop queries even for real attacks, so a SEPTIC outage must not either
+/// (fail-open). Prevention promises that flagged queries do not reach
+/// execution; a query whose inspection failed was never cleared, so it is
+/// dropped (fail-closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailurePolicyMatrix {
+    /// Policy while training.
+    pub training: FailurePolicy,
+    /// Policy in detection mode.
+    pub detection: FailurePolicy,
+    /// Policy in prevention mode.
+    pub prevention: FailurePolicy,
+}
+
+impl Default for FailurePolicyMatrix {
+    fn default() -> Self {
+        FailurePolicyMatrix {
+            training: FailurePolicy::FailOpen,
+            detection: FailurePolicy::FailOpen,
+            prevention: FailurePolicy::FailClosed,
+        }
+    }
+}
+
+impl FailurePolicyMatrix {
+    /// The policy in effect for a mode.
+    #[must_use]
+    pub fn for_mode(&self, mode: Mode) -> FailurePolicy {
+        match mode {
+            Mode::Training => self.training,
+            Mode::Normal(NormalMode::Detection) => self.detection,
+            Mode::Normal(NormalMode::Prevention) => self.prevention,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +171,14 @@ mod tests {
         let a = ModeActions::for_mode(Mode::DETECTION);
         assert!(a.detect_sqli && a.detect_stored && a.log_attacks && a.exec_on_attack);
         assert!(!a.drop_on_attack);
+    }
+
+    #[test]
+    fn default_failure_policies_match_mode_contracts() {
+        let m = FailurePolicyMatrix::default();
+        assert_eq!(m.for_mode(Mode::Training), FailurePolicy::FailOpen);
+        assert_eq!(m.for_mode(Mode::DETECTION), FailurePolicy::FailOpen);
+        assert_eq!(m.for_mode(Mode::PREVENTION), FailurePolicy::FailClosed);
     }
 
     #[test]

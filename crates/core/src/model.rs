@@ -8,8 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use septic_sql::{Item, ItemData, ItemStack};
+use serde::{Deserialize, Serialize};
 
 /// A learned query model: an item stack with blanked data nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,7 +28,10 @@ impl QueryModel {
             .iter()
             .map(|item| {
                 if item.tag.is_data() {
-                    Item { tag: item.tag, data: ItemData::Bot }
+                    Item {
+                        tag: item.tag,
+                        data: ItemData::Bot,
+                    }
                 } else {
                     item.clone()
                 }
@@ -146,10 +149,19 @@ mod tests {
 
     #[test]
     fn data_node_matches_any_payload_of_same_type() {
-        let m = Item { tag: ItemTag::IntItem, data: ItemData::Bot };
-        let q = Item { tag: ItemTag::IntItem, data: ItemData::Int(999) };
+        let m = Item {
+            tag: ItemTag::IntItem,
+            data: ItemData::Bot,
+        };
+        let q = Item {
+            tag: ItemTag::IntItem,
+            data: ItemData::Int(999),
+        };
         assert!(QueryModel::node_matches(&m, &q));
-        let wrong_type = Item { tag: ItemTag::StringItem, data: ItemData::Text("x".into()) };
+        let wrong_type = Item {
+            tag: ItemTag::StringItem,
+            data: ItemData::Text("x".into()),
+        };
         assert!(!QueryModel::node_matches(&m, &wrong_type));
     }
 

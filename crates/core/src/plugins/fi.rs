@@ -8,8 +8,17 @@ use super::{Plugin, StoredAttack};
 
 /// URL schemes / stream wrappers whose inclusion executes remote content.
 const REMOTE_SCHEMES: &[&str] = &[
-    "http://", "https://", "ftp://", "ftps://", "php://", "data://", "expect://", "zip://",
-    "phar://", "file://", "\\\\", // UNC path
+    "http://",
+    "https://",
+    "ftp://",
+    "ftps://",
+    "php://",
+    "data://",
+    "expect://",
+    "zip://",
+    "phar://",
+    "file://",
+    "\\\\", // UNC path
 ];
 
 /// Sensitive local paths LFI payloads aim at.
@@ -117,7 +126,9 @@ mod tests {
     fn rfi_flags_wrappers_and_script_urls() {
         let p = RfiPlugin;
         assert!(p.scan("http://evil.example/shell.php").is_some());
-        assert!(p.scan("php://filter/convert.base64-encode/resource=index").is_some());
+        assert!(p
+            .scan("php://filter/convert.base64-encode/resource=index")
+            .is_some());
         assert!(p.scan("data://text/plain;base64,cGhwaW5mbygp").is_some());
         assert!(p.scan("expect://ls").is_some());
         assert!(p.scan("https://evil.example/x.txt?cmd=id").is_some());
@@ -127,7 +138,10 @@ mod tests {
     fn rfi_bare_url_is_flagged_but_prose_is_not() {
         let p = RfiPlugin;
         assert!(p.scan("https://evil.example/payload").is_some());
-        assert_eq!(p.scan("read the docs at https://docs.example.org/intro before asking"), None);
+        assert_eq!(
+            p.scan("read the docs at https://docs.example.org/intro before asking"),
+            None
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl StoredAttack {
     /// Creates a finding.
     #[must_use]
     pub fn new(class: impl Into<String>, evidence: impl Into<String>) -> Self {
-        StoredAttack { class: class.into(), evidence: evidence.into() }
+        StoredAttack {
+            class: class.into(),
+            evidence: evidence.into(),
+        }
     }
 }
 
@@ -106,7 +109,10 @@ mod tests {
     #[test]
     fn scan_inputs_returns_first_finding() {
         let plugins = default_plugins();
-        let inputs = vec!["benign".to_string(), "<script>alert(1)</script>".to_string()];
+        let inputs = vec![
+            "benign".to_string(),
+            "<script>alert(1)</script>".to_string(),
+        ];
         let found = scan_inputs(&plugins, &inputs).expect("should find XSS");
         assert_eq!(found.class, "stored XSS");
     }

@@ -7,16 +7,59 @@ const SHELL_META: &[&str] = &["|", ";", "&&", "`", "$(", ">", "<", "||"];
 
 /// Commands whose appearance after a metacharacter signals injection.
 const SHELL_COMMANDS: &[&str] = &[
-    "cat", "ls", "rm", "cp", "mv", "wget", "curl", "nc", "netcat", "bash", "sh", "zsh",
-    "python", "perl", "php", "ruby", "chmod", "chown", "kill", "ping", "whoami", "id",
-    "uname", "nmap", "powershell", "cmd.exe", "cmd", "echo", "touch", "mkfifo", "sleep",
+    "cat",
+    "ls",
+    "rm",
+    "cp",
+    "mv",
+    "wget",
+    "curl",
+    "nc",
+    "netcat",
+    "bash",
+    "sh",
+    "zsh",
+    "python",
+    "perl",
+    "php",
+    "ruby",
+    "chmod",
+    "chown",
+    "kill",
+    "ping",
+    "whoami",
+    "id",
+    "uname",
+    "nmap",
+    "powershell",
+    "cmd.exe",
+    "cmd",
+    "echo",
+    "touch",
+    "mkfifo",
+    "sleep",
 ];
 
 /// PHP/function-call shapes that execute code when evaluated server-side.
 const RCE_CALLS: &[&str] = &[
-    "eval(", "system(", "exec(", "shell_exec(", "passthru(", "popen(", "proc_open(",
-    "assert(", "create_function(", "call_user_func(", "preg_replace(", "base64_decode(",
-    "include(", "include_once(", "require(", "require_once(", "<?php", "<?=",
+    "eval(",
+    "system(",
+    "exec(",
+    "shell_exec(",
+    "passthru(",
+    "popen(",
+    "proc_open(",
+    "assert(",
+    "create_function(",
+    "call_user_func(",
+    "preg_replace(",
+    "base64_decode(",
+    "include(",
+    "include_once(",
+    "require(",
+    "require_once(",
+    "<?php",
+    "<?=",
 ];
 
 /// The OS command injection plugin.

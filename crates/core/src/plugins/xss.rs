@@ -48,7 +48,10 @@ fn scan_tags(input: &str) -> Vec<Tag> {
         if i == name_start {
             continue; // `<` not followed by a name — not a tag
         }
-        let name: String = chars[name_start..i].iter().collect::<String>().to_lowercase();
+        let name: String = chars[name_start..i]
+            .iter()
+            .collect::<String>()
+            .to_lowercase();
         let mut attrs = Vec::new();
         // attribute loop until `>` or end
         while i < chars.len() && chars[i] != '>' {
@@ -59,15 +62,14 @@ fn scan_tags(input: &str) -> Vec<Tag> {
                 break;
             }
             let attr_start = i;
-            while i < chars.len()
-                && !chars[i].is_whitespace()
-                && chars[i] != '='
-                && chars[i] != '>'
+            while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '=' && chars[i] != '>'
             {
                 i += 1;
             }
-            let attr_name: String =
-                chars[attr_start..i].iter().collect::<String>().to_lowercase();
+            let attr_name: String = chars[attr_start..i]
+                .iter()
+                .collect::<String>()
+                .to_lowercase();
             let mut attr_value = String::new();
             while i < chars.len() && chars[i].is_whitespace() {
                 i += 1;

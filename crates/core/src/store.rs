@@ -9,16 +9,299 @@
 //! to decide if the query model comes from a malicious or a benign query."
 //! Rejected identifiers are remembered: the same query arriving again is
 //! refused instead of being re-learned.
+//!
+//! # Crash safety
+//!
+//! Persistence is designed so that no crash or torn write can leave the
+//! store unreadable:
+//!
+//! * snapshots are written to a temp file, **read back and verified**,
+//!   then committed with an atomic rename; the previous snapshot is kept
+//!   as `<path>.bak`;
+//! * every snapshot carries a versioned envelope header
+//!   (`SEPTIC-STORE v2 crc32=… len=…`) so corruption is *detected* at
+//!   load time instead of producing garbage models;
+//! * a corrupt snapshot is quarantined (renamed to `<path>.corrupt`) and
+//!   the loader recovers from the backup instead of erroring;
+//! * when persistence is attached, every mutation is appended to a
+//!   `<path>.journal` of JSON lines and replayed on load, so models
+//!   learned incrementally since the last checkpoint survive a crash. A
+//!   torn trailing journal line (crash mid-append) is tolerated.
+//!
+//! All file operations go through the [`StoreBackend`] seam so the
+//! `septic-faults` crate can inject I/O errors and torn writes
+//! deterministically.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
 use crate::id::QueryId;
 use crate::model::QueryModel;
+
+// ---------------------------------------------------------------------------
+// Storage backend seam
+// ---------------------------------------------------------------------------
+
+/// The primitive file operations the store's persistence uses. The
+/// production implementation is [`FsBackend`]; fault-injection backends
+/// wrap another backend and fail scripted operations.
+pub trait StoreBackend: Send + Sync + fmt::Debug {
+    /// Reads the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O errors; `NotFound` when the file does not exist.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates/truncates the file and writes `data`.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O errors.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Appends one line (a trailing `\n` is added) to the file, creating
+    /// it if needed.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O errors.
+    fn append_line(&self, path: &Path, line: &str) -> io::Result<()>;
+
+    /// Renames `from` to `to`, replacing `to` if it exists.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O errors.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// True when the file exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Removes the file.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O errors; `NotFound` when the file does not exist.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real-filesystem backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsBackend;
+
+impl StoreBackend for FsBackend {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn append_line(&self, path: &Path, line: &str) -> io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// `<path><suffix>` as a sibling file.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// Where the previous snapshot is kept across saves.
+#[must_use]
+pub fn backup_path(path: &Path) -> PathBuf {
+    sibling(path, ".bak")
+}
+
+/// Where incremental mutations are journaled between checkpoints.
+#[must_use]
+pub fn journal_path(path: &Path) -> PathBuf {
+    sibling(path, ".journal")
+}
+
+/// Where a corrupt snapshot is moved for post-mortem inspection.
+#[must_use]
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    sibling(path, ".corrupt")
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    sibling(path, ".tmp")
+}
+
+// ---------------------------------------------------------------------------
+// Envelope (versioned header + CRC32 checksum)
+// ---------------------------------------------------------------------------
+
+const ENVELOPE_MAGIC: &str = "SEPTIC-STORE";
+const ENVELOPE_VERSION: &str = "v2";
+
+/// CRC32 (IEEE 802.3 polynomial) over `data`.
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        crc = table[((crc ^ u32::from(byte)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Wraps a JSON payload in the versioned, checksummed envelope.
+fn seal(payload: &str) -> Vec<u8> {
+    format!(
+        "{ENVELOPE_MAGIC} {ENVELOPE_VERSION} crc32={:08x} len={}\n{payload}",
+        crc32(payload.as_bytes()),
+        payload.len()
+    )
+    .into_bytes()
+}
+
+/// Verifies the envelope and returns the payload. Files without the
+/// envelope header (written before v2) are accepted verbatim as legacy
+/// payloads — their integrity is checked only by JSON parsing.
+fn unseal(bytes: &[u8]) -> Result<&str, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("not valid UTF-8: {e}"))?;
+    if !text.starts_with(ENVELOPE_MAGIC) {
+        return Ok(text);
+    }
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| "envelope header without payload".to_string())?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 4 || fields[0] != ENVELOPE_MAGIC {
+        return Err(format!("malformed envelope header: {header:?}"));
+    }
+    if fields[1] != ENVELOPE_VERSION {
+        return Err(format!("unsupported store version {:?}", fields[1]));
+    }
+    let crc_field = fields[2]
+        .strip_prefix("crc32=")
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| format!("malformed crc32 field: {:?}", fields[2]))?;
+    let len_field = fields[3]
+        .strip_prefix("len=")
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| format!("malformed len field: {:?}", fields[3]))?;
+    if payload.len() != len_field {
+        return Err(format!(
+            "length mismatch: envelope says {len_field}, payload has {}",
+            payload.len()
+        ));
+    }
+    let actual = crc32(payload.as_bytes());
+    if actual != crc_field {
+        return Err(format!(
+            "checksum mismatch: envelope says {crc_field:08x}, payload is {actual:08x}"
+        ));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Persistence formats
+// ---------------------------------------------------------------------------
+
+/// Serialized form of the store.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct PersistedStore {
+    models: Vec<(QueryId, QueryModel)>,
+    #[serde(default)]
+    quarantine: Vec<QueryId>,
+    #[serde(default)]
+    rejected: Vec<QueryId>,
+}
+
+/// One journaled mutation (a JSON line in `<path>.journal`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum JournalOp {
+    /// Explicit training learned a model (and lifted any rejection).
+    Learn { id: QueryId, model: QueryModel },
+    /// Incremental learning stored a model into quarantine.
+    LearnProvisional { id: QueryId, model: QueryModel },
+    /// Administrator approved a quarantined model.
+    Approve { id: QueryId },
+    /// Administrator rejected a model; the identifier is blacklisted.
+    Reject { id: QueryId },
+    /// A model was removed.
+    Forget { id: QueryId },
+    /// The whole store was cleared.
+    Clear,
+}
+
+/// An attached persistence target: mutations are journaled through
+/// `backend` next to `path`.
+#[derive(Debug, Clone)]
+struct Persistence {
+    backend: Arc<dyn StoreBackend>,
+    path: PathBuf,
+}
+
+/// What a [`ModelStore::load_from`]/[`ModelStore::load_with`] call found
+/// and did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Models restored from the snapshot (before journal replay).
+    pub models_loaded: usize,
+    /// Journal operations replayed on top of the snapshot.
+    pub journal_replayed: usize,
+    /// Journal lines skipped because they did not parse (torn trailing
+    /// writes from a crash mid-append).
+    pub torn_journal_lines: usize,
+    /// True when the primary snapshot was corrupt or missing and the
+    /// loader fell back to the backup (or to an empty base) instead of
+    /// erroring.
+    pub recovered: bool,
+    /// Why the primary snapshot was unusable, when it was.
+    pub corruption: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
 
 /// Thread-safe store of learned query models plus the administrative
 /// review state for incrementally-learned ones.
@@ -29,16 +312,10 @@ pub struct ModelStore {
     quarantine: RwLock<HashSet<QueryId>>,
     /// Identifiers the administrator rejected as malicious.
     rejected: RwLock<HashSet<QueryId>>,
-}
-
-/// Serialized form of the store.
-#[derive(Debug, Serialize, Deserialize)]
-struct PersistedStore {
-    models: Vec<(QueryId, QueryModel)>,
-    #[serde(default)]
-    quarantine: Vec<QueryId>,
-    #[serde(default)]
-    rejected: Vec<QueryId>,
+    /// Journaling target; `None` until [`ModelStore::attach_persistence`].
+    persist: RwLock<Option<Persistence>>,
+    /// Journal appends that failed (the query path never fails on them).
+    journal_errors: AtomicU64,
 }
 
 impl ModelStore {
@@ -46,6 +323,76 @@ impl ModelStore {
     #[must_use]
     pub fn new() -> Self {
         ModelStore::default()
+    }
+
+    /// Attaches a persistence target: from now on every mutation is
+    /// appended to the journal next to `path` so it survives a crash
+    /// between checkpoints. Journal I/O failures never fail the mutation —
+    /// they are counted in [`ModelStore::journal_errors`].
+    pub fn attach_persistence(&self, backend: Arc<dyn StoreBackend>, path: impl Into<PathBuf>) {
+        *self.persist.write() = Some(Persistence {
+            backend,
+            path: path.into(),
+        });
+    }
+
+    /// Detaches the persistence target; mutations stop being journaled.
+    pub fn detach_persistence(&self) {
+        *self.persist.write() = None;
+    }
+
+    /// Journal appends that failed since creation.
+    #[must_use]
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
+    }
+
+    fn journal(&self, op: &JournalOp) {
+        let persist = self.persist.read();
+        let Some(p) = persist.as_ref() else { return };
+        let Ok(line) = serde_json::to_string(op) else {
+            self.journal_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if p.backend
+            .append_line(&journal_path(&p.path), &line)
+            .is_err()
+        {
+            self.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a journaled mutation without re-journaling it.
+    fn apply(&self, op: JournalOp) {
+        match op {
+            JournalOp::Learn { id, model } => {
+                self.rejected.write().remove(&id);
+                self.models.write().entry(id).or_insert(model);
+            }
+            JournalOp::LearnProvisional { id, model } => {
+                let mut models = self.models.write();
+                if !models.contains_key(&id) {
+                    models.insert(id.clone(), model);
+                    self.quarantine.write().insert(id);
+                }
+            }
+            JournalOp::Approve { id } => {
+                self.quarantine.write().remove(&id);
+            }
+            JournalOp::Reject { id } => {
+                self.quarantine.write().remove(&id);
+                self.models.write().remove(&id);
+                self.rejected.write().insert(id);
+            }
+            JournalOp::Forget { id } => {
+                self.models.write().remove(&id);
+            }
+            JournalOp::Clear => {
+                self.models.write().clear();
+                self.quarantine.write().clear();
+                self.rejected.write().clear();
+            }
+        }
     }
 
     /// Looks up the model for an identifier.
@@ -66,26 +413,40 @@ impl ModelStore {
     /// once). Training expresses the administrator's intent that the query
     /// is benign, so a previous rejection of the identifier is lifted.
     pub fn learn(&self, id: QueryId, model: QueryModel) -> bool {
-        self.rejected.write().remove(&id);
-        let mut models = self.models.write();
-        if models.contains_key(&id) {
-            return false;
+        let lifted = self.rejected.write().remove(&id);
+        let is_new = {
+            let mut models = self.models.write();
+            if models.contains_key(&id) {
+                false
+            } else {
+                models.insert(id.clone(), model.clone());
+                true
+            }
+        };
+        if is_new || lifted {
+            self.journal(&JournalOp::Learn { id, model });
         }
-        models.insert(id, model);
-        true
+        is_new
     }
 
     /// Stores a model learned *incrementally* (normal mode, unknown
     /// query): it is usable immediately but also placed in quarantine for
     /// administrator review. Returns `true` when the model is new.
     pub fn learn_provisional(&self, id: QueryId, model: QueryModel) -> bool {
-        let mut models = self.models.write();
-        if models.contains_key(&id) {
-            return false;
+        let is_new = {
+            let mut models = self.models.write();
+            if models.contains_key(&id) {
+                false
+            } else {
+                models.insert(id.clone(), model.clone());
+                self.quarantine.write().insert(id.clone());
+                true
+            }
+        };
+        if is_new {
+            self.journal(&JournalOp::LearnProvisional { id, model });
         }
-        models.insert(id.clone(), model);
-        self.quarantine.write().insert(id);
-        true
+        is_new
     }
 
     /// Identifiers awaiting administrator review.
@@ -100,7 +461,11 @@ impl ModelStore {
     /// The model leaves quarantine and becomes permanent. Returns `false`
     /// when the id was not pending.
     pub fn approve(&self, id: &QueryId) -> bool {
-        self.quarantine.write().remove(id)
+        let removed = self.quarantine.write().remove(id);
+        if removed {
+            self.journal(&JournalOp::Approve { id: id.clone() });
+        }
+        removed
     }
 
     /// Administrator verdict: the incrementally-learned query was
@@ -110,7 +475,10 @@ impl ModelStore {
     pub fn reject(&self, id: &QueryId) -> bool {
         self.quarantine.write().remove(id);
         let existed = self.models.write().remove(id).is_some();
-        self.rejected.write().insert(id.clone());
+        let newly_rejected = self.rejected.write().insert(id.clone());
+        if existed || newly_rejected {
+            self.journal(&JournalOp::Reject { id: id.clone() });
+        }
         existed
     }
 
@@ -123,7 +491,11 @@ impl ModelStore {
     /// Removes a model (the administrator decided a learned query was
     /// malicious — Section II-E).
     pub fn forget(&self, id: &QueryId) -> bool {
-        self.models.write().remove(id).is_some()
+        let removed = self.models.write().remove(id).is_some();
+        if removed {
+            self.journal(&JournalOp::Forget { id: id.clone() });
+        }
+        removed
     }
 
     /// Number of learned models.
@@ -143,6 +515,7 @@ impl ModelStore {
         self.models.write().clear();
         self.quarantine.write().clear();
         self.rejected.write().clear();
+        self.journal(&JournalOp::Clear);
     }
 
     /// Snapshot of all identifiers.
@@ -151,12 +524,16 @@ impl ModelStore {
         self.models.read().keys().cloned().collect()
     }
 
-    /// Serializes the store to JSON.
+    /// Serializes the store to JSON (the envelope payload).
     ///
     /// # Errors
     ///
     /// Propagates serializer errors.
     pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(&self.snapshot())
+    }
+
+    fn snapshot(&self) -> PersistedStore {
         let models = self.models.read();
         let mut list: Vec<(QueryId, QueryModel)> =
             models.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
@@ -165,49 +542,184 @@ impl ModelStore {
         quarantine.sort_by_key(|k| (k.external.clone(), k.internal));
         let mut rejected: Vec<QueryId> = self.rejected.read().iter().cloned().collect();
         rejected.sort_by_key(|k| (k.external.clone(), k.internal));
-        serde_json::to_string_pretty(&PersistedStore { models: list, quarantine, rejected })
+        PersistedStore {
+            models: list,
+            quarantine,
+            rejected,
+        }
+    }
+
+    fn install(&self, persisted: PersistedStore) {
+        let mut models = self.models.write();
+        models.clear();
+        models.extend(persisted.models);
+        *self.quarantine.write() = persisted.quarantine.into_iter().collect();
+        *self.rejected.write() = persisted.rejected.into_iter().collect();
     }
 
     /// Replaces the store contents from JSON produced by
-    /// [`ModelStore::to_json`].
+    /// [`ModelStore::to_json`]. Unlike the file loaders this is strict:
+    /// malformed input is an error, not a recovery.
     ///
     /// # Errors
     ///
     /// Propagates deserializer errors.
     pub fn load_json(&self, json: &str) -> serde_json::Result<usize> {
         let persisted: PersistedStore = serde_json::from_str(json)?;
-        let mut models = self.models.write();
-        models.clear();
         let n = persisted.models.len();
-        models.extend(persisted.models);
-        *self.quarantine.write() = persisted.quarantine.into_iter().collect();
-        *self.rejected.write() = persisted.rejected.into_iter().collect();
+        self.install(persisted);
         Ok(n)
     }
 
-    /// Persists the store to a file.
+    /// Persists the store to a file through the real filesystem. See
+    /// [`ModelStore::save_with`].
     ///
     /// # Errors
     ///
-    /// I/O errors; serialization errors are surfaced as
-    /// [`io::ErrorKind::InvalidData`].
+    /// As [`ModelStore::save_with`].
     pub fn save_to(&self, path: &Path) -> io::Result<()> {
-        let json = self
-            .to_json()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        self.save_with(&FsBackend, path)
     }
 
-    /// Loads the store from a file written by [`ModelStore::save_to`].
+    /// Persists the store through `backend`, crash-safely:
+    ///
+    /// 1. the sealed snapshot is written to `<path>.tmp`;
+    /// 2. the temp file is read back and verified byte-for-byte — a torn
+    ///    or partial write is detected *before* commit, leaving the
+    ///    current snapshot untouched;
+    /// 3. the current snapshot (if any) is renamed to `<path>.bak`;
+    /// 4. the temp file is renamed onto `path` (the commit point);
+    /// 5. the journal is deleted — its operations are now folded into the
+    ///    snapshot. A failure to delete is tolerated (replay is
+    ///    idempotent) and counted in [`ModelStore::journal_errors`].
     ///
     /// # Errors
     ///
-    /// I/O errors; malformed content surfaces as
-    /// [`io::ErrorKind::InvalidData`].
-    pub fn load_from(&self, path: &Path) -> io::Result<usize> {
-        let json = std::fs::read_to_string(path)?;
-        self.load_json(&json)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    /// I/O errors; serialization errors and detected torn writes surface
+    /// as [`io::ErrorKind::InvalidData`].
+    pub fn save_with(&self, backend: &dyn StoreBackend, path: &Path) -> io::Result<()> {
+        let payload = self
+            .to_json()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let sealed = seal(&payload);
+        let tmp = tmp_path(path);
+        backend.write(&tmp, &sealed)?;
+
+        let written = backend.read(&tmp)?;
+        if written != sealed {
+            let _ = backend.remove(&tmp);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "torn write detected saving model store: wrote {} bytes, file has {}",
+                    sealed.len(),
+                    written.len()
+                ),
+            ));
+        }
+
+        if backend.exists(path) {
+            backend.rename(path, &backup_path(path))?;
+        }
+        backend.rename(&tmp, path)?;
+
+        match backend.remove(&journal_path(path)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(_) => {
+                self.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the store from a file written by [`ModelStore::save_to`],
+    /// through the real filesystem. See [`ModelStore::load_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelStore::load_with`].
+    pub fn load_from(&self, path: &Path) -> io::Result<LoadReport> {
+        self.load_with(&FsBackend, path)
+    }
+
+    /// Loads the store through `backend`, recovering instead of erroring:
+    ///
+    /// * a snapshot that fails envelope/checksum/JSON verification is
+    ///   quarantined to `<path>.corrupt` and the loader falls back to
+    ///   `<path>.bak` (or an empty base when no usable backup exists);
+    /// * the journal, if present, is replayed on top; a torn trailing
+    ///   line is skipped and counted.
+    ///
+    /// The previous in-memory contents are replaced.
+    ///
+    /// # Errors
+    ///
+    /// Only when nothing exists to load at all — no snapshot, no backup
+    /// and no journal ([`io::ErrorKind::NotFound`]).
+    pub fn load_with(&self, backend: &dyn StoreBackend, path: &Path) -> io::Result<LoadReport> {
+        let mut report = LoadReport::default();
+        let backup = backup_path(path);
+        let journal = journal_path(path);
+
+        let decode = |bytes: &[u8]| -> Result<PersistedStore, String> {
+            let payload = unseal(bytes)?;
+            serde_json::from_str::<PersistedStore>(payload).map_err(|e| e.to_string())
+        };
+
+        let mut persisted: Option<PersistedStore> = None;
+        match backend.read(path) {
+            Ok(bytes) => match decode(&bytes) {
+                Ok(p) => persisted = Some(p),
+                Err(reason) => {
+                    // Corrupt snapshot: quarantine for post-mortem, recover.
+                    let _ = backend.rename(path, &quarantine_path(path));
+                    report.recovered = true;
+                    report.corruption = Some(reason);
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                if !backend.exists(&backup) && !backend.exists(&journal) {
+                    return Err(e);
+                }
+                report.recovered = true;
+                report.corruption = Some("snapshot missing".to_string());
+            }
+            Err(e) => {
+                report.recovered = true;
+                report.corruption = Some(format!("snapshot unreadable: {e}"));
+            }
+        }
+
+        if persisted.is_none() {
+            if let Ok(bytes) = backend.read(&backup) {
+                if let Ok(p) = decode(&bytes) {
+                    persisted = Some(p);
+                }
+            }
+        }
+
+        let base = persisted.unwrap_or_default();
+        report.models_loaded = base.models.len();
+        self.install(base);
+
+        if let Ok(bytes) = backend.read(&journal) {
+            let text = String::from_utf8_lossy(&bytes);
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<JournalOp>(line) {
+                    Ok(op) => {
+                        self.apply(op);
+                        report.journal_replayed += 1;
+                    }
+                    Err(_) => report.torn_journal_lines += 1,
+                }
+            }
+        }
+
+        Ok(report)
     }
 }
 
@@ -221,7 +733,29 @@ mod tests {
     }
 
     fn id(n: u64) -> QueryId {
-        QueryId { external: None, internal: n }
+        QueryId {
+            external: None,
+            internal: n,
+        }
+    }
+
+    /// A scratch file path unique to the calling test.
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("septic-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{test}.json"))
+    }
+
+    fn cleanup(path: &Path) {
+        for p in [
+            path.to_path_buf(),
+            backup_path(path),
+            journal_path(path),
+            quarantine_path(path),
+            tmp_path(path),
+        ] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]
@@ -249,7 +783,10 @@ mod tests {
         let store = ModelStore::new();
         store.learn(id(1), model("SELECT a FROM t WHERE x = 'v'"));
         store.learn(
-            QueryId { external: Some("login".into()), internal: 7 },
+            QueryId {
+                external: Some("login".into()),
+                internal: 7,
+            },
             model("SELECT b FROM u"),
         );
         let json = store.to_json().expect("serialize");
@@ -263,14 +800,17 @@ mod tests {
     fn file_round_trip() {
         let store = ModelStore::new();
         store.learn(id(42), model("SELECT 1"));
-        let dir = std::env::temp_dir().join("septic-store-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("models.json");
+        let path = scratch("file_round_trip");
         store.save_to(&path).expect("save");
+        // The file carries the versioned envelope.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.starts_with("SEPTIC-STORE v2 crc32="));
         let restored = ModelStore::new();
-        assert_eq!(restored.load_from(&path).expect("load"), 1);
+        let report = restored.load_from(&path).expect("load");
+        assert_eq!(report.models_loaded, 1);
+        assert!(!report.recovered);
         assert!(restored.contains(&id(42)));
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -362,5 +902,142 @@ mod tests {
         let legacy = r#"{"models": []}"#;
         let store = ModelStore::new();
         assert_eq!(store.load_json(legacy).unwrap(), 0);
+    }
+
+    #[test]
+    fn legacy_envelope_free_file_still_loads() {
+        // A v1 file is the bare JSON payload, no envelope header.
+        let path = scratch("legacy_envelope_free");
+        let store = ModelStore::new();
+        store.learn(id(5), model("SELECT 5"));
+        std::fs::write(&path, store.to_json().unwrap()).unwrap();
+        let restored = ModelStore::new();
+        let report = restored.load_from(&path).expect("load legacy");
+        assert_eq!(report.models_loaded, 1);
+        assert!(!report.recovered);
+        assert!(restored.contains(&id(5)));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_unseal_round_trip_and_detects_flips() {
+        let sealed = seal(r#"{"models": []}"#);
+        assert_eq!(unseal(&sealed).unwrap(), r#"{"models": []}"#);
+        let mut flipped = sealed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let err = unseal(&flipped).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let mut truncated = sealed;
+        truncated.truncate(truncated.len() - 2);
+        let err = unseal(&truncated).unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_recovered_from_backup() {
+        let path = scratch("corrupt_recovers");
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT 1"));
+        store.save_to(&path).unwrap();
+        store.learn(id(2), model("SELECT 2"));
+        store.save_to(&path).unwrap(); // main = {1,2}, bak = {1}
+
+        // Bit-rot the committed snapshot (keeping it valid UTF-8 so the
+        // checksum, not the string decoder, is what catches it).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let restored = ModelStore::new();
+        let report = restored.load_from(&path).expect("recovering load");
+        assert!(report.recovered);
+        assert!(report.corruption.unwrap().contains("checksum mismatch"));
+        // Recovered the previous snapshot rather than erroring or
+        // returning garbage.
+        assert!(restored.contains(&id(1)));
+        // The bad file is preserved for inspection.
+        assert!(quarantine_path(&path).exists());
+        assert!(!path.exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn journal_replays_mutations_since_checkpoint() {
+        let path = scratch("journal_replay");
+        let backend: Arc<dyn StoreBackend> = Arc::new(FsBackend);
+        let store = ModelStore::new();
+        store.attach_persistence(backend, &path);
+        store.learn(id(1), model("SELECT 1"));
+        store.save_to(&path).unwrap(); // checkpoint: journal cleared
+        assert!(!journal_path(&path).exists());
+
+        // Mutations after the checkpoint are journaled…
+        store.learn_provisional(id(2), model("SELECT 2"));
+        store.reject(&id(2));
+        store.learn_provisional(id(3), model("SELECT 3"));
+        assert!(journal_path(&path).exists());
+
+        // …and a "crashed" process's replacement store replays them.
+        let fresh = ModelStore::new();
+        let report = fresh.load_from(&path).expect("load");
+        assert_eq!(report.models_loaded, 1);
+        assert_eq!(report.journal_replayed, 3);
+        assert!(!report.recovered);
+        assert!(fresh.contains(&id(1)));
+        assert!(fresh.is_rejected(&id(2)));
+        assert!(!fresh.contains(&id(2)));
+        assert_eq!(fresh.pending_review(), vec![id(3)]);
+        assert_eq!(store.journal_errors(), 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_trailing_journal_line_is_tolerated() {
+        let path = scratch("torn_journal");
+        let backend: Arc<dyn StoreBackend> = Arc::new(FsBackend);
+        let store = ModelStore::new();
+        store.attach_persistence(backend.clone(), &path);
+        store.save_to(&path).unwrap();
+        store.learn(id(1), model("SELECT 1"));
+        // Simulate a crash mid-append: a half-written JSON line.
+        backend
+            .append_line(&journal_path(&path), r#"{"Learn": {"id"#)
+            .unwrap();
+
+        let fresh = ModelStore::new();
+        let report = fresh.load_from(&path).expect("load");
+        assert_eq!(report.journal_replayed, 1);
+        assert_eq!(report.torn_journal_lines, 1);
+        assert!(fresh.contains(&id(1)));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn missing_everything_is_still_an_error() {
+        let path = scratch("missing_all");
+        cleanup(&path);
+        let store = ModelStore::new();
+        let err = store.load_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_left_behind() {
+        let path = scratch("atomic_save");
+        let store = ModelStore::new();
+        store.learn(id(7), model("SELECT 7"));
+        store.save_to(&path).unwrap();
+        assert!(!tmp_path(&path).exists());
+        assert!(path.exists());
+        cleanup(&path);
     }
 }

@@ -151,14 +151,20 @@ fn bind_expr<'a>(
             bind_expr(expr, params)?;
             bind_select(select, params)
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             bind_expr(expr, params)?;
             bind_expr(low, params)?;
             bind_expr(high, params)
         }
         Expr::Subquery(s) => bind_select(s, params),
         Expr::Exists { select, .. } => bind_select(select, params),
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             if let Some(op) = operand {
                 bind_expr(op, params)?;
             }
@@ -197,17 +203,16 @@ mod tests {
 
     #[test]
     fn injection_in_bound_value_stays_data() {
-        let s = bind(
-            "SELECT * FROM t WHERE a = ?",
-            &[Value::from("' OR 1=1-- ")],
-        )
-        .unwrap();
+        let s = bind("SELECT * FROM t WHERE a = ?", &[Value::from("' OR 1=1-- ")]).unwrap();
         // The payload is inside the literal; printing escapes it, and the
         // structure has exactly one comparison.
         let Statement::Select(sel) = &s else { panic!() };
         assert!(matches!(
             sel.where_clause,
-            Some(Expr::Binary { op: BinaryOp::Eq, .. })
+            Some(Expr::Binary {
+                op: BinaryOp::Eq,
+                ..
+            })
         ));
     }
 
@@ -230,7 +235,11 @@ mod tests {
         )
         .unwrap();
         assert!(s.to_string().contains("'v'"));
-        let s = bind("UPDATE t SET a = ? WHERE id = ?", &[Value::Int(1), Value::Int(2)]).unwrap();
+        let s = bind(
+            "UPDATE t SET a = ? WHERE id = ?",
+            &[Value::Int(1), Value::Int(2)],
+        )
+        .unwrap();
         assert!(s.to_string().contains("a = 1"));
         let s = bind("DELETE FROM t WHERE id = ?", &[Value::Int(3)]).unwrap();
         assert!(s.to_string().contains("id = 3"));
@@ -241,7 +250,12 @@ mod tests {
         let s = bind(
             "SELECT CASE WHEN a = ? THEN ? ELSE 0 END FROM t \
              WHERE id IN (SELECT x FROM u WHERE y = ?) ORDER BY ?",
-            &[Value::Int(1), Value::Int(2), Value::from("k"), Value::Int(1)],
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::from("k"),
+                Value::Int(1),
+            ],
         );
         assert!(s.is_ok());
     }

@@ -43,9 +43,7 @@ impl Column {
             return Value::Null;
         }
         match self.column_type {
-            ColumnType::Int | ColumnType::BigInt => {
-                Value::Int(value.to_int().unwrap_or(0))
-            }
+            ColumnType::Int | ColumnType::BigInt => Value::Int(value.to_int().unwrap_or(0)),
             ColumnType::Double => Value::Real(value.to_real().unwrap_or(0.0)),
             ColumnType::Varchar(n) => {
                 let mut s = value.to_display_string();
@@ -139,7 +137,10 @@ mod tests {
     fn column_lookup_is_case_insensitive() {
         let s = schema();
         assert_eq!(s.column_index("NAME").unwrap(), 1);
-        assert!(matches!(s.column_index("nope"), Err(DbError::UnknownColumn(_))));
+        assert!(matches!(
+            s.column_index("nope"),
+            Err(DbError::UnknownColumn(_))
+        ));
     }
 
     #[test]
@@ -147,7 +148,10 @@ mod tests {
         let s = schema();
         assert_eq!(s.columns[0].coerce(Value::from("12abc")), Value::Int(12));
         // VARCHAR(4) truncates silently, as MySQL does in non-strict mode.
-        assert_eq!(s.columns[1].coerce(Value::from("toolong")), Value::from("tool"));
+        assert_eq!(
+            s.columns[1].coerce(Value::from("toolong")),
+            Value::from("tool")
+        );
         assert_eq!(s.columns[1].coerce(Value::Int(7)), Value::from("7"));
         assert_eq!(s.columns[0].coerce(Value::Null), Value::Null);
     }

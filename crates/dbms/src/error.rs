@@ -25,6 +25,11 @@ pub enum DbError {
     /// The query was dropped by an installed guard (SEPTIC in prevention
     /// mode). Carries the guard's reason string.
     Blocked(String),
+    /// The guard itself failed (panicked) while inspecting the query and
+    /// its failure policy is fail-closed, so the query was not executed.
+    /// Distinct from [`DbError::Blocked`]: this is a defense *outage*, not
+    /// a detection.
+    GuardFailure(String),
     /// Runtime evaluation error (division by zero is NULL in MySQL, so this
     /// is rare — unsupported function etc.).
     Runtime(String),
@@ -41,6 +46,9 @@ impl fmt::Display for DbError {
             DbError::NotNull(c) => write!(f, "column '{c}' cannot be null"),
             DbError::DuplicateKey(k) => write!(f, "duplicate entry '{k}' for primary key"),
             DbError::Blocked(r) => write!(f, "query blocked by guard: {r}"),
+            DbError::GuardFailure(r) => {
+                write!(f, "query rejected, guard failure (fail-closed): {r}")
+            }
             DbError::Runtime(m) => write!(f, "runtime error: {m}"),
         }
     }
@@ -67,7 +75,14 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(DbError::UnknownTable("t".into()).to_string(), "unknown table 't'");
-        assert!(DbError::Blocked("sqli".into()).to_string().contains("blocked"));
+        assert_eq!(
+            DbError::UnknownTable("t".into()).to_string(),
+            "unknown table 't'"
+        );
+        assert!(DbError::Blocked("sqli".into())
+            .to_string()
+            .contains("blocked"));
+        let failure = DbError::GuardFailure("guard panicked".into()).to_string();
+        assert!(failure.contains("guard failure") && failure.contains("fail-closed"));
     }
 }

@@ -48,18 +48,29 @@ pub fn execute(db: &mut Database, stmt: &Statement, now: i64) -> Result<QueryOut
     let mut out = match stmt {
         Statement::Select(s) => {
             let (columns, rows) = run_select(db, s, now, None, &mut effects)?;
-            QueryOutput { columns, rows, ..QueryOutput::default() }
+            QueryOutput {
+                columns,
+                rows,
+                ..QueryOutput::default()
+            }
         }
         Statement::Insert(i) => run_insert(db, i, now, &mut effects)?,
         Statement::Update(u) => run_update(db, u, now, &mut effects)?,
         Statement::Delete(d) => run_delete(db, d, now, &mut effects)?,
         Statement::CreateTable(c) => {
-            let created = db.create_table(TableSchema::new(&c.name, &c.columns), c.if_not_exists)?;
-            QueryOutput { affected: usize::from(created), ..QueryOutput::default() }
+            let created =
+                db.create_table(TableSchema::new(&c.name, &c.columns), c.if_not_exists)?;
+            QueryOutput {
+                affected: usize::from(created),
+                ..QueryOutput::default()
+            }
         }
         Statement::DropTable(d) => {
             let dropped = db.drop_table(&d.name, d.if_exists)?;
-            QueryOutput { affected: usize::from(dropped), ..QueryOutput::default() }
+            QueryOutput {
+                affected: usize::from(dropped),
+                ..QueryOutput::default()
+            }
         }
     };
     out.effects = effects;
@@ -209,7 +220,11 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
             let v = eval(expr, ctx, fx)?;
             Ok(Value::Int(i64::from(v.is_null() != *negated)))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let needle = eval(expr, ctx, fx)?;
             if needle.is_null() {
                 return Ok(Value::Null);
@@ -229,7 +244,11 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
                 Ok(Value::Int(i64::from(*negated)))
             }
         }
-        Expr::InSelect { expr, select, negated } => {
+        Expr::InSelect {
+            expr,
+            select,
+            negated,
+        } => {
             let needle = eval(expr, ctx, fx)?;
             if needle.is_null() {
                 return Ok(Value::Null);
@@ -250,7 +269,12 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
                 Ok(Value::Int(i64::from(*negated)))
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, ctx, fx)?;
             let lo = eval(low, ctx, fx)?;
             let hi = eval(high, ctx, fx)?;
@@ -267,15 +291,25 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
         Expr::Subquery(select) => {
             let (cols, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
             if cols.len() != 1 {
-                return Err(DbError::Semantic("scalar subquery must return one column".into()));
+                return Err(DbError::Semantic(
+                    "scalar subquery must return one column".into(),
+                ));
             }
-            Ok(rows.into_iter().next().and_then(|mut r| r.drain(..).next()).unwrap_or(Value::Null))
+            Ok(rows
+                .into_iter()
+                .next()
+                .and_then(|mut r| r.drain(..).next())
+                .unwrap_or(Value::Null))
         }
         Expr::Exists { select, negated } => {
             let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
             Ok(Value::Int(i64::from(rows.is_empty() == *negated)))
         }
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             let op_val = operand.as_ref().map(|o| eval(o, ctx, fx)).transpose()?;
             for (when, then) in branches {
                 let w = eval(when, ctx, fx)?;
@@ -307,8 +341,16 @@ fn eval_binary(
     if matches!(op, And | Or | Xor) {
         let l = eval(left, ctx, fx)?;
         let r = eval(right, ctx, fx)?;
-        let lt = if l.is_null() { None } else { Some(l.is_truthy()) };
-        let rt = if r.is_null() { None } else { Some(r.is_truthy()) };
+        let lt = if l.is_null() {
+            None
+        } else {
+            Some(l.is_truthy())
+        };
+        let rt = if r.is_null() {
+            None
+        } else {
+            Some(r.is_truthy())
+        };
         return Ok(match op {
             And => match (lt, rt) {
                 (Some(false), _) | (_, Some(false)) => Value::Int(0),
@@ -341,8 +383,12 @@ fn eval_binary(
         Gt => cmp(l.sql_cmp(&r), |o| o == std::cmp::Ordering::Greater),
         Ge => cmp(l.sql_cmp(&r), |o| o != std::cmp::Ordering::Less),
         NullSafeEq => Value::Int(i64::from(l.null_safe_eq(&r))),
-        Like => l.sql_like(&r).map_or(Value::Null, |b| Value::Int(i64::from(b))),
-        NotLike => l.sql_like(&r).map_or(Value::Null, |b| Value::Int(i64::from(!b))),
+        Like => l
+            .sql_like(&r)
+            .map_or(Value::Null, |b| Value::Int(i64::from(b))),
+        NotLike => l
+            .sql_like(&r)
+            .map_or(Value::Null, |b| Value::Int(i64::from(!b))),
         Add | Sub | Mul | Div | IntDiv | Mod => {
             let (Some(a), Some(b)) = (l.to_real(), r.to_real()) else {
                 return Ok(Value::Null);
@@ -406,7 +452,11 @@ fn eval_aggregate(
         .group
         .ok_or_else(|| DbError::Semantic(format!("aggregate {name}() outside grouping")))?;
     let eval_member = |row: &CRow, e: &Expr, fx: &mut SideEffects| -> Result<Value, DbError> {
-        let member_ctx = EvalCtx { row, group: None, ..*ctx };
+        let member_ctx = EvalCtx {
+            row,
+            group: None,
+            ..*ctx
+        };
         eval(e, &member_ctx, fx)
     };
     match name {
@@ -424,9 +474,9 @@ fn eval_aggregate(
             Ok(Value::Int(n))
         }
         "SUM" | "AVG" => {
-            let arg = args.first().ok_or_else(|| {
-                DbError::Semantic(format!("{name}() requires an argument"))
-            })?;
+            let arg = args
+                .first()
+                .ok_or_else(|| DbError::Semantic(format!("{name}() requires an argument")))?;
             let mut sum = 0.0;
             let mut n = 0usize;
             for row in group {
@@ -439,12 +489,16 @@ fn eval_aggregate(
             if n == 0 {
                 return Ok(Value::Null);
             }
-            Ok(if name == "SUM" { Value::Real(sum) } else { Value::Real(sum / n as f64) })
+            Ok(if name == "SUM" {
+                Value::Real(sum)
+            } else {
+                Value::Real(sum / n as f64)
+            })
         }
         "MIN" | "MAX" => {
-            let arg = args.first().ok_or_else(|| {
-                DbError::Semantic(format!("{name}() requires an argument"))
-            })?;
+            let arg = args
+                .first()
+                .ok_or_else(|| DbError::Semantic(format!("{name}() requires an argument")))?;
             let mut best: Option<Value> = None;
             for row in group {
                 let v = eval_member(row, arg, fx)?;
@@ -470,9 +524,9 @@ fn eval_aggregate(
             Ok(best.unwrap_or(Value::Null))
         }
         "GROUP_CONCAT" => {
-            let arg = args.first().ok_or_else(|| {
-                DbError::Semantic("GROUP_CONCAT() requires an argument".into())
-            })?;
+            let arg = args
+                .first()
+                .ok_or_else(|| DbError::Semantic("GROUP_CONCAT() requires an argument".into()))?;
             let mut parts = Vec::new();
             for row in group {
                 let v = eval_member(row, arg, fx)?;
@@ -496,24 +550,26 @@ fn eval_aggregate(
 
 fn expr_has_aggregate(expr: &Expr) -> bool {
     match expr {
-        Expr::Function { name, args } => {
-            is_aggregate(name) || args.iter().any(expr_has_aggregate)
-        }
+        Expr::Function { name, args } => is_aggregate(name) || args.iter().any(expr_has_aggregate),
         Expr::Unary { operand, .. } => expr_has_aggregate(operand),
-        Expr::Binary { left, right, .. } => {
-            expr_has_aggregate(left) || expr_has_aggregate(right)
-        }
+        Expr::Binary { left, right, .. } => expr_has_aggregate(left) || expr_has_aggregate(right),
         Expr::IsNull { expr, .. } => expr_has_aggregate(expr),
         Expr::InList { expr, list, .. } => {
             expr_has_aggregate(expr) || list.iter().any(expr_has_aggregate)
         }
         Expr::InSelect { expr, .. } => expr_has_aggregate(expr),
-        Expr::Between { expr, low, high, .. } => {
-            expr_has_aggregate(expr) || expr_has_aggregate(low) || expr_has_aggregate(high)
-        }
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => expr_has_aggregate(expr) || expr_has_aggregate(low) || expr_has_aggregate(high),
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             operand.as_deref().is_some_and(expr_has_aggregate)
-                || branches.iter().any(|(w, t)| expr_has_aggregate(w) || expr_has_aggregate(t))
+                || branches
+                    .iter()
+                    .any(|(w, t)| expr_has_aggregate(w) || expr_has_aggregate(t))
                 || else_branch.as_deref().is_some_and(expr_has_aggregate)
         }
         _ => false,
@@ -566,7 +622,10 @@ fn run_select_arm(
     let mut layout: Vec<Binding> = Vec::new();
     for t in &select.from {
         let store = db.table_or_virtual(&t.name)?;
-        layout.push(Binding { name: t.binding_name().to_string(), schema: store.schema.clone() });
+        layout.push(Binding {
+            name: t.binding_name().to_string(),
+            schema: store.schema.clone(),
+        });
     }
     let mut rows: Vec<CRow> = vec![CRow { cells: Vec::new() }];
     for t in &select.from {
@@ -633,7 +692,14 @@ fn run_select_arm(
     if let Some(where_clause) = &select.where_clause {
         let mut kept = Vec::new();
         for row in rows {
-            let ctx = EvalCtx { db, layout: &layout, row: &row, group: None, outer, now };
+            let ctx = EvalCtx {
+                db,
+                layout: &layout,
+                row: &row,
+                group: None,
+                outer,
+                now,
+            };
             if eval(where_clause, &ctx, fx)?.is_truthy() {
                 kept.push(row);
             }
@@ -674,31 +740,36 @@ fn run_select_arm(
         }
     }
 
-    let project = |row: &CRow,
-                   group: Option<&[CRow]>,
-                   fx: &mut SideEffects|
-     -> Result<Row, DbError> {
-        let ctx = EvalCtx { db, layout: &layout, row, group, outer, now };
-        let mut out = Vec::with_capacity(columns.len());
-        for item in &select.items {
-            match item {
-                SelectItem::Wildcard => {
-                    for (bi, _) in layout.iter().enumerate() {
+    let project =
+        |row: &CRow, group: Option<&[CRow]>, fx: &mut SideEffects| -> Result<Row, DbError> {
+            let ctx = EvalCtx {
+                db,
+                layout: &layout,
+                row,
+                group,
+                outer,
+                now,
+            };
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &select.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        for (bi, _) in layout.iter().enumerate() {
+                            out.extend(row.cells[bi].iter().cloned());
+                        }
+                    }
+                    SelectItem::QualifiedWildcard(t) => {
+                        let bi = layout
+                            .iter()
+                            .position(|b| b.name.eq_ignore_ascii_case(t))
+                            .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
                         out.extend(row.cells[bi].iter().cloned());
                     }
+                    SelectItem::Expr { expr, .. } => out.push(eval(expr, &ctx, fx)?),
                 }
-                SelectItem::QualifiedWildcard(t) => {
-                    let bi = layout
-                        .iter()
-                        .position(|b| b.name.eq_ignore_ascii_case(t))
-                        .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
-                    out.extend(row.cells[bi].iter().cloned());
-                }
-                SelectItem::Expr { expr, .. } => out.push(eval(expr, &ctx, fx)?),
             }
-        }
-        Ok(out)
-    };
+            Ok(out)
+        };
 
     let mut result: Vec<Row>;
     if grouped {
@@ -715,7 +786,14 @@ fn run_select_arm(
         } else {
             let mut index: HashMap<String, usize> = HashMap::new();
             for row in rows {
-                let ctx = EvalCtx { db, layout: &layout, row: &row, group: None, outer, now };
+                let ctx = EvalCtx {
+                    db,
+                    layout: &layout,
+                    row: &row,
+                    group: None,
+                    outer,
+                    now,
+                };
                 let mut key = String::new();
                 for g in &select.group_by {
                     key.push_str(&format!("{:?}", eval(g, &ctx, fx)?));
@@ -773,7 +851,14 @@ fn run_select_arm(
         if !select.order_by.is_empty() {
             let mut keyed: Vec<(Vec<Value>, CRow)> = Vec::with_capacity(rows.len());
             for row in rows {
-                let ctx = EvalCtx { db, layout: &layout, row: &row, group: None, outer, now };
+                let ctx = EvalCtx {
+                    db,
+                    layout: &layout,
+                    row: &row,
+                    group: None,
+                    outer,
+                    now,
+                };
                 let projected = project(&row, None, fx)?;
                 let mut keys = Vec::new();
                 for o in &select.order_by {
@@ -821,7 +906,9 @@ fn order_key(
     if let Expr::Literal(Literal::Int(n)) = expr {
         let idx = *n as usize;
         if idx == 0 || idx > projected.len() {
-            return Err(DbError::Semantic(format!("unknown column '{n}' in order clause")));
+            return Err(DbError::Semantic(format!(
+                "unknown column '{n}' in order clause"
+            )));
         }
         return Ok(projected[idx - 1].clone());
     }
@@ -882,7 +969,14 @@ fn run_insert(
                         "column count doesn't match value count".into(),
                     ));
                 }
-                let ctx = EvalCtx { db, layout: &layout, row: &crow, group: None, outer: None, now };
+                let ctx = EvalCtx {
+                    db,
+                    layout: &layout,
+                    row: &crow,
+                    group: None,
+                    outer: None,
+                    now,
+                };
                 let mut vals = Vec::with_capacity(row.len());
                 for e in row {
                     vals.push(eval(e, &ctx, fx)?);
@@ -894,7 +988,9 @@ fn run_insert(
         InsertSource::Select(select) => {
             let (cols, rows) = run_select(db, select, now, None, fx)?;
             if cols.len() != targets.len() {
-                return Err(DbError::Semantic("column count doesn't match value count".into()));
+                return Err(DbError::Semantic(
+                    "column count doesn't match value count".into(),
+                ));
             }
             rows
         }
@@ -920,7 +1016,11 @@ fn run_insert(
         }
         affected += 1;
     }
-    Ok(QueryOutput { affected, last_insert_id: last_id, ..QueryOutput::default() })
+    Ok(QueryOutput {
+        affected,
+        last_insert_id: last_id,
+        ..QueryOutput::default()
+    })
 }
 
 fn run_update(
@@ -930,7 +1030,10 @@ fn run_update(
     fx: &mut SideEffects,
 ) -> Result<QueryOutput, DbError> {
     let schema = db.table(&update.table)?.schema.clone();
-    let layout = vec![Binding { name: schema.name.clone(), schema: schema.clone() }];
+    let layout = vec![Binding {
+        name: schema.name.clone(),
+        schema: schema.clone(),
+    }];
     let targets: Vec<usize> = update
         .assignments
         .iter()
@@ -941,8 +1044,17 @@ fn run_update(
     {
         let store = db.table(&update.table)?;
         for (slot, row) in store.scan() {
-            let crow = CRow { cells: vec![row.clone()] };
-            let ctx = EvalCtx { db, layout: &layout, row: &crow, group: None, outer: None, now };
+            let crow = CRow {
+                cells: vec![row.clone()],
+            };
+            let ctx = EvalCtx {
+                db,
+                layout: &layout,
+                row: &crow,
+                group: None,
+                outer: None,
+                now,
+            };
             let keep = match &update.where_clause {
                 None => true,
                 Some(w) => eval(w, &ctx, fx)?.is_truthy(),
@@ -967,7 +1079,10 @@ fn run_update(
     for (slot, new_row) in plan {
         store.update_slot(slot, new_row)?;
     }
-    Ok(QueryOutput { affected, ..QueryOutput::default() })
+    Ok(QueryOutput {
+        affected,
+        ..QueryOutput::default()
+    })
 }
 
 fn run_delete(
@@ -977,13 +1092,25 @@ fn run_delete(
     fx: &mut SideEffects,
 ) -> Result<QueryOutput, DbError> {
     let schema = db.table(&delete.table)?.schema.clone();
-    let layout = vec![Binding { name: schema.name.clone(), schema }];
+    let layout = vec![Binding {
+        name: schema.name.clone(),
+        schema,
+    }];
     let mut victims: Vec<usize> = Vec::new();
     {
         let store = db.table(&delete.table)?;
         for (slot, row) in store.scan() {
-            let crow = CRow { cells: vec![row.clone()] };
-            let ctx = EvalCtx { db, layout: &layout, row: &crow, group: None, outer: None, now };
+            let crow = CRow {
+                cells: vec![row.clone()],
+            };
+            let ctx = EvalCtx {
+                db,
+                layout: &layout,
+                row: &crow,
+                group: None,
+                outer: None,
+                now,
+            };
             let hit = match &delete.where_clause {
                 None => true,
                 Some(w) => eval(w, &ctx, fx)?.is_truthy(),
@@ -1003,7 +1130,10 @@ fn run_delete(
     for slot in victims {
         store.delete_slot(slot);
     }
-    Ok(QueryOutput { affected, ..QueryOutput::default() })
+    Ok(QueryOutput {
+        affected,
+        ..QueryOutput::default()
+    })
 }
 
 #[cfg(test)]
@@ -1013,8 +1143,7 @@ mod tests {
 
     fn run(db: &mut Database, sql: &str) -> QueryOutput {
         let parsed = parse(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
-        execute(db, &parsed.statements[0], 1000)
-            .unwrap_or_else(|e| panic!("exec `{sql}`: {e}"))
+        execute(db, &parsed.statements[0], 1000).unwrap_or_else(|e| panic!("exec `{sql}`: {e}"))
     }
 
     fn run_err(db: &mut Database, sql: &str) -> DbError {
@@ -1041,8 +1170,14 @@ mod tests {
     #[test]
     fn insert_select_roundtrip() {
         let mut db = fixture();
-        let out = run(&mut db, "SELECT name FROM users WHERE age > 30 ORDER BY name");
-        assert_eq!(out.rows, vec![vec![Value::from("ann")], vec![Value::from("cyn")]]);
+        let out = run(
+            &mut db,
+            "SELECT name FROM users WHERE age > 30 ORDER BY name",
+        );
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::from("ann")], vec![Value::from("cyn")]]
+        );
     }
 
     #[test]
@@ -1077,7 +1212,10 @@ mod tests {
     #[test]
     fn update_and_delete_affect_counts() {
         let mut db = fixture();
-        let out = run(&mut db, "UPDATE users SET city = 'lx' WHERE city = 'lisbon'");
+        let out = run(
+            &mut db,
+            "UPDATE users SET city = 'lx' WHERE city = 'lisbon'",
+        );
         assert_eq!(out.affected, 2);
         let out = run(&mut db, "DELETE FROM users WHERE city = 'lx'");
         assert_eq!(out.affected, 2);
@@ -1095,7 +1233,10 @@ mod tests {
     #[test]
     fn aggregates() {
         let mut db = fixture();
-        let out = run(&mut db, "SELECT COUNT(*), AVG(age), MIN(age), MAX(age) FROM users");
+        let out = run(
+            &mut db,
+            "SELECT COUNT(*), AVG(age), MIN(age), MAX(age) FROM users",
+        );
         assert_eq!(
             out.rows[0],
             vec![
@@ -1129,9 +1270,15 @@ mod tests {
     #[test]
     fn order_by_desc_and_positional() {
         let mut db = fixture();
-        let out = run(&mut db, "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY age DESC");
+        let out = run(
+            &mut db,
+            "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY age DESC",
+        );
         assert_eq!(out.rows[0][0], Value::from("cyn"));
-        let out = run(&mut db, "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY 2");
+        let out = run(
+            &mut db,
+            "SELECT name, age FROM users WHERE age IS NOT NULL ORDER BY 2",
+        );
         assert_eq!(out.rows[0][0], Value::from("bob"));
     }
 
@@ -1145,20 +1292,35 @@ mod tests {
     #[test]
     fn union_and_column_count_check() {
         let mut db = fixture();
-        let out = run(&mut db, "SELECT name FROM users WHERE id = 1 UNION SELECT city FROM users WHERE id = 2");
+        let out = run(
+            &mut db,
+            "SELECT name FROM users WHERE id = 1 UNION SELECT city FROM users WHERE id = 2",
+        );
         assert_eq!(out.rows.len(), 2);
         // union dedup
-        let out = run(&mut db, "SELECT city FROM users WHERE id = 1 UNION SELECT city FROM users WHERE id = 3");
+        let out = run(
+            &mut db,
+            "SELECT city FROM users WHERE id = 1 UNION SELECT city FROM users WHERE id = 3",
+        );
         assert_eq!(out.rows.len(), 1);
-        let err = run_err(&mut db, "SELECT name, age FROM users UNION SELECT city FROM users");
+        let err = run_err(
+            &mut db,
+            "SELECT name, age FROM users UNION SELECT city FROM users",
+        );
         assert!(matches!(err, DbError::Semantic(_)));
     }
 
     #[test]
     fn joins() {
         let mut db = fixture();
-        run(&mut db, "CREATE TABLE pets (id INT PRIMARY KEY AUTO_INCREMENT, owner INT, pname VARCHAR(16))");
-        run(&mut db, "INSERT INTO pets (owner, pname) VALUES (1, 'rex'), (1, 'tom'), (3, 'fly')");
+        run(
+            &mut db,
+            "CREATE TABLE pets (id INT PRIMARY KEY AUTO_INCREMENT, owner INT, pname VARCHAR(16))",
+        );
+        run(
+            &mut db,
+            "INSERT INTO pets (owner, pname) VALUES (1, 'rex'), (1, 'tom'), (3, 'fly')",
+        );
         let out = run(
             &mut db,
             "SELECT u.name, p.pname FROM users u JOIN pets p ON p.owner = u.id ORDER BY p.pname",
@@ -1178,7 +1340,10 @@ mod tests {
         let mut db = fixture();
         let out = run(&mut db, "SELECT (SELECT MAX(age) FROM users)");
         assert_eq!(out.scalar(), Some(&Value::Int(42)));
-        let out = run(&mut db, "SELECT name FROM users WHERE id IN (SELECT id FROM users WHERE age > 30)");
+        let out = run(
+            &mut db,
+            "SELECT name FROM users WHERE id IN (SELECT id FROM users WHERE age > 30)",
+        );
         assert_eq!(out.rows.len(), 2);
         let out = run(
             &mut db,
@@ -1192,7 +1357,10 @@ mod tests {
     fn insert_select_statement() {
         let mut db = fixture();
         run(&mut db, "CREATE TABLE names (n VARCHAR(32))");
-        let out = run(&mut db, "INSERT INTO names (n) SELECT name FROM users WHERE age > 30");
+        let out = run(
+            &mut db,
+            "INSERT INTO names (n) SELECT name FROM users WHERE age > 30",
+        );
         assert_eq!(out.affected, 2);
     }
 
@@ -1222,10 +1390,19 @@ mod tests {
     #[test]
     fn three_valued_logic() {
         let mut db = Database::new();
-        let out = run(&mut db, "SELECT NULL AND 0, NULL AND 1, NULL OR 1, NULL OR 0, NOT NULL");
+        let out = run(
+            &mut db,
+            "SELECT NULL AND 0, NULL AND 1, NULL OR 1, NULL OR 0, NOT NULL",
+        );
         assert_eq!(
             out.rows[0],
-            vec![Value::Int(0), Value::Null, Value::Int(1), Value::Null, Value::Null]
+            vec![
+                Value::Int(0),
+                Value::Null,
+                Value::Int(1),
+                Value::Null,
+                Value::Null
+            ]
         );
     }
 
@@ -1239,7 +1416,10 @@ mod tests {
     #[test]
     fn in_list_null_semantics() {
         let mut db = Database::new();
-        let out = run(&mut db, "SELECT 2 IN (1, NULL), 1 IN (1, NULL), 1 NOT IN (2, 3)");
+        let out = run(
+            &mut db,
+            "SELECT 2 IN (1, NULL), 1 IN (1, NULL), 1 NOT IN (2, 3)",
+        );
         assert_eq!(out.rows[0], vec![Value::Null, Value::Int(1), Value::Int(1)]);
     }
 
@@ -1266,7 +1446,10 @@ mod tests {
     #[test]
     fn information_schema_is_queryable() {
         let mut db = fixture();
-        let out = run(&mut db, "SELECT table_name, table_rows FROM information_schema.tables");
+        let out = run(
+            &mut db,
+            "SELECT table_name, table_rows FROM information_schema.tables",
+        );
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.rows[0][0], Value::from("users"));
         assert_eq!(out.rows[0][1], Value::Int(4));
@@ -1310,7 +1493,9 @@ mod tests {
         // The classic one-row exfiltration aggregate used by injections.
         let mut db = fixture();
         let out = run(&mut db, "SELECT GROUP_CONCAT(name) FROM users");
-        let Value::Str(s) = out.scalar().unwrap() else { panic!() };
+        let Value::Str(s) = out.scalar().unwrap() else {
+            panic!()
+        };
         assert!(s.contains("ann") && s.contains("dan"));
     }
 }

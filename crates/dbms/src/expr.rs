@@ -28,7 +28,10 @@ pub fn call_scalar(
         if args.len() == n {
             Ok(())
         } else {
-            Err(DbError::Runtime(format!("{name}() expects {n} arguments, got {}", args.len())))
+            Err(DbError::Runtime(format!(
+                "{name}() expects {n} arguments, got {}",
+                args.len()
+            )))
         }
     };
     match name {
@@ -36,7 +39,9 @@ pub fn call_scalar(
             if args.iter().any(Value::is_null) {
                 return Ok(Value::Null);
             }
-            Ok(Value::Str(args.iter().map(Value::to_display_string).collect()))
+            Ok(Value::Str(
+                args.iter().map(Value::to_display_string).collect(),
+            ))
         }
         "CONCAT_WS" => {
             if args.is_empty() {
@@ -90,7 +95,10 @@ pub fn call_scalar(
                 return Ok(Value::Null);
             }
             let s = args[0].to_display_string();
-            Ok(Value::Str(s.replace(&args[1].to_display_string(), &args[2].to_display_string())))
+            Ok(Value::Str(s.replace(
+                &args[1].to_display_string(),
+                &args[2].to_display_string(),
+            )))
         }
         "SUBSTRING" | "SUBSTR" | "MID" => {
             if args.len() != 2 && args.len() != 3 {
@@ -130,7 +138,9 @@ pub fn call_scalar(
                 return Ok(Value::Null);
             }
             let n = args[1].to_int().unwrap_or(0).max(0) as usize;
-            Ok(Value::Str(args[0].to_display_string().chars().take(n).collect()))
+            Ok(Value::Str(
+                args[0].to_display_string().chars().take(n).collect(),
+            ))
         }
         "RIGHT" => {
             need(2)?;
@@ -160,7 +170,11 @@ pub fn call_scalar(
             let d = args.get(1).and_then(Value::to_int).unwrap_or(0);
             let m = 10f64.powi(d as i32);
             let r = (v * m).round() / m;
-            Ok(if d <= 0 { Value::Int(r as i64) } else { Value::Real(r) })
+            Ok(if d <= 0 {
+                Value::Int(r as i64)
+            } else {
+                Value::Real(r)
+            })
         }
         "FLOOR" => {
             need(1)?;
@@ -182,10 +196,18 @@ pub fn call_scalar(
             let a = args[0].to_real().unwrap_or(0.0);
             Ok(Value::Real(a % b))
         }
-        "COALESCE" => Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null)),
+        "COALESCE" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
         "IFNULL" => {
             need(2)?;
-            Ok(if args[0].is_null() { args[1].clone() } else { args[0].clone() })
+            Ok(if args[0].is_null() {
+                args[1].clone()
+            } else {
+                args[0].clone()
+            })
         }
         "NULLIF" => {
             need(2)?;
@@ -197,7 +219,11 @@ pub fn call_scalar(
         }
         "IF" => {
             need(3)?;
-            Ok(if args[0].is_truthy() { args[1].clone() } else { args[2].clone() })
+            Ok(if args[0].is_truthy() {
+                args[1].clone()
+            } else {
+                args[2].clone()
+            })
         }
         "GREATEST" => fold_extreme(args, true),
         "LEAST" => fold_extreme(args, false),
@@ -222,9 +248,7 @@ pub fn call_scalar(
             need(1)?;
             Ok(match &args[0] {
                 Value::Null => Value::Null,
-                v => Value::Int(
-                    v.to_display_string().bytes().next().map_or(0, i64::from),
-                ),
+                v => Value::Int(v.to_display_string().bytes().next().map_or(0, i64::from)),
             })
         }
         "CHAR" => {
@@ -407,7 +431,10 @@ pub fn call_scalar(
 /// Names the executor treats as aggregates rather than scalars.
 #[must_use]
 pub fn is_aggregate(name: &str) -> bool {
-    matches!(name, "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "GROUP_CONCAT")
+    matches!(
+        name,
+        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" | "GROUP_CONCAT"
+    )
 }
 
 /// 1-based position of `needle` in `hay`; 0 when absent (MySQL INSTR).
@@ -485,10 +512,16 @@ mod tests {
 
     #[test]
     fn concat_and_null() {
-        assert_eq!(call("CONCAT", &["a".into(), Value::Int(1)]), Value::from("a1"));
+        assert_eq!(
+            call("CONCAT", &["a".into(), Value::Int(1)]),
+            Value::from("a1")
+        );
         assert_eq!(call("CONCAT", &["a".into(), Value::Null]), Value::Null);
         assert_eq!(
-            call("CONCAT_WS", &[",".into(), "a".into(), Value::Null, "b".into()]),
+            call(
+                "CONCAT_WS",
+                &[",".into(), "a".into(), Value::Null, "b".into()]
+            ),
             Value::from("a,b")
         );
     }
@@ -497,14 +530,26 @@ mod tests {
     fn string_functions() {
         assert_eq!(call("UPPER", &["ab".into()]), Value::from("AB"));
         assert_eq!(call("LENGTH", &["héllo".into()]), Value::Int(5));
-        assert_eq!(call("SUBSTRING", &["hello".into(), Value::Int(2)]), Value::from("ello"));
+        assert_eq!(
+            call("SUBSTRING", &["hello".into(), Value::Int(2)]),
+            Value::from("ello")
+        );
         assert_eq!(
             call("SUBSTRING", &["hello".into(), Value::Int(2), Value::Int(2)]),
             Value::from("el")
         );
-        assert_eq!(call("SUBSTRING", &["hello".into(), Value::Int(-3)]), Value::from("llo"));
-        assert_eq!(call("LEFT", &["hello".into(), Value::Int(2)]), Value::from("he"));
-        assert_eq!(call("RIGHT", &["hello".into(), Value::Int(2)]), Value::from("lo"));
+        assert_eq!(
+            call("SUBSTRING", &["hello".into(), Value::Int(-3)]),
+            Value::from("llo")
+        );
+        assert_eq!(
+            call("LEFT", &["hello".into(), Value::Int(2)]),
+            Value::from("he")
+        );
+        assert_eq!(
+            call("RIGHT", &["hello".into(), Value::Int(2)]),
+            Value::from("lo")
+        );
         assert_eq!(
             call("REPLACE", &["a-b".into(), "-".into(), "+".into()]),
             Value::from("a+b")
@@ -516,7 +561,10 @@ mod tests {
     fn numeric_functions() {
         assert_eq!(call("ABS", &[Value::Int(-3)]), Value::Int(3));
         assert_eq!(call("ROUND", &[Value::Real(2.6)]), Value::Int(3));
-        assert_eq!(call("ROUND", &[Value::Real(2.625), Value::Int(2)]), Value::Real(2.63));
+        assert_eq!(
+            call("ROUND", &[Value::Real(2.625), Value::Int(2)]),
+            Value::Real(2.63)
+        );
         assert_eq!(call("FLOOR", &[Value::Real(2.9)]), Value::Int(2));
         assert_eq!(call("CEIL", &[Value::Real(2.1)]), Value::Int(3));
         assert_eq!(call("MOD", &[Value::Int(7), Value::Int(0)]), Value::Null);
@@ -524,10 +572,16 @@ mod tests {
 
     #[test]
     fn null_handling_functions() {
-        assert_eq!(call("COALESCE", &[Value::Null, Value::Int(2)]), Value::Int(2));
+        assert_eq!(
+            call("COALESCE", &[Value::Null, Value::Int(2)]),
+            Value::Int(2)
+        );
         assert_eq!(call("IFNULL", &[Value::Null, "x".into()]), Value::from("x"));
         assert_eq!(call("NULLIF", &[Value::Int(1), Value::Int(1)]), Value::Null);
-        assert_eq!(call("IF", &[Value::Int(0), "t".into(), "f".into()]), Value::from("f"));
+        assert_eq!(
+            call("IF", &[Value::Int(0), "t".into(), "f".into()]),
+            Value::from("f")
+        );
     }
 
     #[test]
@@ -535,13 +589,22 @@ mod tests {
         let mut fx = SideEffects::default();
         call_scalar("SLEEP", &[Value::Int(5)], 0, &mut fx).unwrap();
         assert_eq!(fx.sleep_seconds, 5.0);
-        call_scalar("BENCHMARK", &[Value::Int(1_000_000), Value::Int(1)], 0, &mut fx).unwrap();
+        call_scalar(
+            "BENCHMARK",
+            &[Value::Int(1_000_000), Value::Int(1)],
+            0,
+            &mut fx,
+        )
+        .unwrap();
         assert!(fx.sleep_seconds > 5.9);
     }
 
     #[test]
     fn obfuscation_helpers() {
-        assert_eq!(call("CHAR", &[Value::Int(65), Value::Int(66)]), Value::from("AB"));
+        assert_eq!(
+            call("CHAR", &[Value::Int(65), Value::Int(66)]),
+            Value::from("AB")
+        );
         assert_eq!(call("HEX", &["AB".into()]), Value::from("4142"));
         assert_eq!(call("ASCII", &["A".into()]), Value::Int(65));
     }
@@ -558,21 +621,51 @@ mod tests {
 
     #[test]
     fn position_functions() {
-        assert_eq!(call("INSTR", &["foobar".into(), "bar".into()]), Value::Int(4));
-        assert_eq!(call("INSTR", &["foobar".into(), "zzz".into()]), Value::Int(0));
-        assert_eq!(call("LOCATE", &["bar".into(), "foobar".into()]), Value::Int(4));
-        assert_eq!(call("INSTR", &["FooBar".into(), "bar".into()]), Value::Int(4));
+        assert_eq!(
+            call("INSTR", &["foobar".into(), "bar".into()]),
+            Value::Int(4)
+        );
+        assert_eq!(
+            call("INSTR", &["foobar".into(), "zzz".into()]),
+            Value::Int(0)
+        );
+        assert_eq!(
+            call("LOCATE", &["bar".into(), "foobar".into()]),
+            Value::Int(4)
+        );
+        assert_eq!(
+            call("INSTR", &["FooBar".into(), "bar".into()]),
+            Value::Int(4)
+        );
         assert_eq!(call("INSTR", &["x".into(), "".into()]), Value::Int(1));
     }
 
     #[test]
     fn padding_and_repeat() {
-        assert_eq!(call("LPAD", &["5".into(), Value::Int(3), "0".into()]), Value::from("005"));
-        assert_eq!(call("RPAD", &["ab".into(), Value::Int(5), "xy".into()]), Value::from("abxyx"));
-        assert_eq!(call("LPAD", &["hello".into(), Value::Int(3), "0".into()]), Value::from("hel"));
-        assert_eq!(call("LPAD", &["a".into(), Value::Int(3), "".into()]), Value::Null);
-        assert_eq!(call("REPEAT", &["ab".into(), Value::Int(3)]), Value::from("ababab"));
-        assert_eq!(call("REPEAT", &["ab".into(), Value::Int(-1)]), Value::from(""));
+        assert_eq!(
+            call("LPAD", &["5".into(), Value::Int(3), "0".into()]),
+            Value::from("005")
+        );
+        assert_eq!(
+            call("RPAD", &["ab".into(), Value::Int(5), "xy".into()]),
+            Value::from("abxyx")
+        );
+        assert_eq!(
+            call("LPAD", &["hello".into(), Value::Int(3), "0".into()]),
+            Value::from("hel")
+        );
+        assert_eq!(
+            call("LPAD", &["a".into(), Value::Int(3), "".into()]),
+            Value::Null
+        );
+        assert_eq!(
+            call("REPEAT", &["ab".into(), Value::Int(3)]),
+            Value::from("ababab")
+        );
+        assert_eq!(
+            call("REPEAT", &["ab".into(), Value::Int(-1)]),
+            Value::from("")
+        );
         assert_eq!(call("SPACE", &[Value::Int(3)]), Value::from("   "));
     }
 
@@ -580,10 +673,16 @@ mod tests {
     fn math_extras() {
         assert_eq!(call("SIGN", &[Value::Int(-9)]), Value::Int(-1));
         assert_eq!(call("SIGN", &[Value::Int(0)]), Value::Int(0));
-        assert_eq!(call("POW", &[Value::Int(2), Value::Int(10)]), Value::Real(1024.0));
+        assert_eq!(
+            call("POW", &[Value::Int(2), Value::Int(10)]),
+            Value::Real(1024.0)
+        );
         assert_eq!(call("SQRT", &[Value::Int(9)]), Value::Real(3.0));
         assert_eq!(call("SQRT", &[Value::Int(-1)]), Value::Null);
-        assert_eq!(call("TRUNCATE", &[Value::Real(2.987), Value::Int(2)]), Value::Real(2.98));
+        assert_eq!(
+            call("TRUNCATE", &[Value::Real(2.987), Value::Int(2)]),
+            Value::Real(2.98)
+        );
         assert_eq!(call("BIN", &[Value::Int(5)]), Value::from("101"));
         assert_eq!(call("OCT", &[Value::Int(9)]), Value::from("11"));
     }

@@ -44,6 +44,30 @@ impl QueryContext<'_> {
     }
 }
 
+/// What the server does when the guard itself *fails* — panics, or (for
+/// guards with internal budgets) reports that it could not finish in time.
+///
+/// The guard sits in the query path: its failure must degrade predictably
+/// instead of taking the engine down or silently disabling protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailurePolicy {
+    /// Availability over protection: a failing guard lets the query
+    /// execute (counted, so the degradation is visible).
+    FailOpen,
+    /// Protection over availability: a failing guard blocks the query
+    /// with [`crate::DbError::GuardFailure`].
+    FailClosed,
+}
+
+impl fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailurePolicy::FailOpen => f.write_str("fail-open"),
+            FailurePolicy::FailClosed => f.write_str("fail-closed"),
+        }
+    }
+}
+
 /// Guard verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GuardDecision {
@@ -71,6 +95,16 @@ pub trait QueryGuard: Send + Sync {
     /// Guard name for the server log.
     fn name(&self) -> &str {
         "guard"
+    }
+
+    /// Policy the server applies when [`QueryGuard::inspect`] panics.
+    ///
+    /// The default is [`FailurePolicy::FailClosed`]: an unknown guard
+    /// failure blocks the query rather than silently disabling
+    /// protection. Guards with mode-dependent policies (SEPTIC) override
+    /// this per call.
+    fn failure_policy(&self) -> FailurePolicy {
+        FailurePolicy::FailClosed
     }
 }
 
@@ -115,5 +149,12 @@ mod tests {
     fn decision_display() {
         assert_eq!(GuardDecision::Proceed.to_string(), "proceed");
         assert_eq!(GuardDecision::Block("x".into()).to_string(), "block: x");
+    }
+
+    #[test]
+    fn default_failure_policy_is_fail_closed() {
+        assert_eq!(AllowAll.failure_policy(), FailurePolicy::FailClosed);
+        assert_eq!(FailurePolicy::FailOpen.to_string(), "fail-open");
+        assert_eq!(FailurePolicy::FailClosed.to_string(), "fail-closed");
     }
 }

@@ -35,7 +35,9 @@ pub mod value;
 
 pub use error::DbError;
 pub use exec::QueryOutput;
-pub use guard::{AllowAll, GuardDecision, QueryContext, QueryGuard, SharedGuard};
-pub use server::{Connection, ExecResult, GeneralLogEntry, Server, ServerConfig};
+pub use guard::{AllowAll, FailurePolicy, GuardDecision, QueryContext, QueryGuard, SharedGuard};
+pub use server::{
+    Connection, ExecResult, GeneralLogEntry, Server, ServerConfig, ServerStatsSnapshot,
+};
 pub use storage::{Database, Row, TableStore};
 pub use value::Value;

@@ -6,7 +6,9 @@
 //! logical clock; [`Connection`]s are cheap handles that run queries
 //! through the full pipeline.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -16,7 +18,7 @@ use septic_sql::{charset, items, parse, Statement};
 
 use crate::error::DbError;
 use crate::exec::{execute, validate, QueryOutput};
-use crate::guard::{GuardDecision, QueryContext, SharedGuard};
+use crate::guard::{FailurePolicy, GuardDecision, QueryContext, SharedGuard};
 use crate::storage::Database;
 use crate::value::Value;
 
@@ -33,7 +35,10 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { allow_multi_statements: true, general_log_capacity: 4096 }
+        ServerConfig {
+            allow_multi_statements: true,
+            general_log_capacity: 4096,
+        }
     }
 }
 
@@ -46,6 +51,31 @@ pub struct GeneralLogEntry {
     pub sql: String,
     /// Outcome summary: `ok`, `blocked: …` or `error: …`.
     pub outcome: String,
+}
+
+/// Degradation counters for the fail-safe machinery. All monotone; read
+/// them via [`Server::stats`].
+#[derive(Debug, Default)]
+struct ServerStats {
+    /// Guard `inspect` calls that panicked (contained by the server).
+    guard_panics: AtomicU64,
+    /// Queries that executed *despite* a guard failure because the
+    /// guard's policy was [`FailurePolicy::FailOpen`].
+    fail_open_passes: AtomicU64,
+    /// General-log entries evicted (or refused) because the ring buffer
+    /// was full.
+    log_drops: AtomicU64,
+}
+
+/// Point-in-time snapshot of the server's degradation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStatsSnapshot {
+    /// Guard `inspect` calls that panicked (contained by the server).
+    pub guard_panics: u64,
+    /// Queries executed despite a guard failure (fail-open policy).
+    pub fail_open_passes: u64,
+    /// General-log entries dropped because the ring buffer was full.
+    pub log_drops: u64,
 }
 
 /// Result of one client call (possibly several stacked statements).
@@ -80,7 +110,10 @@ pub struct Server {
     guard: RwLock<Option<SharedGuard>>,
     config: ServerConfig,
     clock: AtomicI64,
-    general_log: Mutex<Vec<GeneralLogEntry>>,
+    /// Ring buffer bounded by `config.general_log_capacity`: the oldest
+    /// entry is evicted (and counted in `stats.log_drops`) when full.
+    general_log: Mutex<VecDeque<GeneralLogEntry>>,
+    stats: ServerStats,
     /// Total simulated delay (`SLEEP`/`BENCHMARK`) accumulated across all
     /// queries — the observable for time-based blind injection.
     simulated_total_micros: AtomicI64,
@@ -101,7 +134,8 @@ impl Server {
             guard: RwLock::new(None),
             config,
             clock: AtomicI64::new(1_000_000),
-            general_log: Mutex::new(Vec::new()),
+            general_log: Mutex::new(VecDeque::new()),
+            stats: ServerStats::default(),
             simulated_total_micros: AtomicI64::new(0),
         })
     }
@@ -127,13 +161,26 @@ impl Server {
     /// Opens a connection.
     #[must_use]
     pub fn connect(self: &Arc<Self>) -> Connection {
-        Connection { server: Arc::clone(self) }
+        Connection {
+            server: Arc::clone(self),
+        }
     }
 
     /// Snapshot of the general log.
     #[must_use]
     pub fn general_log(&self) -> Vec<GeneralLogEntry> {
-        self.general_log.lock().clone()
+        self.general_log.lock().iter().cloned().collect()
+    }
+
+    /// Snapshot of the degradation counters (guard panics, fail-open
+    /// passes, general-log drops).
+    #[must_use]
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            guard_panics: self.stats.guard_panics.load(Ordering::Relaxed),
+            fail_open_passes: self.stats.fail_open_passes.load(Ordering::Relaxed),
+            log_drops: self.stats.log_drops.load(Ordering::Relaxed),
+        }
     }
 
     /// Clears the general log.
@@ -151,18 +198,24 @@ impl Server {
     /// this value — the deterministic stand-in for wall-clock stalls.
     #[must_use]
     pub fn simulated_delay_total(&self) -> Duration {
-        Duration::from_micros(
-            self.simulated_total_micros.load(Ordering::Relaxed).max(0) as u64,
-        )
+        Duration::from_micros(self.simulated_total_micros.load(Ordering::Relaxed).max(0) as u64)
     }
 
     fn log(&self, at: i64, sql: &str, outcome: String) {
-        let mut log = self.general_log.lock();
-        if log.len() >= self.config.general_log_capacity {
-            let drop_n = log.len() / 2;
-            log.drain(..drop_n);
+        if self.config.general_log_capacity == 0 {
+            self.stats.log_drops.fetch_add(1, Ordering::Relaxed);
+            return;
         }
-        log.push(GeneralLogEntry { at, sql: sql.to_string(), outcome });
+        let mut log = self.general_log.lock();
+        while log.len() >= self.config.general_log_capacity {
+            log.pop_front();
+            self.stats.log_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        log.push_back(GeneralLogEntry {
+            at,
+            sql: sql.to_string(),
+            outcome,
+        });
     }
 
     fn run(&self, raw_sql: &str, params: Option<&[Value]>) -> Result<ExecResult, DbError> {
@@ -234,9 +287,34 @@ impl Server {
                 trailing_line_comment: parsed.trailing_line_comment,
                 write_data: &write_data,
             };
-            if let GuardDecision::Block(reason) = guard.inspect(&ctx) {
-                self.log(at, raw_sql, format!("blocked: {reason}"));
-                return Err(DbError::Blocked(reason));
+            // The guard runs inside `catch_unwind`: a buggy detector must
+            // degrade per its failure policy, never crash the engine.
+            match catch_unwind(AssertUnwindSafe(|| guard.inspect(&ctx))) {
+                Ok(GuardDecision::Proceed) => {}
+                Ok(GuardDecision::Block(reason)) => {
+                    self.log(at, raw_sql, format!("blocked: {reason}"));
+                    return Err(DbError::Blocked(reason));
+                }
+                Err(payload) => {
+                    self.stats.guard_panics.fetch_add(1, Ordering::Relaxed);
+                    let what = panic_message(payload.as_ref());
+                    // The policy query runs isolated too — the guard that
+                    // just panicked may panic again; then the safe default
+                    // (fail-closed) applies.
+                    let policy = catch_unwind(AssertUnwindSafe(|| guard.failure_policy()))
+                        .unwrap_or(FailurePolicy::FailClosed);
+                    match policy {
+                        FailurePolicy::FailClosed => {
+                            let reason = format!("guard '{}' panicked: {what}", guard.name());
+                            self.log(at, raw_sql, format!("guard failure (fail-closed): {what}"));
+                            return Err(DbError::GuardFailure(reason));
+                        }
+                        FailurePolicy::FailOpen => {
+                            self.stats.fail_open_passes.fetch_add(1, Ordering::Relaxed);
+                            self.log(at, raw_sql, format!("guard failure (fail-open): {what}"));
+                        }
+                    }
+                }
             }
         }
         drop(stack);
@@ -263,7 +341,11 @@ impl Server {
             }
         }
         self.log(at, raw_sql, "ok".to_string());
-        Ok(ExecResult { outputs, elapsed: started.elapsed(), simulated_delay: simulated })
+        Ok(ExecResult {
+            outputs,
+            elapsed: started.elapsed(),
+            simulated_delay: simulated,
+        })
     }
 }
 
@@ -274,9 +356,21 @@ impl Default for Server {
             guard: RwLock::new(None),
             config: ServerConfig::default(),
             clock: AtomicI64::new(1_000_000),
-            general_log: Mutex::new(Vec::new()),
+            general_log: Mutex::new(VecDeque::new()),
+            stats: ServerStats::default(),
             simulated_total_micros: AtomicI64::new(0),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -379,7 +473,7 @@ impl std::fmt::Debug for Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::guard::{AllowAll, GuardDecision, QueryGuard};
+    use crate::guard::{AllowAll, FailurePolicy, GuardDecision, QueryGuard};
     use crate::value::Value;
 
     #[test]
@@ -397,8 +491,10 @@ mod tests {
     fn charset_decoding_happens_before_parse() {
         let server = Server::new();
         let conn = server.connect();
-        conn.execute("CREATE TABLE t (id INT, v VARCHAR(20))").unwrap();
-        conn.execute("INSERT INTO t (id, v) VALUES (1, 'x')").unwrap();
+        conn.execute("CREATE TABLE t (id INT, v VARCHAR(20))")
+            .unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (1, 'x')")
+            .unwrap();
         // U+02BC closes the string at the DBMS even though the app saw no
         // ASCII quote; the `-- ` comments out the tail.
         let out = conn
@@ -429,7 +525,10 @@ mod tests {
         assert!(matches!(err, DbError::Blocked(_)));
         // The blocked query never executed; the table still has one row.
         server.remove_guard();
-        assert_eq!(conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(), Some(&Value::Int(1)));
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
     }
 
     #[test]
@@ -443,11 +542,14 @@ mod tests {
         }
         let server = Server::new();
         let conn = server.connect();
-        conn.execute("CREATE TABLE t (a VARCHAR(64), b VARCHAR(64))").unwrap();
+        conn.execute("CREATE TABLE t (a VARCHAR(64), b VARCHAR(64))")
+            .unwrap();
         let cap = Arc::new(Capture(Mutex::new(Vec::new())));
         server.install_guard(cap.clone());
-        conn.execute("INSERT INTO t (a, b) VALUES ('<script>x</script>', 'ok')").unwrap();
-        conn.execute("UPDATE t SET a = 'new' WHERE b = 'filter-not-captured'").unwrap();
+        conn.execute("INSERT INTO t (a, b) VALUES ('<script>x</script>', 'ok')")
+            .unwrap();
+        conn.execute("UPDATE t SET a = 'new' WHERE b = 'filter-not-captured'")
+            .unwrap();
         let seen = cap.0.lock().clone();
         assert!(seen.contains(&"<script>x</script>".to_string()));
         assert!(seen.contains(&"new".to_string()));
@@ -496,7 +598,10 @@ mod tests {
         let before = server.simulated_delay_total();
         let res = conn.execute("SELECT SLEEP(5)").unwrap();
         assert_eq!(res.simulated_delay, Duration::from_secs(5));
-        assert_eq!(server.simulated_delay_total() - before, Duration::from_secs(5));
+        assert_eq!(
+            server.simulated_delay_total() - before,
+            Duration::from_secs(5)
+        );
         // Wall time is far below the simulated delay — we did not block.
         assert!(res.elapsed < Duration::from_secs(1));
         assert!(res.observed_latency() >= Duration::from_secs(5));
@@ -525,10 +630,14 @@ mod tests {
         // prepared INSERT (no charset decoding applies to bound values)…
         let server = Server::new();
         let conn = server.connect();
-        conn.execute("CREATE TABLE devices (name VARCHAR(40))").unwrap();
-        let stored = "ID34FG\u{02BC}-- ";
-        conn.execute_prepared("INSERT INTO devices (name) VALUES (?)", &[Value::from(stored)])
+        conn.execute("CREATE TABLE devices (name VARCHAR(40))")
             .unwrap();
+        let stored = "ID34FG\u{02BC}-- ";
+        conn.execute_prepared(
+            "INSERT INTO devices (name) VALUES (?)",
+            &[Value::from(stored)],
+        )
+        .unwrap();
         let out = conn.query("SELECT name FROM devices").unwrap();
         assert_eq!(out.scalar(), Some(&Value::from(stored)));
         // …whereas embedding the same bytes in query text would have been
@@ -543,9 +652,92 @@ mod tests {
         let server = Server::new();
         let conn = server.connect();
         conn.execute("CREATE TABLE t (id INT)").unwrap();
-        assert!(conn
-            .execute_prepared("SELECT 1; SELECT 2", &[])
-            .is_err());
+        assert!(conn.execute_prepared("SELECT 1; SELECT 2", &[]).is_err());
+    }
+
+    #[test]
+    fn general_log_capacity_is_a_ring_buffer_bound() {
+        let server = Server::with_config(ServerConfig {
+            general_log_capacity: 3,
+            ..ServerConfig::default()
+        });
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        for i in 0..5 {
+            conn.execute(&format!("INSERT INTO t (id) VALUES ({i})"))
+                .unwrap();
+        }
+        let log = server.general_log();
+        // Exactly `capacity` entries survive, and they are the *newest*.
+        assert_eq!(log.len(), 3);
+        assert!(log[0].sql.contains("VALUES (2)"));
+        assert!(log[2].sql.contains("VALUES (4)"));
+        // 6 statements were logged (CREATE + 5 INSERTs); 3 were evicted.
+        assert_eq!(server.stats().log_drops, 3);
+    }
+
+    #[test]
+    fn zero_log_capacity_drops_everything() {
+        let server = Server::with_config(ServerConfig {
+            general_log_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        assert!(server.general_log().is_empty());
+        assert_eq!(server.stats().log_drops, 1);
+    }
+
+    struct PanickyGuard(FailurePolicy);
+    impl QueryGuard for PanickyGuard {
+        fn inspect(&self, _ctx: &QueryContext<'_>) -> GuardDecision {
+            panic!("injected guard bug")
+        }
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn failure_policy(&self) -> FailurePolicy {
+            self.0
+        }
+    }
+
+    #[test]
+    fn guard_panic_fail_closed_blocks_but_server_survives() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        server.install_guard(Arc::new(PanickyGuard(FailurePolicy::FailClosed)));
+        let err = conn.execute("INSERT INTO t (id) VALUES (1)").unwrap_err();
+        assert!(matches!(err, DbError::GuardFailure(_)));
+        assert!(err.to_string().contains("injected guard bug"));
+        assert_eq!(server.stats().guard_panics, 1);
+        assert_eq!(server.stats().fail_open_passes, 0);
+        // The engine keeps serving: remove the broken guard and query.
+        server.remove_guard();
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn guard_panic_fail_open_executes_and_counts() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        server.install_guard(Arc::new(PanickyGuard(FailurePolicy::FailOpen)));
+        conn.execute("INSERT INTO t (id) VALUES (1)").unwrap();
+        assert_eq!(server.stats().guard_panics, 1);
+        assert_eq!(server.stats().fail_open_passes, 1);
+        let log = server.general_log();
+        assert!(log
+            .iter()
+            .any(|e| e.outcome.contains("guard failure (fail-open)")));
+        server.remove_guard();
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A runtime cell value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Value {
     #[default]
     Null,
@@ -118,7 +117,6 @@ impl Value {
         ))
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -231,9 +229,7 @@ pub fn numeric_prefix(s: &str) -> f64 {
 fn like_match(text: &[char], pat: &[char]) -> bool {
     match pat.split_first() {
         None => text.is_empty(),
-        Some(('%', rest)) => {
-            (0..=text.len()).any(|i| like_match(&text[i..], rest))
-        }
+        Some(('%', rest)) => (0..=text.len()).any(|i| like_match(&text[i..], rest)),
         Some(('_', rest)) => !text.is_empty() && like_match(&text[1..], rest),
         Some((c, rest)) => text.first() == Some(c) && like_match(&text[1..], rest),
     }
@@ -275,7 +271,10 @@ mod tests {
     #[test]
     fn string_comparison_is_case_insensitive() {
         assert_eq!(Value::from("Ann").sql_eq(&Value::from("ann")), Some(true));
-        assert_eq!(Value::from("a").sql_cmp(&Value::from("B")), Some(Ordering::Less));
+        assert_eq!(
+            Value::from("a").sql_cmp(&Value::from("B")),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

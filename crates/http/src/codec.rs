@@ -83,7 +83,13 @@ mod tests {
 
     #[test]
     fn encode_round_trip() {
-        for s in ["hello world", "a=b&c", "quote ' and <tag>", "100% sure", "ünïcödé"] {
+        for s in [
+            "hello world",
+            "a=b&c",
+            "quote ' and <tag>",
+            "100% sure",
+            "ünïcödé",
+        ] {
             assert_eq!(url_decode(&url_encode(s)), s, "{s}");
         }
     }
@@ -119,6 +125,9 @@ mod tests {
     #[test]
     fn form_decode_tolerates_bare_keys() {
         let decoded = form_decode("flag&x=1&");
-        assert_eq!(decoded, vec![("flag".into(), String::new()), ("x".into(), "1".into())]);
+        assert_eq!(
+            decoded,
+            vec![("flag".into(), String::new()), ("x".into(), "1".into())]
+        );
     }
 }

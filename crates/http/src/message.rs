@@ -70,13 +70,23 @@ impl HttpRequest {
     /// Builds a GET request.
     #[must_use]
     pub fn get(path: impl Into<String>) -> Self {
-        HttpRequest { method: Method::Get, path: path.into(), params: Vec::new(), session: None }
+        HttpRequest {
+            method: Method::Get,
+            path: path.into(),
+            params: Vec::new(),
+            session: None,
+        }
     }
 
     /// Builds a POST request.
     #[must_use]
     pub fn post(path: impl Into<String>) -> Self {
-        HttpRequest { method: Method::Post, path: path.into(), params: Vec::new(), session: None }
+        HttpRequest {
+            method: Method::Post,
+            path: path.into(),
+            params: Vec::new(),
+            session: None,
+        }
     }
 
     /// Adds a parameter (builder style).
@@ -147,13 +157,21 @@ impl HttpResponse {
     /// 200 with a body.
     #[must_use]
     pub fn ok(body: impl Into<String>) -> Self {
-        HttpResponse { status: Status::Ok, body: body.into(), set_session: None }
+        HttpResponse {
+            status: Status::Ok,
+            body: body.into(),
+            set_session: None,
+        }
     }
 
     /// Error response with a status and message.
     #[must_use]
     pub fn error(status: Status, message: impl Into<String>) -> Self {
-        HttpResponse { status, body: message.into(), set_session: None }
+        HttpResponse {
+            status,
+            body: message.into(),
+            set_session: None,
+        }
     }
 
     /// True for 2xx/3xx.
@@ -176,7 +194,10 @@ mod tests {
 
     #[test]
     fn builder_and_lookup() {
-        let req = HttpRequest::post("/x").param("a", "1").param("a", "2").param("b", "3");
+        let req = HttpRequest::post("/x")
+            .param("a", "1")
+            .param("a", "2")
+            .param("b", "3");
         assert_eq!(req.param_value("a"), Some("1"));
         assert_eq!(req.param_value("missing"), None);
         assert_eq!(req.param_or_empty("missing"), "");

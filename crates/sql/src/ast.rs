@@ -116,7 +116,10 @@ pub struct TableRef {
 impl TableRef {
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        TableRef { name: name.into(), alias: None }
+        TableRef {
+            name: name.into(),
+            alias: None,
+        }
     }
 
     /// Name the executor binds columns against (alias wins).
@@ -364,24 +367,56 @@ impl UnaryOp {
 pub enum Expr {
     Literal(Literal),
     /// Column reference, optionally table-qualified.
-    Column { table: Option<String>, name: String },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
     /// `?` placeholder.
     Param,
-    Unary { op: UnaryOp, operand: Box<Expr> },
-    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
     /// Function call, e.g. `CONCAT(a, b)`. Name stored uppercase.
-    Function { name: String, args: Vec<Expr> },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] IN (items...)` or `expr [NOT] IN (SELECT ...)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    InSelect { expr: Box<Expr>, select: Box<Select>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSelect {
+        expr: Box<Expr>,
+        select: Box<Select>,
+        negated: bool,
+    },
     /// `expr [NOT] BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// Scalar subquery `(SELECT ...)`.
     Subquery(Box<Select>),
     /// `EXISTS (SELECT ...)`.
-    Exists { select: Box<Select>, negated: bool },
+    Exists {
+        select: Box<Select>,
+        negated: bool,
+    },
     /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
     Case {
         operand: Option<Box<Expr>>,
@@ -406,13 +441,20 @@ impl Expr {
     /// Convenience: an unqualified column reference.
     #[must_use]
     pub fn col(name: impl Into<String>) -> Self {
-        Expr::Column { table: None, name: name.into() }
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
     }
 
     /// Convenience: binary expression.
     #[must_use]
     pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Self {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// Collects every string literal in the expression tree, in evaluation
@@ -440,13 +482,19 @@ impl Expr {
                 }
             }
             Expr::InSelect { expr, .. } => expr.collect_string_literals(out),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.collect_string_literals(out);
                 low.collect_string_literals(out);
                 high.collect_string_literals(out);
             }
             Expr::Subquery(_) | Expr::Exists { .. } => {}
-            Expr::Case { operand, branches, else_branch } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 if let Some(op) = operand {
                     op.collect_string_literals(out);
                 }

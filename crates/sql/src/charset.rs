@@ -87,13 +87,20 @@ pub fn decode(raw: &str) -> DecodedQuery {
     for (offset, c) in raw.char_indices() {
         match fold_char(c) {
             Some(folded) => {
-                substitutions.push(CharsetSubstitution { offset, from: c, to: folded });
+                substitutions.push(CharsetSubstitution {
+                    offset,
+                    from: c,
+                    to: folded,
+                });
                 text.push(folded);
             }
             None => text.push(c),
         }
     }
-    DecodedQuery { text, substitutions }
+    DecodedQuery {
+        text,
+        substitutions,
+    }
 }
 
 #[cfg(test)]

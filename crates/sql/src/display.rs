@@ -87,7 +87,10 @@ impl fmt::Display for SelectItem {
         match self {
             SelectItem::Wildcard => write!(f, "*"),
             SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
-            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {a}"),
             SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
         }
     }
@@ -206,10 +209,16 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(l) => write!(f, "{l}"),
-            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Param => write!(f, "?"),
-            Expr::Unary { op: UnaryOp::Not, operand } => write!(f, "NOT ({operand})"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                operand,
+            } => write!(f, "NOT ({operand})"),
             Expr::Unary { op, operand } => write!(f, "{}({operand})", op.symbol()),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
             Expr::Function { name, args } => {
@@ -228,7 +237,11 @@ impl fmt::Display for Expr {
             Expr::IsNull { expr, negated } => {
                 write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -238,10 +251,23 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
-            Expr::InSelect { expr, select, negated } => {
-                write!(f, "({expr} {}IN ({select}))", if *negated { "NOT " } else { "" })
+            Expr::InSelect {
+                expr,
+                select,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}IN ({select}))",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            Expr::Between { expr, low, high, negated } => write!(
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
                 f,
                 "({expr} {}BETWEEN {low} AND {high})",
                 if *negated { "NOT " } else { "" }
@@ -250,7 +276,11 @@ impl fmt::Display for Expr {
             Expr::Exists { select, negated } => {
                 write!(f, "{}EXISTS ({select})", if *negated { "NOT " } else { "" })
             }
-            Expr::Case { operand, branches, else_branch } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
                 write!(f, "CASE")?;
                 if let Some(op) = operand {
                     write!(f, " {op}")?;
@@ -276,7 +306,10 @@ mod tests {
         let first = parse(sql).expect("first parse");
         let printed = first.statements[0].to_string();
         let second = parse(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
-        assert_eq!(first.statements[0], second.statements[0], "printed: {printed}");
+        assert_eq!(
+            first.statements[0], second.statements[0],
+            "printed: {printed}"
+        );
     }
 
     #[test]

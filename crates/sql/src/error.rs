@@ -33,7 +33,10 @@ impl ParseError {
     /// Convenience constructor for grammar errors.
     #[must_use]
     pub fn syntax(message: impl Into<String>, span: Span) -> Self {
-        ParseError::Syntax { message: message.into(), span }
+        ParseError::Syntax {
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -61,7 +64,9 @@ mod tests {
     fn display_formats() {
         let e = ParseError::syntax("expected FROM", Span { start: 3, end: 7 });
         assert_eq!(e.to_string(), "syntax error at 3..7: expected FROM");
-        let e = ParseError::Unsupported { message: "LOAD DATA".into() };
+        let e = ParseError::Unsupported {
+            message: "LOAD DATA".into(),
+        };
         assert_eq!(e.to_string(), "unsupported SQL: LOAD DATA");
     }
 }

@@ -156,7 +156,10 @@ impl Item {
     #[must_use]
     pub fn elem(tag: ItemTag, data: impl Into<String>) -> Self {
         debug_assert!(!tag.is_data(), "element constructor used with data tag");
-        Item { tag, data: ItemData::Text(data.into()) }
+        Item {
+            tag,
+            data: ItemData::Text(data.into()),
+        }
     }
 
     /// Canonical bytes used for hashing into the internal query identifier.
@@ -241,7 +244,9 @@ impl fmt::Display for ItemStack {
 
 impl FromIterator<Item> for ItemStack {
     fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
-        ItemStack { items: iter.into_iter().collect() }
+        ItemStack {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -275,10 +280,16 @@ fn lower_into(statement: &Statement, stack: &mut ItemStack) {
         Statement::Update(u) => lower_update(u, stack),
         Statement::Delete(d) => lower_delete(d, stack),
         Statement::CreateTable(c) => {
-            stack.push(Item::elem(ItemTag::DdlItem, format!("CREATE TABLE {}", lc(&c.name))));
+            stack.push(Item::elem(
+                ItemTag::DdlItem,
+                format!("CREATE TABLE {}", lc(&c.name)),
+            ));
         }
         Statement::DropTable(d) => {
-            stack.push(Item::elem(ItemTag::DdlItem, format!("DROP TABLE {}", lc(&d.name))));
+            stack.push(Item::elem(
+                ItemTag::DdlItem,
+                format!("DROP TABLE {}", lc(&d.name)),
+            ));
         }
     }
 }
@@ -336,12 +347,21 @@ fn lower_select(select: &Select, stack: &mut ItemStack) {
         ));
     }
     if let Some(limit) = &select.limit {
-        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.count as i64) });
-        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.offset as i64) });
+        stack.push(Item {
+            tag: ItemTag::IntItem,
+            data: ItemData::Int(limit.count as i64),
+        });
+        stack.push(Item {
+            tag: ItemTag::IntItem,
+            data: ItemData::Int(limit.offset as i64),
+        });
         stack.push(Item::elem(ItemTag::LimitItem, ""));
     }
     if let Some((all, next)) = &select.union {
-        stack.push(Item::elem(ItemTag::UnionItem, if *all { "UNION ALL" } else { "UNION" }));
+        stack.push(Item::elem(
+            ItemTag::UnionItem,
+            if *all { "UNION ALL" } else { "UNION" },
+        ));
         lower_select(next, stack);
     }
 }
@@ -378,7 +398,10 @@ fn lower_update(update: &Update, stack: &mut ItemStack) {
         lower_expr(where_clause, stack);
     }
     if let Some(limit) = &update.limit {
-        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.count as i64) });
+        stack.push(Item {
+            tag: ItemTag::IntItem,
+            data: ItemData::Int(limit.count as i64),
+        });
         stack.push(Item::elem(ItemTag::LimitItem, ""));
     }
 }
@@ -389,7 +412,10 @@ fn lower_delete(delete: &Delete, stack: &mut ItemStack) {
         lower_expr(where_clause, stack);
     }
     if let Some(limit) = &delete.limit {
-        stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(limit.count as i64) });
+        stack.push(Item {
+            tag: ItemTag::IntItem,
+            data: ItemData::Int(limit.count as i64),
+        });
         stack.push(Item::elem(ItemTag::LimitItem, ""));
     }
 }
@@ -398,18 +424,33 @@ fn lower_delete(delete: &Delete, stack: &mut ItemStack) {
 fn lower_expr(expr: &Expr, stack: &mut ItemStack) {
     match expr {
         Expr::Literal(Literal::Int(v)) => {
-            stack.push(Item { tag: ItemTag::IntItem, data: ItemData::Int(*v) });
+            stack.push(Item {
+                tag: ItemTag::IntItem,
+                data: ItemData::Int(*v),
+            });
         }
         Expr::Literal(Literal::Float(v)) => {
-            stack.push(Item { tag: ItemTag::RealItem, data: ItemData::Real(*v) });
+            stack.push(Item {
+                tag: ItemTag::RealItem,
+                data: ItemData::Real(*v),
+            });
         }
         Expr::Literal(Literal::Str(s)) => {
-            stack.push(Item { tag: ItemTag::StringItem, data: ItemData::Text(s.clone()) });
+            stack.push(Item {
+                tag: ItemTag::StringItem,
+                data: ItemData::Text(s.clone()),
+            });
         }
         Expr::Literal(Literal::Null) => {
-            stack.push(Item { tag: ItemTag::NullItem, data: ItemData::Null });
+            stack.push(Item {
+                tag: ItemTag::NullItem,
+                data: ItemData::Null,
+            });
         }
-        Expr::Param => stack.push(Item { tag: ItemTag::ParamItem, data: ItemData::Bot }),
+        Expr::Param => stack.push(Item {
+            tag: ItemTag::ParamItem,
+            data: ItemData::Bot,
+        }),
         Expr::Column { table, name } => {
             let label = match table {
                 Some(t) => format!("{}.{}", lc(t), lc(name)),
@@ -424,7 +465,11 @@ fn lower_expr(expr: &Expr, stack: &mut ItemStack) {
         Expr::Binary { left, op, right } => {
             lower_expr(left, stack);
             lower_expr(right, stack);
-            let tag = if op.is_condition() { ItemTag::CondItem } else { ItemTag::FuncItem };
+            let tag = if op.is_condition() {
+                ItemTag::CondItem
+            } else {
+                ItemTag::FuncItem
+            };
             stack.push(Item::elem(tag, op.symbol()));
         }
         Expr::Function { name, args } => {
@@ -440,21 +485,40 @@ fn lower_expr(expr: &Expr, stack: &mut ItemStack) {
                 if *negated { "IS NOT NULL" } else { "IS NULL" },
             ));
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             lower_expr(expr, stack);
             for e in list {
                 lower_expr(e, stack);
             }
-            stack.push(Item::elem(ItemTag::FuncItem, if *negated { "NOT IN" } else { "IN" }));
+            stack.push(Item::elem(
+                ItemTag::FuncItem,
+                if *negated { "NOT IN" } else { "IN" },
+            ));
         }
-        Expr::InSelect { expr, select, negated } => {
+        Expr::InSelect {
+            expr,
+            select,
+            negated,
+        } => {
             lower_expr(expr, stack);
             stack.push(Item::elem(ItemTag::SubselectBegin, ""));
             lower_select(select, stack);
             stack.push(Item::elem(ItemTag::SubselectEnd, ""));
-            stack.push(Item::elem(ItemTag::FuncItem, if *negated { "NOT IN" } else { "IN" }));
+            stack.push(Item::elem(
+                ItemTag::FuncItem,
+                if *negated { "NOT IN" } else { "IN" },
+            ));
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             lower_expr(expr, stack);
             lower_expr(low, stack);
             lower_expr(high, stack);
@@ -477,7 +541,11 @@ fn lower_expr(expr: &Expr, stack: &mut ItemStack) {
                 if *negated { "NOT EXISTS" } else { "EXISTS" },
             ));
         }
-        Expr::Case { operand, branches, else_branch } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
             if let Some(op) = operand {
                 lower_expr(op, stack);
             }
@@ -496,7 +564,10 @@ fn lower_expr(expr: &Expr, stack: &mut ItemStack) {
 /// Short label for a projected expression (shown in `SELECT_FIELD` nodes).
 fn expr_label(expr: &Expr) -> String {
     match expr {
-        Expr::Column { table: Some(t), name } => format!("{}.{}", lc(t), lc(name)),
+        Expr::Column {
+            table: Some(t),
+            name,
+        } => format!("{}.{}", lc(t), lc(name)),
         Expr::Column { table: None, name } => lc(name),
         Expr::Function { name, .. } => format!("{name}()"),
         Expr::Literal(l) => l.to_string(),

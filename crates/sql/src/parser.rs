@@ -49,7 +49,11 @@ impl Parsed {
 /// # Ok::<(), septic_sql::ParseError>(())
 /// ```
 pub fn parse(src: &str) -> Result<Parsed, ParseError> {
-    let LexOutput { tokens, comments, trailing_line_comment } = lex(src)?;
+    let LexOutput {
+        tokens,
+        comments,
+        trailing_line_comment,
+    } = lex(src)?;
     let mut parser = Parser { tokens, pos: 0 };
     let mut statements = Vec::new();
     loop {
@@ -65,7 +69,11 @@ pub fn parse(src: &str) -> Result<Parsed, ParseError> {
     if statements.is_empty() {
         return Err(ParseError::syntax("empty query", Span::default()));
     }
-    Ok(Parsed { statements, comments, trailing_line_comment })
+    Ok(Parsed {
+        statements,
+        comments,
+        trailing_line_comment,
+    })
 }
 
 struct Parser {
@@ -139,7 +147,9 @@ impl Parser {
     }
 
     fn unexpected(&self, what: &str) -> ParseError {
-        let found = self.peek().map_or_else(|| "end of query".to_string(), |t| format!("`{t}`"));
+        let found = self
+            .peek()
+            .map_or_else(|| "end of query".to_string(), |t| format!("`{t}`"));
         ParseError::syntax(format!("expected {what}, found {found}"), self.span())
     }
 
@@ -173,7 +183,9 @@ impl Parser {
         } else if self.check_kw("DROP") {
             self.drop_table()
         } else if let Some(Token::Ident(kw)) = self.peek() {
-            Err(ParseError::Unsupported { message: format!("statement `{}`", kw.to_uppercase()) })
+            Err(ParseError::Unsupported {
+                message: format!("statement `{}`", kw.to_uppercase()),
+            })
         } else {
             Err(self.unexpected("a statement"))
         }
@@ -213,7 +225,11 @@ impl Parser {
                     break;
                 };
                 let table = self.table_ref()?;
-                let on = if self.eat_kw("ON") { Some(self.expr()?) } else { None };
+                let on = if self.eat_kw("ON") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 select.joins.push(Join { kind, table, on });
             }
         }
@@ -281,7 +297,11 @@ impl Parser {
         let expr = self.expr()?;
         let has_alias = self.eat_kw("AS")
             || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s));
-        let alias = if has_alias { Some(self.identifier("alias")?) } else { None };
+        let alias = if has_alias {
+            Some(self.identifier("alias")?)
+        } else {
+            None
+        };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -295,7 +315,11 @@ impl Parser {
         }
         let has_alias = self.eat_kw("AS")
             || matches!(self.peek(), Some(Token::Ident(s)) if !is_clause_keyword(s) && !is_join_keyword(s));
-        let alias = if has_alias { Some(self.identifier("alias")?) } else { None };
+        let alias = if has_alias {
+            Some(self.identifier("alias")?)
+        } else {
+            None
+        };
         Ok(TableRef { name, alias })
     }
 
@@ -303,12 +327,21 @@ impl Parser {
         let first = self.limit_number()?;
         if self.eat_token(&Token::Comma) {
             let count = self.limit_number()?;
-            Ok(Limit { offset: first, count })
+            Ok(Limit {
+                offset: first,
+                count,
+            })
         } else if self.eat_kw("OFFSET") {
             let offset = self.limit_number()?;
-            Ok(Limit { count: first, offset })
+            Ok(Limit {
+                count: first,
+                offset,
+            })
         } else {
-            Ok(Limit { count: first, offset: 0 })
+            Ok(Limit {
+                count: first,
+                offset: 0,
+            })
         }
     }
 
@@ -362,7 +395,11 @@ impl Parser {
         } else {
             return Err(self.unexpected("VALUES or SELECT"));
         };
-        Ok(Statement::Insert(Insert { table, columns, source }))
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
     }
 
     fn update(&mut self) -> Result<Statement, ParseError> {
@@ -379,18 +416,43 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        let limit = if self.eat_kw("LIMIT") { Some(self.limit()?) } else { None };
-        Ok(Statement::Update(Update { table, assignments, where_clause, limit }))
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.limit()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            where_clause,
+            limit,
+        }))
     }
 
     fn delete(&mut self) -> Result<Statement, ParseError> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.identifier("table name")?;
-        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
-        let limit = if self.eat_kw("LIMIT") { Some(self.limit()?) } else { None };
-        Ok(Statement::Delete(Delete { table, where_clause, limit }))
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.limit()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete {
+            table,
+            where_clause,
+            limit,
+        }))
     }
 
     fn create_table(&mut self) -> Result<Statement, ParseError> {
@@ -413,7 +475,10 @@ impl Parser {
                 self.expect_token(&Token::LParen, "`(`")?;
                 let col = self.identifier("column name")?;
                 self.expect_token(&Token::RParen, "`)`")?;
-                if let Some(def) = columns.iter_mut().find(|c| c.name.eq_ignore_ascii_case(&col)) {
+                if let Some(def) = columns
+                    .iter_mut()
+                    .find(|c| c.name.eq_ignore_ascii_case(&col))
+                {
                     def.primary_key = true;
                 } else {
                     return Err(ParseError::syntax(
@@ -429,7 +494,11 @@ impl Parser {
             }
         }
         self.expect_token(&Token::RParen, "`)`")?;
-        Ok(Statement::CreateTable(CreateTable { name, if_not_exists, columns }))
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            if_not_exists,
+            columns,
+        }))
     }
 
     fn column_def(&mut self) -> Result<ColumnDef, ParseError> {
@@ -448,7 +517,9 @@ impl Parser {
             "TEXT" | "MEDIUMTEXT" | "LONGTEXT" | "BLOB" => ColumnType::Text,
             "DATETIME" | "TIMESTAMP" | "DATE" => ColumnType::DateTime,
             other => {
-                return Err(ParseError::Unsupported { message: format!("column type `{other}`") })
+                return Err(ParseError::Unsupported {
+                    message: format!("column type `{other}`"),
+                })
             }
         };
         // Optional `(n)` display width for numeric types.
@@ -550,7 +621,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_kw("NOT") || self.eat_token(&Token::Bang) {
             let operand = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
         }
         self.comparison()
     }
@@ -561,12 +635,19 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         let negated = self.eat_kw("NOT");
         if self.eat_kw("LIKE") {
             let right = self.bit_or()?;
-            let op = if negated { BinaryOp::NotLike } else { BinaryOp::Like };
+            let op = if negated {
+                BinaryOp::NotLike
+            } else {
+                BinaryOp::Like
+            };
             return Ok(Expr::binary(left, op, right));
         }
         if self.eat_kw("IN") {
@@ -588,7 +669,11 @@ impl Parser {
                 }
             }
             self.expect_token(&Token::RParen, "`)`")?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.bit_or()?;
@@ -700,7 +785,10 @@ impl Parser {
             return Ok(match operand {
                 Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
                 Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
-                other => Expr::Unary { op: UnaryOp::Neg, operand: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(other),
+                },
             });
         }
         if self.eat_token(&Token::Plus) {
@@ -708,7 +796,10 @@ impl Parser {
         }
         if self.eat_token(&Token::Tilde) {
             let operand = self.unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::BitNot, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::BitNot,
+                operand: Box::new(operand),
+            });
         }
         self.primary()
     }
@@ -766,7 +857,10 @@ impl Parser {
                     self.expect_token(&Token::LParen, "`(`")?;
                     let select = self.select()?;
                     self.expect_token(&Token::RParen, "`)`")?;
-                    return Ok(Expr::Exists { select: Box::new(select), negated: false });
+                    return Ok(Expr::Exists {
+                        select: Box::new(select),
+                        negated: false,
+                    });
                 }
                 if name.eq_ignore_ascii_case("CASE") {
                     return self.case_expr();
@@ -779,7 +873,10 @@ impl Parser {
                     // COUNT(*) special form.
                     if name.eq_ignore_ascii_case("COUNT") && self.eat_token(&Token::Star) {
                         self.expect_token(&Token::RParen, "`)`")?;
-                        return Ok(Expr::Function { name: "COUNT".into(), args: vec![] });
+                        return Ok(Expr::Function {
+                            name: "COUNT".into(),
+                            args: vec![],
+                        });
                     }
                     if name.eq_ignore_ascii_case("COUNT") && self.eat_kw("DISTINCT") {
                         // COUNT(DISTINCT x) — treated as COUNT(x).
@@ -793,12 +890,18 @@ impl Parser {
                         }
                     }
                     self.expect_token(&Token::RParen, "`)`")?;
-                    return Ok(Expr::Function { name: name.to_uppercase(), args });
+                    return Ok(Expr::Function {
+                        name: name.to_uppercase(),
+                        args,
+                    });
                 }
                 // Qualified column?
                 if self.eat_token(&Token::Dot) {
                     let col = self.identifier("column name")?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 Ok(Expr::Column { table: None, name })
             }
@@ -806,7 +909,10 @@ impl Parser {
                 self.pos += 1;
                 if self.eat_token(&Token::Dot) {
                     let col = self.identifier("column name")?;
-                    return Ok(Expr::Column { table: Some(name), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
                 }
                 Ok(Expr::Column { table: None, name })
             }
@@ -816,7 +922,11 @@ impl Parser {
 
     fn case_expr(&mut self) -> Result<Expr, ParseError> {
         self.expect_kw("CASE")?;
-        let operand = if self.check_kw("WHEN") { None } else { Some(Box::new(self.expr()?)) };
+        let operand = if self.check_kw("WHEN") {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
         let mut branches = Vec::new();
         while self.eat_kw("WHEN") {
             let when = self.expr()?;
@@ -827,10 +937,17 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.unexpected("WHEN"));
         }
-        let else_branch =
-            if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        let else_branch = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         self.expect_kw("END")?;
-        Ok(Expr::Case { operand, branches, else_branch })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        })
     }
 }
 
@@ -859,10 +976,15 @@ mod tests {
     #[test]
     fn parses_paper_query() {
         let s = one("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234");
-        let Statement::Select(sel) = s else { panic!("expected SELECT") };
+        let Statement::Select(sel) = s else {
+            panic!("expected SELECT")
+        };
         assert_eq!(sel.items, vec![SelectItem::Wildcard]);
         assert_eq!(sel.from[0].name, "tickets");
-        let Some(Expr::Binary { op: BinaryOp::And, .. }) = sel.where_clause else {
+        let Some(Expr::Binary {
+            op: BinaryOp::And, ..
+        }) = sel.where_clause
+        else {
             panic!("expected AND condition")
         };
     }
@@ -871,7 +993,10 @@ mod tests {
     fn tautology_attack_parses_as_or() {
         let s = one("SELECT * FROM users WHERE name = '' OR '1'='1'");
         let Statement::Select(sel) = s else { panic!() };
-        let Some(Expr::Binary { op: BinaryOp::Or, .. }) = sel.where_clause else {
+        let Some(Expr::Binary {
+            op: BinaryOp::Or, ..
+        }) = sel.where_clause
+        else {
             panic!("expected OR")
         };
     }
@@ -880,9 +1005,14 @@ mod tests {
     fn comment_attack_truncates_where() {
         let p = parse("SELECT * FROM t WHERE a = 'x'-- ' AND b = 'y'").unwrap();
         assert!(p.trailing_line_comment);
-        let Statement::Select(sel) = &p.statements[0] else { panic!() };
+        let Statement::Select(sel) = &p.statements[0] else {
+            panic!()
+        };
         // Only the first comparison survives.
-        let Some(Expr::Binary { op: BinaryOp::Eq, .. }) = &sel.where_clause else {
+        let Some(Expr::Binary {
+            op: BinaryOp::Eq, ..
+        }) = &sel.where_clause
+        else {
             panic!("expected single equality")
         };
     }
@@ -906,7 +1036,9 @@ mod tests {
         let s = one("INSERT INTO users (name, age) VALUES ('ann', 31), ('bob', 25)");
         let Statement::Insert(i) = s else { panic!() };
         assert_eq!(i.columns, vec!["name", "age"]);
-        let InsertSource::Values(rows) = i.source else { panic!() };
+        let InsertSource::Values(rows) = i.source else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
     }
 
@@ -923,7 +1055,13 @@ mod tests {
         let Statement::Update(u) = s else { panic!() };
         assert_eq!(u.assignments.len(), 2);
         assert!(u.where_clause.is_some());
-        assert_eq!(u.limit, Some(Limit { count: 1, offset: 0 }));
+        assert_eq!(
+            u.limit,
+            Some(Limit {
+                count: 1,
+                offset: 0
+            })
+        );
 
         let s = one("DELETE FROM t WHERE id = 3");
         let Statement::Delete(d) = s else { panic!() };
@@ -932,14 +1070,14 @@ mod tests {
 
     #[test]
     fn create_table_with_constraints() {
-        let s = one(
-            "CREATE TABLE IF NOT EXISTS users (\
+        let s = one("CREATE TABLE IF NOT EXISTS users (\
              id INT PRIMARY KEY AUTO_INCREMENT, \
              name VARCHAR(64) NOT NULL, \
              bio TEXT, \
-             score DOUBLE DEFAULT 0)",
-        );
-        let Statement::CreateTable(c) = s else { panic!() };
+             score DOUBLE DEFAULT 0)");
+        let Statement::CreateTable(c) = s else {
+            panic!()
+        };
         assert!(c.if_not_exists);
         assert_eq!(c.columns.len(), 4);
         assert!(c.columns[0].primary_key && c.columns[0].auto_increment);
@@ -950,13 +1088,16 @@ mod tests {
     #[test]
     fn table_level_primary_key() {
         let s = one("CREATE TABLE t (id INT, name VARCHAR(10), PRIMARY KEY (id))");
-        let Statement::CreateTable(c) = s else { panic!() };
+        let Statement::CreateTable(c) = s else {
+            panic!()
+        };
         assert!(c.columns[0].primary_key);
     }
 
     #[test]
     fn functions_and_aggregates() {
-        let s = one("SELECT COUNT(*), CONCAT(a, 'x'), UPPER(b) FROM t GROUP BY b HAVING COUNT(*) > 2");
+        let s =
+            one("SELECT COUNT(*), CONCAT(a, 'x'), UPPER(b) FROM t GROUP BY b HAVING COUNT(*) > 2");
         let Statement::Select(sel) = s else { panic!() };
         assert_eq!(sel.items.len(), 3);
         assert_eq!(sel.group_by.len(), 1);
@@ -969,15 +1110,19 @@ mod tests {
         let Statement::Select(sel) = s else { panic!() };
         assert!(sel.order_by[0].descending);
         assert!(!sel.order_by[1].descending);
-        assert_eq!(sel.limit, Some(Limit { offset: 5, count: 10 }));
+        assert_eq!(
+            sel.limit,
+            Some(Limit {
+                offset: 5,
+                count: 10
+            })
+        );
     }
 
     #[test]
     fn in_between_like_isnull() {
-        let s = one(
-            "SELECT * FROM t WHERE a IN (1,2,3) AND b NOT LIKE '%x%' \
-             AND c BETWEEN 1 AND 9 AND d IS NOT NULL",
-        );
+        let s = one("SELECT * FROM t WHERE a IN (1,2,3) AND b NOT LIKE '%x%' \
+             AND c BETWEEN 1 AND 9 AND d IS NOT NULL");
         let Statement::Select(sel) = s else { panic!() };
         assert!(sel.where_clause.is_some());
     }
@@ -1002,7 +1147,11 @@ mod tests {
     fn case_expression() {
         let s = one("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
         let Statement::Select(sel) = s else { panic!() };
-        let SelectItem::Expr { expr: Expr::Case { .. }, .. } = &sel.items[0] else {
+        let SelectItem::Expr {
+            expr: Expr::Case { .. },
+            ..
+        } = &sel.items[0]
+        else {
             panic!("expected CASE")
         };
     }
@@ -1011,7 +1160,9 @@ mod tests {
     fn aliases() {
         let s = one("SELECT a AS x, b y FROM t1 AS p, t2 q");
         let Statement::Select(sel) = s else { panic!() };
-        let SelectItem::Expr { alias: Some(x), .. } = &sel.items[0] else { panic!() };
+        let SelectItem::Expr { alias: Some(x), .. } = &sel.items[0] else {
+            panic!()
+        };
         assert_eq!(x, "x");
         assert_eq!(sel.from[0].alias.as_deref(), Some("p"));
         assert_eq!(sel.from[1].alias.as_deref(), Some("q"));
@@ -1026,7 +1177,10 @@ mod tests {
 
     #[test]
     fn unsupported_statement() {
-        assert!(matches!(parse("GRANT ALL ON x TO y"), Err(ParseError::Unsupported { .. })));
+        assert!(matches!(
+            parse("GRANT ALL ON x TO y"),
+            Err(ParseError::Unsupported { .. })
+        ));
     }
 
     #[test]

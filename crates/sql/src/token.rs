@@ -147,7 +147,10 @@ struct Lexer {
 /// Returns [`ParseError::Lex`] on unterminated strings/comments, invalid
 /// hex literals or unexpected characters.
 pub fn lex(src: &str) -> Result<LexOutput, ParseError> {
-    let mut lexer = Lexer { chars: src.chars().collect(), pos: 0 };
+    let mut lexer = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
     lexer.run()
 }
 
@@ -202,8 +205,7 @@ impl Lexer {
                                 }
                             }
                         }
-                        let body: String =
-                            self.chars[body_start..self.pos].iter().collect();
+                        let body: String = self.chars[body_start..self.pos].iter().collect();
                         self.pos += 2; // consume `*/`
                         let inner = lex(&body)?;
                         out.tokens.extend(inner.tokens);
@@ -228,9 +230,7 @@ impl Lexer {
                     let s = self.lex_hex_digits(start)?;
                     out.tokens.push(self.spanned(start, Token::Str(s)));
                 }
-                'x' | 'X'
-                    if self.peek_at(1) == Some('\'') =>
-                {
+                'x' | 'X' if self.peek_at(1) == Some('\'') => {
                     self.pos += 2;
                     let s = self.lex_hex_digits(start)?;
                     if self.peek() != Some('\'') {
@@ -275,11 +275,23 @@ impl Lexer {
     }
 
     fn spanned(&self, start: usize, token: Token) -> SpannedToken {
-        SpannedToken { token, span: Span { start, end: self.pos } }
+        SpannedToken {
+            token,
+            span: Span {
+                start,
+                end: self.pos,
+            },
+        }
     }
 
     fn err(&self, at: usize, msg: &str) -> ParseError {
-        ParseError::Lex { message: msg.to_string(), span: Span { start: at, end: self.pos } }
+        ParseError::Lex {
+            message: msg.to_string(),
+            span: Span {
+                start: at,
+                end: self.pos,
+            },
+        }
     }
 
     fn skip_whitespace(&mut self) {
@@ -529,7 +541,12 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        lex(src).expect("lex ok").tokens.into_iter().map(|t| t.token).collect()
+        lex(src)
+            .expect("lex ok")
+            .tokens
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -628,7 +645,10 @@ mod tests {
 
     #[test]
     fn backtick_identifiers() {
-        assert_eq!(toks("`weird name`"), vec![Token::QuotedIdent("weird name".into())]);
+        assert_eq!(
+            toks("`weird name`"),
+            vec![Token::QuotedIdent("weird name".into())]
+        );
     }
 
     #[test]
@@ -640,6 +660,9 @@ mod tests {
 
     #[test]
     fn params() {
-        assert_eq!(toks("? , ?"), vec![Token::Param, Token::Comma, Token::Param]);
+        assert_eq!(
+            toks("? , ?"),
+            vec![Token::Param, Token::Comma, Token::Param]
+        );
     }
 }

@@ -16,8 +16,18 @@ pub fn ruleset() -> Vec<Rule> {
     use Severity::*;
     let mut rules = vec![
         // ---- 942xxx: SQL injection -------------------------------------
-        Rule::args(942_130, "SQL tautology detected", Critical, NumericTautology),
-        Rule::args(942_131, "SQL string tautology detected", Critical, StringTautology),
+        Rule::args(
+            942_130,
+            "SQL tautology detected",
+            Critical,
+            NumericTautology,
+        ),
+        Rule::args(
+            942_131,
+            "SQL string tautology detected",
+            Critical,
+            StringTautology,
+        ),
         Rule::args(
             942_140,
             "SQL injection: common DB names",
@@ -56,7 +66,12 @@ pub fn ruleset() -> Vec<Rule> {
                 TokenSeq(&["union", "distinct", "select"]),
             ]),
         ),
-        Rule::args(942_180, "Basic SQL authentication bypass", Critical, QuoteThenComment),
+        Rule::args(
+            942_180,
+            "Basic SQL authentication bypass",
+            Critical,
+            QuoteThenComment,
+        ),
         Rule::args(
             942_210,
             "Chained SQL injection",
@@ -150,12 +165,22 @@ pub fn ruleset() -> Vec<Rule> {
                 Substr("onfocus"),
             ]),
         ),
-        Rule::args(941_120, "XSS: javascript URI", Critical, Substr("javascript:")),
+        Rule::args(
+            941_120,
+            "XSS: javascript URI",
+            Critical,
+            Substr("javascript:"),
+        ),
         Rule::args(
             941_130,
             "XSS: script-capable element",
             Critical,
-            AnyOf(&[Substr("<iframe"), Substr("<object"), Substr("<embed"), Substr("<applet")]),
+            AnyOf(&[
+                Substr("<iframe"),
+                Substr("<object"),
+                Substr("<embed"),
+                Substr("<applet"),
+            ]),
         ),
         Rule::args(
             941_140,
@@ -173,7 +198,12 @@ pub fn ruleset() -> Vec<Rule> {
             941_160,
             "XSS: obfuscated tag openers",
             Critical,
-            AnyOf(&[Substr("<scr<script"), Substr("<svg"), Substr("<math"), Substr("<base")]),
+            AnyOf(&[
+                Substr("<scr<script"),
+                Substr("<svg"),
+                Substr("<math"),
+                Substr("<base"),
+            ]),
         ),
         Rule::args(
             920_270,
@@ -192,13 +222,22 @@ pub fn ruleset() -> Vec<Rule> {
             930_120,
             "OS file access attempt",
             Critical,
-            AnyOf(&[Substr("/etc/passwd"), Substr("/etc/shadow"), Substr("boot.ini")]),
+            AnyOf(&[
+                Substr("/etc/passwd"),
+                Substr("/etc/shadow"),
+                Substr("boot.ini"),
+            ]),
         ),
         Rule::args(
             931_100,
             "RFI: URL in parameter",
             Error,
-            AnyOf(&[Substr("http://"), Substr("https://"), Substr("ftp://"), Substr("php://")]),
+            AnyOf(&[
+                Substr("http://"),
+                Substr("https://"),
+                Substr("ftp://"),
+                Substr("php://"),
+            ]),
         ),
         // ---- 932xxx: RCE ---------------------------------------------------
         Rule::args(
@@ -218,7 +257,12 @@ pub fn ruleset() -> Vec<Rule> {
             933_160,
             "PHP code injection",
             Critical,
-            AnyOf(&[Substr("eval("), Substr("system("), Substr("<?php"), Substr("passthru(")]),
+            AnyOf(&[
+                Substr("eval("),
+                Substr("system("),
+                Substr("<?php"),
+                Substr("passthru("),
+            ]),
         ),
     ];
     // Paranoia-2 extras: stricter, FP-prone rules off by default.

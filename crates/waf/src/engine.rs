@@ -135,8 +135,11 @@ impl ModSecurity {
             .iter()
             .map(|(name, value)| (name.clone(), standard_chain(value)))
             .collect();
-        let transformed_names: Vec<String> =
-            request.params.iter().map(|(name, _)| standard_chain(name)).collect();
+        let transformed_names: Vec<String> = request
+            .params
+            .iter()
+            .map(|(name, _)| standard_chain(name))
+            .collect();
         let transformed_path = standard_chain(&request.path);
         let mut check = |rule: &Rule, location: &str, transformed: &str| {
             if rule.pattern.matches(transformed) {
@@ -252,12 +255,16 @@ mod tests {
         let waf = ModSecurity::new();
         for value in [
             "john doe",
-            "O'Neil",                       // lone quote scores < threshold
+            "O'Neil", // lone quote scores < threshold
             "price is 10 and qty is 2",
             "select your favourite colour", // word, no FROM
             "the on-off switch",
         ] {
-            assert_eq!(waf.inspect(&req(value)), WafDecision::Pass, "FP on: {value}");
+            assert_eq!(
+                waf.inspect(&req(value)),
+                WafDecision::Pass,
+                "FP on: {value}"
+            );
         }
     }
 

@@ -68,7 +68,14 @@ impl Rule {
     /// Builds a rule at paranoia level 1 targeting ARGS.
     #[must_use]
     pub fn args(id: u32, msg: &'static str, severity: Severity, pattern: Pattern) -> Self {
-        Rule { id, msg, severity, paranoia: 1, target: Target::Args, pattern }
+        Rule {
+            id,
+            msg,
+            severity,
+            paranoia: 1,
+            target: Target::Args,
+            pattern,
+        }
     }
 }
 
@@ -108,7 +115,12 @@ mod tests {
 
     #[test]
     fn rule_builder_defaults() {
-        let r = Rule::args(942_130, "taut", Severity::Critical, Pattern::NumericTautology);
+        let r = Rule::args(
+            942_130,
+            "taut",
+            Severity::Critical,
+            Pattern::NumericTautology,
+        );
         assert_eq!(r.paranoia, 1);
         assert_eq!(r.target, Target::Args);
     }

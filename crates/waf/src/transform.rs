@@ -21,7 +21,8 @@ pub fn replace_comments(input: &str) -> String {
     while i < bytes.len() {
         if bytes[i] == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
             i += 2;
-            while i < bytes.len() && !(bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/')
+            while i < bytes.len()
+                && !(bytes[i] == '*' && i + 1 < bytes.len() && bytes[i + 1] == '/')
             {
                 i += 1;
             }
@@ -113,6 +114,9 @@ mod tests {
     #[test]
     fn standard_chain_loses_version_comment_body() {
         let t = standard_chain("x' /*!UNION SELECT*/ password FROM users");
-        assert!(!t.contains("union"), "WAF view must not contain the keyword: {t}");
+        assert!(
+            !t.contains("union"),
+            "WAF view must not contain the keyword: {t}"
+        );
     }
 }

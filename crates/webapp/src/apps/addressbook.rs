@@ -117,10 +117,8 @@ impl WebApp for PhpAddressBook {
             }
             (Method::Post, "/delete.php") => {
                 let id = intval(req.param_or_empty("id"));
-                match conn.execute_prepared(
-                    "DELETE FROM addresses WHERE id = ?",
-                    &[Value::Int(id)],
-                ) {
+                match conn.execute_prepared("DELETE FROM addresses WHERE id = ?", &[Value::Int(id)])
+                {
                     Ok(_) => HttpResponse::ok(page("Deleted", "contact removed")),
                     Err(e) => db_error_response(&e),
                 }
@@ -132,7 +130,12 @@ impl WebApp for PhpAddressBook {
 
     fn routes(&self) -> Vec<RouteSpec> {
         vec![
-            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Get,
                 path: "/view.php",
@@ -168,7 +171,12 @@ impl WebApp for PhpAddressBook {
                 params: &[("id", "4")],
                 is_static: false,
             },
-            RouteSpec { method: Method::Get, path: "/style.css", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/style.css",
+                params: &[],
+                is_static: true,
+            },
         ]
     }
 
@@ -187,7 +195,9 @@ impl WebApp for PhpAddressBook {
                 .param("city", "Braga"),
             HttpRequest::get("/"),
             HttpRequest::get("/search.php").param("q", "Martins"),
-            HttpRequest::post("/edit.php").param("id", "2").param("phone", "22-555-0777"),
+            HttpRequest::post("/edit.php")
+                .param("id", "2")
+                .param("phone", "22-555-0777"),
             HttpRequest::get("/view.php").param("id", "2"),
             HttpRequest::get("/search.php").param("q", "Costa"),
             HttpRequest::get("/style.css"),
@@ -222,7 +232,9 @@ mod tests {
     fn crud_cycle() {
         let d = Deployment::new(Arc::new(PhpAddressBook::new()), None, None).unwrap();
         let _ = d.request(
-            &HttpRequest::post("/add.php").param("firstname", "Zed").param("lastname", "Zz"),
+            &HttpRequest::post("/add.php")
+                .param("firstname", "Zed")
+                .param("lastname", "Zz"),
         );
         let found = d.request(&HttpRequest::get("/search.php").param("q", "Zz"));
         assert!(found.response.body.contains("Zed"));

@@ -121,9 +121,8 @@ impl WebApp for Refbase {
             }
             (Method::Post, "/cite.php") => {
                 let id = intval(req.param_or_empty("record"));
-                let sql = format!(
-                    "/* qid:rb-cite */ UPDATE refs SET cited = cited + 1 WHERE id = {id}"
-                );
+                let sql =
+                    format!("/* qid:rb-cite */ UPDATE refs SET cited = cited + 1 WHERE id = {id}");
                 match conn.execute(&sql) {
                     Ok(_) => HttpResponse::ok(page("Cited", "count bumped")),
                     Err(e) => db_error_response(&e),
@@ -139,7 +138,12 @@ impl WebApp for Refbase {
 
     fn routes(&self) -> Vec<RouteSpec> {
         vec![
-            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Get,
                 path: "/show.php",
@@ -152,11 +156,20 @@ impl WebApp for Refbase {
                 params: &[("author", "Medeiros"), ("year", "2016")],
                 is_static: false,
             },
-            RouteSpec { method: Method::Get, path: "/stats.php", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/stats.php",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Post,
                 path: "/import.php",
-                params: &[("author", "Trainer, T."), ("title", "Benign record"), ("year", "2017")],
+                params: &[
+                    ("author", "Trainer, T."),
+                    ("title", "Benign record"),
+                    ("year", "2017"),
+                ],
                 is_static: false,
             },
             RouteSpec {
@@ -171,7 +184,12 @@ impl WebApp for Refbase {
                 params: &[],
                 is_static: true,
             },
-            RouteSpec { method: Method::Get, path: "/img/logo.gif", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/img/logo.gif",
+                params: &[],
+                is_static: true,
+            },
         ]
     }
 
@@ -183,7 +201,9 @@ impl WebApp for Refbase {
             HttpRequest::get("/img/logo.gif"),
             HttpRequest::get("/show.php").param("record", "1"),
             HttpRequest::get("/search.php").param("author", "Halfond"),
-            HttpRequest::get("/search.php").param("author", "Medeiros").param("year", "2016"),
+            HttpRequest::get("/search.php")
+                .param("author", "Medeiros")
+                .param("year", "2016"),
             HttpRequest::get("/stats.php"),
             HttpRequest::post("/import.php")
                 .param("author", "Neves, N.")

@@ -141,15 +141,12 @@ impl WebApp for WaspMon {
 
             // -- devices ---------------------------------------------------
             (Method::Get, "/devices") => {
-                match conn.query(
-                    "/* qid:devices */ SELECT id, name, location FROM devices ORDER BY id",
-                ) {
+                match conn
+                    .query("/* qid:devices */ SELECT id, name, location FROM devices ORDER BY id")
+                {
                     Ok(out) => HttpResponse::ok(page(
                         "Devices",
-                        &html_table(
-                            &["id", "name", "location"],
-                            &rows_to_strings(&out.rows),
-                        ),
+                        &html_table(&["id", "name", "location"], &rows_to_strings(&out.rows)),
                     )),
                     Err(e) => db_error_response(&e),
                 }
@@ -190,7 +187,11 @@ impl WebApp for WaspMon {
                 // classic careful-but-wrong pattern.
                 let device = esc(req.param_or_empty("device"));
                 let days = esc(req.param_or_empty("days"));
-                let days = if days.is_empty() { "0".to_string() } else { days };
+                let days = if days.is_empty() {
+                    "0".to_string()
+                } else {
+                    days
+                };
                 let sql = format!(
                     "/* qid:history */ SELECT r.ts, r.watts FROM readings r \
                      JOIN devices d ON r.device_id = d.id \
@@ -215,9 +216,7 @@ impl WebApp for WaspMon {
                 ) {
                     Ok(out) => match out.scalar() {
                         Some(v) => v.to_display_string(),
-                        None => {
-                            return HttpResponse::error(Status::NotFound, "no such device")
-                        }
+                        None => return HttpResponse::error(Status::NotFound, "no such device"),
                     },
                     Err(e) => return db_error_response(&e),
                 };
@@ -282,9 +281,7 @@ impl WebApp for WaspMon {
                     "/* qid:notes-edit */ UPDATE notes SET body = '{body}' WHERE id = {note_id}"
                 );
                 match conn.query(&sql) {
-                    Ok(out) if out.affected > 0 => {
-                        HttpResponse::ok(page("Note updated", "ok"))
-                    }
+                    Ok(out) if out.affected > 0 => HttpResponse::ok(page("Note updated", "ok")),
                     Ok(_) => HttpResponse::error(Status::NotFound, "no such note"),
                     Err(e) => db_error_response(&e),
                 }
@@ -292,8 +289,7 @@ impl WebApp for WaspMon {
 
             // -- collectors (file-inclusion surface) -----------------------
             (Method::Get, "/collectors") => {
-                match conn
-                    .query("/* qid:collectors */ SELECT id, url FROM collectors ORDER BY id")
+                match conn.query("/* qid:collectors */ SELECT id, url FROM collectors ORDER BY id")
                 {
                     Ok(out) => HttpResponse::ok(page(
                         "Collectors",
@@ -335,7 +331,12 @@ impl WebApp for WaspMon {
 
     fn routes(&self) -> Vec<RouteSpec> {
         vec![
-            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/",
+                params: &[],
+                is_static: true,
+            },
             RouteSpec {
                 method: Method::Get,
                 path: "/static/style.css",
@@ -360,7 +361,12 @@ impl WebApp for WaspMon {
                 params: &[("user", "trainee"), ("pass", "training-pw")],
                 is_static: false,
             },
-            RouteSpec { method: Method::Get, path: "/devices", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/devices",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Post,
                 path: "/devices/add",
@@ -394,7 +400,11 @@ impl WebApp for WaspMon {
             RouteSpec {
                 method: Method::Post,
                 path: "/notes/add",
-                params: &[("device_id", "1"), ("body", "checked wiring today"), ("author", "alice")],
+                params: &[
+                    ("device_id", "1"),
+                    ("body", "checked wiring today"),
+                    ("author", "alice"),
+                ],
                 is_static: false,
             },
             RouteSpec {
@@ -403,7 +413,12 @@ impl WebApp for WaspMon {
                 params: &[("id", "1"), ("body", "rechecked wiring, all good")],
                 is_static: false,
             },
-            RouteSpec { method: Method::Get, path: "/collectors", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/collectors",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Post,
                 path: "/collectors/add",
@@ -423,13 +438,17 @@ impl WebApp for WaspMon {
         vec![
             HttpRequest::get("/"),
             HttpRequest::get("/static/style.css"),
-            HttpRequest::post("/login").param("user", "alice").param("pass", ALICE_PASSWORD),
+            HttpRequest::post("/login")
+                .param("user", "alice")
+                .param("pass", ALICE_PASSWORD),
             HttpRequest::get("/devices"),
             HttpRequest::post("/readings/add")
                 .param("device_id", "1")
                 .param("ts", "12")
                 .param("watts", "61.0"),
-            HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0"),
+            HttpRequest::get("/history")
+                .param("device", "Kitchen Meter")
+                .param("days", "0"),
             HttpRequest::get("/export").param("device_id", "1"),
             HttpRequest::get("/notes").param("device_id", "1"),
             HttpRequest::get("/search").param("q", "Meter"),
@@ -472,12 +491,17 @@ mod tests {
     fn login_accepts_and_rejects() {
         let d = deploy();
         let ok = d.request(
-            &HttpRequest::post("/login").param("user", "alice").param("pass", ALICE_PASSWORD),
+            &HttpRequest::post("/login")
+                .param("user", "alice")
+                .param("pass", ALICE_PASSWORD),
         );
         assert!(ok.response.is_success());
         assert!(ok.response.set_session.is_some());
-        let bad =
-            d.request(&HttpRequest::post("/login").param("user", "alice").param("pass", "nope"));
+        let bad = d.request(
+            &HttpRequest::post("/login")
+                .param("user", "alice")
+                .param("pass", "nope"),
+        );
         assert_eq!(bad.response.status, Status::Forbidden);
     }
 
@@ -498,7 +522,9 @@ mod tests {
         // Phase IV-A attack 1: escaping without quotes is no protection.
         let d = deploy();
         let benign = d.request(
-            &HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0"),
+            &HttpRequest::get("/history")
+                .param("device", "Kitchen Meter")
+                .param("days", "0"),
         );
         let attack = d.request(
             &HttpRequest::get("/history")
@@ -506,8 +532,10 @@ mod tests {
                 .param("days", "0 OR 1=1"),
         );
         // The attack returns rows for a device that does not exist.
-        assert!(attack.response.body.matches("<tr>").count()
-            >= benign.response.body.matches("<tr>").count());
+        assert!(
+            attack.response.body.matches("<tr>").count()
+                >= benign.response.body.matches("<tr>").count()
+        );
         assert!(attack.response.body.contains("800"), "garage rows leak");
     }
 
@@ -518,9 +546,15 @@ mod tests {
         let d = deploy();
         let payload = "zz\u{02BC} UNION SELECT username, password FROM users-- ".to_string();
         let resp = d.request(
-            &HttpRequest::get("/history").param("device", payload).param("days", "0"),
+            &HttpRequest::get("/history")
+                .param("device", payload)
+                .param("days", "0"),
         );
-        assert!(resp.response.body.contains(ADMIN_PASSWORD), "{}", resp.response.body);
+        assert!(
+            resp.response.body.contains(ADMIN_PASSWORD),
+            "{}",
+            resp.response.body
+        );
     }
 
     #[test]
@@ -543,12 +577,18 @@ mod tests {
         let d = deploy();
         let bomb = "X\u{02BC} UNION SELECT username, password, 1 FROM users-- ";
         let store = d.request(
-            &HttpRequest::post("/devices/add").param("name", bomb).param("location", "attic"),
+            &HttpRequest::post("/devices/add")
+                .param("name", bomb)
+                .param("location", "attic"),
         );
         assert!(store.response.is_success(), "store must look benign");
         // Find the new device's id (3: after the two seeded ones).
         let resp = d.request(&HttpRequest::get("/export").param("device_id", "3"));
-        assert!(resp.response.body.contains(ADMIN_PASSWORD), "{}", resp.response.body);
+        assert!(
+            resp.response.body.contains(ADMIN_PASSWORD),
+            "{}",
+            resp.response.body
+        );
     }
 
     #[test]
@@ -562,20 +602,27 @@ mod tests {
         );
         assert!(store.response.is_success());
         let view = d.request(&HttpRequest::get("/notes").param("device_id", "1"));
-        assert!(view.response.body.contains("<script>"), "XSS executes in the page");
+        assert!(
+            view.response.body.contains("<script>"),
+            "XSS executes in the page"
+        );
     }
 
     #[test]
     fn note_edit_updates_body() {
         let d = deploy();
         let resp = d.request(
-            &HttpRequest::post("/notes/edit").param("id", "1").param("body", "new text"),
+            &HttpRequest::post("/notes/edit")
+                .param("id", "1")
+                .param("body", "new text"),
         );
         assert!(resp.response.is_success());
         let view = d.request(&HttpRequest::get("/notes").param("device_id", "1"));
         assert!(view.response.body.contains("new text"));
         let missing = d.request(
-            &HttpRequest::post("/notes/edit").param("id", "99").param("body", "x"),
+            &HttpRequest::post("/notes/edit")
+                .param("id", "99")
+                .param("body", "x"),
         );
         assert_eq!(missing.response.status, Status::NotFound);
     }
@@ -583,6 +630,9 @@ mod tests {
     #[test]
     fn unknown_route_is_404() {
         let d = deploy();
-        assert_eq!(d.request(&HttpRequest::get("/nope")).response.status, Status::NotFound);
+        assert_eq!(
+            d.request(&HttpRequest::get("/nope")).response.status,
+            Status::NotFound
+        );
     }
 }

@@ -94,7 +94,10 @@ impl WebApp for ZeroCms {
                     Err(e) => return db_error_response(&e),
                 };
                 let mut body = html_table(&["title", "body", "views"], &to_strings(&article.rows));
-                body.push_str(&html_table(&["author", "comment"], &to_strings(&comments.rows)));
+                body.push_str(&html_table(
+                    &["author", "comment"],
+                    &to_strings(&comments.rows),
+                ));
                 HttpResponse::ok(page("Article", &body))
             }
             (Method::Post, "/comment.php") => {
@@ -123,8 +126,7 @@ impl WebApp for ZeroCms {
             }
             (Method::Post, "/comment_delete.php") => {
                 let id = intval(req.param_or_empty("id"));
-                let sql =
-                    format!("/* qid:cms-comment-del */ DELETE FROM comments WHERE id = {id}");
+                let sql = format!("/* qid:cms-comment-del */ DELETE FROM comments WHERE id = {id}");
                 match conn.execute(&sql) {
                     Ok(_) => HttpResponse::ok(page("Deleted", "comment removed")),
                     Err(e) => db_error_response(&e),
@@ -160,7 +162,9 @@ impl WebApp for ZeroCms {
                     Err(e) => db_error_response(&e),
                 }
             }
-            (Method::Get, "/css/zero.css") => HttpResponse::ok("article { margin: 8px; }".repeat(8)),
+            (Method::Get, "/css/zero.css") => {
+                HttpResponse::ok("article { margin: 8px; }".repeat(8))
+            }
             (Method::Get, "/img/banner.jpg") => HttpResponse::ok("JFIF-banner".repeat(64)),
             (Method::Get, "/img/icon.png") => HttpResponse::ok("PNG-icon".repeat(16)),
             _ => HttpResponse::error(Status::NotFound, "not found"),
@@ -169,7 +173,12 @@ impl WebApp for ZeroCms {
 
     fn routes(&self) -> Vec<RouteSpec> {
         vec![
-            RouteSpec { method: Method::Get, path: "/", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Get,
                 path: "/article.php",
@@ -179,7 +188,11 @@ impl WebApp for ZeroCms {
             RouteSpec {
                 method: Method::Post,
                 path: "/comment.php",
-                params: &[("article_id", "1"), ("author", "trainer"), ("body", "a benign comment")],
+                params: &[
+                    ("article_id", "1"),
+                    ("author", "trainer"),
+                    ("body", "a benign comment"),
+                ],
                 is_static: false,
             },
             RouteSpec {
@@ -206,14 +219,24 @@ impl WebApp for ZeroCms {
                 params: &[("email", "reader@example.org"), ("pass", "reader-pass")],
                 is_static: false,
             },
-            RouteSpec { method: Method::Get, path: "/css/zero.css", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/css/zero.css",
+                params: &[],
+                is_static: true,
+            },
             RouteSpec {
                 method: Method::Get,
                 path: "/img/banner.jpg",
                 params: &[],
                 is_static: true,
             },
-            RouteSpec { method: Method::Get, path: "/img/icon.png", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/img/icon.png",
+                params: &[],
+                is_static: true,
+            },
         ]
     }
 
@@ -304,6 +327,10 @@ mod tests {
         let _ = d.request(&HttpRequest::get("/article.php").param("id", "1"));
         let _ = d.request(&HttpRequest::get("/article.php").param("id", "1"));
         let resp = d.request(&HttpRequest::get("/article.php").param("id", "1"));
-        assert!(resp.response.body.contains("<td>3</td>"), "{}", resp.response.body);
+        assert!(
+            resp.response.body.contains("<td>3</td>"),
+            "{}",
+            resp.response.body
+        );
     }
 }

@@ -61,7 +61,13 @@ impl Deployment {
         if let Some(s) = &septic {
             server.install_guard(s.clone());
         }
-        Ok(Deployment { server, conn, app, waf, septic })
+        Ok(Deployment {
+            server,
+            conn,
+            app,
+            waf,
+            septic,
+        })
     }
 
     /// Routes one request through the stack.

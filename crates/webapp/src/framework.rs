@@ -173,19 +173,32 @@ mod tests {
     #[test]
     fn site_map_links_and_forms() {
         let routes = vec![
-            RouteSpec { method: Method::Get, path: "/list", params: &[], is_static: false },
+            RouteSpec {
+                method: Method::Get,
+                path: "/list",
+                params: &[],
+                is_static: false,
+            },
             RouteSpec {
                 method: Method::Post,
                 path: "/add",
                 params: &[("x", "1")],
                 is_static: false,
             },
-            RouteSpec { method: Method::Get, path: "/s.css", params: &[], is_static: true },
+            RouteSpec {
+                method: Method::Get,
+                path: "/s.css",
+                params: &[],
+                is_static: true,
+            },
         ];
         let html = site_map("app", &routes);
         assert!(html.contains("href=\"/list\""));
         assert!(html.contains("action=\"/add\""));
-        assert!(!html.contains("s.css"), "static assets are not crawl targets");
+        assert!(
+            !html.contains("s.css"),
+            "static assets are not crawl targets"
+        );
     }
 
     #[test]

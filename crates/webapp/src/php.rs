@@ -125,7 +125,10 @@ mod tests {
     fn real_escape_string_handles_ascii_metacharacters() {
         assert_eq!(mysql_real_escape_string("O'Neil"), "O\\'Neil");
         assert_eq!(mysql_real_escape_string(r#"a"b\c"#), "a\\\"b\\\\c");
-        assert_eq!(mysql_real_escape_string("a\nb\rc\0d\u{1a}e"), "a\\nb\\rc\\0d\\Ze");
+        assert_eq!(
+            mysql_real_escape_string("a\nb\rc\0d\u{1a}e"),
+            "a\\nb\\rc\\0d\\Ze"
+        );
     }
 
     #[test]
@@ -143,7 +146,10 @@ mod tests {
 
     #[test]
     fn htmlspecialchars_flavours() {
-        assert_eq!(htmlspecialchars("<a href=\"x\">", EntQuotes::Compat), "&lt;a href=&quot;x&quot;&gt;");
+        assert_eq!(
+            htmlspecialchars("<a href=\"x\">", EntQuotes::Compat),
+            "&lt;a href=&quot;x&quot;&gt;"
+        );
         assert_eq!(htmlspecialchars("it's", EntQuotes::Compat), "it's");
         assert_eq!(htmlspecialchars("it's", EntQuotes::Quotes), "it&#039;s");
         assert_eq!(htmlspecialchars("a&b", EntQuotes::Compat), "a&amp;b");

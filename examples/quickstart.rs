@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5b. …while the paper's second-order attack (U+02BC homoglyph + SQL
     //     comment) is dropped before execution.
-    let attack =
-        "SELECT * FROM tickets WHERE reservID = 'ID34FG\u{02BC}-- ' AND creditCard = 0";
+    let attack = "SELECT * FROM tickets WHERE reservID = 'ID34FG\u{02BC}-- ' AND creditCard = 0";
     match conn.execute(attack) {
         Err(e) => println!("attack blocked: {e}"),
         Ok(_) => println!("attack executed (unexpected!)"),

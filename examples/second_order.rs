@@ -12,8 +12,8 @@ use std::sync::Arc;
 use septic_repro::attacks::train;
 use septic_repro::http::HttpRequest;
 use septic_repro::septic::{Mode, Septic};
-use septic_repro::webapp::deployment::Deployment;
 use septic_repro::webapp::apps::waspmon::ADMIN_PASSWORD;
+use septic_repro::webapp::deployment::Deployment;
 use septic_repro::webapp::WaspMon;
 
 const BOMB: &str = "Meter-7\u{02BC} UNION SELECT username, password, 1 FROM users-- ";
@@ -22,7 +22,9 @@ fn attack(deployment: &Deployment) -> (bool, bool) {
     // Step 1: store the bomb. mysql_real_escape_string sees no ASCII quote;
     // the prepared INSERT stores the bytes verbatim. Looks 100% benign.
     let store = deployment.request(
-        &HttpRequest::post("/devices/add").param("name", BOMB).param("location", "attic"),
+        &HttpRequest::post("/devices/add")
+            .param("name", BOMB)
+            .param("location", "attic"),
     );
     // Step 2: legacy code re-reads the name and embeds it into query text;
     // the DBMS folds U+02BC into a quote and the UNION runs.
@@ -36,9 +38,12 @@ fn attack(deployment: &Deployment) -> (bool, bool) {
             })
             .unwrap_or(0)
     });
-    let trigger = deployment
-        .request(&HttpRequest::get("/export").param("device_id", device_id.to_string()));
-    (store.response.is_success(), trigger.response.body.contains(ADMIN_PASSWORD))
+    let trigger =
+        deployment.request(&HttpRequest::get("/export").param("device_id", device_id.to_string()));
+    (
+        store.response.is_success(),
+        trigger.response.body.contains(ADMIN_PASSWORD),
+    )
 }
 
 fn main() {
@@ -53,8 +58,8 @@ fn main() {
     // With SEPTIC: the store is still accepted (it IS just data — there is
     // nothing to block yet), but the detonating query is dropped.
     let septic = Arc::new(Septic::new());
-    let protected = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone()))
-        .expect("deploy");
+    let protected =
+        Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("deploy");
     let _ = train(&protected, &septic, Mode::PREVENTION);
     let (stored, leaked) = attack(&protected);
     println!("with SEPTIC:    store accepted = {stored}, passwords leaked = {leaked}");

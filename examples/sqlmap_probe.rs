@@ -15,12 +15,16 @@ use septic_repro::septic::{Mode, Septic};
 use septic_repro::webapp::deployment::Deployment;
 use septic_repro::webapp::WaspMon;
 
-const ENCODERS: [Encoder; 3] =
-    [Encoder::Plain, Encoder::HomoglyphQuote, Encoder::VersionComment];
+const ENCODERS: [Encoder; 3] = [
+    Encoder::Plain,
+    Encoder::HomoglyphQuote,
+    Encoder::VersionComment,
+];
 
 fn main() {
-    let base =
-        HttpRequest::get("/history").param("device", "Kitchen Meter").param("days", "0");
+    let base = HttpRequest::get("/history")
+        .param("device", "Kitchen Meter")
+        .param("days", "0");
 
     // Against the bare application.
     let bare = Deployment::new(Arc::new(WaspMon::new()), None, None).expect("deploy");
@@ -29,7 +33,11 @@ fn main() {
     println!("-- bare application --");
     println!(
         "days   : {} ({} probes)",
-        if days.vulnerable() { "VULNERABLE" } else { "not shown" },
+        if days.vulnerable() {
+            "VULNERABLE"
+        } else {
+            "not shown"
+        },
         days.probes_sent
     );
     for (technique, encoder) in &days.findings {
@@ -37,7 +45,11 @@ fn main() {
     }
     println!(
         "device : {} ({} probes)",
-        if device.vulnerable() { "VULNERABLE" } else { "not shown" },
+        if device.vulnerable() {
+            "VULNERABLE"
+        } else {
+            "not shown"
+        },
         device.probes_sent
     );
     for (technique, encoder) in &device.findings {
@@ -54,13 +66,21 @@ fn main() {
     println!("\n-- with SEPTIC in prevention mode --");
     println!(
         "days   : {} ({} of {} probes dropped in-DBMS)",
-        if days.vulnerable() { "VULNERABLE" } else { "not shown" },
+        if days.vulnerable() {
+            "VULNERABLE"
+        } else {
+            "not shown"
+        },
         days.blocked,
         days.probes_sent
     );
     println!(
         "device : {} ({} of {} probes dropped in-DBMS)",
-        if device.vulnerable() { "VULNERABLE" } else { "not shown" },
+        if device.vulnerable() {
+            "VULNERABLE"
+        } else {
+            "not shown"
+        },
         device.blocked,
         device.probes_sent
     );
@@ -75,7 +95,10 @@ fn main() {
     use septic_repro::attacks::sqlmap::Technique;
     let exploitable = |findings: &[(Technique, Encoder)]| {
         findings.iter().any(|(t, _)| {
-            matches!(t, Technique::UnionBased | Technique::BooleanBlind | Technique::Stacked)
+            matches!(
+                t,
+                Technique::UnionBased | Technique::BooleanBlind | Technique::Stacked
+            )
         })
     };
     assert!(

@@ -32,15 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- restart: fresh server, fresh SEPTIC, reloaded models -----------
     let septic2 = Arc::new(Septic::new());
-    let loaded = septic2.load_models(&path)?;
+    let loaded = septic2.load_models(&path)?.models_loaded;
     septic2.set_mode(Mode::PREVENTION);
     let deployment2 = Deployment::new(Arc::new(WaspMon::new()), None, Some(septic2.clone()))?;
-    println!("after restart: {loaded} models loaded, mode = {}", septic2.mode());
+    println!(
+        "after restart: {loaded} models loaded, mode = {}",
+        septic2.mode()
+    );
 
     // ---- phase IV-D: protection ------------------------------------------
     // Benign traffic: no false positives.
     let benign = crawl(&deployment2, 1);
-    println!("benign crawl under prevention: {} failures", benign.failures);
+    println!(
+        "benign crawl under prevention: {} failures",
+        benign.failures
+    );
 
     // Attack traffic: blocked.
     let attack = deployment2.request(
@@ -51,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "mimicry login attempt: HTTP {} — {}",
         attack.response.status,
-        if attack.response.body.contains("blocked") { "query dropped by SEPTIC" } else { "?" }
+        if attack.response.body.contains("blocked") {
+            "query dropped by SEPTIC"
+        } else {
+            "?"
+        }
     );
     let counters = septic2.counters();
     println!(

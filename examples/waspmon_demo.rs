@@ -6,17 +6,28 @@
 //! cargo run --example waspmon_demo
 //! ```
 
-
 use septic_repro::attacks::{corpus, run_corpus, summarize, ProtectionConfig};
 
 fn main() {
-    println!("WaspMon demonstration — {} attacks in the corpus\n", corpus().len());
+    println!(
+        "WaspMon demonstration — {} attacks in the corpus\n",
+        corpus().len()
+    );
 
     for (title, config) in [
-        ("1. sanitization only (phase IV-A)", ProtectionConfig::SANITIZATION_ONLY),
+        (
+            "1. sanitization only (phase IV-A)",
+            ProtectionConfig::SANITIZATION_ONLY,
+        ),
         ("2. + ModSecurity (phase IV-B)", ProtectionConfig::WITH_WAF),
-        ("3. + SEPTIC prevention (phase IV-D)", ProtectionConfig::WITH_SEPTIC),
-        ("4. ModSecurity + SEPTIC (phase IV-E)", ProtectionConfig::WAF_AND_SEPTIC),
+        (
+            "3. + SEPTIC prevention (phase IV-D)",
+            ProtectionConfig::WITH_SEPTIC,
+        ),
+        (
+            "4. ModSecurity + SEPTIC (phase IV-E)",
+            ProtectionConfig::WAF_AND_SEPTIC,
+        ),
     ] {
         let results = run_corpus(&corpus(), config);
         let s = summarize(&results);

@@ -17,16 +17,17 @@ fn protected_server() -> (Arc<Server>, Arc<Septic>) {
          owner VARCHAR(32) NOT NULL, balance INT NOT NULL)",
     )
     .unwrap();
-    conn.execute(
-        "INSERT INTO accounts (owner, balance) VALUES ('ann', 100), ('bob', 50)",
-    )
-    .unwrap();
+    conn.execute("INSERT INTO accounts (owner, balance) VALUES ('ann', 100), ('bob', 50)")
+        .unwrap();
     let septic = Arc::new(Septic::new());
     server.install_guard(septic.clone());
     septic.set_mode(Mode::Training);
-    conn.execute("SELECT balance FROM accounts WHERE owner = 'ann'").unwrap();
-    conn.execute("UPDATE accounts SET balance = 1 WHERE owner = 'ann'").unwrap();
-    conn.execute("INSERT INTO accounts (owner, balance) VALUES ('seed', 0)").unwrap();
+    conn.execute("SELECT balance FROM accounts WHERE owner = 'ann'")
+        .unwrap();
+    conn.execute("UPDATE accounts SET balance = 1 WHERE owner = 'ann'")
+        .unwrap();
+    conn.execute("INSERT INTO accounts (owner, balance) VALUES ('seed', 0)")
+        .unwrap();
     septic.set_mode(Mode::PREVENTION);
     (server, septic)
 }
@@ -58,7 +59,10 @@ fn many_clients_share_one_protected_server() {
         }
     });
     let snapshot = septic.counters();
-    assert_eq!(snapshot.sqli_detected, 0, "no false positives under concurrency");
+    assert_eq!(
+        snapshot.sqli_detected, 0,
+        "no false positives under concurrency"
+    );
     assert_eq!(snapshot.queries_dropped, 0);
     // All writes landed.
     let conn = server.connect();
@@ -101,7 +105,9 @@ fn mixed_benign_and_attack_traffic() {
         scope.spawn(move || {
             for i in 0..100 {
                 benign_conn
-                    .query(&format!("SELECT balance FROM accounts WHERE owner = 'u{i}'"))
+                    .query(&format!(
+                        "SELECT balance FROM accounts WHERE owner = 'u{i}'"
+                    ))
                     .expect("benign must pass");
             }
         });
@@ -109,8 +115,8 @@ fn mixed_benign_and_attack_traffic() {
         let attack_conn = server.connect();
         scope.spawn(move || {
             for _ in 0..100 {
-                let _ = attack_conn
-                    .execute("SELECT balance FROM accounts WHERE owner = '' OR 1=1-- '");
+                let _ =
+                    attack_conn.execute("SELECT balance FROM accounts WHERE owner = '' OR 1=1-- '");
             }
         });
     });
@@ -132,7 +138,8 @@ fn training_concurrently_learns_each_shape_once() {
             let conn = server.connect();
             scope.spawn(move || {
                 for i in 0..25 {
-                    conn.execute(&format!("SELECT a FROM t WHERE a = 'x{t}-{i}'")).unwrap();
+                    conn.execute(&format!("SELECT a FROM t WHERE a = 'x{t}-{i}'"))
+                        .unwrap();
                 }
             });
         }

@@ -37,8 +37,16 @@ fn all_apps_serve_their_workloads_under_full_protection() {
                 resp.response.body
             );
         }
-        assert_eq!(septic.counters().sqli_detected, 0, "{name}: benign traffic flagged");
-        assert_eq!(septic.counters().stored_detected, 0, "{name}: benign traffic flagged");
+        assert_eq!(
+            septic.counters().sqli_detected,
+            0,
+            "{name}: benign traffic flagged"
+        );
+        assert_eq!(
+            septic.counters().stored_detected,
+            0,
+            "{name}: benign traffic flagged"
+        );
     }
 }
 
@@ -74,7 +82,11 @@ fn septic_yn_blocks_sqli_but_not_stored_injection() {
     );
     for r in &results {
         if r.class.is_sqli() {
-            assert!(r.outcome.protected(), "{}: SQLI must be blocked in YN", r.attack_id);
+            assert!(
+                r.outcome.protected(),
+                "{}: SQLI must be blocked in YN",
+                r.attack_id
+            );
         } else {
             assert!(
                 !r.outcome.protected(),
@@ -135,7 +147,10 @@ fn guard_swap_at_runtime() {
     let attack = HttpRequest::get("/history")
         .param("device", "zzz")
         .param("days", "0 OR 1=1");
-    assert!(d.request(&attack).response.body.contains("800"), "vanilla: attack works");
+    assert!(
+        d.request(&attack).response.body.contains("800"),
+        "vanilla: attack works"
+    );
 
     d.server().install_guard(septic.clone());
     let _ = train(&d, &septic, Mode::PREVENTION);

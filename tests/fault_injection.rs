@@ -1,0 +1,369 @@
+//! Fault-injection suite: drives the fail-safe layer end to end with the
+//! `septic-faults` test doubles — panicking guards and plugins at the
+//! server hook, slow detectors against the deadline budget, and scripted
+//! I/O faults against the crash-safe model store.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use septic_faults::{
+    Fault, FaultyBackend, MemBackend, OpKind, PanickingGuard, PanickingPlugin, SlowPlugin,
+};
+use septic_repro::dbms::{DbError, FailurePolicy, Server};
+use septic_repro::septic::{
+    journal_path, quarantine_path, FailurePolicyMatrix, Mode, ModelStore, QueryId, QueryModel,
+    Septic, StoreBackend,
+};
+use septic_repro::sql::{items, parse};
+
+fn model(sql: &str) -> QueryModel {
+    QueryModel::from_structure(&items::lower_all(&parse(sql).expect("parse").statements))
+}
+
+fn qid(n: u64) -> QueryId {
+    QueryId {
+        external: None,
+        internal: n,
+    }
+}
+
+/// Distinct query shapes to learn models from (one per index).
+fn shape(n: u64) -> QueryModel {
+    let cols: Vec<String> = (0..=(n % 4)).map(|i| format!("c{i}")).collect();
+    model(&format!(
+        "SELECT {} FROM t{} WHERE k = {n}",
+        cols.join(", "),
+        n % 3
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Guard panics at the server hook
+// ---------------------------------------------------------------------------
+
+#[test]
+fn guard_panic_fail_closed_blocks_but_server_keeps_serving() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (a VARCHAR(10))").unwrap();
+
+    server.install_guard(Arc::new(PanickingGuard(FailurePolicy::FailClosed)));
+    let err = conn.execute("INSERT INTO t (a) VALUES ('x')").unwrap_err();
+    assert!(matches!(err, DbError::GuardFailure(_)), "got {err:?}");
+    assert!(err.to_string().contains("fail-closed"));
+    assert_eq!(server.stats().guard_panics, 1);
+
+    // The panic was contained: the server still serves other connections
+    // and, once the broken guard is removed, everything flows again.
+    server.remove_guard();
+    conn.execute("INSERT INTO t (a) VALUES ('y')").unwrap();
+    let out = conn.query("SELECT * FROM t").unwrap();
+    assert_eq!(
+        out.rows.len(),
+        1,
+        "the fail-closed insert must not have executed"
+    );
+}
+
+#[test]
+fn guard_panic_fail_open_executes_the_query() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (a VARCHAR(10))").unwrap();
+
+    server.install_guard(Arc::new(PanickingGuard(FailurePolicy::FailOpen)));
+    conn.execute("INSERT INTO t (a) VALUES ('x')").unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.guard_panics, 1);
+    assert_eq!(stats.fail_open_passes, 1);
+
+    server.remove_guard();
+    assert_eq!(conn.query("SELECT * FROM t").unwrap().rows.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Plugin panics inside SEPTIC
+// ---------------------------------------------------------------------------
+
+/// A SEPTIC with a buggy plugin appended, deployed on a server with one
+/// trained INSERT shape (stored-injection detection only runs for known
+/// models with write data).
+fn deployed_with_plugin(
+    plugin: Box<dyn septic_repro::septic::Plugin>,
+) -> (Arc<Server>, septic_repro::dbms::Connection, Arc<Septic>) {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (a VARCHAR(50))").unwrap();
+    let mut septic = Septic::new();
+    septic.add_plugin(plugin);
+    let septic = Arc::new(septic);
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("INSERT INTO t (a) VALUES ('seed')").unwrap();
+    (server, conn, septic)
+}
+
+#[test]
+fn plugin_panic_in_prevention_mode_fails_closed() {
+    let (_server, conn, septic) = deployed_with_plugin(Box::new(PanickingPlugin));
+    septic.set_mode(Mode::PREVENTION);
+
+    let err = conn
+        .execute("INSERT INTO t (a) VALUES ('anything')")
+        .unwrap_err();
+    assert!(matches!(err, DbError::Blocked(_)), "got {err:?}");
+    assert!(err.to_string().contains("detector failure"));
+    assert!(err.to_string().contains("fail-closed"));
+    let counters = septic.counters();
+    assert_eq!(counters.guard_panics, 1);
+    assert_eq!(counters.fail_open_passes, 0);
+
+    // SEPTIC (and the server) survived: queries without write data skip
+    // the broken plugin and flow normally.
+    conn.execute("SELECT * FROM t WHERE a = 'seed'").unwrap();
+}
+
+#[test]
+fn plugin_panic_in_detection_mode_fails_open() {
+    let (_server, conn, septic) = deployed_with_plugin(Box::new(PanickingPlugin));
+    septic.set_mode(Mode::DETECTION);
+
+    // Detection mode never drops queries, so its default policy is
+    // fail-open: the query executes despite the broken detector.
+    conn.execute("INSERT INTO t (a) VALUES ('anything')")
+        .unwrap();
+    let counters = septic.counters();
+    assert_eq!(counters.guard_panics, 1);
+    assert_eq!(counters.fail_open_passes, 1);
+    assert_eq!(conn.query("SELECT * FROM t").unwrap().rows.len(), 2);
+}
+
+#[test]
+fn operator_can_override_the_failure_policy_matrix() {
+    let (_server, conn, septic) = deployed_with_plugin(Box::new(PanickingPlugin));
+    septic.set_mode(Mode::PREVENTION);
+    septic.set_failure_policies(FailurePolicyMatrix {
+        prevention: FailurePolicy::FailOpen,
+        ..FailurePolicyMatrix::default()
+    });
+
+    // Prevention now fails open on SEPTIC outages (availability over
+    // protection — the operator's call).
+    conn.execute("INSERT INTO t (a) VALUES ('anything')")
+        .unwrap();
+    assert_eq!(septic.counters().fail_open_passes, 1);
+    let report = septic.status_report();
+    assert!(report.contains("fail-open"), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// Detection deadline budget
+// ---------------------------------------------------------------------------
+
+#[test]
+fn blown_deadline_fails_closed_in_prevention_mode() {
+    let (_server, conn, septic) = deployed_with_plugin(Box::new(SlowPlugin {
+        delay: Duration::from_millis(25),
+    }));
+    septic.set_detection_deadline(Some(Duration::from_millis(1)));
+    septic.set_mode(Mode::PREVENTION);
+
+    let err = conn
+        .execute("INSERT INTO t (a) VALUES ('anything')")
+        .unwrap_err();
+    assert!(err.to_string().contains("deadline exceeded"), "got {err}");
+    assert_eq!(septic.counters().deadline_exceeded, 1);
+}
+
+#[test]
+fn blown_deadline_fails_open_in_detection_mode() {
+    let (_server, conn, septic) = deployed_with_plugin(Box::new(SlowPlugin {
+        delay: Duration::from_millis(25),
+    }));
+    septic.set_detection_deadline(Some(Duration::from_millis(1)));
+    septic.set_mode(Mode::DETECTION);
+
+    conn.execute("INSERT INTO t (a) VALUES ('anything')")
+        .unwrap();
+    let counters = septic.counters();
+    assert_eq!(counters.deadline_exceeded, 1);
+    assert_eq!(counters.fail_open_passes, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe persistence under injected I/O faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn silent_torn_save_is_detected_and_old_state_survives() {
+    let mem = Arc::new(MemBackend::new());
+    let path = std::path::Path::new("models.json");
+
+    let store = ModelStore::new();
+    store.attach_persistence(mem.clone(), path);
+    store.learn(qid(1), shape(1));
+    store.save_with(&*mem, path).unwrap();
+    store.learn(qid(2), shape(2)); // journaled, not yet checkpointed
+
+    // The next save suffers a silent torn write: the OS reports success
+    // but only half the bytes hit the disk. The read-back verification
+    // catches it before the old snapshot is replaced.
+    let faulty = FaultyBackend::new(mem.clone()).with_fault(
+        OpKind::Write,
+        0,
+        Fault::SilentTorn { keep: 40 },
+    );
+    let err = store.save_with(&faulty, path).unwrap_err();
+    assert!(err.to_string().contains("torn write"), "got {err}");
+
+    // Nothing was lost: the snapshot still holds model 1 and the journal
+    // still holds model 2.
+    let fresh = ModelStore::new();
+    let report = fresh.load_with(&*mem, path).unwrap();
+    assert!(fresh.contains(&qid(1)) && fresh.contains(&qid(2)));
+    assert!(!report.recovered);
+    assert_eq!(report.journal_replayed, 1);
+}
+
+#[test]
+fn corruption_planted_on_disk_recovers_review_state_from_backup() {
+    let mem = Arc::new(MemBackend::new());
+    let path = std::path::Path::new("models.json");
+
+    let store = ModelStore::new();
+    store.learn(qid(1), shape(1));
+    store.learn_provisional(qid(2), shape(2));
+    store.reject(&qid(3));
+    store.save_with(&*mem, path).unwrap();
+    store.learn(qid(4), shape(4));
+    store.save_with(&*mem, path).unwrap(); // backup = first snapshot
+
+    mem.plant(path, b"SEPTIC-STORE v2 crc32=00000000 len=3\nzzz".to_vec());
+
+    let fresh = ModelStore::new();
+    let report = fresh.load_with(&*mem, path).unwrap();
+    assert!(report.recovered);
+    // The backup carried the full review state, not just the models.
+    assert!(fresh.contains(&qid(1)));
+    assert_eq!(fresh.pending_review(), vec![qid(2)]);
+    assert!(fresh.is_rejected(&qid(3)));
+    // The corrupt file is preserved for post-mortem inspection.
+    assert!(mem.exists(&quarantine_path(path)));
+}
+
+#[test]
+fn septic_counts_store_recoveries() {
+    let dir = std::env::temp_dir().join(format!("septic-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("recovery-count.json");
+
+    let septic = Septic::new();
+    septic.store().learn(qid(1), shape(1));
+    septic.save_models(&path).unwrap();
+    std::fs::write(&path, "garbage, not a snapshot").unwrap();
+
+    let fresh = Septic::new();
+    let report = fresh.load_models(&path).unwrap();
+    assert!(report.recovered);
+    assert_eq!(fresh.counters().store_recoveries, 1);
+    for suffix in ["", ".bak", ".corrupt", ".journal"] {
+        std::fs::remove_file(dir.join(format!("recovery-count.json{suffix}"))).ok();
+    }
+}
+
+#[test]
+fn models_learned_incrementally_survive_a_crash_via_the_journal() {
+    let dir = std::env::temp_dir().join(format!("septic-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal-crash.json");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(journal_path(&path)).ok();
+
+    // A deployment journaling to disk learns incrementally in prevention
+    // mode, then "crashes" before any checkpoint save.
+    {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (a VARCHAR(10))").unwrap();
+        let septic = Arc::new(Septic::new());
+        septic.attach_persistence(&path);
+        server.install_guard(septic.clone());
+        septic.set_mode(Mode::PREVENTION);
+        conn.execute("SELECT * FROM t WHERE a = 'benign'").unwrap();
+        assert_eq!(septic.store().len(), 1);
+        // No save_models call: the process dies here.
+    }
+
+    let restarted = Septic::new();
+    let report = restarted.load_models(&path).unwrap();
+    assert_eq!(report.models_loaded, 0, "no snapshot was ever written");
+    assert!(report.recovered);
+    assert_eq!(report.journal_replayed, 1);
+    assert_eq!(restarted.store().len(), 1);
+    assert_eq!(
+        restarted.pending_review().len(),
+        1,
+        "quarantine state survived too"
+    );
+    std::fs::remove_file(journal_path(&path)).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Property: one injected fault never loses acknowledged state
+// ---------------------------------------------------------------------------
+
+const FAULT_OPS: [OpKind; 4] = [OpKind::Read, OpKind::Write, OpKind::Rename, OpKind::Remove];
+const FAULT_KINDS: [&str; 3] = ["error", "torn", "silent"];
+
+proptest! {
+    /// Whatever single backend fault strikes the *second* save, a fresh
+    /// load afterwards reconstructs the full post-mutation state: either
+    /// the save committed, or the previous snapshot plus the journal
+    /// cover it. (`AppendLine` is exempt by design: journal appends are
+    /// best-effort and surface via `journal_errors` instead.)
+    #[test]
+    fn state_survives_any_single_fault_during_save(
+        base in 1u64..4,
+        extra in 1u64..4,
+        op_i in 0usize..4,
+        nth in 0u64..2,
+        kind_i in 0usize..3,
+        keep in 0usize..60,
+    ) {
+        let mem = Arc::new(MemBackend::new());
+        let path = std::path::Path::new("models.json");
+
+        let store = ModelStore::new();
+        store.attach_persistence(mem.clone(), path);
+        for n in 0..base {
+            store.learn(qid(n), shape(n));
+        }
+        store.save_with(&*mem, path).unwrap();
+        for n in base..base + extra {
+            store.learn(qid(n), shape(n));
+        }
+
+        let fault = match FAULT_KINDS[kind_i] {
+            "error" => Fault::Error,
+            "torn" => Fault::Torn { keep },
+            _ => Fault::SilentTorn { keep },
+        };
+        let faulty = FaultyBackend::new(mem.clone());
+        faulty.inject(FAULT_OPS[op_i], nth, fault);
+        let _ = store.save_with(&faulty, path); // may fail: that's the point
+
+        let fresh = ModelStore::new();
+        let report = fresh.load_with(&*mem, path);
+        prop_assert!(report.is_ok(), "load must always succeed: {report:?}");
+        for n in 0..base + extra {
+            prop_assert!(
+                fresh.contains(&qid(n)),
+                "model {n} lost after fault {:?} nth={nth} (fired: {:?})",
+                FAULT_OPS[op_i],
+                faulty.fired(),
+            );
+        }
+        prop_assert_eq!(fresh.len() as u64, base + extra);
+    }
+}

@@ -19,7 +19,10 @@ fn unknown_queries_reach_quarantine_through_the_web_stack() {
     let septic = Arc::new(Septic::new());
     let d = deploy_with(septic.clone());
     let _ = train(&d, &septic, Mode::PREVENTION);
-    assert!(septic.pending_review().is_empty(), "training fills no quarantine");
+    assert!(
+        septic.pending_review().is_empty(),
+        "training fills no quarantine"
+    );
 
     // A route the trainer missed (direct DB access by a batch job, say).
     d.connection()
@@ -37,11 +40,15 @@ fn verdicts_survive_a_restart() {
 
     // Two unknown shapes arrive one at a time, so each verdict
     // unambiguously targets the right model.
-    d.connection().query("SELECT username FROM users WHERE role = 'admin'").unwrap();
+    d.connection()
+        .query("SELECT username FROM users WHERE role = 'admin'")
+        .unwrap();
     let pending = septic.pending_review();
     assert_eq!(pending.len(), 1);
     septic.approve_model(&pending[0]);
-    d.connection().query("SELECT COUNT(*) FROM readings WHERE watts > 1000").unwrap();
+    d.connection()
+        .query("SELECT COUNT(*) FROM readings WHERE watts > 1000")
+        .unwrap();
     let pending = septic.pending_review();
     assert_eq!(pending.len(), 1);
     septic.reject_model(&pending[0]);
@@ -65,9 +72,15 @@ fn verdicts_survive_a_restart() {
     let rejected = d2
         .connection()
         .query("SELECT COUNT(*) FROM readings WHERE watts > 5");
-    assert!(approved.is_ok(), "approved shape must keep working: {approved:?}");
+    assert!(
+        approved.is_ok(),
+        "approved shape must keep working: {approved:?}"
+    );
     let err = rejected.expect_err("rejected shape must be refused");
-    assert!(err.to_string().contains("rejected by administrator"), "{err}");
+    assert!(
+        err.to_string().contains("rejected by administrator"),
+        "{err}"
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -77,7 +90,9 @@ fn explicit_retraining_lifts_a_rejection_end_to_end() {
     let d = deploy_with(septic.clone());
     let _ = train(&d, &septic, Mode::PREVENTION);
 
-    d.connection().query("SELECT COUNT(*) FROM notes WHERE author = 'alice'").unwrap();
+    d.connection()
+        .query("SELECT COUNT(*) FROM notes WHERE author = 'alice'")
+        .unwrap();
     let pending = septic.pending_review();
     septic.reject_model(&pending[0]);
     assert!(d
@@ -87,7 +102,9 @@ fn explicit_retraining_lifts_a_rejection_end_to_end() {
 
     // The application is updated; the administrator retrains deliberately.
     septic.set_mode(Mode::Training);
-    d.connection().query("SELECT COUNT(*) FROM notes WHERE author = 'carol'").unwrap();
+    d.connection()
+        .query("SELECT COUNT(*) FROM notes WHERE author = 'carol'")
+        .unwrap();
     septic.set_mode(Mode::PREVENTION);
 
     // The shape is trusted again — and still guarded against injection.
@@ -95,10 +112,12 @@ fn explicit_retraining_lifts_a_rejection_end_to_end() {
         .connection()
         .query("SELECT COUNT(*) FROM notes WHERE author = 'dave'")
         .is_ok());
-    assert!(d
-        .connection()
-        .query("SELECT COUNT(*) FROM notes WHERE author = '' OR 1=1-- '")
-        .is_err(), "the detector still covers the rehabilitated shape");
+    assert!(
+        d.connection()
+            .query("SELECT COUNT(*) FROM notes WHERE author = '' OR 1=1-- '")
+            .is_err(),
+        "the detector still covers the rehabilitated shape"
+    );
 }
 
 #[test]

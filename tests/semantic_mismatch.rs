@@ -42,16 +42,15 @@ fn layer3_the_dbms_decodes_the_quote() {
 fn the_gap_is_exploitable_without_septic_and_closed_with_it() {
     let server = Server::new();
     let conn = server.connect();
-    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)").unwrap();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)")
+        .unwrap();
     conn.execute("INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)")
         .unwrap();
 
     // The application-built query (inputs escaped!) — credit card check
     // silently amputated by the decoded quote + comment.
     let escaped = mysql_real_escape_string(PAYLOAD);
-    let sql = format!(
-        "SELECT * FROM tickets WHERE reservID = '{escaped}' AND creditCard = 9999"
-    );
+    let sql = format!("SELECT * FROM tickets WHERE reservID = '{escaped}' AND creditCard = 9999");
     let out = conn.query(&sql).expect("executes without SEPTIC");
     assert_eq!(out.rows.len(), 1, "wrong credit card, row returned anyway");
 
@@ -59,7 +58,8 @@ fn the_gap_is_exploitable_without_septic_and_closed_with_it() {
     let septic = Arc::new(Septic::new());
     server.install_guard(septic.clone());
     septic.set_mode(Mode::Training);
-    conn.query("SELECT * FROM tickets WHERE reservID = 'OK' AND creditCard = 1").unwrap();
+    conn.query("SELECT * FROM tickets WHERE reservID = 'OK' AND creditCard = 1")
+        .unwrap();
     septic.set_mode(Mode::PREVENTION);
     let err = conn.query(&sql).expect_err("SEPTIC must drop the attack");
     assert!(matches!(err, DbError::Blocked(_)));
@@ -76,8 +76,14 @@ fn numeric_coercion_mismatch_is_reproduced() {
     // believes nothing matches; MySQL coerces and everything matches.
     let out = conn.query("SELECT COUNT(*) FROM t WHERE pin = 0").unwrap();
     assert_eq!(out.scalar(), Some(&Value::Int(1)));
-    let out = conn.query("SELECT COUNT(*) FROM t WHERE pin = '0'").unwrap();
-    assert_eq!(out.scalar(), Some(&Value::Int(0)), "string compare is exact");
+    let out = conn
+        .query("SELECT COUNT(*) FROM t WHERE pin = '0'")
+        .unwrap();
+    assert_eq!(
+        out.scalar(),
+        Some(&Value::Int(0)),
+        "string compare is exact"
+    );
 }
 
 #[test]
@@ -85,13 +91,17 @@ fn version_comments_are_invisible_to_the_waf_but_executed_by_the_dbms() {
     // WAF view: replaceComments erases the body.
     let waf = ModSecurity::new();
     let evasive = "zz\u{02BC} /*!UNION*/ /*!SELECT*/ password FROM users-- ";
-    assert!(!waf.inspect(&HttpRequest::post("/f").param("v", evasive)).is_blocked());
+    assert!(!waf
+        .inspect(&HttpRequest::post("/f").param("v", evasive))
+        .is_blocked());
 
     // DBMS view: the body is part of the query.
     let server = Server::new();
     let conn = server.connect();
-    conn.execute("CREATE TABLE users (password VARCHAR(16))").unwrap();
-    conn.execute("INSERT INTO users (password) VALUES ('hunter2')").unwrap();
+    conn.execute("CREATE TABLE users (password VARCHAR(16))")
+        .unwrap();
+    conn.execute("INSERT INTO users (password) VALUES ('hunter2')")
+        .unwrap();
     let out = conn
         .query("SELECT 'x' /*!UNION*/ /*!SELECT*/ password FROM users")
         .unwrap();

@@ -1,0 +1,224 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) with a simple
+//! wall-clock timer: each benchmark is warmed up briefly, then measured
+//! for a bounded number of iterations, and the mean time per iteration is
+//! printed.
+//!
+//! The defaults are deliberately small so that bench binaries stay fast
+//! when executed by `cargo test`; set `SEPTIC_BENCH_MS` (per-benchmark
+//! measurement budget in milliseconds) for real measurement runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+fn measure_budget() -> Duration {
+    let ms = std::env::var("SEPTIC_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms)
+}
+
+/// Benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The measurement driver passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_nanos: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times the closure: short warmup, then as many iterations as fit the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and per-iteration cost estimate.
+        let warmup_started = Instant::now();
+        std::hint::black_box(routine());
+        let first = warmup_started.elapsed().max(Duration::from_nanos(1));
+        let budget = measure_budget();
+        let goal = (budget.as_nanos() / first.as_nanos()).clamp(1, 100_000) as u64;
+
+        let started = Instant::now();
+        let mut done = 0u64;
+        while done < goal && started.elapsed() < budget {
+            std::hint::black_box(routine());
+            done += 1;
+        }
+        let elapsed = started.elapsed();
+        self.iterations = done.max(1);
+        self.last_nanos = elapsed.as_nanos() as f64 / self.iterations as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, name), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        self.report(name, &bencher);
+        self
+    }
+
+    fn report(&mut self, label: &str, bencher: &Bencher) {
+        let nanos = bencher.last_nanos;
+        let human = if nanos >= 1_000_000.0 {
+            format!("{:.3} ms", nanos / 1_000_000.0)
+        } else if nanos >= 1_000.0 {
+            format!("{:.3} µs", nanos / 1_000.0)
+        } else {
+            format!("{nanos:.1} ns")
+        };
+        println!(
+            "bench {label:<56} {human:>12}/iter ({} iters)",
+            bencher.iterations
+        );
+    }
+}
+
+/// Re-exported for drop-in compatibility with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.last_nanos > 0.0);
+        assert!(b.iterations >= 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("direct", |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("with_input", "x"), &41, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,562 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the API the workspace's property tests use:
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`,
+//! integer-range strategies, and string strategies written as
+//! character-class regexes (`"[a-z ]{0,24}"`, `"\\PC{0,32}"`).
+//!
+//! Generation is **deterministic**: the RNG is seeded from the test name,
+//! so failures reproduce on every run. Shrinking is not implemented; the
+//! failing inputs are printed instead. The case count defaults to
+//! [`DEFAULT_CASES`] and can be raised with the `PROPTEST_CASES`
+//! environment variable.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Number of generated cases per property when `PROPTEST_CASES` is unset.
+pub const DEFAULT_CASES: usize = 96;
+
+/// Resolves the case count (environment override or default).
+#[must_use]
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic xorshift64* RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from an arbitrary label (e.g. the test name).
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, never zero.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Picks a uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a full-range generator, used via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Generates an arbitrary value, biased toward edge cases.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Strategy generating any value of `T` (edge-case biased).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // 1-in-8 cases draw from the edge set.
+                if rng.below(8) == 0 {
+                    *rng.pick(&[0, 1, <$ty>::MAX, <$ty>::MIN, <$ty>::MAX.wrapping_add(1)])
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        *rng.pick(PRINTABLE_POOL)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(8) == 0 {
+            *rng.pick(&[0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE])
+        } else {
+            // A finite value with a broad exponent spread.
+            let mantissa = rng.next_u64() as i64 as f64;
+            let exponent = (rng.below(61) as i32) - 30;
+            mantissa * 2f64.powi(exponent)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                ((self.start as i128) + offset) as $ty
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Regex-class string strategies
+// ---------------------------------------------------------------------------
+
+/// The sampling pool for `\PC` (any printable character): ASCII printable
+/// plus a spread of multi-byte code points — accented Latin, Greek, CJK,
+/// Hangul, typographic quotes (including the U+02BC homoglyph the charset
+/// tests care about) and an emoji.
+const PRINTABLE_POOL: &[char] = &[
+    ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0', '1', '2',
+    '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'C', 'D', 'E',
+    'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', 'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X',
+    'Y', 'Z', '[', '\\', ']', '^', '_', '`', 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k',
+    'l', 'm', 'n', 'o', 'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '{', '|', '}', '~',
+    'à', 'é', 'î', 'ö', 'ü', 'ñ', 'ç', 'ß', 'Ø', 'Ω', 'λ', 'π', '中', '文', 'テ', 'ス', '한', '글',
+    '\u{02BC}', '\u{2018}', '\u{2019}', '\u{201C}', '\u{FF07}', '\u{00A0}', '€', '😀',
+];
+
+enum Atom {
+    /// Explicit character set (expanded from a `[...]` class).
+    Class(Vec<char>),
+    /// `\PC` — any printable character.
+    AnyPrintable,
+    /// A literal character.
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the character-class regex subset: a sequence of atoms
+/// (`[class]`, `\PC`, literal or escaped characters), each with an
+/// optional `{n}` / `{min,max}` quantifier.
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    let prop = chars.next();
+                    assert!(
+                        prop == Some('C') || prop == Some('{'),
+                        "unsupported \\P property in strategy pattern `{pattern}`"
+                    );
+                    if prop == Some('{') {
+                        for inner in chars.by_ref() {
+                            if inner == '}' {
+                                break;
+                            }
+                        }
+                    }
+                    Atom::AnyPrintable
+                }
+                Some(escaped) => Atom::Literal(escaped),
+                None => panic!("dangling backslash in strategy pattern `{pattern}`"),
+            },
+            literal => Atom::Literal(literal),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Quantified { atom, min, max });
+    }
+    atoms
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in strategy pattern `{pattern}`"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars.next().unwrap_or_else(|| {
+                    panic!("dangling backslash in strategy pattern `{pattern}`")
+                });
+                set.push(escaped);
+            }
+            first => {
+                // `a-z` range, unless `-` is the last char before `]`.
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next();
+                    match lookahead.peek() {
+                        Some(&']') | None => set.push(first),
+                        Some(&end) => {
+                            chars.next();
+                            chars.next();
+                            assert!(first <= end, "inverted range in pattern `{pattern}`");
+                            set.extend((first..=end).filter(|c| !c.is_control()));
+                        }
+                    }
+                } else {
+                    set.push(first);
+                }
+            }
+        }
+    }
+    assert!(
+        !set.is_empty(),
+        "empty class in strategy pattern `{pattern}`"
+    );
+    set
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut body = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        body.push(c);
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier `{{{body}}}` in pattern `{pattern}`"))
+    };
+    match body.split_once(',') {
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+        Some((min, max)) => (parse(min), parse(max)),
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for q in &atoms {
+            let count = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &q.atom {
+                    Atom::Class(set) => out.push(*rng.pick(set)),
+                    Atom::AnyPrintable => out.push(*rng.pick(PRINTABLE_POOL)),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Ad-hoc generator built from a closure (`fn_strategy(|rng| ...)`),
+/// the escape hatch for strategies the regex subset cannot express.
+pub struct FnStrategy<F>(F);
+
+impl<T: fmt::Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Wraps a closure as a [`Strategy`].
+pub fn fn_strategy<T: fmt::Debug, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, cases, fn_strategy, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any,
+        Arbitrary, FnStrategy, Just, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests. Each `#[test]` function takes
+/// `pattern in strategy` parameters and runs [`cases`] times with
+/// deterministic, name-seeded generation.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&::std::format!("{:?}; ", &$arg));
+                        )*
+                        s
+                    };
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), __case + 1, __cases, e, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not
+/// panicking directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::deterministic("seed");
+        let mut b = TestRng::deterministic("seed");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn class_pattern_respects_bounds_and_alphabet() {
+        let mut rng = TestRng::deterministic("class");
+        for _ in 0..200 {
+            let s = "[a-c]{0,5}".generate(&mut rng);
+            assert!(s.chars().count() <= 5);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range_is_ascii_printable() {
+        let mut rng = TestRng::deterministic("ascii");
+        for _ in 0..200 {
+            let s = "[ -~]{1,8}".generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_and_trailing_dash() {
+        let mut rng = TestRng::deterministic("esc");
+        for _ in 0..200 {
+            let s = "['\"`#/*;-]{1,4}".generate(&mut rng);
+            assert!(s.chars().all(|c| "'\"`#/*;-".contains(c)), "{s}");
+        }
+        let s = "[\\[\\]]{4}".generate(&mut rng);
+        assert!(s.chars().all(|c| c == '[' || c == ']'), "{s}");
+    }
+
+    #[test]
+    fn printable_pattern_avoids_controls() {
+        let mut rng = TestRng::deterministic("pc");
+        for _ in 0..200 {
+            let s = "\\PC{0,16}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("range");
+        for _ in 0..500 {
+            let v = (10i64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let u = (1u64..50).generate(&mut rng);
+            assert!((1..50).contains(&u));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in any::<i32>(), s in "[a-z]{0,6}") {
+            prop_assert!(s.len() <= 6);
+            prop_assert_eq!(a.wrapping_add(0), a);
+            prop_assert_ne!(s.len(), 99);
+        }
+    }
+}

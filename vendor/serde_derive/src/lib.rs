@@ -1,0 +1,527 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's value-tree traits, without `syn`/`quote`
+//! (unavailable offline): the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields (`#[serde(default)]` honored per field),
+//!   tuple structs (newtype and n-ary) and unit structs;
+//! * enums with unit, tuple and struct variants, encoded externally
+//!   tagged exactly like real serde (`"Variant"`,
+//!   `{"Variant": payload}`) so existing JSON stays compatible.
+//!
+//! Generic parameters are rejected with a compile error (none of the
+//! workspace's serialized types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed derive input.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True when the attribute token group marks `#[serde(default)]`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes, returning whether `#[serde(default)]` was
+/// among them.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        has_default |= attr_is_serde_default(&g);
+                    }
+                    other => panic!("serde_derive: malformed attribute near {other:?}"),
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// Consumes a `pub` / `pub(...)` visibility prefix if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) the next `,` that sits outside
+/// any `<...>` nesting. Returns false when the stream ended instead.
+fn skip_past_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle_depth = 0i32;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Parses the fields of a `{ ... }` group (named fields).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        let has_default = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected field name, found {other}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(Field { name, has_default });
+        if !skip_past_comma(&mut tokens) {
+            break;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` group (tuple fields).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut tokens = group.stream().into_iter().peekable();
+    let mut arity = 0;
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        if !skip_past_comma(&mut tokens) {
+            break;
+        }
+    }
+    arity
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g);
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if !skip_past_comma(&mut tokens) {
+            break;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported: `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(&g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&g),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(&g),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                          ::serde::Serialize::to_value(__f0))]),",
+                        v = v.name
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binders}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Value::Array(::std::vec![{values}]))]),",
+                            v = v.name,
+                            binders = binders.join(", "),
+                            values = values.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Value::Object(::std::vec![{entries}]))]),",
+                            v = v.name,
+                            binders = binders.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+/// Generates the expression rebuilding named fields from object `entries`
+/// for the type or variant path `path`.
+fn gen_named_ctor(path: &str, type_label: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::DeError::new(\
+                     \"missing field `{}` in `{}`\"))",
+                    f.name, type_label
+                )
+            };
+            format!(
+                "{0}: match ::serde::field(__entries, \"{0}\") {{\n\
+                     ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                 }}",
+                f.name
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let ctor = gen_named_ctor(name, name, fields);
+            (
+                name,
+                format!(
+                    "let __entries = __value.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object for `{name}`\", __value))?;\n\
+                     ::std::result::Result::Ok({ctor})"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __items = __value.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array for `{name}`\", __value))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\
+                         \"wrong tuple length for `{name}`\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"null for `{name}`\", __other)),\n\
+                 }}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__payload)?)),",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\
+                                     \"array for `{name}::{v}`\", __payload))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::new(\
+                                     \"wrong tuple length for `{name}::{v}`\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({elems}))\n\
+                             }}",
+                            v = v.name,
+                            elems = elems.join(", ")
+                        ))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let path = format!("{name}::{v}", v = v.name);
+                        let ctor = gen_named_ctor(&path, &path, fields);
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __entries = __payload.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\
+                                     \"object for `{name}::{v}`\", __payload))?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                             }}",
+                            v = v.name
+                        ))
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match __value {{\n\
+                         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {unit_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                         }},\n\
+                         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {tagged_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\
+                                         \"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                             }}\n\
+                         }}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"enum `{name}`\", __other)),\n\
+                     }}",
+                    unit_arms = unit_arms.join("\n"),
+                    tagged_arms = tagged_arms.join("\n")
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

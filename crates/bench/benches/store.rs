@@ -1,0 +1,57 @@
+//! Model-store hot-path micro-benchmarks: proves `ModelStore::get` is a
+//! refcount bump, flat both in the number of stored models (1 → 10 000)
+//! and in the size of the stored model — a deep-cloning store would scale
+//! with both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use septic::{ModelStore, QueryId, QueryModel};
+use septic_sql::{items, parse};
+
+fn qid(n: u64) -> QueryId {
+    QueryId {
+        external: None,
+        // Spread synthetic ids like the FNV structural hash would.
+        internal: n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    }
+}
+
+fn model(sql: &str) -> QueryModel {
+    QueryModel::from_structure(&items::lower_all(&parse(sql).expect("parse").statements))
+}
+
+/// A query whose item stack grows with `width` — the "model size" axis.
+fn wide_model(width: usize) -> QueryModel {
+    let preds: Vec<String> = (0..width).map(|i| format!("c{i} = 'v{i}'")).collect();
+    model(&format!("SELECT a FROM t WHERE {}", preds.join(" AND ")))
+}
+
+fn bench_get_vs_store_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_get_by_count");
+    for &count in &[1u64, 100, 10_000] {
+        let store = ModelStore::new();
+        for n in 0..count {
+            store.learn(qid(n), model("SELECT a FROM t WHERE c = 'x'"));
+        }
+        let probe = qid(count / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &probe, |b, probe| {
+            b.iter(|| std::hint::black_box(store.get(probe)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_get_vs_model_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_get_by_model_size");
+    for &width in &[1usize, 16, 64] {
+        let store = ModelStore::new();
+        store.learn(qid(1), wide_model(width));
+        let probe = qid(1);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &probe, |b, probe| {
+            b.iter(|| std::hint::black_box(store.get(probe)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_get_vs_store_size, bench_get_vs_model_size);
+criterion_main!(benches);

@@ -53,7 +53,7 @@ fn main() {
             by_internal
                 .entry(id.internal)
                 .or_default()
-                .push(id.external.clone().unwrap_or_else(|| "(none)".to_string()));
+                .push(id.external.as_deref().unwrap_or("(none)").to_string());
         }
         let colliding_sites: usize = by_internal
             .values()

@@ -1,0 +1,90 @@
+//! Concurrent throughput sweep: queries/sec through the guarded DBMS at
+//! 1/2/4/8 session threads for the four detector configurations
+//! (NN/YN/NY/YY), written to `BENCH_throughput.json`.
+//!
+//! The measurement is closed-loop: every session sleeps a small client
+//! pad between requests, modelling the paper's LAN clients (who spend far
+//! longer in network/think time than the DBMS spends serving). Scaling
+//! therefore comes from overlapping client wait — what a
+//! session-per-thread front end buys — and stays measurable on
+//! single-core hosts. The pad is recorded in the JSON metadata.
+//!
+//! ```text
+//! cargo run --release -p septic-bench --bin throughput [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs a seconds-long CI shape (2 threads max, capped
+//! duration) and does not write the JSON artefact.
+
+use septic_bench::{banner, render_table};
+use septic_benchlab::{run_throughput, ThroughputPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let plan = if smoke {
+        ThroughputPlan::smoke()
+    } else {
+        ThroughputPlan::default()
+    };
+
+    println!(
+        "{}",
+        banner(&format!(
+            "Throughput — {} session threads x NN/YN/NY/YY ({} queries/session, {}us client pad)",
+            plan.threads
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("/"),
+            plan.queries_per_thread,
+            plan.client_pad.as_micros()
+        ))
+    );
+
+    let report = run_throughput(&plan);
+
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.threads.to_string(),
+                r.queries.to_string(),
+                format!("{:.1}", r.elapsed_us as f64 / 1000.0),
+                format!("{:.0}", r.qps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["config", "threads", "queries", "elapsed (ms)", "qps"],
+            &rows
+        )
+    );
+
+    let &max_threads = plan.threads.iter().max().expect("thread counts");
+    if let Some(speedup) = report.speedup("YY", max_threads, 1) {
+        println!("YY speedup {max_threads} threads vs 1: {speedup:.2}x");
+        if smoke {
+            // CI smoke: the concurrent path must at least not collapse.
+            assert!(
+                speedup > 1.2,
+                "concurrent serving regressed: {max_threads}-thread YY only {speedup:.2}x 1-thread"
+            );
+        } else {
+            assert!(
+                speedup >= 3.0,
+                "acceptance: {max_threads}-thread YY must be >= 3x 1-thread, got {speedup:.2}x"
+            );
+        }
+    }
+
+    if !smoke {
+        let json = report.to_json().expect("serialize report");
+        std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+        println!("wrote BENCH_throughput.json");
+    }
+}

@@ -12,6 +12,7 @@
 pub mod client;
 pub mod experiment;
 pub mod stats;
+pub mod throughput;
 pub mod workload;
 
 pub use client::{replay, run_fleet, BrowserRun, Fleet};
@@ -19,4 +20,5 @@ pub use experiment::{
     measure, overhead_sweep, ExperimentPlan, GuardSetup, Measurement, OverheadRow,
 };
 pub use stats::LatencyStats;
+pub use throughput::{run_throughput, ThroughputPlan, ThroughputReport, ThroughputRow};
 pub use workload::Workload;

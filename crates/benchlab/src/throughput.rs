@@ -1,0 +1,302 @@
+//! Concurrent throughput driver: queries/sec through the guarded DBMS at
+//! 1/2/4/8 session threads for the four detector configurations
+//! (NN/YN/NY/YY) — the scaling counterpart of the Figure 5 latency
+//! experiment, seeding `BENCH_throughput.json`.
+//!
+//! # Measurement model
+//!
+//! The paper's testbed is closed-loop clients on a LAN: between two
+//! requests a client spends far longer in its own think/network time than
+//! the DBMS spends serving. The driver reproduces that shape with a
+//! per-request `client_pad` (a real `thread::sleep`), so concurrency wins
+//! come from *overlapping client wait time* — exactly what a
+//! session-per-thread front end is for — and the numbers stay meaningful
+//! on small machines (the reference runner has a single CPU core; raw
+//! CPU-parallel speedup is not measurable there). The pad is recorded in
+//! the report metadata so results are comparable across hosts.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use septic::{DetectionConfig, Mode, Septic};
+use septic_dbms::{Server, ServerConfig};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputPlan {
+    /// Session-thread counts to sweep (the paper-style ablation uses
+    /// 1/2/4/8).
+    pub threads: Vec<usize>,
+    /// Queries each session issues during measurement.
+    pub queries_per_thread: usize,
+    /// Unmeasured queries each session issues first (cache/lock warm-up).
+    pub warmup_queries: usize,
+    /// Closed-loop client pad slept after every request (see module docs).
+    pub client_pad: Duration,
+    /// Hard cap per (config, thread-count) cell: sessions stop issuing
+    /// new queries once the cell has run this long.
+    pub max_duration: Duration,
+    /// Distinct trained query shapes the sessions rotate through
+    /// (exercises the id interner and model-store sharding).
+    pub distinct_shapes: usize,
+    /// Whether SEPTIC event logging stays on during measurement. Off by
+    /// default: the production hot path runs with the register disabled.
+    pub event_logging: bool,
+}
+
+impl Default for ThroughputPlan {
+    fn default() -> Self {
+        ThroughputPlan {
+            threads: vec![1, 2, 4, 8],
+            queries_per_thread: 400,
+            warmup_queries: 40,
+            client_pad: Duration::from_micros(600),
+            max_duration: Duration::from_secs(10),
+            distinct_shapes: 32,
+            event_logging: false,
+        }
+    }
+}
+
+impl ThroughputPlan {
+    /// A seconds-long smoke shape for CI: two thread counts, few queries,
+    /// tight duration cap.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ThroughputPlan {
+            threads: vec![1, 2],
+            queries_per_thread: 60,
+            warmup_queries: 10,
+            max_duration: Duration::from_secs(2),
+            ..ThroughputPlan::default()
+        }
+    }
+}
+
+/// One measured cell: a detector configuration at a thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    /// Detector configuration label (`NN`/`YN`/`NY`/`YY`).
+    pub config: String,
+    /// Session threads driving load.
+    pub threads: usize,
+    /// Queries completed inside the measurement window.
+    pub queries: u64,
+    /// Wall-clock length of the window, in microseconds.
+    pub elapsed_us: u64,
+    /// Queries per second.
+    pub qps: f64,
+}
+
+/// The full sweep, as written to `BENCH_throughput.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Closed-loop client pad per request, microseconds (see module docs).
+    pub client_pad_us: u64,
+    /// Queries each session issued per cell (before the duration cap).
+    pub queries_per_thread: u64,
+    /// Distinct trained query shapes rotated through.
+    pub distinct_shapes: u64,
+    /// CPUs visible to the measuring process.
+    pub host_cpus: u64,
+    /// One row per (config, thread-count) cell.
+    pub rows: Vec<ThroughputRow>,
+}
+
+impl ThroughputReport {
+    /// The row for a configuration at a thread count.
+    #[must_use]
+    pub fn row(&self, config: &str, threads: usize) -> Option<&ThroughputRow> {
+        self.rows
+            .iter()
+            .find(|r| r.config == config && r.threads == threads)
+    }
+
+    /// Throughput ratio between two thread counts of one configuration
+    /// (e.g. the 8-vs-1 scaling factor).
+    #[must_use]
+    pub fn speedup(&self, config: &str, threads: usize, baseline_threads: usize) -> Option<f64> {
+        let hi = self.row(config, threads)?.qps;
+        let lo = self.row(config, baseline_threads)?.qps;
+        (lo > 0.0).then_some(hi / lo)
+    }
+
+    /// Serializes the report to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+/// The benign query for a trained shape. Each shape is a distinct program
+/// point (external `/* qid:… */` id), so the sweep exercises the interner
+/// and spreads lookups across the model-store shards.
+fn shape_query(shape: usize, datum: usize) -> String {
+    format!("/* qid:tp-shape-{shape} */ SELECT note FROM tickets WHERE note = 'v{datum}'")
+}
+
+/// Builds a trained, prevention-mode deployment for one configuration.
+fn build_deployment(config: DetectionConfig, plan: &ThroughputPlan) -> (Arc<Server>, Arc<Septic>) {
+    let server = Server::with_config(ServerConfig {
+        allow_multi_statements: true,
+        // The general log is a global mutex + allocation per query; the
+        // throughput path runs with it off (drops are counted, not kept).
+        general_log_capacity: 0,
+    });
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), note VARCHAR(64))")
+        .expect("create");
+    conn.execute("INSERT INTO tickets (reservID, note) VALUES ('ID34FG', 'v0')")
+        .expect("insert");
+
+    let septic = Arc::new(Septic::with_config(config));
+    septic.set_event_logging(plan.event_logging);
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    for shape in 0..plan.distinct_shapes.max(1) {
+        conn.execute(&shape_query(shape, 0)).expect("train");
+    }
+    septic.set_mode(Mode::PREVENTION);
+    (server, septic)
+}
+
+/// Measures one (config, thread-count) cell: `threads` sessions each run
+/// the warm-up then `queries_per_thread` benign queries against trained
+/// shapes, sleeping `client_pad` after every request. Returns the row.
+fn measure_cell(
+    server: &Arc<Server>,
+    config: DetectionConfig,
+    threads: usize,
+    plan: &ThroughputPlan,
+) -> ThroughputRow {
+    let shapes = plan.distinct_shapes.max(1);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let conn = server.connect();
+            let plan = plan.clone();
+            thread::spawn(move || {
+                for i in 0..plan.warmup_queries {
+                    let q = shape_query((t + i) % shapes, i);
+                    conn.execute(&q).expect("warmup query");
+                }
+                let cell_started = Instant::now();
+                let mut done: u64 = 0;
+                for i in 0..plan.queries_per_thread {
+                    if cell_started.elapsed() > plan.max_duration {
+                        break;
+                    }
+                    let q = shape_query((t + i) % shapes, i);
+                    conn.execute(&q).expect("benign query must pass");
+                    done += 1;
+                    if !plan.client_pad.is_zero() {
+                        thread::sleep(plan.client_pad);
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+    let queries: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("session"))
+        .sum();
+    let elapsed = started.elapsed();
+    ThroughputRow {
+        config: config.label().to_string(),
+        threads,
+        queries,
+        elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        qps: queries as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+/// Runs the full sweep: every [`DetectionConfig`] at every thread count of
+/// the plan, one fresh trained deployment per configuration.
+#[must_use]
+pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
+    let mut rows = Vec::with_capacity(DetectionConfig::all().len() * plan.threads.len());
+    for config in DetectionConfig::all() {
+        let (server, _septic) = build_deployment(config, plan);
+        for &threads in &plan.threads {
+            rows.push(measure_cell(&server, config, threads, plan));
+        }
+    }
+    ThroughputReport {
+        client_pad_us: u64::try_from(plan.client_pad.as_micros()).unwrap_or(u64::MAX),
+        queries_per_thread: plan.queries_per_thread as u64,
+        distinct_shapes: plan.distinct_shapes as u64,
+        host_cpus: thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> ThroughputPlan {
+        ThroughputPlan {
+            threads: vec![1, 2],
+            queries_per_thread: 8,
+            warmup_queries: 2,
+            client_pad: Duration::from_micros(50),
+            max_duration: Duration::from_secs(2),
+            distinct_shapes: 4,
+            event_logging: false,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_cell() {
+        let report = run_throughput(&tiny_plan());
+        assert_eq!(report.rows.len(), 8); // 4 configs x 2 thread counts
+        for config in DetectionConfig::all() {
+            for threads in [1, 2] {
+                let row = report.row(config.label(), threads).expect("cell");
+                assert_eq!(row.queries, 8 * threads as u64);
+                assert!(row.qps > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = run_throughput(&tiny_plan());
+        let json = report.to_json().expect("serialize");
+        let restored: ThroughputReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(restored, report);
+    }
+
+    #[test]
+    fn speedup_compares_thread_counts() {
+        let mut report = run_throughput(&ThroughputPlan {
+            threads: vec![1],
+            ..tiny_plan()
+        });
+        // Synthesized rows make the ratio deterministic.
+        report.rows = vec![
+            ThroughputRow {
+                config: "YY".into(),
+                threads: 1,
+                queries: 100,
+                elapsed_us: 1_000_000,
+                qps: 100.0,
+            },
+            ThroughputRow {
+                config: "YY".into(),
+                threads: 8,
+                queries: 800,
+                elapsed_us: 1_000_000,
+                qps: 800.0,
+            },
+        ];
+        assert_eq!(report.speedup("YY", 8, 1), Some(8.0));
+        assert_eq!(report.speedup("ZZ", 8, 1), None);
+    }
+}

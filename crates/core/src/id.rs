@@ -13,8 +13,12 @@
 //! issued from different program points, which matters when the
 //! administrator wants per-call-site models.
 
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use septic_sql::ItemStack;
 use serde::{Deserialize, Serialize};
 
@@ -24,10 +28,15 @@ use serde::{Deserialize, Serialize};
 pub const EXTERNAL_ID_PREFIX: &str = "qid:";
 
 /// A composed query identifier.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The external part is a hash-consed `Arc<str>` (see [`Interner`]):
+/// applications send the same handful of `qid:` strings millions of times,
+/// so cloning an identifier on the query hot path is two refcount bumps and
+/// a `u64` copy — never a heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QueryId {
-    /// Application/SSLE-provided identifier, when present.
-    pub external: Option<String>,
+    /// Application/SSLE-provided identifier, when present (interned).
+    pub external: Option<Arc<str>>,
     /// Structural hash of the query model.
     pub internal: u64,
 }
@@ -104,9 +113,10 @@ pub fn structural_hash(stack: &ItemStack) -> u64 {
 }
 
 /// Extracts the external identifier from the query's comments: the first
-/// comment, with the optional `qid:` prefix stripped.
+/// comment, with the optional `qid:` prefix stripped. Borrows from the
+/// comment — the caller decides whether to intern or copy it.
 #[must_use]
-pub fn external_id(comments: &[String]) -> Option<String> {
+pub fn external_id(comments: &[String]) -> Option<&str> {
     let first = comments.first()?.trim();
     if first.is_empty() {
         return None;
@@ -118,30 +128,112 @@ pub fn external_id(comments: &[String]) -> Option<String> {
     if id.is_empty() {
         None
     } else {
-        Some(id.to_string())
+        Some(id)
+    }
+}
+
+/// Hash-consing string interner for external identifiers.
+///
+/// A deployed application issues the same small set of `qid:` strings over
+/// and over; interning them means every [`QueryId`] built on the hot path
+/// shares one allocation per distinct identifier, and cloning an id is a
+/// refcount bump. The interner is append-only and bounded in practice by
+/// the number of program points in the protected applications.
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Mutex<HashSet<Arc<str>>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the canonical `Arc<str>` for `s`, allocating only the first
+    /// time a given string is seen.
+    #[must_use]
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        let mut strings = self.strings.lock();
+        if let Some(existing) = strings.get(s) {
+            return existing.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        strings.insert(arc.clone());
+        arc
+    }
+
+    /// Number of distinct strings interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.lock().len()
+    }
+
+    /// True when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.lock().is_empty()
     }
 }
 
 /// The ID generator: composes external and internal identifiers.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Shared by reference from every session thread — the ablation switch is
+/// atomic and the interner uses interior mutability, so no outer lock is
+/// needed on the query path.
+#[derive(Debug)]
 pub struct IdGenerator {
     /// When false, external identifiers are ignored (ablation switch).
-    pub use_external: bool,
+    use_external: AtomicBool,
+    interner: Interner,
+}
+
+impl Default for IdGenerator {
+    fn default() -> Self {
+        IdGenerator::new()
+    }
 }
 
 impl IdGenerator {
     /// Creates a generator that honours external identifiers.
     #[must_use]
     pub fn new() -> Self {
-        IdGenerator { use_external: true }
+        Self::with_use_external(true)
+    }
+
+    /// Creates a generator with the ablation switch preset.
+    #[must_use]
+    pub fn with_use_external(on: bool) -> Self {
+        IdGenerator {
+            use_external: AtomicBool::new(on),
+            interner: Interner::new(),
+        }
+    }
+
+    /// Whether external identifiers are honoured.
+    #[must_use]
+    pub fn use_external(&self) -> bool {
+        self.use_external.load(Ordering::Relaxed)
+    }
+
+    /// Flips the ablation switch.
+    pub fn set_use_external(&self, on: bool) {
+        self.use_external.store(on, Ordering::Relaxed);
+    }
+
+    /// Distinct external identifiers interned so far.
+    #[must_use]
+    pub fn interned_externals(&self) -> usize {
+        self.interner.len()
     }
 
     /// Generates the query identifier for a validated query.
     #[must_use]
     pub fn generate(&self, stack: &ItemStack, comments: &[String]) -> QueryId {
         QueryId {
-            external: if self.use_external {
-                external_id(comments)
+            external: if self.use_external() {
+                external_id(comments).map(|s| self.interner.intern(s))
             } else {
                 None
             },
@@ -222,8 +314,8 @@ mod tests {
 
     #[test]
     fn external_id_parsing() {
-        assert_eq!(external_id(&["qid:login-1".into()]), Some("login-1".into()));
-        assert_eq!(external_id(&["free text".into()]), Some("free text".into()));
+        assert_eq!(external_id(&["qid:login-1".into()]), Some("login-1"));
+        assert_eq!(external_id(&["free text".into()]), Some("free text"));
         assert_eq!(external_id(&[]), None);
         assert_eq!(external_id(&["  ".into()]), None);
         assert_eq!(external_id(&["qid:  ".into()]), None);
@@ -235,11 +327,22 @@ mod tests {
         let id = IdGenerator::new().generate(&stack, &["qid:x".to_string()]);
         assert_eq!(id.external.as_deref(), Some("x"));
         assert_eq!(id.internal, internal_id(&stack));
-        let no_ext = IdGenerator {
-            use_external: false,
-        }
-        .generate(&stack, &["qid:x".to_string()]);
+        let no_ext = IdGenerator::with_use_external(false).generate(&stack, &["qid:x".to_string()]);
         assert_eq!(no_ext.external, None);
+    }
+
+    #[test]
+    fn interner_hash_conses_external_ids() {
+        let gen = IdGenerator::new();
+        let stack = qs("SELECT a FROM t WHERE id = 1");
+        let a = gen.generate(&stack, &["qid:page".to_string()]);
+        let b = gen.generate(&stack, &["qid:page".to_string()]);
+        let (ea, eb) = (a.external.unwrap(), b.external.unwrap());
+        // Same identifier → same allocation, not merely equal strings.
+        assert!(Arc::ptr_eq(&ea, &eb));
+        assert_eq!(gen.interned_externals(), 1);
+        let _ = gen.generate(&stack, &["qid:other".to_string()]);
+        assert_eq!(gen.interned_externals(), 2);
     }
 
     #[test]

@@ -62,12 +62,12 @@ pub mod septic;
 pub mod store;
 
 pub use detector::{detect_sqli, SqliKind, SqliOutcome};
-pub use id::{IdGenerator, QueryId};
+pub use id::{IdGenerator, Interner, QueryId};
 pub use logger::{AttackAction, Event, EventKind, Logger};
 pub use mode::{FailurePolicyMatrix, Mode, ModeActions, NormalMode};
 pub use model::QueryModel;
 pub use plugins::{Plugin, StoredAttack};
-pub use septic::{CounterSnapshot, DetectionConfig, Septic};
+pub use septic::{CounterSnapshot, DetectionConfig, EngineConfig, Septic};
 pub use septic_dbms::FailurePolicy;
 pub use store::{
     backup_path, journal_path, quarantine_path, FsBackend, LoadReport, ModelStore, StoreBackend,

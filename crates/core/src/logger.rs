@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -169,6 +169,10 @@ pub struct Logger {
     seq: AtomicU64,
     dropped: AtomicU64,
     capacity: usize,
+    /// When false, [`Logger::record`] is a no-op. Callers on the query
+    /// hot path should check [`Logger::is_enabled`] *before* building an
+    /// event so the payload allocations are skipped entirely.
+    enabled: AtomicBool,
 }
 
 impl Default for Logger {
@@ -186,11 +190,28 @@ impl Logger {
             seq: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
             capacity: capacity.max(16),
+            enabled: AtomicBool::new(true),
         }
     }
 
-    /// Appends an event and returns its sequence number.
+    /// True when events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns event recording on or off. While off, [`Logger::record`]
+    /// returns 0 without touching the register or the sequence counter.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Appends an event and returns its sequence number (0 when the
+    /// logger is disabled).
     pub fn record(&self, kind: EventKind) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut events = self.events.lock();
         while events.len() >= self.capacity {
@@ -318,6 +339,17 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("step 1") && s.contains("dropped"));
+    }
+
+    #[test]
+    fn disabled_logger_records_nothing() {
+        let log = Logger::default();
+        log.set_enabled(false);
+        assert!(!log.is_enabled());
+        assert_eq!(log.record(EventKind::StoreLoaded { count: 1 }), 0);
+        assert!(log.events().is_empty());
+        log.set_enabled(true);
+        assert_eq!(log.record(EventKind::StoreLoaded { count: 1 }), 1);
     }
 
     #[test]

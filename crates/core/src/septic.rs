@@ -82,6 +82,37 @@ impl Default for DetectionConfig {
     }
 }
 
+/// Every per-query tunable in one `Copy` snapshot: operation mode,
+/// detector switches, ablation flags, failure policies and the detection
+/// deadline. [`Septic::inspect`] reads it with **one** lock acquisition
+/// per query instead of taking four separate `RwLock`s; setters swap the
+/// relevant field under the single write lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Operation mode (training / prevention / detection).
+    pub mode: Mode,
+    /// Which detectors are enabled (the Figure 5 ablation switch).
+    pub detection: DetectionConfig,
+    /// Ablation: restrict the SQLI detector to step 1 (structural only).
+    pub structural_only: bool,
+    /// What to do with a query when SEPTIC itself fails, per mode.
+    pub failure_policies: FailurePolicyMatrix,
+    /// Optional per-query detection time budget.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: Mode::Training,
+            detection: DetectionConfig::YY,
+            structural_only: false,
+            failure_policies: FailurePolicyMatrix::default(),
+            deadline: None,
+        }
+    }
+}
+
 /// Monotone counters exposed for the benchmarks and the status display.
 #[derive(Debug, Default)]
 pub struct Counters {
@@ -149,15 +180,10 @@ pub struct CounterSnapshot {
 /// # Ok::<(), septic_dbms::DbError>(())
 /// ```
 pub struct Septic {
-    mode: RwLock<Mode>,
-    config: RwLock<DetectionConfig>,
-    id_generator: RwLock<IdGenerator>,
-    /// Ablation switch: run only step 1 of the SQLI algorithm.
-    structural_only: std::sync::atomic::AtomicBool,
-    /// What to do with a query when SEPTIC itself fails, per mode.
-    failure_policies: RwLock<FailurePolicyMatrix>,
-    /// Optional per-query detection time budget.
-    deadline: RwLock<Option<Duration>>,
+    /// All per-query tunables in one snapshot: one read per query.
+    engine: RwLock<EngineConfig>,
+    /// Interior-mutable (atomic flag + interner), so no outer lock.
+    id_generator: IdGenerator,
     store: ModelStore,
     plugins: Vec<Box<dyn Plugin>>,
     logger: Logger,
@@ -176,12 +202,8 @@ impl Septic {
     #[must_use]
     pub fn new() -> Self {
         Septic {
-            mode: RwLock::new(Mode::Training),
-            config: RwLock::new(DetectionConfig::YY),
-            id_generator: RwLock::new(IdGenerator::new()),
-            structural_only: std::sync::atomic::AtomicBool::new(false),
-            failure_policies: RwLock::new(FailurePolicyMatrix::default()),
-            deadline: RwLock::new(None),
+            engine: RwLock::new(EngineConfig::default()),
+            id_generator: IdGenerator::new(),
             store: ModelStore::new(),
             plugins: default_plugins(),
             logger: Logger::default(),
@@ -193,61 +215,67 @@ impl Septic {
     #[must_use]
     pub fn with_config(config: DetectionConfig) -> Self {
         let s = Self::new();
-        *s.config.write() = config;
+        s.engine.write().detection = config;
         s
+    }
+
+    /// The engine snapshot currently in effect (what the next query sees).
+    #[must_use]
+    pub fn engine_config(&self) -> EngineConfig {
+        *self.engine.read()
     }
 
     /// Current operation mode.
     #[must_use]
     pub fn mode(&self) -> Mode {
-        *self.mode.read()
+        self.engine.read().mode
     }
 
     /// Switches the operation mode (logged, as the demo's status display
     /// shows).
     pub fn set_mode(&self, mode: Mode) {
-        let mut current = self.mode.write();
-        if *current != mode {
+        let mut engine = self.engine.write();
+        if engine.mode != mode {
             self.log_event(EventKind::ModeChanged {
-                from: *current,
+                from: engine.mode,
                 to: mode,
             });
-            *current = mode;
+            engine.mode = mode;
         }
     }
 
     /// Current detector configuration.
     #[must_use]
     pub fn config(&self) -> DetectionConfig {
-        *self.config.read()
+        self.engine.read().detection
     }
 
     /// Replaces the detector configuration (the Figure 5 switch).
     pub fn set_config(&self, config: DetectionConfig) {
-        *self.config.write() = config;
+        self.engine.write().detection = config;
     }
 
     /// Enables/disables use of external identifiers (ablation switch).
     pub fn set_use_external_ids(&self, on: bool) {
-        self.id_generator.write().use_external = on;
+        self.id_generator.set_use_external(on);
     }
 
     /// Ablation switch: restrict the SQLI detector to step 1 (structural
     /// verification only) — quantifies what the syntactic step adds.
     pub fn set_structural_only(&self, on: bool) {
-        self.structural_only.store(on, Ordering::Relaxed);
+        self.engine.write().structural_only = on;
     }
 
     /// The per-mode failure policies in effect.
     #[must_use]
     pub fn failure_policies(&self) -> FailurePolicyMatrix {
-        *self.failure_policies.read()
+        self.engine.read().failure_policies
     }
 
     /// Replaces the per-mode failure policies (operator override; the
     /// defaults follow each mode's contract).
     pub fn set_failure_policies(&self, matrix: FailurePolicyMatrix) {
-        *self.failure_policies.write() = matrix;
+        self.engine.write().failure_policies = matrix;
     }
 
     /// Sets (or with `None`, clears) the per-query detection deadline
@@ -256,7 +284,13 @@ impl Septic {
     /// still execute. A flagged attack is blocked regardless — slowness
     /// never downgrades a positive detection.
     pub fn set_detection_deadline(&self, budget: Option<Duration>) {
-        *self.deadline.write() = budget;
+        self.engine.write().deadline = budget;
+    }
+
+    /// Turns SEPTIC event recording on or off (see [`Logger::set_enabled`]).
+    /// While off, the query path also skips *building* event payloads.
+    pub fn set_event_logging(&self, on: bool) {
+        self.logger.set_enabled(on);
     }
 
     /// Adds a stored-injection plugin to the scan chain.
@@ -405,7 +439,23 @@ impl Septic {
     /// Records an event, mirroring the logger's eviction count into the
     /// `log_drops` counter so degradation shows up in snapshots.
     fn log_event(&self, kind: EventKind) {
+        if !self.logger.is_enabled() {
+            return;
+        }
         self.logger.record(kind);
+        self.counters
+            .log_drops
+            .store(self.logger.dropped(), Ordering::Relaxed);
+    }
+
+    /// Hot-path variant of [`Septic::log_event`]: the event (and its
+    /// `String`/`QueryId` payload allocations) is only built when the
+    /// logger will actually keep it.
+    fn log_event_with(&self, kind: impl FnOnce() -> EventKind) {
+        if !self.logger.is_enabled() {
+            return;
+        }
+        self.logger.record(kind());
         self.counters
             .log_drops
             .store(self.logger.dropped(), Ordering::Relaxed);
@@ -420,10 +470,11 @@ impl Septic {
         ctx: &QueryContext<'_>,
         model: &QueryModel,
         id: &QueryId,
-        config: DetectionConfig,
+        engine: &EngineConfig,
         actions: ModeActions,
     ) -> Option<GuardDecision> {
         let qs = ctx.stack;
+        let config = engine.detection;
         let action = if actions.drop_on_attack {
             AttackAction::Dropped
         } else {
@@ -433,14 +484,14 @@ impl Septic {
         // SQLI detection (structural + syntactic; optionally step 1 only
         // for the detector ablation).
         if config.sqli && actions.detect_sqli {
-            let outcome = if self.structural_only.load(Ordering::Relaxed) {
+            let outcome = if engine.structural_only {
                 crate::detector::detect_sqli_structural_only(qs, model)
             } else {
                 detect_sqli(qs, model)
             };
             if let SqliOutcome::Attack(kind) = outcome {
                 Self::bump(&self.counters.sqli_detected);
-                self.log_event(EventKind::SqliDetected {
+                self.log_event_with(|| EventKind::SqliDetected {
                     id: id.clone(),
                     kind: kind.clone(),
                     action,
@@ -457,7 +508,7 @@ impl Septic {
         if config.stored && actions.detect_stored && !ctx.write_data.is_empty() {
             if let Some(found) = scan_inputs(&self.plugins, ctx.write_data) {
                 Self::bump(&self.counters.stored_detected);
-                self.log_event(EventKind::StoredDetected {
+                self.log_event_with(|| EventKind::StoredDetected {
                     id: id.clone(),
                     attack: found.clone(),
                     action,
@@ -489,15 +540,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 impl QueryGuard for Septic {
     fn inspect(&self, ctx: &QueryContext<'_>) -> GuardDecision {
         Self::bump(&self.counters.queries_seen);
-        let mode = self.mode();
-        let actions = ModeActions::for_mode(mode);
-        let config = self.config();
+        // One lock acquisition for every per-query tunable.
+        let engine = *self.engine.read();
+        let actions = ModeActions::for_mode(engine.mode);
 
         // QS&QM manager: QS is the validated item stack; ask the ID
-        // generator for the query identifier.
+        // generator for the query identifier (no lock: the generator is
+        // interior-mutable, external ids are interned `Arc<str>`s).
         let qs = ctx.stack;
-        let id = self.id_generator.read().generate(qs, ctx.comments);
-        self.log_event(EventKind::QueryProcessed {
+        let id = self.id_generator.generate(qs, ctx.comments);
+        self.log_event_with(|| EventKind::QueryProcessed {
             id: id.clone(),
             command: ctx.command().to_string(),
         });
@@ -507,8 +559,8 @@ impl QueryGuard for Septic {
             let model = QueryModel::from_structure(qs);
             if self.store.learn(id.clone(), model) {
                 Self::bump(&self.counters.models_created);
-                self.log_event(EventKind::ModelCreated {
-                    id,
+                self.log_event_with(|| EventKind::ModelCreated {
+                    id: id.clone(),
                     incremental: false,
                 });
             }
@@ -519,21 +571,22 @@ impl QueryGuard for Septic {
         // instead of being re-learned.
         if self.store.is_rejected(&id) {
             Self::bump(&self.counters.queries_dropped);
-            self.log_event(EventKind::RejectedQueryRefused {
+            self.log_event_with(|| EventKind::RejectedQueryRefused {
                 id: id.clone(),
                 query: ctx.decoded_sql.to_string(),
             });
             return GuardDecision::Block(format!("query id {id} rejected by administrator"));
         }
 
-        // Normal mode: fetch the model or learn incrementally (into
+        // Normal mode: fetch the model (a shard read lock + `Arc`
+        // refcount bump, never a deep clone) or learn incrementally (into
         // quarantine, pending administrator review — Section II-E).
         let Some(model) = self.store.get(&id) else {
             let model = QueryModel::from_structure(qs);
             self.store.learn_provisional(id.clone(), model);
             Self::bump(&self.counters.models_created);
-            self.log_event(EventKind::ModelCreated {
-                id,
+            self.log_event_with(|| EventKind::ModelCreated {
+                id: id.clone(),
                 incremental: true,
             });
             // The administrator later decides whether the new model came
@@ -541,16 +594,16 @@ impl QueryGuard for Septic {
             return GuardDecision::Proceed;
         };
         Self::bump(&self.counters.models_found);
-        self.log_event(EventKind::ModelFound { id: id.clone() });
+        self.log_event_with(|| EventKind::ModelFound { id: id.clone() });
 
         // Run the detectors with panic isolation and a time budget: SEPTIC
         // failing must never take the server down, and what happens to the
         // query is the mode's failure policy, not an accident.
-        let policy = self.failure_policies.read().for_mode(mode);
+        let policy = engine.failure_policies.for_mode(engine.mode);
         let fail_open = policy == FailurePolicy::FailOpen;
         let started = Instant::now();
         let detection = catch_unwind(AssertUnwindSafe(|| {
-            self.run_detectors(ctx, &model, &id, config, actions)
+            self.run_detectors(ctx, &model, &id, &engine, actions)
         }));
         let elapsed = started.elapsed();
 
@@ -562,7 +615,7 @@ impl QueryGuard for Septic {
             Err(payload) => {
                 Self::bump(&self.counters.guard_panics);
                 let what = panic_message(payload.as_ref());
-                self.log_event(EventKind::DetectorFailed {
+                self.log_event_with(|| EventKind::DetectorFailed {
                     id: id.clone(),
                     what: what.clone(),
                     fail_open,
@@ -578,10 +631,10 @@ impl QueryGuard for Septic {
             }
         }
 
-        if let Some(budget) = *self.deadline.read() {
+        if let Some(budget) = engine.deadline {
             if elapsed > budget {
                 Self::bump(&self.counters.deadline_exceeded);
-                self.log_event(EventKind::DeadlineExceeded {
+                self.log_event_with(|| EventKind::DeadlineExceeded {
                     id: id.clone(),
                     elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                     budget_us: u64::try_from(budget.as_micros()).unwrap_or(u64::MAX),
@@ -606,7 +659,8 @@ impl QueryGuard for Septic {
     }
 
     fn failure_policy(&self) -> FailurePolicy {
-        self.failure_policies.read().for_mode(self.mode())
+        let engine = self.engine.read();
+        engine.failure_policies.for_mode(engine.mode)
     }
 }
 
@@ -815,7 +869,7 @@ mod tests {
             .unwrap();
         server.install_guard(Arc::new(Septic::new()));
         // (behavioural check is in the ablation harness; here just the flag)
-        assert!(!septic2.id_generator.read().use_external);
+        assert!(!septic2.id_generator.use_external());
     }
 
     #[test]

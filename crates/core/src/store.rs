@@ -34,6 +34,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +45,51 @@ use serde::{Deserialize, Serialize};
 
 use crate::id::QueryId;
 use crate::model::QueryModel;
+
+// ---------------------------------------------------------------------------
+// Hot-path hashing
+// ---------------------------------------------------------------------------
+
+/// FNV-1a [`Hasher`] for the shard maps. `QueryId::internal` is already a
+/// 64-bit structural hash, so the default SipHash would be pure overhead on
+/// the per-query lookup; FNV folds the (short) external id and the internal
+/// hash in a few cycles. Keys are not attacker-controlled allocation sinks:
+/// the set of ids is bounded by the trained application's program points.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Mix rather than re-digest: `internal` is already well distributed.
+        self.0 = (self.0 ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// Number of shards in the model map. A small power of two: enough that
+/// eight session threads rarely collide on a shard lock, small enough that
+/// full-store iteration (persistence, status) stays trivial.
+const SHARD_COUNT: usize = 16;
+
+type Shard = RwLock<HashMap<QueryId, Arc<QueryModel>, FnvBuild>>;
 
 // ---------------------------------------------------------------------------
 // Storage backend seam
@@ -245,10 +291,12 @@ fn unseal(bytes: &[u8]) -> Result<&str, String> {
 // Persistence formats
 // ---------------------------------------------------------------------------
 
-/// Serialized form of the store.
+/// Serialized form of the store. Models are held behind `Arc` so building
+/// a snapshot from the live shards is a refcount bump per model, not a
+/// deep clone.
 #[derive(Debug, Default, Serialize, Deserialize)]
 struct PersistedStore {
-    models: Vec<(QueryId, QueryModel)>,
+    models: Vec<(QueryId, Arc<QueryModel>)>,
     #[serde(default)]
     quarantine: Vec<QueryId>,
     #[serde(default)]
@@ -259,9 +307,9 @@ struct PersistedStore {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum JournalOp {
     /// Explicit training learned a model (and lifted any rejection).
-    Learn { id: QueryId, model: QueryModel },
+    Learn { id: QueryId, model: Arc<QueryModel> },
     /// Incremental learning stored a model into quarantine.
-    LearnProvisional { id: QueryId, model: QueryModel },
+    LearnProvisional { id: QueryId, model: Arc<QueryModel> },
     /// Administrator approved a quarantined model.
     Approve { id: QueryId },
     /// Administrator rejected a model; the identifier is blacklisted.
@@ -305,9 +353,19 @@ pub struct LoadReport {
 
 /// Thread-safe store of learned query models plus the administrative
 /// review state for incrementally-learned ones.
-#[derive(Debug, Default)]
+///
+/// # Hot-path design
+///
+/// Models live behind `Arc` in a **sharded** map: [`ModelStore::get`] takes
+/// one shard read lock (selected by the id's structural hash, so parallel
+/// sessions rarely touch the same lock) and returns a refcount bump — the
+/// `QueryModel` itself is never cloned on the query path, however large the
+/// learned structure is. Mutations (training, review verdicts) take only
+/// the affected shard's write lock; cross-shard snapshots are cold-path
+/// (persistence, status display).
+#[derive(Debug)]
 pub struct ModelStore {
-    models: RwLock<HashMap<QueryId, QueryModel>>,
+    shards: [Shard; SHARD_COUNT],
     /// Incrementally-learned models awaiting administrator review.
     quarantine: RwLock<HashSet<QueryId>>,
     /// Identifiers the administrator rejected as malicious.
@@ -318,11 +376,29 @@ pub struct ModelStore {
     journal_errors: AtomicU64,
 }
 
+impl Default for ModelStore {
+    fn default() -> Self {
+        ModelStore {
+            shards: std::array::from_fn(|_| Shard::default()),
+            quarantine: RwLock::default(),
+            rejected: RwLock::default(),
+            persist: RwLock::default(),
+            journal_errors: AtomicU64::new(0),
+        }
+    }
+}
+
 impl ModelStore {
     /// Creates an empty store.
     #[must_use]
     pub fn new() -> Self {
         ModelStore::default()
+    }
+
+    /// The shard responsible for an identifier. `internal` is already a
+    /// quality 64-bit hash, so its low bits pick the shard directly.
+    fn shard(&self, id: &QueryId) -> &Shard {
+        &self.shards[(id.internal as usize) & (SHARD_COUNT - 1)]
     }
 
     /// Attaches a persistence target: from now on every mutation is
@@ -367,12 +443,13 @@ impl ModelStore {
         match op {
             JournalOp::Learn { id, model } => {
                 self.rejected.write().remove(&id);
-                self.models.write().entry(id).or_insert(model);
+                self.shard(&id).write().entry(id).or_insert(model);
             }
             JournalOp::LearnProvisional { id, model } => {
-                let mut models = self.models.write();
+                let mut models = self.shard(&id).write();
                 if !models.contains_key(&id) {
                     models.insert(id.clone(), model);
+                    drop(models);
                     self.quarantine.write().insert(id);
                 }
             }
@@ -381,30 +458,33 @@ impl ModelStore {
             }
             JournalOp::Reject { id } => {
                 self.quarantine.write().remove(&id);
-                self.models.write().remove(&id);
+                self.shard(&id).write().remove(&id);
                 self.rejected.write().insert(id);
             }
             JournalOp::Forget { id } => {
-                self.models.write().remove(&id);
+                self.shard(&id).write().remove(&id);
             }
             JournalOp::Clear => {
-                self.models.write().clear();
+                for shard in &self.shards {
+                    shard.write().clear();
+                }
                 self.quarantine.write().clear();
                 self.rejected.write().clear();
             }
         }
     }
 
-    /// Looks up the model for an identifier.
+    /// Looks up the model for an identifier: one shard read lock and a
+    /// refcount bump — the model is shared, never deep-cloned.
     #[must_use]
-    pub fn get(&self, id: &QueryId) -> Option<QueryModel> {
-        self.models.read().get(id).cloned()
+    pub fn get(&self, id: &QueryId) -> Option<Arc<QueryModel>> {
+        self.shard(id).read().get(id).cloned()
     }
 
     /// True when a model exists for the identifier.
     #[must_use]
     pub fn contains(&self, id: &QueryId) -> bool {
-        self.models.read().contains_key(id)
+        self.shard(id).read().contains_key(id)
     }
 
     /// Stores a model from an explicit training run. Returns `true` when
@@ -413,9 +493,10 @@ impl ModelStore {
     /// once). Training expresses the administrator's intent that the query
     /// is benign, so a previous rejection of the identifier is lifted.
     pub fn learn(&self, id: QueryId, model: QueryModel) -> bool {
+        let model = Arc::new(model);
         let lifted = self.rejected.write().remove(&id);
         let is_new = {
-            let mut models = self.models.write();
+            let mut models = self.shard(&id).write();
             if models.contains_key(&id) {
                 false
             } else {
@@ -433,12 +514,14 @@ impl ModelStore {
     /// query): it is usable immediately but also placed in quarantine for
     /// administrator review. Returns `true` when the model is new.
     pub fn learn_provisional(&self, id: QueryId, model: QueryModel) -> bool {
+        let model = Arc::new(model);
         let is_new = {
-            let mut models = self.models.write();
+            let mut models = self.shard(&id).write();
             if models.contains_key(&id) {
                 false
             } else {
                 models.insert(id.clone(), model.clone());
+                drop(models);
                 self.quarantine.write().insert(id.clone());
                 true
             }
@@ -452,9 +535,10 @@ impl ModelStore {
     /// Identifiers awaiting administrator review.
     #[must_use]
     pub fn pending_review(&self) -> Vec<QueryId> {
-        let mut ids: Vec<QueryId> = self.quarantine.read().iter().cloned().collect();
-        ids.sort_by_key(|id| (id.external.clone(), id.internal));
-        ids
+        let quarantine = self.quarantine.read();
+        let mut refs: Vec<&QueryId> = quarantine.iter().collect();
+        refs.sort_unstable();
+        refs.into_iter().cloned().collect()
     }
 
     /// Administrator verdict: the incrementally-learned query was benign.
@@ -474,7 +558,7 @@ impl ModelStore {
     /// when the id was unknown.
     pub fn reject(&self, id: &QueryId) -> bool {
         self.quarantine.write().remove(id);
-        let existed = self.models.write().remove(id).is_some();
+        let existed = self.shard(id).write().remove(id).is_some();
         let newly_rejected = self.rejected.write().insert(id.clone());
         if existed || newly_rejected {
             self.journal(&JournalOp::Reject { id: id.clone() });
@@ -491,7 +575,7 @@ impl ModelStore {
     /// Removes a model (the administrator decided a learned query was
     /// malicious — Section II-E).
     pub fn forget(&self, id: &QueryId) -> bool {
-        let removed = self.models.write().remove(id).is_some();
+        let removed = self.shard(id).write().remove(id).is_some();
         if removed {
             self.journal(&JournalOp::Forget { id: id.clone() });
         }
@@ -501,18 +585,20 @@ impl ModelStore {
     /// Number of learned models.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.models.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when nothing has been learned.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.models.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Drops every learned model and all review state.
     pub fn clear(&self) {
-        self.models.write().clear();
+        for shard in &self.shards {
+            shard.write().clear();
+        }
         self.quarantine.write().clear();
         self.rejected.write().clear();
         self.journal(&JournalOp::Clear);
@@ -521,7 +607,10 @@ impl ModelStore {
     /// Snapshot of all identifiers.
     #[must_use]
     pub fn ids(&self) -> Vec<QueryId> {
-        self.models.read().keys().cloned().collect()
+        self.shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect()
     }
 
     /// Serializes the store to JSON (the envelope payload).
@@ -534,14 +623,25 @@ impl ModelStore {
     }
 
     fn snapshot(&self) -> PersistedStore {
-        let models = self.models.read();
-        let mut list: Vec<(QueryId, QueryModel)> =
-            models.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        list.sort_by_key(|(k, _)| (k.external.clone(), k.internal));
-        let mut quarantine: Vec<QueryId> = self.quarantine.read().iter().cloned().collect();
-        quarantine.sort_by_key(|k| (k.external.clone(), k.internal));
-        let mut rejected: Vec<QueryId> = self.rejected.read().iter().cloned().collect();
-        rejected.sort_by_key(|k| (k.external.clone(), k.internal));
+        // Hold every shard read guard for a consistent view, sort the
+        // *references* (via `QueryId`'s derived `Ord`), then clone each
+        // entry exactly once — the model side is an `Arc` refcount bump.
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut refs: Vec<(&QueryId, &Arc<QueryModel>)> =
+            guards.iter().flat_map(|g| g.iter()).collect();
+        refs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let list: Vec<(QueryId, Arc<QueryModel>)> = refs
+            .into_iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        drop(guards);
+        let sorted_set = |set: &HashSet<QueryId>| -> Vec<QueryId> {
+            let mut refs: Vec<&QueryId> = set.iter().collect();
+            refs.sort_unstable();
+            refs.into_iter().cloned().collect()
+        };
+        let quarantine = sorted_set(&self.quarantine.read());
+        let rejected = sorted_set(&self.rejected.read());
         PersistedStore {
             models: list,
             quarantine,
@@ -550,9 +650,12 @@ impl ModelStore {
     }
 
     fn install(&self, persisted: PersistedStore) {
-        let mut models = self.models.write();
-        models.clear();
-        models.extend(persisted.models);
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        for (id, model) in persisted.models {
+            self.shard(&id).write().insert(id, model);
+        }
         *self.quarantine.write() = persisted.quarantine.into_iter().collect();
         *self.rejected.write() = persisted.rejected.into_iter().collect();
     }
@@ -766,7 +869,19 @@ mod tests {
         assert!(!store.learn(id(1), m.clone()));
         assert_eq!(store.len(), 1);
         assert!(store.contains(&id(1)));
-        assert_eq!(store.get(&id(1)), Some(m));
+        assert_eq!(store.get(&id(1)).as_deref(), Some(&m));
+    }
+
+    #[test]
+    fn get_is_a_shared_handle_not_a_clone() {
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT 1"));
+        let a = store.get(&id(1)).expect("model");
+        let b = store.get(&id(1)).expect("model");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "get() must return the stored Arc, not a deep clone"
+        );
     }
 
     #[test]

@@ -77,6 +77,37 @@ pub fn execute(db: &mut Database, stmt: &Statement, now: i64) -> Result<QueryOut
     Ok(out)
 }
 
+/// True when executing the statement cannot mutate the database, so the
+/// server may run it under a shared read lock ([`execute_read`]) and let
+/// parallel sessions overlap.
+#[must_use]
+pub fn is_read_only(stmt: &Statement) -> bool {
+    matches!(stmt, Statement::Select(_))
+}
+
+/// Executes a read-only statement (see [`is_read_only`]) against a shared
+/// database reference — the concurrent-SELECT fast path.
+///
+/// # Errors
+///
+/// As [`execute`]; additionally [`DbError::Semantic`] if the statement is
+/// not read-only (a server-side logic bug, not a user error).
+pub fn execute_read(db: &Database, stmt: &Statement, now: i64) -> Result<QueryOutput, DbError> {
+    let Statement::Select(s) = stmt else {
+        return Err(DbError::Semantic(
+            "execute_read called with a mutating statement".into(),
+        ));
+    };
+    let mut effects = SideEffects::default();
+    let (columns, rows) = run_select(db, s, now, None, &mut effects)?;
+    Ok(QueryOutput {
+        columns,
+        rows,
+        effects,
+        ..QueryOutput::default()
+    })
+}
+
 /// Statement-level validation: every referenced table must exist (this is
 /// the "validated by the DBMS" step that runs before the SEPTIC hook).
 ///

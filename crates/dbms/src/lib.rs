@@ -34,10 +34,11 @@ pub mod storage;
 pub mod value;
 
 pub use error::DbError;
-pub use exec::QueryOutput;
+pub use exec::{execute_read, is_read_only, QueryOutput};
 pub use guard::{AllowAll, FailurePolicy, GuardDecision, QueryContext, QueryGuard, SharedGuard};
 pub use server::{
     Connection, ExecResult, GeneralLogEntry, Server, ServerConfig, ServerStatsSnapshot,
+    SessionSnapshot,
 };
 pub use storage::{Database, Row, TableStore};
 pub use value::Value;

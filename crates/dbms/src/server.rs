@@ -5,6 +5,15 @@
 //! database, an optional [`crate::guard::QueryGuard`] (SEPTIC), a general log and a
 //! logical clock; [`Connection`]s are cheap handles that run queries
 //! through the full pipeline.
+//!
+//! # Concurrency
+//!
+//! The server is a session-per-thread front end: every [`Connection`] is a
+//! session with its own id and counters, safe to move to its own thread
+//! while all sessions share the one database and guard. Read-only calls
+//! (pure `SELECT`s) execute under the database's shared read lock, so
+//! parallel sessions overlap; mutating statements serialize on the write
+//! lock as before.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -17,7 +26,7 @@ use septic_sql::ast::InsertSource;
 use septic_sql::{charset, items, parse, Statement};
 
 use crate::error::DbError;
-use crate::exec::{execute, validate, QueryOutput};
+use crate::exec::{execute, execute_read, is_read_only, validate, QueryOutput};
 use crate::guard::{FailurePolicy, GuardDecision, QueryContext, SharedGuard};
 use crate::storage::Database;
 use crate::value::Value;
@@ -47,10 +56,48 @@ impl Default for ServerConfig {
 pub struct GeneralLogEntry {
     /// Logical timestamp (monotone per server).
     pub at: i64,
+    /// The session (connection) the query arrived on.
+    pub session: u64,
     /// The raw query as received.
     pub sql: String,
     /// Outcome summary: `ok`, `blocked: …` or `error: …`.
     pub outcome: String,
+}
+
+/// Per-session (per-[`Connection`]) state: an id for the general log plus
+/// outcome counters, all atomics so a session can be observed from other
+/// threads while it runs.
+#[derive(Debug)]
+struct SessionState {
+    id: u64,
+    queries_ok: AtomicU64,
+    queries_blocked: AtomicU64,
+    queries_failed: AtomicU64,
+}
+
+impl SessionState {
+    fn new(id: u64) -> Self {
+        SessionState {
+            id,
+            queries_ok: AtomicU64::new(0),
+            queries_blocked: AtomicU64::new(0),
+            queries_failed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time snapshot of one session's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionSnapshot {
+    /// The session id (also stamped on its general-log entries).
+    pub id: u64,
+    /// Queries that completed successfully.
+    pub queries_ok: u64,
+    /// Queries dropped by the guard ([`DbError::Blocked`]).
+    pub queries_blocked: u64,
+    /// Queries that failed for any other reason (parse, validation,
+    /// runtime, guard failure).
+    pub queries_failed: u64,
 }
 
 /// Degradation counters for the fail-safe machinery. All monotone; read
@@ -117,6 +164,8 @@ pub struct Server {
     /// Total simulated delay (`SLEEP`/`BENCHMARK`) accumulated across all
     /// queries — the observable for time-based blind injection.
     simulated_total_micros: AtomicI64,
+    /// Session-id allocator for [`Server::connect`].
+    next_session: AtomicU64,
 }
 
 impl Server {
@@ -137,6 +186,7 @@ impl Server {
             general_log: Mutex::new(VecDeque::new()),
             stats: ServerStats::default(),
             simulated_total_micros: AtomicI64::new(0),
+            next_session: AtomicU64::new(1),
         })
     }
 
@@ -158,11 +208,15 @@ impl Server {
         self.guard.read().is_some()
     }
 
-    /// Opens a connection.
+    /// Opens a connection — a new session with its own id and counters.
+    /// Sessions are independent: open one per thread and run them in
+    /// parallel against the shared database and guard.
     #[must_use]
     pub fn connect(self: &Arc<Self>) -> Connection {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         Connection {
             server: Arc::clone(self),
+            session: Arc::new(SessionState::new(id)),
         }
     }
 
@@ -201,24 +255,49 @@ impl Server {
         Duration::from_micros(self.simulated_total_micros.load(Ordering::Relaxed).max(0) as u64)
     }
 
-    fn log(&self, at: i64, sql: &str, outcome: String) {
+    /// Appends a general-log entry. The outcome is a closure so a dropped
+    /// entry (capacity 0) costs a counter bump, not a `format!`.
+    fn log(&self, at: i64, session: u64, sql: &str, outcome: impl FnOnce() -> String) {
         if self.config.general_log_capacity == 0 {
             self.stats.log_drops.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        let entry = GeneralLogEntry {
+            at,
+            session,
+            sql: sql.to_string(),
+            outcome: outcome(),
+        };
         let mut log = self.general_log.lock();
         while log.len() >= self.config.general_log_capacity {
             log.pop_front();
             self.stats.log_drops.fetch_add(1, Ordering::Relaxed);
         }
-        log.push_back(GeneralLogEntry {
-            at,
-            sql: sql.to_string(),
-            outcome,
-        });
+        log.push_back(entry);
     }
 
-    fn run(&self, raw_sql: &str, params: Option<&[Value]>) -> Result<ExecResult, DbError> {
+    fn run(
+        &self,
+        session: &SessionState,
+        raw_sql: &str,
+        params: Option<&[Value]>,
+    ) -> Result<ExecResult, DbError> {
+        let outcome = self.run_pipeline(session.id, raw_sql, params);
+        let counter = match &outcome {
+            Ok(_) => &session.queries_ok,
+            Err(DbError::Blocked(_)) => &session.queries_blocked,
+            Err(_) => &session.queries_failed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn run_pipeline(
+        &self,
+        session: u64,
+        raw_sql: &str,
+        params: Option<&[Value]>,
+    ) -> Result<ExecResult, DbError> {
         let started = Instant::now();
         let at = self.clock.fetch_add(1, Ordering::Relaxed);
 
@@ -231,14 +310,14 @@ impl Server {
         let mut parsed = match parse(&decoded.text) {
             Ok(p) => p,
             Err(e) => {
-                self.log(at, raw_sql, format!("error: {e}"));
+                self.log(at, session, raw_sql, || format!("error: {e}"));
                 return Err(e.into());
             }
         };
         if parsed.statements.len() > 1 && (!self.config.allow_multi_statements || params.is_some())
         {
             let err = DbError::Semantic("multi-statement queries are disabled".into());
-            self.log(at, raw_sql, format!("error: {err}"));
+            self.log(at, session, raw_sql, || format!("error: {err}"));
             return Err(err);
         }
 
@@ -248,7 +327,7 @@ impl Server {
                 match crate::bind::bind_params(stmt, values) {
                     Ok(bound) => *stmt = bound,
                     Err(e) => {
-                        self.log(at, raw_sql, format!("error: {e}"));
+                        self.log(at, session, raw_sql, || format!("error: {e}"));
                         return Err(e);
                     }
                 }
@@ -261,7 +340,7 @@ impl Server {
             let db = self.db.read();
             for stmt in &parsed.statements {
                 if let Err(e) = validate(&db, stmt) {
-                    self.log(at, raw_sql, format!("error: {e}"));
+                    self.log(at, session, raw_sql, || format!("error: {e}"));
                     return Err(e);
                 }
             }
@@ -292,7 +371,7 @@ impl Server {
             match catch_unwind(AssertUnwindSafe(|| guard.inspect(&ctx))) {
                 Ok(GuardDecision::Proceed) => {}
                 Ok(GuardDecision::Block(reason)) => {
-                    self.log(at, raw_sql, format!("blocked: {reason}"));
+                    self.log(at, session, raw_sql, || format!("blocked: {reason}"));
                     return Err(DbError::Blocked(reason));
                 }
                 Err(payload) => {
@@ -306,12 +385,16 @@ impl Server {
                     match policy {
                         FailurePolicy::FailClosed => {
                             let reason = format!("guard '{}' panicked: {what}", guard.name());
-                            self.log(at, raw_sql, format!("guard failure (fail-closed): {what}"));
+                            self.log(at, session, raw_sql, || {
+                                format!("guard failure (fail-closed): {what}")
+                            });
                             return Err(DbError::GuardFailure(reason));
                         }
                         FailurePolicy::FailOpen => {
                             self.stats.fail_open_passes.fetch_add(1, Ordering::Relaxed);
-                            self.log(at, raw_sql, format!("guard failure (fail-open): {what}"));
+                            self.log(at, session, raw_sql, || {
+                                format!("guard failure (fail-open): {what}")
+                            });
                         }
                     }
                 }
@@ -319,28 +402,40 @@ impl Server {
         }
         drop(stack);
 
-        // 7. execute
-        let mut outputs = Vec::with_capacity(parsed.statements.len());
-        let mut simulated = Duration::ZERO;
-        {
-            let mut db = self.db.write();
-            for stmt in &parsed.statements {
-                match execute(&mut db, stmt, at) {
-                    Ok(out) => {
-                        let delay = Duration::from_secs_f64(out.effects.sleep_seconds);
-                        simulated += delay;
-                        self.simulated_total_micros
-                            .fetch_add(delay.as_micros() as i64, Ordering::Relaxed);
-                        outputs.push(out);
-                    }
-                    Err(e) => {
-                        self.log(at, raw_sql, format!("error: {e}"));
-                        return Err(e);
-                    }
-                }
+        // 7. execute — pure-SELECT calls run under the shared read lock so
+        //    parallel sessions overlap; anything mutating serializes on the
+        //    write lock.
+        let executed: Result<Vec<QueryOutput>, DbError> =
+            if parsed.statements.iter().all(is_read_only) {
+                let db = self.db.read();
+                parsed
+                    .statements
+                    .iter()
+                    .map(|stmt| execute_read(&db, stmt, at))
+                    .collect()
+            } else {
+                let mut db = self.db.write();
+                parsed
+                    .statements
+                    .iter()
+                    .map(|stmt| execute(&mut db, stmt, at))
+                    .collect()
+            };
+        let outputs = match executed {
+            Ok(outputs) => outputs,
+            Err(e) => {
+                self.log(at, session, raw_sql, || format!("error: {e}"));
+                return Err(e);
             }
+        };
+        let mut simulated = Duration::ZERO;
+        for out in &outputs {
+            let delay = Duration::from_secs_f64(out.effects.sleep_seconds);
+            simulated += delay;
+            self.simulated_total_micros
+                .fetch_add(delay.as_micros() as i64, Ordering::Relaxed);
         }
-        self.log(at, raw_sql, "ok".to_string());
+        self.log(at, session, raw_sql, || "ok".to_string());
         Ok(ExecResult {
             outputs,
             elapsed: started.elapsed(),
@@ -359,6 +454,7 @@ impl Default for Server {
             general_log: Mutex::new(VecDeque::new()),
             stats: ServerStats::default(),
             simulated_total_micros: AtomicI64::new(0),
+            next_session: AtomicU64::new(1),
         }
     }
 }
@@ -409,10 +505,14 @@ fn collect_write_data(stmt: &Statement, out: &mut Vec<String>) {
     }
 }
 
-/// A client connection to a [`Server`].
+/// A client connection to a [`Server`] — one *session*. Cloning shares the
+/// session (id and counters); call [`Server::connect`] again for a fresh
+/// session. Sessions are `Send`: move each to its own thread for a
+/// session-per-thread front end over the shared database and guard.
 #[derive(Clone)]
 pub struct Connection {
     server: Arc<Server>,
+    session: Arc<SessionState>,
 }
 
 impl Connection {
@@ -423,7 +523,7 @@ impl Connection {
     /// Parse, validation, constraint, runtime errors — or
     /// [`DbError::Blocked`] when the guard drops the query.
     pub fn execute(&self, sql: &str) -> Result<ExecResult, DbError> {
-        self.server.run(sql, None)
+        self.server.run(&self.session, sql, None)
     }
 
     /// Runs a prepared statement: `?` placeholders in the template are
@@ -434,7 +534,7 @@ impl Connection {
     ///
     /// As [`Connection::execute`], plus parameter-count mismatches.
     pub fn execute_prepared(&self, sql: &str, params: &[Value]) -> Result<ExecResult, DbError> {
-        self.server.run(sql, Some(params))
+        self.server.run(&self.session, sql, Some(params))
     }
 
     /// Convenience: prepared execution returning the last output.
@@ -443,7 +543,7 @@ impl Connection {
     ///
     /// As [`Connection::execute_prepared`].
     pub fn query_prepared(&self, sql: &str, params: &[Value]) -> Result<QueryOutput, DbError> {
-        let mut result = self.server.run(sql, Some(params))?;
+        let mut result = self.server.run(&self.session, sql, Some(params))?;
         Ok(result.outputs.pop().unwrap_or_default())
     }
 
@@ -453,8 +553,25 @@ impl Connection {
     ///
     /// As [`Connection::execute`].
     pub fn query(&self, sql: &str) -> Result<QueryOutput, DbError> {
-        let mut result = self.server.run(sql, None)?;
+        let mut result = self.server.run(&self.session, sql, None)?;
         Ok(result.outputs.pop().unwrap_or_default())
+    }
+
+    /// This session's id (stamped on its general-log entries).
+    #[must_use]
+    pub fn session_id(&self) -> u64 {
+        self.session.id
+    }
+
+    /// Snapshot of this session's outcome counters.
+    #[must_use]
+    pub fn session_stats(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            id: self.session.id,
+            queries_ok: self.session.queries_ok.load(Ordering::Relaxed),
+            queries_blocked: self.session.queries_blocked.load(Ordering::Relaxed),
+            queries_failed: self.session.queries_failed.load(Ordering::Relaxed),
+        }
     }
 
     /// The server this connection talks to.
@@ -738,6 +855,66 @@ mod tests {
             conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
             Some(&Value::Int(1))
         );
+    }
+
+    #[test]
+    fn sessions_get_distinct_ids_and_counters() {
+        let server = Server::new();
+        let a = server.connect();
+        let b = server.connect();
+        assert_ne!(a.session_id(), b.session_id());
+        a.execute("CREATE TABLE t (id INT)").unwrap();
+        a.execute("INSERT INTO t (id) VALUES (1)").unwrap();
+        let _ = b.execute("SELECT broken FROM t");
+        b.execute("SELECT * FROM t").unwrap();
+        let sa = a.session_stats();
+        let sb = b.session_stats();
+        assert_eq!((sa.queries_ok, sa.queries_failed), (2, 0));
+        assert_eq!((sb.queries_ok, sb.queries_failed), (1, 1));
+        // The general log records which session each query came from.
+        let log = server.general_log();
+        assert!(log.iter().any(|e| e.session == a.session_id()));
+        assert!(log.iter().any(|e| e.session == b.session_id()));
+    }
+
+    #[test]
+    fn blocked_queries_count_per_session() {
+        struct DenyAll;
+        impl QueryGuard for DenyAll {
+            fn inspect(&self, _: &QueryContext<'_>) -> GuardDecision {
+                GuardDecision::Block("no".into())
+            }
+        }
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT)").unwrap();
+        server.install_guard(Arc::new(DenyAll));
+        assert!(conn.execute("SELECT * FROM t").is_err());
+        assert_eq!(conn.session_stats().queries_blocked, 1);
+        assert_eq!(conn.session_stats().queries_ok, 1);
+    }
+
+    #[test]
+    fn parallel_sessions_share_the_database() {
+        let server = Server::new();
+        let setup = server.connect();
+        setup.execute("CREATE TABLE t (id INT)").unwrap();
+        setup.execute("INSERT INTO t (id) VALUES (7)").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let conn = server.connect();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let out = conn.query("SELECT COUNT(*) FROM t").unwrap();
+                        assert_eq!(out.scalar(), Some(&Value::Int(1)));
+                    }
+                    conn.session_stats()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().queries_ok, 50);
+        }
     }
 
     #[test]

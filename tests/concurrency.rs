@@ -147,3 +147,104 @@ fn training_concurrently_learns_each_shape_once() {
     // One shape, one model — regardless of 200 concurrent learnings.
     assert_eq!(septic.store().len(), 1);
 }
+
+#[test]
+fn stress_counters_account_for_every_query() {
+    // N session threads x M queries of mixed phases, with exact totals at
+    // the end: no lost detections, no lost models, no lost counts.
+    let threads: u64 = 8;
+    let per_thread: u64 = 30;
+
+    let server = Server::new();
+    let setup = server.connect();
+    setup
+        .execute("CREATE TABLE t (a VARCHAR(32), note VARCHAR(64))")
+        .unwrap();
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+
+    // Phase 1 — concurrent training of per-thread shapes (distinct
+    // external ids): every shape learned exactly once.
+    septic.set_mode(Mode::Training);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let conn = server.connect();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    conn.execute(&format!(
+                        "/* qid:stress-{t} */ SELECT a FROM t WHERE a = 'x{i}'"
+                    ))
+                    .expect("training query");
+                }
+            });
+        }
+    });
+    assert_eq!(septic.store().len(), threads as usize);
+    assert_eq!(septic.counters().models_created, threads);
+
+    // Phase 2 — prevention: per thread, half benign traffic on its
+    // trained shape, half tautology attacks against it.
+    septic.set_mode(Mode::PREVENTION);
+    let sessions: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let conn = server.connect();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        if i % 2 == 0 {
+                            conn.execute(&format!(
+                                "/* qid:stress-{t} */ SELECT a FROM t WHERE a = 'y{i}'"
+                            ))
+                            .expect("benign query must pass");
+                        } else {
+                            let err = conn
+                                .execute(&format!(
+                                    "/* qid:stress-{t} */ SELECT a FROM t WHERE a = '' OR {i}={i}-- '"
+                                ))
+                                .expect_err("attack must be dropped");
+                            assert!(matches!(err, DbError::Blocked(_)));
+                        }
+                    }
+                    conn.session_stats()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let benign_per_thread = per_thread.div_ceil(2);
+    let attacks_per_thread = per_thread / 2;
+    let snapshot = septic.counters();
+    assert_eq!(snapshot.sqli_detected, threads * attacks_per_thread);
+    assert_eq!(snapshot.queries_dropped, threads * attacks_per_thread);
+    assert_eq!(snapshot.queries_seen, threads * per_thread * 2);
+    assert_eq!(septic.store().len(), threads as usize, "no extra models");
+    // Per-session accounting agrees with the global counters.
+    for s in &sessions {
+        assert_eq!(s.queries_ok, benign_per_thread);
+        assert_eq!(s.queries_blocked, attacks_per_thread);
+        assert_eq!(s.queries_failed, 0);
+    }
+}
+
+#[test]
+fn model_lookups_share_one_allocation() {
+    // The hot path must hand back the stored model, not a deep clone.
+    let septic = Septic::new();
+    let stack = septic_repro::sql::items::lower_all(
+        &septic_repro::sql::parse("SELECT a FROM t WHERE a = 'x'")
+            .unwrap()
+            .statements,
+    );
+    let id = septic_repro::septic::QueryId {
+        external: None,
+        internal: 42,
+    };
+    septic.store().learn(
+        id.clone(),
+        septic_repro::septic::QueryModel::from_structure(&stack),
+    );
+    let a = septic.store().get(&id).expect("model");
+    let b = septic.store().get(&id).expect("model");
+    assert!(Arc::ptr_eq(&a, &b), "get() must be a refcount bump");
+}

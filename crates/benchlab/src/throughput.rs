@@ -44,6 +44,10 @@ pub struct ThroughputPlan {
     /// Whether SEPTIC event logging stays on during measurement. Off by
     /// default: the production hot path runs with the register disabled.
     pub event_logging: bool,
+    /// Seed mixed into every generated datum, so the exact query text
+    /// sequence each session issues is a pure function of the plan — two
+    /// runs of the same plan send byte-identical workloads.
+    pub seed: u64,
 }
 
 impl Default for ThroughputPlan {
@@ -56,20 +60,24 @@ impl Default for ThroughputPlan {
             max_duration: Duration::from_secs(10),
             distinct_shapes: 32,
             event_logging: false,
+            seed: 0x5EED_7090,
         }
     }
 }
 
 impl ThroughputPlan {
-    /// A seconds-long smoke shape for CI: two thread counts, few queries,
-    /// tight duration cap.
+    /// A seconds-long smoke shape for CI: two thread counts, few queries.
+    /// The duration cap is set far above the expected cell time (~40 ms),
+    /// so it never truncates the query count — every run of the smoke
+    /// plan completes exactly `threads × queries_per_thread` queries per
+    /// cell, deterministically. The cap only backstops a hung deployment.
     #[must_use]
     pub fn smoke() -> Self {
         ThroughputPlan {
             threads: vec![1, 2],
             queries_per_thread: 60,
             warmup_queries: 10,
-            max_duration: Duration::from_secs(2),
+            max_duration: Duration::from_secs(60),
             ..ThroughputPlan::default()
         }
     }
@@ -99,6 +107,8 @@ pub struct ThroughputReport {
     pub queries_per_thread: u64,
     /// Distinct trained query shapes rotated through.
     pub distinct_shapes: u64,
+    /// Workload seed the data payloads derived from.
+    pub seed: u64,
     /// CPUs visible to the measuring process.
     pub host_cpus: u64,
     /// One row per (config, thread-count) cell.
@@ -136,8 +146,14 @@ impl ThroughputReport {
 /// The benign query for a trained shape. Each shape is a distinct program
 /// point (external `/* qid:… */` id), so the sweep exercises the interner
 /// and spreads lookups across the model-store shards.
-fn shape_query(shape: usize, datum: usize) -> String {
+fn shape_query(shape: usize, datum: u64) -> String {
     format!("/* qid:tp-shape-{shape} */ SELECT note FROM tickets WHERE note = 'v{datum}'")
+}
+
+/// The datum a session sends on its `i`-th query: a pure function of
+/// (seed, session, i), so the workload byte stream is reproducible.
+fn session_datum(seed: u64, session: usize, i: usize) -> u64 {
+    (seed ^ (session as u64).wrapping_mul(0x9E37_79B9)).wrapping_add(i as u64) % 1_000_003
 }
 
 /// Builds a trained, prevention-mode deployment for one configuration.
@@ -182,7 +198,7 @@ fn measure_cell(
             let plan = plan.clone();
             thread::spawn(move || {
                 for i in 0..plan.warmup_queries {
-                    let q = shape_query((t + i) % shapes, i);
+                    let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
                     conn.execute(&q).expect("warmup query");
                 }
                 let cell_started = Instant::now();
@@ -191,7 +207,7 @@ fn measure_cell(
                     if cell_started.elapsed() > plan.max_duration {
                         break;
                     }
-                    let q = shape_query((t + i) % shapes, i);
+                    let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
                     conn.execute(&q).expect("benign query must pass");
                     done += 1;
                     if !plan.client_pad.is_zero() {
@@ -231,6 +247,7 @@ pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
         client_pad_us: u64::try_from(plan.client_pad.as_micros()).unwrap_or(u64::MAX),
         queries_per_thread: plan.queries_per_thread as u64,
         distinct_shapes: plan.distinct_shapes as u64,
+        seed: plan.seed,
         host_cpus: thread::available_parallelism().map_or(1, |n| n.get() as u64),
         rows,
     }
@@ -245,10 +262,14 @@ mod tests {
             threads: vec![1, 2],
             queries_per_thread: 8,
             warmup_queries: 2,
-            client_pad: Duration::from_micros(50),
-            max_duration: Duration::from_secs(2),
+            // No pad and an effectively-unbounded cap: the duration guard
+            // can never truncate the count, so the exact-count assertions
+            // below hold on arbitrarily slow or loaded hosts.
+            client_pad: Duration::ZERO,
+            max_duration: Duration::from_secs(3600),
             distinct_shapes: 4,
             event_logging: false,
+            seed: 42,
         }
     }
 
@@ -263,6 +284,34 @@ mod tests {
                 assert!(row.qps > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_modulo_wall_clock() {
+        // Everything except the timing fields is a pure function of the
+        // plan: same cells in the same order with the same exact counts.
+        let plan = tiny_plan();
+        let a = run_throughput(&plan);
+        let b = run_throughput(&plan);
+        let shape = |r: &ThroughputReport| {
+            r.rows
+                .iter()
+                .map(|row| (row.config.clone(), row.threads, row.queries))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&a), shape(&b));
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.queries_per_thread, b.queries_per_thread);
+    }
+
+    #[test]
+    fn workload_stream_is_a_pure_function_of_the_plan() {
+        for (t, i) in [(0usize, 0usize), (1, 3), (7, 99)] {
+            assert_eq!(session_datum(42, t, i), session_datum(42, t, i));
+        }
+        // Different sessions and seeds send different data.
+        assert_ne!(session_datum(42, 0, 0), session_datum(42, 1, 0));
+        assert_ne!(session_datum(42, 0, 0), session_datum(43, 0, 0));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Golden-file plumbing for the detection matrix.
+//!
+//! The matrix lives at `tests/golden/detection_matrix.json` in the repo
+//! root and is compared byte-for-byte. To accept intentional verdict
+//! changes, regenerate with:
+//!
+//! ```text
+//! SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden
+//! ```
+//!
+//! and commit the diff. CI regenerates and fails on any difference, so a
+//! PR can only change a detection verdict together with a reviewed golden
+//! update.
+
+use std::path::PathBuf;
+
+/// Repo-relative location of the golden matrix.
+#[must_use]
+pub fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/detection_matrix.json")
+}
+
+/// True when the run should rewrite the golden file instead of comparing
+/// (`SEPTIC_CONFORMANCE_REGEN` set to anything but `0`).
+#[must_use]
+pub fn regen_requested() -> bool {
+    std::env::var_os("SEPTIC_CONFORMANCE_REGEN").is_some_and(|v| v != "0")
+}
+
+/// A compact line diff for mismatch reports: the first `max` differing
+/// lines with their 1-based line numbers, or `None` when equal.
+#[must_use]
+pub fn diff_report(expected: &str, actual: &str, max: usize) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let mut out = String::new();
+    let mut shown = 0;
+    let mut expected_lines = expected.lines();
+    let mut actual_lines = actual.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (expected_lines.next(), actual_lines.next()) {
+            (None, None) => break,
+            (e, a) => {
+                if e != a {
+                    out.push_str(&format!(
+                        "line {line}:\n  golden: {}\n  actual: {}\n",
+                        e.unwrap_or("<eof>"),
+                        a.unwrap_or("<eof>")
+                    ));
+                    shown += 1;
+                    if shown >= max {
+                        out.push_str("  … (further differences elided)\n");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        // Same lines, different bytes (e.g. trailing newline).
+        out.push_str("files differ only in trailing bytes/newlines\n");
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_strings_have_no_diff() {
+        assert_eq!(diff_report("a\nb\n", "a\nb\n", 5), None);
+    }
+
+    #[test]
+    fn diff_names_the_first_divergent_line() {
+        let d = diff_report("a\nb\nc\n", "a\nX\nc\n", 5).expect("differs");
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("golden: b"), "{d}");
+        assert!(d.contains("actual: X"), "{d}");
+    }
+
+    #[test]
+    fn diff_is_capped() {
+        let d = diff_report("a\nb\nc\n", "x\ny\nz\n", 2).expect("differs");
+        assert!(d.contains("elided"), "{d}");
+    }
+
+    #[test]
+    fn trailing_newline_difference_is_reported() {
+        let d = diff_report("a\n", "a", 5).expect("differs");
+        assert!(d.contains("trailing"), "{d}");
+    }
+}

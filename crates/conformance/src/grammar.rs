@@ -1,0 +1,483 @@
+//! Seeded, grammar-driven case generation.
+//!
+//! A small web-app grammar: query **templates** over a fixed schema, each
+//! with one user-controlled slot (quoted string or unquoted numeric — the
+//! two splice contexts of the paper's vulnerable PHP apps). From every
+//! template the generator derives:
+//!
+//! * **benign** instances (random safe literals) — the training corpus and
+//!   the false-positive probe;
+//! * **attack** variants per taxonomy class ([`AttackClass`]): tautologies,
+//!   UNION pulls, piggybacked statements, comment/syntax mimicry, and
+//!   encoding tricks (homoglyph quotes, version comments, fullwidth
+//!   comment starters, hex literals).
+//!
+//! The application model is faithful to the paper's setup: quoted slots
+//! are sanitized with `mysql_real_escape_string` before splicing (so
+//! classic ASCII SQLI is *neutralized* and only semantic-mismatch classes
+//! get through), numeric slots are spliced verbatim (the classic PHP bug —
+//! escaping without quoting protects nothing).
+
+use septic_attacks::AttackClass;
+use septic_webapp::php::mysql_real_escape_string;
+
+use crate::rng::ConformanceRng;
+
+/// Splice context of a template's user slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Inside a `'…'` literal; the app escapes the payload first.
+    Quoted,
+    /// Unquoted numeric position; the app splices the payload verbatim.
+    Numeric,
+}
+
+/// One vulnerable program point: a query with a single user slot.
+#[derive(Debug, Clone, Copy)]
+pub struct Template {
+    /// Stable name, used in case ids and the golden matrix.
+    pub name: &'static str,
+    /// Query text before the slot (includes the opening quote for
+    /// [`SlotKind::Quoted`] slots and the `/* qid:… */` program-point id).
+    pub prefix: &'static str,
+    /// Query text after the slot (closing quote for quoted slots).
+    pub suffix: &'static str,
+    /// Splice context.
+    pub slot: SlotKind,
+}
+
+impl Template {
+    /// Builds the SQL the application would send for `payload`, applying
+    /// the application-side sanitization of the slot kind.
+    #[must_use]
+    pub fn build(&self, payload: &str) -> String {
+        let spliced = match self.slot {
+            SlotKind::Quoted => mysql_real_escape_string(payload),
+            SlotKind::Numeric => payload.to_string(),
+        };
+        format!("{}{}{}", self.prefix, spliced, self.suffix)
+    }
+
+    /// A random benign payload for the slot.
+    pub fn benign_payload(&self, rng: &mut ConformanceRng) -> String {
+        match self.slot {
+            SlotKind::Quoted => rng.benign_word(1, 10),
+            SlotKind::Numeric => rng.below(5000).to_string(),
+        }
+    }
+}
+
+/// The fixed template set. Order is part of the golden-matrix contract.
+#[must_use]
+pub fn templates() -> &'static [Template] {
+    &[
+        Template {
+            name: "tickets-lookup",
+            prefix: "/* qid:conf-tickets */ SELECT * FROM tickets WHERE reservID = '",
+            suffix: "' AND creditCard = 1234",
+            slot: SlotKind::Quoted,
+        },
+        Template {
+            name: "login",
+            prefix: "/* qid:conf-login */ SELECT id FROM users WHERE username = '",
+            suffix: "' AND password = 'secret1'",
+            slot: SlotKind::Quoted,
+        },
+        Template {
+            name: "note-update",
+            prefix: "/* qid:conf-update */ UPDATE tickets SET note = '",
+            suffix: "' WHERE reservID = 'ID34FG'",
+            slot: SlotKind::Quoted,
+        },
+        Template {
+            name: "like-search",
+            prefix: "/* qid:conf-like */ SELECT username FROM users WHERE username LIKE '",
+            suffix: "%'",
+            slot: SlotKind::Quoted,
+        },
+        Template {
+            name: "reading-insert",
+            prefix: "/* qid:conf-insert */ INSERT INTO readings (device, watts, day) VALUES ('",
+            suffix: "', 5, 1)",
+            slot: SlotKind::Quoted,
+        },
+        Template {
+            name: "watts-filter",
+            prefix: "/* qid:conf-watts */ SELECT device, watts FROM readings WHERE day = ",
+            suffix: " AND watts > 10",
+            slot: SlotKind::Numeric,
+        },
+        Template {
+            name: "purge-day",
+            prefix: "/* qid:conf-purge */ DELETE FROM readings WHERE day < ",
+            suffix: "",
+            slot: SlotKind::Numeric,
+        },
+    ]
+}
+
+/// Quote homoglyphs the connection charset folds to `'` — the characters
+/// `mysql_real_escape_string` passes untouched.
+const QUOTE_HOMOGLYPHS: [char; 3] = ['\u{02BC}', '\u{2019}', '\u{FF07}'];
+
+/// Comment tails that swallow the template suffix after a breakout.
+const COMMENT_TAILS: [&str; 3] = ["-- ", "#", " -- "];
+
+/// Spellings of `OR` (keyword case is free in MySQL; WAF regexes that
+/// anchor on a fixed case miss the variants).
+const OR_SPELLINGS: [&str; 4] = ["OR", "or", "Or", "oR"];
+
+fn homoglyph(rng: &mut ConformanceRng) -> char {
+    *rng.pick(&QUOTE_HOMOGLYPHS)
+}
+
+fn tail(rng: &mut ConformanceRng) -> &'static str {
+    COMMENT_TAILS[rng.below(COMMENT_TAILS.len() as u64) as usize]
+}
+
+fn or_kw(rng: &mut ConformanceRng) -> &'static str {
+    OR_SPELLINGS[rng.below(OR_SPELLINGS.len() as u64) as usize]
+}
+
+/// One generated conformance case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Stable id, e.g. `login/homoglyph-tautology-1`.
+    pub id: String,
+    /// Template name.
+    pub template: &'static str,
+    /// `None` for benign instances.
+    pub class: Option<AttackClass>,
+    /// Taxonomy variant: `benign`, `tautology`, `union`, `piggyback`,
+    /// `comment-mimicry`, `mimicry`, `encoding`, `stored-xss`.
+    pub variant: &'static str,
+    /// The raw user payload, before application-side sanitization.
+    pub payload: String,
+    /// The SQL the application sends (payload sanitized and spliced).
+    pub sql: String,
+}
+
+/// Stable kebab-case key for the matrix `class` column.
+#[must_use]
+pub fn class_key(class: Option<AttackClass>) -> &'static str {
+    match class {
+        None => "benign",
+        Some(AttackClass::ClassicSqli) => "classic-sqli",
+        Some(AttackClass::NumericContext) => "numeric-context",
+        Some(AttackClass::HomoglyphFirstOrder) => "homoglyph-first-order",
+        Some(AttackClass::SyntaxMimicry) => "syntax-mimicry",
+        Some(AttackClass::SecondOrder) => "second-order",
+        Some(AttackClass::Piggyback) => "piggyback",
+        Some(AttackClass::StoredXss) => "stored-xss",
+        Some(AttackClass::Rfi) => "rfi",
+        Some(AttackClass::Lfi) => "lfi",
+        Some(AttackClass::Osci) => "osci",
+        Some(AttackClass::Rce) => "rce",
+    }
+}
+
+/// Attack payloads derived for one template: `(class, variant, payload)`.
+/// Every payload here is *designed to survive the application-side
+/// sanitization* of the slot (except the classic-SQLI contrast cases,
+/// which exist to show sanitization working).
+fn attack_specs(
+    t: &Template,
+    rng: &mut ConformanceRng,
+) -> Vec<(AttackClass, &'static str, String)> {
+    let mut specs = Vec::new();
+    match t.slot {
+        SlotKind::Quoted => {
+            // Classic ASCII tautology: neutralized by escaping, shown for
+            // contrast (and as the WAF's bread and butter).
+            let w = rng.benign_word(1, 6);
+            let n = rng.range(1, 10);
+            specs.push((
+                AttackClass::ClassicSqli,
+                "tautology",
+                format!("{w}' {} {n}={n}-- ", or_kw(rng)),
+            ));
+            let w = rng.benign_word(1, 6);
+            specs.push((
+                AttackClass::ClassicSqli,
+                "tautology",
+                format!("{w}' {} 'a'='a", or_kw(rng)),
+            ));
+            // Homoglyph breakout tautology: the escape function does not
+            // recognise the quote, the connection charset folds it.
+            for _ in 0..2 {
+                let w = rng.benign_word(1, 6);
+                let n = rng.range(1, 10);
+                specs.push((
+                    AttackClass::HomoglyphFirstOrder,
+                    "tautology",
+                    format!(
+                        "{w}{} {} {n} = {n}{}",
+                        homoglyph(rng),
+                        or_kw(rng),
+                        tail(rng)
+                    ),
+                ));
+            }
+            // Homoglyph UNION pull, select-list arity matched to the
+            // template so the query would actually execute.
+            if let Some(cols) = union_columns(t.name) {
+                for _ in 0..2 {
+                    let w = rng.benign_word(1, 6);
+                    specs.push((
+                        AttackClass::HomoglyphFirstOrder,
+                        "union",
+                        format!(
+                            "{w}{} UNION SELECT {cols} FROM users{}",
+                            homoglyph(rng),
+                            tail(rng)
+                        ),
+                    ));
+                }
+            }
+            // Encoding tricks: version comment around the operator, and a
+            // fullwidth `＃` (folds to `#`) hiding the suffix.
+            let w = rng.benign_word(1, 6);
+            let n = rng.range(1, 10);
+            specs.push((
+                AttackClass::HomoglyphFirstOrder,
+                "encoding",
+                format!(
+                    "{w}{} /*!{} */ {n}={n}{}",
+                    homoglyph(rng),
+                    or_kw(rng),
+                    tail(rng)
+                ),
+            ));
+            let w = rng.benign_word(1, 6);
+            let n = rng.range(1, 10);
+            specs.push((
+                AttackClass::HomoglyphFirstOrder,
+                "encoding",
+                format!("{w}{} {} {n}={n}\u{FF03}", homoglyph(rng), or_kw(rng)),
+            ));
+            // Syntax mimicry (Figure 4): reproduces the learned arity, only
+            // a node type differs — the tickets template has the right
+            // shape for it.
+            if t.name == "tickets-lookup" {
+                for _ in 0..2 {
+                    let w = rng.benign_word(1, 6);
+                    let n = rng.range(1, 10);
+                    specs.push((
+                        AttackClass::SyntaxMimicry,
+                        "comment-mimicry",
+                        format!("{w}{} AND {n} = {n}{}", homoglyph(rng), tail(rng)),
+                    ));
+                }
+            }
+            // Piggyback through the homoglyph breakout.
+            let w = rng.benign_word(1, 6);
+            specs.push((
+                AttackClass::Piggyback,
+                "piggyback",
+                format!("{w}{}; DROP TABLE users{}", homoglyph(rng), tail(rng)),
+            ));
+            let w = rng.benign_word(1, 6);
+            specs.push((
+                AttackClass::Piggyback,
+                "piggyback",
+                format!("{w}{}; DELETE FROM tickets{}", homoglyph(rng), tail(rng)),
+            ));
+            // Stored XSS rides the INSERT template: structurally clean SQL,
+            // the payload is the attack.
+            if t.name == "reading-insert" {
+                let n = rng.range(1, 100);
+                specs.push((
+                    AttackClass::StoredXss,
+                    "stored-xss",
+                    format!("<script>alert({n})</script>"),
+                ));
+                specs.push((
+                    AttackClass::StoredXss,
+                    "stored-xss",
+                    "<img src=x onerror=alert(1)>".to_string(),
+                ));
+            }
+        }
+        SlotKind::Numeric => {
+            // Numeric-context tautology: no quote needed at all.
+            for _ in 0..2 {
+                let n = rng.below(100);
+                let m = rng.range(1, 10);
+                specs.push((
+                    AttackClass::NumericContext,
+                    "tautology",
+                    format!("{n} {} {m} = {m}", or_kw(rng)),
+                ));
+            }
+            // UNION pull (only where the outer select has a list to match).
+            if let Some(cols) = union_columns(t.name) {
+                for _ in 0..2 {
+                    let n = rng.below(100);
+                    specs.push((
+                        AttackClass::NumericContext,
+                        "union",
+                        format!("{n} UNION SELECT {cols} FROM users"),
+                    ));
+                }
+            }
+            // Comment mimicry: block comments instead of whitespace dodge
+            // space-anchored WAF regexes; the DBMS strips them.
+            let n = rng.below(100);
+            let m = rng.range(1, 10);
+            specs.push((
+                AttackClass::NumericContext,
+                "comment-mimicry",
+                format!("{n}/**/{}/**/{m}={m}", or_kw(rng)),
+            ));
+            // Encoding trick: hex literal keeps the tautology digit-free.
+            let m = rng.range(1, 10);
+            specs.push((
+                AttackClass::NumericContext,
+                "encoding",
+                format!("0x{m:02x} {} 0x{m:02x} = 0x{m:02x}", or_kw(rng)),
+            ));
+            // Syntax mimicry: a column reference has the arity of the
+            // learned integer literal but a different node type.
+            specs.push((AttackClass::SyntaxMimicry, "mimicry", "watts".to_string()));
+            specs.push((AttackClass::SyntaxMimicry, "mimicry", "day".to_string()));
+            // Piggyback: numeric context needs no breakout at all.
+            let n = rng.below(100);
+            specs.push((
+                AttackClass::Piggyback,
+                "piggyback",
+                format!("{n}; DROP TABLE readings"),
+            ));
+        }
+    }
+    specs
+}
+
+/// Select list used by UNION payloads so column counts line up with the
+/// template's outer query.
+fn union_columns(template: &str) -> Option<&'static str> {
+    match template {
+        "tickets-lookup" => Some("id, username, password"),
+        "login" | "like-search" => Some("password"),
+        "watts-filter" => Some("username, id"),
+        _ => None,
+    }
+}
+
+/// Generates the full conformance case list for `seed`. Pure: the same
+/// seed always yields the same cases, in the same order.
+#[must_use]
+pub fn generate_cases(seed: u64) -> Vec<Case> {
+    let mut rng = ConformanceRng::new(seed);
+    let mut cases = Vec::new();
+    for t in templates() {
+        for i in 0..3 {
+            let payload = t.benign_payload(&mut rng);
+            cases.push(Case {
+                id: format!("{}/benign-{i}", t.name),
+                template: t.name,
+                class: None,
+                variant: "benign",
+                sql: t.build(&payload),
+                payload,
+            });
+        }
+        let mut per_variant: Vec<(&'static str, u32)> = Vec::new();
+        for (class, variant, payload) in attack_specs(t, &mut rng) {
+            let key = format!("{}-{variant}", class_key(Some(class)));
+            let n = match per_variant.iter_mut().find(|(k, _)| *k == variant) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    per_variant.push((variant, 0));
+                    0
+                }
+            };
+            cases.push(Case {
+                id: format!("{}/{key}-{n}", t.name),
+                template: t.name,
+                class: Some(class),
+                variant,
+                sql: t.build(&payload),
+                payload,
+            });
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_cases(7);
+        let b = generate_cases(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.payload, y.payload);
+            assert_eq!(x.sql, y.sql);
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_payloads() {
+        let a = generate_cases(1);
+        let b = generate_cases(2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.payload != y.payload));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let cases = generate_cases(3);
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn every_required_taxonomy_variant_is_generated() {
+        let cases = generate_cases(5);
+        for variant in [
+            "benign",
+            "tautology",
+            "union",
+            "piggyback",
+            "comment-mimicry",
+            "mimicry",
+            "encoding",
+            "stored-xss",
+        ] {
+            assert!(
+                cases.iter().any(|c| c.variant == variant),
+                "missing variant {variant}"
+            );
+        }
+        for class in [
+            AttackClass::ClassicSqli,
+            AttackClass::NumericContext,
+            AttackClass::HomoglyphFirstOrder,
+            AttackClass::SyntaxMimicry,
+            AttackClass::Piggyback,
+            AttackClass::StoredXss,
+        ] {
+            assert!(
+                cases.iter().any(|c| c.class == Some(class)),
+                "missing class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn benign_cases_parse_and_quoted_slots_survive_escaping() {
+        let cases = generate_cases(11);
+        for c in cases.iter().filter(|c| c.class.is_none()) {
+            septic_sql::decode_and_parse(&c.sql).expect("benign case parses");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Conformance lab for the SEPTIC reproduction.
+//!
+//! Four cooperating pieces, all seeded and fully deterministic:
+//!
+//! - [`grammar`] — a grammar-driven generator that produces benign query
+//!   templates and, per taxonomy class from `crates/attacks`, derived
+//!   attack variants (tautology, union, piggyback, comment mimicry,
+//!   encoding tricks).
+//! - [`metamorphic`] — mutation operators and oracles asserting that
+//!   semantics-preserving rewrites (homoglyph quoting, inline comments,
+//!   whitespace and case churn) never change a benign query's learned
+//!   query model, and that query-structure extraction is a fixpoint under
+//!   parse → display → parse.
+//! - [`differential`] — a driver that runs every generated case through
+//!   sanitization-only, the WAF, and SEPTIC in detection, prevention, and
+//!   structural-only modes, producing the golden detection matrix at
+//!   `tests/golden/detection_matrix.json`.
+//! - [`fuzz`] — a deterministic byte-level fuzz harness for the SQL
+//!   front end, with a minimizing shrinker, run from `cargo test`.
+//!
+//! [`astgen`] and [`rng`] are shared infrastructure: an every-node-kind
+//! SQL statement generator for roundtrip properties, and the xorshift RNG
+//! everything derives its randomness from.
+
+pub mod astgen;
+pub mod differential;
+pub mod fuzz;
+pub mod golden;
+pub mod grammar;
+pub mod metamorphic;
+pub mod rng;

@@ -1,0 +1,240 @@
+//! Metamorphic oracles over the semantic-mismatch transformations.
+//!
+//! The mismatch thesis (DESIGN.md, paper §II-B): a defense is bypassable
+//! exactly when it reads a query differently from the DBMS. The oracles
+//! here pin the *DBMS side* of that equation: transformations MySQL treats
+//! as equivalent for benign queries — homoglyph quotes folded by the
+//! connection charset, inline comments, whitespace runs, keyword/identifier
+//! case — must never change the learned query model (QM); and the
+//! transformations MySQL does **not** treat as equivalent (numeric-string
+//! coercion across the `12` / `'12'` type boundary) must stay visible to
+//! the detector as a node-type mismatch.
+//!
+//! The second family asserts QS extraction is a **fixpoint**:
+//! parse → display → parse yields an identical item stack, so the printed
+//! form of a query is a faithful carrier of its structure.
+
+use septic::QueryModel;
+use septic_sql::items::ItemStack;
+use septic_sql::{charset, items, parse};
+
+use crate::rng::ConformanceRng;
+
+/// Lexical region of a SQL text, tracked by the mutators so string-literal
+/// *content* and comment bodies are never touched (mutating those is the
+/// attack space, not the equivalence space).
+#[derive(Clone, Copy, PartialEq)]
+enum Region {
+    Normal,
+    InString,
+    InComment,
+}
+
+/// Walks `sql` and rebuilds it, passing each character in normal (outside
+/// string/comment) position to `f`, which pushes its replacement. String
+/// and comment characters — including their delimiters — are copied
+/// verbatim. Handles `\x` escapes and doubled `''` inside strings.
+fn map_normal_chars(sql: &str, mut f: impl FnMut(char, &mut String)) -> String {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut out = String::with_capacity(sql.len() + 16);
+    let mut region = Region::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match region {
+            Region::Normal => {
+                if c == '\'' {
+                    region = Region::InString;
+                    out.push(c);
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    region = Region::InComment;
+                    out.push_str("/*");
+                    i += 1;
+                } else {
+                    f(c, &mut out);
+                }
+            }
+            Region::InString => {
+                if c == '\\' {
+                    out.push(c);
+                    if let Some(&next) = chars.get(i + 1) {
+                        out.push(next);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    if chars.get(i + 1) == Some(&'\'') {
+                        out.push_str("''");
+                        i += 1;
+                    } else {
+                        region = Region::Normal;
+                        out.push(c);
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            Region::InComment => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    region = Region::Normal;
+                    out.push_str("*/");
+                    i += 1;
+                } else {
+                    out.push(c);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Homoglyphs the connection charset folds back to `'` ([`charset::decode`]).
+const QUOTE_HOMOGLYPHS: [char; 4] = ['\u{02BC}', '\u{2019}', '\u{FF07}', '\u{2032}'];
+
+/// Replaces every ASCII quote delimiter with a random homoglyph that
+/// decodes back to `'` — the U+02BC transformation of the paper, applied
+/// benignly: after [`charset::decode`] the query is identical.
+pub fn requote_with_homoglyphs(sql: &str, rng: &mut ConformanceRng) -> String {
+    // Quote delimiters sit at Normal→InString boundaries; map_normal_chars
+    // copies them verbatim, so substitute on the raw text instead and rely
+    // on every ASCII `'` in a benign query being a delimiter or its close.
+    sql.chars()
+        .map(|c| {
+            if c == '\'' {
+                *rng.pick(&QUOTE_HOMOGLYPHS)
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Inserts `/* … */` inline comments at token boundaries (spaces outside
+/// strings/comments). MySQL strips them during lexing; WAF regexes keyed
+/// on `\s` do not.
+pub fn insert_inline_comments(sql: &str, rng: &mut ConformanceRng) -> String {
+    let mut r = rng.clone();
+    let out = map_normal_chars(sql, |c, out| {
+        if c == ' ' && r.chance(50) {
+            let w = r.benign_word(0, 4);
+            out.push_str(" /*");
+            out.push_str(&w);
+            out.push_str("*/ ");
+        } else {
+            out.push(c);
+        }
+    });
+    *rng = r;
+    out
+}
+
+/// Replaces single spaces (outside strings/comments) with 1–3 random
+/// whitespace characters (space, tab, newline).
+pub fn mutate_whitespace(sql: &str, rng: &mut ConformanceRng) -> String {
+    let mut r = rng.clone();
+    let out = map_normal_chars(sql, |c, out| {
+        if c == ' ' {
+            for _ in 0..r.range(1, 4) {
+                out.push(*r.pick(&[' ', '\t', '\n']));
+            }
+        } else {
+            out.push(c);
+        }
+    });
+    *rng = r;
+    out
+}
+
+/// Randomly flips the ASCII case of keywords and identifiers (outside
+/// strings/comments). MySQL keywords are case-insensitive and the lowering
+/// canonicalises identifier case.
+pub fn mutate_case(sql: &str, rng: &mut ConformanceRng) -> String {
+    let mut r = rng.clone();
+    let out = map_normal_chars(sql, |c, out| {
+        if c.is_ascii_alphabetic() && r.coin() {
+            if c.is_ascii_lowercase() {
+                out.push(c.to_ascii_uppercase());
+            } else {
+                out.push(c.to_ascii_lowercase());
+            }
+        } else {
+            out.push(c);
+        }
+    });
+    *rng = r;
+    out
+}
+
+/// QS of a raw query as the server front end computes it (charset decode,
+/// parse, lower).
+///
+/// # Panics
+///
+/// Panics when the query does not parse — oracle inputs are benign by
+/// construction.
+#[must_use]
+pub fn qs_of(raw_sql: &str) -> ItemStack {
+    let decoded = charset::decode(raw_sql);
+    let parsed = parse(&decoded.text).expect("oracle query must parse");
+    items::lower_all(&parsed.statements)
+}
+
+/// Learned QM of a raw query.
+#[must_use]
+pub fn qm_of(raw_sql: &str) -> QueryModel {
+    QueryModel::from_structure(&qs_of(raw_sql))
+}
+
+/// Reprints a parsed query from its AST (multi-statement queries joined
+/// with `; `).
+#[must_use]
+pub fn reprint(raw_sql: &str) -> String {
+    let decoded = charset::decode(raw_sql);
+    let parsed = parse(&decoded.text).expect("reprint input must parse");
+    parsed
+        .statements
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// The QS fixpoint relation: parse → display → parse preserves the item
+/// stack exactly.
+#[must_use]
+pub fn qs_is_fixpoint(raw_sql: &str) -> bool {
+    qs_of(raw_sql) == qs_of(&reprint(raw_sql))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_normal_chars_skips_strings_and_comments() {
+        let sql = "SELECT a /* keep me */ FROM t WHERE a = 'it''s x' AND b = 'c\\' d'";
+        let upper = map_normal_chars(sql, |c, out| out.push(c.to_ascii_uppercase()));
+        assert!(upper.contains("keep me"), "{upper}");
+        assert!(upper.contains("it''s x"), "{upper}");
+        assert!(upper.contains("c\\' d"), "{upper}");
+        assert!(upper.starts_with("SELECT A"), "{upper}");
+    }
+
+    #[test]
+    fn requote_substitutes_all_ascii_quotes() {
+        let mut rng = ConformanceRng::new(1);
+        let out = requote_with_homoglyphs("WHERE a = 'x' AND b = 'y'", &mut rng);
+        assert!(!out.contains('\''));
+        assert_eq!(charset::decode(&out).text, "WHERE a = 'x' AND b = 'y'");
+    }
+
+    #[test]
+    fn comment_insertion_keeps_queries_parseable() {
+        let mut rng = ConformanceRng::new(2);
+        for _ in 0..20 {
+            let sql = "SELECT a, b FROM t WHERE a = 'x' AND b = 2 ORDER BY a LIMIT 3";
+            let mutated = insert_inline_comments(sql, &mut rng);
+            parse(&mutated).expect("still parses");
+        }
+    }
+}

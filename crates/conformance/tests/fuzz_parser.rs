@@ -1,0 +1,37 @@
+//! Deterministic fuzz run for the SQL front end, wired into `cargo test`.
+//!
+//! The default budget is 10 000 seeded iterations; CI can scale it with
+//! `SEPTIC_FUZZ_ITERS`. The run seed can be overridden with
+//! `SEPTIC_FUZZ_SEED` to replay an alternative universe. Any panic fails
+//! the test and prints the iteration seed plus the minimized input, which
+//! reproduce the failure without any stored corpus.
+
+use septic_conformance::fuzz::{describe_failures, run_fuzz, FuzzConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+#[test]
+fn fuzz_sql_frontend_never_panics() {
+    let config = FuzzConfig {
+        seed: env_u64("SEPTIC_FUZZ_SEED", FuzzConfig::default().seed),
+        iterations: env_u64("SEPTIC_FUZZ_ITERS", FuzzConfig::default().iterations),
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&config);
+    assert_eq!(report.iterations, config.iterations);
+    assert!(
+        report.failures.is_empty(),
+        "{} panic(s) in {} iterations (seed {:#018x}):\n{}",
+        report.failures.len(),
+        report.iterations,
+        config.seed,
+        describe_failures(&report)
+    );
+}

@@ -1,0 +1,94 @@
+//! Golden detection-matrix test: regenerates the matrix from the fixed
+//! seed and compares it byte-for-byte against the checked-in golden file.
+//!
+//! To accept an intentional change:
+//!
+//! ```text
+//! SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden
+//! ```
+
+use septic_conformance::differential::{build_matrix, canonical_json, Verdict, MATRIX_SEED};
+use septic_conformance::golden::{diff_report, golden_path, regen_requested};
+
+#[test]
+fn matrix_generation_is_byte_deterministic() {
+    let a = canonical_json(&build_matrix(MATRIX_SEED));
+    let b = canonical_json(&build_matrix(MATRIX_SEED));
+    assert_eq!(a, b, "two builds from the same seed must be byte-identical");
+}
+
+#[test]
+fn matrix_matches_golden() {
+    let path = golden_path();
+    let actual = canonical_json(&build_matrix(MATRIX_SEED));
+    if regen_requested() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden",
+            path.display()
+        )
+    });
+    if let Some(diff) = diff_report(&expected, &actual, 20) {
+        panic!(
+            "detection matrix drifted from the golden file.\n{diff}\
+             If the change is intentional, regenerate with \
+             SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden \
+             and commit the diff."
+        );
+    }
+}
+
+#[test]
+fn no_defense_flags_a_benign_case() {
+    let matrix = build_matrix(MATRIX_SEED);
+    for case in matrix.cases.iter().filter(|c| c.class == "benign") {
+        for (defense, verdict) in [
+            ("sanitize-only", &case.sanitize_only),
+            ("waf", &case.waf),
+            ("septic-detection", &case.septic_detection),
+            ("septic-prevention", &case.septic_prevention),
+            ("septic-structural", &case.septic_structural),
+        ] {
+            assert_eq!(
+                verdict,
+                Verdict::Passed.label(),
+                "benign case {} must pass {defense}, got {verdict}",
+                case.id
+            );
+        }
+    }
+}
+
+#[test]
+fn septic_prevention_stops_every_harmful_case() {
+    let matrix = build_matrix(MATRIX_SEED);
+    for case in matrix.cases.iter().filter(|c| c.harmful) {
+        assert_ne!(
+            case.septic_prevention,
+            Verdict::Passed.label(),
+            "harmful case {} slipped through SEPTIC prevention (payload: {})",
+            case.id,
+            case.payload
+        );
+    }
+}
+
+#[test]
+fn matrix_summarizes_every_class_in_generation_order() {
+    let matrix = build_matrix(MATRIX_SEED);
+    let mut classes_seen = Vec::new();
+    for case in &matrix.cases {
+        if !classes_seen.contains(&case.class) {
+            classes_seen.push(case.class.clone());
+        }
+    }
+    let summary_classes: Vec<String> = matrix.summary.iter().map(|r| r.class.clone()).collect();
+    assert_eq!(summary_classes, classes_seen);
+    let total: u32 = matrix.summary.iter().map(|r| r.cases).sum();
+    assert_eq!(total as usize, matrix.cases.len());
+}

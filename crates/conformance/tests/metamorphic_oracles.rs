@@ -1,0 +1,182 @@
+//! Metamorphic oracles for the SEPTIC learning pipeline.
+//!
+//! Each oracle applies a semantics-preserving transformation to a benign
+//! query and asserts that the learned query model (QM) — the structure
+//! SEPTIC trains on — is unchanged. A mutation that *did* change the QM
+//! would make training non-robust: the same application query observed
+//! through a different client encoding would re-train as a new model.
+//!
+//! The final oracle asserts query-structure (QS) extraction is a fixpoint
+//! under parse → display → parse: pretty-printing a query and re-ingesting
+//! it yields the identical item stack.
+
+use septic_conformance::grammar::{generate_cases, Case};
+use septic_conformance::metamorphic::{
+    insert_inline_comments, mutate_case, mutate_whitespace, qm_of, qs_is_fixpoint,
+    requote_with_homoglyphs,
+};
+use septic_conformance::rng::ConformanceRng;
+
+const ORACLE_SEED: u64 = 0xBE9169;
+
+fn benign_cases() -> Vec<Case> {
+    let cases: Vec<Case> = generate_cases(ORACLE_SEED)
+        .into_iter()
+        .filter(|c| c.class.is_none())
+        .collect();
+    assert!(!cases.is_empty(), "generator produced no benign cases");
+    cases
+}
+
+/// U+02BC (and friends): requoting a benign query with Unicode homoglyph
+/// quotes must not change its learned model — charset folding maps the
+/// homoglyphs back to ASCII `'` before structure extraction.
+#[test]
+fn homoglyph_requoting_preserves_the_query_model() {
+    let mut rng = ConformanceRng::new(ORACLE_SEED);
+    for case in benign_cases() {
+        let baseline = qm_of(&case.sql);
+        for _ in 0..4 {
+            let mutated = requote_with_homoglyphs(&case.sql, &mut rng);
+            assert_eq!(
+                baseline,
+                qm_of(&mutated),
+                "homoglyph requote changed the QM of {}:\n  before: {}\n  after:  {mutated}",
+                case.id,
+                case.sql
+            );
+        }
+    }
+}
+
+/// Inline `/*word*/` comments in token gaps are whitespace to the lexer:
+/// the model must not change.
+#[test]
+fn inline_comment_insertion_preserves_the_query_model() {
+    let mut rng = ConformanceRng::new(ORACLE_SEED ^ 1);
+    for case in benign_cases() {
+        let baseline = qm_of(&case.sql);
+        for _ in 0..4 {
+            let mutated = insert_inline_comments(&case.sql, &mut rng);
+            assert_eq!(
+                baseline,
+                qm_of(&mutated),
+                "comment insertion changed the QM of {}:\n  before: {}\n  after:  {mutated}",
+                case.id,
+                case.sql
+            );
+        }
+    }
+}
+
+/// Whitespace churn (tabs, newlines, repeated spaces) between tokens is
+/// invisible to structure extraction.
+#[test]
+fn whitespace_mutation_preserves_the_query_model() {
+    let mut rng = ConformanceRng::new(ORACLE_SEED ^ 2);
+    for case in benign_cases() {
+        let baseline = qm_of(&case.sql);
+        for _ in 0..4 {
+            let mutated = mutate_whitespace(&case.sql, &mut rng);
+            assert_eq!(
+                baseline,
+                qm_of(&mutated),
+                "whitespace mutation changed the QM of {}:\n  before: {}\n  after:  {mutated}",
+                case.id,
+                case.sql
+            );
+        }
+    }
+}
+
+/// Keyword and identifier case outside strings is free in MySQL; the
+/// model must be case-insensitive to it.
+#[test]
+fn keyword_case_mutation_preserves_the_query_model() {
+    let mut rng = ConformanceRng::new(ORACLE_SEED ^ 3);
+    for case in benign_cases() {
+        let baseline = qm_of(&case.sql);
+        for _ in 0..4 {
+            let mutated = mutate_case(&case.sql, &mut rng);
+            assert_eq!(
+                baseline,
+                qm_of(&mutated),
+                "case mutation changed the QM of {}:\n  before: {}\n  after:  {mutated}",
+                case.id,
+                case.sql
+            );
+        }
+    }
+}
+
+/// Numeric-string coercion, both halves of the oracle:
+///
+/// - spellings of the *same* literal type (`7`, `007`, `+0 7` padding)
+///   train to the same model — the payload is blanked, only the tag stays;
+/// - coercion *across* types (`12` → `12.0`, `7` → `'7'`) changes the
+///   model, because the item tag (`INT_ITEM` / `REAL_ITEM` /
+///   `STRING_ITEM`) is structure, not data. MySQL would silently coerce
+///   these at execution time; the model seeing the difference is exactly
+///   what makes syntax-mimicry attacks detectable.
+#[test]
+fn numeric_coercion_is_visible_to_the_model_but_spelling_is_not() {
+    let sql = |lit: &str| format!("SELECT watts FROM readings WHERE day = {lit}");
+    for (a, b) in [("7", "007"), ("12", "0012"), ("1.5", "1.50")] {
+        assert_eq!(
+            qm_of(&sql(a)),
+            qm_of(&sql(b)),
+            "same-type spellings {a} vs {b} trained different models"
+        );
+    }
+    for (a, b) in [("12", "12.0"), ("7", "'7'"), ("1.5", "'1.5'")] {
+        assert_ne!(
+            qm_of(&sql(a)),
+            qm_of(&sql(b)),
+            "cross-type coercion {a} vs {b} must change the model"
+        );
+    }
+}
+
+/// QS extraction is a fixpoint: parse → display → parse yields the same
+/// item stack, for every benign case and every homoglyph-requoted variant.
+#[test]
+fn qs_extraction_is_a_fixpoint_under_reprinting() {
+    let mut rng = ConformanceRng::new(ORACLE_SEED ^ 4);
+    for case in benign_cases() {
+        assert!(
+            qs_is_fixpoint(&case.sql),
+            "reprinting changed the QS of {}: {}",
+            case.id,
+            case.sql
+        );
+        let requoted = requote_with_homoglyphs(&case.sql, &mut rng);
+        assert!(
+            qs_is_fixpoint(&requoted),
+            "reprinting changed the QS of requoted {}: {requoted}",
+            case.id
+        );
+    }
+}
+
+/// Composed mutations: the oracles hold when the transformations stack.
+#[test]
+fn composed_mutations_preserve_the_query_model() {
+    let mut rng = ConformanceRng::new(ORACLE_SEED ^ 5);
+    for case in benign_cases() {
+        let baseline = qm_of(&case.sql);
+        let mutated = mutate_case(
+            &mutate_whitespace(
+                &insert_inline_comments(&requote_with_homoglyphs(&case.sql, &mut rng), &mut rng),
+                &mut rng,
+            ),
+            &mut rng,
+        );
+        assert_eq!(
+            baseline,
+            qm_of(&mutated),
+            "composed mutation changed the QM of {}:\n  before: {}\n  after:  {mutated}",
+            case.id,
+            case.sql
+        );
+    }
+}

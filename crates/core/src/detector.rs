@@ -241,6 +241,83 @@ mod tests {
         ));
     }
 
+    // --- degenerate inputs: the detector must never panic on them ---
+
+    #[test]
+    fn empty_qs_against_empty_model_is_clean() {
+        let empty_model = QueryModel::from_structure(&ItemStack::new());
+        assert_eq!(
+            detect_sqli(&ItemStack::new(), &empty_model),
+            SqliOutcome::Clean
+        );
+        assert_eq!(
+            detect_sqli_structural_only(&ItemStack::new(), &empty_model),
+            SqliOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn empty_qs_against_nonempty_model_is_structural() {
+        let m = model(TICKETS);
+        let SqliOutcome::Attack(SqliKind::Structural { expected, observed }) =
+            detect_sqli(&ItemStack::new(), &m)
+        else {
+            panic!("expected structural detection");
+        };
+        assert_eq!(expected, 9);
+        assert_eq!(observed, 0);
+    }
+
+    #[test]
+    fn zero_length_model_against_nonempty_qs_is_structural() {
+        let empty_model = QueryModel::from_structure(&ItemStack::new());
+        let observed_qs = qs(TICKETS);
+        let SqliOutcome::Attack(SqliKind::Structural { expected, observed }) =
+            detect_sqli(&observed_qs, &empty_model)
+        else {
+            panic!("expected structural detection");
+        };
+        assert_eq!(expected, 0);
+        assert_eq!(observed, 9);
+        assert!(detect_sqli_structural_only(&observed_qs, &empty_model).is_attack());
+    }
+
+    #[test]
+    fn all_data_node_stacks_compare_by_tag_only() {
+        use septic_sql::items::{Item, ItemData, ItemTag};
+        // A pathological stack with no structure nodes at all: every node
+        // is DATA. Training blanks the payloads, so any same-tag stack is
+        // clean and a tag flip is mimicry — with no panics anywhere.
+        let data_stack = |n: i64, s: &str| {
+            ItemStack::from_iter([
+                Item {
+                    tag: ItemTag::IntItem,
+                    data: ItemData::Int(n),
+                },
+                Item {
+                    tag: ItemTag::StringItem,
+                    data: ItemData::Text(s.to_string()),
+                },
+            ])
+        };
+        let m = QueryModel::from_structure(&data_stack(1, "a"));
+        assert_eq!(detect_sqli(&data_stack(999, "zzz"), &m), SqliOutcome::Clean);
+        let flipped = ItemStack::from_iter([
+            Item {
+                tag: ItemTag::StringItem,
+                data: ItemData::Text("1".to_string()),
+            },
+            Item {
+                tag: ItemTag::StringItem,
+                data: ItemData::Text("a".to_string()),
+            },
+        ]);
+        assert!(matches!(
+            detect_sqli(&flipped, &m),
+            SqliOutcome::Attack(SqliKind::Mimicry { index: 0, .. })
+        ));
+    }
+
     #[test]
     fn displays_name_the_algorithm_step() {
         let k = SqliKind::Structural {

@@ -262,7 +262,9 @@ impl fmt::Display for Literal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Literal::Int(v) => write!(f, "{v}"),
-            Literal::Float(v) => write!(f, "{v}"),
+            // `{v:?}` keeps a decimal point on integral values (`2.0`, not
+            // `2`), so a printed float never reparses as an integer.
+            Literal::Float(v) => write!(f, "{v:?}"),
             Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Literal::Null => write!(f, "NULL"),
         }

@@ -215,11 +215,14 @@ impl fmt::Display for Expr {
             } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Param => write!(f, "?"),
+            // Unary forms need outer parens like every other compound
+            // expression: `NOT` binds loosest, so an unparenthesized
+            // `a > NOT (b)` would not reparse.
             Expr::Unary {
                 op: UnaryOp::Not,
                 operand,
-            } => write!(f, "NOT ({operand})"),
-            Expr::Unary { op, operand } => write!(f, "{}({operand})", op.symbol()),
+            } => write!(f, "(NOT ({operand}))"),
+            Expr::Unary { op, operand } => write!(f, "({}({operand}))", op.symbol()),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
             Expr::Function { name, args } => {
                 if name == "COUNT" && args.is_empty() {
@@ -274,7 +277,11 @@ impl fmt::Display for Expr {
             ),
             Expr::Subquery(s) => write!(f, "({s})"),
             Expr::Exists { select, negated } => {
-                write!(f, "{}EXISTS ({select})", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({}EXISTS ({select}))",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Case {
                 operand,

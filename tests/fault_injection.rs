@@ -309,6 +309,53 @@ fn models_learned_incrementally_survive_a_crash_via_the_journal() {
     std::fs::remove_file(journal_path(&path)).ok();
 }
 
+#[test]
+fn mid_save_fault_preserves_review_state_and_model_count_exactly() {
+    let mem = Arc::new(MemBackend::new());
+    let path = std::path::Path::new("models.json");
+
+    // A checkpointed store with non-trivial review state: two learned
+    // models, one provisional awaiting review, one rejected id.
+    let store = ModelStore::new();
+    store.attach_persistence(mem.clone(), path);
+    store.learn(qid(1), shape(1));
+    store.learn(qid(2), shape(2));
+    store.learn_provisional(qid(3), shape(3));
+    store.reject(&qid(4));
+    store.save_with(&*mem, path).unwrap();
+
+    // More state arrives after the checkpoint — it lives in the journal
+    // only — and then the next save dies halfway through its write.
+    store.learn(qid(5), shape(5));
+    store.learn_provisional(qid(6), shape(6));
+    let faulty =
+        FaultyBackend::new(mem.clone()).with_fault(OpKind::Write, 0, Fault::Torn { keep: 25 });
+    store
+        .save_with(&faulty, path)
+        .expect_err("the torn save must surface");
+
+    // A fresh process replays snapshot + journal and lands on *exactly*
+    // the pre-crash state: same model count, same pending-review queue,
+    // same rejection — nothing lost, nothing duplicated, nothing
+    // spuriously promoted out of review.
+    let fresh = ModelStore::new();
+    let report = fresh.load_with(&*mem, path).unwrap();
+    assert_eq!(fresh.len(), store.len());
+    assert_eq!(fresh.len(), 5, "models 1, 2, 5 plus provisionals 3 and 6");
+    assert_eq!(
+        report.journal_replayed, 2,
+        "models 5 and 6 came from the journal"
+    );
+    for n in [1, 2, 5] {
+        assert!(fresh.contains(&qid(n)), "model {n} lost");
+    }
+    let mut pending = fresh.pending_review();
+    pending.sort_by_key(|id| id.internal);
+    assert_eq!(pending, vec![qid(3), qid(6)]);
+    assert!(fresh.is_rejected(&qid(4)));
+    assert!(!fresh.is_rejected(&qid(1)));
+}
+
 // ---------------------------------------------------------------------------
 // Property: one injected fault never loses acknowledged state
 // ---------------------------------------------------------------------------

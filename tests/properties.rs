@@ -107,6 +107,21 @@ proptest! {
         prop_assert_eq!(Value::Null.sql_cmp(&int_value), None);
     }
 
+    /// Round-trip over the *entire* AST: seeded random statements spanning
+    /// every statement kind and expression form (see
+    /// `septic_conformance::astgen`) parse → print → parse to the same
+    /// tree, and printing is a fixed point from then on.
+    #[test]
+    fn parser_print_fixed_point_full_ast(seed in any::<u64>()) {
+        let sql = septic_conformance::astgen::random_statement_sql(seed);
+        let first = parse(&sql).expect("generated statement parses");
+        let printed: Vec<String> = first.statements.iter().map(ToString::to_string).collect();
+        let second = parse(&printed.join("; ")).expect("printed statement reparses");
+        prop_assert_eq!(&first.statements, &second.statements);
+        let reprinted: Vec<String> = second.statements.iter().map(ToString::to_string).collect();
+        prop_assert_eq!(printed, reprinted);
+    }
+
     /// Round-trip: parse → print → parse is a fixed point on a family of
     /// generated SELECT queries.
     #[test]
@@ -153,4 +168,43 @@ proptest! {
         let attacked = stack_of(&format!("SELECT a FROM t WHERE a = '{s}' OR {n} = {n}"));
         prop_assert!(detect_sqli(&attacked, &model).is_attack());
     }
+}
+
+/// Deterministic companion to `parser_print_fixed_point_full_ast`: a fixed
+/// corpus covering **every** AST node kind, so roundtrip coverage never
+/// depends on what the random seeds happen to generate.
+#[test]
+fn parser_print_fixed_point_on_ast_coverage_corpus() {
+    for sql in septic_conformance::astgen::ast_coverage_corpus() {
+        let first = parse(sql).expect(sql);
+        let printed = first.statements[0].to_string();
+        let second = parse(&printed).unwrap_or_else(|e| {
+            panic!("printed form of `{sql}` failed to reparse: {e}\n  printed: {printed}")
+        });
+        assert_eq!(first.statements[0], second.statements[0], "{sql}");
+        assert_eq!(printed, second.statements[0].to_string(), "{sql}");
+    }
+}
+
+/// Folded-in regression from `tests/properties.proptest-regressions`
+/// (`cc 7e609f2d…`, shrunk to `s1 = "", s2 = "", n1 = -1, n2 = 0`): empty
+/// strings and a sign flip once produced distinct models. Named here so
+/// the case runs whether or not the proptest implementation reads the
+/// regressions file.
+#[test]
+fn regression_empty_strings_and_sign_flip_share_a_model() {
+    let a = stack_of("SELECT x FROM t WHERE a = '' AND b = -1");
+    let b = stack_of("SELECT x FROM t WHERE a = '' AND b = 0");
+    assert_eq!(
+        QueryModel::from_structure(&a),
+        QueryModel::from_structure(&b)
+    );
+    assert_eq!(
+        septic_repro::septic::id::internal_id(&a),
+        septic_repro::septic::id::internal_id(&b)
+    );
+    assert_eq!(
+        detect_sqli(&a, &QueryModel::from_structure(&b)),
+        SqliOutcome::Clean
+    );
 }

@@ -16,8 +16,48 @@
 //! `--smoke` runs a seconds-long CI shape (2 threads max, capped
 //! duration) and does not write the JSON artefact.
 
+use std::sync::Arc;
+
+use septic::{Mode, Septic};
 use septic_bench::{banner, render_table};
 use septic_benchlab::{run_throughput, ThroughputPlan};
+use septic_dbms::Server;
+use septic_telemetry::parse_prometheus;
+
+/// Smoke-mode self-check: one trained deployment, one blocked attack, and
+/// the Prometheus export must parse and agree with the snapshot API.
+fn prometheus_self_check() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)")
+        .expect("create");
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("training query");
+    septic.set_mode(Mode::PREVENTION);
+    let attack = conn
+        .execute("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0");
+    assert!(attack.is_err(), "mimicry attack must be blocked");
+
+    let text = server.prometheus();
+    let series = parse_prometheus(&text).expect("prometheus export must parse");
+    let attacks = series
+        .get("septic_attacks_total")
+        .copied()
+        .expect("septic_attacks_total series");
+    assert!(
+        (attacks - 1.0).abs() < f64::EPSILON,
+        "export reports {attacks} attacks, expected 1"
+    );
+    let snapshot = server
+        .metrics_snapshot()
+        .counter("septic_attacks_total")
+        .expect("snapshot counter");
+    assert_eq!(snapshot, 1, "snapshot disagrees with export");
+    println!("prometheus self-check: export parses, septic_attacks_total=1 OK");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,14 +94,48 @@ fn main() {
                 r.queries.to_string(),
                 format!("{:.1}", r.elapsed_us as f64 / 1000.0),
                 format!("{:.0}", r.qps),
+                r.p50_us.to_string(),
+                r.p95_us.to_string(),
+                r.p99_us.to_string(),
             ]
         })
         .collect();
     println!(
         "{}",
         render_table(
-            &["config", "threads", "queries", "elapsed (ms)", "qps"],
+            &[
+                "config",
+                "threads",
+                "queries",
+                "elapsed (ms)",
+                "qps",
+                "p50 (us)",
+                "p95 (us)",
+                "p99 (us)",
+            ],
             &rows
+        )
+    );
+
+    let stage_rows: Vec<Vec<String>> = report
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.config.clone(),
+                s.stage.clone(),
+                s.count.to_string(),
+                s.p50_us.to_string(),
+                s.p95_us.to_string(),
+                s.p99_us.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["config", "stage", "spans", "p50 (us)", "p95 (us)", "p99 (us)"],
+            &stage_rows
         )
     );
 
@@ -82,7 +156,9 @@ fn main() {
         }
     }
 
-    if !smoke {
+    if smoke {
+        prometheus_self_check();
+    } else {
         let json = report.to_json().expect("serialize report");
         std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
         println!("wrote BENCH_throughput.json");

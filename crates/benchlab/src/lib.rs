@@ -20,5 +20,7 @@ pub use experiment::{
     measure, overhead_sweep, ExperimentPlan, GuardSetup, Measurement, OverheadRow,
 };
 pub use stats::LatencyStats;
-pub use throughput::{run_throughput, ThroughputPlan, ThroughputReport, ThroughputRow};
+pub use throughput::{
+    run_throughput, StageLatencyRow, ThroughputPlan, ThroughputReport, ThroughputRow,
+};
 pub use workload::Workload;

@@ -3,6 +3,13 @@
 use std::time::Duration;
 
 /// Aggregated latency statistics over a set of request samples.
+///
+/// Samples must be **client-observed** latencies. For raw DBMS drivers
+/// that means `ExecResult::observed_latency()` (wall time plus simulated
+/// `SLEEP`/`BENCHMARK` delay), not `ExecResult::elapsed` — otherwise
+/// time-based blind-injection workloads are silently under-reported. The
+/// web-tier drivers (`client::replay`) time whole HTTP requests, whose
+/// benign recorded workloads contain no timing functions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
     pub samples: usize,

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use septic::{DetectionConfig, Mode, Septic};
 use septic_dbms::{Server, ServerConfig};
+use septic_telemetry::{label_value, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// Shape of a throughput run.
@@ -96,6 +97,38 @@ pub struct ThroughputRow {
     pub elapsed_us: u64,
     /// Queries per second.
     pub qps: f64,
+    /// Mean client-observed latency, microseconds. Observed latency is
+    /// `ExecResult::observed_latency()` — wall time *plus* simulated
+    /// `SLEEP`/`BENCHMARK` delay — so time-based blind-injection workloads
+    /// are not under-reported (they would be if this recorded `elapsed`).
+    pub mean_us: u64,
+    /// Median observed latency (histogram bucket upper bound), µs.
+    pub p50_us: u64,
+    /// 95th-percentile observed latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile observed latency, µs.
+    pub p99_us: u64,
+}
+
+/// Per-stage latency percentiles for one detector configuration, scraped
+/// from the deployment's SEPTIC metrics registry after all of the
+/// configuration's cells have run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLatencyRow {
+    /// Detector configuration label (`NN`/`YN`/`NY`/`YY`).
+    pub config: String,
+    /// Pipeline stage (`inspect`, `id_gen`, `store_get`, `sqli_detect`,
+    /// `stored_scan`, `store_save`).
+    pub stage: String,
+    /// Spans recorded for the stage across the whole sweep (training,
+    /// warm-up and measurement).
+    pub count: u64,
+    /// Median span, µs (histogram bucket upper bound).
+    pub p50_us: u64,
+    /// 95th-percentile span, µs.
+    pub p95_us: u64,
+    /// 99th-percentile span, µs.
+    pub p99_us: u64,
 }
 
 /// The full sweep, as written to `BENCH_throughput.json`.
@@ -113,6 +146,9 @@ pub struct ThroughputReport {
     pub host_cpus: u64,
     /// One row per (config, thread-count) cell.
     pub rows: Vec<ThroughputRow>,
+    /// Per-stage guard latency percentiles, one set per configuration.
+    #[serde(default)]
+    pub stages: Vec<StageLatencyRow>,
 }
 
 impl ThroughputReport {
@@ -191,11 +227,16 @@ fn measure_cell(
     plan: &ThroughputPlan,
 ) -> ThroughputRow {
     let shapes = plan.distinct_shapes.max(1);
+    // Shared client-observed latency histogram: every measured query
+    // records `ExecResult::observed_latency()` (wall + simulated
+    // SLEEP/BENCHMARK delay), not just wall time — see `ThroughputRow`.
+    let latency = Arc::new(Histogram::new());
     let started = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let conn = server.connect();
             let plan = plan.clone();
+            let latency = Arc::clone(&latency);
             thread::spawn(move || {
                 for i in 0..plan.warmup_queries {
                     let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
@@ -208,7 +249,8 @@ fn measure_cell(
                         break;
                     }
                     let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
-                    conn.execute(&q).expect("benign query must pass");
+                    let res = conn.execute(&q).expect("benign query must pass");
+                    latency.record(res.observed_latency());
                     done += 1;
                     if !plan.client_pad.is_zero() {
                         thread::sleep(plan.client_pad);
@@ -223,13 +265,39 @@ fn measure_cell(
         .map(|h| h.join().expect("session"))
         .sum();
     let elapsed = started.elapsed();
+    let observed = latency.snapshot("observed_latency");
     ThroughputRow {
         config: config.label().to_string(),
         threads,
         queries,
         elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
         qps: queries as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        mean_us: observed.mean_us() as u64,
+        p50_us: observed.percentile_us(50.0),
+        p95_us: observed.percentile_us(95.0),
+        p99_us: observed.percentile_us(99.0),
     }
+}
+
+/// Scrapes the per-stage span histograms out of a deployment's SEPTIC
+/// metrics registry into report rows.
+fn stage_rows(config: DetectionConfig, septic: &Septic) -> Vec<StageLatencyRow> {
+    septic
+        .metrics_snapshot()
+        .histograms
+        .iter()
+        .filter_map(|h| {
+            let stage = label_value(&h.name, "stage")?;
+            Some(StageLatencyRow {
+                config: config.label().to_string(),
+                stage: stage.to_string(),
+                count: h.count,
+                p50_us: h.percentile_us(50.0),
+                p95_us: h.percentile_us(95.0),
+                p99_us: h.percentile_us(99.0),
+            })
+        })
+        .collect()
 }
 
 /// Runs the full sweep: every [`DetectionConfig`] at every thread count of
@@ -237,11 +305,13 @@ fn measure_cell(
 #[must_use]
 pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
     let mut rows = Vec::with_capacity(DetectionConfig::all().len() * plan.threads.len());
+    let mut stages = Vec::new();
     for config in DetectionConfig::all() {
-        let (server, _septic) = build_deployment(config, plan);
+        let (server, septic) = build_deployment(config, plan);
         for &threads in &plan.threads {
             rows.push(measure_cell(&server, config, threads, plan));
         }
+        stages.extend(stage_rows(config, &septic));
     }
     ThroughputReport {
         client_pad_us: u64::try_from(plan.client_pad.as_micros()).unwrap_or(u64::MAX),
@@ -250,6 +320,7 @@ pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
         seed: plan.seed,
         host_cpus: thread::available_parallelism().map_or(1, |n| n.get() as u64),
         rows,
+        stages,
     }
 }
 
@@ -282,8 +353,61 @@ mod tests {
                 let row = report.row(config.label(), threads).expect("cell");
                 assert_eq!(row.queries, 8 * threads as u64);
                 assert!(row.qps > 0.0);
+                assert!(row.p50_us > 0, "observed latency must be sampled");
+                assert!(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us);
             }
         }
+    }
+
+    #[test]
+    fn sweep_reports_per_stage_percentiles() {
+        let report = run_throughput(&tiny_plan());
+        for config in DetectionConfig::all() {
+            let inspect = report
+                .stages
+                .iter()
+                .find(|s| s.config == config.label() && s.stage == "inspect")
+                .expect("inspect stage row per config");
+            // Training (4 shapes) + warm-up + measurement all pass through
+            // the guard: 4 + (2+8)·1 + (2+8)·2 = 34 inspections.
+            assert_eq!(inspect.count, 34);
+            assert!(inspect.p50_us <= inspect.p95_us && inspect.p95_us <= inspect.p99_us);
+        }
+        for stage in ["id_gen", "store_get", "sqli_detect", "stored_scan"] {
+            assert!(
+                report
+                    .stages
+                    .iter()
+                    .any(|s| s.config == "YY" && s.stage == stage),
+                "missing YY stage row: {stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histogram_reports_simulated_sleep_not_wall_clock() {
+        // Time-based blind injection probes (SLEEP/BENCHMARK) must show up
+        // in the latency report even though the engine only *simulates*
+        // the delay. Recording `ExecResult::elapsed` here would report
+        // tens of microseconds; `observed_latency()` includes the delay.
+        let server = Server::new();
+        let conn = server.connect();
+        let latency = Histogram::new();
+        let wall = Instant::now();
+        let res = conn.execute("SELECT SLEEP(2)").expect("sleep query");
+        latency.record(res.observed_latency());
+        assert!(
+            wall.elapsed() < Duration::from_secs(1),
+            "SLEEP is simulated — the driver must not actually block"
+        );
+        assert!(res.elapsed < Duration::from_secs(1));
+        assert!(res.observed_latency() >= Duration::from_secs(2));
+        let snap = latency.snapshot("observed_latency");
+        assert!(
+            snap.percentile_us(50.0) >= 2_000_000,
+            "p50 {}us must include the 2s simulated delay",
+            snap.percentile_us(50.0)
+        );
     }
 
     #[test]
@@ -336,6 +460,10 @@ mod tests {
                 queries: 100,
                 elapsed_us: 1_000_000,
                 qps: 100.0,
+                mean_us: 120,
+                p50_us: 128,
+                p95_us: 256,
+                p99_us: 512,
             },
             ThroughputRow {
                 config: "YY".into(),
@@ -343,6 +471,10 @@ mod tests {
                 queries: 800,
                 elapsed_us: 1_000_000,
                 qps: 800.0,
+                mean_us: 120,
+                p50_us: 128,
+                p95_us: 256,
+                p99_us: 512,
             },
         ];
         assert_eq!(report.speedup("YY", 8, 1), Some(8.0));

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use septic::{detect_sqli, Mode, QueryModel, Septic};
 use septic_dbms::{Connection, DbError, Server, ServerConfig};
 use septic_http::HttpRequest;
+use septic_telemetry::MetricsSnapshot;
 use septic_waf::ModSecurity;
 use serde::{Deserialize, Serialize};
 
@@ -209,13 +210,23 @@ fn deployment(defense: Defense) -> (Arc<Server>, Connection, Option<Arc<Septic>>
 /// Runs one case under one defense and returns the verdict.
 #[must_use]
 pub fn run_case(case: &Case, defense: Defense) -> Verdict {
+    run_case_instrumented(case, defense).0
+}
+
+/// [`run_case`], plus the deployment's SEPTIC metrics snapshot (when the
+/// defense installs a guard). The snapshot is taken from the fresh
+/// per-case deployment after the case ran, so its `septic_attacks_total`
+/// is the case's own detection count — the basis of the CI check that the
+/// telemetry layer agrees with the golden matrix.
+#[must_use]
+pub fn run_case_instrumented(case: &Case, defense: Defense) -> (Verdict, Option<MetricsSnapshot>) {
     if defense == Defense::Waf {
         // The WAF sees the HTTP request — the raw payload, before the
         // application's escaping.
         let waf = ModSecurity::new();
         let request = HttpRequest::post("/conformance").param("input", case.payload.clone());
         if waf.inspect(&request).is_blocked() {
-            return Verdict::Blocked;
+            return (Verdict::Blocked, None);
         }
     }
     let (_server, conn, septic) = deployment(defense);
@@ -223,19 +234,25 @@ pub fn run_case(case: &Case, defense: Defense) -> Verdict {
         let c = s.counters();
         c.sqli_detected + c.stored_detected
     });
-    match conn.execute(&case.sql) {
+    let verdict = match conn.execute(&case.sql) {
         Err(DbError::Blocked(_) | DbError::GuardFailure(_)) => Verdict::Blocked,
         Err(DbError::Parse(_)) => Verdict::ParseError,
         Ok(_) | Err(_) => {
-            if let (Some(septic), Some(before)) = (&septic, detected_before) {
-                let c = septic.counters();
-                if c.sqli_detected + c.stored_detected > before {
-                    return Verdict::Flagged;
+            let flagged = match (&septic, detected_before) {
+                (Some(septic), Some(before)) => {
+                    let c = septic.counters();
+                    c.sqli_detected + c.stored_detected > before
                 }
+                _ => false,
+            };
+            if flagged {
+                Verdict::Flagged
+            } else {
+                Verdict::Passed
             }
-            Verdict::Passed
         }
-    }
+    };
+    (verdict, septic.map(|s| s.metrics_snapshot()))
 }
 
 /// Ground truth for one case: the (sanitized, charset-decoded) query

@@ -34,6 +34,51 @@ impl fmt::Display for AttackAction {
     }
 }
 
+/// Per-stage time spent inside [`Septic::inspect`] for one query, in
+/// microseconds. Attached to [`EventKind::DeadlineExceeded`] so a blown
+/// detection budget is attributable to the stage that consumed it.
+///
+/// [`Septic::inspect`]: crate::Septic::inspect
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageSpansUs {
+    /// Query identifier generation.
+    pub id_gen_us: u64,
+    /// Model store lookup (including the rejected-id check).
+    pub store_get_us: u64,
+    /// Structural + syntactic SQLI comparison.
+    pub sqli_us: u64,
+    /// Stored-injection plugin scan.
+    pub stored_us: u64,
+}
+
+impl StageSpansUs {
+    /// Name of the stage that consumed the most time.
+    #[must_use]
+    pub fn slowest(&self) -> &'static str {
+        let stages = [
+            ("id_gen", self.id_gen_us),
+            ("store_get", self.store_get_us),
+            ("sqli_detect", self.sqli_us),
+            ("stored_scan", self.stored_us),
+        ];
+        stages
+            .iter()
+            .max_by_key(|(_, us)| *us)
+            .map(|(name, _)| *name)
+            .unwrap_or("id_gen")
+    }
+}
+
+impl fmt::Display for StageSpansUs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "id_gen={}us store_get={}us sqli={}us stored={}us",
+            self.id_gen_us, self.store_get_us, self.sqli_us, self.stored_us
+        )
+    }
+}
+
 /// One event in SEPTIC's register.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventKind {
@@ -77,7 +122,47 @@ pub enum EventKind {
         elapsed_us: u64,
         budget_us: u64,
         fail_open: bool,
+        /// Where the time went, so the blown budget is attributable.
+        stages: StageSpansUs,
     },
+}
+
+/// Number of [`EventKind`] variants (the width of the per-kind counter
+/// array in [`Logger`]).
+const KIND_SLOTS: usize = 10;
+
+impl EventKind {
+    /// Dense per-variant index used for the monotonic counters.
+    fn slot(&self) -> usize {
+        match self {
+            EventKind::QueryProcessed { .. } => 0,
+            EventKind::ModelCreated { .. } => 1,
+            EventKind::ModelFound { .. } => 2,
+            EventKind::SqliDetected { .. } => 3,
+            EventKind::StoredDetected { .. } => 4,
+            EventKind::RejectedQueryRefused { .. } => 5,
+            EventKind::ModeChanged { .. } => 6,
+            EventKind::StoreLoaded { .. } => 7,
+            EventKind::DetectorFailed { .. } => 8,
+            EventKind::DeadlineExceeded { .. } => 9,
+        }
+    }
+}
+
+/// Exact monotonic per-kind totals, counted at [`Logger::record`] time —
+/// unaffected by ring-buffer eviction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventKindCounts {
+    pub query_processed: u64,
+    pub model_created: u64,
+    pub model_found: u64,
+    pub sqli_detected: u64,
+    pub stored_detected: u64,
+    pub rejected_refused: u64,
+    pub mode_changed: u64,
+    pub store_loaded: u64,
+    pub detector_failed: u64,
+    pub deadline_exceeded: u64,
 }
 
 /// A sequenced event.
@@ -149,12 +234,19 @@ impl fmt::Display for Event {
                 elapsed_us,
                 budget_us,
                 fail_open,
+                stages,
             } => {
                 write!(
-                f,
-                "detection deadline exceeded id={id} ({elapsed_us}us > {budget_us}us) policy={}",
-                if *fail_open { "fail-open" } else { "fail-closed" }
-            )
+                    f,
+                    "detection deadline exceeded id={id} ({elapsed_us}us > {budget_us}us) \
+                     policy={} slowest={} [{stages}]",
+                    if *fail_open {
+                        "fail-open"
+                    } else {
+                        "fail-closed"
+                    },
+                    stages.slowest()
+                )
             }
         }
     }
@@ -163,12 +255,19 @@ impl fmt::Display for Event {
 /// Bounded in-memory event register: a ring buffer that evicts the oldest
 /// event when full, counting what it dropped so degradation is visible
 /// instead of silent.
+///
+/// The ring holds event *details* only. Totals that operators rely on
+/// (attack counts, per-kind tallies) are kept in monotonic counters
+/// bumped at [`Logger::record`] time, so they stay exact no matter how
+/// many events the ring has evicted.
 #[derive(Debug)]
 pub struct Logger {
     events: Mutex<VecDeque<Event>>,
     seq: AtomicU64,
     dropped: AtomicU64,
     capacity: usize,
+    /// Monotonic per-[`EventKind`] totals, indexed by `EventKind::slot`.
+    recorded: [AtomicU64; KIND_SLOTS],
     /// When false, [`Logger::record`] is a no-op. Callers on the query
     /// hot path should check [`Logger::is_enabled`] *before* building an
     /// event so the payload allocations are skipped entirely.
@@ -190,6 +289,7 @@ impl Logger {
             seq: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
             capacity: capacity.max(16),
+            recorded: std::array::from_fn(|_| AtomicU64::new(0)),
             enabled: AtomicBool::new(true),
         }
     }
@@ -212,8 +312,13 @@ impl Logger {
         if !self.is_enabled() {
             return 0;
         }
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut events = self.events.lock();
+        // Sequence and per-kind totals advance under the ring lock so
+        // `clear` can't interleave with them. The per-kind totals are
+        // bumped before the ring may evict the event: totals derived
+        // from `recorded` are exact even after the ring wraps.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.recorded[kind.slot()].fetch_add(1, Ordering::Relaxed);
         while events.len() >= self.capacity {
             events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -245,24 +350,58 @@ impl Logger {
             .collect()
     }
 
-    /// Count of attack events (SQLI + stored).
+    /// Exact count of attack events (SQLI + stored) ever recorded.
+    ///
+    /// Counted monotonically at [`Logger::record`] time, **not** by
+    /// scanning the bounded ring — the total stays correct after the
+    /// ring wraps and starts evicting old attack events.
     #[must_use]
     pub fn attack_count(&self) -> usize {
-        self.events
-            .lock()
-            .iter()
-            .filter(|e| {
-                matches!(
-                    e.kind,
-                    EventKind::SqliDetected { .. } | EventKind::StoredDetected { .. }
-                )
-            })
-            .count()
+        let counts = self.kind_counts();
+        (counts.sqli_detected + counts.stored_detected) as usize
     }
 
-    /// Clears the register.
+    /// Exact per-kind totals ever recorded (eviction-proof).
+    #[must_use]
+    pub fn kind_counts(&self) -> EventKindCounts {
+        let load = |slot: usize| self.recorded[slot].load(Ordering::Relaxed);
+        EventKindCounts {
+            query_processed: load(0),
+            model_created: load(1),
+            model_found: load(2),
+            sqli_detected: load(3),
+            stored_detected: load(4),
+            rejected_refused: load(5),
+            mode_changed: load(6),
+            store_loaded: load(7),
+            detector_failed: load(8),
+            deadline_exceeded: load(9),
+        }
+    }
+
+    /// Total events ever recorded (eviction-proof).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Resets the register to its freshly-constructed state: empties
+    /// the ring **and** zeroes the drop counter, the per-kind totals
+    /// and the sequence counter. A post-clear snapshot therefore never
+    /// reports phantom drops or stale attack totals.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        let mut events = self.events.lock();
+        events.clear();
+        // Reset under the ring lock so a concurrent `record` can't
+        // interleave between the ring clear and the counter resets.
+        self.dropped.store(0, Ordering::Relaxed);
+        self.seq.store(1, Ordering::Relaxed);
+        for c in &self.recorded {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -321,6 +460,76 @@ mod tests {
         // Sequence numbers keep increasing even after eviction.
         assert!(log.events().last().unwrap().seq == 100);
         assert_eq!(log.events().first().unwrap().seq, 85);
+    }
+
+    #[test]
+    fn attack_count_is_exact_after_ring_wrap() {
+        // Regression: attack_count used to scan the bounded ring, so
+        // once `capacity + k` attacks had been recorded the oldest k
+        // were evicted and the total silently undercounted.
+        let capacity = 16;
+        let k = 23;
+        let log = Logger::new(capacity);
+        for _ in 0..capacity + k {
+            log.record(EventKind::SqliDetected {
+                id: qid(),
+                kind: SqliKind::Structural {
+                    expected: 9,
+                    observed: 5,
+                },
+                action: AttackAction::Dropped,
+                query: "q".into(),
+            });
+        }
+        assert_eq!(log.events().len(), capacity, "ring stays bounded");
+        assert_eq!(log.dropped(), k as u64, "evictions counted");
+        assert_eq!(log.attack_count(), capacity + k, "total stays exact");
+        assert_eq!(log.kind_counts().sqli_detected, (capacity + k) as u64);
+        assert_eq!(log.total_recorded(), (capacity + k) as u64);
+    }
+
+    #[test]
+    fn clear_resets_drops_seq_and_totals() {
+        // Regression: clear() emptied the ring but left `dropped` and
+        // the sequence counter stale, so post-clear snapshots reported
+        // phantom drops from the previous epoch.
+        let log = Logger::new(16);
+        for _ in 0..40 {
+            log.record(EventKind::StoreLoaded { count: 0 });
+        }
+        assert_eq!(log.dropped(), 24);
+        log.clear();
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0, "no phantom drops after clear");
+        assert_eq!(log.attack_count(), 0);
+        assert_eq!(log.total_recorded(), 0);
+        assert_eq!(log.kind_counts(), EventKindCounts::default());
+        // Sequencing restarts from a fresh epoch.
+        assert_eq!(log.record(EventKind::StoreLoaded { count: 1 }), 1);
+    }
+
+    #[test]
+    fn deadline_event_carries_stage_spans() {
+        let spans = StageSpansUs {
+            id_gen_us: 1,
+            store_get_us: 2,
+            sqli_us: 3,
+            stored_us: 900,
+        };
+        assert_eq!(spans.slowest(), "stored_scan");
+        let e = Event {
+            seq: 1,
+            kind: EventKind::DeadlineExceeded {
+                id: qid(),
+                elapsed_us: 950,
+                budget_us: 100,
+                fail_open: true,
+                stages: spans,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("slowest=stored_scan"), "got: {s}");
+        assert!(s.contains("stored=900us"), "got: {s}");
     }
 
     #[test]

@@ -10,16 +10,16 @@
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use septic_dbms::{FailurePolicy, GuardDecision, QueryContext, QueryGuard};
+use septic_telemetry::{Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::detector::{detect_sqli, SqliOutcome};
 use crate::id::{IdGenerator, QueryId};
-use crate::logger::{AttackAction, EventKind, Logger};
+use crate::logger::{AttackAction, EventKind, Logger, StageSpansUs};
 use crate::mode::{FailurePolicyMatrix, Mode, ModeActions};
 use crate::model::QueryModel;
 use crate::plugins::{default_plugins, scan_inputs, Plugin};
@@ -114,26 +114,90 @@ impl Default for EngineConfig {
 }
 
 /// Monotone counters exposed for the benchmarks and the status display.
-#[derive(Debug, Default)]
+///
+/// Each field is a handle into the [`MetricsRegistry`] owned by
+/// [`Septic`], resolved once at construction so the query hot path
+/// records lock-free. The same values therefore show up in
+/// [`Septic::counters`], [`Septic::metrics_snapshot`] and the
+/// Prometheus export — one source of truth.
+#[derive(Debug)]
 pub struct Counters {
-    pub queries_seen: AtomicU64,
-    pub models_created: AtomicU64,
-    pub models_found: AtomicU64,
-    pub sqli_detected: AtomicU64,
-    pub stored_detected: AtomicU64,
-    pub queries_dropped: AtomicU64,
+    pub queries_seen: Arc<Counter>,
+    pub models_created: Arc<Counter>,
+    pub models_found: Arc<Counter>,
+    pub sqli_detected: Arc<Counter>,
+    pub stored_detected: Arc<Counter>,
+    /// All flagged attacks (SQLI + stored), regardless of the mode's
+    /// drop/log action — the one number an operator trusts
+    /// (`septic_attacks_total`).
+    pub attacks_detected: Arc<Counter>,
+    pub queries_dropped: Arc<Counter>,
     /// Detector/plugin panics contained by the fail-safe layer.
-    pub guard_panics: AtomicU64,
+    pub guard_panics: Arc<Counter>,
     /// Detections that ran past the configured deadline budget.
-    pub deadline_exceeded: AtomicU64,
+    pub deadline_exceeded: Arc<Counter>,
     /// Queries that executed *despite* a SEPTIC failure because the mode's
     /// policy is fail-open.
-    pub fail_open_passes: AtomicU64,
+    pub fail_open_passes: Arc<Counter>,
     /// Store loads that had to recover from a corrupt or missing snapshot.
-    pub store_recoveries: AtomicU64,
+    pub store_recoveries: Arc<Counter>,
     /// Events evicted from the bounded logger (mirror of
     /// [`Logger::dropped`]).
-    pub log_drops: AtomicU64,
+    pub log_drops: Arc<Counter>,
+}
+
+impl Counters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        Counters {
+            queries_seen: registry.counter("septic_queries_total"),
+            models_created: registry.counter("septic_models_created_total"),
+            models_found: registry.counter("septic_models_found_total"),
+            sqli_detected: registry.counter("septic_sqli_detected_total"),
+            stored_detected: registry.counter("septic_stored_detected_total"),
+            attacks_detected: registry.counter("septic_attacks_total"),
+            queries_dropped: registry.counter("septic_queries_dropped_total"),
+            guard_panics: registry.counter("septic_guard_panics_total"),
+            deadline_exceeded: registry.counter("septic_deadline_exceeded_total"),
+            fail_open_passes: registry.counter("septic_fail_open_passes_total"),
+            store_recoveries: registry.counter("septic_store_recoveries_total"),
+            log_drops: registry.counter("septic_log_drops_total"),
+        }
+    }
+}
+
+/// Per-stage latency histograms for the query path, resolved once from
+/// the registry (`septic_stage_duration_microseconds{stage="..."}`).
+#[derive(Debug)]
+struct StageTimers {
+    inspect: Arc<Histogram>,
+    id_gen: Arc<Histogram>,
+    store_get: Arc<Histogram>,
+    sqli_detect: Arc<Histogram>,
+    stored_scan: Arc<Histogram>,
+    store_save: Arc<Histogram>,
+}
+
+impl StageTimers {
+    fn register(registry: &MetricsRegistry) -> Self {
+        let stage = |name: &str| {
+            registry.histogram(&format!(
+                "septic_stage_duration_microseconds{{stage=\"{name}\"}}"
+            ))
+        };
+        StageTimers {
+            inspect: stage("inspect"),
+            id_gen: stage("id_gen"),
+            store_get: stage("store_get"),
+            sqli_detect: stage("sqli_detect"),
+            stored_scan: stage("stored_scan"),
+            store_save: stage("store_save"),
+        }
+    }
+}
+
+/// Microseconds elapsed since `t`, saturating.
+fn span_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// A point-in-time snapshot of [`Counters`].
@@ -144,6 +208,7 @@ pub struct CounterSnapshot {
     pub models_found: u64,
     pub sqli_detected: u64,
     pub stored_detected: u64,
+    pub attacks_detected: u64,
     pub queries_dropped: u64,
     pub guard_panics: u64,
     pub deadline_exceeded: u64,
@@ -187,7 +252,11 @@ pub struct Septic {
     store: ModelStore,
     plugins: Vec<Box<dyn Plugin>>,
     logger: Logger,
+    /// Registry behind `counters`/`stages`; the source for snapshots
+    /// and the Prometheus export.
+    metrics: MetricsRegistry,
     counters: Counters,
+    stages: StageTimers,
 }
 
 impl Default for Septic {
@@ -201,13 +270,18 @@ impl Septic {
     /// default plugin set.
     #[must_use]
     pub fn new() -> Self {
+        let metrics = MetricsRegistry::new();
+        let counters = Counters::register(&metrics);
+        let stages = StageTimers::register(&metrics);
         Septic {
             engine: RwLock::new(EngineConfig::default()),
             id_generator: IdGenerator::new(),
             store: ModelStore::new(),
             plugins: default_plugins(),
             logger: Logger::default(),
-            counters: Counters::default(),
+            metrics,
+            counters,
+            stages,
         }
     }
 
@@ -321,18 +395,41 @@ impl Septic {
     #[must_use]
     pub fn counters(&self) -> CounterSnapshot {
         CounterSnapshot {
-            queries_seen: self.counters.queries_seen.load(Ordering::Relaxed),
-            models_created: self.counters.models_created.load(Ordering::Relaxed),
-            models_found: self.counters.models_found.load(Ordering::Relaxed),
-            sqli_detected: self.counters.sqli_detected.load(Ordering::Relaxed),
-            stored_detected: self.counters.stored_detected.load(Ordering::Relaxed),
-            queries_dropped: self.counters.queries_dropped.load(Ordering::Relaxed),
-            guard_panics: self.counters.guard_panics.load(Ordering::Relaxed),
-            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
-            fail_open_passes: self.counters.fail_open_passes.load(Ordering::Relaxed),
-            store_recoveries: self.counters.store_recoveries.load(Ordering::Relaxed),
-            log_drops: self.counters.log_drops.load(Ordering::Relaxed),
+            queries_seen: self.counters.queries_seen.get(),
+            models_created: self.counters.models_created.get(),
+            models_found: self.counters.models_found.get(),
+            sqli_detected: self.counters.sqli_detected.get(),
+            stored_detected: self.counters.stored_detected.get(),
+            attacks_detected: self.counters.attacks_detected.get(),
+            queries_dropped: self.counters.queries_dropped.get(),
+            guard_panics: self.counters.guard_panics.get(),
+            deadline_exceeded: self.counters.deadline_exceeded.get(),
+            fail_open_passes: self.counters.fail_open_passes.get(),
+            store_recoveries: self.counters.store_recoveries.get(),
+            log_drops: self.counters.log_drops.get(),
         }
+    }
+
+    /// The telemetry registry behind SEPTIC's counters and per-stage
+    /// latency histograms. Hot-path handles are resolved once at
+    /// construction; the registry itself is only locked by snapshots.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Point-in-time copy of every SEPTIC metric — counters
+    /// (`septic_*_total`) and stage histograms
+    /// (`septic_stage_duration_microseconds{stage="..."}`).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The metrics in Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
     }
 
     /// Persists the learned models ("stored persistently").
@@ -341,7 +438,10 @@ impl Septic {
     ///
     /// I/O or serialization failures.
     pub fn save_models(&self, path: &Path) -> io::Result<()> {
-        self.store.save_to(path)
+        let t = Instant::now();
+        let res = self.store.save_to(path);
+        self.stages.store_save.record_us(span_us(t));
+        res
     }
 
     /// Loads persisted models, replacing the in-memory set, and logs the
@@ -409,6 +509,10 @@ impl Septic {
             counters.stored_detected
         ));
         out.push_str(&format!(
+            "  attacks total   : {}\n",
+            counters.attacks_detected
+        ));
+        out.push_str(&format!(
             "  queries dropped : {}\n",
             counters.queries_dropped
         ));
@@ -432,8 +536,8 @@ impl Septic {
         out
     }
 
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn bump(counter: &Counter) {
+        counter.inc();
     }
 
     /// Records an event, mirroring the logger's eviction count into the
@@ -443,9 +547,7 @@ impl Septic {
             return;
         }
         self.logger.record(kind);
-        self.counters
-            .log_drops
-            .store(self.logger.dropped(), Ordering::Relaxed);
+        self.counters.log_drops.set(self.logger.dropped());
     }
 
     /// Hot-path variant of [`Septic::log_event`]: the event (and its
@@ -456,15 +558,15 @@ impl Septic {
             return;
         }
         self.logger.record(kind());
-        self.counters
-            .log_drops
-            .store(self.logger.dropped(), Ordering::Relaxed);
+        self.counters.log_drops.set(self.logger.dropped());
     }
 
     /// The detection half of [`Septic::inspect`]: SQLI + stored-injection
     /// scans over a known model. Runs under `catch_unwind` so a panicking
     /// detector or plugin degrades per the failure policy instead of
-    /// taking the whole guard down. Returns the block decision, if any.
+    /// taking the whole guard down. Returns the block decision, if any;
+    /// stage timings are written into `spans` as each stage completes,
+    /// so a later panic or deadline report still sees the partial spans.
     fn run_detectors(
         &self,
         ctx: &QueryContext<'_>,
@@ -472,6 +574,7 @@ impl Septic {
         id: &QueryId,
         engine: &EngineConfig,
         actions: ModeActions,
+        spans: &mut StageSpansUs,
     ) -> Option<GuardDecision> {
         let qs = ctx.stack;
         let config = engine.detection;
@@ -484,13 +587,17 @@ impl Septic {
         // SQLI detection (structural + syntactic; optionally step 1 only
         // for the detector ablation).
         if config.sqli && actions.detect_sqli {
+            let t = Instant::now();
             let outcome = if engine.structural_only {
                 crate::detector::detect_sqli_structural_only(qs, model)
             } else {
                 detect_sqli(qs, model)
             };
+            spans.sqli_us = span_us(t);
+            self.stages.sqli_detect.record_us(spans.sqli_us);
             if let SqliOutcome::Attack(kind) = outcome {
                 Self::bump(&self.counters.sqli_detected);
+                Self::bump(&self.counters.attacks_detected);
                 self.log_event_with(|| EventKind::SqliDetected {
                     id: id.clone(),
                     kind: kind.clone(),
@@ -506,8 +613,13 @@ impl Septic {
 
         // Stored-injection detection over INSERT/UPDATE user data.
         if config.stored && actions.detect_stored && !ctx.write_data.is_empty() {
-            if let Some(found) = scan_inputs(&self.plugins, ctx.write_data) {
+            let t = Instant::now();
+            let found = scan_inputs(&self.plugins, ctx.write_data);
+            spans.stored_us = span_us(t);
+            self.stages.stored_scan.record_us(spans.stored_us);
+            if let Some(found) = found {
                 Self::bump(&self.counters.stored_detected);
+                Self::bump(&self.counters.attacks_detected);
                 self.log_event_with(|| EventKind::StoredDetected {
                     id: id.clone(),
                     attack: found.clone(),
@@ -539,7 +651,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 impl QueryGuard for Septic {
     fn inspect(&self, ctx: &QueryContext<'_>) -> GuardDecision {
+        let whole = Instant::now();
+        let decision = self.inspect_timed(ctx);
+        self.stages.inspect.record_us(span_us(whole));
+        decision
+    }
+
+    fn name(&self) -> &str {
+        "septic"
+    }
+
+    fn failure_policy(&self) -> FailurePolicy {
+        let engine = self.engine.read();
+        engine.failure_policies.for_mode(engine.mode)
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.metrics_snapshot())
+    }
+}
+
+impl Septic {
+    /// The body of [`Septic::inspect`], with per-stage span timing
+    /// threaded through so slow queries are attributable to a stage.
+    fn inspect_timed(&self, ctx: &QueryContext<'_>) -> GuardDecision {
         Self::bump(&self.counters.queries_seen);
+        let mut spans = StageSpansUs::default();
         // One lock acquisition for every per-query tunable.
         let engine = *self.engine.read();
         let actions = ModeActions::for_mode(engine.mode);
@@ -548,7 +685,10 @@ impl QueryGuard for Septic {
         // generator for the query identifier (no lock: the generator is
         // interior-mutable, external ids are interned `Arc<str>`s).
         let qs = ctx.stack;
+        let t = Instant::now();
         let id = self.id_generator.generate(qs, ctx.comments);
+        spans.id_gen_us = span_us(t);
+        self.stages.id_gen.record_us(spans.id_gen_us);
         self.log_event_with(|| EventKind::QueryProcessed {
             id: id.clone(),
             command: ctx.command().to_string(),
@@ -569,7 +709,12 @@ impl QueryGuard for Septic {
 
         // Identifiers the administrator rejected are refused outright
         // instead of being re-learned.
-        if self.store.is_rejected(&id) {
+        let t = Instant::now();
+        let rejected = self.store.is_rejected(&id);
+        let model = if rejected { None } else { self.store.get(&id) };
+        spans.store_get_us = span_us(t);
+        self.stages.store_get.record_us(spans.store_get_us);
+        if rejected {
             Self::bump(&self.counters.queries_dropped);
             self.log_event_with(|| EventKind::RejectedQueryRefused {
                 id: id.clone(),
@@ -578,10 +723,11 @@ impl QueryGuard for Septic {
             return GuardDecision::Block(format!("query id {id} rejected by administrator"));
         }
 
-        // Normal mode: fetch the model (a shard read lock + `Arc`
-        // refcount bump, never a deep clone) or learn incrementally (into
-        // quarantine, pending administrator review — Section II-E).
-        let Some(model) = self.store.get(&id) else {
+        // Normal mode: the model was fetched above (a shard read lock +
+        // `Arc` refcount bump, never a deep clone); a miss is learned
+        // incrementally (into quarantine, pending administrator review —
+        // Section II-E).
+        let Some(model) = model else {
             let model = QueryModel::from_structure(qs);
             self.store.learn_provisional(id.clone(), model);
             Self::bump(&self.counters.models_created);
@@ -603,7 +749,7 @@ impl QueryGuard for Septic {
         let fail_open = policy == FailurePolicy::FailOpen;
         let started = Instant::now();
         let detection = catch_unwind(AssertUnwindSafe(|| {
-            self.run_detectors(ctx, &model, &id, &engine, actions)
+            self.run_detectors(ctx, &model, &id, &engine, actions, &mut spans)
         }));
         let elapsed = started.elapsed();
 
@@ -639,6 +785,9 @@ impl QueryGuard for Septic {
                     elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                     budget_us: u64::try_from(budget.as_micros()).unwrap_or(u64::MAX),
                     fail_open,
+                    // Where the time went (per-stage spans for this very
+                    // query), so the blown budget is attributable.
+                    stages: spans,
                 });
                 if fail_open {
                     Self::bump(&self.counters.fail_open_passes);
@@ -652,15 +801,6 @@ impl QueryGuard for Septic {
         }
 
         GuardDecision::Proceed
-    }
-
-    fn name(&self) -> &str {
-        "septic"
-    }
-
-    fn failure_policy(&self) -> FailurePolicy {
-        let engine = self.engine.read();
-        engine.failure_policies.for_mode(engine.mode)
     }
 }
 

@@ -106,6 +106,13 @@ pub trait QueryGuard: Send + Sync {
     fn failure_policy(&self) -> FailurePolicy {
         FailurePolicy::FailClosed
     }
+
+    /// Snapshot of the guard's own metrics, if it keeps any. The server
+    /// merges this into its `SHOW SEPTIC STATUS` output and Prometheus
+    /// export; guards without telemetry keep the `None` default.
+    fn metrics(&self) -> Option<septic_telemetry::MetricsSnapshot> {
+        None
+    }
 }
 
 /// Shared guard handle installed on a server.

@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 use septic_sql::ast::InsertSource;
 use septic_sql::{charset, items, parse, Statement};
+use septic_telemetry::{label_value, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::error::DbError;
 use crate::exec::{execute, execute_read, is_read_only, validate, QueryOutput};
@@ -73,6 +74,12 @@ struct SessionState {
     queries_ok: AtomicU64,
     queries_blocked: AtomicU64,
     queries_failed: AtomicU64,
+    /// Wall-clock pipeline time of this session's successful queries,
+    /// microseconds.
+    busy_micros: AtomicU64,
+    /// Client-observed time (wall + simulated `SLEEP`/`BENCHMARK` delay)
+    /// of this session's successful queries, microseconds.
+    observed_micros: AtomicU64,
 }
 
 impl SessionState {
@@ -82,6 +89,8 @@ impl SessionState {
             queries_ok: AtomicU64::new(0),
             queries_blocked: AtomicU64::new(0),
             queries_failed: AtomicU64::new(0),
+            busy_micros: AtomicU64::new(0),
+            observed_micros: AtomicU64::new(0),
         }
     }
 }
@@ -98,20 +107,74 @@ pub struct SessionSnapshot {
     /// Queries that failed for any other reason (parse, validation,
     /// runtime, guard failure).
     pub queries_failed: u64,
+    /// Wall-clock pipeline time of the successful queries, microseconds.
+    pub busy_us: u64,
+    /// Client-observed time (wall + simulated delay) of the successful
+    /// queries, microseconds. `>= busy_us`; the gap is the time-based
+    /// blind-injection channel (`SLEEP`/`BENCHMARK`).
+    pub observed_us: u64,
 }
 
-/// Degradation counters for the fail-safe machinery. All monotone; read
-/// them via [`Server::stats`].
-#[derive(Debug, Default)]
+/// Degradation counters for the fail-safe machinery. All monotone,
+/// backed by the server's [`MetricsRegistry`] (so they appear in the
+/// Prometheus export as `dbms_*_total`); read them via [`Server::stats`].
+#[derive(Debug)]
 struct ServerStats {
     /// Guard `inspect` calls that panicked (contained by the server).
-    guard_panics: AtomicU64,
+    guard_panics: Arc<Counter>,
     /// Queries that executed *despite* a guard failure because the
     /// guard's policy was [`FailurePolicy::FailOpen`].
-    fail_open_passes: AtomicU64,
+    fail_open_passes: Arc<Counter>,
     /// General-log entries evicted (or refused) because the ring buffer
     /// was full.
-    log_drops: AtomicU64,
+    log_drops: Arc<Counter>,
+}
+
+impl ServerStats {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ServerStats {
+            guard_panics: registry.counter("dbms_guard_panics_total"),
+            fail_open_passes: registry.counter("dbms_fail_open_passes_total"),
+            log_drops: registry.counter("dbms_log_drops_total"),
+        }
+    }
+}
+
+/// Per-stage latency histograms of the server pipeline
+/// (`dbms_stage_duration_microseconds{stage="..."}`), resolved once at
+/// construction so recording is lock-free on the query path.
+#[derive(Debug)]
+struct PipelineTimers {
+    parse: Arc<Histogram>,
+    qs_build: Arc<Histogram>,
+    guard: Arc<Histogram>,
+    execute: Arc<Histogram>,
+}
+
+impl PipelineTimers {
+    fn register(registry: &MetricsRegistry) -> Self {
+        let stage = |name: &str| {
+            registry.histogram(&format!(
+                "dbms_stage_duration_microseconds{{stage=\"{name}\"}}"
+            ))
+        };
+        PipelineTimers {
+            parse: stage("parse"),
+            qs_build: stage("qs_build"),
+            guard: stage("guard"),
+            execute: stage("execute"),
+        }
+    }
+}
+
+/// Microseconds elapsed since `t`, saturating.
+fn span_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A duration as saturating microseconds.
+fn as_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Point-in-time snapshot of the server's degradation counters.
@@ -161,6 +224,11 @@ pub struct Server {
     /// entry is evicted (and counted in `stats.log_drops`) when full.
     general_log: Mutex<VecDeque<GeneralLogEntry>>,
     stats: ServerStats,
+    /// Registry behind `stats` and `pipeline`; merged with the guard's
+    /// own metrics in [`Server::metrics_snapshot`].
+    metrics: MetricsRegistry,
+    /// Per-stage pipeline latency histograms.
+    pipeline: PipelineTimers,
     /// Total simulated delay (`SLEEP`/`BENCHMARK`) accumulated across all
     /// queries — the observable for time-based blind injection.
     simulated_total_micros: AtomicI64,
@@ -178,16 +246,25 @@ impl Server {
     /// Creates a server with an explicit configuration.
     #[must_use]
     pub fn with_config(config: ServerConfig) -> Arc<Self> {
-        Arc::new(Server {
+        Arc::new(Self::build(config))
+    }
+
+    fn build(config: ServerConfig) -> Server {
+        let metrics = MetricsRegistry::new();
+        let stats = ServerStats::register(&metrics);
+        let pipeline = PipelineTimers::register(&metrics);
+        Server {
             db: RwLock::new(Database::new()),
             guard: RwLock::new(None),
             config,
             clock: AtomicI64::new(1_000_000),
             general_log: Mutex::new(VecDeque::new()),
-            stats: ServerStats::default(),
+            stats,
+            metrics,
+            pipeline,
             simulated_total_micros: AtomicI64::new(0),
             next_session: AtomicU64::new(1),
-        })
+        }
     }
 
     /// Installs (or replaces) the pre-execution guard. Passing a SEPTIC
@@ -231,10 +308,37 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
-            guard_panics: self.stats.guard_panics.load(Ordering::Relaxed),
-            fail_open_passes: self.stats.fail_open_passes.load(Ordering::Relaxed),
-            log_drops: self.stats.log_drops.load(Ordering::Relaxed),
+            guard_panics: self.stats.guard_panics.get(),
+            fail_open_passes: self.stats.fail_open_passes.get(),
+            log_drops: self.stats.log_drops.get(),
         }
+    }
+
+    /// The server's own telemetry registry (pipeline stage timings and
+    /// `dbms_*` degradation counters).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Merged metrics snapshot: the server's pipeline metrics plus
+    /// whatever the installed guard reports via
+    /// [`crate::guard::QueryGuard::metrics`] (for SEPTIC: the
+    /// `septic_*` counters and stage histograms).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let guard = self.guard.read().clone();
+        if let Some(guard_snap) = guard.and_then(|g| g.metrics()) {
+            snap.extend(guard_snap);
+        }
+        snap
+    }
+
+    /// The merged metrics in Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.metrics_snapshot().to_prometheus()
     }
 
     /// Clears the general log.
@@ -259,7 +363,7 @@ impl Server {
     /// entry (capacity 0) costs a counter bump, not a `format!`.
     fn log(&self, at: i64, session: u64, sql: &str, outcome: impl FnOnce() -> String) {
         if self.config.general_log_capacity == 0 {
-            self.stats.log_drops.fetch_add(1, Ordering::Relaxed);
+            self.stats.log_drops.inc();
             return;
         }
         let entry = GeneralLogEntry {
@@ -271,7 +375,7 @@ impl Server {
         let mut log = self.general_log.lock();
         while log.len() >= self.config.general_log_capacity {
             log.pop_front();
-            self.stats.log_drops.fetch_add(1, Ordering::Relaxed);
+            self.stats.log_drops.inc();
         }
         log.push_back(entry);
     }
@@ -282,14 +386,124 @@ impl Server {
         raw_sql: &str,
         params: Option<&[Value]>,
     ) -> Result<ExecResult, DbError> {
+        // Admin statements (`SHOW SEPTIC STATUS` / `SHOW SEPTIC METRICS`)
+        // are answered from telemetry without entering the pipeline, so
+        // they work even while the guard is blocking everything else.
+        if params.is_none() {
+            if let Some(result) = self.admin_statement(session, raw_sql) {
+                session.queries_ok.fetch_add(1, Ordering::Relaxed);
+                return Ok(result);
+            }
+        }
         let outcome = self.run_pipeline(session.id, raw_sql, params);
-        let counter = match &outcome {
-            Ok(_) => &session.queries_ok,
-            Err(DbError::Blocked(_)) => &session.queries_blocked,
-            Err(_) => &session.queries_failed,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        match &outcome {
+            Ok(res) => {
+                session.queries_ok.fetch_add(1, Ordering::Relaxed);
+                session
+                    .busy_micros
+                    .fetch_add(as_us(res.elapsed), Ordering::Relaxed);
+                session
+                    .observed_micros
+                    .fetch_add(as_us(res.observed_latency()), Ordering::Relaxed);
+            }
+            Err(DbError::Blocked(_)) => {
+                session.queries_blocked.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                session.queries_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         outcome
+    }
+
+    /// Recognizes and answers the telemetry admin statements. Returns
+    /// `None` for anything else (the statement then takes the normal
+    /// pipeline).
+    fn admin_statement(&self, session: &SessionState, raw_sql: &str) -> Option<ExecResult> {
+        let started = Instant::now();
+        let words: Vec<String> = raw_sql
+            .trim()
+            .trim_end_matches(';')
+            .split_whitespace()
+            .map(str::to_ascii_uppercase)
+            .collect();
+        let output = match words
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .as_slice()
+        {
+            ["SHOW", "SEPTIC", "STATUS"] => self.septic_status_output(session),
+            ["SHOW", "SEPTIC", "METRICS"] => self.septic_metrics_output(),
+            _ => return None,
+        };
+        Some(ExecResult {
+            outputs: vec![output],
+            elapsed: started.elapsed(),
+            simulated_delay: Duration::ZERO,
+        })
+    }
+
+    /// `SHOW SEPTIC STATUS`: two-column (`Variable_name`, `Value`) rows
+    /// merging the guard's metrics, the server's pipeline metrics and
+    /// the calling session's counters.
+    fn septic_status_output(&self, session: &SessionState) -> QueryOutput {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        let guard = self.guard.read().clone();
+        rows.push((
+            "guard_installed".into(),
+            if guard.is_some() { "yes" } else { "no" }.into(),
+        ));
+        if let Some(guard) = &guard {
+            rows.push(("guard_name".into(), guard.name().to_string()));
+            if let Some(snap) = guard.metrics() {
+                push_metric_rows(&mut rows, &snap);
+            }
+        }
+        push_metric_rows(&mut rows, &self.metrics.snapshot());
+        rows.push(("session_id".into(), session.id.to_string()));
+        rows.push((
+            "session_queries_ok".into(),
+            session.queries_ok.load(Ordering::Relaxed).to_string(),
+        ));
+        rows.push((
+            "session_queries_blocked".into(),
+            session.queries_blocked.load(Ordering::Relaxed).to_string(),
+        ));
+        rows.push((
+            "session_queries_failed".into(),
+            session.queries_failed.load(Ordering::Relaxed).to_string(),
+        ));
+        rows.push((
+            "session_busy_us".into(),
+            session.busy_micros.load(Ordering::Relaxed).to_string(),
+        ));
+        rows.push((
+            "session_observed_us".into(),
+            session.observed_micros.load(Ordering::Relaxed).to_string(),
+        ));
+        QueryOutput {
+            columns: vec!["Variable_name".into(), "Value".into()],
+            rows: rows
+                .into_iter()
+                .map(|(k, v)| vec![Value::from(k.as_str()), Value::from(v.as_str())])
+                .collect(),
+            ..QueryOutput::default()
+        }
+    }
+
+    /// `SHOW SEPTIC METRICS`: the merged Prometheus export, one text
+    /// line per row — a scrape endpoint reachable through SQL.
+    fn septic_metrics_output(&self) -> QueryOutput {
+        QueryOutput {
+            columns: vec!["metric".into()],
+            rows: self
+                .prometheus()
+                .lines()
+                .map(|line| vec![Value::from(line)])
+                .collect(),
+            ..QueryOutput::default()
+        }
     }
 
     fn run_pipeline(
@@ -307,7 +521,10 @@ impl Server {
         let decoded = charset::decode(raw_sql);
 
         // 2. parse
-        let mut parsed = match parse(&decoded.text) {
+        let t = Instant::now();
+        let parse_result = parse(&decoded.text);
+        self.pipeline.parse.record_us(span_us(t));
+        let mut parsed = match parse_result {
             Ok(p) => p,
             Err(e) => {
                 self.log(at, session, raw_sql, || format!("error: {e}"));
@@ -346,13 +563,16 @@ impl Server {
             }
         }
 
-        // 4. lower to the item stack
+        // 4. lower to the item stack (the QS build)
+        let t = Instant::now();
         let stack = items::lower_all(&parsed.statements);
+        self.pipeline.qs_build.record_us(span_us(t));
 
         // 5+6. guard (SEPTIC hook): user data of INSERT/UPDATE statements
         //       is gathered only when a guard is installed.
         let guard = self.guard.read().clone();
         if let Some(guard) = guard {
+            let guard_started = Instant::now();
             let mut write_data: Vec<String> = Vec::new();
             for stmt in &parsed.statements {
                 collect_write_data(stmt, &mut write_data);
@@ -368,14 +588,16 @@ impl Server {
             };
             // The guard runs inside `catch_unwind`: a buggy detector must
             // degrade per its failure policy, never crash the engine.
-            match catch_unwind(AssertUnwindSafe(|| guard.inspect(&ctx))) {
+            let inspected = catch_unwind(AssertUnwindSafe(|| guard.inspect(&ctx)));
+            self.pipeline.guard.record_us(span_us(guard_started));
+            match inspected {
                 Ok(GuardDecision::Proceed) => {}
                 Ok(GuardDecision::Block(reason)) => {
                     self.log(at, session, raw_sql, || format!("blocked: {reason}"));
                     return Err(DbError::Blocked(reason));
                 }
                 Err(payload) => {
-                    self.stats.guard_panics.fetch_add(1, Ordering::Relaxed);
+                    self.stats.guard_panics.inc();
                     let what = panic_message(payload.as_ref());
                     // The policy query runs isolated too — the guard that
                     // just panicked may panic again; then the safe default
@@ -391,7 +613,7 @@ impl Server {
                             return Err(DbError::GuardFailure(reason));
                         }
                         FailurePolicy::FailOpen => {
-                            self.stats.fail_open_passes.fetch_add(1, Ordering::Relaxed);
+                            self.stats.fail_open_passes.inc();
                             self.log(at, session, raw_sql, || {
                                 format!("guard failure (fail-open): {what}")
                             });
@@ -405,6 +627,7 @@ impl Server {
         // 7. execute — pure-SELECT calls run under the shared read lock so
         //    parallel sessions overlap; anything mutating serializes on the
         //    write lock.
+        let t = Instant::now();
         let executed: Result<Vec<QueryOutput>, DbError> =
             if parsed.statements.iter().all(is_read_only) {
                 let db = self.db.read();
@@ -421,6 +644,7 @@ impl Server {
                     .map(|stmt| execute(&mut db, stmt, at))
                     .collect()
             };
+        self.pipeline.execute.record_us(span_us(t));
         let outputs = match executed {
             Ok(outputs) => outputs,
             Err(e) => {
@@ -446,16 +670,37 @@ impl Server {
 
 impl Default for Server {
     fn default() -> Self {
-        Server {
-            db: RwLock::new(Database::new()),
-            guard: RwLock::new(None),
-            config: ServerConfig::default(),
-            clock: AtomicI64::new(1_000_000),
-            general_log: Mutex::new(VecDeque::new()),
-            stats: ServerStats::default(),
-            simulated_total_micros: AtomicI64::new(0),
-            next_session: AtomicU64::new(1),
-        }
+        Self::build(ServerConfig::default())
+    }
+}
+
+/// Formats a metrics snapshot as (`Variable_name`, `Value`) rows:
+/// counters verbatim, histograms as `<base>_count` / `_p50_us` /
+/// `_p95_us` / `_p99_us` with any `{stage="…"}` label folded into the
+/// variable name.
+fn push_metric_rows(rows: &mut Vec<(String, String)>, snap: &MetricsSnapshot) {
+    for c in &snap.counters {
+        rows.push((c.name.clone(), c.value.to_string()));
+    }
+    for h in &snap.histograms {
+        let base = metric_base_name(&h.name);
+        rows.push((format!("{base}_count"), h.count.to_string()));
+        rows.push((format!("{base}_p50_us"), h.percentile_us(50.0).to_string()));
+        rows.push((format!("{base}_p95_us"), h.percentile_us(95.0).to_string()));
+        rows.push((format!("{base}_p99_us"), h.percentile_us(99.0).to_string()));
+    }
+}
+
+/// `septic_stage_duration_microseconds{stage="inspect"}` →
+/// `septic_stage_inspect`; label-less names pass through unchanged.
+fn metric_base_name(name: &str) -> String {
+    let family = name.split('{').next().unwrap_or(name);
+    match label_value(name, "stage") {
+        Some(stage) => format!(
+            "{}_{stage}",
+            family.trim_end_matches("_duration_microseconds")
+        ),
+        None => family.to_string(),
     }
 }
 
@@ -571,6 +816,8 @@ impl Connection {
             queries_ok: self.session.queries_ok.load(Ordering::Relaxed),
             queries_blocked: self.session.queries_blocked.load(Ordering::Relaxed),
             queries_failed: self.session.queries_failed.load(Ordering::Relaxed),
+            busy_us: self.session.busy_micros.load(Ordering::Relaxed),
+            observed_us: self.session.observed_micros.load(Ordering::Relaxed),
         }
     }
 

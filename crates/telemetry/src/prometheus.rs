@@ -1,0 +1,216 @@
+//! Prometheus text exposition: render a [`MetricsSnapshot`] and parse
+//! the result back. The parser exists so CI can validate the export
+//! end to end (scrape → parse → compare against golden counts) without
+//! a real Prometheus server in the loop.
+
+use crate::histogram::bucket_bounds_us;
+use crate::registry::MetricsSnapshot;
+use std::collections::BTreeMap;
+
+/// Split a registry name into `(family, labels)` where `labels` is the
+/// inside of an optional trailing `{...}`.
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) if name.ends_with('}') => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Build a series name `family{existing,extra}` from its parts.
+fn series(family: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    match (labels, extra) {
+        (None, None) => family.to_string(),
+        (Some(l), None) => format!("{family}{{{l}}}"),
+        (None, Some(e)) => format!("{family}{{{e}}}"),
+        (Some(l), Some(e)) => format!("{family}{{{l},{e}}}"),
+    }
+}
+
+/// Extract the value of `label` from a series name such as
+/// `septic_stage_duration_microseconds{stage="id_gen"}`.
+pub fn label_value<'a>(name: &'a str, label: &str) -> Option<&'a str> {
+    let (_, labels) = split_name(name);
+    for pair in labels?.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        if k.trim() == label {
+            return Some(v.trim().trim_matches('"'));
+        }
+    }
+    None
+}
+
+/// Render a snapshot in Prometheus text exposition format.
+///
+/// Counters become `family value` series; histograms become cumulative
+/// `family_bucket{le="..."}` series plus `family_sum` / `family_count`.
+/// Within the rendered text `family_count` always equals the
+/// `le="+Inf"` bucket, as Prometheus requires.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for c in &snapshot.counters {
+        let (family, labels) = split_name(&c.name);
+        if family != last_family {
+            out.push_str(&format!("# TYPE {family} counter\n"));
+            last_family = family.to_string();
+        }
+        out.push_str(&format!("{} {}\n", series(family, labels, None), c.value));
+    }
+    let bounds = bucket_bounds_us();
+    for h in &snapshot.histograms {
+        let (family, labels) = split_name(&h.name);
+        if family != last_family {
+            out.push_str(&format!("# TYPE {family} histogram\n"));
+            last_family = family.to_string();
+        }
+        let mut cumulative = 0u64;
+        for (i, bucket) in h.buckets.iter().enumerate() {
+            cumulative += bucket;
+            let le = if i < bounds.len() {
+                bounds[i].to_string()
+            } else {
+                "+Inf".to_string()
+            };
+            let extra = format!("le=\"{le}\"");
+            out.push_str(&format!(
+                "{} {}\n",
+                series(&format!("{family}_bucket"), labels, Some(&extra)),
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "{} {}\n",
+            series(&format!("{family}_sum"), labels, None),
+            h.sum_us
+        ));
+        out.push_str(&format!(
+            "{} {}\n",
+            series(&format!("{family}_count"), labels, None),
+            cumulative
+        ));
+    }
+    out
+}
+
+/// Parse Prometheus text exposition into `series name -> value`.
+///
+/// Comment (`#`) and blank lines are skipped; anything else must be
+/// `name[{labels}] value` or the whole text is rejected — CI treats a
+/// parse failure as a broken exporter.
+pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The metric name may contain spaces only inside a label set.
+        let split_at = match line.find('{') {
+            Some(open) => {
+                let close = line[open..]
+                    .find('}')
+                    .map(|i| open + i)
+                    .ok_or_else(|| format!("line {}: unclosed label set", lineno + 1))?;
+                close + 1
+            }
+            None => line
+                .find(' ')
+                .ok_or_else(|| format!("line {}: no value", lineno + 1))?,
+        };
+        let (name, rest) = line.split_at(split_at);
+        let value: f64 = rest
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: bad value {:?}", lineno + 1, rest.trim()))?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        if out.insert(name.to_string(), value).is_some() {
+            return Err(format!("line {}: duplicate series {name}", lineno + 1));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+    use std::time::Duration;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("septic_attacks_total").add(3);
+        reg.counter("septic_queries_total").add(10);
+        let h = reg.histogram("septic_stage_duration_microseconds{stage=\"id_gen\"}");
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(900));
+        let text = reg.snapshot().to_prometheus();
+        let parsed = parse_prometheus(&text).expect("export must parse");
+        assert_eq!(parsed["septic_attacks_total"], 3.0);
+        assert_eq!(parsed["septic_queries_total"], 10.0);
+        assert_eq!(
+            parsed["septic_stage_duration_microseconds_count{stage=\"id_gen\"}"],
+            2.0
+        );
+        assert_eq!(
+            parsed["septic_stage_duration_microseconds_sum{stage=\"id_gen\"}"],
+            903.0
+        );
+        // Cumulative buckets: the le="4" bucket holds the 3us sample.
+        assert_eq!(
+            parsed["septic_stage_duration_microseconds_bucket{stage=\"id_gen\",le=\"4\"}"],
+            1.0
+        );
+        assert_eq!(
+            parsed["septic_stage_duration_microseconds_bucket{stage=\"id_gen\",le=\"+Inf\"}"],
+            2.0
+        );
+    }
+
+    #[test]
+    fn count_always_equals_inf_bucket_in_rendered_text() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_microseconds");
+        for i in 0..50 {
+            h.record(Duration::from_micros(i * 37));
+        }
+        let parsed = parse_prometheus(&reg.snapshot().to_prometheus()).unwrap();
+        assert_eq!(
+            parsed["lat_microseconds_count"],
+            parsed["lat_microseconds_bucket{le=\"+Inf\"}"]
+        );
+    }
+
+    #[test]
+    fn label_value_extracts_embedded_labels() {
+        assert_eq!(
+            label_value(
+                "septic_stage_duration_microseconds{stage=\"qs_build\"}",
+                "stage"
+            ),
+            Some("qs_build")
+        );
+        assert_eq!(label_value("plain_total", "stage"), None);
+        assert_eq!(
+            label_value("x{a=\"1\",stage=\"guard\"}", "stage"),
+            Some("guard")
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_prometheus("just_a_name").is_err());
+        assert!(parse_prometheus("name not_a_number").is_err());
+        assert!(parse_prometheus("name{unclosed 1").is_err());
+        assert!(parse_prometheus("{no_name} 1").is_err());
+        assert!(parse_prometheus("dup 1\ndup 2").is_err());
+        assert!(parse_prometheus("# comment only\n\n").unwrap().is_empty());
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`waf`] — the ModSecurity-style comparison baseline;
 //! * [`webapp`] — PHP-semantics applications (WaspMon & the workload apps);
 //! * [`attacks`] — attack corpus, sqlmap-style prober, trainer, runner;
-//! * [`benchlab`] — workload replay and the Figure 5 experiment driver.
+//! * [`benchlab`] — workload replay and the Figure 5 experiment driver;
+//! * [`telemetry`] — lock-free metrics registry (counters, histograms,
+//!   Prometheus text export) shared by the guard and the server.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -38,5 +40,6 @@ pub use septic_benchlab as benchlab;
 pub use septic_dbms as dbms;
 pub use septic_http as http;
 pub use septic_sql as sql;
+pub use septic_telemetry as telemetry;
 pub use septic_waf as waf;
 pub use septic_webapp as webapp;

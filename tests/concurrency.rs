@@ -8,6 +8,7 @@ use std::sync::Arc;
 
 use septic_repro::dbms::{DbError, Server, Value};
 use septic_repro::septic::{Mode, Septic};
+use septic_repro::telemetry::parse_prometheus;
 
 fn protected_server() -> (Arc<Server>, Arc<Septic>) {
     let server = Server::new();
@@ -225,6 +226,45 @@ fn stress_counters_account_for_every_query() {
         assert_eq!(s.queries_blocked, attacks_per_thread);
         assert_eq!(s.queries_failed, 0);
     }
+
+    // The three observability surfaces must agree with each other and
+    // with the per-session counters: the merged MetricsSnapshot, the
+    // Prometheus text export, and the logger's monotonic kind counters.
+    let attacks = threads * attacks_per_thread;
+    let merged = server.metrics_snapshot();
+    assert_eq!(merged.counter("septic_attacks_total"), Some(attacks));
+    assert_eq!(
+        merged.counter("septic_queries_dropped_total"),
+        Some(attacks)
+    );
+    assert_eq!(
+        merged.counter("septic_queries_total"),
+        Some(threads * per_thread * 2)
+    );
+    let series = parse_prometheus(&server.prometheus()).expect("export must parse");
+    assert_eq!(
+        series.get("septic_attacks_total").copied(),
+        Some(attacks as f64)
+    );
+    assert_eq!(
+        series.get("septic_queries_dropped_total").copied(),
+        Some(attacks as f64)
+    );
+    let session_blocked: u64 = sessions.iter().map(|s| s.queries_blocked).sum();
+    assert_eq!(session_blocked, attacks);
+    assert_eq!(septic.logger().attack_count() as u64, attacks);
+    // Stage histograms were exercised and export self-consistently: the
+    // rendered `_count` series equals the snapshot count.
+    let inspect = merged
+        .histogram("septic_stage_duration_microseconds{stage=\"inspect\"}")
+        .expect("inspect stage histogram");
+    assert_eq!(inspect.count, threads * per_thread * 2);
+    assert_eq!(
+        series
+            .get("septic_stage_duration_microseconds_count{stage=\"inspect\"}")
+            .copied(),
+        Some(inspect.count as f64)
+    );
 }
 
 #[test]

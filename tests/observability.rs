@@ -1,0 +1,178 @@
+//! End-to-end observability tests: the `SHOW SEPTIC STATUS` /
+//! `SHOW SEPTIC METRICS` admin statements, stage attribution on
+//! deadline-exceeded events, and agreement between every counter surface
+//! after real traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use septic_faults::SlowPlugin;
+use septic_repro::dbms::{Server, Value};
+use septic_repro::septic::{EventKind, Mode, Septic};
+use septic_repro::telemetry::parse_prometheus;
+
+/// Trained deployment with one blocked attack and one benign query on the
+/// returned connection.
+fn deployment_with_one_attack() -> (Arc<Server>, Arc<Septic>, septic_repro::dbms::Connection) {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)")
+        .expect("create");
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("training");
+    septic.set_mode(Mode::PREVENTION);
+    conn.execute("SELECT * FROM tickets WHERE reservID = 'ZZ11' AND creditCard = 4321")
+        .expect("benign");
+    conn.execute("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0")
+        .expect_err("attack must be blocked");
+    (server, septic, conn)
+}
+
+fn status_value(rows: &[Vec<Value>], key: &str) -> Option<String> {
+    rows.iter().find_map(|row| match row.as_slice() {
+        [Value::Str(k), Value::Str(v)] if k == key => Some(v.clone()),
+        _ => None,
+    })
+}
+
+#[test]
+fn show_septic_status_merges_guard_server_and_session_counters() {
+    let (_server, _septic, conn) = deployment_with_one_attack();
+    let out = conn
+        .query("SHOW SEPTIC STATUS")
+        .expect("admin statement answers");
+    assert_eq!(out.columns, vec!["Variable_name", "Value"]);
+    for (key, expected) in [
+        ("guard_installed", "yes"),
+        ("guard_name", "septic"),
+        ("septic_attacks_total", "1"),
+        ("septic_sqli_detected_total", "1"),
+        ("septic_queries_dropped_total", "1"),
+        ("dbms_guard_panics_total", "0"),
+        ("session_queries_blocked", "1"),
+    ] {
+        assert_eq!(
+            status_value(&out.rows, key).as_deref(),
+            Some(expected),
+            "row {key}"
+        );
+    }
+    // Training (1) + benign (1) + the status statement itself count as ok.
+    assert_eq!(
+        status_value(&out.rows, "session_queries_ok").as_deref(),
+        Some("3")
+    );
+    // Stage histograms are summarized as count/percentile rows.
+    let inspections = status_value(&out.rows, "septic_stage_inspect_count")
+        .expect("inspect stage row")
+        .parse::<u64>()
+        .expect("numeric");
+    assert_eq!(inspections, 3, "training + benign + attack inspections");
+    assert!(status_value(&out.rows, "septic_stage_inspect_p99_us").is_some());
+
+    // The statement is case-insensitive, tolerates a trailing semicolon,
+    // and bypasses the guard (it must not be learned or blocked).
+    let again = conn.query("show septic status;").expect("lowercase form");
+    assert_eq!(again.columns, vec!["Variable_name", "Value"]);
+}
+
+#[test]
+fn show_septic_metrics_emits_parseable_prometheus_text() {
+    let (server, _septic, conn) = deployment_with_one_attack();
+    let out = conn
+        .query("SHOW SEPTIC METRICS")
+        .expect("metrics statement");
+    assert_eq!(out.columns, vec!["metric"]);
+    let text: String = out
+        .rows
+        .iter()
+        .filter_map(|row| match row.as_slice() {
+            [Value::Str(line)] => Some(format!("{line}\n")),
+            _ => None,
+        })
+        .collect();
+    let series = parse_prometheus(&text).expect("rows must form a valid export");
+    assert_eq!(series.get("septic_attacks_total").copied(), Some(1.0));
+    // The statement output is the same export the API serves.
+    let direct = parse_prometheus(&server.prometheus()).expect("direct export");
+    assert_eq!(
+        direct.get("septic_attacks_total"),
+        series.get("septic_attacks_total")
+    );
+}
+
+#[test]
+fn deadline_exceeded_event_names_the_stage_that_blew_the_budget() {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE notes (body VARCHAR(64))")
+        .expect("create");
+    let mut septic = Septic::new();
+    septic.add_plugin(Box::new(SlowPlugin {
+        delay: Duration::from_millis(40),
+    }));
+    let septic = Arc::new(septic);
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("INSERT INTO notes (body) VALUES ('hello')")
+        .expect("training");
+    septic.set_mode(Mode::PREVENTION);
+    septic.set_detection_deadline(Some(Duration::from_millis(1)));
+
+    // The stored-injection scan now sleeps 40ms against a 1ms budget;
+    // prevention mode is fail-closed, so the uncleared query is dropped.
+    conn.execute("INSERT INTO notes (body) VALUES ('world')")
+        .expect_err("deadline miss under fail-closed must drop the query");
+
+    assert_eq!(septic.counters().deadline_exceeded, 1);
+    let events = septic
+        .logger()
+        .events_where(|k| matches!(k, EventKind::DeadlineExceeded { .. }));
+    assert_eq!(events.len(), 1);
+    let EventKind::DeadlineExceeded {
+        elapsed_us, stages, ..
+    } = &events[0].kind
+    else {
+        unreachable!("filtered above");
+    };
+    assert!(*elapsed_us >= 40_000, "elapsed {elapsed_us}us");
+    assert!(
+        stages.stored_us >= 40_000,
+        "the slow plugin's time must land in the stored_scan span, got {stages}"
+    );
+    assert_eq!(stages.slowest(), "stored_scan");
+    assert!(
+        events[0].to_string().contains("slowest=stored_scan"),
+        "event display must attribute the stage: {}",
+        events[0]
+    );
+}
+
+#[test]
+fn every_attack_surface_agrees_after_mixed_traffic() {
+    let (server, septic, conn) = deployment_with_one_attack();
+    for i in 0..25 {
+        conn.execute(&format!(
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND {i}={i}-- ' AND creditCard = 0"
+        ))
+        .expect_err("attack");
+        conn.execute("SELECT * FROM tickets WHERE reservID = 'ok' AND creditCard = 7")
+            .expect("benign");
+    }
+    let total = 26; // 1 from setup + 25 here
+    assert_eq!(septic.counters().attacks_detected, total);
+    assert_eq!(septic.logger().attack_count() as u64, total);
+    assert_eq!(
+        server.metrics_snapshot().counter("septic_attacks_total"),
+        Some(total)
+    );
+    let series = parse_prometheus(&server.prometheus()).expect("export parses");
+    assert_eq!(
+        series.get("septic_attacks_total").copied(),
+        Some(total as f64)
+    );
+    assert_eq!(conn.session_stats().queries_blocked, total);
+}

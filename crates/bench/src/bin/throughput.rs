@@ -10,17 +10,20 @@
 //! single-core hosts. The pad is recorded in the JSON metadata.
 //!
 //! ```text
-//! cargo run --release -p septic-bench --bin throughput [-- --smoke]
+//! cargo run --release -p septic-bench --bin throughput [-- --smoke] [-- --tcp]
 //! ```
 //!
 //! `--smoke` runs a seconds-long CI shape (2 threads max, capped
-//! duration) and does not write the JSON artefact.
+//! duration) and does not write the JSON artefact. `--tcp` additionally
+//! drives the same closed-loop sweep over the framed TCP front end
+//! (`septic-net`), adding `tcp_rows` to the report so the wire tax is
+//! quantified next to the in-process numbers.
 
 use std::sync::Arc;
 
 use septic::{Mode, Septic};
 use septic_bench::{banner, render_table};
-use septic_benchlab::{run_throughput, ThroughputPlan};
+use septic_benchlab::{run_throughput, run_throughput_tcp, ThroughputPlan, ThroughputRow};
 use septic_dbms::Server;
 use septic_telemetry::parse_prometheus;
 
@@ -59,9 +62,42 @@ fn prometheus_self_check() {
     println!("prometheus self-check: export parses, septic_attacks_total=1 OK");
 }
 
+/// Renders a set of throughput rows as the standard table.
+fn throughput_table(rows: &[ThroughputRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.threads.to_string(),
+                r.queries.to_string(),
+                format!("{:.1}", r.elapsed_us as f64 / 1000.0),
+                format!("{:.0}", r.qps),
+                r.p50_us.to_string(),
+                r.p95_us.to_string(),
+                r.p99_us.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "config",
+            "threads",
+            "queries",
+            "elapsed (ms)",
+            "qps",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+        ],
+        &cells,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let tcp = args.iter().any(|a| a == "--tcp");
     let plan = if smoke {
         ThroughputPlan::smoke()
     } else {
@@ -82,40 +118,16 @@ fn main() {
         ))
     );
 
-    let report = run_throughput(&plan);
+    let mut report = run_throughput(&plan);
+    if tcp {
+        report.tcp_rows = run_throughput_tcp(&plan);
+    }
 
-    let rows: Vec<Vec<String>> = report
-        .rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.config.clone(),
-                r.threads.to_string(),
-                r.queries.to_string(),
-                format!("{:.1}", r.elapsed_us as f64 / 1000.0),
-                format!("{:.0}", r.qps),
-                r.p50_us.to_string(),
-                r.p95_us.to_string(),
-                r.p99_us.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "config",
-                "threads",
-                "queries",
-                "elapsed (ms)",
-                "qps",
-                "p50 (us)",
-                "p95 (us)",
-                "p99 (us)",
-            ],
-            &rows
-        )
-    );
+    println!("{}", throughput_table(&report.rows));
+    if !report.tcp_rows.is_empty() {
+        println!("over the wire (framed TCP front end):");
+        println!("{}", throughput_table(&report.tcp_rows));
+    }
 
     let stage_rows: Vec<Vec<String>> = report
         .stages
@@ -154,6 +166,23 @@ fn main() {
                 "acceptance: {max_threads}-thread YY must be >= 3x 1-thread, got {speedup:.2}x"
             );
         }
+    }
+
+    if smoke && tcp {
+        // CI smoke over the wire: every closed-loop client must complete
+        // its full query count — admission control may never shed the
+        // sized-to-fit client fleet, and no query may be lost to a frame
+        // error.
+        for row in &report.tcp_rows {
+            assert_eq!(
+                row.queries,
+                plan.queries_per_thread as u64 * row.threads as u64,
+                "tcp cell {}x{} lost queries",
+                row.config,
+                row.threads
+            );
+        }
+        println!("tcp smoke: all over-the-wire cells completed their full query count OK");
     }
 
     if smoke {

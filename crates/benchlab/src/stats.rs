@@ -70,10 +70,29 @@ impl LatencyStats {
 }
 
 /// Nearest-rank percentile: the smallest sample such that at least `p`% of
-/// samples are ≤ it.
+/// samples are ≤ it — i.e. the 1-based rank `⌈p/100 · n⌉`, clamped into
+/// range so small sample counts (`n < 100`) can never select out of range.
+///
+/// The rank is snapped to the nearest integer first: `p/100 · n` computed
+/// in floating point can land a hair *above* an exact integer (e.g.
+/// `20/100 · 5 = 1.0000000000000002`), and ceiling that raw value would
+/// bias the selection one element high.
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     let n = sorted.len();
-    let rank = (p / 100.0 * n as f64).ceil() as usize;
+    assert!(n > 0, "no latency samples");
+    if !p.is_finite() || p <= 0.0 {
+        return sorted[0];
+    }
+    if p >= 100.0 {
+        return sorted[n - 1];
+    }
+    let exact = p / 100.0 * n as f64;
+    let rounded = exact.round();
+    let rank = if (exact - rounded).abs() < 1e-9 * n as f64 {
+        rounded as usize
+    } else {
+        exact.ceil() as usize
+    };
     sorted[rank.clamp(1, n) - 1]
 }
 
@@ -125,5 +144,59 @@ mod tests {
         let s = LatencyStats::from_samples(&[ms(7)]);
         assert_eq!(s.p99, ms(7));
         assert_eq!(s.mean, ms(7));
+    }
+
+    #[test]
+    fn nearest_rank_at_n_1() {
+        // n=1: every percentile is the one sample; nothing indexes out of
+        // range.
+        let s = LatencyStats::from_samples(&[ms(42)]);
+        assert_eq!((s.p50, s.p95, s.p99), (ms(42), ms(42), ms(42)));
+        assert_eq!((s.min, s.max), (ms(42), ms(42)));
+    }
+
+    #[test]
+    fn nearest_rank_at_n_2() {
+        // n=2: ⌈0.50·2⌉=1 → first sample; ⌈0.95·2⌉=⌈1.9⌉=2 and
+        // ⌈0.99·2⌉=2 → second sample.
+        let s = LatencyStats::from_samples(&[ms(10), ms(20)]);
+        assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p95, ms(20));
+        assert_eq!(s.p99, ms(20));
+    }
+
+    #[test]
+    fn nearest_rank_at_n_19() {
+        // n=19: ⌈0.50·19⌉=⌈9.5⌉=10 → 10th sample; ⌈0.95·19⌉=⌈18.05⌉=19
+        // and ⌈0.99·19⌉=⌈18.81⌉=19 → the max.
+        let samples: Vec<Duration> = (1..=19).map(ms).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p95, ms(19));
+        assert_eq!(s.p99, ms(19));
+    }
+
+    #[test]
+    fn nearest_rank_at_n_100() {
+        // n=100: the rank lands exactly on p — ⌈0.95·100⌉=95 must select
+        // the 95th sample, not drift to the 96th through float noise.
+        let samples: Vec<Duration> = (1..=100).map(ms).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p50, ms(50));
+        assert_eq!(s.p95, ms(95));
+        assert_eq!(s.p99, ms(99));
+    }
+
+    #[test]
+    fn exact_integer_ranks_do_not_drift_up() {
+        // 20/100 · 5 computes as 1.0000000000000002 in f64; a raw ceil
+        // would select the 2nd sample. Nearest-rank says the 1st.
+        let samples: Vec<Duration> = (1..=5).map(ms).collect();
+        assert_eq!(percentile(&samples, 20.0), ms(1));
+        // And the boundaries stay in range whatever p is.
+        assert_eq!(percentile(&samples, 0.0), ms(1));
+        assert_eq!(percentile(&samples, 100.0), ms(5));
+        assert_eq!(percentile(&samples, 250.0), ms(5));
+        assert_eq!(percentile(&samples, f64::NAN), ms(1));
     }
 }

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use septic::{DetectionConfig, Mode, Septic};
 use septic_dbms::{Server, ServerConfig};
+use septic_net::{NetClient, NetServerConfig};
 use septic_telemetry::{label_value, Histogram};
 use serde::{Deserialize, Serialize};
 
@@ -149,6 +150,11 @@ pub struct ThroughputReport {
     /// Per-stage guard latency percentiles, one set per configuration.
     #[serde(default)]
     pub stages: Vec<StageLatencyRow>,
+    /// Over-the-wire counterpart of `rows`: the same closed-loop sweep
+    /// driven through the framed TCP front end (`septic-net`) instead of
+    /// in-process calls, so the report also quantifies the wire tax.
+    #[serde(default)]
+    pub tcp_rows: Vec<ThroughputRow>,
 }
 
 impl ThroughputReport {
@@ -156,6 +162,14 @@ impl ThroughputReport {
     #[must_use]
     pub fn row(&self, config: &str, threads: usize) -> Option<&ThroughputRow> {
         self.rows
+            .iter()
+            .find(|r| r.config == config && r.threads == threads)
+    }
+
+    /// The over-the-wire row for a configuration at a client count.
+    #[must_use]
+    pub fn tcp_row(&self, config: &str, threads: usize) -> Option<&ThroughputRow> {
+        self.tcp_rows
             .iter()
             .find(|r| r.config == config && r.threads == threads)
     }
@@ -321,7 +335,101 @@ pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
         host_cpus: thread::available_parallelism().map_or(1, |n| n.get() as u64),
         rows,
         stages,
+        tcp_rows: Vec::new(),
     }
+}
+
+/// Measures one (config, client-count) cell over the wire: `threads`
+/// closed-loop [`NetClient`]s each run the warm-up then
+/// `queries_per_thread` benign queries against the framed TCP front end,
+/// sleeping `client_pad` after every request. Latency is the wire-level
+/// [`septic_net::WireResult::observed_us`] — the same wall-plus-simulated
+/// quantity the in-process sweep records, so the two row sets are
+/// directly comparable.
+fn measure_cell_tcp(
+    addr: std::net::SocketAddr,
+    config: DetectionConfig,
+    threads: usize,
+    plan: &ThroughputPlan,
+) -> ThroughputRow {
+    let shapes = plan.distinct_shapes.max(1);
+    let latency = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let plan = plan.clone();
+            let latency = Arc::clone(&latency);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("tcp connect");
+                for i in 0..plan.warmup_queries {
+                    let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
+                    client.query(&q).expect("warmup query");
+                }
+                let cell_started = Instant::now();
+                let mut done: u64 = 0;
+                for i in 0..plan.queries_per_thread {
+                    if cell_started.elapsed() > plan.max_duration {
+                        break;
+                    }
+                    let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
+                    let res = client.query(&q).expect("benign query must pass");
+                    latency.record_us(res.observed_us());
+                    done += 1;
+                    if !plan.client_pad.is_zero() {
+                        thread::sleep(plan.client_pad);
+                    }
+                }
+                done
+            })
+        })
+        .collect();
+    let queries: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("tcp session"))
+        .sum();
+    let elapsed = started.elapsed();
+    let observed = latency.snapshot("observed_latency");
+    ThroughputRow {
+        config: config.label().to_string(),
+        threads,
+        queries,
+        elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        qps: queries as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        mean_us: observed.mean_us() as u64,
+        p50_us: observed.percentile_us(50.0),
+        p95_us: observed.percentile_us(95.0),
+        p99_us: observed.percentile_us(99.0),
+    }
+}
+
+/// Runs the sweep over the wire: every [`DetectionConfig`] at every client
+/// count of the plan, one fresh trained deployment behind one fresh TCP
+/// front end per configuration. The worker pool is sized to the largest
+/// client count so admission control never sheds the closed-loop clients —
+/// the sweep measures serving cost, not queueing policy.
+#[must_use]
+pub fn run_throughput_tcp(plan: &ThroughputPlan) -> Vec<ThroughputRow> {
+    let max_clients = plan.threads.iter().copied().max().unwrap_or(1);
+    let mut rows = Vec::with_capacity(DetectionConfig::all().len() * plan.threads.len());
+    for config in DetectionConfig::all() {
+        let (server, _septic) = build_deployment(config, plan);
+        let handle = septic_net::serve(
+            server,
+            ("127.0.0.1", 0),
+            NetServerConfig {
+                workers: max_clients,
+                accept_queue: max_clients,
+                ..NetServerConfig::default()
+            },
+        )
+        .expect("bind tcp front end");
+        let addr = handle.addr();
+        for &threads in &plan.threads {
+            rows.push(measure_cell_tcp(addr, config, threads, plan));
+        }
+        handle.shutdown();
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -436,6 +544,27 @@ mod tests {
         // Different sessions and seeds send different data.
         assert_ne!(session_datum(42, 0, 0), session_datum(42, 1, 0));
         assert_ne!(session_datum(42, 0, 0), session_datum(43, 0, 0));
+    }
+
+    #[test]
+    fn tcp_sweep_serves_the_same_workload_over_the_wire() {
+        // The over-the-wire sweep completes the exact same per-cell query
+        // counts as the in-process one: benign queries against trained
+        // shapes must pass PREVENTION across the TCP front end too.
+        let plan = tiny_plan();
+        let rows = run_throughput_tcp(&plan);
+        assert_eq!(rows.len(), 8); // 4 configs x 2 client counts
+        for config in DetectionConfig::all() {
+            for threads in [1usize, 2] {
+                let row = rows
+                    .iter()
+                    .find(|r| r.config == config.label() && r.threads == threads)
+                    .expect("tcp cell");
+                assert_eq!(row.queries, 8 * threads as u64);
+                assert!(row.qps > 0.0);
+                assert!(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us);
+            }
+        }
     }
 
     #[test]

@@ -23,8 +23,8 @@ use septic_sql::ItemStack;
 use serde::{Deserialize, Serialize};
 
 /// Prefix that marks a block comment as an external query identifier.
-/// (Any first comment is accepted as an identifier too; the prefix form is
-/// what the instrumented SSLE emits.)
+/// A prefixed comment is honoured in *any* position; without the prefix,
+/// the first comment is accepted as a bare identifier (legacy form).
 pub const EXTERNAL_ID_PREFIX: &str = "qid:";
 
 /// A composed query identifier.
@@ -112,24 +112,35 @@ pub fn structural_hash(stack: &ItemStack) -> u64 {
     fnv1a(&bytes)
 }
 
-/// Extracts the external identifier from the query's comments: the first
-/// comment, with the optional `qid:` prefix stripped. Borrows from the
-/// comment — the caller decides whether to intern or copy it.
+/// Extracts the external identifier from the query's comments. Borrows
+/// from the comment — the caller decides whether to intern or copy it.
+///
+/// An explicit `qid:`-prefixed comment wins regardless of position:
+/// SSLEs may emit the identifier after a license/hint comment, and an
+/// attack payload can smuggle extra comments into the query, so relying
+/// on comment *order* would make the training-time and prevention-time
+/// identifiers diverge (the model lookup would miss and the attack would
+/// be learned as a new benign query). Whitespace inside the comment body
+/// (`/*  qid: login-1  */`) is normalized away for the same reason.
+///
+/// When no comment carries the prefix, the legacy convention applies:
+/// the first non-empty comment, trimmed, is the identifier.
 #[must_use]
 pub fn external_id(comments: &[String]) -> Option<&str> {
+    for comment in comments {
+        if let Some(id) = comment.trim().strip_prefix(EXTERNAL_ID_PREFIX) {
+            let id = id.trim();
+            if !id.is_empty() {
+                return Some(id);
+            }
+        }
+    }
     let first = comments.first()?.trim();
-    if first.is_empty() {
+    // Reaching here with a `qid:` prefix means the id part was empty.
+    if first.is_empty() || first.starts_with(EXTERNAL_ID_PREFIX) {
         return None;
     }
-    let id = first
-        .strip_prefix(EXTERNAL_ID_PREFIX)
-        .unwrap_or(first)
-        .trim();
-    if id.is_empty() {
-        None
-    } else {
-        Some(id)
-    }
+    Some(first)
 }
 
 /// Hash-consing string interner for external identifiers.
@@ -319,6 +330,55 @@ mod tests {
         assert_eq!(external_id(&[]), None);
         assert_eq!(external_id(&["  ".into()]), None);
         assert_eq!(external_id(&["qid:  ".into()]), None);
+    }
+
+    #[test]
+    fn external_id_found_in_any_comment() {
+        // The SSLE may emit the id after a hint/license comment…
+        assert_eq!(
+            external_id(&["NO_CACHE".into(), "qid:login-1".into()]),
+            Some("login-1")
+        );
+        // …and an empty first comment must not mask it.
+        assert_eq!(
+            external_id(&["  ".into(), "qid:page-2".into()]),
+            Some("page-2")
+        );
+        // An explicit qid: beats free text regardless of order.
+        assert_eq!(
+            external_id(&["note".into(), "qid:x".into(), "qid:y".into()]),
+            Some("x")
+        );
+    }
+
+    #[test]
+    fn external_id_whitespace_inside_comment_is_normalized() {
+        assert_eq!(external_id(&["  qid:login-1  ".into()]), Some("login-1"));
+        assert_eq!(external_id(&["qid:  login-1".into()]), Some("login-1"));
+        assert_eq!(external_id(&["  free text  ".into()]), Some("free text"));
+    }
+
+    #[test]
+    fn injected_comments_do_not_shift_the_external_id() {
+        // Prevention-time query carrying an attacker-smuggled comment must
+        // resolve to the same id the clean training-time query did —
+        // otherwise the model lookup misses and the attack is learned as a
+        // brand-new benign query.
+        let trained = external_id(&["qid:tickets".into()]).map(str::to_string);
+        let attacked = external_id(&["qid:tickets".into(), "evil".into()]).map(str::to_string);
+        assert_eq!(trained, attacked);
+        assert_eq!(trained.as_deref(), Some("tickets"));
+    }
+
+    #[test]
+    fn multi_comment_queries_resolve_through_the_generator() {
+        // End to end through parse → lower → generate: the id arrives in
+        // the *second* comment with internal whitespace.
+        let parsed =
+            parse("/* hint */ /*  qid: conf-x  */ SELECT a FROM t WHERE id = 1").expect("parse");
+        let stack = items::lower_all(&parsed.statements);
+        let id = IdGenerator::new().generate(&stack, &parsed.comments);
+        assert_eq!(id.external.as_deref(), Some("conf-x"));
     }
 
     #[test]

@@ -533,6 +533,60 @@ mod tests {
     }
 
     #[test]
+    fn slowest_stage_is_named_even_when_all_spans_are_equal() {
+        const STAGES: [&str; 4] = ["id_gen", "store_get", "sqli_detect", "stored_scan"];
+        // All-equal spans (including the all-zero case of a query faster
+        // than the clock resolution) must still attribute the deadline to
+        // *some* stage — the event line never reads `slowest=`.
+        for us in [0u64, 7] {
+            let spans = StageSpansUs {
+                id_gen_us: us,
+                store_get_us: us,
+                sqli_us: us,
+                stored_us: us,
+            };
+            assert!(
+                STAGES.contains(&spans.slowest()),
+                "slowest() returned {:?} for equal spans of {us}us",
+                spans.slowest()
+            );
+            let e = Event {
+                seq: 1,
+                kind: EventKind::DeadlineExceeded {
+                    id: qid(),
+                    elapsed_us: 10,
+                    budget_us: 1,
+                    fail_open: false,
+                    stages: spans,
+                },
+            };
+            let line = e.to_string();
+            assert!(
+                STAGES
+                    .iter()
+                    .any(|st| line.contains(&format!("slowest={st}"))),
+                "got: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_spans_display_without_wrapping() {
+        // A span that saturated at u64::MAX (clock edge case) renders as
+        // the saturated value; nothing panics or wraps to a small number.
+        let spans = StageSpansUs {
+            id_gen_us: u64::MAX,
+            store_get_us: 0,
+            sqli_us: 0,
+            stored_us: 0,
+        };
+        assert_eq!(spans.slowest(), "id_gen");
+        assert!(spans
+            .to_string()
+            .contains(&format!("id_gen={}us", u64::MAX)));
+    }
+
+    #[test]
     fn display_mentions_the_step() {
         let e = Event {
             seq: 1,

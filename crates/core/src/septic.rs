@@ -195,9 +195,10 @@ impl StageTimers {
     }
 }
 
-/// Microseconds elapsed since `t`, saturating.
+/// Microseconds elapsed since `t`, saturating (see
+/// [`septic_telemetry::saturating_micros`]).
 fn span_us(t: Instant) -> u64 {
-    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+    septic_telemetry::saturating_micros(t.elapsed())
 }
 
 /// A point-in-time snapshot of [`Counters`].
@@ -782,8 +783,8 @@ impl Septic {
                 Self::bump(&self.counters.deadline_exceeded);
                 self.log_event_with(|| EventKind::DeadlineExceeded {
                     id: id.clone(),
-                    elapsed_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
-                    budget_us: u64::try_from(budget.as_micros()).unwrap_or(u64::MAX),
+                    elapsed_us: septic_telemetry::saturating_micros(elapsed),
+                    budget_us: septic_telemetry::saturating_micros(budget),
                     fail_open,
                     // Where the time went (per-stage spans for this very
                     // query), so the blown budget is attributable.

@@ -167,14 +167,15 @@ impl PipelineTimers {
     }
 }
 
-/// Microseconds elapsed since `t`, saturating.
+/// Microseconds elapsed since `t`, saturating (see
+/// [`septic_telemetry::saturating_micros`]).
 fn span_us(t: Instant) -> u64 {
-    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+    as_us(t.elapsed())
 }
 
 /// A duration as saturating microseconds.
 fn as_us(d: Duration) -> u64 {
-    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+    septic_telemetry::saturating_micros(d)
 }
 
 /// Point-in-time snapshot of the server's degradation counters.

@@ -15,9 +15,14 @@
 //!   confirmation;
 //! * [`SlowPlugin`] — a plugin that sleeps through its scan, blowing any
 //!   configured detection deadline.
+//! * [`socket`] — scripted socket faults against the framed TCP front
+//!   end (mid-frame disconnect, slowloris partial header, oversized
+//!   frame, garbage payload).
 //!
 //! Everything is deterministic: faults fire on the n-th occurrence of an
 //! operation kind, not on timers or randomness.
+
+pub mod socket;
 
 use std::collections::HashMap;
 use std::io;

@@ -1,0 +1,41 @@
+//! # septic-net — wire-level serving for the SEPTIC-guarded DBMS
+//!
+//! Everything before this crate talked to the DBMS in-process:
+//! `Server::connect()` hands back a `Connection` and callers invoke
+//! `execute` directly. That is fine for unit tests and benchmarks, but
+//! the paper's deployment story is a *server*: application tiers reach
+//! the guarded DBMS over a socket, and the SEPTIC verdict (executed /
+//! blocked / guard-failure) has to survive the trip.
+//!
+//! This crate adds that wire level in three parts:
+//!
+//! - [`frame`] — a length-prefixed framed protocol. Each frame is a
+//!   4-byte big-endian payload length followed by a JSON document; the
+//!   length is validated against a cap *before* any allocation, so an
+//!   adversarial header cannot balloon memory.
+//! - [`server`] — a blocking accept loop feeding a **bounded** worker
+//!   pool. Admission control is explicit: a full accept queue sheds the
+//!   connection with a [`Response::ServerBusy`] frame instead of
+//!   queueing unboundedly, and oversized `Batch` frames are refused at
+//!   the pipelining limit. Handler panics are contained per connection
+//!   (`catch_unwind` + drop-guard gauge accounting), extending the PR-1
+//!   failure policy to the wire: no client behavior may kill the
+//!   listener.
+//! - [`client`] — the blocking client library benchlab's `--tcp`
+//!   closed-loop drivers use, mapping wire responses back onto the
+//!   executed/blocked/failed verdict surface.
+//!
+//! All wire metrics register into the dbms server's own
+//! `MetricsRegistry`, so `Server::prometheus()` exports the socket
+//! layer alongside the guard pipeline with no extra plumbing.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientError, NetClient};
+pub use frame::{
+    read_frame, write_frame, FrameError, QueryRequest, Request, Response, SessionOpts, WireOutput,
+    WireResult, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{serve, NetServerConfig, NetServerHandle};

@@ -32,10 +32,24 @@ mod prometheus;
 mod registry;
 
 pub use histogram::{bucket_bounds_us, Histogram, HistogramSnapshot, BUCKET_COUNT};
-pub use prometheus::{label_value, parse_prometheus, render_prometheus};
+pub use prometheus::{
+    escape_label_value, label_value, labeled_name, parse_prometheus, render_prometheus,
+};
 pub use registry::{CounterSample, MetricsRegistry, MetricsSnapshot};
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A `Duration` as whole microseconds, saturating at `u64::MAX` instead
+/// of panicking or wrapping. Span accounting across the query pipeline
+/// uses this everywhere a stage time is turned into a metric sample:
+/// a zero-length stage records 0 and a pathological clock reading
+/// (`Duration::MAX`, a stalled VM resuming hours later) records
+/// `u64::MAX` — never a wrapped small number that would hide the stall.
+#[must_use]
+pub fn saturating_micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// A monotonic event counter. Cheap to clone behind an `Arc`; all
 /// operations are single relaxed atomic instructions.
@@ -78,7 +92,24 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
-    use std::time::Duration;
+
+    #[test]
+    fn saturating_micros_handles_clock_edge_cases() {
+        // A zero-length stage is 0, not garbage.
+        assert_eq!(saturating_micros(Duration::ZERO), 0);
+        assert_eq!(saturating_micros(Duration::from_micros(1)), 1);
+        // A span that exceeds u64 microseconds saturates instead of
+        // panicking or wrapping to a small value.
+        assert_eq!(saturating_micros(Duration::MAX), u64::MAX);
+        assert_eq!(
+            saturating_micros(Duration::from_secs(u64::MAX / 1_000_000 + 1)),
+            u64::MAX
+        );
+        // The largest representable span below the saturation point is
+        // still exact.
+        let exact = Duration::from_micros(u64::MAX / 2);
+        assert_eq!(saturating_micros(exact), u64::MAX / 2);
+    }
 
     #[test]
     fn counter_is_exact_across_threads() {

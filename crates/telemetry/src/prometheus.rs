@@ -2,10 +2,71 @@
 //! the result back. The parser exists so CI can validate the export
 //! end to end (scrape → parse → compare against golden counts) without
 //! a real Prometheus server in the loop.
+//!
+//! Label values are escaped per the exposition format (`\\`, `\"`, `\n`):
+//! series that surface hostile text — attack SQL fragments in event
+//! labels, say — must still produce parseable exposition lines. The
+//! renderer canonicalizes label sets (escaping raw quotes, backslashes
+//! and newlines callers embedded in registry names) and the parser scans
+//! quote-aware, so `}`/`,`/space inside a quoted value never confuses it.
 
 use crate::histogram::bucket_bounds_us;
 use crate::registry::MetricsSnapshot;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// Escape a label value for the text exposition format: backslash,
+/// double-quote and newline become `\\`, `\"` and `\n`.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label_value`]. Unknown escapes pass the escaped
+/// character through (Prometheus' own lenient behaviour).
+fn unescape_label_value(v: &str) -> Cow<'_, str> {
+    if !v.contains('\\') {
+        return Cow::Borrowed(v);
+    }
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Build a `family{k="v",…}` series name with properly escaped values.
+/// The canonical way to attach a dynamic (possibly hostile) label value
+/// to a registry metric name.
+#[must_use]
+pub fn labeled_name(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{family}{{{}}}", body.join(","))
+}
 
 /// Split a registry name into `(family, labels)` where `labels` is the
 /// inside of an optional trailing `{...}`.
@@ -16,9 +77,77 @@ fn split_name(name: &str) -> (&str, Option<&str>) {
     }
 }
 
-/// Build a series name `family{existing,extra}` from its parts.
+/// Scan an *escaped* label body (`k="v",k2="v2"`) into raw
+/// (still-escaped) `(key, value)` slices. Quote- and escape-aware:
+/// `,`/`}`/spaces inside quoted values are fine. Returns `None` when the
+/// body is not in canonical form (e.g. a caller embedded raw quotes).
+fn scan_label_pairs(labels: &str) -> Option<Vec<(&str, &str)>> {
+    let mut pairs = Vec::new();
+    let bytes = labels.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        let key = labels[key_start..i].trim();
+        if key.is_empty() || i >= bytes.len() {
+            return None;
+        }
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return None;
+        }
+        i += 1; // opening quote
+        let val_start = i;
+        loop {
+            match bytes.get(i) {
+                Some(b'\\') => i += 2,
+                Some(b'"') => break,
+                Some(_) => i += 1,
+                None => return None, // unterminated value
+            }
+        }
+        pairs.push((key, &labels[val_start..i]));
+        i += 1; // closing quote
+        match bytes.get(i) {
+            None => break,
+            Some(b',') => i += 1,
+            Some(_) => return None,
+        }
+    }
+    Some(pairs)
+}
+
+/// Re-serialize a label body in canonical escaped form. Canonical input
+/// passes through re-escaped (idempotent); a body with raw quotes or
+/// newlines (a caller formatted hostile text straight into the name) is
+/// recovered best-effort: everything after the first `="` up to the last
+/// closing quote is treated as one raw value and escaped.
+fn canonicalize_labels(labels: &str) -> String {
+    if let Some(pairs) = scan_label_pairs(labels) {
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(&unescape_label_value(v))))
+            .collect();
+        return body.join(",");
+    }
+    if let Some(eq) = labels.find('=') {
+        let (key, rest) = labels.split_at(eq);
+        let raw = rest[1..]
+            .trim()
+            .trim_start_matches('"')
+            .trim_end_matches('"');
+        return format!("{}=\"{}\"", key.trim(), escape_label_value(raw));
+    }
+    format!("label=\"{}\"", escape_label_value(labels))
+}
+
+/// Build a series name `family{existing,extra}` from its parts; the
+/// existing label body is canonicalized (escaped) on the way through.
 fn series(family: &str, labels: Option<&str>, extra: Option<&str>) -> String {
-    match (labels, extra) {
+    let canon = labels.map(canonicalize_labels);
+    match (canon, extra) {
         (None, None) => family.to_string(),
         (Some(l), None) => format!("{family}{{{l}}}"),
         (None, Some(e)) => format!("{family}{{{e}}}"),
@@ -26,14 +155,25 @@ fn series(family: &str, labels: Option<&str>, extra: Option<&str>) -> String {
     }
 }
 
-/// Extract the value of `label` from a series name such as
+/// Extract the (unescaped) value of `label` from a series name such as
 /// `septic_stage_duration_microseconds{stage="id_gen"}`.
-pub fn label_value<'a>(name: &'a str, label: &str) -> Option<&'a str> {
+#[must_use]
+pub fn label_value<'a>(name: &'a str, label: &str) -> Option<Cow<'a, str>> {
     let (_, labels) = split_name(name);
-    for pair in labels?.split(',') {
+    let labels = labels?;
+    if let Some(pairs) = scan_label_pairs(labels) {
+        for (k, v) in pairs {
+            if k == label {
+                return Some(unescape_label_value(v));
+            }
+        }
+        return None;
+    }
+    // Non-canonical body: fall back to the naive comma split.
+    for pair in labels.split(',') {
         let (k, v) = pair.split_once('=')?;
         if k.trim() == label {
-            return Some(v.trim().trim_matches('"'));
+            return Some(Cow::Borrowed(v.trim().trim_matches('"')));
         }
     }
     None
@@ -96,7 +236,9 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
 ///
 /// Comment (`#`) and blank lines are skipped; anything else must be
 /// `name[{labels}] value` or the whole text is rejected — CI treats a
-/// parse failure as a broken exporter.
+/// parse failure as a broken exporter. The label-set scan is quote- and
+/// escape-aware, so escaped quotes, `}` and spaces inside label values
+/// parse correctly.
 pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
     let mut out = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -104,15 +246,9 @@ pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        // The metric name may contain spaces only inside a label set.
         let split_at = match line.find('{') {
-            Some(open) => {
-                let close = line[open..]
-                    .find('}')
-                    .map(|i| open + i)
-                    .ok_or_else(|| format!("line {}: unclosed label set", lineno + 1))?;
-                close + 1
-            }
+            Some(open) => scan_to_label_end(line, open)
+                .ok_or_else(|| format!("line {}: unclosed label set", lineno + 1))?,
             None => line
                 .find(' ')
                 .ok_or_else(|| format!("line {}: no value", lineno + 1))?,
@@ -135,6 +271,24 @@ pub fn parse_prometheus(text: &str) -> Result<BTreeMap<String, f64>, String> {
         }
     }
     Ok(out)
+}
+
+/// Index one past the closing `}` of the label set opening at `open`,
+/// honouring quoted values and backslash escapes inside them.
+fn scan_to_label_end(line: &str, open: usize) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut i = open + 1;
+    let mut in_quotes = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i + 1),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -194,14 +348,21 @@ mod tests {
             label_value(
                 "septic_stage_duration_microseconds{stage=\"qs_build\"}",
                 "stage"
-            ),
+            )
+            .as_deref(),
             Some("qs_build")
         );
         assert_eq!(label_value("plain_total", "stage"), None);
         assert_eq!(
-            label_value("x{a=\"1\",stage=\"guard\"}", "stage"),
+            label_value("x{a=\"1\",stage=\"guard\"}", "stage").as_deref(),
             Some("guard")
         );
+    }
+
+    #[test]
+    fn label_value_unescapes() {
+        let name = labeled_name("evil_total", &[("sql", "a\"b\\c\nd")]);
+        assert_eq!(label_value(&name, "sql").as_deref(), Some("a\"b\\c\nd"));
     }
 
     #[test]
@@ -212,5 +373,65 @@ mod tests {
         assert!(parse_prometheus("{no_name} 1").is_err());
         assert!(parse_prometheus("dup 1\ndup 2").is_err());
         assert!(parse_prometheus("# comment only\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn hostile_label_values_render_parseable_and_round_trip() {
+        // An attack SQL fragment with every character the exposition
+        // format treats specially: quote, backslash, newline, plus
+        // `}`/`,`/space which must survive inside the quoted value.
+        let hostile = "x' OR \"1\"=\"1\" -- \\ {a,b}\nDROP TABLE t";
+        let reg = MetricsRegistry::new();
+        reg.counter(&labeled_name(
+            "septic_attack_fragment_total",
+            &[("sql", hostile)],
+        ))
+        .add(2);
+        let text = reg.snapshot().to_prometheus();
+        let parsed = parse_prometheus(&text).expect("escaped export must parse");
+        let (name, value) = parsed
+            .iter()
+            .find(|(k, _)| k.starts_with("septic_attack_fragment_total"))
+            .expect("series present");
+        assert_eq!(*value, 2.0);
+        // The escaped name round-trips back to the hostile original.
+        assert_eq!(label_value(name, "sql").as_deref(), Some(hostile));
+        // Exactly one physical line carries the series: the raw newline
+        // was escaped, not emitted.
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("septic_attack_fragment_total"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_unescaped_names_are_canonicalized_at_render_time() {
+        // A legacy caller formats hostile text straight into the name
+        // without `labeled_name`. The renderer must still emit something
+        // parseable rather than a broken exposition.
+        let reg = MetricsRegistry::new();
+        reg.counter("bad_total{sql=\"a\"b\nc\"}").inc();
+        let text = reg.snapshot().to_prometheus();
+        let parsed = parse_prometheus(&text).expect("canonicalized export must parse");
+        assert_eq!(parsed.len(), 1);
+        let name = parsed.keys().next().unwrap();
+        assert!(name.starts_with("bad_total{sql="));
+        assert_eq!(label_value(name, "sql").as_deref(), Some("a\"b\nc"));
+    }
+
+    #[test]
+    fn labeled_name_escapes_and_is_idempotent_through_render() {
+        assert_eq!(labeled_name("m_total", &[]), "m_total");
+        assert_eq!(
+            labeled_name("m_total", &[("k", "plain")]),
+            "m_total{k=\"plain\"}"
+        );
+        let name = labeled_name("m_total", &[("k", "q\"x")]);
+        assert_eq!(name, "m_total{k=\"q\\\"x\"}");
+        // Canonical input passes through render unchanged (no double
+        // escaping).
+        assert_eq!(canonicalize_labels("k=\"q\\\"x\""), "k=\"q\\\"x\"");
     }
 }

@@ -15,7 +15,9 @@
 //! * [`attacks`] — attack corpus, sqlmap-style prober, trainer, runner;
 //! * [`benchlab`] — workload replay and the Figure 5 experiment driver;
 //! * [`telemetry`] — lock-free metrics registry (counters, histograms,
-//!   Prometheus text export) shared by the guard and the server.
+//!   Prometheus text export) shared by the guard and the server;
+//! * [`net`] — the framed TCP front end: wire protocol, blocking server
+//!   with bounded worker pool and admission control, client library.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -39,6 +41,7 @@ pub use septic_attacks as attacks;
 pub use septic_benchlab as benchlab;
 pub use septic_dbms as dbms;
 pub use septic_http as http;
+pub use septic_net as net;
 pub use septic_sql as sql;
 pub use septic_telemetry as telemetry;
 pub use septic_waf as waf;

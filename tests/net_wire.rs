@@ -1,0 +1,285 @@
+//! Wire-level integration tests for the framed TCP front end: the SEPTIC
+//! verdict must survive the trip over a socket, admission control must
+//! shed load explicitly, and no client behavior — disconnects, slowloris,
+//! oversized frames, garbage, handler panics — may take down the listener
+//! or leak a worker.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use septic_faults::socket::{self, SocketFaultOutcome};
+use septic_repro::dbms::{Server, Value};
+use septic_repro::net::{
+    serve, ClientError, NetClient, NetServerConfig, NetServerHandle, QueryRequest,
+};
+use septic_repro::septic::{Mode, Septic};
+use septic_repro::telemetry::parse_prometheus;
+
+/// A trained, prevention-mode deployment behind a TCP front end.
+fn wire_deployment(config: NetServerConfig) -> NetServerHandle {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)")
+        .unwrap();
+    conn.execute("INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234)")
+        .unwrap();
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .unwrap();
+    septic.set_mode(Mode::PREVENTION);
+    serve(server, ("127.0.0.1", 0), config).expect("bind")
+}
+
+/// Polls until `cond` holds, failing the test after two seconds. Socket
+/// teardown is asynchronous (the worker notices the close on its next
+/// read), so gauge assertions need a grace window.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn benign_and_attack_verdicts_travel_the_wire() {
+    let handle = wire_deployment(NetServerConfig::default());
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+
+    // Benign query: the trained shape passes and the rows come back.
+    let res = client
+        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("benign query");
+    let out = res.last().expect("output");
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0][0], Value::from("ID34FG"));
+
+    // Tautology attack: SEPTIC blocks it and the verdict arrives intact.
+    let err = client
+        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0")
+        .expect_err("attack must be blocked");
+    assert!(err.is_blocked(), "expected Blocked, got {err}");
+
+    // The connection survives its own blocked query.
+    let res = client
+        .query("SELECT * FROM tickets WHERE reservID = 'nope' AND creditCard = 0")
+        .expect("connection must survive a blocked query");
+    assert!(res.last().expect("output").rows.is_empty());
+
+    // Prepared statements travel too: params are bound server-side, so
+    // the injection attempt stays data.
+    let res = client
+        .query_prepared(
+            "SELECT * FROM tickets WHERE reservID = ? AND creditCard = ?",
+            &[Value::from("' OR 1=1-- "), Value::Int(0)],
+        )
+        .expect("prepared query");
+    assert!(res.last().expect("output").rows.is_empty());
+
+    let guarded = handle.server().metrics_snapshot();
+    assert_eq!(guarded.counter("septic_attacks_total"), Some(1));
+    drop(client);
+    wait_until("connection teardown", || handle.active_connections() == 0);
+    handle.shutdown();
+}
+
+#[test]
+fn accept_queue_overflow_is_shed_with_server_busy() {
+    let handle = wire_deployment(NetServerConfig {
+        workers: 1,
+        accept_queue: 1,
+        ..NetServerConfig::default()
+    });
+
+    // Occupy the only worker: a completed handshake proves a worker is
+    // serving this connection (not just queueing it).
+    let held = NetClient::connect(handle.addr()).expect("first connection");
+
+    // Fill the accept queue with a raw socket that never handshakes.
+    let queued = TcpStream::connect(handle.addr()).expect("second connection");
+    wait_until("second connection queued", || {
+        handle.active_connections() == 2
+    });
+
+    // The pool is saturated and the queue full: the next connection gets
+    // an explicit ServerBusy frame, not an unbounded wait.
+    let err = NetClient::connect(handle.addr()).expect_err("third connection must be shed");
+    assert!(err.is_busy(), "expected Busy, got {err}");
+
+    let snap = handle.server().metrics_snapshot();
+    assert_eq!(snap.counter("net_connections_rejected_total"), Some(1));
+    drop(held);
+    drop(queued);
+    handle.shutdown();
+}
+
+#[test]
+fn batches_pipeline_but_respect_the_cap() {
+    let handle = wire_deployment(NetServerConfig {
+        max_pipeline: 4,
+        ..NetServerConfig::default()
+    });
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    let benign = |_: usize| QueryRequest {
+        sql: "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234".into(),
+        params: None,
+    };
+
+    // Within the cap: one outcome per query, in order.
+    let outcomes = client
+        .batch(&(0..4).map(benign).collect::<Vec<_>>())
+        .expect("batch within cap");
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes.iter().all(Result::is_ok));
+
+    // A blocked query inside a batch doesn't abort the rest.
+    let mut mixed: Vec<QueryRequest> = (0..2).map(benign).collect();
+    mixed.insert(
+        1,
+        QueryRequest {
+            sql: "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0"
+                .into(),
+            params: None,
+        },
+    );
+    let outcomes = client.batch(&mixed).expect("mixed batch");
+    assert!(outcomes[0].is_ok());
+    assert!(matches!(&outcomes[1], Err(e) if e.is_blocked()));
+    assert!(outcomes[2].is_ok());
+
+    // Over the cap: refused outright with the pipelining limit named.
+    let err = client
+        .batch(&(0..5).map(benign).collect::<Vec<_>>())
+        .expect_err("batch over cap");
+    assert!(err.is_busy(), "expected Busy, got {err}");
+    let snap = handle.server().metrics_snapshot();
+    assert_eq!(snap.counter("net_pipeline_rejects_total"), Some(1));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn socket_faults_never_kill_the_listener_or_leak_a_worker() {
+    let handle = wire_deployment(NetServerConfig {
+        workers: 2,
+        // Short read timeout so the slowloris script resolves quickly.
+        read_timeout: Duration::from_millis(200),
+        ..NetServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Mid-frame disconnect: half a declared payload, then gone.
+    socket::mid_frame_disconnect(addr).expect("script reaches server");
+
+    // Oversized frame: rejected from the header, answered or closed —
+    // never ballooning an allocation.
+    let outcome = socket::oversized_frame(addr, Duration::from_millis(500)).expect("script");
+    assert!(
+        matches!(
+            outcome,
+            SocketFaultOutcome::ServerAnswered(_) | SocketFaultOutcome::ServerClosed
+        ),
+        "oversized frame left the connection open: {outcome:?}"
+    );
+
+    // Garbage payload: counted as a decode error, connection closed.
+    let outcome = socket::garbage_payload(addr, Duration::from_millis(500)).expect("script");
+    assert!(
+        matches!(
+            outcome,
+            SocketFaultOutcome::ServerAnswered(_) | SocketFaultOutcome::ServerClosed
+        ),
+        "garbage payload left the connection open: {outcome:?}"
+    );
+
+    // Slowloris: half a header, then silence. The read timeout must free
+    // the worker — the server hangs up on us, not the other way round.
+    let outcome = socket::slowloris_header(addr, Duration::from_secs(1)).expect("script");
+    assert_eq!(outcome, SocketFaultOutcome::ServerClosed);
+
+    // The gauge returns to zero: no script leaked a worker slot.
+    wait_until("all fault connections released", || {
+        handle.active_connections() == 0
+    });
+
+    // And the listener still serves real clients.
+    let mut client = NetClient::connect(addr).expect("listener must survive the fault suite");
+    let res = client
+        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("post-fault benign query");
+    assert_eq!(res.last().expect("output").rows.len(), 1);
+
+    let snap = handle.server().metrics_snapshot();
+    assert!(
+        snap.counter("net_frame_decode_errors_total").unwrap_or(0) >= 2,
+        "oversized + garbage must be counted as decode errors"
+    );
+    assert!(
+        snap.counter("net_read_timeouts_total").unwrap_or(0) >= 1,
+        "the slowloris read timeout must be counted"
+    );
+    assert_eq!(snap.counter("net_handler_panics_total"), Some(0));
+    drop(client);
+    wait_until("final teardown", || handle.active_connections() == 0);
+    handle.shutdown();
+}
+
+#[test]
+fn handler_panic_drops_only_its_connection() {
+    let handle = wire_deployment(NetServerConfig {
+        workers: 2,
+        panic_marker: Some("NET_PANIC".into()),
+        ..NetServerConfig::default()
+    });
+
+    let mut victim = NetClient::connect(handle.addr()).expect("connect");
+    let err = victim
+        .query("SELECT 'NET_PANIC'")
+        .expect_err("the injected panic must sever this connection");
+    assert!(
+        matches!(err, ClientError::Io(_) | ClientError::Frame(_)),
+        "expected a transport error, got {err}"
+    );
+
+    // The panic was contained: counted, gauge restored, listener alive.
+    wait_until("panicked connection released", || {
+        handle.active_connections() == 0
+    });
+    let snap = handle.server().metrics_snapshot();
+    assert_eq!(snap.counter("net_handler_panics_total"), Some(1));
+
+    let mut survivor = NetClient::connect(handle.addr()).expect("listener survives the panic");
+    let res = survivor
+        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("post-panic benign query");
+    assert_eq!(res.last().expect("output").rows.len(), 1);
+    drop(survivor);
+    handle.shutdown();
+}
+
+#[test]
+fn wire_metrics_ride_the_prometheus_export() {
+    let handle = wire_deployment(NetServerConfig::default());
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    client.ping().expect("ping");
+    client
+        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("benign query");
+
+    let text = handle.server().prometheus();
+    let series = parse_prometheus(&text).expect("export must parse");
+    assert_eq!(series.get("net_connections_accepted_total"), Some(&1.0));
+    assert_eq!(series.get("net_requests_total"), Some(&1.0));
+    assert!(
+        series
+            .keys()
+            .any(|k| k.starts_with("net_stage_duration_microseconds_bucket{stage=\"handle\"")),
+        "per-stage wire histograms must export"
+    );
+    drop(client);
+    wait_until("teardown", || handle.active_connections() == 0);
+    handle.shutdown();
+}

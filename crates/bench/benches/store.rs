@@ -53,5 +53,29 @@ fn bench_get_vs_model_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_get_vs_store_size, bench_get_vs_model_size);
+/// `get_compiled` (model + attached VM program) must stay as flat as
+/// `get` across store sizes: the compiled program rides along in the
+/// shard entry, so the lookup is still one hash probe plus two refcount
+/// bumps — never a recompile.
+fn bench_get_compiled_vs_store_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_get_compiled_by_count");
+    for &count in &[1u64, 100, 10_000] {
+        let store = ModelStore::new();
+        for n in 0..count {
+            store.learn(qid(n), model("SELECT a FROM t WHERE c = 'x'"));
+        }
+        let probe = qid(count / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &probe, |b, probe| {
+            b.iter(|| std::hint::black_box(store.get_compiled(probe)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_get_vs_store_size,
+    bench_get_vs_model_size,
+    bench_get_compiled_vs_store_size
+);
 criterion_main!(benches);

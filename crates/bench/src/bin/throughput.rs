@@ -23,7 +23,10 @@ use std::sync::Arc;
 
 use septic::{Mode, Septic};
 use septic_bench::{banner, render_table};
-use septic_benchlab::{run_throughput, run_throughput_tcp, ThroughputPlan, ThroughputRow};
+use septic_benchlab::{
+    run_engine_comparison, run_throughput, run_throughput_tcp, EngineRow, ThroughputPlan,
+    ThroughputRow,
+};
 use septic_dbms::Server;
 use septic_telemetry::parse_prometheus;
 
@@ -94,6 +97,38 @@ fn throughput_table(rows: &[ThroughputRow]) -> String {
     )
 }
 
+/// Renders the AST-vs-VM engine cells as a table.
+fn engine_table(rows: &[EngineRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.clone(),
+                r.row.threads.to_string(),
+                r.row.queries.to_string(),
+                format!("{:.1}", r.row.elapsed_us as f64 / 1000.0),
+                format!("{:.0}", r.row.qps),
+                r.row.p50_us.to_string(),
+                r.row.p95_us.to_string(),
+                r.row.p99_us.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "engine",
+            "threads",
+            "queries",
+            "elapsed (ms)",
+            "qps",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+        ],
+        &cells,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -122,12 +157,15 @@ fn main() {
     if tcp {
         report.tcp_rows = run_throughput_tcp(&plan);
     }
+    report.engine_rows = run_engine_comparison(&plan);
 
     println!("{}", throughput_table(&report.rows));
     if !report.tcp_rows.is_empty() {
         println!("over the wire (framed TCP front end):");
         println!("{}", throughput_table(&report.tcp_rows));
     }
+    println!("AST walker vs bytecode VM (YY, row-heavy table, zero pad):");
+    println!("{}", engine_table(&report.engine_rows));
 
     let stage_rows: Vec<Vec<String>> = report
         .stages
@@ -183,6 +221,28 @@ fn main() {
             );
         }
         println!("tcp smoke: all over-the-wire cells completed their full query count OK");
+    }
+
+    // The smoke run must record at least one cell per engine; the full
+    // run additionally reports the single-thread serving-cost ratio.
+    for engine in ["ast", "vm"] {
+        assert!(
+            report.engine_rows.iter().any(|r| r.engine == engine),
+            "missing {engine} engine row"
+        );
+    }
+    let qps_of = |engine: &str| {
+        report
+            .engine_rows
+            .iter()
+            .find(|r| r.engine == engine && r.row.threads == 1)
+            .map(|r| r.row.qps)
+    };
+    if let (Some(ast), Some(vm)) = (qps_of("ast"), qps_of("vm")) {
+        println!(
+            "single-thread serving: ast {ast:.0} qps, vm {vm:.0} qps ({:+.1}%)",
+            (vm / ast - 1.0) * 100.0
+        );
     }
 
     if smoke {

@@ -21,7 +21,7 @@ pub use experiment::{
 };
 pub use stats::LatencyStats;
 pub use throughput::{
-    run_throughput, run_throughput_tcp, StageLatencyRow, ThroughputPlan, ThroughputReport,
-    ThroughputRow,
+    run_engine_comparison, run_throughput, run_throughput_tcp, EngineRow, StageLatencyRow,
+    ThroughputPlan, ThroughputReport, ThroughputRow,
 };
 pub use workload::Workload;

@@ -159,7 +159,7 @@ fn training_payloads(t: &Template) -> [&'static str; 2] {
 }
 
 /// Creates the web apps' schema and seed rows.
-fn create_schema(conn: &Connection) {
+pub(crate) fn create_schema(conn: &Connection) {
     for sql in [
         "CREATE TABLE users (id INT, username VARCHAR(32), password VARCHAR(32))",
         "INSERT INTO users (id, username, password) VALUES (1, 'alice', 'pw1')",
@@ -174,17 +174,29 @@ fn create_schema(conn: &Connection) {
 
 /// Builds a fresh deployment for one defense: server + schema, and for the
 /// SEPTIC variants a guard trained on every template's benign instances.
-fn deployment(defense: Defense) -> (Arc<Server>, Connection, Option<Arc<Septic>>) {
+/// `use_vm` forces both bytecode-VM hot loops (detection comparison and
+/// row-expression evaluation) on or off; `None` keeps the environment
+/// default.
+fn deployment(
+    defense: Defense,
+    use_vm: Option<bool>,
+) -> (Arc<Server>, Connection, Option<Arc<Septic>>) {
     let server = Server::with_config(ServerConfig {
         allow_multi_statements: true,
         general_log_capacity: 0,
     });
+    if let Some(on) = use_vm {
+        server.set_expr_vm(on);
+    }
     let conn = server.connect();
     create_schema(&conn);
     let septic = match defense {
         Defense::SepticDetection | Defense::SepticPrevention | Defense::SepticStructural => {
             let septic = Arc::new(Septic::new());
             septic.set_event_logging(false);
+            if let Some(on) = use_vm {
+                septic.set_use_vm(on);
+            }
             server.install_guard(septic.clone());
             septic.set_mode(Mode::Training);
             for t in templates() {
@@ -213,6 +225,14 @@ pub fn run_case(case: &Case, defense: Defense) -> Verdict {
     run_case_instrumented(case, defense).0
 }
 
+/// [`run_case`] with the bytecode-VM hot loops forced on (`Some(true)`),
+/// off (`Some(false)`), or left at the environment default (`None`) —
+/// the differential-safety hook: the verdict must not depend on it.
+#[must_use]
+pub fn run_case_vm(case: &Case, defense: Defense, use_vm: Option<bool>) -> Verdict {
+    run_case_instrumented_vm(case, defense, use_vm).0
+}
+
 /// [`run_case`], plus the deployment's SEPTIC metrics snapshot (when the
 /// defense installs a guard). The snapshot is taken from the fresh
 /// per-case deployment after the case ran, so its `septic_attacks_total`
@@ -220,6 +240,17 @@ pub fn run_case(case: &Case, defense: Defense) -> Verdict {
 /// telemetry layer agrees with the golden matrix.
 #[must_use]
 pub fn run_case_instrumented(case: &Case, defense: Defense) -> (Verdict, Option<MetricsSnapshot>) {
+    run_case_instrumented_vm(case, defense, None)
+}
+
+/// [`run_case_instrumented`] with an explicit VM override (see
+/// [`run_case_vm`]).
+#[must_use]
+pub fn run_case_instrumented_vm(
+    case: &Case,
+    defense: Defense,
+    use_vm: Option<bool>,
+) -> (Verdict, Option<MetricsSnapshot>) {
     if defense == Defense::Waf {
         // The WAF sees the HTTP request — the raw payload, before the
         // application's escaping.
@@ -229,7 +260,7 @@ pub fn run_case_instrumented(case: &Case, defense: Defense) -> (Verdict, Option<
             return (Verdict::Blocked, None);
         }
     }
-    let (_server, conn, septic) = deployment(defense);
+    let (_server, conn, septic) = deployment(defense, use_vm);
     let detected_before = septic.as_ref().map(|s| {
         let c = s.counters();
         c.sqli_detected + c.stored_detected
@@ -284,10 +315,18 @@ pub fn ground_truth_harmful(case: &Case) -> bool {
 /// Builds the full detection matrix for `seed`.
 #[must_use]
 pub fn build_matrix(seed: u64) -> DetectionMatrix {
+    build_matrix_vm(seed, None)
+}
+
+/// [`build_matrix`] with the bytecode VM forced on or off in every
+/// deployment. The matrix is required to be byte-identical either way —
+/// the VM is an execution strategy, never an observable.
+#[must_use]
+pub fn build_matrix_vm(seed: u64, use_vm: Option<bool>) -> DetectionMatrix {
     let cases = generate_cases(seed);
     let mut results = Vec::with_capacity(cases.len());
     for case in &cases {
-        let verdict = |d: Defense| run_case(case, d).label().to_string();
+        let verdict = |d: Defense| run_case_vm(case, d, use_vm).label().to_string();
         results.push(CaseResult {
             id: case.id.clone(),
             template: case.template.to_string(),

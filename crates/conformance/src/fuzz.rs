@@ -12,6 +12,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use septic::{detect_sqli, detect_sqli_vm, QueryModel};
+use septic_dbms::{Server, ServerConfig};
 use septic_sql::{charset, items, parse};
 
 use crate::grammar::generate_cases;
@@ -181,6 +183,104 @@ pub fn probe(bytes: &[u8]) -> Option<String> {
     })
 }
 
+/// Reference query models the VM differential probes mutants against —
+/// trained structures a fuzzed QS is compared to, so the walker and the
+/// compiled program exercise all three outcomes (clean, structural,
+/// mimicry), not just the self-comparison clean path.
+#[must_use]
+pub fn reference_models() -> Vec<QueryModel> {
+    [
+        "SELECT * FROM tickets WHERE reservID = 'train0' AND creditCard = 1",
+        "SELECT username, password FROM users WHERE id = 7",
+        "SELECT watts FROM readings WHERE device = 'dev-1' AND day BETWEEN 1 AND 7",
+        "INSERT INTO tickets (reservID, creditCard, note) VALUES ('ID34FG', 1234, 'ok')",
+    ]
+    .iter()
+    .map(|sql| {
+        let parsed = parse(sql).expect("reference SQL parses");
+        QueryModel::from_structure(&items::lower_all(&parsed.statements))
+    })
+    .collect()
+}
+
+/// VM differential probe: beyond [`probe`]'s panic check, every parseable
+/// mutant must (a) compile to a detection program without panicking, with
+/// the VM verdict matching the AST walker against its own model *and*
+/// every [`reference_models`] structure, and (b) execute identically on a
+/// server with the expression VM on and off. Returns a description of the
+/// first divergence (or panic) found.
+#[must_use]
+pub fn probe_vm(bytes: &[u8]) -> Option<String> {
+    if let Some(message) = probe(bytes) {
+        return Some(message);
+    }
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let raw = String::from_utf8_lossy(bytes);
+        let decoded = charset::decode(&raw);
+        let Ok(parsed) = parse(&decoded.text) else {
+            return None;
+        };
+        // (a) detection: compile + walker-vs-VM verdict equality.
+        let qs = items::lower_all(&parsed.statements);
+        let mut models = reference_models();
+        models.push(QueryModel::from_structure(&qs));
+        for model in &models {
+            let program = septic_vm::compile_model(model.items());
+            let walker = detect_sqli(&qs, model);
+            let vm = detect_sqli_vm(&program, &qs, model);
+            if walker != vm {
+                return Some(format!("detection divergence: walker={walker:?} vm={vm:?}"));
+            }
+        }
+        // (b) execution: same statements against fresh identical
+        // deployments, expression VM on vs off.
+        let ast = exec_outcome(&raw, false);
+        let vm = exec_outcome(&raw, true);
+        if ast != vm {
+            return Some(format!("execution divergence:\n  ast: {ast}\n  vm:  {vm}"));
+        }
+        None
+    }));
+    match result {
+        Ok(divergence) => divergence,
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string()),
+        ),
+    }
+}
+
+/// Runs `sql` against a fresh conformance-schema server with the
+/// expression VM forced to `vm`, rendered to a comparable string.
+fn exec_outcome(sql: &str, vm: bool) -> String {
+    let server = Server::with_config(ServerConfig {
+        allow_multi_statements: true,
+        general_log_capacity: 0,
+    });
+    server.set_expr_vm(vm);
+    let conn = server.connect();
+    crate::differential::create_schema(&conn);
+    match conn.execute(sql) {
+        Ok(result) => {
+            let outputs: Vec<String> = result
+                .outputs
+                .iter()
+                .map(|o| {
+                    format!(
+                        "cols={:?} rows={:?} affected={} last_id={:?} sleep={}",
+                        o.columns, o.rows, o.affected, o.last_insert_id, o.effects.sleep_seconds
+                    )
+                })
+                .collect();
+            format!("ok: {}", outputs.join(" | "))
+        }
+        Err(e) => format!("err: {e}"),
+    }
+}
+
 /// Greedy minimizer: repeatedly removes chunks (halving chunk size down to
 /// one byte) while `still_fails` holds, until a fixpoint.
 pub fn shrink(input: &[u8], still_fails: impl Fn(&[u8]) -> bool) -> Vec<u8> {
@@ -214,13 +314,23 @@ pub fn shrink(input: &[u8], still_fails: impl Fn(&[u8]) -> bool) -> Vec<u8> {
 /// carries its iteration seed for standalone reproduction.
 #[must_use]
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    run_fuzz_with(config, probe)
+}
+
+/// [`run_fuzz`] with a caller-chosen probe — the VM differential run uses
+/// [`probe_vm`]. Failing inputs are minimized against the same probe, so
+/// a divergence shrinks to a minimal still-divergent program.
+pub fn run_fuzz_with(
+    config: &FuzzConfig,
+    probe_fn: impl Fn(&[u8]) -> Option<String>,
+) -> FuzzReport {
     let corpus = seed_corpus();
     let mut failures = Vec::new();
     for i in 0..config.iterations {
         let iter_seed = iteration_seed(config.seed, i);
         let mutant = mutant_for(iter_seed, &corpus, config.max_len);
-        if let Some(message) = probe(&mutant) {
-            let minimized = shrink(&mutant, |candidate| probe(candidate).is_some());
+        if let Some(message) = probe_fn(&mutant) {
+            let minimized = shrink(&mutant, |candidate| probe_fn(candidate).is_some());
             failures.push(FuzzFailure {
                 iteration: i,
                 seed: iter_seed,

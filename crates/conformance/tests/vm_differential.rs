@@ -1,0 +1,58 @@
+//! Differential safety net for the bytecode VM: the golden detection
+//! matrix must be **byte-identical** with the VM hot loops forced on and
+//! forced off — the VM is an execution strategy, never an observable.
+//!
+//! This is the conformance-level guarantee behind flipping the default to
+//! the VM: every case of every class runs through the full stack twice
+//! (compiled programs vs AST walkers) and the verdicts must agree cell by
+//! cell with each other and with the checked-in golden file.
+
+use septic_conformance::differential::{
+    build_matrix_vm, canonical_json, run_case_vm, Defense, MATRIX_SEED,
+};
+use septic_conformance::golden::{diff_report, golden_path};
+use septic_conformance::grammar::generate_cases;
+
+#[test]
+fn matrix_is_byte_identical_with_vm_on_and_off() {
+    let with_vm = canonical_json(&build_matrix_vm(MATRIX_SEED, Some(true)));
+    let without_vm = canonical_json(&build_matrix_vm(MATRIX_SEED, Some(false)));
+    if let Some(diff) = diff_report(&without_vm, &with_vm, 20) {
+        panic!("bytecode VM changed the detection matrix:\n{diff}");
+    }
+}
+
+#[test]
+fn matrix_with_vm_on_matches_golden() {
+    let path = golden_path();
+    let actual = canonical_json(&build_matrix_vm(MATRIX_SEED, Some(true)));
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden",
+            path.display()
+        )
+    });
+    if let Some(diff) = diff_report(&expected, &actual, 20) {
+        panic!("VM-enabled matrix drifted from the golden file:\n{diff}");
+    }
+}
+
+#[test]
+fn every_case_verdict_agrees_between_vm_and_walker() {
+    // Cell-level agreement on the defenses that run the SEPTIC detectors
+    // and the DBMS executor — the two loops the VM replaced.
+    for case in generate_cases(MATRIX_SEED) {
+        for defense in Defense::all() {
+            let walker = run_case_vm(&case, defense, Some(false));
+            let vm = run_case_vm(&case, defense, Some(true));
+            assert_eq!(
+                walker,
+                vm,
+                "case {} under {}: walker={walker:?} vm={vm:?}",
+                case.id,
+                defense.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic fuzz run for the bytecode-VM compilers, wired into
+//! `cargo test`: every parseable mutant must compile to a detection
+//! program without panicking, the VM verdict must match the AST walker
+//! against its own and every reference model, and execution on a server
+//! with the expression VM on must match execution with it off.
+//!
+//! The default budget is 2 000 seeded iterations (each one deploys two
+//! servers); CI scales it with `SEPTIC_FUZZ_ITERS`, and divergences
+//! shrink to a minimal still-divergent input exactly like parser-fuzz
+//! panics do.
+
+use septic_conformance::fuzz::{describe_failures, probe_vm, run_fuzz_with, FuzzConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a u64, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+#[test]
+fn fuzz_vm_compilers_never_panic_or_diverge() {
+    let config = FuzzConfig {
+        seed: env_u64("SEPTIC_FUZZ_SEED", FuzzConfig::default().seed),
+        iterations: env_u64("SEPTIC_FUZZ_ITERS", 2_000),
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz_with(&config, probe_vm);
+    assert_eq!(report.iterations, config.iterations);
+    assert!(
+        report.failures.is_empty(),
+        "{} VM divergence(s)/panic(s) in {} iterations (seed {:#018x}):\n{}",
+        report.failures.len(),
+        report.iterations,
+        config.seed,
+        describe_failures(&report)
+    );
+}

@@ -123,6 +123,42 @@ pub fn detect_sqli(qs: &ItemStack, model: &QueryModel) -> SqliOutcome {
     SqliOutcome::Clean
 }
 
+/// Runs the two-step SQLI algorithm through a model's **compiled
+/// comparison program** (the bytecode-VM hot path) and renders the same
+/// outcome [`detect_sqli`] would produce.
+///
+/// The program reports positions only; the mimicry node strings are
+/// rendered here from the model and structure — off the hot path, and
+/// through the very same `Item` `Display` the walker uses, so the two
+/// paths are byte-identical (the differential conformance suite holds
+/// them to that).
+#[must_use]
+pub fn detect_sqli_vm(
+    program: &septic_vm::Program,
+    qs: &ItemStack,
+    model: &QueryModel,
+) -> SqliOutcome {
+    match septic_vm::run_model(program, qs.items()) {
+        septic_vm::Verdict::Clean => SqliOutcome::Clean,
+        septic_vm::Verdict::Structural { expected, observed } => {
+            SqliOutcome::Attack(SqliKind::Structural { expected, observed })
+        }
+        septic_vm::Verdict::Mimicry { index } => SqliOutcome::Attack(SqliKind::Mimicry {
+            index,
+            expected: model
+                .items()
+                .get(index)
+                .map(ToString::to_string)
+                .unwrap_or_default(),
+            observed: qs
+                .items()
+                .get(index)
+                .map(ToString::to_string)
+                .unwrap_or_default(),
+        }),
+    }
+}
+
 /// Ablation variant: structural verification only (step 1). Used by the
 /// detector benchmarks to quantify what the syntactic step adds.
 #[must_use]
@@ -316,6 +352,29 @@ mod tests {
             detect_sqli(&flipped, &m),
             SqliOutcome::Attack(SqliKind::Mimicry { index: 0, .. })
         ));
+    }
+
+    #[test]
+    fn vm_and_walker_agree_on_every_outcome() {
+        // The compiled-program path must reproduce the walker verdict
+        // *including* the rendered mimicry node strings.
+        let m = model(TICKETS);
+        let program = septic_vm::compile_model(m.items());
+        for sql in [
+            "SELECT * FROM tickets WHERE reservID = 'ZZ99' AND creditCard = 1",
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG'",
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1 = 1",
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' OR 1 = 1",
+            "SELECT name FROM users WHERE id = 1; DROP TABLE users",
+            TICKETS,
+        ] {
+            let stack = qs(sql);
+            assert_eq!(
+                detect_sqli_vm(&program, &stack, &m),
+                detect_sqli(&stack, &m),
+                "{sql}"
+            );
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod plugins;
 pub mod septic;
 pub mod store;
 
-pub use detector::{detect_sqli, SqliKind, SqliOutcome};
+pub use detector::{detect_sqli, detect_sqli_vm, SqliKind, SqliOutcome};
 pub use id::{IdGenerator, Interner, QueryId};
 pub use logger::{AttackAction, Event, EventKind, EventKindCounts, Logger, StageSpansUs};
 pub use mode::{FailurePolicyMatrix, Mode, ModeActions, NormalMode};
@@ -70,5 +70,6 @@ pub use plugins::{Plugin, StoredAttack};
 pub use septic::{CounterSnapshot, DetectionConfig, EngineConfig, Septic};
 pub use septic_dbms::FailurePolicy;
 pub use store::{
-    backup_path, journal_path, quarantine_path, FsBackend, LoadReport, ModelStore, StoreBackend,
+    backup_path, journal_path, quarantine_path, CompiledModel, FsBackend, LoadReport, ModelStore,
+    StoreBackend,
 };

@@ -23,7 +23,7 @@ use crate::logger::{AttackAction, EventKind, Logger, StageSpansUs};
 use crate::mode::{FailurePolicyMatrix, Mode, ModeActions};
 use crate::model::QueryModel;
 use crate::plugins::{default_plugins, scan_inputs, Plugin};
-use crate::store::{FsBackend, LoadReport, ModelStore};
+use crate::store::{CompiledModel, FsBackend, LoadReport, ModelStore};
 
 /// Which detectors are enabled — the four combinations benchmarked in
 /// Figure 5 (`NN`, `YN`, `NY`, `YY`; first letter = SQLI, second = stored
@@ -95,10 +95,22 @@ pub struct EngineConfig {
     pub detection: DetectionConfig,
     /// Ablation: restrict the SQLI detector to step 1 (structural only).
     pub structural_only: bool,
+    /// Run model comparison through the compiled bytecode program (the
+    /// default). Off = the interpreted QS/QM walker, kept as the
+    /// differential oracle. Seeded from `SEPTIC_VM` (`0`/`off` disables)
+    /// so CI can run the whole suite down both paths.
+    pub use_vm: bool,
     /// What to do with a query when SEPTIC itself fails, per mode.
     pub failure_policies: FailurePolicyMatrix,
     /// Optional per-query detection time budget.
     pub deadline: Option<Duration>,
+}
+
+/// Whether the bytecode-VM hot paths are enabled by default: on, unless
+/// the `SEPTIC_VM` environment variable says `0` or `off`.
+#[must_use]
+pub fn vm_default() -> bool {
+    std::env::var("SEPTIC_VM").map_or(true, |v| v != "0" && !v.eq_ignore_ascii_case("off"))
 }
 
 impl Default for EngineConfig {
@@ -107,6 +119,7 @@ impl Default for EngineConfig {
             mode: Mode::Training,
             detection: DetectionConfig::YY,
             structural_only: false,
+            use_vm: vm_default(),
             failure_policies: FailurePolicyMatrix::default(),
             deadline: None,
         }
@@ -274,10 +287,12 @@ impl Septic {
         let metrics = MetricsRegistry::new();
         let counters = Counters::register(&metrics);
         let stages = StageTimers::register(&metrics);
+        let store = ModelStore::new();
+        store.attach_vm_metrics(&metrics);
         Septic {
             engine: RwLock::new(EngineConfig::default()),
             id_generator: IdGenerator::new(),
-            store: ModelStore::new(),
+            store,
             plugins: default_plugins(),
             logger: Logger::default(),
             metrics,
@@ -339,6 +354,13 @@ impl Septic {
     /// verification only) — quantifies what the syntactic step adds.
     pub fn set_structural_only(&self, on: bool) {
         self.engine.write().structural_only = on;
+    }
+
+    /// Switches model comparison between the compiled bytecode program
+    /// (`true`, the default) and the interpreted QS/QM walker kept as
+    /// the differential oracle (`false`).
+    pub fn set_use_vm(&self, on: bool) {
+        self.engine.write().use_vm = on;
     }
 
     /// The per-mode failure policies in effect.
@@ -571,13 +593,14 @@ impl Septic {
     fn run_detectors(
         &self,
         ctx: &QueryContext<'_>,
-        model: &QueryModel,
+        compiled: &CompiledModel,
         id: &QueryId,
         engine: &EngineConfig,
         actions: ModeActions,
         spans: &mut StageSpansUs,
     ) -> Option<GuardDecision> {
         let qs = ctx.stack;
+        let model: &QueryModel = compiled.model();
         let config = engine.detection;
         let action = if actions.drop_on_attack {
             AttackAction::Dropped
@@ -586,11 +609,15 @@ impl Septic {
         };
 
         // SQLI detection (structural + syntactic; optionally step 1 only
-        // for the detector ablation).
+        // for the detector ablation). The compiled bytecode program is the
+        // default; the interpreted QS/QM walker stays selectable as the
+        // differential oracle.
         if config.sqli && actions.detect_sqli {
             let t = Instant::now();
             let outcome = if engine.structural_only {
                 crate::detector::detect_sqli_structural_only(qs, model)
+            } else if engine.use_vm {
+                crate::detector::detect_sqli_vm(compiled.program(), qs, model)
             } else {
                 detect_sqli(qs, model)
             };
@@ -712,7 +739,11 @@ impl Septic {
         // instead of being re-learned.
         let t = Instant::now();
         let rejected = self.store.is_rejected(&id);
-        let model = if rejected { None } else { self.store.get(&id) };
+        let compiled = if rejected {
+            None
+        } else {
+            self.store.get_compiled(&id)
+        };
         spans.store_get_us = span_us(t);
         self.stages.store_get.record_us(spans.store_get_us);
         if rejected {
@@ -724,11 +755,11 @@ impl Septic {
             return GuardDecision::Block(format!("query id {id} rejected by administrator"));
         }
 
-        // Normal mode: the model was fetched above (a shard read lock +
-        // `Arc` refcount bump, never a deep clone); a miss is learned
-        // incrementally (into quarantine, pending administrator review —
-        // Section II-E).
-        let Some(model) = model else {
+        // Normal mode: the model (with its compiled comparison program)
+        // was fetched above (a shard read lock + `Arc` refcount bumps,
+        // never a deep clone); a miss is learned incrementally (into
+        // quarantine, pending administrator review — Section II-E).
+        let Some(compiled) = compiled else {
             let model = QueryModel::from_structure(qs);
             self.store.learn_provisional(id.clone(), model);
             Self::bump(&self.counters.models_created);
@@ -750,7 +781,7 @@ impl Septic {
         let fail_open = policy == FailurePolicy::FailOpen;
         let started = Instant::now();
         let detection = catch_unwind(AssertUnwindSafe(|| {
-            self.run_detectors(ctx, &model, &id, &engine, actions, &mut spans)
+            self.run_detectors(ctx, &compiled, &id, &engine, actions, &mut spans)
         }));
         let elapsed = started.elapsed();
 

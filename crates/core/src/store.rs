@@ -19,8 +19,10 @@
 //!   then committed with an atomic rename; the previous snapshot is kept
 //!   as `<path>.bak`;
 //! * every snapshot carries a versioned envelope header
-//!   (`SEPTIC-STORE v2 crc32=… len=…`) so corruption is *detected* at
-//!   load time instead of producing garbage models;
+//!   (`SEPTIC-STORE v3 crc32=… len=…`) so corruption is *detected* at
+//!   load time instead of producing garbage models; v2 files (same
+//!   payload schema, written before models carried compiled programs)
+//!   still load — programs are derived state and are recompiled;
 //! * a corrupt snapshot is quarantined (renamed to `<path>.corrupt`) and
 //!   the loader recovers from the backup instead of erroring;
 //! * when persistence is attached, every mutation is appended to a
@@ -89,7 +91,39 @@ type FnvBuild = BuildHasherDefault<FnvHasher>;
 /// full-store iteration (persistence, status) stays trivial.
 const SHARD_COUNT: usize = 16;
 
-type Shard = RwLock<HashMap<QueryId, Arc<QueryModel>, FnvBuild>>;
+type Shard = RwLock<HashMap<QueryId, CompiledModel, FnvBuild>>;
+
+/// A learned model together with its compiled comparison program.
+///
+/// The program is derived state: it is compiled exactly once — at train
+/// or load time — and cached in the shard next to the model, so the
+/// detection hot path gets both for one shard read lock and two
+/// refcount bumps. It is **never** serialized (see the v3 envelope
+/// note); loading a persisted store recompiles.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    model: Arc<QueryModel>,
+    program: Arc<septic_vm::Program>,
+}
+
+impl CompiledModel {
+    fn new(model: Arc<QueryModel>) -> Self {
+        let program = Arc::new(septic_vm::compile_model(model.items()));
+        CompiledModel { model, program }
+    }
+
+    /// The learned model.
+    #[must_use]
+    pub fn model(&self) -> &Arc<QueryModel> {
+        &self.model
+    }
+
+    /// The model's compiled comparison program.
+    #[must_use]
+    pub fn program(&self) -> &Arc<septic_vm::Program> {
+        &self.program
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Storage backend seam
@@ -209,7 +243,13 @@ fn tmp_path(path: &Path) -> PathBuf {
 // ---------------------------------------------------------------------------
 
 const ENVELOPE_MAGIC: &str = "SEPTIC-STORE";
-const ENVELOPE_VERSION: &str = "v2";
+/// v3 (current): same payload schema as v2, bumped to pin down the
+/// contract that compiled-program metadata is *never* part of the
+/// serialized store — programs are derived state, recompiled on load.
+const ENVELOPE_VERSION: &str = "v3";
+/// Versions `unseal` accepts: v2 files (written before the bytecode VM
+/// existed) carry the same payload schema and still load cleanly.
+const ENVELOPE_ACCEPTED: [&str; 2] = ["v2", "v3"];
 
 /// CRC32 (IEEE 802.3 polynomial) over `data`.
 fn crc32(data: &[u8]) -> u32 {
@@ -261,7 +301,7 @@ fn unseal(bytes: &[u8]) -> Result<&str, String> {
     if fields.len() != 4 || fields[0] != ENVELOPE_MAGIC {
         return Err(format!("malformed envelope header: {header:?}"));
     }
-    if fields[1] != ENVELOPE_VERSION {
+    if !ENVELOPE_ACCEPTED.contains(&fields[1]) {
         return Err(format!("unsupported store version {:?}", fields[1]));
     }
     let crc_field = fields[2]
@@ -374,6 +414,19 @@ pub struct ModelStore {
     persist: RwLock<Option<Persistence>>,
     /// Journal appends that failed (the query path never fails on them).
     journal_errors: AtomicU64,
+    /// Model→program compilations performed (train and load time).
+    compiles: AtomicU64,
+    /// Telemetry handles; `None` until [`ModelStore::attach_vm_metrics`].
+    vm_metrics: RwLock<Option<VmMetrics>>,
+}
+
+/// Registry handles mirroring the store's compiled-program state:
+/// `septic_vm_compiles_total` (monotone) and `septic_vm_cached_programs`
+/// (a gauge — one program is cached per learned model).
+#[derive(Debug, Clone)]
+struct VmMetrics {
+    compiles: Arc<septic_telemetry::Counter>,
+    cached: Arc<septic_telemetry::Counter>,
 }
 
 impl Default for ModelStore {
@@ -384,6 +437,8 @@ impl Default for ModelStore {
             rejected: RwLock::default(),
             persist: RwLock::default(),
             journal_errors: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            vm_metrics: RwLock::default(),
         }
     }
 }
@@ -423,6 +478,43 @@ impl ModelStore {
         self.journal_errors.load(Ordering::Relaxed)
     }
 
+    /// Registers the store's compile counter and compiled-program cache
+    /// gauge into `registry` (surfaced through `SHOW SEPTIC METRICS`).
+    pub fn attach_vm_metrics(&self, registry: &septic_telemetry::MetricsRegistry) {
+        let metrics = VmMetrics {
+            compiles: registry.counter("septic_vm_compiles_total"),
+            cached: registry.counter("septic_vm_cached_programs"),
+        };
+        metrics.compiles.set(self.compile_count());
+        metrics.cached.set(self.len() as u64);
+        *self.vm_metrics.write() = Some(metrics);
+    }
+
+    /// Model→program compilations performed since creation (training,
+    /// journal replay and snapshot loads all compile).
+    #[must_use]
+    pub fn compile_count(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Compiles a model into its cached comparison program (counted).
+    fn compiled(&self, model: Arc<QueryModel>) -> CompiledModel {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let compiled = CompiledModel::new(model);
+        if let Some(m) = self.vm_metrics.read().as_ref() {
+            m.compiles.inc();
+        }
+        compiled
+    }
+
+    /// Mirrors the cached-program count into the registry gauge after a
+    /// mutation that changed the model population (cold path only).
+    fn refresh_cached_gauge(&self) {
+        if let Some(m) = self.vm_metrics.read().as_ref() {
+            m.cached.set(self.len() as u64);
+        }
+    }
+
     fn journal(&self, op: &JournalOp) {
         let persist = self.persist.read();
         let Some(p) = persist.as_ref() else { return };
@@ -443,14 +535,20 @@ impl ModelStore {
         match op {
             JournalOp::Learn { id, model } => {
                 self.rejected.write().remove(&id);
-                self.shard(&id).write().entry(id).or_insert(model);
+                if !self.shard(&id).read().contains_key(&id) {
+                    let compiled = self.compiled(model);
+                    self.shard(&id).write().entry(id).or_insert(compiled);
+                }
             }
             JournalOp::LearnProvisional { id, model } => {
-                let mut models = self.shard(&id).write();
-                if !models.contains_key(&id) {
-                    models.insert(id.clone(), model);
-                    drop(models);
-                    self.quarantine.write().insert(id);
+                if !self.shard(&id).read().contains_key(&id) {
+                    let compiled = self.compiled(model);
+                    let mut models = self.shard(&id).write();
+                    if !models.contains_key(&id) {
+                        models.insert(id.clone(), compiled);
+                        drop(models);
+                        self.quarantine.write().insert(id);
+                    }
                 }
             }
             JournalOp::Approve { id } => {
@@ -472,12 +570,24 @@ impl ModelStore {
                 self.rejected.write().clear();
             }
         }
+        self.refresh_cached_gauge();
     }
 
     /// Looks up the model for an identifier: one shard read lock and a
     /// refcount bump — the model is shared, never deep-cloned.
     #[must_use]
     pub fn get(&self, id: &QueryId) -> Option<Arc<QueryModel>> {
+        self.shard(id)
+            .read()
+            .get(id)
+            .map(|cm| Arc::clone(&cm.model))
+    }
+
+    /// Looks up the model *and* its compiled comparison program: still
+    /// one shard read lock, now two refcount bumps — the program was
+    /// compiled at train/load time, never on the query path.
+    #[must_use]
+    pub fn get_compiled(&self, id: &QueryId) -> Option<CompiledModel> {
         self.shard(id).read().get(id).cloned()
     }
 
@@ -494,18 +604,24 @@ impl ModelStore {
     /// is benign, so a previous rejection of the identifier is lifted.
     pub fn learn(&self, id: QueryId, model: QueryModel) -> bool {
         let model = Arc::new(model);
-        let lifted = self.rejected.write().remove(&id);
-        let is_new = {
+        let is_new = if self.shard(&id).read().contains_key(&id) {
+            false
+        } else {
+            let compiled = self.compiled(model.clone());
             let mut models = self.shard(&id).write();
             if models.contains_key(&id) {
                 false
             } else {
-                models.insert(id.clone(), model.clone());
+                models.insert(id.clone(), compiled);
                 true
             }
         };
+        let lifted = self.rejected.write().remove(&id);
         if is_new || lifted {
             self.journal(&JournalOp::Learn { id, model });
+        }
+        if is_new {
+            self.refresh_cached_gauge();
         }
         is_new
     }
@@ -515,12 +631,15 @@ impl ModelStore {
     /// administrator review. Returns `true` when the model is new.
     pub fn learn_provisional(&self, id: QueryId, model: QueryModel) -> bool {
         let model = Arc::new(model);
-        let is_new = {
+        let is_new = if self.shard(&id).read().contains_key(&id) {
+            false
+        } else {
+            let compiled = self.compiled(model.clone());
             let mut models = self.shard(&id).write();
             if models.contains_key(&id) {
                 false
             } else {
-                models.insert(id.clone(), model.clone());
+                models.insert(id.clone(), compiled);
                 drop(models);
                 self.quarantine.write().insert(id.clone());
                 true
@@ -528,6 +647,7 @@ impl ModelStore {
         };
         if is_new {
             self.journal(&JournalOp::LearnProvisional { id, model });
+            self.refresh_cached_gauge();
         }
         is_new
     }
@@ -563,6 +683,9 @@ impl ModelStore {
         if existed || newly_rejected {
             self.journal(&JournalOp::Reject { id: id.clone() });
         }
+        if existed {
+            self.refresh_cached_gauge();
+        }
         existed
     }
 
@@ -578,6 +701,7 @@ impl ModelStore {
         let removed = self.shard(id).write().remove(id).is_some();
         if removed {
             self.journal(&JournalOp::Forget { id: id.clone() });
+            self.refresh_cached_gauge();
         }
         removed
     }
@@ -602,6 +726,7 @@ impl ModelStore {
         self.quarantine.write().clear();
         self.rejected.write().clear();
         self.journal(&JournalOp::Clear);
+        self.refresh_cached_gauge();
     }
 
     /// Snapshot of all identifiers.
@@ -627,12 +752,14 @@ impl ModelStore {
         // *references* (via `QueryId`'s derived `Ord`), then clone each
         // entry exactly once — the model side is an `Arc` refcount bump.
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
-        let mut refs: Vec<(&QueryId, &Arc<QueryModel>)> =
+        let mut refs: Vec<(&QueryId, &CompiledModel)> =
             guards.iter().flat_map(|g| g.iter()).collect();
         refs.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        // Only the model is persisted: the compiled program is derived
+        // state and is rebuilt when the snapshot is loaded.
         let list: Vec<(QueryId, Arc<QueryModel>)> = refs
             .into_iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .map(|(k, v)| (k.clone(), Arc::clone(&v.model)))
             .collect();
         drop(guards);
         let sorted_set = |set: &HashSet<QueryId>| -> Vec<QueryId> {
@@ -654,10 +781,13 @@ impl ModelStore {
             shard.write().clear();
         }
         for (id, model) in persisted.models {
-            self.shard(&id).write().insert(id, model);
+            // Recompile on load: programs are never serialized.
+            let compiled = self.compiled(model);
+            self.shard(&id).write().insert(id, compiled);
         }
         *self.quarantine.write() = persisted.quarantine.into_iter().collect();
         *self.rejected.write() = persisted.rejected.into_iter().collect();
+        self.refresh_cached_gauge();
     }
 
     /// Replaces the store contents from JSON produced by
@@ -919,13 +1049,77 @@ mod tests {
         store.save_to(&path).expect("save");
         // The file carries the versioned envelope.
         let raw = std::fs::read_to_string(&path).unwrap();
-        assert!(raw.starts_with("SEPTIC-STORE v2 crc32="));
+        assert!(raw.starts_with("SEPTIC-STORE v3 crc32="));
         let restored = ModelStore::new();
         let report = restored.load_from(&path).expect("load");
         assert_eq!(report.models_loaded, 1);
         assert!(!report.recovered);
         assert!(restored.contains(&id(42)));
         cleanup(&path);
+    }
+
+    #[test]
+    fn v2_envelope_file_and_journal_still_load() {
+        // Write a store file the way the pre-VM code did: a v2 envelope
+        // (same payload schema) plus a journal of later mutations. The
+        // v3 loader must replay it cleanly and recompile programs.
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT a FROM t WHERE x = 'v'"));
+        let payload = store.to_json().expect("serialize");
+        let sealed_v2 = format!(
+            "{ENVELOPE_MAGIC} v2 crc32={:08x} len={}\n{payload}",
+            crc32(payload.as_bytes()),
+            payload.len()
+        );
+        let path = scratch("v2_envelope_file_and_journal_still_load");
+        std::fs::write(&path, sealed_v2).unwrap();
+        let journal_line = serde_json::to_string(&JournalOp::Learn {
+            id: id(2),
+            model: Arc::new(model("SELECT b FROM u WHERE y = 9")),
+        })
+        .unwrap();
+        std::fs::write(journal_path(&path), format!("{journal_line}\n")).unwrap();
+
+        let restored = ModelStore::new();
+        let report = restored.load_from(&path).expect("v2 file loads");
+        assert_eq!(report.models_loaded, 1);
+        assert_eq!(report.journal_replayed, 1);
+        assert!(!report.recovered);
+        assert!(restored.contains(&id(1)));
+        assert!(restored.contains(&id(2)));
+        // Both models got fresh programs compiled on load.
+        assert_eq!(restored.compile_count(), 2);
+        assert!(restored.get_compiled(&id(2)).is_some());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn future_envelope_versions_are_rejected() {
+        let payload = "{}";
+        let sealed = format!(
+            "{ENVELOPE_MAGIC} v9 crc32={:08x} len={}\n{payload}",
+            crc32(payload.as_bytes()),
+            payload.len()
+        );
+        let err = unseal(sealed.as_bytes()).expect_err("v9 must not load");
+        assert!(err.contains("unsupported store version"));
+    }
+
+    #[test]
+    fn compiled_program_is_cached_and_never_serialized() {
+        let store = ModelStore::new();
+        store.learn(id(1), model("SELECT a FROM t WHERE x = 'v'"));
+        assert_eq!(store.compile_count(), 1);
+        let a = store.get_compiled(&id(1)).expect("compiled");
+        let b = store.get_compiled(&id(1)).expect("compiled");
+        assert!(
+            Arc::ptr_eq(a.program(), b.program()),
+            "get_compiled() must share the cached program, not recompile"
+        );
+        assert_eq!(store.compile_count(), 1, "lookups never compile");
+        // The serialized form carries models only; programs are derived.
+        let json = store.to_json().expect("serialize");
+        assert!(!json.contains("program"), "programs must not serialize");
     }
 
     #[test]

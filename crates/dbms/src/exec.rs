@@ -5,14 +5,17 @@
 //! coercion, division-by-zero-is-NULL, case-insensitive identifiers.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use septic_sql::ast::*;
+use septic_vm::Vm;
 
 use crate::catalog::TableSchema;
 use crate::error::DbError;
 use crate::expr::{call_scalar, is_aggregate, SideEffects};
 use crate::storage::{Database, Row};
 use crate::value::Value;
+use crate::vmexec::{self, ProgramCache};
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, Default)]
@@ -44,19 +47,35 @@ impl QueryOutput {
 /// Any [`DbError`] raised during name resolution, constraint checking or
 /// evaluation.
 pub fn execute(db: &mut Database, stmt: &Statement, now: i64) -> Result<QueryOutput, DbError> {
+    execute_with(db, stmt, now, None)
+}
+
+/// [`execute`] with an optional compiled-expression program cache: WHERE
+/// clauses and non-aggregate projections then run on the bytecode VM
+/// (compiled once per statement shape) instead of the recursive walker.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with(
+    db: &mut Database,
+    stmt: &Statement,
+    now: i64,
+    cache: Option<&ProgramCache>,
+) -> Result<QueryOutput, DbError> {
     let mut effects = SideEffects::default();
     let mut out = match stmt {
         Statement::Select(s) => {
-            let (columns, rows) = run_select(db, s, now, None, &mut effects)?;
+            let (columns, rows) = run_select(db, s, now, None, cache, &mut effects)?;
             QueryOutput {
                 columns,
                 rows,
                 ..QueryOutput::default()
             }
         }
-        Statement::Insert(i) => run_insert(db, i, now, &mut effects)?,
-        Statement::Update(u) => run_update(db, u, now, &mut effects)?,
-        Statement::Delete(d) => run_delete(db, d, now, &mut effects)?,
+        Statement::Insert(i) => run_insert(db, i, now, cache, &mut effects)?,
+        Statement::Update(u) => run_update(db, u, now, cache, &mut effects)?,
+        Statement::Delete(d) => run_delete(db, d, now, cache, &mut effects)?,
         Statement::CreateTable(c) => {
             let created =
                 db.create_table(TableSchema::new(&c.name, &c.columns), c.if_not_exists)?;
@@ -93,19 +112,66 @@ pub fn is_read_only(stmt: &Statement) -> bool {
 /// As [`execute`]; additionally [`DbError::Semantic`] if the statement is
 /// not read-only (a server-side logic bug, not a user error).
 pub fn execute_read(db: &Database, stmt: &Statement, now: i64) -> Result<QueryOutput, DbError> {
+    execute_read_with(db, stmt, now, None)
+}
+
+/// [`execute_read`] with an optional compiled-expression program cache
+/// (see [`execute_with`]).
+///
+/// # Errors
+///
+/// As [`execute_read`].
+pub fn execute_read_with(
+    db: &Database,
+    stmt: &Statement,
+    now: i64,
+    cache: Option<&ProgramCache>,
+) -> Result<QueryOutput, DbError> {
     let Statement::Select(s) = stmt else {
         return Err(DbError::Semantic(
             "execute_read called with a mutating statement".into(),
         ));
     };
     let mut effects = SideEffects::default();
-    let (columns, rows) = run_select(db, s, now, None, &mut effects)?;
+    let (columns, rows) = run_select(db, s, now, None, cache, &mut effects)?;
     Ok(QueryOutput {
         columns,
         rows,
         effects,
         ..QueryOutput::default()
     })
+}
+
+/// Builds the FROM layout of a SELECT (including joined tables) and
+/// returns the cached/compiled WHERE program — the shape a session would
+/// use executing the statement. Test/bench support for observing program
+/// sharing (`Arc::ptr_eq`) across sessions.
+#[doc(hidden)]
+#[must_use]
+pub fn where_program(
+    db: &Database,
+    stmt: &Statement,
+    cache: &ProgramCache,
+) -> Option<Arc<septic_vm::Program>> {
+    let Statement::Select(s) = stmt else {
+        return None;
+    };
+    let mut layout: Vec<Binding> = Vec::new();
+    for t in &s.from {
+        let store = db.table_or_virtual(&t.name).ok()?;
+        layout.push(Binding {
+            name: t.binding_name().to_string(),
+            schema: store.schema.clone(),
+        });
+    }
+    for j in &s.joins {
+        let store = db.table_or_virtual(&j.table.name).ok()?;
+        layout.push(Binding {
+            name: j.table.binding_name().to_string(),
+            schema: store.schema.clone(),
+        });
+    }
+    cache.program_for(s.where_clause.as_ref()?, &layout)
 }
 
 /// Statement-level validation: every referenced table must exist (this is
@@ -166,15 +232,15 @@ fn validate_select(db: &Database, select: &Select) -> Result<(), DbError> {
 
 /// One table binding in the FROM clause: the alias it is visible under plus
 /// its schema.
-struct Binding {
-    name: String,
-    schema: TableSchema,
+pub(crate) struct Binding {
+    pub(crate) name: String,
+    pub(crate) schema: TableSchema,
 }
 
 /// A composite row: one storage row per binding (parallel to the layout).
 #[derive(Debug, Clone)]
-struct CRow {
-    cells: Vec<Row>,
+pub(crate) struct CRow {
+    pub(crate) cells: Vec<Row>,
 }
 
 #[derive(Clone, Copy)]
@@ -220,21 +286,7 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
             .ok_or_else(|| DbError::UnknownColumn(name.clone())),
         Expr::Unary { op, operand } => {
             let v = eval(operand, ctx, fx)?;
-            Ok(match op {
-                UnaryOp::Neg => match v {
-                    Value::Null => Value::Null,
-                    Value::Int(i) => Value::Int(-i),
-                    other => Value::Real(-other.to_real().unwrap_or(0.0)),
-                },
-                UnaryOp::Not => match v {
-                    Value::Null => Value::Null,
-                    other => Value::Int(i64::from(!other.is_truthy())),
-                },
-                UnaryOp::BitNot => match v.to_int() {
-                    None => Value::Null,
-                    Some(i) => Value::Int(!i),
-                },
-            })
+            Ok(apply_unary(*op, v))
         }
         Expr::Binary { left, op, right } => eval_binary(left, *op, right, ctx, fx),
         Expr::Function { name, args } => {
@@ -284,7 +336,7 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
             if needle.is_null() {
                 return Ok(Value::Null);
             }
-            let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
+            let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), None, fx)?;
             let mut saw_null = false;
             for row in &rows {
                 let v = row.first().cloned().unwrap_or(Value::Null);
@@ -320,7 +372,7 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
             Ok(Value::Int(i64::from((ge && le) != *negated)))
         }
         Expr::Subquery(select) => {
-            let (cols, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
+            let (cols, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), None, fx)?;
             if cols.len() != 1 {
                 return Err(DbError::Semantic(
                     "scalar subquery must return one column".into(),
@@ -333,7 +385,7 @@ fn eval(expr: &Expr, ctx: &EvalCtx<'_>, fx: &mut SideEffects) -> Result<Value, D
                 .unwrap_or(Value::Null))
         }
         Expr::Exists { select, negated } => {
-            let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), fx)?;
+            let (_, rows) = run_select(ctx.db, select, ctx.now, Some(ctx), None, fx)?;
             Ok(Value::Int(i64::from(rows.is_empty() == *negated)))
         }
         Expr::Case {
@@ -367,11 +419,41 @@ fn eval_binary(
     ctx: &EvalCtx<'_>,
     fx: &mut SideEffects,
 ) -> Result<Value, DbError> {
+    let l = eval(left, ctx, fx)?;
+    let r = eval(right, ctx, fx)?;
+    Ok(apply_binary(op, l, r))
+}
+
+/// Applies a unary operator to an evaluated operand — shared by the
+/// recursive walker ([`eval`]) and the bytecode VM host
+/// ([`crate::vmexec`]), so the two evaluation paths cannot drift.
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Value {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            other => Value::Real(-other.to_real().unwrap_or(0.0)),
+        },
+        UnaryOp::Not => match v {
+            Value::Null => Value::Null,
+            other => Value::Int(i64::from(!other.is_truthy())),
+        },
+        UnaryOp::BitNot => match v.to_int() {
+            None => Value::Null,
+            Some(i) => Value::Int(!i),
+        },
+    }
+}
+
+/// Applies a binary operator to evaluated operands — the single
+/// implementation of MySQL's coercion and three-valued logic, shared by
+/// walker and VM (see [`apply_unary`]). `AND`/`OR`/`XOR` evaluate both
+/// sides in MySQL (no short-circuit), so taking operands by value here
+/// matches the walker exactly.
+pub(crate) fn apply_binary(op: BinaryOp, l: Value, r: Value) -> Value {
     use BinaryOp::*;
     // Logical operators need MySQL's three-valued logic.
     if matches!(op, And | Or | Xor) {
-        let l = eval(left, ctx, fx)?;
-        let r = eval(right, ctx, fx)?;
         let lt = if l.is_null() {
             None
         } else {
@@ -382,7 +464,7 @@ fn eval_binary(
         } else {
             Some(r.is_truthy())
         };
-        return Ok(match op {
+        return match op {
             And => match (lt, rt) {
                 (Some(false), _) | (_, Some(false)) => Value::Int(0),
                 (Some(true), Some(true)) => Value::Int(1),
@@ -398,15 +480,13 @@ fn eval_binary(
                 _ => Value::Null,
             },
             _ => unreachable!(),
-        });
+        };
     }
-    let l = eval(left, ctx, fx)?;
-    let r = eval(right, ctx, fx)?;
     let cmp = |o: Option<std::cmp::Ordering>, f: fn(std::cmp::Ordering) -> bool| match o {
         None => Value::Null,
         Some(ord) => Value::Int(i64::from(f(ord))),
     };
-    Ok(match op {
+    match op {
         Eq => cmp(l.sql_cmp(&r), |o| o == std::cmp::Ordering::Equal),
         Ne => cmp(l.sql_cmp(&r), |o| o != std::cmp::Ordering::Equal),
         Lt => cmp(l.sql_cmp(&r), |o| o == std::cmp::Ordering::Less),
@@ -422,7 +502,7 @@ fn eval_binary(
             .map_or(Value::Null, |b| Value::Int(i64::from(!b))),
         Add | Sub | Mul | Div | IntDiv | Mod => {
             let (Some(a), Some(b)) = (l.to_real(), r.to_real()) else {
-                return Ok(Value::Null);
+                return Value::Null;
             };
             let both_int = matches!(l, Value::Int(_)) && matches!(r, Value::Int(_));
             match op {
@@ -458,7 +538,7 @@ fn eval_binary(
         }
         BitAnd | BitOr | BitXor | Shl | Shr => {
             let (Some(a), Some(b)) = (l.to_int(), r.to_int()) else {
-                return Ok(Value::Null);
+                return Value::Null;
             };
             match op {
                 BitAnd => Value::Int(a & b),
@@ -470,7 +550,7 @@ fn eval_binary(
             }
         }
         And | Or | Xor => unreachable!("handled above"),
-    })
+    }
 }
 
 fn eval_aggregate(
@@ -612,12 +692,13 @@ fn run_select(
     select: &Select,
     now: i64,
     outer: Option<&EvalCtx<'_>>,
+    cache: Option<&ProgramCache>,
     fx: &mut SideEffects,
 ) -> Result<(Vec<String>, Vec<Row>), DbError> {
-    let (columns, mut rows) = run_select_arm(db, select, now, outer, fx)?;
+    let (columns, mut rows) = run_select_arm(db, select, now, outer, cache, fx)?;
     // UNION chain: arms concatenate; `UNION` (without ALL) deduplicates.
     if let Some((all, next)) = &select.union {
-        let (next_cols, next_rows) = run_select(db, next, now, outer, fx)?;
+        let (next_cols, next_rows) = run_select(db, next, now, outer, cache, fx)?;
         if next_cols.len() != columns.len() {
             return Err(DbError::Semantic(
                 "the used SELECT statements have a different number of columns".into(),
@@ -647,8 +728,13 @@ fn run_select_arm(
     select: &Select,
     now: i64,
     outer: Option<&EvalCtx<'_>>,
+    cache: Option<&ProgramCache>,
     fx: &mut SideEffects,
 ) -> Result<(Vec<String>, Vec<Row>), DbError> {
+    // Compiled programs only serve top-level (uncorrelated) evaluation:
+    // a correlated subquery resolves columns through the outer scope,
+    // which the compiler does not model.
+    let cache = if outer.is_none() { cache } else { None };
     // 1. layout + cartesian product of FROM tables
     let mut layout: Vec<Binding> = Vec::new();
     for t in &select.from {
@@ -719,20 +805,41 @@ fn run_select_arm(
         rows = next;
     }
 
-    // 3. WHERE
+    // 3. WHERE — the per-row hot loop. With a program cache the filter
+    // runs as a compiled program on a reusable VM stack; otherwise (or
+    // for walker-only shapes) the recursive evaluator runs as before.
     if let Some(where_clause) = &select.where_clause {
+        let compiled = cache.and_then(|c| c.program_for(where_clause, &layout));
         let mut kept = Vec::new();
-        for row in rows {
-            let ctx = EvalCtx {
-                db,
-                layout: &layout,
-                row: &row,
-                group: None,
-                outer,
-                now,
-            };
-            if eval(where_clause, &ctx, fx)?.is_truthy() {
-                kept.push(row);
+        if let Some(program) = compiled {
+            let mut slots = Vec::new();
+            vmexec::collect_literals(where_clause, &mut slots);
+            debug_assert_eq!(slots.len(), program.slots() as usize);
+            let mut vm = Vm::new();
+            for row in rows {
+                let mut host = vmexec::ExprHost {
+                    slots: &slots,
+                    row: &row,
+                    now,
+                    fx,
+                };
+                if vm.run(&program, &mut host)?.is_truthy() {
+                    kept.push(row);
+                }
+            }
+        } else {
+            for row in rows {
+                let ctx = EvalCtx {
+                    db,
+                    layout: &layout,
+                    row: &row,
+                    group: None,
+                    outer,
+                    now,
+                };
+                if eval(where_clause, &ctx, fx)?.is_truthy() {
+                    kept.push(row);
+                }
             }
         }
         rows = kept;
@@ -771,6 +878,25 @@ fn run_select_arm(
         }
     }
 
+    // Compile non-aggregate projection expressions once for the whole
+    // result set; items that stay on the walker keep `None`.
+    let item_programs: Vec<Option<(Arc<septic_vm::Program>, Vec<Value>)>> = select
+        .items
+        .iter()
+        .map(|item| match (cache, item) {
+            (Some(c), SelectItem::Expr { expr, .. }) => {
+                c.program_for(expr, &layout).map(|program| {
+                    let mut slots = Vec::new();
+                    vmexec::collect_literals(expr, &mut slots);
+                    debug_assert_eq!(slots.len(), program.slots() as usize);
+                    (program, slots)
+                })
+            }
+            _ => None,
+        })
+        .collect();
+    let project_vm = std::cell::RefCell::new(Vm::new());
+
     let project =
         |row: &CRow, group: Option<&[CRow]>, fx: &mut SideEffects| -> Result<Row, DbError> {
             let ctx = EvalCtx {
@@ -782,7 +908,7 @@ fn run_select_arm(
                 now,
             };
             let mut out = Vec::with_capacity(columns.len());
-            for item in &select.items {
+            for (ii, item) in select.items.iter().enumerate() {
                 match item {
                     SelectItem::Wildcard => {
                         for (bi, _) in layout.iter().enumerate() {
@@ -796,7 +922,18 @@ fn run_select_arm(
                             .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
                         out.extend(row.cells[bi].iter().cloned());
                     }
-                    SelectItem::Expr { expr, .. } => out.push(eval(expr, &ctx, fx)?),
+                    SelectItem::Expr { expr, .. } => match &item_programs[ii] {
+                        Some((program, slots)) => {
+                            let mut host = vmexec::ExprHost {
+                                slots,
+                                row,
+                                now,
+                                fx,
+                            };
+                            out.push(project_vm.borrow_mut().run(program, &mut host)?);
+                        }
+                        None => out.push(eval(expr, &ctx, fx)?),
+                    },
                 }
             }
             Ok(out)
@@ -976,6 +1113,7 @@ fn run_insert(
     db: &mut Database,
     insert: &Insert,
     now: i64,
+    cache: Option<&ProgramCache>,
     fx: &mut SideEffects,
 ) -> Result<QueryOutput, DbError> {
     let schema = db.table(&insert.table)?.schema.clone();
@@ -1017,7 +1155,7 @@ fn run_insert(
             out
         }
         InsertSource::Select(select) => {
-            let (cols, rows) = run_select(db, select, now, None, fx)?;
+            let (cols, rows) = run_select(db, select, now, None, cache, fx)?;
             if cols.len() != targets.len() {
                 return Err(DbError::Semantic(
                     "column count doesn't match value count".into(),
@@ -1058,6 +1196,7 @@ fn run_update(
     db: &mut Database,
     update: &Update,
     now: i64,
+    cache: Option<&ProgramCache>,
     fx: &mut SideEffects,
 ) -> Result<QueryOutput, DbError> {
     let schema = db.table(&update.table)?.schema.clone();
@@ -1070,6 +1209,18 @@ fn run_update(
         .iter()
         .map(|(c, _)| schema.column_index(c))
         .collect::<Result<_, _>>()?;
+    // Compile-once fast path for the WHERE predicate (literals go to slots).
+    let compiled = match (&update.where_clause, cache) {
+        (Some(w), Some(c)) => c.program_for(w, &layout).map(|program| {
+            let mut slots = Vec::with_capacity(program.slots() as usize);
+            if let Some(w) = &update.where_clause {
+                vmexec::collect_literals(w, &mut slots);
+            }
+            (program, slots)
+        }),
+        _ => None,
+    };
+    let mut vm = Vm::new();
     // Plan phase (immutable): decide slot → new row.
     let mut plan: Vec<(usize, Row)> = Vec::new();
     {
@@ -1086,9 +1237,19 @@ fn run_update(
                 outer: None,
                 now,
             };
-            let keep = match &update.where_clause {
-                None => true,
-                Some(w) => eval(w, &ctx, fx)?.is_truthy(),
+            let keep = if let Some((program, slots)) = &compiled {
+                let mut host = vmexec::ExprHost {
+                    slots,
+                    row: &crow,
+                    now,
+                    fx,
+                };
+                vm.run(program, &mut host)?.is_truthy()
+            } else {
+                match &update.where_clause {
+                    None => true,
+                    Some(w) => eval(w, &ctx, fx)?.is_truthy(),
+                }
             };
             if !keep {
                 continue;
@@ -1120,6 +1281,7 @@ fn run_delete(
     db: &mut Database,
     delete: &Delete,
     now: i64,
+    cache: Option<&ProgramCache>,
     fx: &mut SideEffects,
 ) -> Result<QueryOutput, DbError> {
     let schema = db.table(&delete.table)?.schema.clone();
@@ -1127,6 +1289,17 @@ fn run_delete(
         name: schema.name.clone(),
         schema,
     }];
+    let compiled = match (&delete.where_clause, cache) {
+        (Some(w), Some(c)) => c.program_for(w, &layout).map(|program| {
+            let mut slots = Vec::with_capacity(program.slots() as usize);
+            if let Some(w) = &delete.where_clause {
+                vmexec::collect_literals(w, &mut slots);
+            }
+            (program, slots)
+        }),
+        _ => None,
+    };
+    let mut vm = Vm::new();
     let mut victims: Vec<usize> = Vec::new();
     {
         let store = db.table(&delete.table)?;
@@ -1142,9 +1315,19 @@ fn run_delete(
                 outer: None,
                 now,
             };
-            let hit = match &delete.where_clause {
-                None => true,
-                Some(w) => eval(w, &ctx, fx)?.is_truthy(),
+            let hit = if let Some((program, slots)) = &compiled {
+                let mut host = vmexec::ExprHost {
+                    slots,
+                    row: &crow,
+                    now,
+                    fx,
+                };
+                vm.run(program, &mut host)?.is_truthy()
+            } else {
+                match &delete.where_clause {
+                    None => true,
+                    Some(w) => eval(w, &ctx, fx)?.is_truthy(),
+                }
             };
             if hit {
                 victims.push(slot);

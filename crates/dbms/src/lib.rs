@@ -32,9 +32,10 @@ pub mod guard;
 pub mod server;
 pub mod storage;
 pub mod value;
+pub mod vmexec;
 
 pub use error::DbError;
-pub use exec::{execute_read, is_read_only, QueryOutput};
+pub use exec::{execute_read, execute_read_with, execute_with, is_read_only, QueryOutput};
 pub use guard::{AllowAll, FailurePolicy, GuardDecision, QueryContext, QueryGuard, SharedGuard};
 pub use server::{
     Connection, ExecResult, GeneralLogEntry, Server, ServerConfig, ServerStatsSnapshot,
@@ -42,3 +43,4 @@ pub use server::{
 };
 pub use storage::{Database, Row, TableStore};
 pub use value::Value;
+pub use vmexec::ProgramCache;

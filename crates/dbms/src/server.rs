@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,10 +27,20 @@ use septic_sql::{charset, items, parse, Statement};
 use septic_telemetry::{label_value, Counter, Histogram, MetricsRegistry, MetricsSnapshot};
 
 use crate::error::DbError;
-use crate::exec::{execute, execute_read, is_read_only, validate, QueryOutput};
+use crate::exec::{
+    execute_read_with, execute_with, is_read_only, validate, where_program, QueryOutput,
+};
 use crate::guard::{FailurePolicy, GuardDecision, QueryContext, SharedGuard};
 use crate::storage::Database;
 use crate::value::Value;
+use crate::vmexec::ProgramCache;
+
+/// Default for the expression-VM execution path: on, unless `SEPTIC_VM`
+/// is set to `0` or `off` (same switch the detection VM honours).
+#[must_use]
+pub fn expr_vm_default() -> bool {
+    std::env::var("SEPTIC_VM").map_or(true, |v| v != "0" && !v.eq_ignore_ascii_case("off"))
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -235,6 +245,12 @@ pub struct Server {
     simulated_total_micros: AtomicI64,
     /// Session-id allocator for [`Server::connect`].
     next_session: AtomicU64,
+    /// Shape-keyed cache of compiled expression programs, shared by every
+    /// session: compile once, execute many.
+    program_cache: ProgramCache,
+    /// Whether execution uses the bytecode VM (compiled WHERE/projection
+    /// programs) or the interpreted AST walker.
+    expr_vm: AtomicBool,
 }
 
 impl Server {
@@ -254,6 +270,8 @@ impl Server {
         let metrics = MetricsRegistry::new();
         let stats = ServerStats::register(&metrics);
         let pipeline = PipelineTimers::register(&metrics);
+        let program_cache = ProgramCache::new();
+        program_cache.attach_metrics(&metrics);
         Server {
             db: RwLock::new(Database::new()),
             guard: RwLock::new(None),
@@ -265,7 +283,40 @@ impl Server {
             pipeline,
             simulated_total_micros: AtomicI64::new(0),
             next_session: AtomicU64::new(1),
+            program_cache,
+            expr_vm: AtomicBool::new(expr_vm_default()),
         }
+    }
+
+    /// Switches row-expression evaluation between the bytecode VM (`true`)
+    /// and the interpreted AST walker (`false`, the differential oracle).
+    pub fn set_expr_vm(&self, on: bool) {
+        self.expr_vm.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether execution currently uses the bytecode VM.
+    #[must_use]
+    pub fn expr_vm(&self) -> bool {
+        self.expr_vm.load(Ordering::Relaxed)
+    }
+
+    /// The shared compiled-program cache (per-shape expression programs).
+    #[must_use]
+    pub fn vm_cache(&self) -> &ProgramCache {
+        &self.program_cache
+    }
+
+    /// Test/bench hook: parses `sql` (a single `SELECT`) and returns the
+    /// cached compiled program for its `WHERE` clause, compiling it on
+    /// first sight. Lets tests assert `Arc::ptr_eq` program sharing
+    /// across sessions.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn vm_program_for(&self, sql: &str) -> Option<Arc<septic_vm::Program>> {
+        let parsed = parse(sql).ok()?;
+        let stmt = parsed.statements.first()?;
+        let db = self.db.read();
+        where_program(&db, stmt, &self.program_cache)
     }
 
     /// Installs (or replaces) the pre-execution guard. Passing a SEPTIC
@@ -629,20 +680,24 @@ impl Server {
         //    parallel sessions overlap; anything mutating serializes on the
         //    write lock.
         let t = Instant::now();
+        let cache = self
+            .expr_vm
+            .load(Ordering::Relaxed)
+            .then_some(&self.program_cache);
         let executed: Result<Vec<QueryOutput>, DbError> =
             if parsed.statements.iter().all(is_read_only) {
                 let db = self.db.read();
                 parsed
                     .statements
                     .iter()
-                    .map(|stmt| execute_read(&db, stmt, at))
+                    .map(|stmt| execute_read_with(&db, stmt, at, cache))
                     .collect()
             } else {
                 let mut db = self.db.write();
                 parsed
                     .statements
                     .iter()
-                    .map(|stmt| execute(&mut db, stmt, at))
+                    .map(|stmt| execute_with(&mut db, stmt, at, cache))
                     .collect()
             };
         self.pipeline.execute.record_us(span_us(t));

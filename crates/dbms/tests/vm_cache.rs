@@ -1,0 +1,102 @@
+//! Program-cache reuse across sessions: compiling is per statement
+//! *shape*, so two sessions preparing the same shape with different
+//! literal values share one `Arc<Program>` — the second execution is a
+//! refcount bump, never a recompile.
+
+use std::sync::Arc;
+
+use septic_dbms::{Server, Value};
+
+fn setup() -> Arc<septic_dbms::Server> {
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (a VARCHAR(16), b INT)")
+        .expect("create");
+    conn.execute("INSERT INTO t (a, b) VALUES ('x', 1), ('y', 2), ('z', 3)")
+        .expect("insert");
+    server
+}
+
+#[test]
+fn two_sessions_share_one_compiled_program() {
+    let server = setup();
+    let session_a = server.connect();
+    let session_b = server.connect();
+
+    // Session A prepares and runs the shape; programs compile once.
+    let out = session_a
+        .query_prepared("SELECT a FROM t WHERE a = ?", &[Value::from("x")])
+        .expect("query a");
+    assert_eq!(out.rows.len(), 1);
+    let compiles_after_first = server.vm_cache().compile_count();
+    assert!(
+        compiles_after_first >= 1,
+        "first execution must compile at least the WHERE program"
+    );
+
+    // Session B runs the same shape with a different literal: no new
+    // compile, same cached programs.
+    let out = session_b
+        .query_prepared("SELECT a FROM t WHERE a = ?", &[Value::from("y")])
+        .expect("query b");
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(
+        server.vm_cache().compile_count(),
+        compiles_after_first,
+        "second session re-used the cached programs"
+    );
+
+    // And the cached WHERE program is literally the same allocation,
+    // whatever literal values the shape is instantiated with.
+    let p1 = server
+        .vm_program_for("SELECT a FROM t WHERE a = 'x'")
+        .expect("compiled program");
+    let p2 = server
+        .vm_program_for("SELECT a FROM t WHERE a = 'completely-different'")
+        .expect("compiled program");
+    assert!(Arc::ptr_eq(&p1, &p2), "same shape must share one program");
+}
+
+#[test]
+fn different_shapes_get_different_programs() {
+    let server = setup();
+    let p1 = server
+        .vm_program_for("SELECT a FROM t WHERE a = 'x'")
+        .expect("compiled");
+    let p2 = server
+        .vm_program_for("SELECT a FROM t WHERE b = 1")
+        .expect("compiled");
+    assert!(!Arc::ptr_eq(&p1, &p2));
+}
+
+#[test]
+fn vm_and_walker_agree_on_results() {
+    // Same data, same queries, expression VM on vs off: identical rows.
+    let queries = [
+        "SELECT a, b FROM t WHERE b > 1",
+        "SELECT a FROM t WHERE a LIKE 'x%' OR b BETWEEN 2 AND 3",
+        "SELECT a, CASE WHEN b = 1 THEN 'one' ELSE 'many' END FROM t",
+        "SELECT a FROM t WHERE a IN ('x', 'z') AND b IS NOT NULL",
+    ];
+    let vm_server = setup();
+    vm_server.set_expr_vm(true);
+    let walker_server = setup();
+    walker_server.set_expr_vm(false);
+    let vm_conn = vm_server.connect();
+    let walker_conn = walker_server.connect();
+    for sql in queries {
+        let vm = vm_conn.query(sql).expect("vm query");
+        let walker = walker_conn.query(sql).expect("walker query");
+        assert_eq!(vm.columns, walker.columns, "{sql}");
+        assert_eq!(vm.rows, walker.rows, "{sql}");
+    }
+    assert!(
+        vm_server.vm_cache().compile_count() > 0,
+        "VM server must actually have compiled programs"
+    );
+    assert_eq!(
+        walker_server.vm_cache().compile_count(),
+        0,
+        "walker server must not compile anything"
+    );
+}

@@ -1,0 +1,118 @@
+//! Compiling a learned query model into a comparison program, and the
+//! tight loop that runs it against an incoming query structure.
+//!
+//! SEPTIC's detection walks two node stacks per query: step 1 compares
+//! the structure lengths, step 2 compares node by node. The walker
+//! re-decides per node what kind of comparison applies (data node? text
+//! payload? exotic payload?). Compilation hoists those decisions to
+//! train/load time: each model node lowers to exactly one match op with
+//! its comparison mode and (pre-lowercased) expected payload baked in,
+//! so the per-query scan is a straight run over a flat op vector.
+
+use septic_sql::{Item, ItemData};
+
+use crate::ops::Op;
+use crate::program::{Program, ProgramBuilder};
+
+/// Outcome of running a detection program. The VM reports positions
+/// only; the caller renders the human-readable node strings from the
+/// model and structure it already holds (keeping this crate free of
+/// detector types — and the rendering off the hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The structure matches the model.
+    Clean,
+    /// Step 1 failed: node counts differ.
+    Structural {
+        /// Node count the model expects.
+        expected: usize,
+        /// Node count observed in the query.
+        observed: usize,
+    },
+    /// Step 2 failed: the node at `index` (bottom-up) does not match.
+    Mimicry {
+        /// Bottom-up index of the first mismatching node.
+        index: usize,
+    },
+}
+
+/// Compiles a query model's (bottom-up) node list into a comparison
+/// program: one `CheckLen` followed by one match op per node.
+#[must_use]
+pub fn compile_model(items: &[Item]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.emit(Op::CheckLen(items.len() as u32));
+    for item in items {
+        if item.tag.is_data() {
+            // Data payloads are ⊥ in the model: the tag alone decides.
+            b.emit(Op::MatchTag(item.tag));
+        } else {
+            match &item.data {
+                ItemData::Text(s) => {
+                    let text = b.text(&s.to_ascii_lowercase());
+                    b.emit(Op::MatchText {
+                        tag: item.tag,
+                        text,
+                    });
+                }
+                other => {
+                    let data = b.data(other.clone());
+                    b.emit(Op::MatchData {
+                        tag: item.tag,
+                        data,
+                    });
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Runs a compiled detection program against an observed (bottom-up)
+/// query structure. No recursion, no allocation — and, after the
+/// `CheckLen` prefix is consumed, a straight bounds-check-free zip of
+/// match ops over query nodes.
+#[inline]
+#[must_use]
+pub fn run_model(program: &Program, qs: &[Item]) -> Verdict {
+    let mut ops = program.ops();
+    // The compiler emits exactly one leading CheckLen; consuming the
+    // prefix here keeps the node loop below a plain ops×items zip.
+    while let Some(Op::CheckLen(n)) = ops.first() {
+        let expected = *n as usize;
+        if qs.len() != expected {
+            return Verdict::Structural {
+                expected,
+                observed: qs.len(),
+            };
+        }
+        ops = &ops[1..];
+    }
+    // Unreachable for well-formed programs (CheckLen passed), but a
+    // malformed one must degrade, not panic or silently under-compare.
+    if ops.len() > qs.len() {
+        return Verdict::Structural {
+            expected: ops.len(),
+            observed: qs.len(),
+        };
+    }
+    for (index, (op, q)) in ops.iter().zip(qs).enumerate() {
+        let matched = match op {
+            Op::MatchTag(tag) => q.tag == *tag,
+            Op::MatchText { tag, text } => {
+                q.tag == *tag
+                    && matches!(&q.data,
+                        ItemData::Text(b) if program.text(*text).eq_ignore_ascii_case(b))
+            }
+            Op::MatchData { tag, data } => q.tag == *tag && &q.data == program.data(*data),
+            other => {
+                debug_assert!(false, "value op {other:?} in detection program");
+                true
+            }
+        };
+        if !matched {
+            return Verdict::Mimicry { index };
+        }
+    }
+    Verdict::Clean
+}

@@ -1,0 +1,194 @@
+//! The reusable stack machine for expression programs.
+//!
+//! The VM is deliberately ignorant of SQL value semantics: every
+//! type-coercing operation is delegated to a [`Host`], which the dbms
+//! implements on top of its own `Value` type. The VM contributes what
+//! the recursive walker cannot: a flat dispatch loop, an explicit
+//! operand stack reused across rows (no per-run allocation after
+//! warmup), and compile-time-resolved column indices.
+
+use std::cmp::Ordering;
+
+use crate::ops::Op;
+use crate::program::Program;
+
+/// Value semantics provider for expression programs. All coercion rules
+/// live behind this trait so the VM and the interpreted walker share one
+/// implementation — the differential oracle then only exercises the
+/// *dispatch* difference, never divergent semantics.
+pub trait Host {
+    /// The runtime value type (the dbms `Value`).
+    type Value: Clone;
+    /// The runtime error type (the dbms `DbError`).
+    type Error;
+
+    /// The literal value bound to runtime constant slot `idx`.
+    fn slot(&self, idx: u32) -> Self::Value;
+    /// The current row's cell at (binding, column).
+    fn column(&self, binding: u16, column: u16) -> Self::Value;
+    /// The error for a column that failed to resolve at compile time.
+    fn missing_column(&mut self, name: &str) -> Self::Error;
+    /// Apply unary op `code`.
+    fn unary(&mut self, code: u16, v: Self::Value) -> Result<Self::Value, Self::Error>;
+    /// Apply binary op `code`.
+    fn binary(
+        &mut self,
+        code: u16,
+        left: Self::Value,
+        right: Self::Value,
+    ) -> Result<Self::Value, Self::Error>;
+    /// Call scalar function `name` with `args`.
+    fn call(&mut self, name: &str, args: &[Self::Value]) -> Result<Self::Value, Self::Error>;
+    /// SQL truthiness of `v`.
+    fn is_truthy(&self, v: &Self::Value) -> bool;
+    /// True when `v` is SQL NULL.
+    fn is_null(&self, v: &Self::Value) -> bool;
+    /// CASE operand equality: `sql_eq == Some(true)`.
+    fn case_eq(&self, operand: &Self::Value, when: &Self::Value) -> bool;
+    /// Three-valued equality of the needle against constant slot `slot`
+    /// (IN-list membership without cloning the slot value).
+    fn eq_slot(&self, needle: &Self::Value, slot: u32) -> Option<bool>;
+    /// Three-valued SQL comparison.
+    fn cmp3(&self, a: &Self::Value, b: &Self::Value) -> Option<Ordering>;
+    /// SQL NULL.
+    fn null(&self) -> Self::Value;
+    /// SQL boolean (MySQL booleans are integers 0/1).
+    fn bool_value(&self, b: bool) -> Self::Value;
+}
+
+/// A reusable stack machine. Create once per statement (or thread) and
+/// `run` per row: the operand stack's capacity persists across runs, so
+/// steady-state evaluation does not allocate.
+#[derive(Debug, Default)]
+pub struct Vm<V> {
+    stack: Vec<V>,
+}
+
+impl<V: Clone> Vm<V> {
+    /// A VM with an empty (lazily grown) operand stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Vm { stack: Vec::new() }
+    }
+
+    fn pop<H: Host<Value = V>>(&mut self, host: &H) -> V {
+        debug_assert!(!self.stack.is_empty(), "operand stack underflow");
+        self.stack.pop().unwrap_or_else(|| host.null())
+    }
+
+    /// Runs an expression program to completion and returns the value
+    /// left on top of the stack.
+    ///
+    /// # Errors
+    /// Propagates the host's runtime errors (unknown column, bad
+    /// function call, …) exactly as the interpreted walker would.
+    pub fn run<H: Host<Value = V>>(
+        &mut self,
+        program: &Program,
+        host: &mut H,
+    ) -> Result<V, H::Error> {
+        self.stack.clear();
+        let ops = program.ops();
+        let mut pc = 0usize;
+        while let Some(op) = ops.get(pc) {
+            pc += 1;
+            match op {
+                Op::Slot(i) => self.stack.push(host.slot(*i)),
+                Op::Column { binding, column } => self.stack.push(host.column(*binding, *column)),
+                Op::MissingColumn(n) => return Err(host.missing_column(program.name(*n))),
+                Op::Unary(code) => {
+                    let v = self.pop(host);
+                    let r = host.unary(*code, v)?;
+                    self.stack.push(r);
+                }
+                Op::Binary(code) => {
+                    let right = self.pop(host);
+                    let left = self.pop(host);
+                    let r = host.binary(*code, left, right)?;
+                    self.stack.push(r);
+                }
+                Op::IsNull { negated } => {
+                    let v = self.pop(host);
+                    let b = host.is_null(&v) != *negated;
+                    self.stack.push(host.bool_value(b));
+                }
+                Op::Between { negated } => {
+                    let high = self.pop(host);
+                    let low = self.pop(host);
+                    let v = self.pop(host);
+                    let out = match (host.cmp3(&v, &low), host.cmp3(&v, &high)) {
+                        (Some(a), Some(b)) => {
+                            let within = a != Ordering::Less && b != Ordering::Greater;
+                            host.bool_value(within != *negated)
+                        }
+                        _ => host.null(),
+                    };
+                    self.stack.push(out);
+                }
+                Op::InListSlots {
+                    start,
+                    count,
+                    negated,
+                } => {
+                    let needle = self.pop(host);
+                    let out = if host.is_null(&needle) {
+                        host.null()
+                    } else {
+                        let mut hit = false;
+                        let mut saw_null = false;
+                        for i in 0..u32::from(*count) {
+                            match host.eq_slot(&needle, start + i) {
+                                Some(true) => {
+                                    hit = true;
+                                    break;
+                                }
+                                Some(false) => {}
+                                None => saw_null = true,
+                            }
+                        }
+                        if hit {
+                            host.bool_value(!*negated)
+                        } else if saw_null {
+                            host.null()
+                        } else {
+                            host.bool_value(*negated)
+                        }
+                    };
+                    self.stack.push(out);
+                }
+                Op::Call { name, argc } => {
+                    let split = self.stack.len().saturating_sub(usize::from(*argc));
+                    let result = host.call(program.name(*name), &self.stack[split..])?;
+                    self.stack.truncate(split);
+                    self.stack.push(result);
+                }
+                Op::Dup => {
+                    let v = self.stack.last().cloned().unwrap_or_else(|| host.null());
+                    self.stack.push(v);
+                }
+                Op::Pop => {
+                    self.stack.pop();
+                }
+                Op::Jump(t) => pc = *t as usize,
+                Op::JumpIfNotTruthy(t) => {
+                    let v = self.pop(host);
+                    if !host.is_truthy(&v) {
+                        pc = *t as usize;
+                    }
+                }
+                Op::JumpIfCaseNe(t) => {
+                    let when = self.pop(host);
+                    let operand = self.pop(host);
+                    if !host.case_eq(&operand, &when) {
+                        pc = *t as usize;
+                    }
+                }
+                Op::PushNull => self.stack.push(host.null()),
+                Op::CheckLen(_) | Op::MatchTag(_) | Op::MatchText { .. } | Op::MatchData { .. } => {
+                    debug_assert!(false, "match op {op:?} in expression program");
+                }
+            }
+        }
+        Ok(self.stack.pop().unwrap_or_else(|| host.null()))
+    }
+}

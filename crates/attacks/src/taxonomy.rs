@@ -24,6 +24,16 @@ pub enum AttackClass {
     SecondOrder,
     /// Stacked/piggybacked statements.
     Piggyback,
+    /// UNION arm smuggled *inside* a subquery (IN/EXISTS/scalar), so the
+    /// exfiltration hides behind the outer statement's unchanged shape.
+    SubqueryUnion,
+    /// Aggregate-alias mimicry: a GROUP BY/HAVING position is fed an alias
+    /// or aggregate reference with the same arity as the learned literal
+    /// (caught only by node-wise comparison, not the structural count).
+    AggregateMimicry,
+    /// Piggybacked statement injected through a JOIN-bearing query, riding
+    /// on the multi-table shape.
+    JoinPiggyback,
     /// Stored cross-site scripting.
     StoredXss,
     /// Remote file inclusion payload stored in the database.
@@ -48,6 +58,9 @@ impl AttackClass {
                 | AttackClass::SyntaxMimicry
                 | AttackClass::SecondOrder
                 | AttackClass::Piggyback
+                | AttackClass::SubqueryUnion
+                | AttackClass::AggregateMimicry
+                | AttackClass::JoinPiggyback
         )
     }
 
@@ -62,6 +75,8 @@ impl AttackClass {
                 | AttackClass::HomoglyphFirstOrder
                 | AttackClass::SyntaxMimicry
                 | AttackClass::SecondOrder
+                | AttackClass::SubqueryUnion
+                | AttackClass::AggregateMimicry
         )
     }
 
@@ -75,6 +90,9 @@ impl AttackClass {
             AttackClass::SyntaxMimicry,
             AttackClass::SecondOrder,
             AttackClass::Piggyback,
+            AttackClass::SubqueryUnion,
+            AttackClass::AggregateMimicry,
+            AttackClass::JoinPiggyback,
             AttackClass::StoredXss,
             AttackClass::Rfi,
             AttackClass::Lfi,
@@ -93,6 +111,9 @@ impl fmt::Display for AttackClass {
             AttackClass::SyntaxMimicry => "syntax mimicry SQLI",
             AttackClass::SecondOrder => "second-order SQLI",
             AttackClass::Piggyback => "piggyback SQLI",
+            AttackClass::SubqueryUnion => "subquery-union SQLI",
+            AttackClass::AggregateMimicry => "aggregate-mimicry SQLI",
+            AttackClass::JoinPiggyback => "join-piggyback SQLI",
             AttackClass::StoredXss => "stored XSS",
             AttackClass::Rfi => "RFI",
             AttackClass::Lfi => "LFI",
@@ -114,7 +135,12 @@ mod tests {
         assert!(AttackClass::ClassicSqli.is_sqli());
         assert!(!AttackClass::ClassicSqli.is_semantic_mismatch());
         assert!(!AttackClass::StoredXss.is_sqli());
-        assert_eq!(AttackClass::all().len(), 11);
+        assert_eq!(AttackClass::all().len(), 14);
+        assert!(AttackClass::SubqueryUnion.is_sqli());
+        assert!(AttackClass::SubqueryUnion.is_semantic_mismatch());
+        assert!(AttackClass::AggregateMimicry.is_semantic_mismatch());
+        assert!(AttackClass::JoinPiggyback.is_sqli());
+        assert!(!AttackClass::JoinPiggyback.is_semantic_mismatch());
     }
 
     #[test]

@@ -24,8 +24,8 @@ use std::sync::Arc;
 use septic::{Mode, Septic};
 use septic_bench::{banner, render_table};
 use septic_benchlab::{
-    run_engine_comparison, run_throughput, run_throughput_tcp, EngineRow, ThroughputPlan,
-    ThroughputRow,
+    run_engine_comparison, run_join_workload, run_throughput, run_throughput_tcp, EngineRow,
+    ThroughputPlan, ThroughputRow,
 };
 use septic_dbms::Server;
 use septic_telemetry::parse_prometheus;
@@ -158,6 +158,7 @@ fn main() {
         report.tcp_rows = run_throughput_tcp(&plan);
     }
     report.engine_rows = run_engine_comparison(&plan);
+    report.join_rows = run_join_workload(&plan);
 
     println!("{}", throughput_table(&report.rows));
     if !report.tcp_rows.is_empty() {
@@ -166,6 +167,8 @@ fn main() {
     }
     println!("AST walker vs bytecode VM (YY, row-heavy table, zero pad):");
     println!("{}", engine_table(&report.engine_rows));
+    println!("JOIN-bearing workload (YY, trained two-table join shapes):");
+    println!("{}", throughput_table(&report.join_rows));
 
     let stage_rows: Vec<Vec<String>> = report
         .stages
@@ -221,6 +224,23 @@ fn main() {
             );
         }
         println!("tcp smoke: all over-the-wire cells completed their full query count OK");
+    }
+
+    // Every thread count must have a JOIN-workload cell, and in smoke mode
+    // (where the duration cap never truncates) each cell must complete its
+    // full count: benign trained joins may never be blocked.
+    for &threads in &plan.threads {
+        let row = report
+            .join_row(threads)
+            .unwrap_or_else(|| panic!("missing JOIN workload row at {threads} threads"));
+        assert_eq!(row.config, "YY");
+        if smoke {
+            assert_eq!(
+                row.queries,
+                plan.queries_per_thread as u64 * threads as u64,
+                "JOIN cell at {threads} threads lost queries"
+            );
+        }
     }
 
     // The smoke run must record at least one cell per engine; the full

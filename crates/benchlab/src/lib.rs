@@ -21,7 +21,7 @@ pub use experiment::{
 };
 pub use stats::LatencyStats;
 pub use throughput::{
-    run_engine_comparison, run_throughput, run_throughput_tcp, EngineRow, StageLatencyRow,
-    ThroughputPlan, ThroughputReport, ThroughputRow,
+    run_engine_comparison, run_join_workload, run_throughput, run_throughput_tcp, EngineRow,
+    StageLatencyRow, ThroughputPlan, ThroughputReport, ThroughputRow,
 };
 pub use workload::Workload;

@@ -172,6 +172,12 @@ pub struct ThroughputReport {
     /// a zero client pad (so serving cost, not think time, is compared).
     #[serde(default)]
     pub engine_rows: Vec<EngineRow>,
+    /// JOIN-bearing workload cells: the full YY stack sweeping a trained
+    /// two-table JOIN shape at every thread count, so the report covers a
+    /// query family the expression VM deliberately routes through its
+    /// negative cache to the interpreted planner.
+    #[serde(default)]
+    pub join_rows: Vec<ThroughputRow>,
 }
 
 impl ThroughputReport {
@@ -189,6 +195,12 @@ impl ThroughputReport {
         self.tcp_rows
             .iter()
             .find(|r| r.config == config && r.threads == threads)
+    }
+
+    /// The JOIN-workload row at a thread count (config is always `YY`).
+    #[must_use]
+    pub fn join_row(&self, threads: usize) -> Option<&ThroughputRow> {
+        self.join_rows.iter().find(|r| r.threads == threads)
     }
 
     /// Throughput ratio between two thread counts of one configuration
@@ -215,6 +227,17 @@ impl ThroughputReport {
 /// and spreads lookups across the model-store shards.
 fn shape_query(shape: usize, datum: u64) -> String {
     format!("/* qid:tp-shape-{shape} */ SELECT note FROM tickets WHERE note = 'v{datum}'")
+}
+
+/// The benign JOIN-bearing query for a trained shape: a two-table inner
+/// join filtered on the joined side, so every request walks the planner's
+/// nested-loop join stage (and, under the expression VM, its negative
+/// cache) instead of the single-table fast path.
+fn join_shape_query(shape: usize, datum: u64) -> String {
+    format!(
+        "/* qid:tp-join-{shape} */ SELECT t.note, o.region FROM tickets t \
+         JOIN owners o ON t.reservID = o.name WHERE o.region = 'v{datum}'"
+    )
 }
 
 /// The datum a session sends on its `i`-th query: a pure function of
@@ -249,13 +272,15 @@ fn build_deployment(config: DetectionConfig, plan: &ThroughputPlan) -> (Arc<Serv
 }
 
 /// Measures one (config, thread-count) cell: `threads` sessions each run
-/// the warm-up then `queries_per_thread` benign queries against trained
-/// shapes, sleeping `client_pad` after every request. Returns the row.
+/// the warm-up then `queries_per_thread` benign queries built by `query`
+/// against trained shapes, sleeping `client_pad` after every request.
+/// Returns the row.
 fn measure_cell(
     server: &Arc<Server>,
     config: DetectionConfig,
     threads: usize,
     plan: &ThroughputPlan,
+    query: fn(usize, u64) -> String,
 ) -> ThroughputRow {
     let shapes = plan.distinct_shapes.max(1);
     // Shared client-observed latency histogram: every measured query
@@ -270,7 +295,7 @@ fn measure_cell(
             let latency = Arc::clone(&latency);
             thread::spawn(move || {
                 for i in 0..plan.warmup_queries {
-                    let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
+                    let q = query((t + i) % shapes, session_datum(plan.seed, t, i));
                     conn.execute(&q).expect("warmup query");
                 }
                 let cell_started = Instant::now();
@@ -279,7 +304,7 @@ fn measure_cell(
                     if cell_started.elapsed() > plan.max_duration {
                         break;
                     }
-                    let q = shape_query((t + i) % shapes, session_datum(plan.seed, t, i));
+                    let q = query((t + i) % shapes, session_datum(plan.seed, t, i));
                     let res = conn.execute(&q).expect("benign query must pass");
                     latency.record(res.observed_latency());
                     done += 1;
@@ -340,7 +365,7 @@ pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
     for config in DetectionConfig::all() {
         let (server, septic) = build_deployment(config, plan);
         for &threads in &plan.threads {
-            rows.push(measure_cell(&server, config, threads, plan));
+            rows.push(measure_cell(&server, config, threads, plan, shape_query));
         }
         stages.extend(stage_rows(config, &septic));
     }
@@ -354,7 +379,60 @@ pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
         stages,
         tcp_rows: Vec::new(),
         engine_rows: Vec::new(),
+        join_rows: Vec::new(),
     }
+}
+
+/// Builds the trained YY deployment for the JOIN workload: the standard
+/// tickets table plus an `owners` table keyed on `reservID`, with the
+/// JOIN shapes trained so the sweep's benign queries pass PREVENTION.
+fn build_join_deployment(plan: &ThroughputPlan) -> (Arc<Server>, Arc<Septic>) {
+    let server = Server::with_config(ServerConfig {
+        allow_multi_statements: true,
+        general_log_capacity: 0,
+    });
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), note VARCHAR(64))")
+        .expect("create tickets");
+    conn.execute("CREATE TABLE owners (name VARCHAR(16), region VARCHAR(64))")
+        .expect("create owners");
+    conn.execute("INSERT INTO tickets (reservID, note) VALUES ('ID34FG', 'v0')")
+        .expect("insert tickets");
+    conn.execute("INSERT INTO owners (name, region) VALUES ('ID34FG', 'v0')")
+        .expect("insert owners");
+
+    let septic = Arc::new(Septic::with_config(DetectionConfig::YY));
+    septic.set_event_logging(plan.event_logging);
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    for shape in 0..plan.distinct_shapes.max(1) {
+        conn.execute(&join_shape_query(shape, 0)).expect("train");
+    }
+    septic.set_mode(Mode::PREVENTION);
+    (server, septic)
+}
+
+/// Runs the JOIN-bearing workload: the full YY stack at every thread
+/// count of the plan, each session sweeping trained two-table JOIN shapes
+/// instead of the single-table fast path. This is the throughput-side
+/// counterpart of the planner's join stage: the guard models and checks
+/// the joined item stack, and under the expression VM the shape is served
+/// from the negative cache by the interpreted planner.
+#[must_use]
+pub fn run_join_workload(plan: &ThroughputPlan) -> Vec<ThroughputRow> {
+    let (server, _septic) = build_join_deployment(plan);
+    plan.threads
+        .iter()
+        .map(|&threads| {
+            measure_cell(
+                &server,
+                DetectionConfig::YY,
+                threads,
+                plan,
+                join_shape_query,
+            )
+        })
+        .collect()
 }
 
 /// Rows seeded into the engine-comparison table: enough that per-row
@@ -417,7 +495,13 @@ pub fn run_engine_comparison(plan: &ThroughputPlan) -> Vec<EngineRow> {
         for &threads in &unpadded.threads {
             rows.push(EngineRow {
                 engine: if vm { "vm" } else { "ast" }.to_string(),
-                row: measure_cell(&server, DetectionConfig::YY, threads, &unpadded),
+                row: measure_cell(
+                    &server,
+                    DetectionConfig::YY,
+                    threads,
+                    &unpadded,
+                    shape_query,
+                ),
             });
         }
     }
@@ -667,6 +751,45 @@ mod tests {
                 assert!(cell.row.qps > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn join_workload_completes_every_cell_under_prevention() {
+        // The JOIN sweep is the same closed-loop shape as the main sweep,
+        // but every query is a trained two-table join: it must complete
+        // the exact per-cell counts (no benign join blocked) at YY.
+        let plan = tiny_plan();
+        let rows = run_join_workload(&plan);
+        assert_eq!(rows.len(), 2); // one YY row per thread count
+        for threads in [1usize, 2] {
+            let row = rows
+                .iter()
+                .find(|r| r.threads == threads)
+                .expect("join cell");
+            assert_eq!(row.config, "YY");
+            assert_eq!(row.queries, 8 * threads as u64);
+            assert!(row.qps > 0.0);
+            assert!(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us);
+        }
+    }
+
+    #[test]
+    fn join_workload_rows_actually_join() {
+        // Sanity-check the query family: the trained shape's datum-0 form
+        // returns the seeded joined row, so the sweep measures real join
+        // work rather than empty scans.
+        let plan = tiny_plan();
+        let (server, _septic) = build_join_deployment(&plan);
+        let out = server
+            .connect()
+            .query(&join_shape_query(0, 0))
+            .expect("joined query");
+        assert_eq!(
+            out.columns,
+            vec!["t.note".to_string(), "o.region".to_string()]
+        );
+        let v0 = septic_dbms::Value::from("v0");
+        assert_eq!(out.rows, vec![vec![v0.clone(), v0]]);
     }
 
     #[test]

@@ -106,6 +106,10 @@ impl Verdict {
 pub struct CaseResult {
     pub id: String,
     pub template: String,
+    /// Construct family of the template: `basic`, `join`, `group-by`,
+    /// `subquery`.
+    #[serde(default)]
+    pub construct: String,
     pub class: String,
     pub variant: String,
     pub payload: String,
@@ -167,6 +171,8 @@ pub(crate) fn create_schema(conn: &Connection) {
         "INSERT INTO tickets (reservID, creditCard, note) VALUES ('ID34FG', 1234, 'ok')",
         "CREATE TABLE readings (device VARCHAR(16), watts INT, day INT)",
         "INSERT INTO readings (device, watts, day) VALUES ('dev-1', 50, 1)",
+        "CREATE TABLE devices (name VARCHAR(16), owner VARCHAR(32))",
+        "INSERT INTO devices (name, owner) VALUES ('dev-1', 'ann'), ('dev-2', 'bob')",
     ] {
         conn.execute(sql).expect("schema setup");
     }
@@ -286,6 +292,32 @@ pub fn run_case_instrumented_vm(
     (verdict, septic.map(|s| s.metrics_snapshot()))
 }
 
+/// Canonical rendering of a case's raw execution outcome on a fresh,
+/// unguarded deployment: per-statement column lists and row values on
+/// success, or the error on failure. Timing fields are excluded, so the
+/// rendering is a pure function of the case. The VM differential tests
+/// use it to assert the bytecode VM and the AST walker agree beyond the
+/// verdict level.
+#[must_use]
+pub fn execution_outcome(case: &Case, use_vm: bool) -> String {
+    let server = Server::with_config(ServerConfig {
+        allow_multi_statements: true,
+        general_log_capacity: 0,
+    });
+    server.set_expr_vm(use_vm);
+    let conn = server.connect();
+    create_schema(&conn);
+    match conn.execute(&case.sql) {
+        Ok(result) => result
+            .outputs
+            .iter()
+            .map(|o| format!("columns={:?} rows={:?}", o.columns, o.rows))
+            .collect::<Vec<_>>()
+            .join("; "),
+        Err(e) => format!("error={e:?}"),
+    }
+}
+
 /// Ground truth for one case: the (sanitized, charset-decoded) query
 /// deviates from the QM trained for its template, or carries a stored
 /// payload. Computed with the detector directly — no deployment in the
@@ -330,6 +362,7 @@ pub fn build_matrix_vm(seed: u64, use_vm: Option<bool>) -> DetectionMatrix {
         results.push(CaseResult {
             id: case.id.clone(),
             template: case.template.to_string(),
+            construct: case.construct.label().to_string(),
             class: class_key(case.class).to_string(),
             variant: case.variant.to_string(),
             payload: case.payload.clone(),
@@ -343,7 +376,7 @@ pub fn build_matrix_vm(seed: u64, use_vm: Option<bool>) -> DetectionMatrix {
     }
     let summary = summarize(&results);
     DetectionMatrix {
-        version: "septic-conformance matrix v1".to_string(),
+        version: "septic-conformance matrix v2".to_string(),
         seed,
         defenses: Defense::all()
             .iter()
@@ -464,5 +497,56 @@ mod tests {
             run_case(mimicry, Defense::SepticStructural),
             Verdict::Passed
         );
+    }
+
+    #[test]
+    fn join_piggyback_blocked_by_prevention_not_sanitization() {
+        let cases = generate_cases(MATRIX_SEED);
+        let attack = cases
+            .iter()
+            .find(|c| c.id.starts_with("device-join/join-piggyback"))
+            .expect("join piggyback case");
+        assert!(ground_truth_harmful(attack), "{}", attack.sql);
+        assert_eq!(run_case(attack, Defense::SanitizeOnly), Verdict::Passed);
+        assert_eq!(
+            run_case(attack, Defense::SepticPrevention),
+            Verdict::Blocked
+        );
+    }
+
+    #[test]
+    fn aggregate_alias_mimicry_slips_past_structural_only() {
+        let cases = generate_cases(MATRIX_SEED);
+        let mimicry = cases
+            .iter()
+            .find(|c| c.variant == "aggregate-alias")
+            .expect("aggregate-alias case");
+        assert!(ground_truth_harmful(mimicry), "{}", mimicry.sql);
+        assert_eq!(
+            run_case(mimicry, Defense::SepticPrevention),
+            Verdict::Blocked
+        );
+        // Same node count as the trained shape: the structural-only
+        // ablation cannot see the literal→alias swap.
+        assert_eq!(
+            run_case(mimicry, Defense::SepticStructural),
+            Verdict::Passed
+        );
+    }
+
+    #[test]
+    fn union_in_subquery_blocked_by_prevention_not_sanitization() {
+        let cases = generate_cases(MATRIX_SEED);
+        let attack = cases
+            .iter()
+            .find(|c| c.id.starts_with("device-audit/subquery-union"))
+            .expect("subquery union case");
+        assert!(ground_truth_harmful(attack), "{}", attack.sql);
+        assert_eq!(run_case(attack, Defense::SanitizeOnly), Verdict::Passed);
+        assert_eq!(
+            run_case(attack, Defense::SepticPrevention),
+            Verdict::Blocked
+        );
+        assert_eq!(run_case(attack, Defense::SepticDetection), Verdict::Flagged);
     }
 }

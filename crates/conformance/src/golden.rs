@@ -12,7 +12,10 @@
 //! PR can only change a detection verdict together with a reviewed golden
 //! update.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
+
+use crate::differential::{CaseResult, DetectionMatrix};
 
 /// Repo-relative location of the golden matrix.
 #[must_use]
@@ -66,9 +69,98 @@ pub fn diff_report(expected: &str, actual: &str, max: usize) -> Option<String> {
     Some(out)
 }
 
+/// The per-defense verdict columns of a case row, in matrix order.
+fn verdict_columns(c: &CaseResult) -> [(&'static str, &str); 5] {
+    [
+        ("sanitize-only", c.sanitize_only.as_str()),
+        ("waf", c.waf.as_str()),
+        ("septic-detection", c.septic_detection.as_str()),
+        ("septic-prevention", c.septic_prevention.as_str()),
+        ("septic-structural", c.septic_structural.as_str()),
+    ]
+}
+
+/// A readable, per-case diff between two parsed matrices: each drifted
+/// case is reported with its construct family and exactly the defense
+/// columns whose verdicts changed, plus added/removed case ids. Returns
+/// `None` when the matrices are equal. Capped at `max` case entries.
+#[must_use]
+pub fn matrix_diff_report(
+    golden: &DetectionMatrix,
+    actual: &DetectionMatrix,
+    max: usize,
+) -> Option<String> {
+    if golden == actual {
+        return None;
+    }
+    let mut out = String::new();
+    if golden.version != actual.version {
+        let _ = writeln!(
+            out,
+            "version: golden {:?} -> actual {:?}",
+            golden.version, actual.version
+        );
+    }
+    if golden.seed != actual.seed {
+        let _ = writeln!(
+            out,
+            "seed: golden {} -> actual {}",
+            golden.seed, actual.seed
+        );
+    }
+    let mut shown = 0;
+    for a in &actual.cases {
+        if shown >= max {
+            let _ = writeln!(out, "… (further case differences elided)");
+            break;
+        }
+        match golden.cases.iter().find(|g| g.id == a.id) {
+            None => {
+                let _ = writeln!(out, "+ {} [{} / {}] (new case)", a.id, a.construct, a.class);
+                shown += 1;
+            }
+            Some(g) if g != a => {
+                let _ = writeln!(out, "~ {} [{} / {}]", a.id, a.construct, a.class);
+                if g.harmful != a.harmful {
+                    let _ = writeln!(
+                        out,
+                        "    harmful: golden {} -> actual {}",
+                        g.harmful, a.harmful
+                    );
+                }
+                if g.payload != a.payload {
+                    let _ = writeln!(
+                        out,
+                        "    payload: golden {:?} -> actual {:?}",
+                        g.payload, a.payload
+                    );
+                }
+                for ((col, gv), (_, av)) in verdict_columns(g).iter().zip(verdict_columns(a)) {
+                    if *gv != av {
+                        let _ = writeln!(out, "    {col}: golden {gv} -> actual {av}");
+                    }
+                }
+                shown += 1;
+            }
+            _ => {}
+        }
+    }
+    for g in &golden.cases {
+        if !actual.cases.iter().any(|a| a.id == g.id) {
+            let _ = writeln!(out, "- {} [{} / {}] (removed)", g.id, g.construct, g.class);
+        }
+    }
+    if out.is_empty() {
+        // Cases agree: the drift is in the derived summary or column list.
+        out.push_str("per-case rows agree; summary/defense metadata drifted\n");
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::differential::{build_matrix, MATRIX_SEED};
 
     #[test]
     fn equal_strings_have_no_diff() {
@@ -93,5 +185,46 @@ mod tests {
     fn trailing_newline_difference_is_reported() {
         let d = diff_report("a\n", "a", 5).expect("differs");
         assert!(d.contains("trailing"), "{d}");
+    }
+
+    #[test]
+    fn matrix_diff_names_case_construct_and_defense_column() {
+        let golden = build_matrix(MATRIX_SEED);
+        assert_eq!(matrix_diff_report(&golden, &golden, 10), None);
+
+        let mut drifted = golden.clone();
+        let case = drifted
+            .cases
+            .iter_mut()
+            .find(|c| c.construct == "join" && c.septic_prevention == "blocked")
+            .expect("blocked join case");
+        let id = case.id.clone();
+        case.septic_prevention = "passed".to_string();
+        let d = matrix_diff_report(&golden, &drifted, 10).expect("differs");
+        assert!(d.contains(&format!("~ {id} [join /")), "{d}");
+        assert!(
+            d.contains("septic-prevention: golden blocked -> actual passed"),
+            "{d}"
+        );
+        assert!(
+            !d.contains("sanitize-only:"),
+            "unchanged columns are silent: {d}"
+        );
+    }
+
+    #[test]
+    fn matrix_diff_reports_added_and_removed_cases() {
+        let golden = build_matrix(MATRIX_SEED);
+        let mut actual = golden.clone();
+        let removed = actual.cases.remove(0);
+        let d = matrix_diff_report(&golden, &actual, 10).expect("differs");
+        assert!(d.contains(&format!("- {} [", removed.id)), "{d}");
+
+        let mut grown = golden.clone();
+        let mut extra = grown.cases[0].clone();
+        extra.id = "synthetic/extra-0".to_string();
+        grown.cases.push(extra);
+        let d = matrix_diff_report(&golden, &grown, 10).expect("differs");
+        assert!(d.contains("+ synthetic/extra-0 ["), "{d}");
     }
 }

@@ -32,6 +32,45 @@ pub enum SlotKind {
     Numeric,
 }
 
+/// SQL construct family a template exercises — the structural surface the
+/// detector must distinguish. Every family must appear in the golden
+/// matrix (shape assertion in the golden tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construct {
+    /// Single-table SELECT/INSERT/UPDATE/DELETE.
+    Basic,
+    /// Multi-table query with an explicit JOIN … ON clause.
+    Join,
+    /// GROUP BY with aggregates and a HAVING filter.
+    GroupBy,
+    /// Scalar/IN/EXISTS subquery in the WHERE clause.
+    Subquery,
+}
+
+impl Construct {
+    /// Stable kebab-case label, used in the matrix `construct` column.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Construct::Basic => "basic",
+            Construct::Join => "join",
+            Construct::GroupBy => "group-by",
+            Construct::Subquery => "subquery",
+        }
+    }
+
+    /// All construct families, in matrix order.
+    #[must_use]
+    pub fn all() -> [Construct; 4] {
+        [
+            Construct::Basic,
+            Construct::Join,
+            Construct::GroupBy,
+            Construct::Subquery,
+        ]
+    }
+}
+
 /// One vulnerable program point: a query with a single user slot.
 #[derive(Debug, Clone, Copy)]
 pub struct Template {
@@ -44,6 +83,8 @@ pub struct Template {
     pub suffix: &'static str,
     /// Splice context.
     pub slot: SlotKind,
+    /// Construct family the template exercises.
+    pub construct: Construct,
 }
 
 impl Template {
@@ -76,42 +117,81 @@ pub fn templates() -> &'static [Template] {
             prefix: "/* qid:conf-tickets */ SELECT * FROM tickets WHERE reservID = '",
             suffix: "' AND creditCard = 1234",
             slot: SlotKind::Quoted,
+            construct: Construct::Basic,
         },
         Template {
             name: "login",
             prefix: "/* qid:conf-login */ SELECT id FROM users WHERE username = '",
             suffix: "' AND password = 'secret1'",
             slot: SlotKind::Quoted,
+            construct: Construct::Basic,
         },
         Template {
             name: "note-update",
             prefix: "/* qid:conf-update */ UPDATE tickets SET note = '",
             suffix: "' WHERE reservID = 'ID34FG'",
             slot: SlotKind::Quoted,
+            construct: Construct::Basic,
         },
         Template {
             name: "like-search",
             prefix: "/* qid:conf-like */ SELECT username FROM users WHERE username LIKE '",
             suffix: "%'",
             slot: SlotKind::Quoted,
+            construct: Construct::Basic,
         },
         Template {
             name: "reading-insert",
             prefix: "/* qid:conf-insert */ INSERT INTO readings (device, watts, day) VALUES ('",
             suffix: "', 5, 1)",
             slot: SlotKind::Quoted,
+            construct: Construct::Basic,
         },
         Template {
             name: "watts-filter",
             prefix: "/* qid:conf-watts */ SELECT device, watts FROM readings WHERE day = ",
             suffix: " AND watts > 10",
             slot: SlotKind::Numeric,
+            construct: Construct::Basic,
         },
         Template {
             name: "purge-day",
             prefix: "/* qid:conf-purge */ DELETE FROM readings WHERE day < ",
             suffix: "",
             slot: SlotKind::Numeric,
+            construct: Construct::Basic,
+        },
+        Template {
+            name: "device-join",
+            prefix: "/* qid:conf-join */ SELECT r.device, d.owner FROM readings r \
+                     JOIN devices d ON r.device = d.name WHERE d.owner = '",
+            suffix: "'",
+            slot: SlotKind::Quoted,
+            construct: Construct::Join,
+        },
+        Template {
+            name: "fleet-usage",
+            prefix: "/* qid:conf-fleet */ SELECT d.owner, r.watts FROM devices d \
+                     LEFT JOIN readings r ON d.name = r.device WHERE r.watts > ",
+            suffix: "",
+            slot: SlotKind::Numeric,
+            construct: Construct::Join,
+        },
+        Template {
+            name: "daily-report",
+            prefix: "/* qid:conf-report */ SELECT device, COUNT(*) AS cnt, SUM(watts) AS total \
+                     FROM readings GROUP BY device HAVING SUM(watts) > ",
+            suffix: "",
+            slot: SlotKind::Numeric,
+            construct: Construct::GroupBy,
+        },
+        Template {
+            name: "device-audit",
+            prefix: "/* qid:conf-audit */ SELECT device, watts FROM readings WHERE device IN \
+                     (SELECT name FROM devices WHERE owner = '",
+            suffix: "')",
+            slot: SlotKind::Quoted,
+            construct: Construct::Subquery,
         },
     ]
 }
@@ -146,10 +226,13 @@ pub struct Case {
     pub id: String,
     /// Template name.
     pub template: &'static str,
+    /// Construct family of the template (matrix `construct` column).
+    pub construct: Construct,
     /// `None` for benign instances.
     pub class: Option<AttackClass>,
     /// Taxonomy variant: `benign`, `tautology`, `union`, `piggyback`,
-    /// `comment-mimicry`, `mimicry`, `encoding`, `stored-xss`.
+    /// `comment-mimicry`, `mimicry`, `encoding`, `stored-xss`,
+    /// `aggregate-alias`, `aggregate-swap`.
     pub variant: &'static str,
     /// The raw user payload, before application-side sanitization.
     pub payload: String,
@@ -168,6 +251,9 @@ pub fn class_key(class: Option<AttackClass>) -> &'static str {
         Some(AttackClass::SyntaxMimicry) => "syntax-mimicry",
         Some(AttackClass::SecondOrder) => "second-order",
         Some(AttackClass::Piggyback) => "piggyback",
+        Some(AttackClass::SubqueryUnion) => "subquery-union",
+        Some(AttackClass::AggregateMimicry) => "aggregate-mimicry",
+        Some(AttackClass::JoinPiggyback) => "join-piggyback",
         Some(AttackClass::StoredXss) => "stored-xss",
         Some(AttackClass::Rfi) => "rfi",
         Some(AttackClass::Lfi) => "lfi",
@@ -185,6 +271,21 @@ fn attack_specs(
     rng: &mut ConformanceRng,
 ) -> Vec<(AttackClass, &'static str, String)> {
     let mut specs = Vec::new();
+    match t.construct {
+        Construct::Basic => basic_specs(t, rng, &mut specs),
+        Construct::Join => join_specs(t, rng, &mut specs),
+        Construct::GroupBy => group_by_specs(rng, &mut specs),
+        Construct::Subquery => subquery_specs(rng, &mut specs),
+    }
+    specs
+}
+
+/// The original single-table attack families, keyed on the slot kind.
+fn basic_specs(
+    t: &Template,
+    rng: &mut ConformanceRng,
+    specs: &mut Vec<(AttackClass, &'static str, String)>,
+) {
     match t.slot {
         SlotKind::Quoted => {
             // Classic ASCII tautology: neutralized by escaping, shown for
@@ -349,7 +450,193 @@ fn attack_specs(
             ));
         }
     }
-    specs
+}
+
+/// Attack families for the JOIN templates: the learned shape carries
+/// `JoinItem` nodes, and the piggyback rides on the multi-table query.
+fn join_specs(
+    t: &Template,
+    rng: &mut ConformanceRng,
+    specs: &mut Vec<(AttackClass, &'static str, String)>,
+) {
+    match t.slot {
+        SlotKind::Quoted => {
+            // Classic ASCII tautology: neutralized by escaping (contrast).
+            let w = rng.benign_word(1, 6);
+            let n = rng.range(1, 10);
+            specs.push((
+                AttackClass::ClassicSqli,
+                "tautology",
+                format!("{w}' {} {n}={n}-- ", or_kw(rng)),
+            ));
+            // Homoglyph breakout tautology against the JOIN's WHERE.
+            for _ in 0..2 {
+                let w = rng.benign_word(1, 6);
+                let n = rng.range(1, 10);
+                specs.push((
+                    AttackClass::HomoglyphFirstOrder,
+                    "tautology",
+                    format!(
+                        "{w}{} {} {n} = {n}{}",
+                        homoglyph(rng),
+                        or_kw(rng),
+                        tail(rng)
+                    ),
+                ));
+            }
+            // UNION pull matching the two-column joined select list.
+            for _ in 0..2 {
+                let w = rng.benign_word(1, 6);
+                specs.push((
+                    AttackClass::HomoglyphFirstOrder,
+                    "union",
+                    format!(
+                        "{w}{} UNION SELECT username, password FROM users{}",
+                        homoglyph(rng),
+                        tail(rng)
+                    ),
+                ));
+            }
+            // JOIN-clause piggybacking: stacked statement through the
+            // homoglyph breakout of the multi-table query.
+            let w = rng.benign_word(1, 6);
+            specs.push((
+                AttackClass::JoinPiggyback,
+                "piggyback",
+                format!("{w}{}; DROP TABLE devices{}", homoglyph(rng), tail(rng)),
+            ));
+            let w = rng.benign_word(1, 6);
+            specs.push((
+                AttackClass::JoinPiggyback,
+                "piggyback",
+                format!("{w}{}; DELETE FROM readings{}", homoglyph(rng), tail(rng)),
+            ));
+        }
+        SlotKind::Numeric => {
+            // Numeric tautology in the JOIN's WHERE: no quote needed.
+            for _ in 0..2 {
+                let n = rng.below(100);
+                let m = rng.range(1, 10);
+                specs.push((
+                    AttackClass::NumericContext,
+                    "tautology",
+                    format!("{n} {} {m} = {m}", or_kw(rng)),
+                ));
+            }
+            // UNION pull matching the joined select list.
+            let n = rng.below(100);
+            specs.push((
+                AttackClass::NumericContext,
+                "union",
+                format!("{n} UNION SELECT username, id FROM users"),
+            ));
+            // Column-reference mimicry: same arity as the learned literal.
+            specs.push((AttackClass::SyntaxMimicry, "mimicry", "watts".to_string()));
+            // JOIN-clause piggybacking in the verbatim numeric splice.
+            for drop in ["DROP TABLE devices", "DELETE FROM devices"] {
+                let n = rng.below(100);
+                specs.push((
+                    AttackClass::JoinPiggyback,
+                    "piggyback",
+                    format!("{n}; {drop}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Attack families for the GROUP BY/HAVING template. The headline class is
+/// aggregate-alias mimicry: the learned HAVING comparand is an integer
+/// literal; the attacker substitutes the projection alias (`total`, `cnt`)
+/// — same node count, different node type — which only the node-wise
+/// second step of the detector can tell apart.
+fn group_by_specs(rng: &mut ConformanceRng, specs: &mut Vec<(AttackClass, &'static str, String)>) {
+    // Tautology over the grouped rows.
+    for _ in 0..2 {
+        let n = rng.below(100);
+        let m = rng.range(1, 10);
+        specs.push((
+            AttackClass::NumericContext,
+            "tautology",
+            format!("{n} {} {m} = {m}", or_kw(rng)),
+        ));
+    }
+    // Aggregate-alias mimicry: arity preserved, node type swapped.
+    for alias in ["total", "cnt"] {
+        specs.push((
+            AttackClass::AggregateMimicry,
+            "aggregate-alias",
+            alias.to_string(),
+        ));
+    }
+    // Aggregate swap: a second aggregate call changes the node count, so
+    // even the structural step catches it (contrast with the alias rows).
+    specs.push((
+        AttackClass::AggregateMimicry,
+        "aggregate-swap",
+        "SUM(day)".to_string(),
+    ));
+    // Piggyback through the verbatim HAVING splice.
+    let n = rng.below(100);
+    specs.push((
+        AttackClass::Piggyback,
+        "piggyback",
+        format!("{n}; DELETE FROM readings"),
+    ));
+}
+
+/// Attack families for the IN-subquery template. The headline class is the
+/// UNION smuggled *inside* the parenthesized subselect: the outer
+/// statement keeps its learned shape, the exfiltration hides one level
+/// down — `SubselectBegin … UnionItem … SubselectEnd` on the item stack.
+fn subquery_specs(rng: &mut ConformanceRng, specs: &mut Vec<(AttackClass, &'static str, String)>) {
+    // Classic ASCII attempt that also closes the paren: neutralized by
+    // escaping (contrast row).
+    let w = rng.benign_word(1, 6);
+    specs.push((
+        AttackClass::ClassicSqli,
+        "tautology",
+        format!("{w}') {} ('a'='a", or_kw(rng)),
+    ));
+    // UNION inside the subquery: the homoglyph closes the string, the
+    // template's own `')` suffix closes the smuggled arm's final literal
+    // and the subselect, so the statement still parses.
+    for _ in 0..2 {
+        let w = rng.benign_word(1, 6);
+        let user = rng.benign_word(1, 6);
+        specs.push((
+            AttackClass::SubqueryUnion,
+            "union",
+            format!(
+                "{w}{} UNION SELECT password FROM users WHERE username = {}{user}",
+                homoglyph(rng),
+                homoglyph(rng)
+            ),
+        ));
+    }
+    // Homoglyph breakout that closes the subquery and appends a tautology
+    // to the outer WHERE, commenting out the template suffix.
+    for _ in 0..2 {
+        let w = rng.benign_word(1, 6);
+        let n = rng.range(1, 10);
+        specs.push((
+            AttackClass::HomoglyphFirstOrder,
+            "tautology",
+            format!(
+                "{w}{}) {} {n} = {n}{}",
+                homoglyph(rng),
+                or_kw(rng),
+                tail(rng)
+            ),
+        ));
+    }
+    // Piggyback after closing the subquery.
+    let w = rng.benign_word(1, 6);
+    specs.push((
+        AttackClass::Piggyback,
+        "piggyback",
+        format!("{w}{}); DROP TABLE devices{}", homoglyph(rng), tail(rng)),
+    ));
 }
 
 /// Select list used by UNION payloads so column counts line up with the
@@ -375,6 +662,7 @@ pub fn generate_cases(seed: u64) -> Vec<Case> {
             cases.push(Case {
                 id: format!("{}/benign-{i}", t.name),
                 template: t.name,
+                construct: t.construct,
                 class: None,
                 variant: "benign",
                 sql: t.build(&payload),
@@ -397,6 +685,7 @@ pub fn generate_cases(seed: u64) -> Vec<Case> {
             cases.push(Case {
                 id: format!("{}/{key}-{n}", t.name),
                 template: t.name,
+                construct: t.construct,
                 class: Some(class),
                 variant,
                 sql: t.build(&payload),
@@ -452,6 +741,8 @@ mod tests {
             "mimicry",
             "encoding",
             "stored-xss",
+            "aggregate-alias",
+            "aggregate-swap",
         ] {
             assert!(
                 cases.iter().any(|c| c.variant == variant),
@@ -464,6 +755,9 @@ mod tests {
             AttackClass::HomoglyphFirstOrder,
             AttackClass::SyntaxMimicry,
             AttackClass::Piggyback,
+            AttackClass::SubqueryUnion,
+            AttackClass::AggregateMimicry,
+            AttackClass::JoinPiggyback,
             AttackClass::StoredXss,
         ] {
             assert!(
@@ -471,6 +765,54 @@ mod tests {
                 "missing class {class}"
             );
         }
+    }
+
+    #[test]
+    fn every_construct_family_has_templates_and_attacks() {
+        let cases = generate_cases(5);
+        for construct in Construct::all() {
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.construct == construct && c.class.is_none()),
+                "missing benign case for construct {}",
+                construct.label()
+            );
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.construct == construct && c.class.is_some()),
+                "missing attack case for construct {}",
+                construct.label()
+            );
+        }
+    }
+
+    #[test]
+    fn construct_attack_cases_parse_after_decoding() {
+        // Every non-contrast attack on the new construct templates must
+        // survive charset folding as valid SQL — the attacks are designed
+        // to execute, not to crash the parser.
+        let cases = generate_cases(11);
+        for c in cases.iter().filter(|c| {
+            c.construct != Construct::Basic && c.class != Some(AttackClass::ClassicSqli)
+        }) {
+            septic_sql::decode_and_parse(&c.sql)
+                .unwrap_or_else(|e| panic!("{} must parse: {e}\n{}", c.id, c.sql));
+        }
+    }
+
+    #[test]
+    fn subquery_union_stays_inside_the_subselect() {
+        let cases = generate_cases(5);
+        let case = cases
+            .iter()
+            .find(|c| c.class == Some(AttackClass::SubqueryUnion))
+            .expect("subquery-union case");
+        let parsed = septic_sql::decode_and_parse(&case.sql).expect("parses");
+        let qs = septic_sql::items::lower_all(&parsed.statements);
+        let profile = qs.construct_profile();
+        assert!(profile.subquery && profile.union, "{:?}", profile);
     }
 
     #[test]

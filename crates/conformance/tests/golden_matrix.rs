@@ -7,8 +7,11 @@
 //! SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden
 //! ```
 
-use septic_conformance::differential::{build_matrix, canonical_json, Verdict, MATRIX_SEED};
-use septic_conformance::golden::{diff_report, golden_path, regen_requested};
+use septic_conformance::differential::{
+    build_matrix, canonical_json, DetectionMatrix, Verdict, MATRIX_SEED,
+};
+use septic_conformance::golden::{diff_report, golden_path, matrix_diff_report, regen_requested};
+use septic_conformance::grammar::Construct;
 
 #[test]
 fn matrix_generation_is_byte_deterministic() {
@@ -33,12 +36,60 @@ fn matrix_matches_golden() {
             path.display()
         )
     });
-    if let Some(diff) = diff_report(&expected, &actual, 20) {
+    if expected != actual {
+        // Prefer the semantic per-case report (construct family + drifted
+        // defense columns); fall back to the raw line diff only when the
+        // checked-in golden no longer parses as a matrix.
+        let diff = match serde_json::from_str::<DetectionMatrix>(&expected) {
+            Ok(golden) => {
+                let built = build_matrix(MATRIX_SEED);
+                matrix_diff_report(&golden, &built, 20)
+                    .or_else(|| diff_report(&expected, &actual, 20))
+            }
+            Err(_) => diff_report(&expected, &actual, 20),
+        }
+        .unwrap_or_else(|| "files differ only in canonical formatting\n".to_string());
         panic!(
             "detection matrix drifted from the golden file.\n{diff}\
              If the change is intentional, regenerate with \
              SEPTIC_CONFORMANCE_REGEN=1 cargo test -p septic-conformance golden \
              and commit the diff."
+        );
+    }
+}
+
+#[test]
+fn matrix_has_required_shape() {
+    let matrix = build_matrix(MATRIX_SEED);
+    assert!(
+        matrix.cases.len() >= 120,
+        "matrix must hold at least 120 cases, got {}",
+        matrix.cases.len()
+    );
+    assert_eq!(matrix.defenses.len(), 5, "five defense columns");
+    for construct in Construct::all() {
+        let label = construct.label();
+        assert!(
+            matrix.cases.iter().any(|c| c.construct == label),
+            "construct family {label} missing from the matrix"
+        );
+    }
+    // The grown grammar's headline families must be present, and each new
+    // construct must contribute at least one attack SEPTIC prevention
+    // blocks end-to-end.
+    for class in ["subquery-union", "aggregate-mimicry", "join-piggyback"] {
+        assert!(
+            matrix.cases.iter().any(|c| c.class == class),
+            "attack class {class} missing from the matrix"
+        );
+    }
+    for construct in ["join", "group-by", "subquery"] {
+        assert!(
+            matrix
+                .cases
+                .iter()
+                .any(|c| c.construct == construct && c.septic_prevention == "blocked"),
+            "no blocked attack for construct {construct}"
         );
     }
 }

@@ -8,10 +8,10 @@
 //! cell with each other and with the checked-in golden file.
 
 use septic_conformance::differential::{
-    build_matrix_vm, canonical_json, run_case_vm, Defense, MATRIX_SEED,
+    build_matrix_vm, canonical_json, execution_outcome, run_case_vm, Defense, MATRIX_SEED,
 };
 use septic_conformance::golden::{diff_report, golden_path};
-use septic_conformance::grammar::generate_cases;
+use septic_conformance::grammar::{generate_cases, templates, Construct};
 
 #[test]
 fn matrix_is_byte_identical_with_vm_on_and_off() {
@@ -54,5 +54,44 @@ fn every_case_verdict_agrees_between_vm_and_walker() {
                 defense.label()
             );
         }
+    }
+}
+
+#[test]
+fn every_case_execution_outcome_agrees_between_vm_and_walker() {
+    // Stronger than verdict agreement: the actual result sets (columns,
+    // rows, or the error) must match cell-for-cell with the VM on and
+    // off. The JOIN/GROUP BY/subquery templates route through the VM's
+    // negative cache to the interpreted walker, so this pins the fallback
+    // path to the same semantics.
+    let mut construct_cases = 0;
+    for case in generate_cases(MATRIX_SEED) {
+        let walker = execution_outcome(&case, false);
+        let vm = execution_outcome(&case, true);
+        assert_eq!(
+            walker, vm,
+            "case {}: walker and VM outcomes differ",
+            case.id
+        );
+        if case.construct != Construct::Basic {
+            construct_cases += 1;
+        }
+    }
+    assert!(
+        construct_cases > 0,
+        "the sweep must cover the JOIN/GROUP BY/subquery templates"
+    );
+    // And every new-construct template is individually represented.
+    for t in templates()
+        .iter()
+        .filter(|t| t.construct != Construct::Basic)
+    {
+        assert!(
+            generate_cases(MATRIX_SEED)
+                .iter()
+                .any(|c| c.template == t.name),
+            "template {} has no generated cases",
+            t.name
+        );
     }
 }

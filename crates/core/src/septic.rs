@@ -157,6 +157,14 @@ pub struct Counters {
     /// Events evicted from the bounded logger (mirror of
     /// [`Logger::dropped`]).
     pub log_drops: Arc<Counter>,
+    /// SQLI detections on queries whose stacks carry `JOIN_ITEM` nodes —
+    /// JOIN-clause piggybacking and friends. A query exercising several
+    /// construct families counts in each.
+    pub join_attacks: Arc<Counter>,
+    /// SQLI detections on queries with `GROUP_FIELD`/`HAVING_ITEM` nodes.
+    pub group_by_attacks: Arc<Counter>,
+    /// SQLI detections on queries with `SUBSELECT_BEGIN` brackets.
+    pub subquery_attacks: Arc<Counter>,
 }
 
 impl Counters {
@@ -174,6 +182,9 @@ impl Counters {
             fail_open_passes: registry.counter("septic_fail_open_passes_total"),
             store_recoveries: registry.counter("septic_store_recoveries_total"),
             log_drops: registry.counter("septic_log_drops_total"),
+            join_attacks: registry.counter("septic_join_attacks_total"),
+            group_by_attacks: registry.counter("septic_group_by_attacks_total"),
+            subquery_attacks: registry.counter("septic_subquery_attacks_total"),
         }
     }
 }
@@ -229,6 +240,9 @@ pub struct CounterSnapshot {
     pub fail_open_passes: u64,
     pub store_recoveries: u64,
     pub log_drops: u64,
+    pub join_attacks: u64,
+    pub group_by_attacks: u64,
+    pub subquery_attacks: u64,
 }
 
 /// The SEPTIC mechanism. Install on a [`septic_dbms::Server`] with
@@ -430,6 +444,9 @@ impl Septic {
             fail_open_passes: self.counters.fail_open_passes.get(),
             store_recoveries: self.counters.store_recoveries.get(),
             log_drops: self.counters.log_drops.get(),
+            join_attacks: self.counters.join_attacks.get(),
+            group_by_attacks: self.counters.group_by_attacks.get(),
+            subquery_attacks: self.counters.subquery_attacks.get(),
         }
     }
 
@@ -536,6 +553,10 @@ impl Septic {
             counters.attacks_detected
         ));
         out.push_str(&format!(
+            "  by construct    : join={} group_by={} subquery={}\n",
+            counters.join_attacks, counters.group_by_attacks, counters.subquery_attacks
+        ));
+        out.push_str(&format!(
             "  queries dropped : {}\n",
             counters.queries_dropped
         ));
@@ -626,6 +647,19 @@ impl Septic {
             if let SqliOutcome::Attack(kind) = outcome {
                 Self::bump(&self.counters.sqli_detected);
                 Self::bump(&self.counters.attacks_detected);
+                // Attribute the detection to the construct families the
+                // offending stack exercises, so the observability layer can
+                // say which part of the SQL surface is under attack.
+                let profile = qs.construct_profile();
+                if profile.join {
+                    Self::bump(&self.counters.join_attacks);
+                }
+                if profile.group_by {
+                    Self::bump(&self.counters.group_by_attacks);
+                }
+                if profile.subquery {
+                    Self::bump(&self.counters.subquery_attacks);
+                }
                 self.log_event_with(|| EventKind::SqliDetected {
                     id: id.clone(),
                     kind: kind.clone(),
@@ -905,6 +939,56 @@ mod tests {
         assert!(res.is_ok(), "detection mode must not drop");
         assert_eq!(septic.counters().sqli_detected, 1);
         assert_eq!(septic.counters().queries_dropped, 0);
+    }
+
+    #[test]
+    fn construct_counters_attribute_detections() {
+        let (_s, conn, septic) = deployed();
+        conn.execute("CREATE TABLE devices (name VARCHAR(16), owner VARCHAR(32))")
+            .unwrap();
+        conn.execute("INSERT INTO devices (name, owner) VALUES ('dev-1', 'ann')")
+            .unwrap();
+        septic.set_mode(Mode::Training);
+        conn.execute(
+            "SELECT t.reservID, d.owner FROM tickets t JOIN devices d \
+             ON t.reservID = d.name WHERE d.owner = 'ann'",
+        )
+        .unwrap();
+        conn.execute(
+            "SELECT reservID, COUNT(*) FROM tickets GROUP BY reservID HAVING COUNT(*) > 1",
+        )
+        .unwrap();
+        conn.execute(
+            "SELECT reservID FROM tickets WHERE reservID IN \
+             (SELECT name FROM devices WHERE owner = 'ann')",
+        )
+        .unwrap();
+        septic.set_mode(Mode::DETECTION);
+        conn.execute(
+            "SELECT t.reservID, d.owner FROM tickets t JOIN devices d \
+             ON t.reservID = d.name WHERE d.owner = '' OR 1=1-- '",
+        )
+        .unwrap();
+        conn.execute(
+            "SELECT reservID, COUNT(*) FROM tickets GROUP BY reservID \
+             HAVING COUNT(*) > 1 OR 2 = 2",
+        )
+        .unwrap();
+        conn.execute(
+            "SELECT reservID FROM tickets WHERE reservID IN \
+             (SELECT name FROM devices WHERE owner = '') OR 1=1-- '",
+        )
+        .unwrap();
+        let snap = septic.counters();
+        assert_eq!(snap.sqli_detected, 3);
+        assert_eq!(snap.join_attacks, 1);
+        assert_eq!(snap.group_by_attacks, 1);
+        assert_eq!(snap.subquery_attacks, 1);
+        let report = septic.status_report();
+        assert!(
+            report.contains("by construct    : join=1 group_by=1 subquery=1"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use septic_vm::Vm;
 use crate::catalog::TableSchema;
 use crate::error::DbError;
 use crate::expr::{call_scalar, is_aggregate, SideEffects};
+use crate::plan::SelectPlan;
 use crate::storage::{Database, Row};
 use crate::value::Value;
 use crate::vmexec::{self, ProgramCache};
@@ -156,22 +157,8 @@ pub fn where_program(
     let Statement::Select(s) = stmt else {
         return None;
     };
-    let mut layout: Vec<Binding> = Vec::new();
-    for t in &s.from {
-        let store = db.table_or_virtual(&t.name).ok()?;
-        layout.push(Binding {
-            name: t.binding_name().to_string(),
-            schema: store.schema.clone(),
-        });
-    }
-    for j in &s.joins {
-        let store = db.table_or_virtual(&j.table.name).ok()?;
-        layout.push(Binding {
-            name: j.table.binding_name().to_string(),
-            schema: store.schema.clone(),
-        });
-    }
-    cache.program_for(s.where_clause.as_ref()?, &layout)
+    let plan = SelectPlan::build(db, s).ok()?;
+    cache.program_for(plan.filter?, &plan.layout)
 }
 
 /// Statement-level validation: every referenced table must exist (this is
@@ -659,34 +646,6 @@ fn eval_aggregate(
 // SELECT
 // ---------------------------------------------------------------------------
 
-fn expr_has_aggregate(expr: &Expr) -> bool {
-    match expr {
-        Expr::Function { name, args } => is_aggregate(name) || args.iter().any(expr_has_aggregate),
-        Expr::Unary { operand, .. } => expr_has_aggregate(operand),
-        Expr::Binary { left, right, .. } => expr_has_aggregate(left) || expr_has_aggregate(right),
-        Expr::IsNull { expr, .. } => expr_has_aggregate(expr),
-        Expr::InList { expr, list, .. } => {
-            expr_has_aggregate(expr) || list.iter().any(expr_has_aggregate)
-        }
-        Expr::InSelect { expr, .. } => expr_has_aggregate(expr),
-        Expr::Between {
-            expr, low, high, ..
-        } => expr_has_aggregate(expr) || expr_has_aggregate(low) || expr_has_aggregate(high),
-        Expr::Case {
-            operand,
-            branches,
-            else_branch,
-        } => {
-            operand.as_deref().is_some_and(expr_has_aggregate)
-                || branches
-                    .iter()
-                    .any(|(w, t)| expr_has_aggregate(w) || expr_has_aggregate(t))
-                || else_branch.as_deref().is_some_and(expr_has_aggregate)
-        }
-        _ => false,
-    }
-}
-
 fn run_select(
     db: &Database,
     select: &Select,
@@ -722,7 +681,8 @@ fn row_key(row: &Row) -> String {
     k
 }
 
-#[allow(clippy::too_many_lines)]
+/// Plans one SELECT arm and interprets the resulting stage pipeline.
+/// Each stage maps onto one plan node family (see [`crate::plan`]).
 fn run_select_arm(
     db: &Database,
     select: &Select,
@@ -735,17 +695,20 @@ fn run_select_arm(
     // a correlated subquery resolves columns through the outer scope,
     // which the compiler does not model.
     let cache = if outer.is_none() { cache } else { None };
-    // 1. layout + cartesian product of FROM tables
-    let mut layout: Vec<Binding> = Vec::new();
-    for t in &select.from {
-        let store = db.table_or_virtual(&t.name)?;
-        layout.push(Binding {
-            name: t.binding_name().to_string(),
-            schema: store.schema.clone(),
-        });
-    }
+    let plan = SelectPlan::build(db, select)?;
+    let rows = scan_stage(db, &plan)?;
+    let rows = join_stage(db, &plan, rows, outer, now, fx)?;
+    let rows = filter_stage(db, &plan, rows, outer, cache, now, fx)?;
+    let result = emit_stage(db, &plan, rows, outer, cache, now, fx)?;
+    let result = limit_stage(&plan, result);
+    Ok((plan.project.columns.clone(), result))
+}
+
+/// Scan: cartesian product of the FROM tables. With no FROM there is a
+/// single empty composite row (`SELECT 1`).
+fn scan_stage(db: &Database, plan: &SelectPlan<'_>) -> Result<Vec<CRow>, DbError> {
     let mut rows: Vec<CRow> = vec![CRow { cells: Vec::new() }];
-    for t in &select.from {
+    for t in &plan.scan {
         let store = db.table_or_virtual(&t.name)?;
         let mut next = Vec::new();
         for base in &rows {
@@ -757,19 +720,23 @@ fn run_select_arm(
         }
         rows = next;
     }
-    if select.from.is_empty() {
-        // `SELECT 1` — a single empty composite row.
-        rows = vec![CRow { cells: Vec::new() }];
-    }
+    Ok(rows)
+}
 
-    // 2. joins
-    for join in &select.joins {
+/// Nested-loop joins, in plan order. Only the layout prefix up to the
+/// joined binding is visible to the ON predicate — later joins have not
+/// produced cells yet. LEFT joins null-pad probe rows with no match.
+fn join_stage(
+    db: &Database,
+    plan: &SelectPlan<'_>,
+    mut rows: Vec<CRow>,
+    outer: Option<&EvalCtx<'_>>,
+    now: i64,
+    fx: &mut SideEffects,
+) -> Result<Vec<CRow>, DbError> {
+    for join in &plan.joins {
         let store = db.table_or_virtual(&join.table.name)?;
-        layout.push(Binding {
-            name: join.table.binding_name().to_string(),
-            schema: store.schema.clone(),
-        });
-        let joined_idx = layout.len() - 1;
+        let visible = &plan.layout[..=join.binding];
         let mut next = Vec::new();
         for base in &rows {
             let mut matched = false;
@@ -777,12 +744,12 @@ fn run_select_arm(
                 let mut cells = base.cells.clone();
                 cells.push(row.clone());
                 let candidate = CRow { cells };
-                let keep = match &join.on {
+                let keep = match join.on {
                     None => true,
                     Some(on) => {
                         let ctx = EvalCtx {
                             db,
-                            layout: &layout,
+                            layout: visible,
                             row: &candidate,
                             group: None,
                             outer,
@@ -798,94 +765,96 @@ fn run_select_arm(
             }
             if !matched && join.kind == JoinKind::Left {
                 let mut cells = base.cells.clone();
-                cells.push(vec![Value::Null; layout[joined_idx].schema.columns.len()]);
+                cells.push(vec![
+                    Value::Null;
+                    plan.layout[join.binding].schema.columns.len()
+                ]);
                 next.push(CRow { cells });
             }
         }
         rows = next;
     }
+    Ok(rows)
+}
 
-    // 3. WHERE — the per-row hot loop. With a program cache the filter
-    // runs as a compiled program on a reusable VM stack; otherwise (or
-    // for walker-only shapes) the recursive evaluator runs as before.
-    if let Some(where_clause) = &select.where_clause {
-        let compiled = cache.and_then(|c| c.program_for(where_clause, &layout));
-        let mut kept = Vec::new();
-        if let Some(program) = compiled {
-            let mut slots = Vec::new();
-            vmexec::collect_literals(where_clause, &mut slots);
-            debug_assert_eq!(slots.len(), program.slots() as usize);
-            let mut vm = Vm::new();
-            for row in rows {
-                let mut host = vmexec::ExprHost {
-                    slots: &slots,
-                    row: &row,
-                    now,
-                    fx,
-                };
-                if vm.run(&program, &mut host)?.is_truthy() {
-                    kept.push(row);
-                }
-            }
-        } else {
-            for row in rows {
-                let ctx = EvalCtx {
-                    db,
-                    layout: &layout,
-                    row: &row,
-                    group: None,
-                    outer,
-                    now,
-                };
-                if eval(where_clause, &ctx, fx)?.is_truthy() {
-                    kept.push(row);
-                }
+/// Filter: the WHERE per-row hot loop. With a program cache the predicate
+/// runs as a compiled program on a reusable VM stack; otherwise (or for
+/// walker-only shapes in the negative cache) the recursive evaluator runs
+/// as before.
+fn filter_stage(
+    db: &Database,
+    plan: &SelectPlan<'_>,
+    rows: Vec<CRow>,
+    outer: Option<&EvalCtx<'_>>,
+    cache: Option<&ProgramCache>,
+    now: i64,
+    fx: &mut SideEffects,
+) -> Result<Vec<CRow>, DbError> {
+    let Some(where_clause) = plan.filter else {
+        return Ok(rows);
+    };
+    let compiled = cache.and_then(|c| c.program_for(where_clause, &plan.layout));
+    let mut kept = Vec::new();
+    if let Some(program) = compiled {
+        let mut slots = Vec::new();
+        vmexec::collect_literals(where_clause, &mut slots);
+        debug_assert_eq!(slots.len(), program.slots() as usize);
+        let mut vm = Vm::new();
+        for row in rows {
+            let mut host = vmexec::ExprHost {
+                slots: &slots,
+                row: &row,
+                now,
+                fx,
+            };
+            if vm.run(&program, &mut host)?.is_truthy() {
+                kept.push(row);
             }
         }
-        rows = kept;
-    }
-
-    // 4. aggregation decision
-    let has_agg = select.items.iter().any(|i| match i {
-        SelectItem::Expr { expr, .. } => expr_has_aggregate(expr),
-        _ => false,
-    }) || select.having.as_ref().is_some_and(expr_has_aggregate);
-    let grouped = has_agg || !select.group_by.is_empty();
-
-    // 5. projection labels
-    let mut columns: Vec<String> = Vec::new();
-    for item in &select.items {
-        match item {
-            SelectItem::Wildcard => {
-                for b in &layout {
-                    for c in &b.schema.columns {
-                        columns.push(c.name.clone());
-                    }
-                }
-            }
-            SelectItem::QualifiedWildcard(t) => {
-                let b = layout
-                    .iter()
-                    .find(|b| b.name.eq_ignore_ascii_case(t))
-                    .ok_or_else(|| DbError::UnknownTable(t.clone()))?;
-                for c in &b.schema.columns {
-                    columns.push(c.name.clone());
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+    } else {
+        for row in rows {
+            let ctx = EvalCtx {
+                db,
+                layout: &plan.layout,
+                row: &row,
+                group: None,
+                outer,
+                now,
+            };
+            if eval(where_clause, &ctx, fx)?.is_truthy() {
+                kept.push(row);
             }
         }
     }
+    Ok(kept)
+}
+
+/// Aggregate + Project + Sort + Distinct: turns filtered composite rows
+/// into output rows. Grouping (when the plan has an aggregate stage)
+/// partitions by the GROUP BY key vector — or one synthetic all-rows
+/// group — applies HAVING per group, then projects one row per group.
+#[allow(clippy::too_many_lines)]
+fn emit_stage(
+    db: &Database,
+    plan: &SelectPlan<'_>,
+    rows: Vec<CRow>,
+    outer: Option<&EvalCtx<'_>>,
+    cache: Option<&ProgramCache>,
+    now: i64,
+    fx: &mut SideEffects,
+) -> Result<Vec<Row>, DbError> {
+    let layout = &plan.layout;
+    let columns = &plan.project.columns;
 
     // Compile non-aggregate projection expressions once for the whole
     // result set; items that stay on the walker keep `None`.
-    let item_programs: Vec<Option<(Arc<septic_vm::Program>, Vec<Value>)>> = select
+    let item_programs: Vec<Option<(Arc<septic_vm::Program>, Vec<Value>)>> = plan
+        .project
         .items
         .iter()
         .map(|item| match (cache, item) {
             (Some(c), SelectItem::Expr { expr, .. }) => {
-                c.program_for(expr, &layout).map(|program| {
+                c.program_for(expr, layout).map(|program| {
                     let mut slots = Vec::new();
                     vmexec::collect_literals(expr, &mut slots);
                     debug_assert_eq!(slots.len(), program.slots() as usize);
@@ -901,14 +870,14 @@ fn run_select_arm(
         |row: &CRow, group: Option<&[CRow]>, fx: &mut SideEffects| -> Result<Row, DbError> {
             let ctx = EvalCtx {
                 db,
-                layout: &layout,
+                layout,
                 row,
                 group,
                 outer,
                 now,
             };
             let mut out = Vec::with_capacity(columns.len());
-            for (ii, item) in select.items.iter().enumerate() {
+            for (ii, item) in plan.project.items.iter().enumerate() {
                 match item {
                     SelectItem::Wildcard => {
                         for (bi, _) in layout.iter().enumerate() {
@@ -940,10 +909,10 @@ fn run_select_arm(
         };
 
     let mut result: Vec<Row>;
-    if grouped {
+    if let Some(agg) = &plan.aggregate {
         // group rows
         let mut groups: Vec<(CRow, Vec<CRow>)> = Vec::new();
-        if select.group_by.is_empty() {
+        if agg.group_by.is_empty() {
             let rep = rows.first().cloned().unwrap_or(CRow {
                 cells: layout
                     .iter()
@@ -956,14 +925,14 @@ fn run_select_arm(
             for row in rows {
                 let ctx = EvalCtx {
                     db,
-                    layout: &layout,
+                    layout,
                     row: &row,
                     group: None,
                     outer,
                     now,
                 };
                 let mut key = String::new();
-                for g in &select.group_by {
+                for g in agg.group_by {
                     key.push_str(&format!("{:?}", eval(g, &ctx, fx)?));
                     key.push('\u{1f}');
                 }
@@ -981,10 +950,10 @@ fn run_select_arm(
         result = Vec::new();
         let mut order_keys: Vec<Vec<Value>> = Vec::new();
         for (rep, members) in &groups {
-            if let Some(h) = &select.having {
+            if let Some(h) = agg.having {
                 let ctx = EvalCtx {
                     db,
-                    layout: &layout,
+                    layout,
                     row: rep,
                     group: Some(members),
                     outer,
@@ -995,33 +964,33 @@ fn run_select_arm(
                 }
             }
             result.push(project(rep, Some(members), fx)?);
-            if !select.order_by.is_empty() {
+            if !plan.order_by.is_empty() {
                 let ctx = EvalCtx {
                     db,
-                    layout: &layout,
+                    layout,
                     row: rep,
                     group: Some(members),
                     outer,
                     now,
                 };
                 let mut keys = Vec::new();
-                for o in &select.order_by {
+                for o in plan.order_by {
                     keys.push(order_key(&o.expr, &ctx, &result[result.len() - 1], fx)?);
                 }
                 order_keys.push(keys);
             }
         }
-        if !select.order_by.is_empty() {
-            result = sort_rows(result, order_keys, &select.order_by);
+        if !plan.order_by.is_empty() {
+            result = sort_rows(result, order_keys, plan.order_by);
         }
     } else {
         // ORDER BY over raw rows, then project
-        if !select.order_by.is_empty() {
+        if !plan.order_by.is_empty() {
             let mut keyed: Vec<(Vec<Value>, CRow)> = Vec::with_capacity(rows.len());
             for row in rows {
                 let ctx = EvalCtx {
                     db,
-                    layout: &layout,
+                    layout,
                     row: &row,
                     group: None,
                     outer,
@@ -1029,13 +998,12 @@ fn run_select_arm(
                 };
                 let projected = project(&row, None, fx)?;
                 let mut keys = Vec::new();
-                for o in &select.order_by {
+                for o in plan.order_by {
                     keys.push(order_key(&o.expr, &ctx, &projected, fx)?);
                 }
                 keyed.push((keys, row));
             }
-            let order = &select.order_by;
-            keyed.sort_by(|a, b| compare_key_vecs(&a.0, &b.0, order));
+            keyed.sort_by(|a, b| compare_key_vecs(&a.0, &b.0, plan.order_by));
             result = Vec::with_capacity(keyed.len());
             for (_, row) in keyed {
                 result.push(project(&row, None, fx)?);
@@ -1046,20 +1014,22 @@ fn run_select_arm(
                 result.push(project(row, None, fx)?);
             }
         }
-        if select.distinct {
+        if plan.distinct {
             let mut seen = std::collections::HashSet::new();
             result.retain(|r| seen.insert(row_key(r)));
         }
     }
+    Ok(result)
+}
 
-    // 6. LIMIT/OFFSET
-    if let Some(limit) = &select.limit {
-        let start = (limit.offset as usize).min(result.len());
-        let end = start.saturating_add(limit.count as usize).min(result.len());
-        result = result[start..end].to_vec();
-    }
-
-    Ok((columns, result))
+/// LIMIT/OFFSET over the emitted rows.
+fn limit_stage(plan: &SelectPlan<'_>, result: Vec<Row>) -> Vec<Row> {
+    let Some(limit) = plan.limit else {
+        return result;
+    };
+    let start = (limit.offset as usize).min(result.len());
+    let end = start.saturating_add(limit.count as usize).min(result.len());
+    result[start..end].to_vec()
 }
 
 /// ORDER BY key: positional `ORDER BY 2` picks the projected column (the

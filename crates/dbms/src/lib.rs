@@ -29,6 +29,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod guard;
+pub mod plan;
 pub mod server;
 pub mod storage;
 pub mod value;
@@ -37,6 +38,7 @@ pub mod vmexec;
 pub use error::DbError;
 pub use exec::{execute_read, execute_read_with, execute_with, is_read_only, QueryOutput};
 pub use guard::{AllowAll, FailurePolicy, GuardDecision, QueryContext, QueryGuard, SharedGuard};
+pub use plan::explain;
 pub use server::{
     Connection, ExecResult, GeneralLogEntry, Server, ServerConfig, ServerStatsSnapshot,
     SessionSnapshot,

@@ -70,6 +70,60 @@ fn different_shapes_get_different_programs() {
 }
 
 #[test]
+fn aggregate_and_subquery_shapes_fall_back_without_evicting_compiled_shapes() {
+    let server = setup();
+    server.set_expr_vm(true);
+    let conn = server.connect();
+
+    // Compile a simple shape first (WHERE program + `a` projection item).
+    conn.query("SELECT a FROM t WHERE a = 'x'").expect("simple");
+    let simple = server
+        .vm_program_for("SELECT a FROM t WHERE a = 'x'")
+        .expect("simple shape compiles");
+    let compiles = server.vm_cache().compile_count();
+    let entries = server.vm_cache().len();
+
+    // Aggregate and subquery shapes are VM-incompatible by design: they
+    // must land in the negative cache (remembered as fallback entries)
+    // without producing new compiles.
+    conn.query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 0")
+        .expect("aggregate query");
+    conn.query("SELECT a FROM t WHERE a IN (SELECT a FROM t WHERE b > 1)")
+        .expect("subquery query");
+    assert_eq!(
+        server.vm_cache().compile_count(),
+        compiles,
+        "aggregate/subquery shapes must not compile"
+    );
+    let entries_after = server.vm_cache().len();
+    assert!(
+        entries_after > entries,
+        "fallback shapes must be remembered in the negative cache"
+    );
+
+    // Re-running the fallback shapes is a cache hit, not a re-insert.
+    conn.query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 0")
+        .expect("aggregate again");
+    conn.query("SELECT a FROM t WHERE a IN (SELECT a FROM t WHERE b > 2)")
+        .expect("subquery again");
+    assert_eq!(
+        server.vm_cache().len(),
+        entries_after,
+        "negative entries are cached, not duplicated"
+    );
+    assert_eq!(server.vm_cache().compile_count(), compiles);
+
+    // The compiled simple shape survived the fallback traffic.
+    let again = server
+        .vm_program_for("SELECT a FROM t WHERE a = 'still-cached'")
+        .expect("still compiled");
+    assert!(
+        Arc::ptr_eq(&simple, &again),
+        "negative caching must not evict compiled simple shapes"
+    );
+}
+
+#[test]
 fn vm_and_walker_agree_on_results() {
     // Same data, same queries, expression VM on vs off: identical rows.
     let queries = [

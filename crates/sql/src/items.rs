@@ -231,6 +231,38 @@ impl ItemStack {
             _ => None,
         })
     }
+
+    /// Which construct families the stack exercises — the node families a
+    /// trained model distinguishes. The detector's observability layer uses
+    /// this to attribute verdicts to the SQL surface that produced them.
+    #[must_use]
+    pub fn construct_profile(&self) -> ConstructProfile {
+        let mut p = ConstructProfile::default();
+        for item in &self.items {
+            match item.tag {
+                ItemTag::JoinItem => p.join = true,
+                ItemTag::GroupField | ItemTag::HavingItem => p.group_by = true,
+                ItemTag::SubselectBegin => p.subquery = true,
+                ItemTag::UnionItem => p.union = true,
+                _ => {}
+            }
+        }
+        p
+    }
+}
+
+/// Structural construct families present in a lowered stack (see
+/// [`ItemStack::construct_profile`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstructProfile {
+    /// `JOIN_ITEM` nodes — explicit JOIN clauses.
+    pub join: bool,
+    /// `GROUP_FIELD`/`HAVING_ITEM` nodes — grouping and group filters.
+    pub group_by: bool,
+    /// `SUBSELECT_BEGIN` brackets — scalar/IN/EXISTS subqueries.
+    pub subquery: bool,
+    /// `UNION_ITEM` nodes — UNION chains (top level or inside a subquery).
+    pub union: bool,
 }
 
 impl fmt::Display for ItemStack {
@@ -730,6 +762,27 @@ mod tests {
         let tags: Vec<_> = s.items().iter().map(|i| i.tag).collect();
         assert!(tags.contains(&ItemTag::SubselectBegin));
         assert!(tags.contains(&ItemTag::SubselectEnd));
+    }
+
+    #[test]
+    fn construct_profile_flags_families() {
+        let p = stack_of("SELECT * FROM t WHERE x = 1").construct_profile();
+        assert_eq!(p, ConstructProfile::default());
+
+        let p = stack_of("SELECT a FROM t JOIN u ON t.id = u.tid").construct_profile();
+        assert!(p.join && !p.group_by && !p.subquery && !p.union);
+
+        let p = stack_of("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1")
+            .construct_profile();
+        assert!(p.group_by && !p.join);
+
+        let p = stack_of("SELECT a FROM t WHERE a IN (SELECT b FROM u)").construct_profile();
+        assert!(p.subquery);
+
+        // UNION smuggled inside a subquery flags both families.
+        let p = stack_of("SELECT a FROM t WHERE a IN (SELECT b FROM u UNION SELECT c FROM v)")
+            .construct_profile();
+        assert!(p.subquery && p.union);
     }
 
     #[test]

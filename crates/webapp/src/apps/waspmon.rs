@@ -235,6 +235,58 @@ impl WebApp for WaspMon {
                 }
             }
 
+            // -- reports (joined/grouped/subquery surfaces) ----------------
+            (Method::Get, "/owners") => {
+                // Legacy JOIN report: who owns which meter. The owner name
+                // is escaped-and-quoted — and still homoglyph-vulnerable.
+                let owner = esc(req.param_or_empty("owner"));
+                let sql = format!(
+                    "/* qid:owners */ SELECT d.name, u.username FROM devices d \
+                     JOIN users u ON d.owner = u.id WHERE u.username = '{owner}'"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Owners",
+                        &html_table(&["device", "owner"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/report") => {
+                // Aggregated usage report: GROUP BY device with a HAVING
+                // threshold. `min` is escaped but spliced into numeric
+                // context — the careful-but-wrong pattern again.
+                let min = esc(req.param_or_empty("min"));
+                let min = if min.is_empty() { "0".to_string() } else { min };
+                let sql = format!(
+                    "/* qid:report */ SELECT d.name, COUNT(*) AS cnt, SUM(r.watts) AS total \
+                     FROM readings r JOIN devices d ON r.device_id = d.id \
+                     GROUP BY d.name HAVING SUM(r.watts) > {min}"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Usage report",
+                        &html_table(&["device", "cnt", "total"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+            (Method::Get, "/audit") => {
+                // Devices annotated by a given author, via an IN-subquery.
+                let author = esc(req.param_or_empty("author"));
+                let sql = format!(
+                    "/* qid:audit */ SELECT name FROM devices WHERE id IN \
+                     (SELECT device_id FROM notes WHERE author = '{author}')"
+                );
+                match conn.query(&sql) {
+                    Ok(out) => HttpResponse::ok(page(
+                        "Audit",
+                        &html_table(&["device"], &rows_to_strings(&out.rows)),
+                    )),
+                    Err(e) => db_error_response(&e),
+                }
+            }
+
             // -- notes (stored-injection surface) --------------------------
             (Method::Get, "/notes") => {
                 let device_id = intval(req.param_or_empty("device_id"));
@@ -393,6 +445,24 @@ impl WebApp for WaspMon {
             },
             RouteSpec {
                 method: Method::Get,
+                path: "/owners",
+                params: &[("owner", "alice")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/report",
+                params: &[("min", "100")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
+                path: "/audit",
+                params: &[("author", "alice")],
+                is_static: false,
+            },
+            RouteSpec {
+                method: Method::Get,
                 path: "/notes",
                 params: &[("device_id", "1")],
                 is_static: false,
@@ -450,6 +520,9 @@ impl WebApp for WaspMon {
                 .param("device", "Kitchen Meter")
                 .param("days", "0"),
             HttpRequest::get("/export").param("device_id", "1"),
+            HttpRequest::get("/owners").param("owner", "alice"),
+            HttpRequest::get("/report").param("min", "100"),
+            HttpRequest::get("/audit").param("author", "alice"),
             HttpRequest::get("/notes").param("device_id", "1"),
             HttpRequest::get("/search").param("q", "Meter"),
             HttpRequest::get("/static/logo.png"),
@@ -467,6 +540,7 @@ fn rows_to_strings(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
 mod tests {
     use super::*;
     use crate::deployment::Deployment;
+    use septic::{Mode, Septic};
     use std::sync::Arc;
 
     fn deploy() -> Deployment {
@@ -588,6 +662,117 @@ mod tests {
             resp.response.body.contains(ADMIN_PASSWORD),
             "{}",
             resp.response.body
+        );
+    }
+
+    #[test]
+    fn owners_join_route_works_and_leaks_under_homoglyph_union() {
+        let d = deploy();
+        let benign = d.request(&HttpRequest::get("/owners").param("owner", "alice"));
+        assert!(benign.response.is_success());
+        assert!(
+            benign.response.body.contains("Kitchen Meter"),
+            "{}",
+            benign.response.body
+        );
+        // Homoglyph breakout + UNION matched to the joined 2-column list.
+        let attack = d.request(&HttpRequest::get("/owners").param(
+            "owner",
+            "zz\u{02BC} UNION SELECT username, password FROM users-- ",
+        ));
+        assert!(
+            attack.response.body.contains(ADMIN_PASSWORD),
+            "{}",
+            attack.response.body
+        );
+    }
+
+    #[test]
+    fn report_groups_usage_and_tautology_bypasses_threshold() {
+        let d = deploy();
+        // Only the garage meter (1615.5 W total) clears the threshold.
+        let benign = d.request(&HttpRequest::get("/report").param("min", "1000"));
+        assert!(benign.response.is_success());
+        assert!(benign.response.body.contains("Garage Meter"));
+        assert!(!benign.response.body.contains("Kitchen Meter"));
+        // HAVING tautology: escaping the unquoted numeric slot is useless.
+        let attack = d.request(&HttpRequest::get("/report").param("min", "1000 OR 1=1"));
+        assert!(
+            attack.response.body.contains("Kitchen Meter"),
+            "{}",
+            attack.response.body
+        );
+    }
+
+    #[test]
+    fn audit_subquery_route_works_and_leaks_after_paren_breakout() {
+        let d = deploy();
+        let benign = d.request(&HttpRequest::get("/audit").param("author", "alice"));
+        assert!(benign.response.is_success());
+        assert!(
+            benign.response.body.contains("Kitchen Meter"),
+            "{}",
+            benign.response.body
+        );
+        // Close the IN-subquery with the homoglyph breakout and smuggle a
+        // UNION onto the single-column outer select.
+        let attack = d.request(
+            &HttpRequest::get("/audit")
+                .param("author", "zz\u{02BC}) UNION SELECT password FROM users-- "),
+        );
+        assert!(
+            attack.response.body.contains(ADMIN_PASSWORD),
+            "{}",
+            attack.response.body
+        );
+    }
+
+    #[test]
+    fn septic_blocks_construct_route_attacks_after_training() {
+        // End-to-end: train SEPTIC on the benign workload, then fire one
+        // attack per construct route — every one must be dropped.
+        let septic = Arc::new(Septic::new());
+        let d =
+            Deployment::new(Arc::new(WaspMon::new()), None, Some(septic.clone())).expect("install");
+        septic.set_mode(Mode::Training);
+        for req in WaspMon::new().workload() {
+            let resp = d.request(&req);
+            assert!(resp.response.is_success(), "training {req}");
+        }
+        septic.set_mode(Mode::PREVENTION);
+        let attacks = [
+            HttpRequest::get("/owners").param(
+                "owner",
+                "zz\u{02BC} UNION SELECT username, password FROM users-- ",
+            ),
+            HttpRequest::get("/report").param("min", "1000 OR 1=1"),
+            HttpRequest::get("/audit")
+                .param("author", "zz\u{02BC}) UNION SELECT password FROM users-- "),
+        ];
+        for attack in attacks {
+            let resp = d.request(&attack);
+            assert!(
+                !resp.response.body.contains(ADMIN_PASSWORD) && !resp.response.is_success(),
+                "{attack}: {} {}",
+                resp.response.status,
+                resp.response.body
+            );
+        }
+        let snap = septic.counters();
+        assert!(
+            snap.join_attacks >= 1,
+            "join counter: {}",
+            snap.join_attacks
+        );
+        assert!(
+            snap.group_by_attacks >= 1,
+            "group-by counter: {}",
+            snap.group_by_attacks
+        );
+        assert!(
+            snap.subquery_attacks >= 1,
+            "subquery counter: {}",
+            snap.subquery_attacks
         );
     }
 

@@ -105,6 +105,61 @@ fn show_septic_metrics_emits_parseable_prometheus_text() {
 }
 
 #[test]
+fn show_septic_metrics_exposes_per_construct_detection_counters() {
+    // A blocked attack on a trained JOIN query must show up in the
+    // construct-attribution counters, over the same admin surface the
+    // aggregate counters use.
+    let server = Server::new();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), note VARCHAR(64))")
+        .expect("create tickets");
+    conn.execute("CREATE TABLE owners (name VARCHAR(16), region VARCHAR(64))")
+        .expect("create owners");
+    let septic = Arc::new(Septic::new());
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    conn.execute(
+        "SELECT t.note, o.region FROM tickets t JOIN owners o \
+         ON t.reservID = o.name WHERE o.region = 'east'",
+    )
+    .expect("training join");
+    septic.set_mode(Mode::PREVENTION);
+    conn.execute(
+        "SELECT t.note, o.region FROM tickets t JOIN owners o \
+         ON t.reservID = o.name WHERE o.region = 'east' OR 1=1-- '",
+    )
+    .expect_err("join attack must be blocked");
+
+    let out = conn
+        .query("SHOW SEPTIC METRICS")
+        .expect("metrics statement");
+    let text: String = out
+        .rows
+        .iter()
+        .filter_map(|row| match row.as_slice() {
+            [Value::Str(line)] => Some(format!("{line}\n")),
+            _ => None,
+        })
+        .collect();
+    let series = parse_prometheus(&text).expect("valid export");
+    assert_eq!(series.get("septic_join_attacks_total").copied(), Some(1.0));
+    assert_eq!(
+        series.get("septic_group_by_attacks_total").copied(),
+        Some(0.0)
+    );
+    assert_eq!(
+        series.get("septic_subquery_attacks_total").copied(),
+        Some(0.0)
+    );
+    // And the status report prints the same attribution line.
+    let status = conn.query("SHOW SEPTIC STATUS").expect("status");
+    assert_eq!(
+        status_value(&status.rows, "septic_join_attacks_total").as_deref(),
+        Some("1")
+    );
+}
+
+#[test]
 fn deadline_exceeded_event_names_the_stage_that_blew_the_budget() {
     let server = Server::new();
     let conn = server.connect();

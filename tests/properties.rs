@@ -144,6 +144,32 @@ proptest! {
         prop_assert_eq!(printed.clone(), second.statements[0].to_string());
     }
 
+    /// Round-trip over the planner's construct surface: JOIN + GROUP
+    /// BY/HAVING + an IN-subquery in one statement, with random literals,
+    /// aliases and join kinds. These are the nodes the query planner
+    /// lowers into join/aggregate/subquery stages, so their printed form
+    /// must be a parse fixed point whatever the data.
+    #[test]
+    fn planner_constructs_round_trip(
+        s in benign_literal(),
+        n in 0i64..1000,
+        left in any::<bool>(),
+        negate in any::<bool>(),
+    ) {
+        let sql = format!(
+            "SELECT t.a, COUNT(*) FROM t {}JOIN u ON (t.a = u.b) \
+             WHERE (t.a {}IN (SELECT c FROM v WHERE (d = '{s}'))) AND (u.b > {n}) \
+             GROUP BY t.a HAVING (COUNT(*) > 1) ORDER BY t.a LIMIT 7",
+            if left { "LEFT " } else { "" },
+            if negate { "NOT " } else { "" },
+        );
+        let first = parse(&sql).expect("construct query parses");
+        let printed = first.statements[0].to_string();
+        let second = parse(&printed).expect("printed construct query reparses");
+        prop_assert_eq!(&first.statements[0], &second.statements[0]);
+        prop_assert_eq!(printed.clone(), second.statements[0].to_string());
+    }
+
     /// The parser never panics: arbitrary input yields Ok or Err, only.
     #[test]
     fn parser_total_on_arbitrary_input(raw in "\\PC{0,64}") {
@@ -176,6 +202,37 @@ proptest! {
 #[test]
 fn parser_print_fixed_point_on_ast_coverage_corpus() {
     for sql in septic_conformance::astgen::ast_coverage_corpus() {
+        let first = parse(sql).expect(sql);
+        let printed = first.statements[0].to_string();
+        let second = parse(&printed).unwrap_or_else(|e| {
+            panic!("printed form of `{sql}` failed to reparse: {e}\n  printed: {printed}")
+        });
+        assert_eq!(first.statements[0], second.statements[0], "{sql}");
+        assert_eq!(printed, second.statements[0].to_string(), "{sql}");
+    }
+}
+
+/// Printer parenthesization edge cases around the new planner nodes: a
+/// subquery inside IN inside NOT (and friends) must print with enough
+/// parentheses that the reparse rebuilds the same tree — dropping any of
+/// them would rebind the NOT or spill the subselect into the outer query.
+#[test]
+fn printer_parenthesizes_subquery_inside_in_inside_not() {
+    let corpus = [
+        // The headline case: NOT applied to an IN whose list is a subselect.
+        "SELECT a FROM t WHERE (NOT ((a IN (SELECT b FROM u WHERE (c = 'x')))))",
+        // NOT IN with a subselect vs NOT around IN: distinct trees, both stable.
+        "SELECT a FROM t WHERE (a NOT IN (SELECT b FROM u WHERE (c = 'x')))",
+        // Doubly wrapped: NOT (x NOT IN (subselect)).
+        "SELECT a FROM t WHERE (NOT ((a NOT IN (SELECT b FROM u))))",
+        // NOT over EXISTS, and a scalar subselect under a comparison.
+        "SELECT a FROM t WHERE (NOT (EXISTS (SELECT 1 FROM u)))",
+        "SELECT a FROM t WHERE ((SELECT MAX(b) FROM u) > 5) AND (NOT ((a IN (1, 2))))",
+        // The subselect itself carries a join and an aggregate.
+        "SELECT a FROM t WHERE (a IN (SELECT u.b FROM u JOIN v ON (u.b = v.c) \
+         GROUP BY u.b HAVING (COUNT(*) > 1)))",
+    ];
+    for sql in corpus {
         let first = parse(sql).expect(sql);
         let printed = first.statements[0].to_string();
         let second = parse(&printed).unwrap_or_else(|e| {

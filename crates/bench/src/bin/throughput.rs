@@ -10,24 +10,30 @@
 //! single-core hosts. The pad is recorded in the JSON metadata.
 //!
 //! ```text
-//! cargo run --release -p septic-bench --bin throughput [-- --smoke] [-- --tcp]
+//! cargo run --release -p septic-bench --bin throughput \
+//!     [-- --smoke] [-- --tcp] [-- --open-loop]
 //! ```
 //!
 //! `--smoke` runs a seconds-long CI shape (2 threads max, capped
 //! duration) and does not write the JSON artefact. `--tcp` additionally
-//! drives the same closed-loop sweep over the framed TCP front end
-//! (`septic-net`), adding `tcp_rows` to the report so the wire tax is
-//! quantified next to the in-process numbers.
+//! drives the same closed-loop sweep over the framed TCP front ends —
+//! the blocking worker pool (`tcp_rows`) and, on Linux, the epoll event
+//! loop (`tcp_event_rows`) — so the wire tax and the concurrency models
+//! are quantified next to the in-process numbers. `--open-loop` adds the
+//! coordinated-omission-aware latency-vs-offered-load curves and the
+//! idle-connection memory row (see `septic_benchlab::openloop`).
 
 use std::sync::Arc;
 
 use septic::{Mode, Septic};
 use septic_bench::{banner, render_table};
 use septic_benchlab::{
-    run_engine_comparison, run_join_workload, run_throughput, run_throughput_tcp, EngineRow,
-    ThroughputPlan, ThroughputRow,
+    run_engine_comparison, run_idle_memory, run_join_workload, run_open_loop, run_throughput,
+    run_throughput_tcp, run_throughput_tcp_front_end, EngineRow, IdleConnRow, OpenLoopPlan,
+    OpenLoopRow, ThroughputPlan, ThroughputRow,
 };
 use septic_dbms::Server;
+use septic_net::FrontEndKind;
 use septic_telemetry::parse_prometheus;
 
 /// Smoke-mode self-check: one trained deployment, one blocked attack, and
@@ -129,15 +135,83 @@ fn engine_table(rows: &[EngineRow]) -> String {
     )
 }
 
+/// Renders the open-loop cells as a table.
+fn open_loop_table(rows: &[OpenLoopRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.front_end.clone(),
+                r.offered_qps.to_string(),
+                format!("{:.0}", r.achieved_qps),
+                format!("{}/{}", r.completed, r.scheduled),
+                r.errors.to_string(),
+                r.p50_us.to_string(),
+                r.p95_us.to_string(),
+                r.p99_us.to_string(),
+                format!("{:.1}", r.max_lag_us as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "front end",
+            "offered qps",
+            "achieved qps",
+            "done/sched",
+            "errors",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+            "max lag (ms)",
+        ],
+        &cells,
+    )
+}
+
+/// Renders the idle-connection memory rows as a table.
+fn idle_table(rows: &[IdleConnRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.front_end.clone(),
+                r.connections.to_string(),
+                r.threads.to_string(),
+                r.rss_before_kb.to_string(),
+                r.rss_after_kb.to_string(),
+                r.rss_delta_kb.to_string(),
+                format!("{:.1}", r.kb_per_connection),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "front end",
+            "idle conns",
+            "threads",
+            "rss before (kB)",
+            "rss after (kB)",
+            "delta (kB)",
+            "kB/conn",
+        ],
+        &cells,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let tcp = args.iter().any(|a| a == "--tcp");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
     let plan = if smoke {
         ThroughputPlan::smoke()
     } else {
         ThroughputPlan::default()
     };
+    // The epoll front end is Linux-only; elsewhere the wire comparisons
+    // cover the blocking front end alone.
+    let event_loop_available = cfg!(target_os = "linux");
 
     println!(
         "{}",
@@ -156,14 +230,46 @@ fn main() {
     let mut report = run_throughput(&plan);
     if tcp {
         report.tcp_rows = run_throughput_tcp(&plan);
+        if event_loop_available {
+            report.tcp_event_rows = run_throughput_tcp_front_end(&plan, FrontEndKind::EventLoop);
+        }
+    }
+    if open_loop {
+        let oplan = if smoke {
+            OpenLoopPlan::smoke()
+        } else {
+            OpenLoopPlan::default()
+        };
+        let kinds: Vec<FrontEndKind> = if event_loop_available {
+            FrontEndKind::all().to_vec()
+        } else {
+            vec![FrontEndKind::Blocking]
+        };
+        report.open_loop_rows = run_open_loop(&oplan, &kinds);
+        if event_loop_available {
+            let idle_conns = if smoke { 128 } else { 1000 };
+            report.idle_rows = run_idle_memory(idle_conns).into_iter().collect();
+        }
     }
     report.engine_rows = run_engine_comparison(&plan);
     report.join_rows = run_join_workload(&plan);
 
     println!("{}", throughput_table(&report.rows));
     if !report.tcp_rows.is_empty() {
-        println!("over the wire (framed TCP front end):");
+        println!("over the wire (blocking TCP front end):");
         println!("{}", throughput_table(&report.tcp_rows));
+    }
+    if !report.tcp_event_rows.is_empty() {
+        println!("over the wire (epoll event-loop front end):");
+        println!("{}", throughput_table(&report.tcp_event_rows));
+    }
+    if !report.open_loop_rows.is_empty() {
+        println!("open loop (fixed arrival schedule, latency from scheduled time):");
+        println!("{}", open_loop_table(&report.open_loop_rows));
+    }
+    if !report.idle_rows.is_empty() {
+        println!("idle connection memory (event loop, fixed threads):");
+        println!("{}", idle_table(&report.idle_rows));
     }
     println!("AST walker vs bytecode VM (YY, row-heavy table, zero pad):");
     println!("{}", engine_table(&report.engine_rows));
@@ -213,17 +319,75 @@ fn main() {
         // CI smoke over the wire: every closed-loop client must complete
         // its full query count — admission control may never shed the
         // sized-to-fit client fleet, and no query may be lost to a frame
-        // error.
-        for row in &report.tcp_rows {
-            assert_eq!(
-                row.queries,
-                plan.queries_per_thread as u64 * row.threads as u64,
-                "tcp cell {}x{} lost queries",
-                row.config,
-                row.threads
-            );
+        // error. Both front ends are held to the identical bar.
+        for (label, rows) in [
+            ("blocking", &report.tcp_rows),
+            ("event-loop", &report.tcp_event_rows),
+        ] {
+            for row in rows.iter() {
+                assert_eq!(
+                    row.queries,
+                    plan.queries_per_thread as u64 * row.threads as u64,
+                    "{label} tcp cell {}x{} lost queries",
+                    row.config,
+                    row.threads
+                );
+            }
         }
         println!("tcp smoke: all over-the-wire cells completed their full query count OK");
+    }
+    if tcp && !report.tcp_event_rows.is_empty() {
+        // The event loop must keep up with the blocking front end on the
+        // same closed-loop workload at the widest client count.
+        let &max_threads = plan.threads.iter().max().expect("thread counts");
+        let blocking = report.tcp_row("YY", max_threads).map(|r| r.qps);
+        let event = report.tcp_event_row("YY", max_threads).map(|r| r.qps);
+        if let (Some(blocking), Some(event)) = (blocking, event) {
+            println!(
+                "closed-loop YY @ {max_threads} clients: blocking {blocking:.0} qps, \
+                 event loop {event:.0} qps ({:+.1}%)",
+                (event / blocking - 1.0) * 100.0
+            );
+            assert!(
+                event >= blocking * 0.8,
+                "event loop collapsed vs blocking at {max_threads} clients: \
+                 {event:.0} vs {blocking:.0} qps"
+            );
+        }
+    }
+
+    if smoke && open_loop {
+        // CI smoke open loop: the offered rates are far below capacity,
+        // so every scheduled request must complete with zero errors on
+        // every front end.
+        assert!(
+            !report.open_loop_rows.is_empty(),
+            "--open-loop produced no rows"
+        );
+        for row in &report.open_loop_rows {
+            assert_eq!(
+                row.completed, row.scheduled,
+                "{} open-loop cell at {} qps dropped requests",
+                row.front_end, row.offered_qps
+            );
+            assert_eq!(
+                row.errors, 0,
+                "{} open-loop cell at {} qps errored",
+                row.front_end, row.offered_qps
+            );
+        }
+        if event_loop_available {
+            assert!(
+                report
+                    .open_loop_rows
+                    .iter()
+                    .any(|r| r.front_end == "event-loop"),
+                "open-loop smoke missing event-loop rows"
+            );
+            let idle = report.idle_rows.first().expect("idle memory row");
+            assert_eq!(idle.connections, 128);
+        }
+        println!("open-loop smoke: all scheduled requests completed on every front end OK");
     }
 
     // Every thread count must have a JOIN-workload cell, and in smoke mode

@@ -11,6 +11,7 @@
 
 pub mod client;
 pub mod experiment;
+pub mod openloop;
 pub mod stats;
 pub mod throughput;
 pub mod workload;
@@ -19,9 +20,11 @@ pub use client::{replay, run_fleet, BrowserRun, Fleet};
 pub use experiment::{
     measure, overhead_sweep, ExperimentPlan, GuardSetup, Measurement, OverheadRow,
 };
+pub use openloop::{run_idle_memory, run_open_loop, IdleConnRow, OpenLoopPlan, OpenLoopRow};
 pub use stats::LatencyStats;
 pub use throughput::{
-    run_engine_comparison, run_join_workload, run_throughput, run_throughput_tcp, EngineRow,
-    StageLatencyRow, ThroughputPlan, ThroughputReport, ThroughputRow,
+    run_engine_comparison, run_join_workload, run_throughput, run_throughput_tcp,
+    run_throughput_tcp_front_end, EngineRow, StageLatencyRow, ThroughputPlan, ThroughputReport,
+    ThroughputRow,
 };
 pub use workload::Workload;

@@ -1,0 +1,405 @@
+//! Open-loop load generation with coordinated-omission-aware latency.
+//!
+//! The closed-loop sweeps in [`crate::throughput`] have each client wait
+//! for a response before sending again, so a slow server *slows the
+//! generator down* — the worse the server does, the gentler the workload
+//! gets, and tail latency under load is systematically under-reported
+//! (the coordinated-omission problem). Production traffic does not
+//! behave that way: arrivals come on the world's schedule, not the
+//! server's.
+//!
+//! This driver fixes the arrival schedule **before** the run: request
+//! `i` of an offered rate `R` is due at `start + i/R`, assigned
+//! round-robin across a fixed set of connections. A sender never sleeps
+//! past its next due time, never skips a scheduled request, and — the
+//! part that matters — records each request's latency **from its
+//! scheduled time**, not from when the sender finally got around to
+//! writing it. A server that stalls therefore accrues the stall into
+//! every latency sample scheduled during it, exactly as a waiting user
+//! would experience.
+//!
+//! One structural honesty note: each connection issues its own requests
+//! sequentially (the framed protocol answers in order per connection),
+//! so a stalled connection cannot have unbounded requests in flight the
+//! way a true per-request-connection generator would. The scheduled-time
+//! accounting still charges the queueing delay to the samples; the
+//! `max_lag_us` column reports how far behind schedule the senders fell
+//! so saturated cells are legible as saturated.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use septic::DetectionConfig;
+use septic_net::{FrontEndKind, NetClient, NetServerConfig};
+use septic_telemetry::Histogram;
+use serde::{Deserialize, Serialize};
+
+use crate::throughput::{build_deployment, session_datum, shape_query, ThroughputPlan};
+
+/// Shape of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopPlan {
+    /// Offered arrival rates to sweep, queries/second.
+    pub rates: Vec<u64>,
+    /// Measurement window per rate.
+    pub duration: Duration,
+    /// Connections the schedule is split across, round-robin.
+    pub connections: usize,
+    /// Unmeasured closed-loop queries per connection before the
+    /// schedule starts (cache/lock warm-up).
+    pub warmup_queries: usize,
+    /// Distinct trained query shapes rotated through.
+    pub distinct_shapes: usize,
+    /// Workload seed; the full schedule and query byte stream is a pure
+    /// function of the plan.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopPlan {
+    fn default() -> Self {
+        OpenLoopPlan {
+            rates: vec![1000, 2000, 4000, 8000],
+            duration: Duration::from_secs(3),
+            connections: 8,
+            warmup_queries: 20,
+            distinct_shapes: 32,
+            seed: 0x5EED_7090,
+        }
+    }
+}
+
+impl OpenLoopPlan {
+    /// A sub-second CI shape: two rates, short window, small fleet.
+    #[must_use]
+    pub fn smoke() -> Self {
+        OpenLoopPlan {
+            rates: vec![300, 900],
+            duration: Duration::from_millis(600),
+            connections: 4,
+            warmup_queries: 5,
+            ..OpenLoopPlan::default()
+        }
+    }
+}
+
+/// One open-loop cell: a front end at an offered rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopRow {
+    /// Front end label (`blocking` / `event-loop`).
+    pub front_end: String,
+    /// Offered arrival rate, queries/second.
+    pub offered_qps: u64,
+    /// Connections the schedule was split across.
+    pub connections: u64,
+    /// Wall-clock length of the cell, microseconds (includes overrun
+    /// past the nominal window when the server fell behind).
+    pub duration_us: u64,
+    /// Requests on the fixed schedule.
+    pub scheduled: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed (transport error, shed, blocked).
+    pub errors: u64,
+    /// Completed requests per second of actual wall time.
+    pub achieved_qps: f64,
+    /// Mean latency from *scheduled* time, microseconds.
+    pub mean_us: u64,
+    /// Median scheduled-time latency, µs.
+    pub p50_us: u64,
+    /// 95th-percentile scheduled-time latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile scheduled-time latency, µs.
+    pub p99_us: u64,
+    /// Worst sender lag behind its schedule at send time, µs — how far
+    /// the generator itself fell behind (saturation tell-tale).
+    pub max_lag_us: u64,
+}
+
+/// Memory cost of parked connections: RSS delta across holding `n` idle
+/// sockets open against a front end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleConnRow {
+    /// Front end label.
+    pub front_end: String,
+    /// Idle connections held.
+    pub connections: u64,
+    /// Server threads while holding them (fixed for the event loop —
+    /// that is the point).
+    pub threads: u64,
+    /// `VmRSS` before connecting, kB.
+    pub rss_before_kb: u64,
+    /// `VmRSS` with all connections parked, kB.
+    pub rss_after_kb: u64,
+    /// RSS growth, kB. Client sockets live in the same process, so this
+    /// is an *upper* bound on the server-side cost.
+    pub rss_delta_kb: i64,
+    /// Growth per connection, kB.
+    pub kb_per_connection: f64,
+}
+
+/// The [`ThroughputPlan`] a deployment for open-loop cells is trained
+/// under (shapes/seed forwarded; closed-loop knobs defaulted).
+fn training_plan(plan: &OpenLoopPlan) -> ThroughputPlan {
+    ThroughputPlan {
+        distinct_shapes: plan.distinct_shapes,
+        seed: plan.seed,
+        ..ThroughputPlan::default()
+    }
+}
+
+fn front_end_config(plan: &OpenLoopPlan) -> NetServerConfig {
+    NetServerConfig {
+        workers: plan.connections.max(1),
+        accept_queue: plan.connections.max(1),
+        // Long timeout: an open-loop sender may legitimately go quiet on
+        // one connection while it catches up on others.
+        read_timeout: Duration::from_secs(60),
+        ..NetServerConfig::default()
+    }
+}
+
+/// Measures one (front end, offered rate) cell against `addr`.
+fn measure_rate(
+    addr: std::net::SocketAddr,
+    kind: FrontEndKind,
+    rate: u64,
+    plan: &OpenLoopPlan,
+) -> OpenLoopRow {
+    let conns = plan.connections.max(1);
+    let shapes = plan.distinct_shapes.max(1);
+    let scheduled_total = ((rate as f64) * plan.duration.as_secs_f64()).round() as u64;
+    let latency = Arc::new(Histogram::new());
+    // All senders warm up, then cross the barrier together: the schedule
+    // origin is the same instant for every connection.
+    let barrier = Arc::new(Barrier::new(conns));
+
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let plan = plan.clone();
+            let latency = Arc::clone(&latency);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("open-loop connect");
+                for i in 0..plan.warmup_queries {
+                    let q = shape_query((c + i) % shapes, session_datum(plan.seed, c, i));
+                    client.query(&q).expect("warmup query");
+                }
+                barrier.wait();
+                let start = Instant::now();
+                let mut completed: u64 = 0;
+                let mut errors: u64 = 0;
+                let mut max_lag = Duration::ZERO;
+                // Connection c owns schedule indices c, c+conns, c+2·conns…
+                let mut k: u64 = 0;
+                loop {
+                    let i = k * conns as u64 + c as u64;
+                    if i >= scheduled_total {
+                        break;
+                    }
+                    let due = start + Duration::from_secs_f64(i as f64 / rate as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        thread::sleep(due - now);
+                    } else {
+                        // Behind schedule: send immediately, never skip.
+                        // The sample below still measures from `due`, so
+                        // the backlog is charged to latency, not hidden.
+                        max_lag = max_lag.max(now - due);
+                    }
+                    let q = shape_query(
+                        (c + k as usize) % shapes,
+                        session_datum(plan.seed, c, k as usize),
+                    );
+                    match client.query(&q) {
+                        Ok(_) => {
+                            latency.record(Instant::now().saturating_duration_since(due));
+                            completed += 1;
+                        }
+                        Err(_) => errors += 1,
+                    }
+                    k += 1;
+                }
+                (completed, errors, max_lag, start.elapsed())
+            })
+        })
+        .collect();
+
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut max_lag = Duration::ZERO;
+    let mut elapsed = Duration::ZERO;
+    for h in handles {
+        let (c, e, lag, dur) = h.join().expect("open-loop sender");
+        completed += c;
+        errors += e;
+        max_lag = max_lag.max(lag);
+        elapsed = elapsed.max(dur);
+    }
+    let observed = latency.snapshot("open_loop_latency");
+    OpenLoopRow {
+        front_end: kind.label().to_string(),
+        offered_qps: rate,
+        connections: conns as u64,
+        duration_us: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        scheduled: scheduled_total,
+        completed,
+        errors,
+        achieved_qps: completed as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        mean_us: observed.mean_us() as u64,
+        p50_us: observed.percentile_us(50.0),
+        p95_us: observed.percentile_us(95.0),
+        p99_us: observed.percentile_us(99.0),
+        max_lag_us: u64::try_from(max_lag.as_micros()).unwrap_or(u64::MAX),
+    }
+}
+
+/// Runs the open-loop sweep: each requested front end at each offered
+/// rate, one fresh trained YY deployment per (front end, rate) cell so
+/// no cell inherits another's kernel socket or histogram state.
+#[must_use]
+pub fn run_open_loop(plan: &OpenLoopPlan, kinds: &[FrontEndKind]) -> Vec<OpenLoopRow> {
+    let tplan = training_plan(plan);
+    let mut rows = Vec::with_capacity(kinds.len() * plan.rates.len());
+    for &kind in kinds {
+        for &rate in &plan.rates {
+            let (server, _septic) = build_deployment(DetectionConfig::YY, &tplan);
+            let handle =
+                septic_net::serve_front_end(kind, server, ("127.0.0.1", 0), front_end_config(plan))
+                    .expect("bind front end");
+            rows.push(measure_rate(handle.addr(), kind, rate, plan));
+            handle.shutdown();
+        }
+    }
+    rows
+}
+
+/// `VmRSS` of this process, kB, from `/proc/self/status`.
+fn vm_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Holds `connections` idle sockets open against the event-loop front
+/// end and reports the RSS delta — the "idle connection costs bytes,
+/// not a thread" claim as a number. Returns `None` where `/proc` is
+/// unavailable or the event loop is unsupported.
+#[must_use]
+pub fn run_idle_memory(connections: usize) -> Option<IdleConnRow> {
+    let tplan = ThroughputPlan {
+        distinct_shapes: 1,
+        ..ThroughputPlan::default()
+    };
+    let (server, _septic) = build_deployment(DetectionConfig::YY, &tplan);
+    let handle = septic_net::serve_event_loop(
+        server,
+        ("127.0.0.1", 0),
+        NetServerConfig {
+            reactors: 2,
+            workers: 2,
+            max_connections: connections + 16,
+            // Idle is the test: nothing may reap the parked sockets.
+            read_timeout: Duration::from_secs(600),
+            ..NetServerConfig::default()
+        },
+    )
+    .ok()?;
+    let addr = handle.addr();
+    let threads = handle.thread_count() as u64;
+
+    let rss_before_kb = vm_rss_kb()?;
+    let mut parked = Vec::with_capacity(connections);
+    for i in 0..connections {
+        parked.push(std::net::TcpStream::connect(addr).ok()?);
+        // Pace the connect burst against the accept backlog: let the
+        // reactors register a chunk before offering the next.
+        if i % 128 == 127 {
+            wait_for_active(&handle, (i + 1 - 64) as u64);
+        }
+    }
+    wait_for_active(&handle, connections as u64);
+    let rss_after_kb = vm_rss_kb()?;
+
+    drop(parked);
+    let handle_threads = handle.thread_count() as u64;
+    handle.shutdown();
+    debug_assert_eq!(threads, handle_threads);
+
+    let rss_delta_kb = rss_after_kb as i64 - rss_before_kb as i64;
+    Some(IdleConnRow {
+        front_end: FrontEndKind::EventLoop.label().to_string(),
+        connections: connections as u64,
+        threads,
+        rss_before_kb,
+        rss_after_kb,
+        rss_delta_kb,
+        kb_per_connection: rss_delta_kb as f64 / connections.max(1) as f64,
+    })
+}
+
+fn wait_for_active(handle: &septic_net::EventLoopHandle, at_least: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active_connections() < at_least && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> OpenLoopPlan {
+        OpenLoopPlan {
+            rates: vec![200],
+            duration: Duration::from_millis(300),
+            connections: 2,
+            warmup_queries: 2,
+            distinct_shapes: 4,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn open_loop_cells_complete_their_schedule_when_underloaded() {
+        // 200 q/s for 300 ms is ~60 requests — far under capacity, so
+        // every scheduled request completes and nothing errors.
+        let rows = run_open_loop(&tiny_plan(), &FrontEndKind::all());
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.scheduled, 60, "{}", row.front_end);
+            assert_eq!(row.completed, 60, "{}", row.front_end);
+            assert_eq!(row.errors, 0, "{}", row.front_end);
+            assert!(row.achieved_qps > 0.0);
+            assert!(row.p50_us <= row.p95_us && row.p95_us <= row.p99_us);
+        }
+        let labels: Vec<&str> = rows.iter().map(|r| r.front_end.as_str()).collect();
+        assert_eq!(labels, vec!["blocking", "event-loop"]);
+    }
+
+    #[test]
+    fn latency_is_measured_from_the_schedule_not_the_send() {
+        // A sender that falls behind must charge the backlog to the
+        // samples. Simulate with the real arithmetic: a request due at
+        // t=0 sent at t=5ms with a 1ms service time reads ≥6ms from the
+        // schedule. (Unit-level check of the accounting invariant.)
+        let start = Instant::now();
+        let due = start; // already behind by the time we "send"
+        thread::sleep(Duration::from_millis(5));
+        let measured = Instant::now().saturating_duration_since(due);
+        assert!(
+            measured >= Duration::from_millis(5),
+            "queueing delay must be part of the sample"
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_memory_row_reports_parked_connections() {
+        let row = run_idle_memory(64).expect("idle row on linux");
+        assert_eq!(row.connections, 64);
+        assert_eq!(row.front_end, "event-loop");
+        assert_eq!(row.threads, 4, "2 reactors + 2 workers, fixed");
+        assert!(row.rss_after_kb >= row.rss_before_kb.saturating_sub(1024));
+    }
+}

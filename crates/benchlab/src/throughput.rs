@@ -178,6 +178,22 @@ pub struct ThroughputReport {
     /// negative cache to the interpreted planner.
     #[serde(default)]
     pub join_rows: Vec<ThroughputRow>,
+    /// Event-loop counterpart of `tcp_rows`: the same closed-loop TCP
+    /// sweep served by the epoll front end instead of the blocking
+    /// worker pool, so the two concurrency models are compared on
+    /// byte-identical workloads.
+    #[serde(default)]
+    pub tcp_event_rows: Vec<ThroughputRow>,
+    /// Open-loop latency-vs-offered-load curves for both front ends:
+    /// fixed arrival schedules with coordinated-omission-aware latency
+    /// (measured from each request's *scheduled* time). See
+    /// [`crate::openloop`].
+    #[serde(default)]
+    pub open_loop_rows: Vec<crate::openloop::OpenLoopRow>,
+    /// Idle-connection memory rows: RSS delta across parking many idle
+    /// sockets against the event-loop front end at a fixed thread count.
+    #[serde(default)]
+    pub idle_rows: Vec<crate::openloop::IdleConnRow>,
 }
 
 impl ThroughputReport {
@@ -203,6 +219,15 @@ impl ThroughputReport {
         self.join_rows.iter().find(|r| r.threads == threads)
     }
 
+    /// The event-loop over-the-wire row for a configuration at a client
+    /// count.
+    #[must_use]
+    pub fn tcp_event_row(&self, config: &str, threads: usize) -> Option<&ThroughputRow> {
+        self.tcp_event_rows
+            .iter()
+            .find(|r| r.config == config && r.threads == threads)
+    }
+
     /// Throughput ratio between two thread counts of one configuration
     /// (e.g. the 8-vs-1 scaling factor).
     #[must_use]
@@ -225,7 +250,7 @@ impl ThroughputReport {
 /// The benign query for a trained shape. Each shape is a distinct program
 /// point (external `/* qid:… */` id), so the sweep exercises the interner
 /// and spreads lookups across the model-store shards.
-fn shape_query(shape: usize, datum: u64) -> String {
+pub(crate) fn shape_query(shape: usize, datum: u64) -> String {
     format!("/* qid:tp-shape-{shape} */ SELECT note FROM tickets WHERE note = 'v{datum}'")
 }
 
@@ -242,12 +267,15 @@ fn join_shape_query(shape: usize, datum: u64) -> String {
 
 /// The datum a session sends on its `i`-th query: a pure function of
 /// (seed, session, i), so the workload byte stream is reproducible.
-fn session_datum(seed: u64, session: usize, i: usize) -> u64 {
+pub(crate) fn session_datum(seed: u64, session: usize, i: usize) -> u64 {
     (seed ^ (session as u64).wrapping_mul(0x9E37_79B9)).wrapping_add(i as u64) % 1_000_003
 }
 
 /// Builds a trained, prevention-mode deployment for one configuration.
-fn build_deployment(config: DetectionConfig, plan: &ThroughputPlan) -> (Arc<Server>, Arc<Septic>) {
+pub(crate) fn build_deployment(
+    config: DetectionConfig,
+    plan: &ThroughputPlan,
+) -> (Arc<Server>, Arc<Septic>) {
     let server = Server::with_config(ServerConfig {
         allow_multi_statements: true,
         // The general log is a global mutex + allocation per query; the
@@ -380,6 +408,9 @@ pub fn run_throughput(plan: &ThroughputPlan) -> ThroughputReport {
         tcp_rows: Vec::new(),
         engine_rows: Vec::new(),
         join_rows: Vec::new(),
+        tcp_event_rows: Vec::new(),
+        open_loop_rows: Vec::new(),
+        idle_rows: Vec::new(),
     }
 }
 
@@ -571,18 +602,31 @@ fn measure_cell_tcp(
     }
 }
 
-/// Runs the sweep over the wire: every [`DetectionConfig`] at every client
-/// count of the plan, one fresh trained deployment behind one fresh TCP
-/// front end per configuration. The worker pool is sized to the largest
-/// client count so admission control never sheds the closed-loop clients —
-/// the sweep measures serving cost, not queueing policy.
+/// Runs the sweep over the wire against the blocking front end: every
+/// [`DetectionConfig`] at every client count of the plan, one fresh
+/// trained deployment behind one fresh TCP front end per configuration.
 #[must_use]
 pub fn run_throughput_tcp(plan: &ThroughputPlan) -> Vec<ThroughputRow> {
+    run_throughput_tcp_front_end(plan, septic_net::FrontEndKind::Blocking)
+}
+
+/// Runs the over-the-wire sweep against the chosen front end. The worker
+/// pool is sized to the largest client count so admission control never
+/// sheds the closed-loop clients — the sweep measures serving cost, not
+/// queueing policy. Both front ends execute on identically sized worker
+/// pools, so a throughput difference is the concurrency model's, not a
+/// sizing artifact.
+#[must_use]
+pub fn run_throughput_tcp_front_end(
+    plan: &ThroughputPlan,
+    kind: septic_net::FrontEndKind,
+) -> Vec<ThroughputRow> {
     let max_clients = plan.threads.iter().copied().max().unwrap_or(1);
     let mut rows = Vec::with_capacity(DetectionConfig::all().len() * plan.threads.len());
     for config in DetectionConfig::all() {
         let (server, _septic) = build_deployment(config, plan);
-        let handle = septic_net::serve(
+        let handle = septic_net::serve_front_end(
+            kind,
             server,
             ("127.0.0.1", 0),
             NetServerConfig {

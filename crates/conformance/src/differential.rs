@@ -225,6 +225,18 @@ fn deployment(
     (server, conn, septic)
 }
 
+/// Builds the fresh prevention-mode deployment one golden case runs
+/// against: server + schema + a guard trained exactly as the matrix's
+/// `septic-prevention` column trains it. Exported so the wire-level
+/// golden test (`tests/net_matrix.rs`) serves deployments under the same
+/// training contract the in-process matrix uses, instead of
+/// approximating it.
+#[must_use]
+pub fn prevention_deployment() -> Arc<Server> {
+    let (server, _conn, _septic) = deployment(Defense::SepticPrevention, None);
+    server
+}
+
 /// Runs one case under one defense and returns the verdict.
 #[must_use]
 pub fn run_case(case: &Case, defense: Defense) -> Verdict {

@@ -97,6 +97,26 @@ pub fn oversized_frame(addr: SocketAddr, wait: Duration) -> std::io::Result<Sock
     Ok(drain(&mut stream, wait))
 }
 
+/// Opens `count` connections that never handshake and never send a
+/// byte — a parked swarm for idle-connection cost and capacity tests.
+/// The holders are returned so the caller controls their lifetime; the
+/// connect burst is paced so the server's accept path (not the kernel
+/// backlog) absorbs the swarm.
+///
+/// # Errors
+///
+/// Connect failures reaching the server at all.
+pub fn idle_swarm(addr: SocketAddr, count: usize) -> std::io::Result<Vec<TcpStream>> {
+    let mut swarm = Vec::with_capacity(count);
+    for i in 0..count {
+        swarm.push(TcpStream::connect(addr)?);
+        if i % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    Ok(swarm)
+}
+
 /// Garbage payload: a well-framed frame whose payload is not JSON. The
 /// server must count a decode error and close this connection only.
 ///

@@ -1,0 +1,392 @@
+//! Per-connection state machine for the event-loop front end.
+//!
+//! Each connection is a tiny explicit state machine instead of a thread:
+//!
+//! ```text
+//! ReadHeader ──4 bytes──▶ ReadPayload ──full frame──▶ pending queue
+//!      ▲                                                   │ (bounded MPSC)
+//!      │                                                   ▼
+//!   WriteQueue ◀──encoded responses── Handle (dbms worker pool)
+//! ```
+//!
+//! The reactor owns socket readiness and framing; a worker executes the
+//! query and queues (or, when the socket is free, writes directly) the
+//! response bytes. All mutation happens under the connection's own lock —
+//! held only for buffer shuffling, never across a read, a write wait, or
+//! query execution — so an idle connection costs this struct plus two
+//! small buffers: a few hundred bytes, not a thread.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::frame::{FrameError, Request, FRAME_HEADER_LEN};
+
+/// Reading position inside the current frame.
+#[derive(Debug)]
+pub(crate) enum ReadState {
+    /// Collecting the 4-byte big-endian length prefix.
+    Header {
+        buf: [u8; FRAME_HEADER_LEN],
+        got: usize,
+    },
+    /// Collecting `buf.len()` payload bytes.
+    Payload { buf: Vec<u8>, got: usize },
+}
+
+impl ReadState {
+    fn new() -> ReadState {
+        ReadState::Header {
+            buf: [0; FRAME_HEADER_LEN],
+            got: 0,
+        }
+    }
+
+    /// True when any byte of an unfinished frame has arrived — a
+    /// half-sent frame (slowloris) rather than a quiet keep-alive.
+    #[cfg(test)]
+    fn mid_frame(&self) -> bool {
+        match self {
+            ReadState::Header { got, .. } => *got > 0,
+            ReadState::Payload { .. } => true,
+        }
+    }
+}
+
+/// What one readiness-driven read pass produced.
+#[derive(Debug)]
+pub(crate) enum ReadPass {
+    /// Socket drained for now; `frames` complete requests arrived.
+    Progress {
+        frames: Vec<Request>,
+        any_bytes: bool,
+    },
+    /// Peer closed cleanly at a frame boundary (after yielding `frames`).
+    Closed { frames: Vec<Request> },
+    /// Framing/decoding failed; connection must be torn down after the
+    /// error frame is flushed.
+    Broken(FrameError),
+}
+
+/// One live connection: socket, dbms session, frame cursor, write queue.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    /// The server-side session this connection executes under.
+    pub(crate) dbms: septic_dbms::Connection,
+    read: ReadState,
+    /// Encoded response bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    /// Bytes of `out` already written.
+    out_pos: usize,
+    /// Parsed requests awaiting a worker, in arrival order.
+    pub(crate) pending: VecDeque<Request>,
+    /// A worker currently owns this connection's request stream.
+    pub(crate) busy: bool,
+    /// Reading is paused because `pending` hit the pipelining cap.
+    pub(crate) paused: bool,
+    /// EPOLLOUT is armed for this connection.
+    pub(crate) want_write: bool,
+    /// Torn down: late worker completions must drop their output.
+    pub(crate) closed: bool,
+    /// Close once the write queue drains (error/shed replies).
+    pub(crate) close_after_flush: bool,
+    /// Idle/slowloris deadline; pushed forward on any progress.
+    pub(crate) deadline: Instant,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, dbms: septic_dbms::Connection, deadline: Instant) -> Conn {
+        Conn {
+            stream,
+            dbms,
+            read: ReadState::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            busy: false,
+            paused: false,
+            want_write: false,
+            closed: false,
+            close_after_flush: false,
+            deadline,
+        }
+    }
+
+    /// True when the read cursor sits inside an unfinished frame —
+    /// test-only introspection for the partial-read scenarios.
+    #[cfg(test)]
+    pub(crate) fn mid_frame(&self) -> bool {
+        self.read.mid_frame()
+    }
+
+    /// Drives the read side until the socket runs dry, decoding as many
+    /// complete frames as arrive. Never blocks: the stream is
+    /// nonblocking and `WouldBlock` ends the pass.
+    pub(crate) fn read_pass(&mut self, max_frame_len: u32, max_frames: usize) -> ReadPass {
+        let mut frames = Vec::new();
+        let mut any_bytes = false;
+        loop {
+            if frames.len() >= max_frames {
+                // Pipelining cap: leave the rest in the socket buffer;
+                // the caller pauses read interest until a worker drains
+                // the pending queue.
+                return ReadPass::Progress { frames, any_bytes };
+            }
+            match &mut self.read {
+                ReadState::Header { buf, got } => {
+                    let span = *got..FRAME_HEADER_LEN;
+                    match self.stream.read(&mut buf[span]) {
+                        Ok(0) => {
+                            return if *got == 0 {
+                                ReadPass::Closed { frames }
+                            } else {
+                                ReadPass::Broken(FrameError::Io(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "disconnect inside frame header",
+                                )))
+                            };
+                        }
+                        Ok(n) => {
+                            any_bytes = true;
+                            *got += n;
+                            if *got == FRAME_HEADER_LEN {
+                                let len = u32::from_be_bytes(*buf);
+                                if len > max_frame_len {
+                                    return ReadPass::Broken(FrameError::Oversized {
+                                        len,
+                                        max: max_frame_len,
+                                    });
+                                }
+                                self.read = ReadState::Payload {
+                                    buf: vec![0; len as usize],
+                                    got: 0,
+                                };
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return ReadPass::Progress { frames, any_bytes };
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return ReadPass::Broken(FrameError::Io(e)),
+                    }
+                }
+                ReadState::Payload { buf, got } => {
+                    if *got == buf.len() {
+                        // Zero-length payload: decode immediately.
+                        match decode(buf) {
+                            Ok(req) => {
+                                frames.push(req);
+                                self.read = ReadState::new();
+                                continue;
+                            }
+                            Err(e) => return ReadPass::Broken(e),
+                        }
+                    }
+                    let span = *got..buf.len();
+                    match self.stream.read(&mut buf[span]) {
+                        Ok(0) => {
+                            return ReadPass::Broken(FrameError::Io(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "disconnect inside frame payload",
+                            )));
+                        }
+                        Ok(n) => {
+                            any_bytes = true;
+                            *got += n;
+                            if *got == buf.len() {
+                                match decode(buf) {
+                                    Ok(req) => {
+                                        frames.push(req);
+                                        self.read = ReadState::new();
+                                    }
+                                    Err(e) => return ReadPass::Broken(e),
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            return ReadPass::Progress { frames, any_bytes };
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return ReadPass::Broken(FrameError::Io(e)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends encoded frame bytes to the write queue.
+    pub(crate) fn queue_bytes(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Pushes queued bytes into the socket until it refuses more.
+    /// Returns `Ok(true)` when the queue drained completely.
+    pub(crate) fn flush(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+
+    /// Unwritten bytes still queued.
+    pub(crate) fn backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+}
+
+fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| FrameError::Decode(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{write_frame, DEFAULT_MAX_FRAME_LEN};
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        let dbms = septic_dbms::Server::new().connect();
+        let conn = Conn::new(server_side, dbms, Instant::now());
+        (client, conn)
+    }
+
+    #[test]
+    fn frames_assemble_across_partial_reads() {
+        let (mut client, mut conn) = pair();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Request::Ping, DEFAULT_MAX_FRAME_LEN).unwrap();
+
+        // First half of the frame: progress, no complete request yet.
+        client.write_all(&bytes[..3]).unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match conn.read_pass(DEFAULT_MAX_FRAME_LEN, 32) {
+            ReadPass::Progress { frames, any_bytes } => {
+                assert!(frames.is_empty());
+                assert!(any_bytes);
+                assert!(conn.mid_frame(), "a half-read header is mid-frame");
+            }
+            other => panic!("expected progress, got {other:?}"),
+        }
+
+        // Remainder: the frame completes.
+        client.write_all(&bytes[3..]).unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match conn.read_pass(DEFAULT_MAX_FRAME_LEN, 32) {
+            ReadPass::Progress { frames, .. } => {
+                assert_eq!(frames.len(), 1);
+                assert!(matches!(frames[0], Request::Ping));
+                assert!(!conn.mid_frame());
+            }
+            other => panic!("expected progress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_arrive_in_order_up_to_the_cap() {
+        let (mut client, mut conn) = pair();
+        for i in 0..5u32 {
+            write_frame(
+                &mut client,
+                &Request::Query(crate::frame::QueryRequest {
+                    sql: format!("SELECT {i}"),
+                    params: None,
+                }),
+                DEFAULT_MAX_FRAME_LEN,
+            )
+            .unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // Cap of 3: one pass yields exactly three frames, in order.
+        let ReadPass::Progress { frames, .. } = conn.read_pass(DEFAULT_MAX_FRAME_LEN, 3) else {
+            panic!("expected progress");
+        };
+        let texts: Vec<String> = frames
+            .iter()
+            .map(|f| match f {
+                Request::Query(q) => q.sql.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(texts, vec!["SELECT 0", "SELECT 1", "SELECT 2"]);
+        // The rest are still in the socket, readable on the next pass.
+        let ReadPass::Progress { frames, .. } = conn.read_pass(DEFAULT_MAX_FRAME_LEN, 32) else {
+            panic!("expected progress");
+        };
+        assert_eq!(frames.len(), 2);
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_break_the_connection() {
+        let (mut client, mut conn) = pair();
+        client.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(
+            conn.read_pass(1024, 32),
+            ReadPass::Broken(FrameError::Oversized { .. })
+        ));
+
+        let (mut client, mut conn) = pair();
+        let garbage = b"\x00\xffnope";
+        client
+            .write_all(&(garbage.len() as u32).to_be_bytes())
+            .unwrap();
+        client.write_all(garbage).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(
+            conn.read_pass(1024, 32),
+            ReadPass::Broken(FrameError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn clean_close_vs_mid_frame_close() {
+        let (client, mut conn) = pair();
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(conn.read_pass(1024, 32), ReadPass::Closed { .. }));
+
+        let (mut client, mut conn) = pair();
+        client.write_all(&[0u8, 0]).unwrap(); // half a header
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(
+            conn.read_pass(1024, 32),
+            ReadPass::Broken(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn write_queue_flushes_and_reports_backlog() {
+        let (mut client, mut conn) = pair();
+        conn.queue_bytes(b"hello ");
+        conn.queue_bytes(b"world");
+        assert_eq!(conn.backlog(), 11);
+        assert!(conn.flush().unwrap());
+        assert_eq!(conn.backlog(), 0);
+        let mut buf = [0u8; 11];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+}

@@ -26,6 +26,7 @@
 //! stalls (slowloris) holds a worker for at most `read_timeout`, then
 //! the read errors, the connection is closed and the worker moves on.
 
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -65,6 +66,15 @@ pub struct NetServerConfig {
     /// connection handler panic *outside* the dbms pipeline, exercising
     /// the net layer's own containment. `None` in production.
     pub panic_marker: Option<String>,
+    /// Event-loop front end only: reactor shards polling readiness.
+    /// `0` means one per available core. The blocking front end ignores
+    /// this.
+    pub reactors: usize,
+    /// Event-loop front end only: concurrent connections admitted
+    /// before new arrivals are shed with `ServerBusy`. The blocking
+    /// front end bounds concurrency by `workers + accept_queue`
+    /// instead.
+    pub max_connections: usize,
 }
 
 impl Default for NetServerConfig {
@@ -76,33 +86,41 @@ impl Default for NetServerConfig {
             max_pipeline: 32,
             read_timeout: Duration::from_secs(10),
             panic_marker: None,
+            reactors: 0,
+            max_connections: 2048,
         }
     }
 }
 
 /// Wire-layer metrics, registered in the dbms server's own
 /// [`septic_telemetry::MetricsRegistry`] so they ride the existing
-/// Prometheus export and `SHOW SEPTIC METRICS`.
+/// Prometheus export and `SHOW SEPTIC METRICS`. Shared by both front
+/// ends — the registry get-or-creates by name, so a blocking and an
+/// event-loop front end on the same dbms server count into the same
+/// series.
 #[derive(Debug)]
-struct NetMetrics {
-    accepted: Arc<Counter>,
-    rejected_busy: Arc<Counter>,
-    closed: Arc<Counter>,
-    frames_read: Arc<Counter>,
-    decode_errors: Arc<Counter>,
-    read_timeouts: Arc<Counter>,
-    handler_panics: Arc<Counter>,
-    requests: Arc<Counter>,
-    pipeline_rejects: Arc<Counter>,
+pub(crate) struct NetMetrics {
+    pub(crate) accepted: Arc<Counter>,
+    pub(crate) rejected_busy: Arc<Counter>,
+    pub(crate) closed: Arc<Counter>,
+    pub(crate) frames_read: Arc<Counter>,
+    pub(crate) decode_errors: Arc<Counter>,
+    pub(crate) read_timeouts: Arc<Counter>,
+    pub(crate) handler_panics: Arc<Counter>,
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) pipeline_rejects: Arc<Counter>,
+    /// `accept()` failures (EMFILE and friends) — a quiet fd leak shows
+    /// up here long before the listener stalls.
+    pub(crate) accept_errors: Arc<Counter>,
     /// Mirror of the live gauge (`active` below) so it exports.
-    active_gauge: Arc<Counter>,
-    read_wait: Arc<Histogram>,
-    handle: Arc<Histogram>,
-    write: Arc<Histogram>,
+    pub(crate) active_gauge: Arc<Counter>,
+    pub(crate) read_wait: Arc<Histogram>,
+    pub(crate) handle: Arc<Histogram>,
+    pub(crate) write: Arc<Histogram>,
 }
 
 impl NetMetrics {
-    fn register(server: &Server) -> Self {
+    pub(crate) fn register(server: &Server) -> Self {
         let reg = server.metrics();
         let stage = |name: &str| {
             reg.histogram(&septic_telemetry::labeled_name(
@@ -120,6 +138,7 @@ impl NetMetrics {
             handler_panics: reg.counter("net_handler_panics_total"),
             requests: reg.counter("net_requests_total"),
             pipeline_rejects: reg.counter("net_pipeline_rejects_total"),
+            accept_errors: reg.counter("net_accept_errors_total"),
             active_gauge: reg.counter("net_active_connections"),
             read_wait: stage("read_wait"),
             handle: stage("handle"),
@@ -132,7 +151,11 @@ impl NetMetrics {
 struct Shared {
     server: Arc<Server>,
     config: NetServerConfig,
-    queue: Mutex<Vec<TcpStream>>,
+    /// FIFO hand-off: workers take from the front, the accept loop
+    /// pushes to the back, so under saturation the oldest queued
+    /// connection is served first instead of starving behind every
+    /// newer arrival.
+    queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     shutting_down: AtomicBool,
     /// Connections queued or being served right now.
@@ -142,8 +165,8 @@ struct Shared {
 
 impl Shared {
     /// Locks the hand-off queue, shrugging off poisoning: queue state is
-    /// a plain `Vec` that stays consistent across any panic point.
-    fn lock_queue(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+    /// a plain `VecDeque` that stays consistent across any panic point.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<TcpStream>> {
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -156,6 +179,19 @@ impl Shared {
             self.active.fetch_sub((-delta) as u64, Ordering::SeqCst) - (-delta) as u64
         };
         self.metrics.active_gauge.set(now);
+    }
+
+    /// Publishes an accepted stream to the worker hand-off queue. The
+    /// active gauge is incremented while the queue lock is still held:
+    /// publishing the stream first and incrementing after the unlock
+    /// would let a fast worker serve the connection and decrement the
+    /// gauge before this increment lands, underflowing `0 - 1`.
+    fn enqueue(&self, stream: TcpStream) {
+        let mut queue = self.lock_queue();
+        queue.push_back(stream);
+        self.set_active(1);
+        drop(queue);
+        self.queue_cv.notify_one();
     }
 }
 
@@ -205,6 +241,14 @@ impl NetServerHandle {
     #[must_use]
     pub fn server(&self) -> &Arc<Server> {
         &self.shared.server
+    }
+
+    /// Threads this front end runs (accept loop + workers). Each worker
+    /// serves one connection at a time, so this is also the concurrency
+    /// ceiling.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.workers.len() + usize::from(self.accept_thread.is_some())
     }
 
     /// Stops accepting, closes queued connections, and joins every
@@ -261,7 +305,7 @@ pub fn serve(
     let shared = Arc::new(Shared {
         server,
         config,
-        queue: Mutex::new(Vec::new()),
+        queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         shutting_down: AtomicBool::new(false),
         active: AtomicU64::new(0),
@@ -293,43 +337,66 @@ pub fn serve(
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut errors_in_row: u32 = 0;
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                return;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                errors_in_row = 0;
+                stream
             }
-            continue;
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // A persistent failure (EMFILE fd exhaustion, say) would
+                // otherwise retry in a hot loop and pin a core. Back off
+                // exponentially, bounded so recovery is still prompt.
+                shared.metrics.accept_errors.inc();
+                errors_in_row = errors_in_row.saturating_add(1);
+                let backoff = Duration::from_millis((1u64 << errors_in_row.min(7)).min(100));
+                thread::sleep(backoff);
+                continue;
+            }
         };
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
         shared.metrics.accepted.inc();
-        let mut queue = shared.lock_queue();
-        if queue.len() >= shared.config.accept_queue {
+        // The length can only shrink between this check and the
+        // publication below (workers pop, and only this thread pushes),
+        // so the bound holds without carrying the lock across.
+        if shared.lock_queue().len() >= shared.config.accept_queue {
             // Load shed: a bounded queue plus an explicit reject beats
             // unbounded queueing every time the pool is saturated.
-            drop(queue);
             shared.metrics.rejected_busy.inc();
             reject_busy(stream, shared);
             continue;
         }
-        queue.push(stream);
-        drop(queue);
-        shared.set_active(1);
-        shared.queue_cv.notify_one();
+        shared.enqueue(stream);
     }
 }
 
 /// Best-effort `ServerBusy` frame on a connection we refuse to serve.
+/// Runs on a throwaway thread: a peer that stalls the write must not
+/// stall the accept loop with it (the write timeout bounds the thread's
+/// life, not the listener's).
 fn reject_busy(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
     let busy = Response::ServerBusy {
         reason: format!(
             "accept queue full ({} waiting, {} workers busy)",
             shared.config.accept_queue, shared.config.workers
         ),
     };
-    let _ = write_frame(&mut stream, &busy, shared.config.max_frame_len);
+    let max_frame_len = shared.config.max_frame_len;
+    let spawned = thread::Builder::new()
+        .name("septic-net-reject".into())
+        .spawn(move || {
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+            let _ = write_frame(&mut stream, &busy, max_frame_len);
+        });
+    // Out of threads: drop the connection unrejected rather than risk
+    // the accept loop.
+    drop(spawned);
 }
 
 fn worker_loop(shared: &Shared) {
@@ -337,7 +404,7 @@ fn worker_loop(shared: &Shared) {
         let stream = {
             let mut queue = shared.lock_queue();
             loop {
-                if let Some(stream) = queue.pop() {
+                if let Some(stream) = queue.pop_front() {
                     break stream;
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -453,4 +520,102 @@ fn run_query(shared: &Shared, conn: &septic_dbms::Connection, q: &QueryRequest) 
         None => conn.execute(&q.sql),
     };
     Response::from_outcome(&outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A `Shared` with no threads attached, for driving the hand-off
+    /// queue directly.
+    fn bare_shared() -> Arc<Shared> {
+        let server = Server::new();
+        let metrics = NetMetrics::register(&server);
+        Arc::new(Shared {
+            server,
+            config: NetServerConfig::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            metrics,
+        })
+    }
+
+    /// A small pool of real connected streams to circulate through the
+    /// queue.
+    fn stream_pool(n: usize) -> Vec<TcpStream> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        (0..n)
+            .map(|_| {
+                let c = TcpStream::connect(addr).expect("connect");
+                let _ = listener.accept().expect("accept");
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn enqueue_publishes_stream_and_gauge_atomically() {
+        // Regression: the accept path used to push the stream, release
+        // the queue lock, and only then increment the active gauge. A
+        // worker popping in that window served and decremented first,
+        // underflowing the unsigned gauge to ~u64::MAX (a worker-killing
+        // panic in debug builds). This drives the real publication path
+        // at memory speed against a worker-shaped consumer — pop,
+        // decrement, recycle — so any decrement-before-increment
+        // interleaving underflows within the cycle budget; with the
+        // increment under the lock it cannot, on any schedule. (On a
+        // single-core host the old bug needs an involuntary preemption
+        // inside a nanosecond window to fire, so this test is strongest
+        // on multi-core runners; the TCP-level storm in
+        // tests/net_wire.rs covers the end-to-end settle-to-zero
+        // property either way.)
+        const CYCLES: u64 = 100_000;
+        let shared = bare_shared();
+        let streams = stream_pool(4);
+        let (back_tx, back_rx) = mpsc::channel::<TcpStream>();
+
+        let consumer = {
+            let shared = Arc::clone(&shared);
+            let back_tx = back_tx.clone();
+            thread::spawn(move || {
+                let mut served = 0u64;
+                while served < CYCLES {
+                    let popped = shared.lock_queue().pop_front();
+                    if let Some(stream) = popped {
+                        // What a worker does once its connection ends.
+                        shared.set_active(-1);
+                        served += 1;
+                        if back_tx.send(stream).is_err() {
+                            return;
+                        }
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            })
+        };
+
+        for stream in streams {
+            back_tx.send(stream).expect("prime pool");
+        }
+        let mut published = 0u64;
+        while published < CYCLES {
+            let stream = back_rx.recv().expect("recycle");
+            shared.enqueue(stream);
+            published += 1;
+            let active = shared.active.load(Ordering::SeqCst);
+            assert!(
+                active <= 4,
+                "active gauge corrupt with 4 circulating streams: {active}"
+            );
+        }
+        consumer
+            .join()
+            .expect("consumer must not panic (debug-build gauge underflow)");
+        assert_eq!(shared.active.load(Ordering::SeqCst), 0);
+    }
 }

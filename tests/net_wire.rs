@@ -1,23 +1,31 @@
-//! Wire-level integration tests for the framed TCP front end: the SEPTIC
-//! verdict must survive the trip over a socket, admission control must
-//! shed load explicitly, and no client behavior — disconnects, slowloris,
-//! oversized frames, garbage, handler panics — may take down the listener
-//! or leak a worker.
+//! Wire-level integration tests for the framed TCP front ends: the
+//! SEPTIC verdict must survive the trip over a socket, admission control
+//! must shed load explicitly, and no client behavior — disconnects,
+//! slowloris, oversized frames, garbage, handler panics — may take down
+//! the listener or leak a worker.
+//!
+//! The protocol suite runs against **both** front ends (the blocking
+//! worker pool and the epoll event loop) through one shared harness:
+//! every behavioral assertion here is a contract of the wire protocol,
+//! not of a concurrency model, so each front end must pass it verbatim.
+//! Front-end-specific tests (accept-order fairness, gauge accounting,
+//! idle-connection capacity) sit at the bottom.
 
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use septic_faults::socket::{self, SocketFaultOutcome};
 use septic_repro::dbms::{Server, Value};
 use septic_repro::net::{
-    serve, ClientError, NetClient, NetServerConfig, NetServerHandle, QueryRequest,
+    serve_front_end, ClientError, FrontEndHandle, FrontEndKind, NetClient, NetServerConfig,
+    QueryRequest,
 };
 use septic_repro::septic::{Mode, Septic};
 use septic_repro::telemetry::parse_prometheus;
 
-/// A trained, prevention-mode deployment behind a TCP front end.
-fn wire_deployment(config: NetServerConfig) -> NetServerHandle {
+/// A trained, prevention-mode deployment behind the chosen front end.
+fn wire_deployment(kind: FrontEndKind, config: NetServerConfig) -> FrontEndHandle {
     let server = Server::new();
     let conn = server.connect();
     conn.execute("CREATE TABLE tickets (reservID VARCHAR(16), creditCard INT)")
@@ -30,69 +38,291 @@ fn wire_deployment(config: NetServerConfig) -> NetServerHandle {
     conn.execute("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
         .unwrap();
     septic.set_mode(Mode::PREVENTION);
-    serve(server, ("127.0.0.1", 0), config).expect("bind")
+    serve_front_end(kind, server, ("127.0.0.1", 0), config).expect("bind")
 }
 
-/// Polls until `cond` holds, failing the test after two seconds. Socket
-/// teardown is asynchronous (the worker notices the close on its next
-/// read), so gauge assertions need a grace window.
-fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
-    let deadline = Instant::now() + Duration::from_secs(2);
+/// The front ends this host can run: both on Linux, the blocking pool
+/// alone elsewhere (epoll is Linux-only).
+fn supported_kinds() -> Vec<FrontEndKind> {
+    if cfg!(target_os = "linux") {
+        FrontEndKind::all().to_vec()
+    } else {
+        vec![FrontEndKind::Blocking]
+    }
+}
+
+/// Polls until `cond` holds, failing the test after `patience`. Socket
+/// teardown is asynchronous (the server notices the close on its next
+/// read or reactor pass), so gauge assertions need a grace window.
+fn wait_until_for(what: &str, patience: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + patience;
     while !cond() {
         assert!(Instant::now() < deadline, "timed out waiting for {what}");
         std::thread::sleep(Duration::from_millis(10));
     }
 }
 
+fn wait_until(what: &str, cond: impl FnMut() -> bool) {
+    wait_until_for(what, Duration::from_secs(2), cond);
+}
+
 #[test]
 fn benign_and_attack_verdicts_travel_the_wire() {
-    let handle = wire_deployment(NetServerConfig::default());
-    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    for kind in supported_kinds() {
+        let handle = wire_deployment(kind, NetServerConfig::default());
+        let mut client = NetClient::connect(handle.addr()).expect("connect");
 
-    // Benign query: the trained shape passes and the rows come back.
-    let res = client
-        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
-        .expect("benign query");
-    let out = res.last().expect("output");
-    assert_eq!(out.rows.len(), 1);
-    assert_eq!(out.rows[0][0], Value::from("ID34FG"));
+        // Benign query: the trained shape passes and the rows come back.
+        let res = client
+            .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+            .expect("benign query");
+        let out = res.last().expect("output");
+        assert_eq!(out.rows.len(), 1, "{kind}");
+        assert_eq!(out.rows[0][0], Value::from("ID34FG"), "{kind}");
 
-    // Tautology attack: SEPTIC blocks it and the verdict arrives intact.
-    let err = client
-        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0")
-        .expect_err("attack must be blocked");
-    assert!(err.is_blocked(), "expected Blocked, got {err}");
+        // Tautology attack: SEPTIC blocks it, the verdict arrives intact.
+        let err = client
+            .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0")
+            .expect_err("attack must be blocked");
+        assert!(err.is_blocked(), "{kind}: expected Blocked, got {err}");
 
-    // The connection survives its own blocked query.
-    let res = client
-        .query("SELECT * FROM tickets WHERE reservID = 'nope' AND creditCard = 0")
-        .expect("connection must survive a blocked query");
-    assert!(res.last().expect("output").rows.is_empty());
+        // The connection survives its own blocked query.
+        let res = client
+            .query("SELECT * FROM tickets WHERE reservID = 'nope' AND creditCard = 0")
+            .expect("connection must survive a blocked query");
+        assert!(res.last().expect("output").rows.is_empty(), "{kind}");
 
-    // Prepared statements travel too: params are bound server-side, so
-    // the injection attempt stays data.
-    let res = client
-        .query_prepared(
-            "SELECT * FROM tickets WHERE reservID = ? AND creditCard = ?",
-            &[Value::from("' OR 1=1-- "), Value::Int(0)],
-        )
-        .expect("prepared query");
-    assert!(res.last().expect("output").rows.is_empty());
+        // Prepared statements travel too: params are bound server-side,
+        // so the injection attempt stays data.
+        let res = client
+            .query_prepared(
+                "SELECT * FROM tickets WHERE reservID = ? AND creditCard = ?",
+                &[Value::from("' OR 1=1-- "), Value::Int(0)],
+            )
+            .expect("prepared query");
+        assert!(res.last().expect("output").rows.is_empty(), "{kind}");
 
-    let guarded = handle.server().metrics_snapshot();
-    assert_eq!(guarded.counter("septic_attacks_total"), Some(1));
-    drop(client);
-    wait_until("connection teardown", || handle.active_connections() == 0);
-    handle.shutdown();
+        let guarded = handle.server().metrics_snapshot();
+        assert_eq!(
+            guarded.counter("septic_attacks_total"),
+            Some(1),
+            "{kind}: the wire front end must report into the guard's registry"
+        );
+        drop(client);
+        wait_until("connection teardown", || handle.active_connections() == 0);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn batches_pipeline_but_respect_the_cap() {
+    for kind in supported_kinds() {
+        let handle = wire_deployment(
+            kind,
+            NetServerConfig {
+                max_pipeline: 4,
+                ..NetServerConfig::default()
+            },
+        );
+        let mut client = NetClient::connect(handle.addr()).expect("connect");
+        let benign = |_: usize| QueryRequest {
+            sql: "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234".into(),
+            params: None,
+        };
+
+        // Within the cap: one outcome per query, in order.
+        let outcomes = client
+            .batch(&(0..4).map(benign).collect::<Vec<_>>())
+            .expect("batch within cap");
+        assert_eq!(outcomes.len(), 4, "{kind}");
+        assert!(outcomes.iter().all(Result::is_ok), "{kind}");
+
+        // A blocked query inside a batch doesn't abort the rest.
+        let mut mixed: Vec<QueryRequest> = (0..2).map(benign).collect();
+        mixed.insert(
+            1,
+            QueryRequest {
+                sql:
+                    "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0"
+                        .into(),
+                params: None,
+            },
+        );
+        let outcomes = client.batch(&mixed).expect("mixed batch");
+        assert!(outcomes[0].is_ok(), "{kind}");
+        assert!(matches!(&outcomes[1], Err(e) if e.is_blocked()), "{kind}");
+        assert!(outcomes[2].is_ok(), "{kind}");
+
+        // Over the cap: refused outright with the pipelining limit named.
+        let err = client
+            .batch(&(0..5).map(benign).collect::<Vec<_>>())
+            .expect_err("batch over cap");
+        assert!(err.is_busy(), "{kind}: expected Busy, got {err}");
+        let snap = handle.server().metrics_snapshot();
+        assert_eq!(
+            snap.counter("net_pipeline_rejects_total"),
+            Some(1),
+            "{kind}"
+        );
+        drop(client);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn socket_faults_never_kill_the_listener_or_leak_a_worker() {
+    for kind in supported_kinds() {
+        let handle = wire_deployment(
+            kind,
+            NetServerConfig {
+                workers: 2,
+                // Short read timeout so the slowloris script resolves
+                // quickly on both the blocking pool and the timer wheel.
+                read_timeout: Duration::from_millis(200),
+                ..NetServerConfig::default()
+            },
+        );
+        let addr = handle.addr();
+
+        // Mid-frame disconnect: half a declared payload, then gone.
+        socket::mid_frame_disconnect(addr).expect("script reaches server");
+
+        // Oversized frame: rejected from the header, answered or closed —
+        // never ballooning an allocation.
+        let outcome = socket::oversized_frame(addr, Duration::from_millis(500)).expect("script");
+        assert!(
+            matches!(
+                outcome,
+                SocketFaultOutcome::ServerAnswered(_) | SocketFaultOutcome::ServerClosed
+            ),
+            "{kind}: oversized frame left the connection open: {outcome:?}"
+        );
+
+        // Garbage payload: counted as a decode error, connection closed.
+        let outcome = socket::garbage_payload(addr, Duration::from_millis(500)).expect("script");
+        assert!(
+            matches!(
+                outcome,
+                SocketFaultOutcome::ServerAnswered(_) | SocketFaultOutcome::ServerClosed
+            ),
+            "{kind}: garbage payload left the connection open: {outcome:?}"
+        );
+
+        // Slowloris: half a header, then silence. The read timeout must
+        // free the worker/slot — the server hangs up on us, not the other
+        // way round.
+        let outcome = socket::slowloris_header(addr, Duration::from_secs(1)).expect("script");
+        assert_eq!(outcome, SocketFaultOutcome::ServerClosed, "{kind}");
+
+        // The gauge returns to zero: no script leaked a connection slot.
+        wait_until("all fault connections released", || {
+            handle.active_connections() == 0
+        });
+
+        // And the listener still serves real clients.
+        let mut client = NetClient::connect(addr).expect("listener must survive the fault suite");
+        let res = client
+            .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+            .expect("post-fault benign query");
+        assert_eq!(res.last().expect("output").rows.len(), 1, "{kind}");
+
+        let snap = handle.server().metrics_snapshot();
+        assert!(
+            snap.counter("net_frame_decode_errors_total").unwrap_or(0) >= 2,
+            "{kind}: oversized + garbage must be counted as decode errors"
+        );
+        assert!(
+            snap.counter("net_read_timeouts_total").unwrap_or(0) >= 1,
+            "{kind}: the slowloris read timeout must be counted"
+        );
+        assert_eq!(snap.counter("net_handler_panics_total"), Some(0), "{kind}");
+        drop(client);
+        wait_until("final teardown", || handle.active_connections() == 0);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn handler_panic_drops_only_its_connection() {
+    for kind in supported_kinds() {
+        let handle = wire_deployment(
+            kind,
+            NetServerConfig {
+                workers: 2,
+                panic_marker: Some("NET_PANIC".into()),
+                ..NetServerConfig::default()
+            },
+        );
+
+        let mut victim = NetClient::connect(handle.addr()).expect("connect");
+        let err = victim
+            .query("SELECT 'NET_PANIC'")
+            .expect_err("the injected panic must sever this connection");
+        assert!(
+            matches!(err, ClientError::Io(_) | ClientError::Frame(_)),
+            "{kind}: expected a transport error, got {err}"
+        );
+
+        // The panic was contained: counted, gauge restored, listener alive.
+        wait_until("panicked connection released", || {
+            handle.active_connections() == 0
+        });
+        let snap = handle.server().metrics_snapshot();
+        assert_eq!(snap.counter("net_handler_panics_total"), Some(1), "{kind}");
+
+        let mut survivor = NetClient::connect(handle.addr()).expect("listener survives the panic");
+        let res = survivor
+            .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+            .expect("post-panic benign query");
+        assert_eq!(res.last().expect("output").rows.len(), 1, "{kind}");
+        drop(survivor);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn wire_metrics_ride_the_prometheus_export() {
+    for kind in supported_kinds() {
+        let handle = wire_deployment(kind, NetServerConfig::default());
+        let mut client = NetClient::connect(handle.addr()).expect("connect");
+        client.ping().expect("ping");
+        client
+            .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+            .expect("benign query");
+
+        let text = handle.server().prometheus();
+        let series = parse_prometheus(&text).expect("export must parse");
+        assert_eq!(
+            series.get("net_connections_accepted_total"),
+            Some(&1.0),
+            "{kind}"
+        );
+        assert_eq!(series.get("net_requests_total"), Some(&1.0), "{kind}");
+        assert!(
+            series
+                .keys()
+                .any(|k| k.starts_with("net_stage_duration_microseconds_bucket{stage=\"handle\"")),
+            "{kind}: per-stage wire histograms must export"
+        );
+        drop(client);
+        wait_until("teardown", || handle.active_connections() == 0);
+        handle.shutdown();
+    }
 }
 
 #[test]
 fn accept_queue_overflow_is_shed_with_server_busy() {
-    let handle = wire_deployment(NetServerConfig {
-        workers: 1,
-        accept_queue: 1,
-        ..NetServerConfig::default()
-    });
+    // Blocking-pool admission control: a full hand-off queue sheds the
+    // next connection. (The event loop's analog — the connection cap —
+    // is tested below.)
+    let handle = wire_deployment(
+        FrontEndKind::Blocking,
+        NetServerConfig {
+            workers: 1,
+            accept_queue: 1,
+            ..NetServerConfig::default()
+        },
+    );
 
     // Occupy the only worker: a completed handshake proves a worker is
     // serving this connection (not just queueing it).
@@ -116,170 +346,201 @@ fn accept_queue_overflow_is_shed_with_server_busy() {
     handle.shutdown();
 }
 
+#[cfg(target_os = "linux")]
 #[test]
-fn batches_pipeline_but_respect_the_cap() {
-    let handle = wire_deployment(NetServerConfig {
-        max_pipeline: 4,
-        ..NetServerConfig::default()
-    });
-    let mut client = NetClient::connect(handle.addr()).expect("connect");
-    let benign = |_: usize| QueryRequest {
-        sql: "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234".into(),
-        params: None,
-    };
-
-    // Within the cap: one outcome per query, in order.
-    let outcomes = client
-        .batch(&(0..4).map(benign).collect::<Vec<_>>())
-        .expect("batch within cap");
-    assert_eq!(outcomes.len(), 4);
-    assert!(outcomes.iter().all(Result::is_ok));
-
-    // A blocked query inside a batch doesn't abort the rest.
-    let mut mixed: Vec<QueryRequest> = (0..2).map(benign).collect();
-    mixed.insert(
-        1,
-        QueryRequest {
-            sql: "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1-- ' AND creditCard = 0"
-                .into(),
-            params: None,
+fn connection_cap_overflow_is_shed_with_server_busy() {
+    // Event-loop admission control: past `max_connections`, the reactor
+    // sheds the accepted socket with an explicit ServerBusy frame
+    // instead of registering it.
+    let handle = wire_deployment(
+        FrontEndKind::EventLoop,
+        NetServerConfig {
+            max_connections: 1,
+            ..NetServerConfig::default()
         },
     );
-    let outcomes = client.batch(&mixed).expect("mixed batch");
-    assert!(outcomes[0].is_ok());
-    assert!(matches!(&outcomes[1], Err(e) if e.is_blocked()));
-    assert!(outcomes[2].is_ok());
 
-    // Over the cap: refused outright with the pipelining limit named.
-    let err = client
-        .batch(&(0..5).map(benign).collect::<Vec<_>>())
-        .expect_err("batch over cap");
+    let held = NetClient::connect(handle.addr()).expect("first connection");
+    wait_until("first connection registered", || {
+        handle.active_connections() == 1
+    });
+
+    let err = NetClient::connect(handle.addr()).expect_err("second connection must be shed");
     assert!(err.is_busy(), "expected Busy, got {err}");
     let snap = handle.server().metrics_snapshot();
-    assert_eq!(snap.counter("net_pipeline_rejects_total"), Some(1));
+    assert_eq!(snap.counter("net_connections_rejected_total"), Some(1));
+
+    // Releasing the slot re-opens admission.
+    drop(held);
+    wait_until("slot released", || handle.active_connections() == 0);
+    let mut client = NetClient::connect(handle.addr()).expect("slot must be reusable");
+    client.ping().expect("ping on the reused slot");
     drop(client);
     handle.shutdown();
 }
 
 #[test]
-fn socket_faults_never_kill_the_listener_or_leak_a_worker() {
-    let handle = wire_deployment(NetServerConfig {
-        workers: 2,
-        // Short read timeout so the slowloris script resolves quickly.
-        read_timeout: Duration::from_millis(200),
-        ..NetServerConfig::default()
-    });
+fn workers_serve_queued_connections_in_accept_order() {
+    // Fairness regression: the hand-off queue must be FIFO. The old
+    // implementation popped from the back of a Vec, so under backlog the
+    // most recently accepted connection was served first and the oldest
+    // starved. With one worker and a pinned backlog, completion order
+    // observably equals accept order.
+    let handle = wire_deployment(
+        FrontEndKind::Blocking,
+        NetServerConfig {
+            workers: 1,
+            accept_queue: 8,
+            ..NetServerConfig::default()
+        },
+    );
     let addr = handle.addr();
 
-    // Mid-frame disconnect: half a declared payload, then gone.
-    socket::mid_frame_disconnect(addr).expect("script reaches server");
+    // Occupy the only worker so subsequent connections pile up queued.
+    let held = NetClient::connect(addr).expect("held connection");
 
-    // Oversized frame: rejected from the header, answered or closed —
-    // never ballooning an allocation.
-    let outcome = socket::oversized_frame(addr, Duration::from_millis(500)).expect("script");
-    assert!(
-        matches!(
-            outcome,
-            SocketFaultOutcome::ServerAnswered(_) | SocketFaultOutcome::ServerClosed
-        ),
-        "oversized frame left the connection open: {outcome:?}"
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let mut waiters = Vec::new();
+    for i in 0..3usize {
+        let order = Arc::clone(&order);
+        waiters.push(std::thread::spawn(move || {
+            // connect() completes only once a worker serves the Hello —
+            // that instant is this connection's "served" timestamp.
+            let mut client = NetClient::connect(addr).expect("queued connection");
+            order.lock().expect("order lock").push(i);
+            client.ping().expect("ping before release");
+            drop(client);
+        }));
+        // Pin the accept order: connection i is queued (gauge counts it)
+        // before connection i+1 is even initiated.
+        wait_until("connection queued", || {
+            handle.active_connections() == 2 + i as u64
+        });
+    }
+
+    // Release the worker: it must now drain the backlog oldest-first.
+    drop(held);
+    for w in waiters {
+        w.join().expect("queued client");
+    }
+    assert_eq!(
+        *order.lock().expect("order lock"),
+        vec![0, 1, 2],
+        "queued connections must be served in accept order (FIFO), not LIFO"
     );
+    wait_until("teardown", || handle.active_connections() == 0);
+    handle.shutdown();
+}
 
-    // Garbage payload: counted as a decode error, connection closed.
-    let outcome = socket::garbage_payload(addr, Duration::from_millis(500)).expect("script");
-    assert!(
-        matches!(
-            outcome,
-            SocketFaultOutcome::ServerAnswered(_) | SocketFaultOutcome::ServerClosed
-        ),
-        "garbage payload left the connection open: {outcome:?}"
+#[test]
+fn teardown_storm_never_underflows_the_active_gauge() {
+    // Accounting regression: the accept loop used to publish the stream
+    // into the queue, drop the lock, and only then increment the active
+    // gauge — so a fast worker could serve and decrement first,
+    // underflowing the unsigned gauge to ~u64::MAX (and, in debug
+    // builds, panicking the worker). The increment now lands while the
+    // queue lock is still held. A storm of instantly-closed connections
+    // drives the old race; the gauge must stay sane throughout and
+    // return to exactly zero.
+    let handle = wire_deployment(
+        FrontEndKind::Blocking,
+        NetServerConfig {
+            // One worker: a single underflow (which panics the worker in
+            // debug builds) leaves the backlog permanently unserved, so
+            // the drain check below catches even one occurrence.
+            workers: 1,
+            accept_queue: 16,
+            read_timeout: Duration::from_millis(200),
+            ..NetServerConfig::default()
+        },
     );
+    let addr = handle.addr();
 
-    // Slowloris: half a header, then silence. The read timeout must free
-    // the worker — the server hangs up on us, not the other way round.
-    let outcome = socket::slowloris_header(addr, Duration::from_secs(1)).expect("script");
-    assert_eq!(outcome, SocketFaultOutcome::ServerClosed);
+    // Several storm threads keep the queue mutex contended, so the
+    // worker regularly blocks on the exact lock whose release used to
+    // precede the increment — maximizing decrement-before-increment
+    // interleavings. The main thread samples the gauge throughout.
+    let storms: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    // Connect and immediately hang up: the worker sees
+                    // EOF at once, racing its decrement against the
+                    // accept thread's increment.
+                    drop(TcpStream::connect(addr).expect("storm connection"));
+                }
+            })
+        })
+        .collect();
+    let mut worst_seen = 0u64;
+    while storms.iter().any(|s| !s.is_finished()) {
+        worst_seen = worst_seen.max(handle.active_connections());
+        assert!(
+            worst_seen < 100_000,
+            "active-connection gauge underflowed: {worst_seen}"
+        );
+    }
+    for s in storms {
+        s.join().expect("storm thread");
+    }
 
-    // The gauge returns to zero: no script leaked a worker slot.
-    wait_until("all fault connections released", || {
-        handle.active_connections() == 0
-    });
+    wait_until("storm drained", || handle.active_connections() == 0);
+    assert_eq!(handle.active_connections(), 0, "gauge must settle at zero");
 
-    // And the listener still serves real clients.
-    let mut client = NetClient::connect(addr).expect("listener must survive the fault suite");
+    // The worker survived the storm (a debug-build underflow panic
+    // would have killed it): the deployment still serves.
+    let mut client = NetClient::connect(addr).expect("post-storm connect");
     let res = client
         .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
-        .expect("post-fault benign query");
+        .expect("post-storm benign query");
     assert_eq!(res.last().expect("output").rows.len(), 1);
-
-    let snap = handle.server().metrics_snapshot();
-    assert!(
-        snap.counter("net_frame_decode_errors_total").unwrap_or(0) >= 2,
-        "oversized + garbage must be counted as decode errors"
-    );
-    assert!(
-        snap.counter("net_read_timeouts_total").unwrap_or(0) >= 1,
-        "the slowloris read timeout must be counted"
-    );
-    assert_eq!(snap.counter("net_handler_panics_total"), Some(0));
     drop(client);
     wait_until("final teardown", || handle.active_connections() == 0);
     handle.shutdown();
 }
 
+#[cfg(target_os = "linux")]
 #[test]
-fn handler_panic_drops_only_its_connection() {
-    let handle = wire_deployment(NetServerConfig {
-        workers: 2,
-        panic_marker: Some("NET_PANIC".into()),
-        ..NetServerConfig::default()
-    });
+fn a_thousand_idle_connections_cost_no_threads() {
+    // The event loop's reason to exist: a parked connection is a slab
+    // entry and an epoll registration, not a thread. Park 1000 idle
+    // sockets and verify the thread count never moves and a real client
+    // still gets served.
+    let handle = wire_deployment(
+        FrontEndKind::EventLoop,
+        NetServerConfig {
+            reactors: 2,
+            workers: 2,
+            max_connections: 1100,
+            // Idle is the test: nothing may reap the parked sockets.
+            read_timeout: Duration::from_secs(60),
+            ..NetServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    assert_eq!(handle.thread_count(), 4, "2 reactors + 2 workers, fixed");
 
-    let mut victim = NetClient::connect(handle.addr()).expect("connect");
-    let err = victim
-        .query("SELECT 'NET_PANIC'")
-        .expect_err("the injected panic must sever this connection");
-    assert!(
-        matches!(err, ClientError::Io(_) | ClientError::Frame(_)),
-        "expected a transport error, got {err}"
+    let swarm = socket::idle_swarm(addr, 1000).expect("idle swarm");
+    wait_until_for("swarm registered", Duration::from_secs(10), || {
+        handle.active_connections() == 1000
+    });
+    assert_eq!(
+        handle.thread_count(),
+        4,
+        "parking 1000 connections must not grow the thread count"
     );
 
-    // The panic was contained: counted, gauge restored, listener alive.
-    wait_until("panicked connection released", || {
+    // A real client still gets in and served past the parked swarm.
+    let mut client = NetClient::connect(addr).expect("client alongside the swarm");
+    let res = client
+        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
+        .expect("benign query alongside the swarm");
+    assert_eq!(res.last().expect("output").rows.len(), 1);
+    drop(client);
+
+    drop(swarm);
+    wait_until_for("swarm teardown", Duration::from_secs(10), || {
         handle.active_connections() == 0
     });
-    let snap = handle.server().metrics_snapshot();
-    assert_eq!(snap.counter("net_handler_panics_total"), Some(1));
-
-    let mut survivor = NetClient::connect(handle.addr()).expect("listener survives the panic");
-    let res = survivor
-        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
-        .expect("post-panic benign query");
-    assert_eq!(res.last().expect("output").rows.len(), 1);
-    drop(survivor);
-    handle.shutdown();
-}
-
-#[test]
-fn wire_metrics_ride_the_prometheus_export() {
-    let handle = wire_deployment(NetServerConfig::default());
-    let mut client = NetClient::connect(handle.addr()).expect("connect");
-    client.ping().expect("ping");
-    client
-        .query("SELECT * FROM tickets WHERE reservID = 'ID34FG' AND creditCard = 1234")
-        .expect("benign query");
-
-    let text = handle.server().prometheus();
-    let series = parse_prometheus(&text).expect("export must parse");
-    assert_eq!(series.get("net_connections_accepted_total"), Some(&1.0));
-    assert_eq!(series.get("net_requests_total"), Some(&1.0));
-    assert!(
-        series
-            .keys()
-            .any(|k| k.starts_with("net_stage_duration_microseconds_bucket{stage=\"handle\"")),
-        "per-stage wire histograms must export"
-    );
-    drop(client);
-    wait_until("teardown", || handle.active_connections() == 0);
     handle.shutdown();
 }

@@ -28,9 +28,9 @@ use std::sync::Arc;
 use septic::{Mode, Septic};
 use septic_bench::{banner, render_table};
 use septic_benchlab::{
-    run_engine_comparison, run_idle_memory, run_join_workload, run_open_loop, run_throughput,
-    run_throughput_tcp, run_throughput_tcp_front_end, EngineRow, IdleConnRow, OpenLoopPlan,
-    OpenLoopRow, ThroughputPlan, ThroughputRow,
+    run_engine_comparison, run_idle_memory, run_join_workload, run_open_loop, run_recovery_bench,
+    run_throughput, run_throughput_tcp, run_throughput_tcp_front_end, EngineRow, IdleConnRow,
+    OpenLoopPlan, OpenLoopRow, RecoveryPlan, RecoveryRow, ThroughputPlan, ThroughputRow,
 };
 use septic_dbms::Server;
 use septic_net::FrontEndKind;
@@ -199,11 +199,42 @@ fn idle_table(rows: &[IdleConnRow]) -> String {
     )
 }
 
+/// Renders the recovery-time cells as a table.
+fn recovery_table(rows: &[RecoveryRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.to_string(),
+                r.commits.to_string(),
+                r.wal_bytes.to_string(),
+                r.replayed_records.to_string(),
+                if r.snapshot_loaded { "yes" } else { "no" }.to_string(),
+                r.recovered_rows.to_string(),
+                format!("{:.1}", r.open_us as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "variant",
+            "commits",
+            "wal bytes",
+            "replayed",
+            "snapshot",
+            "rows",
+            "reopen (ms)",
+        ],
+        &cells,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let tcp = args.iter().any(|a| a == "--tcp");
     let open_loop = args.iter().any(|a| a == "--open-loop");
+    let recovery = args.iter().any(|a| a == "--recovery");
     let plan = if smoke {
         ThroughputPlan::smoke()
     } else {
@@ -253,6 +284,16 @@ fn main() {
     }
     report.engine_rows = run_engine_comparison(&plan);
     report.join_rows = run_join_workload(&plan);
+    let recovery_rows = if recovery {
+        let rplan = if smoke {
+            RecoveryPlan::smoke()
+        } else {
+            RecoveryPlan::default()
+        };
+        run_recovery_bench(&rplan)
+    } else {
+        Vec::new()
+    };
 
     println!("{}", throughput_table(&report.rows));
     if !report.tcp_rows.is_empty() {
@@ -270,6 +311,19 @@ fn main() {
     if !report.idle_rows.is_empty() {
         println!("idle connection memory (event loop, fixed threads):");
         println!("{}", idle_table(&report.idle_rows));
+    }
+    if !recovery_rows.is_empty() {
+        println!("crash-recovery time (WAL replay vs checkpoint + tail replay):");
+        println!("{}", recovery_table(&recovery_rows));
+        // Recovery must be lossless in every cell, smoke or full.
+        for row in &recovery_rows {
+            assert_eq!(
+                row.recovered_rows, row.commits,
+                "recovery lost rows in the {} cell at {} commits",
+                row.variant, row.commits
+            );
+        }
+        println!("recovery smoke: every crashed commit came back in every cell OK");
     }
     println!("AST walker vs bytecode VM (YY, row-heavy table, zero pad):");
     println!("{}", engine_table(&report.engine_rows));

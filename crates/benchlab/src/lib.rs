@@ -12,6 +12,7 @@
 pub mod client;
 pub mod experiment;
 pub mod openloop;
+pub mod recovery;
 pub mod stats;
 pub mod throughput;
 pub mod workload;
@@ -21,6 +22,7 @@ pub use experiment::{
     measure, overhead_sweep, ExperimentPlan, GuardSetup, Measurement, OverheadRow,
 };
 pub use openloop::{run_idle_memory, run_open_loop, IdleConnRow, OpenLoopPlan, OpenLoopRow};
+pub use recovery::{run_recovery_bench, RecoveryPlan, RecoveryRow};
 pub use stats::LatencyStats;
 pub use throughput::{
     run_engine_comparison, run_join_workload, run_throughput, run_throughput_tcp,

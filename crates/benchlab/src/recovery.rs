@@ -1,0 +1,160 @@
+//! Recovery-time microbench: how long a crashed deployment takes to come
+//! back, as a function of committed WAL records, with and without
+//! checkpointing.
+//!
+//! Each cell populates a WAL-backed server with N single-row commits,
+//! "crashes" it (drops the server with no shutdown hook — exactly what a
+//! kill leaves on the medium), and times a fresh [`Server::open_durable`]
+//! over the same bytes. The `wal-replay` variant disables checkpointing,
+//! so recovery re-executes every commit; the `checkpointed` variant lets
+//! the engine snapshot every [`RecoveryPlan::checkpoint_every`] commits,
+//! so recovery loads the snapshot and replays only the records past it.
+//! The gap between the two is the cost checkpointing buys back — see the
+//! recovery-time note in EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use septic_dbms::{MemIo, Server, ServerConfig, StorageIo, WalConfig};
+
+/// Recovery sweep shape.
+#[derive(Debug, Clone)]
+pub struct RecoveryPlan {
+    /// Commit counts to measure (one pair of cells each).
+    pub commits: Vec<u64>,
+    /// Checkpoint cadence (in commits) for the `checkpointed` variant.
+    pub checkpoint_every: u64,
+}
+
+impl Default for RecoveryPlan {
+    fn default() -> Self {
+        RecoveryPlan {
+            commits: vec![100, 1_000, 5_000],
+            checkpoint_every: 256,
+        }
+    }
+}
+
+impl RecoveryPlan {
+    /// Seconds-long CI shape.
+    #[must_use]
+    pub fn smoke() -> Self {
+        RecoveryPlan {
+            commits: vec![50, 200],
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// One measured recovery cell.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// `wal-replay` (no checkpoints) or `checkpointed`.
+    pub variant: &'static str,
+    /// Commits acknowledged before the crash (plus the schema commit).
+    pub commits: u64,
+    /// Bytes left in `wal.log` at the crash point.
+    pub wal_bytes: u64,
+    /// Records recovery re-executed from the log.
+    pub replayed_records: u64,
+    /// Whether a checkpoint snapshot was loaded first.
+    pub snapshot_loaded: bool,
+    /// Rows visible after recovery (must equal `commits`).
+    pub recovered_rows: u64,
+    /// Wall time of `Server::open_durable` over the crashed medium.
+    pub open_us: u64,
+}
+
+/// Builds a durable deployment, commits the workload, and crashes it.
+fn populate(io: Arc<MemIo>, commits: u64, checkpoint_every: u64) {
+    let (server, _) = Server::open_durable(
+        ServerConfig::default(),
+        io as Arc<dyn StorageIo>,
+        WalConfig { checkpoint_every },
+    )
+    .expect("open on an empty medium");
+    let conn = server.connect();
+    conn.execute("CREATE TABLE events (id INT PRIMARY KEY, note VARCHAR(64))")
+        .expect("schema commit");
+    for i in 0..commits {
+        conn.execute(&format!(
+            "INSERT INTO events (id, note) VALUES ({i}, 'event-{i}')"
+        ))
+        .expect("workload commit");
+    }
+    // Crash: the server drops here with no flush beyond the per-commit
+    // WAL appends (and whatever checkpoints the cadence produced).
+}
+
+/// Runs the recovery sweep: for each commit count, one crash + timed
+/// reopen without checkpoints and one with them.
+#[must_use]
+pub fn run_recovery_bench(plan: &RecoveryPlan) -> Vec<RecoveryRow> {
+    let mut rows = Vec::new();
+    for &commits in &plan.commits {
+        for (variant, checkpoint_every) in [
+            ("wal-replay", 0u64),
+            ("checkpointed", plan.checkpoint_every),
+        ] {
+            let io = MemIo::new();
+            populate(io.clone(), commits, checkpoint_every);
+            let wal_bytes = io.contents("wal.log").map_or(0, |b| b.len() as u64);
+            let started = Instant::now();
+            let (server, report) = Server::open_durable(
+                ServerConfig::default(),
+                io as Arc<dyn StorageIo>,
+                WalConfig { checkpoint_every },
+            )
+            .expect("recovery succeeds");
+            let open_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let recovered_rows = server
+                .connect()
+                .execute("SELECT id FROM events")
+                .map(|r| r.outputs[0].rows.len() as u64)
+                .unwrap_or(0);
+            rows.push(RecoveryRow {
+                variant,
+                commits,
+                wal_bytes,
+                replayed_records: report.replayed_records,
+                snapshot_loaded: report.snapshot_loaded,
+                recovered_rows,
+                open_us,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_recovers_every_commit_and_checkpointing_shrinks_replay() {
+        let rows = run_recovery_bench(&RecoveryPlan::smoke());
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(
+                row.recovered_rows, row.commits,
+                "{} at {} commits lost rows",
+                row.variant, row.commits
+            );
+        }
+        // At 200 commits with a 64-commit cadence, the checkpointed
+        // variant must have snapshotted and replay strictly fewer records
+        // than the replay-everything variant.
+        let full = rows
+            .iter()
+            .find(|r| r.variant == "wal-replay" && r.commits == 200)
+            .expect("wal-replay row");
+        let ckpt = rows
+            .iter()
+            .find(|r| r.variant == "checkpointed" && r.commits == 200)
+            .expect("checkpointed row");
+        assert_eq!(full.replayed_records, 201, "schema + 200 inserts");
+        assert!(ckpt.snapshot_loaded);
+        assert!(ckpt.replayed_records < full.replayed_records);
+        assert!(ckpt.wal_bytes < full.wal_bytes);
+    }
+}

@@ -20,7 +20,9 @@
 use std::sync::Arc;
 
 use septic::{detect_sqli, Mode, QueryModel, Septic};
-use septic_dbms::{Connection, DbError, Server, ServerConfig};
+use septic_dbms::{
+    Connection, DbError, MemIo, RecoveryReport, Server, ServerConfig, StorageIo, WalConfig,
+};
 use septic_http::HttpRequest;
 use septic_telemetry::MetricsSnapshot;
 use septic_waf::ModSecurity;
@@ -235,6 +237,76 @@ fn deployment(
 pub fn prevention_deployment() -> Arc<Server> {
     let (server, _conn, _septic) = deployment(Defense::SepticPrevention, None);
     server
+}
+
+/// Builds the prevention deployment on a server *recovered from durable
+/// storage*: schema and seed rows are committed to a WAL-backed server,
+/// the process "dies" (the first server is dropped with no shutdown
+/// hook), and a second server rebuilds the database from the write-ahead
+/// log alone. A fresh guard is then installed and trained exactly as
+/// [`prevention_deployment`] trains it. The golden matrix's
+/// `septic-prevention` column must be reproducible on this deployment —
+/// recovery is not allowed to perturb a single verdict.
+#[must_use]
+pub fn recovered_prevention_deployment(
+    use_vm: Option<bool>,
+) -> (Arc<Server>, Connection, Arc<Septic>, RecoveryReport) {
+    let config = || ServerConfig {
+        allow_multi_statements: true,
+        general_log_capacity: 0,
+    };
+    let io = MemIo::new();
+    let first_io: Arc<dyn StorageIo> = io.clone();
+    let (first, _) =
+        Server::open_durable(config(), first_io, WalConfig::default()).expect("fresh durable open");
+    create_schema(&first.connect());
+    // Crash: nothing beyond the per-commit WAL appends survives the drop.
+    drop(first);
+    let second_io: Arc<dyn StorageIo> = io;
+    let (server, report) =
+        Server::open_durable(config(), second_io, WalConfig::default()).expect("recovery");
+    if let Some(on) = use_vm {
+        server.set_expr_vm(on);
+    }
+    let conn = server.connect();
+    let septic = Arc::new(Septic::new());
+    septic.set_event_logging(false);
+    if let Some(on) = use_vm {
+        septic.set_use_vm(on);
+    }
+    server.install_guard(septic.clone());
+    septic.set_mode(Mode::Training);
+    for t in templates() {
+        for payload in training_payloads(t) {
+            conn.execute(&t.build(payload)).expect("training query");
+        }
+    }
+    septic.set_mode(Mode::PREVENTION);
+    (server, conn, septic, report)
+}
+
+/// Runs one case against a freshly recovered prevention deployment (see
+/// [`recovered_prevention_deployment`]) and returns the verdict — the
+/// value that must equal the golden matrix's `septic-prevention` cell.
+#[must_use]
+pub fn run_case_recovered(case: &Case, use_vm: Option<bool>) -> Verdict {
+    let (_server, conn, septic, _report) = recovered_prevention_deployment(use_vm);
+    let before = {
+        let c = septic.counters();
+        c.sqli_detected + c.stored_detected
+    };
+    match conn.execute(&case.sql) {
+        Err(DbError::Blocked(_) | DbError::GuardFailure(_)) => Verdict::Blocked,
+        Err(DbError::Parse(_)) => Verdict::ParseError,
+        Ok(_) | Err(_) => {
+            let c = septic.counters();
+            if c.sqli_detected + c.stored_detected > before {
+                Verdict::Flagged
+            } else {
+                Verdict::Passed
+            }
+        }
+    }
 }
 
 /// Runs one case under one defense and returns the verdict.
@@ -544,6 +616,25 @@ mod tests {
             run_case(mimicry, Defense::SepticStructural),
             Verdict::Passed
         );
+    }
+
+    #[test]
+    fn recovered_deployment_reproduces_prevention_verdicts() {
+        let cases = generate_cases(MATRIX_SEED);
+        let benign = cases.iter().find(|c| c.class.is_none()).expect("benign");
+        // Pick an attack the live prevention deployment actually blocks
+        // (escaping defuses some tautology spellings, so filter on the
+        // live verdict rather than the variant name).
+        let attack = cases
+            .iter()
+            .filter(|c| c.class.is_some())
+            .find(|c| run_case(c, Defense::SepticPrevention) == Verdict::Blocked)
+            .expect("a blocked attack case");
+        assert_eq!(
+            run_case_recovered(benign, None),
+            run_case(benign, Defense::SepticPrevention)
+        );
+        assert_eq!(run_case_recovered(attack, None), Verdict::Blocked);
     }
 
     #[test]

@@ -125,11 +125,15 @@ pub enum EventKind {
         /// Where the time went, so the blown budget is attributable.
         stages: StageSpansUs,
     },
+    /// A value recovered from durable storage was flagged by a
+    /// stored-injection plugin during the post-restart re-scan: the
+    /// payload predates the current deployment.
+    RecoveredDataFlagged { attack: StoredAttack, value: String },
 }
 
 /// Number of [`EventKind`] variants (the width of the per-kind counter
 /// array in [`Logger`]).
-const KIND_SLOTS: usize = 10;
+const KIND_SLOTS: usize = 11;
 
 impl EventKind {
     /// Dense per-variant index used for the monotonic counters.
@@ -145,6 +149,7 @@ impl EventKind {
             EventKind::StoreLoaded { .. } => 7,
             EventKind::DetectorFailed { .. } => 8,
             EventKind::DeadlineExceeded { .. } => 9,
+            EventKind::RecoveredDataFlagged { .. } => 10,
         }
     }
 }
@@ -163,6 +168,7 @@ pub struct EventKindCounts {
     pub store_loaded: u64,
     pub detector_failed: u64,
     pub deadline_exceeded: u64,
+    pub recovered_flagged: u64,
 }
 
 /// A sequenced event.
@@ -247,6 +253,9 @@ impl fmt::Display for Event {
                     },
                     stages.slowest()
                 )
+            }
+            EventKind::RecoveredDataFlagged { attack, value } => {
+                write!(f, "recovered data flagged {attack} value={value}")
             }
         }
     }
@@ -376,6 +385,7 @@ impl Logger {
             store_loaded: load(7),
             detector_failed: load(8),
             deadline_exceeded: load(9),
+            recovered_flagged: load(10),
         }
     }
 

@@ -165,6 +165,12 @@ pub struct Counters {
     pub group_by_attacks: Arc<Counter>,
     /// SQLI detections on queries with `SUBSELECT_BEGIN` brackets.
     pub subquery_attacks: Arc<Counter>,
+    /// Values recovered from durable storage and re-scanned after a
+    /// restart ([`Septic::scan_stored`](septic_dbms::QueryGuard::scan_stored)).
+    pub recovered_values: Arc<Counter>,
+    /// Recovered values a stored-injection plugin flagged — payloads that
+    /// were written to disk before this deployment existed.
+    pub recovered_flagged: Arc<Counter>,
 }
 
 impl Counters {
@@ -185,6 +191,8 @@ impl Counters {
             join_attacks: registry.counter("septic_join_attacks_total"),
             group_by_attacks: registry.counter("septic_group_by_attacks_total"),
             subquery_attacks: registry.counter("septic_subquery_attacks_total"),
+            recovered_values: registry.counter("septic_recovered_values_total"),
+            recovered_flagged: registry.counter("septic_recovered_flagged_total"),
         }
     }
 }
@@ -243,6 +251,8 @@ pub struct CounterSnapshot {
     pub join_attacks: u64,
     pub group_by_attacks: u64,
     pub subquery_attacks: u64,
+    pub recovered_values: u64,
+    pub recovered_flagged: u64,
 }
 
 /// The SEPTIC mechanism. Install on a [`septic_dbms::Server`] with
@@ -447,6 +457,8 @@ impl Septic {
             join_attacks: self.counters.join_attacks.get(),
             group_by_attacks: self.counters.group_by_attacks.get(),
             subquery_attacks: self.counters.subquery_attacks.get(),
+            recovered_values: self.counters.recovered_values.get(),
+            recovered_flagged: self.counters.recovered_flagged.get(),
         }
     }
 
@@ -575,6 +587,10 @@ impl Septic {
         out.push_str(&format!(
             "  store recoveries: {}\n",
             counters.store_recoveries
+        ));
+        out.push_str(&format!(
+            "  recovered scan  : {} values, {} flagged\n",
+            counters.recovered_values, counters.recovered_flagged
         ));
         out.push_str(&format!("  log drops       : {}\n", counters.log_drops));
         out
@@ -730,6 +746,45 @@ impl QueryGuard for Septic {
 
     fn metrics(&self) -> Option<MetricsSnapshot> {
         Some(self.metrics_snapshot())
+    }
+
+    /// Post-recovery re-detection: runs every recovered string cell
+    /// through the stored-injection plugin chain, exactly as if it were
+    /// arriving write data. Payloads stored *before* this SEPTIC
+    /// deployment existed (or before a restart) are flagged here —
+    /// second-order attacks do not get amnesty from a reboot.
+    ///
+    /// Honours the stored-injection ablation switch: with
+    /// `detection.stored` off (NN/YN) the scan is a no-op, keeping the
+    /// Figure 5 defense configurations coherent across restarts.
+    fn scan_stored(&self, values: &[String]) -> usize {
+        if !self.engine.read().detection.stored {
+            return 0;
+        }
+        let mut flagged = 0;
+        for value in values {
+            self.counters.recovered_values.inc();
+            let found = catch_unwind(AssertUnwindSafe(|| {
+                scan_inputs(&self.plugins, std::slice::from_ref(value))
+            }));
+            match found {
+                Ok(Some(attack)) => {
+                    flagged += 1;
+                    Self::bump(&self.counters.recovered_flagged);
+                    self.log_event_with(|| EventKind::RecoveredDataFlagged {
+                        attack: attack.clone(),
+                        value: value.clone(),
+                    });
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // A panicking plugin is contained per value: counted,
+                    // and the sweep keeps going over the rest of the data.
+                    Self::bump(&self.counters.guard_panics);
+                }
+            }
+        }
+        flagged
     }
 }
 
@@ -1170,6 +1225,51 @@ mod tests {
         assert!(report.contains("mode            : prevention"));
         assert!(report.contains("detectors       : YY"));
         assert!(report.contains("models learned  : 0"));
+    }
+
+    #[test]
+    fn recovered_payload_is_re_detected_by_a_fresh_deployment() {
+        use septic_dbms::{MemIo, ServerConfig, WalConfig};
+
+        let io = MemIo::new();
+        // Life before the restart: no guard at all — the payload is
+        // stored with nothing watching.
+        {
+            let (server, _) =
+                Server::open_durable(ServerConfig::default(), io.clone(), WalConfig::default())
+                    .unwrap();
+            let conn = server.connect();
+            conn.execute("CREATE TABLE posts (id INT PRIMARY KEY, body VARCHAR(200))")
+                .unwrap();
+            conn.execute_prepared(
+                "INSERT INTO posts (id, body) VALUES (1, ?)",
+                &[septic_dbms::Value::from("<script>alert(1)</script>")],
+            )
+            .unwrap();
+            conn.execute("INSERT INTO posts (id, body) VALUES (2, 'benign note')")
+                .unwrap();
+        }
+
+        // Restart: recover from the WAL, deploy a fresh SEPTIC in
+        // prevention mode, and sweep the recovered data.
+        let (server, report) =
+            Server::open_durable(ServerConfig::default(), io, WalConfig::default()).unwrap();
+        assert!(report.replayed_records > 0);
+        let septic = Arc::new(Septic::new());
+        septic.set_mode(Mode::PREVENTION);
+        server.install_guard(septic.clone());
+        let flagged = server.scan_recovered();
+        assert_eq!(flagged, 1, "the stored XSS payload must be re-detected");
+        let snap = septic.counters();
+        assert!(snap.recovered_values >= 2);
+        assert_eq!(snap.recovered_flagged, 1);
+        let events = septic
+            .logger()
+            .events_where(|k| matches!(k, EventKind::RecoveredDataFlagged { .. }));
+        assert_eq!(events.len(), 1);
+        // The ablation switch gates the sweep.
+        septic.set_config(DetectionConfig::YN);
+        assert_eq!(server.scan_recovered(), 0);
     }
 
     #[test]

@@ -72,7 +72,11 @@ fn bind_statement<'a>(
             }
             Ok(())
         }
-        Statement::CreateTable(_) | Statement::DropTable(_) => Ok(()),
+        Statement::CreateTable(_)
+        | Statement::DropTable(_)
+        | Statement::Begin
+        | Statement::Commit
+        | Statement::Rollback => Ok(()),
     }
 }
 

@@ -1,12 +1,13 @@
 //! Schema catalog: table and column metadata, name resolution.
 
 use septic_sql::ast::{ColumnDef, ColumnType, Literal};
+use serde::{Deserialize, Serialize};
 
 use crate::error::DbError;
 use crate::value::Value;
 
 /// Column metadata.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Column {
     pub name: String,
     pub column_type: ColumnType,
@@ -59,7 +60,7 @@ impl Column {
 }
 
 /// Table metadata.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TableSchema {
     pub name: String,
     pub columns: Vec<Column>,

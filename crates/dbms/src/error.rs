@@ -33,6 +33,12 @@ pub enum DbError {
     /// Runtime evaluation error (division by zero is NULL in MySQL, so this
     /// is rare — unsupported function etc.).
     Runtime(String),
+    /// The durability layer failed (WAL append, checkpoint install,
+    /// recovery). The statement was **not** acknowledged.
+    Storage(String),
+    /// A transaction could not commit (re-execution of its buffered writes
+    /// conflicted with a concurrent commit) and was rolled back.
+    TxnAborted(String),
 }
 
 impl fmt::Display for DbError {
@@ -50,6 +56,8 @@ impl fmt::Display for DbError {
                 write!(f, "query rejected, guard failure (fail-closed): {r}")
             }
             DbError::Runtime(m) => write!(f, "runtime error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
         }
     }
 }

@@ -92,6 +92,14 @@ pub fn execute_with(
                 ..QueryOutput::default()
             }
         }
+        // Transaction control is session state, handled by the server's
+        // transactional path before execution ever starts.
+        Statement::Begin | Statement::Commit | Statement::Rollback => {
+            return Err(DbError::Semantic(format!(
+                "{} reached the executor; transaction control is handled by the server",
+                stmt.command()
+            )))
+        }
     };
     out.effects = effects;
     Ok(out)
@@ -194,6 +202,7 @@ pub fn validate(db: &Database, stmt: &Statement) -> Result<(), DbError> {
                 check(&d.name)
             }
         }
+        Statement::Begin | Statement::Commit | Statement::Rollback => Ok(()),
     }
 }
 

@@ -113,6 +113,19 @@ pub trait QueryGuard: Send + Sync {
     fn metrics(&self) -> Option<septic_telemetry::MetricsSnapshot> {
         None
     }
+
+    /// Re-scans string values recovered from durable storage, returning
+    /// how many the guard considers malicious.
+    ///
+    /// A freshly deployed guard has never seen payloads that were
+    /// *stored* before it was installed (or before a restart); the
+    /// server feeds it every recovered string cell after WAL replay so
+    /// stored-injection payloads are re-detected from disk. Guards
+    /// without stored-data plugins keep the `0` default.
+    fn scan_stored(&self, values: &[String]) -> usize {
+        let _ = values;
+        0
+    }
 }
 
 /// Shared guard handle installed on a server.

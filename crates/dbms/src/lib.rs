@@ -34,6 +34,7 @@ pub mod server;
 pub mod storage;
 pub mod value;
 pub mod vmexec;
+pub mod wal;
 
 pub use error::DbError;
 pub use exec::{execute_read, execute_read_with, execute_with, is_read_only, QueryOutput};
@@ -43,6 +44,10 @@ pub use server::{
     Connection, ExecResult, GeneralLogEntry, Server, ServerConfig, ServerStatsSnapshot,
     SessionSnapshot,
 };
-pub use storage::{Database, Row, TableStore};
+pub use storage::{Database, PkKey, Row, TableStore};
 pub use value::Value;
 pub use vmexec::ProgramCache;
+pub use wal::{
+    FsIo, MemIo, NullBackend, RecoveryReport, StorageBackend, StorageIo, WalConfig, WalStmt,
+    WalStorage,
+};

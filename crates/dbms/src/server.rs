@@ -34,6 +34,9 @@ use crate::guard::{FailurePolicy, GuardDecision, QueryContext, SharedGuard};
 use crate::storage::Database;
 use crate::value::Value;
 use crate::vmexec::ProgramCache;
+use crate::wal::{
+    NullBackend, RecoveryReport, StorageBackend, StorageIo, WalConfig, WalStmt, WalStorage,
+};
 
 /// Default for the expression-VM execution path: on, unless `SEPTIC_VM`
 /// is set to `0` or `off` (same switch the detection VM honours).
@@ -75,6 +78,31 @@ pub struct GeneralLogEntry {
     pub outcome: String,
 }
 
+/// One write buffered inside an open transaction: the parsed statement
+/// (re-executed against the master database at commit) together with the
+/// WAL form (`NOW()` timestamp + rendered SQL) that makes the commit
+/// replayable after a crash.
+#[derive(Debug, Clone)]
+struct BufferedWrite {
+    stmt: Statement,
+    wal: WalStmt,
+}
+
+/// An open transaction: a copy-on-write MVCC snapshot the session reads
+/// and writes privately, plus the redo buffer replayed at `COMMIT`.
+///
+/// The snapshot is taken at `BEGIN`; concurrent committers never touch
+/// it, so in-transaction reads are repeatable. At commit the buffered
+/// writes are re-executed against the *current* master under the write
+/// lock — a write that no longer applies (duplicate key created by a
+/// concurrent commit, table dropped, …) aborts the transaction with
+/// [`DbError::TxnAborted`] (first-committer-wins).
+#[derive(Debug)]
+struct Txn {
+    working: Database,
+    redo: Vec<BufferedWrite>,
+}
+
 /// Per-session (per-[`Connection`]) state: an id for the general log plus
 /// outcome counters, all atomics so a session can be observed from other
 /// threads while it runs.
@@ -90,6 +118,8 @@ struct SessionState {
     /// Client-observed time (wall + simulated `SLEEP`/`BENCHMARK` delay)
     /// of this session's successful queries, microseconds.
     observed_micros: AtomicU64,
+    /// The open transaction, if any (`BEGIN` … `COMMIT`/`ROLLBACK`).
+    txn: Mutex<Option<Txn>>,
 }
 
 impl SessionState {
@@ -101,6 +131,7 @@ impl SessionState {
             queries_failed: AtomicU64::new(0),
             busy_micros: AtomicU64::new(0),
             observed_micros: AtomicU64::new(0),
+            txn: Mutex::new(None),
         }
     }
 }
@@ -146,6 +177,29 @@ impl ServerStats {
             guard_panics: registry.counter("dbms_guard_panics_total"),
             fail_open_passes: registry.counter("dbms_fail_open_passes_total"),
             log_drops: registry.counter("dbms_log_drops_total"),
+        }
+    }
+}
+
+/// Transaction outcome counters (`dbms_txn_*_total` in the Prometheus
+/// export).
+#[derive(Debug)]
+struct TxnStats {
+    begins: Arc<Counter>,
+    commits: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+    /// Commits aborted because a buffered write no longer applied against
+    /// the master database (first-committer-wins conflicts).
+    conflicts: Arc<Counter>,
+}
+
+impl TxnStats {
+    fn register(registry: &MetricsRegistry) -> Self {
+        TxnStats {
+            begins: registry.counter("dbms_txn_begins_total"),
+            commits: registry.counter("dbms_txn_commits_total"),
+            rollbacks: registry.counter("dbms_txn_rollbacks_total"),
+            conflicts: registry.counter("dbms_txn_conflicts_total"),
         }
     }
 }
@@ -251,6 +305,13 @@ pub struct Server {
     /// Whether execution uses the bytecode VM (compiled WHERE/projection
     /// programs) or the interpreted AST walker.
     expr_vm: AtomicBool,
+    /// Durability backend: every committed write batch is handed to it
+    /// *before* the commit is acknowledged. The default [`NullBackend`]
+    /// keeps the server purely in-memory (the differential oracle);
+    /// [`Server::open_durable`] swaps in a [`WalStorage`].
+    storage: RwLock<Arc<dyn StorageBackend>>,
+    /// Transaction outcome counters.
+    txn_stats: TxnStats,
 }
 
 impl Server {
@@ -269,6 +330,7 @@ impl Server {
     fn build(config: ServerConfig) -> Server {
         let metrics = MetricsRegistry::new();
         let stats = ServerStats::register(&metrics);
+        let txn_stats = TxnStats::register(&metrics);
         let pipeline = PipelineTimers::register(&metrics);
         let program_cache = ProgramCache::new();
         program_cache.attach_metrics(&metrics);
@@ -285,7 +347,69 @@ impl Server {
             next_session: AtomicU64::new(1),
             program_cache,
             expr_vm: AtomicBool::new(expr_vm_default()),
+            storage: RwLock::new(Arc::new(NullBackend)),
+            txn_stats,
         }
+    }
+
+    /// Opens a *durable* server on the given storage medium: loads the
+    /// latest checkpoint snapshot (if any), replays the write-ahead log
+    /// over it, and installs the recovered database plus the WAL backend
+    /// so every later commit is logged before it is acknowledged.
+    ///
+    /// Returns the server together with the [`RecoveryReport`] describing
+    /// what recovery found (records replayed, torn tails quarantined, …).
+    /// A guard installed *after* this call has never seen the recovered
+    /// data — run [`Server::scan_recovered`] to re-detect stored payloads.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Storage`] when the medium cannot be read.
+    pub fn open_durable(
+        config: ServerConfig,
+        io: Arc<dyn StorageIo>,
+        wal_config: WalConfig,
+    ) -> Result<(Arc<Self>, RecoveryReport), DbError> {
+        let server = Self::with_config(config);
+        let wal = WalStorage::new(io, wal_config, &server.metrics);
+        let (db, report) = wal.recover()?;
+        *server.db.write() = db;
+        // Resume the logical clock past every replayed NOW(): recovered
+        // timestamps must stay in the past.
+        let floor = server.clock.load(Ordering::Relaxed);
+        server
+            .clock
+            .store(floor.max(report.next_clock), Ordering::Relaxed);
+        *server.storage.write() = Arc::new(wal);
+        Ok((server, report))
+    }
+
+    /// Feeds every string cell of the current database to the installed
+    /// guard's [`crate::guard::QueryGuard::scan_stored`] and returns how
+    /// many it flagged. This is the post-recovery re-detection pass: a
+    /// freshly deployed guard inspects data that was *stored* before it
+    /// was installed (second-order payloads surviving a restart).
+    /// Returns 0 when no guard is installed.
+    #[must_use]
+    pub fn scan_recovered(&self) -> usize {
+        let Some(guard) = self.guard.read().clone() else {
+            return 0;
+        };
+        let values: Vec<String> = {
+            let db = self.db.read();
+            let mut v = Vec::new();
+            for table in db.tables_sorted() {
+                for (_, row) in table.scan() {
+                    for cell in row {
+                        if let Value::Str(s) = cell {
+                            v.push(s.clone());
+                        }
+                    }
+                }
+            }
+            v
+        };
+        guard.scan_stored(&values)
     }
 
     /// Switches row-expression evaluation between the bytecode VM (`true`)
@@ -447,7 +571,7 @@ impl Server {
                 return Ok(result);
             }
         }
-        let outcome = self.run_pipeline(session.id, raw_sql, params);
+        let outcome = self.run_pipeline(session, raw_sql, params);
         match &outcome {
             Ok(res) => {
                 session.queries_ok.fetch_add(1, Ordering::Relaxed);
@@ -560,11 +684,12 @@ impl Server {
 
     fn run_pipeline(
         &self,
-        session: u64,
+        session_state: &SessionState,
         raw_sql: &str,
         params: Option<&[Value]>,
     ) -> Result<ExecResult, DbError> {
         let started = Instant::now();
+        let session = session_state.id;
         let at = self.clock.fetch_add(1, Ordering::Relaxed);
 
         // 1. connection-charset decoding (the semantic-mismatch step).
@@ -604,11 +729,21 @@ impl Server {
         }
 
         // 3. validate (DBMS-side name checks — runs before the guard, as in
-        //    the paper's "Q received, parsed & validated by the DBMS")
+        //    the paper's "Q received, parsed & validated by the DBMS").
+        //    Inside an open transaction names resolve against its working
+        //    snapshot: a table created in the transaction is visible to it.
         {
-            let db = self.db.read();
+            let txn = session_state.txn.lock();
+            let master;
+            let view: &Database = match txn.as_ref() {
+                Some(t) => &t.working,
+                None => {
+                    master = self.db.read();
+                    &master
+                }
+            };
             for stmt in &parsed.statements {
-                if let Err(e) = validate(&db, stmt) {
+                if let Err(e) = validate(view, stmt) {
                     self.log(at, session, raw_sql, || format!("error: {e}"));
                     return Err(e);
                 }
@@ -677,15 +812,20 @@ impl Server {
         drop(stack);
 
         // 7. execute — pure-SELECT calls run under the shared read lock so
-        //    parallel sessions overlap; anything mutating serializes on the
-        //    write lock.
+        //    parallel sessions overlap; autocommit writes serialize on the
+        //    write lock (and reach the durability backend before being
+        //    acknowledged); anything touching an open transaction runs
+        //    against the session's MVCC snapshot instead.
         let t = Instant::now();
         let cache = self
             .expr_vm
             .load(Ordering::Relaxed)
             .then_some(&self.program_cache);
+        let mut txn = session_state.txn.lock();
         let executed: Result<Vec<QueryOutput>, DbError> =
-            if parsed.statements.iter().all(is_read_only) {
+            if txn.is_some() || parsed.statements.iter().any(Statement::is_txn_control) {
+                self.execute_transactional(&mut txn, &parsed.statements, at, cache)
+            } else if parsed.statements.iter().all(is_read_only) {
                 let db = self.db.read();
                 parsed
                     .statements
@@ -693,13 +833,9 @@ impl Server {
                     .map(|stmt| execute_read_with(&db, stmt, at, cache))
                     .collect()
             } else {
-                let mut db = self.db.write();
-                parsed
-                    .statements
-                    .iter()
-                    .map(|stmt| execute_with(&mut db, stmt, at, cache))
-                    .collect()
+                self.execute_autocommit(&parsed.statements, at, cache)
             };
+        drop(txn);
         self.pipeline.execute.record_us(span_us(t));
         let outputs = match executed {
             Ok(outputs) => outputs,
@@ -721,6 +857,163 @@ impl Server {
             elapsed: started.elapsed(),
             simulated_delay: simulated,
         })
+    }
+
+    /// Autocommit execution: each statement commits as it succeeds (MySQL
+    /// semantics — in a stacked call, statements before a failing one keep
+    /// their effects). The successful writes are handed to the durability
+    /// backend *before* the call is acknowledged; if logging fails, the
+    /// whole call is rolled back so the server never acknowledges state
+    /// the WAL has not seen.
+    fn execute_autocommit(
+        &self,
+        statements: &[Statement],
+        at: i64,
+        cache: Option<&ProgramCache>,
+    ) -> Result<Vec<QueryOutput>, DbError> {
+        let storage = self.storage.read().clone();
+        let mut db = self.db.write();
+        let prev = db.snapshot();
+        let mut outputs = Vec::with_capacity(statements.len());
+        let mut redo: Vec<WalStmt> = Vec::new();
+        let mut failed: Option<DbError> = None;
+        for stmt in statements {
+            match execute_with(&mut db, stmt, at, cache) {
+                Ok(out) => {
+                    if !is_read_only(stmt) {
+                        redo.push(WalStmt {
+                            now: at,
+                            sql: stmt.to_string(),
+                        });
+                    }
+                    outputs.push(out);
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if !redo.is_empty() {
+            if let Err(e) = storage.log_commit(redo) {
+                *db = prev;
+                return Err(e);
+            }
+            storage.after_commit(&db, at);
+        }
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(outputs),
+        }
+    }
+
+    /// Execution with transaction control in play: `BEGIN` snapshots the
+    /// database, in-transaction statements run against the session's
+    /// private snapshot (writes buffered for replay), `COMMIT` publishes
+    /// and `ROLLBACK` discards. Each in-transaction statement is atomic:
+    /// it runs on a scratch copy of the snapshot that is adopted only on
+    /// success.
+    fn execute_transactional(
+        &self,
+        txn: &mut Option<Txn>,
+        statements: &[Statement],
+        at: i64,
+        cache: Option<&ProgramCache>,
+    ) -> Result<Vec<QueryOutput>, DbError> {
+        let mut outputs = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            match stmt {
+                Statement::Begin => {
+                    // MySQL: starting a transaction implicitly commits
+                    // the one already open.
+                    if let Some(open) = txn.take() {
+                        self.commit_txn(open)?;
+                    }
+                    *txn = Some(Txn {
+                        working: self.db.read().snapshot(),
+                        redo: Vec::new(),
+                    });
+                    self.txn_stats.begins.inc();
+                    outputs.push(QueryOutput::default());
+                }
+                Statement::Commit => {
+                    // COMMIT with no open transaction is a no-op (MySQL).
+                    if let Some(open) = txn.take() {
+                        self.commit_txn(open)?;
+                    }
+                    outputs.push(QueryOutput::default());
+                }
+                Statement::Rollback => {
+                    if txn.take().is_some() {
+                        self.txn_stats.rollbacks.inc();
+                    }
+                    outputs.push(QueryOutput::default());
+                }
+                other => {
+                    if let Some(open) = txn.as_mut() {
+                        if is_read_only(other) {
+                            outputs.push(execute_read_with(&open.working, other, at, cache)?);
+                        } else {
+                            let mut scratch = open.working.snapshot();
+                            let out = execute_with(&mut scratch, other, at, cache)?;
+                            open.working = scratch;
+                            open.redo.push(BufferedWrite {
+                                stmt: other.clone(),
+                                wal: WalStmt {
+                                    now: at,
+                                    sql: other.to_string(),
+                                },
+                            });
+                            outputs.push(out);
+                        }
+                    } else {
+                        // e.g. `COMMIT; SELECT 1` — past the control
+                        // statements the session is back in autocommit.
+                        outputs.extend(self.execute_autocommit(
+                            std::slice::from_ref(other),
+                            at,
+                            cache,
+                        )?);
+                    }
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Publishes a transaction: re-executes its buffered writes against
+    /// the *current* master database under the write lock (each with the
+    /// `NOW()` it originally observed, so replay is deterministic), hands
+    /// the batch to the durability backend, and only then swaps the new
+    /// state in. A buffered write that no longer applies aborts the
+    /// commit with [`DbError::TxnAborted`] and leaves the master
+    /// untouched (first-committer-wins).
+    fn commit_txn(&self, txn: Txn) -> Result<(), DbError> {
+        if txn.redo.is_empty() {
+            self.txn_stats.commits.inc();
+            return Ok(());
+        }
+        let storage = self.storage.read().clone();
+        let cache = self
+            .expr_vm
+            .load(Ordering::Relaxed)
+            .then_some(&self.program_cache);
+        let mut db = self.db.write();
+        let mut working = db.snapshot();
+        for buffered in &txn.redo {
+            if let Err(e) = execute_with(&mut working, &buffered.stmt, buffered.wal.now, cache) {
+                self.txn_stats.conflicts.inc();
+                return Err(DbError::TxnAborted(format!(
+                    "`{}` no longer applies: {e}",
+                    buffered.wal.sql
+                )));
+            }
+        }
+        storage.log_commit(txn.redo.iter().map(|b| b.wal.clone()).collect())?;
+        *db = working;
+        storage.after_commit(&db, self.clock.load(Ordering::Relaxed));
+        self.txn_stats.commits.inc();
+        Ok(())
     }
 }
 
@@ -862,6 +1155,13 @@ impl Connection {
     #[must_use]
     pub fn session_id(&self) -> u64 {
         self.session.id
+    }
+
+    /// True while this session has an open transaction (`BEGIN` seen,
+    /// no `COMMIT`/`ROLLBACK` yet).
+    #[must_use]
+    pub fn in_transaction(&self) -> bool {
+        self.session.txn.lock().is_some()
     }
 
     /// Snapshot of this session's outcome counters.
@@ -1218,6 +1518,207 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap().queries_ok, 50);
         }
+    }
+
+    #[test]
+    fn begin_commit_publishes_rollback_discards() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(8))")
+            .unwrap();
+        conn.execute("BEGIN").unwrap();
+        assert!(conn.in_transaction());
+        conn.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+            .unwrap();
+        // Visible inside the transaction, not outside.
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
+        let other = server.connect();
+        assert_eq!(
+            other.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(0))
+        );
+        conn.execute("COMMIT").unwrap();
+        assert!(!conn.in_transaction());
+        assert_eq!(
+            other.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
+        // ROLLBACK discards.
+        conn.execute("START TRANSACTION").unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (2, 'b')")
+            .unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        assert_eq!(
+            other.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn txn_reads_are_repeatable_snapshots() {
+        let server = Server::new();
+        let a = server.connect();
+        let b = server.connect();
+        a.execute("CREATE TABLE t (id INT)").unwrap();
+        a.execute("BEGIN").unwrap();
+        b.execute("INSERT INTO t (id) VALUES (7)").unwrap();
+        // A's snapshot was taken at BEGIN: B's later write is invisible.
+        assert_eq!(
+            a.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(0))
+        );
+        a.execute("COMMIT").unwrap();
+        assert_eq!(
+            a.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn failed_statement_inside_txn_is_atomic() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO t (id) VALUES (1)").unwrap();
+        // Multi-row insert whose second row collides: the whole statement
+        // must leave the transaction snapshot untouched.
+        let err = conn
+            .execute("INSERT INTO t (id) VALUES (2), (1)")
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey(_)));
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
+        // The transaction is still usable and commits cleanly.
+        conn.execute("INSERT INTO t (id) VALUES (3)").unwrap();
+        conn.execute("COMMIT").unwrap();
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn conflicting_commit_aborts_first_committer_wins() {
+        let server = Server::new();
+        let a = server.connect();
+        let b = server.connect();
+        a.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(8))")
+            .unwrap();
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t (id, v) VALUES (1, 'a')").unwrap();
+        // B commits the same key first (autocommit).
+        b.execute("INSERT INTO t (id, v) VALUES (1, 'b')").unwrap();
+        let err = a.execute("COMMIT").unwrap_err();
+        assert!(matches!(err, DbError::TxnAborted(_)), "{err}");
+        assert!(!a.in_transaction());
+        // B's row survived; A's was discarded.
+        assert_eq!(
+            b.query("SELECT v FROM t WHERE id = 1").unwrap().scalar(),
+            Some(&Value::from("b"))
+        );
+        let snap = server.metrics_snapshot();
+        let conflicts = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "dbms_txn_conflicts_total")
+            .map(|c| c.value);
+        assert_eq!(conflicts, Some(1));
+    }
+
+    #[test]
+    fn ddl_inside_txn_validates_against_working_snapshot() {
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("CREATE TABLE staged (id INT)").unwrap();
+        // The table exists only in the transaction's snapshot, yet the
+        // INSERT validates and executes there.
+        conn.execute("INSERT INTO staged (id) VALUES (1)").unwrap();
+        let other = server.connect();
+        assert!(other.execute("SELECT * FROM staged").is_err());
+        conn.execute("COMMIT").unwrap();
+        assert_eq!(
+            other.query("SELECT COUNT(*) FROM staged").unwrap().scalar(),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn durable_server_recovers_data_and_transactions() {
+        let io = crate::wal::MemIo::new();
+        let (server, report) = Server::open_durable(
+            ServerConfig::default(),
+            io.clone(),
+            crate::wal::WalConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed_records, 0);
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(64))")
+            .unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (1, 'kept')")
+            .unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (2, 'committed')")
+            .unwrap();
+        conn.execute("COMMIT").unwrap();
+        conn.execute("BEGIN").unwrap();
+        conn.execute("INSERT INTO t (id, v) VALUES (3, 'discarded')")
+            .unwrap();
+        conn.execute("ROLLBACK").unwrap();
+        drop(conn);
+        drop(server);
+
+        // "Restart": a fresh server over the same medium.
+        let (revived, report) = Server::open_durable(
+            ServerConfig::default(),
+            io,
+            crate::wal::WalConfig::default(),
+        )
+        .unwrap();
+        assert!(report.replayed_records >= 2);
+        assert_eq!(report.torn_records, 0);
+        let conn = revived.connect();
+        let out = conn.query("SELECT v FROM t ORDER BY id").unwrap();
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::from("kept")], vec![Value::from("committed")]]
+        );
+    }
+
+    #[test]
+    fn scan_recovered_feeds_string_cells_to_the_guard() {
+        struct StoredScanner(Mutex<Vec<String>>);
+        impl QueryGuard for StoredScanner {
+            fn inspect(&self, _: &QueryContext<'_>) -> GuardDecision {
+                GuardDecision::Proceed
+            }
+            fn scan_stored(&self, values: &[String]) -> usize {
+                self.0.lock().extend(values.iter().cloned());
+                values.iter().filter(|v| v.contains("OR 1=1")).count()
+            }
+        }
+        let server = Server::new();
+        let conn = server.connect();
+        conn.execute("CREATE TABLE t (id INT, v VARCHAR(64))")
+            .unwrap();
+        conn.execute_prepared(
+            "INSERT INTO t (id, v) VALUES (1, ?)",
+            &[Value::from("x' OR 1=1-- ")],
+        )
+        .unwrap();
+        // No guard installed: nothing to scan with.
+        assert_eq!(server.scan_recovered(), 0);
+        let scanner = Arc::new(StoredScanner(Mutex::new(Vec::new())));
+        server.install_guard(scanner.clone());
+        assert_eq!(server.scan_recovered(), 1);
+        assert!(scanner.0.lock().iter().any(|v| v == "x' OR 1=1-- "));
     }
 
     #[test]

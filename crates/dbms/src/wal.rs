@@ -1,0 +1,917 @@
+//! Durable storage engine: append-only WAL + checkpoint snapshots.
+//!
+//! The engine is a *logical redo log*: every acknowledged write is
+//! appended to `wal.log` as a CRC32-framed record of rendered SQL
+//! statements (with the logical clock value they executed under), and
+//! recovery re-executes them in order against an empty database — the
+//! same deterministic executor both engines already share.  Periodic
+//! checkpoints serialize the whole database to `snapshot.db` (written to
+//! a temp file, read back and verified, then installed with an atomic
+//! rename, the same discipline as `septic-core`'s model store) and
+//! truncate the log.
+//!
+//! Frame format, little-endian:
+//!
+//! ```text
+//! | u32 payload_len | u32 crc32(payload) | payload (JSON WalRecord) |
+//! ```
+//!
+//! A torn tail (truncated or bit-flipped last record, the crash window a
+//! write-ahead log must survive) is **quarantined**: the bytes move to
+//! `wal.log.corrupt`, the log is truncated to the valid prefix via
+//! tmp+rename, the event is counted in telemetry, and the record is
+//! never replayed.  Acknowledged commits live in earlier, CRC-valid
+//! frames and always survive.
+//!
+//! Everything is threaded through the [`StorageIo`] seam so tests (and
+//! `septic-faults`) can run the engine over in-memory files and script
+//! torn writes at exact byte offsets.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use septic_telemetry::{Counter, MetricsRegistry};
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::TableSchema;
+use crate::error::DbError;
+use crate::exec;
+use crate::storage::{Database, Row, TableStore};
+
+/// WAL file name (relative to the [`StorageIo`] root).
+pub const WAL_FILE: &str = "wal.log";
+/// Quarantine target for torn WAL tails.
+pub const WAL_CORRUPT_FILE: &str = "wal.log.corrupt";
+const WAL_TMP_FILE: &str = "wal.log.tmp";
+/// Checkpoint snapshot file name.
+pub const SNAPSHOT_FILE: &str = "snapshot.db";
+/// Quarantine target for corrupt snapshots.
+pub const SNAPSHOT_CORRUPT_FILE: &str = "snapshot.db.corrupt";
+const SNAPSHOT_TMP_FILE: &str = "snapshot.db.tmp";
+
+// ---------------------------------------------------------------------------
+// StorageIo seam
+// ---------------------------------------------------------------------------
+
+/// Byte-level file operations the durability layer runs on.  Implemented
+/// by [`FsIo`] (real files), [`MemIo`] (tests, forkable per recovery
+/// case) and `septic-faults`' `FaultyIo` (scripted torn writes).
+pub trait StorageIo: Send + Sync + fmt::Debug {
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] as the underlying medium reports it.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates or truncates a file with the given contents.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] as the underlying medium reports it.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends to a file, creating it when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] as the underlying medium reports it.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Atomically renames a file.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] as the underlying medium reports it.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// True when the file exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// In-memory [`StorageIo`]: a map of paths to byte buffers.  `fork()`
+/// clones the whole "disk", so one populated image can seed many
+/// independent recovery runs (the per-case pattern the conformance
+/// harness uses).
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemIo {
+    /// An empty in-memory disk.
+    #[must_use]
+    pub fn new() -> Arc<MemIo> {
+        Arc::new(MemIo::default())
+    }
+
+    /// Deep copy of the current disk image.
+    #[must_use]
+    pub fn fork(&self) -> Arc<MemIo> {
+        Arc::new(MemIo {
+            files: Mutex::new(self.files.lock().clone()),
+        })
+    }
+
+    /// Raw contents of a file, if present.
+    #[must_use]
+    pub fn contents(&self, path: impl AsRef<Path>) -> Option<Vec<u8>> {
+        self.files.lock().get(path.as_ref()).cloned()
+    }
+
+    /// Plants raw bytes at a path (corruption scripting).
+    pub fn plant(&self, path: impl AsRef<Path>, data: Vec<u8>) {
+        self.files.lock().insert(path.as_ref().to_path_buf(), data);
+    }
+}
+
+impl StorageIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display())))
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files.lock().insert(path.to_path_buf(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock();
+        let data = files.remove(from).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{}", from.display()))
+        })?;
+        files.insert(to.to_path_buf(), data);
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.lock().contains_key(path)
+    }
+}
+
+/// Real-filesystem [`StorageIo`] rooted at a directory.  Appends and
+/// writes are synced to the medium before acknowledging (a WAL append
+/// that is not durable is not a WAL).
+#[derive(Debug)]
+pub struct FsIo {
+    root: PathBuf,
+}
+
+impl FsIo {
+    /// Creates the root directory (and parents) if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Arc<FsIo>> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Arc::new(FsIo { root }))
+    }
+
+    fn resolve(&self, path: &Path) -> PathBuf {
+        self.root.join(path)
+    }
+}
+
+impl StorageIo for FsIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(self.resolve(path))
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(self.resolve(path))?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.resolve(path))?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(self.resolve(from), self.resolve(to))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.resolve(path).exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// frames
+// ---------------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3 polynomial) over `data` — the same checksum the
+/// model store's envelope uses, reimplemented here because `dbms` sits
+/// below `core` in the dependency order.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Frames a payload as `len | crc | payload`.
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A torn (unreplayable) tail found while scanning frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the valid prefix ends.
+    pub offset: usize,
+    /// Human-readable reason (truncated header/payload, CRC mismatch).
+    pub reason: String,
+}
+
+/// Splits a byte stream into CRC-valid frame payloads plus an optional
+/// torn tail.  Scanning stops at the first bad frame: everything after a
+/// torn record is unreachable redo state.
+#[must_use]
+pub fn scan_frames(bytes: &[u8]) -> (Vec<&[u8]>, Option<TornTail>) {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            return (
+                payloads,
+                Some(TornTail {
+                    offset: pos,
+                    reason: format!("truncated header ({} of 8 bytes)", rest.len()),
+                }),
+            );
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if rest.len() < 8 + len {
+            return (
+                payloads,
+                Some(TornTail {
+                    offset: pos,
+                    reason: format!("truncated payload (want {len}, have {})", rest.len() - 8),
+                }),
+            );
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc {
+            return (
+                payloads,
+                Some(TornTail {
+                    offset: pos,
+                    reason: "crc mismatch".to_string(),
+                }),
+            );
+        }
+        payloads.push(payload);
+        pos += 8 + len;
+    }
+    (payloads, None)
+}
+
+// ---------------------------------------------------------------------------
+// records
+// ---------------------------------------------------------------------------
+
+/// One redo statement: the rendered SQL and the logical clock value it
+/// executed under (so `NOW()` replays deterministically).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalStmt {
+    pub now: i64,
+    pub sql: String,
+}
+
+/// One commit record: an atomic batch of redo statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct WalRecord {
+    seq: u64,
+    stmts: Vec<WalStmt>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TableSnapshot {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    next_auto_increment: i64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct DbSnapshot {
+    version: u32,
+    /// Highest WAL sequence covered by this snapshot; replay skips
+    /// records at or below it.
+    seq: u64,
+    /// Logical clock at checkpoint time.
+    clock: i64,
+    tables: Vec<TableSnapshot>,
+}
+
+// ---------------------------------------------------------------------------
+// the storage backend seam
+// ---------------------------------------------------------------------------
+
+/// The durability seam the server writes through.  The in-memory oracle
+/// uses [`NullBackend`] (acknowledge immediately, persist nothing); the
+/// durable engine uses [`WalStorage`].
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Persists an acknowledged commit (autocommit statement batch or
+    /// explicit transaction).  Called under the server's write lock, so
+    /// append order is apply order.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Storage`] when the commit could not be made durable —
+    /// the server then rolls the in-memory state back and the client
+    /// never sees an acknowledgement.
+    fn log_commit(&self, stmts: Vec<WalStmt>) -> Result<(), DbError>;
+
+    /// Called after a durable commit with the post-commit database and
+    /// clock; the WAL backend checkpoints here when the log is due.
+    fn after_commit(&self, db: &Database, clock: i64);
+}
+
+/// No-op backend: the in-memory differential oracle.
+#[derive(Debug, Default)]
+pub struct NullBackend;
+
+impl StorageBackend for NullBackend {
+    fn log_commit(&self, _stmts: Vec<WalStmt>) -> Result<(), DbError> {
+        Ok(())
+    }
+
+    fn after_commit(&self, _db: &Database, _clock: i64) {}
+}
+
+// ---------------------------------------------------------------------------
+// the WAL engine
+// ---------------------------------------------------------------------------
+
+/// Durability tuning.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Checkpoint after this many commit records (0 = never).
+    pub checkpoint_every: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Commit records re-executed from the WAL.
+    pub replayed_records: u64,
+    /// Individual statements re-executed.
+    pub replayed_statements: u64,
+    /// Torn tail records quarantined (0 or 1 per recovery).
+    pub torn_records: u64,
+    /// Statements that failed during replay (determinism violation —
+    /// loud in telemetry, recovery continues).
+    pub replay_errors: u64,
+    /// True when a checkpoint snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// True when a corrupt snapshot was quarantined.
+    pub snapshot_quarantined: bool,
+    /// Tables in the recovered database.
+    pub tables: usize,
+    /// First safe logical clock value after recovery.
+    pub next_clock: i64,
+}
+
+#[derive(Debug)]
+struct WalState {
+    next_seq: u64,
+    commits_since_checkpoint: u64,
+}
+
+/// The WAL + checkpoint storage engine.
+pub struct WalStorage {
+    io: Arc<dyn StorageIo>,
+    cfg: WalConfig,
+    state: Mutex<WalState>,
+    appends: Arc<Counter>,
+    append_failures: Arc<Counter>,
+    appended_bytes: Arc<Counter>,
+    replayed_records: Arc<Counter>,
+    replay_errors: Arc<Counter>,
+    torn_records: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
+    snapshots_quarantined: Arc<Counter>,
+}
+
+impl fmt::Debug for WalStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalStorage")
+            .field("cfg", &self.cfg)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WalStorage {
+    /// Builds the engine over an IO seam, registering its counters in the
+    /// given metrics registry (the server's, so `SHOW SEPTIC METRICS` and
+    /// the Prometheus export include them).
+    #[must_use]
+    pub fn new(io: Arc<dyn StorageIo>, cfg: WalConfig, metrics: &MetricsRegistry) -> WalStorage {
+        WalStorage {
+            io,
+            cfg,
+            state: Mutex::new(WalState {
+                next_seq: 1,
+                commits_since_checkpoint: 0,
+            }),
+            appends: metrics.counter("dbms_wal_appends_total"),
+            append_failures: metrics.counter("dbms_wal_append_failures_total"),
+            appended_bytes: metrics.counter("dbms_wal_appended_bytes_total"),
+            replayed_records: metrics.counter("dbms_wal_replayed_records_total"),
+            replay_errors: metrics.counter("dbms_wal_replay_errors_total"),
+            torn_records: metrics.counter("dbms_wal_torn_records_total"),
+            checkpoints: metrics.counter("dbms_checkpoints_total"),
+            checkpoint_failures: metrics.counter("dbms_checkpoint_failures_total"),
+            snapshots_quarantined: metrics.counter("dbms_snapshots_quarantined_total"),
+        }
+    }
+
+    /// Rebuilds the database: load the checkpoint snapshot (quarantining
+    /// it if corrupt), then re-execute every CRC-valid WAL record above
+    /// the snapshot's sequence.  A torn tail is quarantined to
+    /// `wal.log.corrupt` and the log truncated to its valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Storage`] only for IO failures; corruption never fails
+    /// recovery, it is quarantined and counted.
+    pub fn recover(&self) -> Result<(Database, RecoveryReport), DbError> {
+        let mut db = Database::new();
+        let mut report = RecoveryReport::default();
+        let mut base_seq = 0u64;
+        let mut clock = 0i64;
+
+        if self.io.exists(Path::new(SNAPSHOT_FILE)) {
+            let bytes = self
+                .io
+                .read(Path::new(SNAPSHOT_FILE))
+                .map_err(|e| DbError::Storage(format!("read {SNAPSHOT_FILE}: {e}")))?;
+            match load_snapshot(&bytes) {
+                Ok(snap) => {
+                    base_seq = snap.seq;
+                    clock = snap.clock;
+                    report.snapshot_loaded = true;
+                    for t in snap.tables {
+                        let store = TableStore::restore(t.schema, t.rows, t.next_auto_increment)
+                            .map_err(|e| {
+                                DbError::Storage(format!("snapshot table invalid: {e}"))
+                            })?;
+                        db.install_table(store);
+                    }
+                }
+                Err(_) => {
+                    // Quarantine, count, and fall back to WAL-only replay.
+                    self.snapshots_quarantined.inc();
+                    report.snapshot_quarantined = true;
+                    self.io
+                        .rename(Path::new(SNAPSHOT_FILE), Path::new(SNAPSHOT_CORRUPT_FILE))
+                        .map_err(|e| {
+                            DbError::Storage(format!("quarantine {SNAPSHOT_FILE}: {e}"))
+                        })?;
+                }
+            }
+        }
+
+        let mut max_seq = base_seq;
+        if self.io.exists(Path::new(WAL_FILE)) {
+            let bytes = self
+                .io
+                .read(Path::new(WAL_FILE))
+                .map_err(|e| DbError::Storage(format!("read {WAL_FILE}: {e}")))?;
+            let (payloads, mut torn) = scan_frames(&bytes);
+            let mut valid_end = 0usize;
+            for payload in payloads {
+                let Ok(record) = decode_json::<WalRecord>(payload) else {
+                    // CRC-valid but undecodable: treat as torn from here.
+                    torn = Some(TornTail {
+                        offset: valid_end,
+                        reason: "undecodable record".to_string(),
+                    });
+                    break;
+                };
+                valid_end += 8 + payload.len();
+                if record.seq <= base_seq {
+                    continue; // covered by the checkpoint
+                }
+                max_seq = max_seq.max(record.seq);
+                report.replayed_records += 1;
+                self.replayed_records.inc();
+                for stmt in record.stmts {
+                    clock = clock.max(stmt.now);
+                    report.replayed_statements += 1;
+                    if replay_statement(&mut db, &stmt).is_err() {
+                        report.replay_errors += 1;
+                        self.replay_errors.inc();
+                    }
+                }
+            }
+            if let Some(tail) = torn {
+                self.torn_records.inc();
+                report.torn_records += 1;
+                self.io
+                    .append(Path::new(WAL_CORRUPT_FILE), &bytes[tail.offset..])
+                    .map_err(|e| DbError::Storage(format!("quarantine WAL tail: {e}")))?;
+                self.io
+                    .write(Path::new(WAL_TMP_FILE), &bytes[..valid_end])
+                    .map_err(|e| DbError::Storage(format!("truncate {WAL_FILE}: {e}")))?;
+                self.io
+                    .rename(Path::new(WAL_TMP_FILE), Path::new(WAL_FILE))
+                    .map_err(|e| DbError::Storage(format!("truncate {WAL_FILE}: {e}")))?;
+            }
+        }
+
+        self.state.lock().next_seq = max_seq + 1;
+        report.tables = db.table_names().count();
+        report.next_clock = clock + 1;
+        Ok((db, report))
+    }
+
+    /// True when enough commits accumulated for a checkpoint.
+    #[must_use]
+    pub fn should_checkpoint(&self) -> bool {
+        self.cfg.checkpoint_every > 0
+            && self.state.lock().commits_since_checkpoint >= self.cfg.checkpoint_every
+    }
+
+    /// Serializes the database to the snapshot file (tmp → readback
+    /// verify → atomic rename) and truncates the WAL it covers.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Storage`] on IO or verification failure.  Every failure
+    /// point leaves a recoverable state: either the old snapshot + full
+    /// WAL, or the new snapshot + a WAL whose covered prefix replay
+    /// skips by sequence number.
+    pub fn checkpoint(&self, db: &Database, clock: i64) -> Result<(), DbError> {
+        let result = self.try_checkpoint(db, clock);
+        if result.is_err() {
+            self.checkpoint_failures.inc();
+        }
+        result
+    }
+
+    fn try_checkpoint(&self, db: &Database, clock: i64) -> Result<(), DbError> {
+        let mut state = self.state.lock();
+        let snap = DbSnapshot {
+            version: 1,
+            seq: state.next_seq - 1,
+            clock,
+            tables: db
+                .tables_sorted()
+                .into_iter()
+                .map(|t| TableSnapshot {
+                    schema: t.schema.clone(),
+                    rows: t.rows_snapshot(),
+                    next_auto_increment: t.next_auto_increment(),
+                })
+                .collect(),
+        };
+        let payload = serde_json::to_string(&snap)
+            .map_err(|e| DbError::Storage(format!("serialize: {e}")))?
+            .into_bytes();
+        let frame = encode_frame(&payload);
+        self.io
+            .write(Path::new(SNAPSHOT_TMP_FILE), &frame)
+            .map_err(|e| DbError::Storage(format!("write {SNAPSHOT_TMP_FILE}: {e}")))?;
+        let readback = self
+            .io
+            .read(Path::new(SNAPSHOT_TMP_FILE))
+            .map_err(|e| DbError::Storage(format!("verify {SNAPSHOT_TMP_FILE}: {e}")))?;
+        if readback != frame {
+            return Err(DbError::Storage(
+                "snapshot readback verification failed".to_string(),
+            ));
+        }
+        self.io
+            .rename(Path::new(SNAPSHOT_TMP_FILE), Path::new(SNAPSHOT_FILE))
+            .map_err(|e| DbError::Storage(format!("install {SNAPSHOT_FILE}: {e}")))?;
+        // Everything at or below snap.seq is covered; if this truncate
+        // crashes, replay skips those records by sequence anyway.
+        self.io
+            .write(Path::new(WAL_FILE), &[])
+            .map_err(|e| DbError::Storage(format!("truncate {WAL_FILE}: {e}")))?;
+        state.commits_since_checkpoint = 0;
+        self.checkpoints.inc();
+        Ok(())
+    }
+}
+
+impl StorageBackend for WalStorage {
+    fn log_commit(&self, stmts: Vec<WalStmt>) -> Result<(), DbError> {
+        let mut state = self.state.lock();
+        let record = WalRecord {
+            seq: state.next_seq,
+            stmts,
+        };
+        let payload = serde_json::to_string(&record)
+            .map_err(|e| DbError::Storage(format!("serialize commit: {e}")))?
+            .into_bytes();
+        let frame = encode_frame(&payload);
+        if let Err(e) = self.io.append(Path::new(WAL_FILE), &frame) {
+            self.append_failures.inc();
+            return Err(DbError::Storage(format!("append {WAL_FILE}: {e}")));
+        }
+        state.next_seq += 1;
+        state.commits_since_checkpoint += 1;
+        self.appends.inc();
+        self.appended_bytes.add(frame.len() as u64);
+        Ok(())
+    }
+
+    fn after_commit(&self, db: &Database, clock: i64) {
+        if self.should_checkpoint() {
+            // Failure is counted (dbms_checkpoint_failures_total) and the
+            // WAL keeps growing; the commit itself is already durable.
+            let _ = self.checkpoint(db, clock);
+        }
+    }
+}
+
+fn load_snapshot(bytes: &[u8]) -> Result<DbSnapshot, String> {
+    let (payloads, torn) = scan_frames(bytes);
+    if let Some(tail) = torn {
+        return Err(format!("corrupt snapshot: {}", tail.reason));
+    }
+    let [payload] = payloads.as_slice() else {
+        return Err(format!(
+            "corrupt snapshot: expected 1 frame, found {}",
+            payloads.len()
+        ));
+    };
+    let snap: DbSnapshot = decode_json(payload).map_err(|e| format!("corrupt snapshot: {e}"))?;
+    if snap.version != 1 {
+        return Err(format!("unsupported snapshot version {}", snap.version));
+    }
+    Ok(snap)
+}
+
+/// Decodes a JSON payload (the vendored `serde_json` only parses from
+/// `&str`, so non-UTF-8 bytes are a decode failure like any other).
+fn decode_json<T: serde::Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// Re-executes one redo statement without any guard: recovery restores
+/// state, re-detection of stored payloads happens afterwards through
+/// `Server::scan_recovered`.
+fn replay_statement(db: &mut Database, stmt: &WalStmt) -> Result<(), DbError> {
+    let parsed = septic_sql::parse(&stmt.sql)?;
+    for s in &parsed.statements {
+        exec::execute(db, s, stmt.now)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+
+    fn wal_over(io: Arc<dyn StorageIo>) -> WalStorage {
+        WalStorage::new(io, WalConfig::default(), &registry())
+    }
+
+    fn stmt(sql: &str) -> WalStmt {
+        WalStmt {
+            now: 42,
+            sql: sql.to_string(),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_torn_detection() {
+        let a = encode_frame(b"hello");
+        let b = encode_frame(b"world!");
+        let mut log = a.clone();
+        log.extend_from_slice(&b);
+        let (payloads, torn) = scan_frames(&log);
+        assert_eq!(payloads, vec![b"hello".as_slice(), b"world!".as_slice()]);
+        assert!(torn.is_none());
+
+        // Truncated payload.
+        let (payloads, torn) = scan_frames(&log[..a.len() + 9]);
+        assert_eq!(payloads.len(), 1);
+        assert_eq!(torn.unwrap().offset, a.len());
+
+        // Bit flip in the payload.
+        let mut flipped = log.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        let (payloads, torn) = scan_frames(&flipped);
+        assert_eq!(payloads.len(), 1);
+        assert_eq!(torn.unwrap().reason, "crc mismatch");
+    }
+
+    #[test]
+    fn log_and_recover_roundtrip() {
+        let io = MemIo::new();
+        let wal = wal_over(io.clone());
+        wal.log_commit(vec![stmt(
+            "CREATE TABLE users (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(32))",
+        )])
+        .unwrap();
+        wal.log_commit(vec![stmt("INSERT INTO users (name) VALUES ('ann')")])
+            .unwrap();
+        wal.log_commit(vec![stmt("INSERT INTO users (name) VALUES ('bob')")])
+            .unwrap();
+
+        let fresh = wal_over(io.fork());
+        let (db, report) = fresh.recover().unwrap();
+        assert_eq!(report.replayed_records, 3);
+        assert_eq!(report.torn_records, 0);
+        assert_eq!(report.replay_errors, 0);
+        assert_eq!(report.next_clock, 43);
+        assert_eq!(db.table("users").unwrap().len(), 2);
+        assert_eq!(
+            db.table("users").unwrap().get_by_pk(2).unwrap()[1],
+            crate::value::Value::from("bob")
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_quarantined_not_replayed() {
+        let io = MemIo::new();
+        let wal = wal_over(io.clone());
+        wal.log_commit(vec![stmt(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v VARCHAR(8))",
+        )])
+        .unwrap();
+        wal.log_commit(vec![stmt("INSERT INTO t (v) VALUES ('ok')")])
+            .unwrap();
+        wal.log_commit(vec![stmt("INSERT INTO t (v) VALUES ('torn')")])
+            .unwrap();
+        // Tear the last record: drop its final 3 bytes.
+        let mut log = io.contents(WAL_FILE).unwrap();
+        log.truncate(log.len() - 3);
+        io.plant(WAL_FILE, log);
+
+        let fresh = wal_over(io.fork());
+        let (db, report) = fresh.recover().unwrap();
+        assert_eq!(report.replayed_records, 2);
+        assert_eq!(report.torn_records, 1);
+        assert_eq!(db.table("t").unwrap().len(), 1);
+
+        // Quarantined, truncated, and a second recovery is clean.
+        let fio = fresh_io_of(&fresh);
+        assert!(fio.exists(Path::new(WAL_CORRUPT_FILE)));
+        let truncated = fio.read(Path::new(WAL_FILE)).unwrap();
+        let (payloads, torn) = scan_frames(&truncated);
+        assert_eq!(payloads.len(), 2);
+        assert!(torn.is_none());
+        let (db2, report2) = wal_over(fio).recover().unwrap();
+        assert_eq!(report2.torn_records, 0);
+        assert_eq!(db2.table("t").unwrap().len(), 1);
+    }
+
+    fn fresh_io_of(wal: &WalStorage) -> Arc<dyn StorageIo> {
+        wal.io.clone()
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_recovers() {
+        let io = MemIo::new();
+        let wal = WalStorage::new(
+            io.clone(),
+            WalConfig {
+                checkpoint_every: 2,
+            },
+            &registry(),
+        );
+        let (mut db, _) = wal.recover().unwrap();
+        let apply = |w: &WalStorage, db: &mut Database, sql: &str| {
+            let parsed = septic_sql::parse(sql).unwrap();
+            for s in &parsed.statements {
+                exec::execute(db, s, 42).unwrap();
+            }
+            w.log_commit(vec![stmt(sql)]).unwrap();
+            w.after_commit(db, 42);
+        };
+        apply(
+            &wal,
+            &mut db,
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v VARCHAR(8))",
+        );
+        apply(&wal, &mut db, "INSERT INTO t (v) VALUES ('a')");
+        // checkpoint_every=2 → the snapshot exists and the WAL is empty.
+        assert!(io.exists(Path::new(SNAPSHOT_FILE)));
+        assert!(io.contents(WAL_FILE).unwrap().is_empty());
+        apply(&wal, &mut db, "INSERT INTO t (v) VALUES ('b')");
+        assert!(!io.contents(WAL_FILE).unwrap().is_empty());
+
+        // Recovery = snapshot + WAL tail.
+        let (rdb, report) = wal_over(io.fork()).recover().unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(rdb.table("t").unwrap().len(), 2);
+        assert!(rdb.table("t").unwrap().get_by_pk(2).is_some());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined() {
+        let io = MemIo::new();
+        let wal = WalStorage::new(
+            io.clone(),
+            WalConfig {
+                checkpoint_every: 1,
+            },
+            &registry(),
+        );
+        let (mut db, _) = wal.recover().unwrap();
+        let parsed = septic_sql::parse("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        exec::execute(&mut db, &parsed.statements[0], 1).unwrap();
+        wal.log_commit(vec![stmt("CREATE TABLE t (id INT PRIMARY KEY)")])
+            .unwrap();
+        wal.after_commit(&db, 1);
+        assert!(io.exists(Path::new(SNAPSHOT_FILE)));
+        let mut snap = io.contents(SNAPSHOT_FILE).unwrap();
+        let mid = snap.len() / 2;
+        snap[mid] ^= 0xFF;
+        io.plant(SNAPSHOT_FILE, snap);
+
+        let (rdb, report) = wal_over(io.clone()).recover().unwrap();
+        assert!(report.snapshot_quarantined);
+        assert!(!report.snapshot_loaded);
+        assert!(io.exists(Path::new(SNAPSHOT_CORRUPT_FILE)));
+        assert!(!io.exists(Path::new(SNAPSHOT_FILE)));
+        // The covering WAL was truncated at checkpoint, so the table is
+        // gone — quarantine preserves the evidence, not the data.
+        assert!(rdb.table("t").is_err());
+    }
+
+    #[test]
+    fn fs_io_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("septic-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = FsIo::open(&dir).unwrap();
+        let wal = wal_over(io.clone());
+        wal.log_commit(vec![stmt("CREATE TABLE t (id INT PRIMARY KEY)")])
+            .unwrap();
+        let (db, report) = wal_over(FsIo::open(&dir).unwrap()).recover().unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert!(db.table("t").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

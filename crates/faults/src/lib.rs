@@ -9,6 +9,9 @@
 //!   persistence tests;
 //! * [`FaultyBackend`] — wraps any backend and fails *scripted* operations
 //!   (I/O error, torn write, **silent** torn write) exactly once each;
+//! * [`FaultyIo`] — the same scripted faults against the DBMS's
+//!   [`StorageIo`] (WAL appends, checkpoint writes, recovery reads), for
+//!   crash-safety tests of the durability layer;
 //! * [`PanickingGuard`] — a [`QueryGuard`] that always panics, with a
 //!   chosen failure policy;
 //! * [`PanickingPlugin`] — a stored-injection plugin that panics during
@@ -32,7 +35,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 use septic::{Plugin, StoreBackend, StoredAttack};
-use septic_dbms::{FailurePolicy, GuardDecision, QueryContext, QueryGuard};
+use septic_dbms::{FailurePolicy, GuardDecision, QueryContext, QueryGuard, StorageIo};
 
 // ---------------------------------------------------------------------------
 // In-memory backend
@@ -276,6 +279,135 @@ impl StoreBackend for FaultyBackend {
 }
 
 // ---------------------------------------------------------------------------
+// Scripted faults against the DBMS durability layer
+// ---------------------------------------------------------------------------
+
+/// The kind of [`StorageIo`] operation a fault is scripted against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    Read,
+    Write,
+    Append,
+    Rename,
+}
+
+/// Wraps a [`StorageIo`] (the medium under the DBMS's WAL and checkpoint
+/// snapshots) and injects the same scripted faults as [`FaultyBackend`]:
+/// each `(op, nth)` entry fires exactly once, on the nth call (0-based)
+/// of that operation kind. The interesting cases for a write-ahead log:
+///
+/// * `Append` + [`Fault::Torn`] — the process dies mid-append; the tail
+///   of the log is a partial frame the next recovery must quarantine;
+/// * `Append` + [`Fault::SilentTorn`] — the medium lies about the append
+///   having completed; only the CRC catches it at replay;
+/// * `Append`/`Write` + [`Fault::Error`] — the commit must NOT be
+///   acknowledged to the client.
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: Arc<dyn StorageIo>,
+    plan: Mutex<HashMap<(IoOp, u64), Fault>>,
+    counts: Mutex<HashMap<IoOp, u64>>,
+    injected: Mutex<Vec<(IoOp, u64, Fault)>>,
+}
+
+impl FaultyIo {
+    /// Wraps `inner` with an empty fault plan.
+    #[must_use]
+    pub fn new(inner: Arc<dyn StorageIo>) -> Arc<Self> {
+        Arc::new(FaultyIo {
+            inner,
+            plan: Mutex::new(HashMap::new()),
+            counts: Mutex::new(HashMap::new()),
+            injected: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Scripts `fault` to fire on the `nth` (0-based) call of `op`.
+    pub fn inject(&self, op: IoOp, nth: u64, fault: Fault) {
+        self.plan.lock().insert((op, nth), fault);
+    }
+
+    /// The faults that actually fired, in order.
+    #[must_use]
+    pub fn fired(&self) -> Vec<(IoOp, u64, Fault)> {
+        self.injected.lock().clone()
+    }
+
+    /// How many calls of `op` have been seen so far.
+    #[must_use]
+    pub fn calls(&self, op: IoOp) -> u64 {
+        self.counts.lock().get(&op).copied().unwrap_or(0)
+    }
+
+    fn next_fault(&self, op: IoOp) -> Option<Fault> {
+        let nth = {
+            let mut counts = self.counts.lock();
+            let c = counts.entry(op).or_insert(0);
+            let nth = *c;
+            *c += 1;
+            nth
+        };
+        let fault = self.plan.lock().remove(&(op, nth));
+        if let Some(f) = fault {
+            self.injected.lock().push((op, nth, f));
+        }
+        fault
+    }
+
+    fn io_fault(op: IoOp, path: &Path) -> io::Error {
+        io::Error::other(format!("injected {op:?} fault at {}", path.display()))
+    }
+}
+
+impl StorageIo for FaultyIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.next_fault(IoOp::Read) {
+            Some(_) => Err(Self::io_fault(IoOp::Read, path)),
+            None => self.inner.read(path),
+        }
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.next_fault(IoOp::Write) {
+            Some(Fault::Error) => Err(Self::io_fault(IoOp::Write, path)),
+            Some(Fault::Torn { keep }) => {
+                self.inner.write(path, &data[..keep.min(data.len())])?;
+                Err(Self::io_fault(IoOp::Write, path))
+            }
+            Some(Fault::SilentTorn { keep }) => {
+                self.inner.write(path, &data[..keep.min(data.len())])
+            }
+            None => self.inner.write(path, data),
+        }
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.next_fault(IoOp::Append) {
+            Some(Fault::Error) => Err(Self::io_fault(IoOp::Append, path)),
+            Some(Fault::Torn { keep }) => {
+                self.inner.append(path, &data[..keep.min(data.len())])?;
+                Err(Self::io_fault(IoOp::Append, path))
+            }
+            Some(Fault::SilentTorn { keep }) => {
+                self.inner.append(path, &data[..keep.min(data.len())])
+            }
+            None => self.inner.append(path, data),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.next_fault(IoOp::Rename) {
+            Some(_) => Err(Self::io_fault(IoOp::Rename, from)),
+            None => self.inner.rename(from, to),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Failing guards and plugins
 // ---------------------------------------------------------------------------
 
@@ -397,5 +529,20 @@ mod tests {
         );
         faulty.write(&p("f"), b"abcdef").unwrap();
         assert_eq!(mem.read(&p("f")).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn faulty_io_tears_appends_and_counts_calls() {
+        use septic_dbms::MemIo;
+        let mem = MemIo::new();
+        let faulty = FaultyIo::new(mem.clone());
+        faulty.inject(IoOp::Append, 1, Fault::Torn { keep: 4 });
+        faulty.inject(IoOp::Append, 2, Fault::SilentTorn { keep: 1 });
+        StorageIo::append(&*faulty, &p("wal"), b"first-").unwrap();
+        assert!(StorageIo::append(&*faulty, &p("wal"), b"second-").is_err());
+        StorageIo::append(&*faulty, &p("wal"), b"third-").unwrap();
+        assert_eq!(mem.read(&p("wal")).unwrap(), b"first-secot");
+        assert_eq!(faulty.calls(IoOp::Append), 3);
+        assert_eq!(faulty.fired().len(), 2);
     }
 }

@@ -18,6 +18,12 @@ pub enum Statement {
     Delete(Delete),
     CreateTable(CreateTable),
     DropTable(DropTable),
+    /// `BEGIN` / `START TRANSACTION`.
+    Begin,
+    /// `COMMIT`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
 }
 
 impl Statement {
@@ -32,6 +38,9 @@ impl Statement {
             Statement::Delete(_) => "DELETE",
             Statement::CreateTable(_) => "CREATE TABLE",
             Statement::DropTable(_) => "DROP TABLE",
+            Statement::Begin => "BEGIN",
+            Statement::Commit => "COMMIT",
+            Statement::Rollback => "ROLLBACK",
         }
     }
 
@@ -40,6 +49,17 @@ impl Statement {
     #[must_use]
     pub fn is_write_with_user_data(&self) -> bool {
         matches!(self, Statement::Insert(_) | Statement::Update(_))
+    }
+
+    /// True for transaction-control statements (`BEGIN`/`COMMIT`/
+    /// `ROLLBACK`), which the server handles in its transactional path
+    /// rather than the executor.
+    #[must_use]
+    pub fn is_txn_control(&self) -> bool {
+        matches!(
+            self,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        )
     }
 }
 

@@ -13,6 +13,9 @@ impl fmt::Display for Statement {
             Statement::Delete(d) => write!(f, "{d}"),
             Statement::CreateTable(c) => write!(f, "{c}"),
             Statement::DropTable(d) => write!(f, "{d}"),
+            Statement::Begin => write!(f, "BEGIN"),
+            Statement::Commit => write!(f, "COMMIT"),
+            Statement::Rollback => write!(f, "ROLLBACK"),
         }
     }
 }

@@ -323,6 +323,11 @@ fn lower_into(statement: &Statement, stack: &mut ItemStack) {
                 format!("DROP TABLE {}", lc(&d.name)),
             ));
         }
+        // Transaction control lowers like DDL: a bare keyword item, so a
+        // piggybacked `; COMMIT` still changes the query structure.
+        Statement::Begin => stack.push(Item::elem(ItemTag::DdlItem, "BEGIN")),
+        Statement::Commit => stack.push(Item::elem(ItemTag::DdlItem, "COMMIT")),
+        Statement::Rollback => stack.push(Item::elem(ItemTag::DdlItem, "ROLLBACK")),
     }
 }
 

@@ -182,6 +182,15 @@ impl Parser {
             self.create_table()
         } else if self.check_kw("DROP") {
             self.drop_table()
+        } else if self.eat_kw("BEGIN") {
+            Ok(Statement::Begin)
+        } else if self.eat_kw("START") {
+            self.expect_kw("TRANSACTION")?;
+            Ok(Statement::Begin)
+        } else if self.eat_kw("COMMIT") {
+            Ok(Statement::Commit)
+        } else if self.eat_kw("ROLLBACK") {
+            Ok(Statement::Rollback)
         } else if let Some(Token::Ident(kw)) = self.peek() {
             Err(ParseError::Unsupported {
                 message: format!("statement `{}`", kw.to_uppercase()),
@@ -971,6 +980,23 @@ mod tests {
 
     fn one(src: &str) -> Statement {
         parse(src).expect("parse ok").statements.remove(0)
+    }
+
+    #[test]
+    fn transaction_control_statements() {
+        assert_eq!(one("BEGIN"), Statement::Begin);
+        assert_eq!(one("start transaction"), Statement::Begin);
+        assert_eq!(one("COMMIT"), Statement::Commit);
+        assert_eq!(one("ROLLBACK"), Statement::Rollback);
+        let p = parse("BEGIN; INSERT INTO t (a) VALUES (1); COMMIT").unwrap();
+        assert_eq!(p.statements.len(), 3);
+        assert!(p.statements[0].is_txn_control());
+        assert!(!p.statements[1].is_txn_control());
+        assert!(parse("START").is_err());
+        // Round-trips through Display, like every other statement.
+        assert_eq!(one("BEGIN").to_string(), "BEGIN");
+        assert_eq!(one("COMMIT").to_string(), "COMMIT");
+        assert_eq!(one("ROLLBACK").to_string(), "ROLLBACK");
     }
 
     #[test]

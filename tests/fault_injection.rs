@@ -8,9 +8,12 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use septic_faults::{
-    Fault, FaultyBackend, MemBackend, OpKind, PanickingGuard, PanickingPlugin, SlowPlugin,
+    Fault, FaultyBackend, FaultyIo, IoOp, MemBackend, OpKind, PanickingGuard, PanickingPlugin,
+    SlowPlugin,
 };
-use septic_repro::dbms::{DbError, FailurePolicy, Server};
+use septic_repro::dbms::{
+    DbError, FailurePolicy, MemIo, Server, ServerConfig, StorageIo, Value, WalConfig,
+};
 use septic_repro::septic::{
     journal_path, quarantine_path, FailurePolicyMatrix, Mode, ModelStore, QueryId, QueryModel,
     Septic, StoreBackend,
@@ -413,4 +416,186 @@ proptest! {
         }
         prop_assert_eq!(fresh.len() as u64, base + extra);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Property: one scripted I/O fault never breaks WAL crash-safety
+// ---------------------------------------------------------------------------
+
+const IO_OPS: [IoOp; 4] = [IoOp::Read, IoOp::Write, IoOp::Append, IoOp::Rename];
+
+/// Values a recovered `SELECT v FROM t` returned, as a sorted set.
+fn recovered_values(server: &Arc<Server>) -> Option<std::collections::BTreeSet<i64>> {
+    match server.connect().execute("SELECT v FROM t") {
+        Err(_) => None, // the CREATE itself did not survive
+        Ok(result) => {
+            let mut vals = std::collections::BTreeSet::new();
+            for output in &result.outputs {
+                for row in &output.rows {
+                    match row.first() {
+                        Some(Value::Int(v)) => {
+                            vals.insert(*v);
+                        }
+                        other => panic!("non-integer cell recovered: {other:?}"),
+                    }
+                }
+            }
+            Some(vals)
+        }
+    }
+}
+
+proptest! {
+    /// One scripted I/O fault — error, torn write, or silently torn write
+    /// on any WAL or checkpoint operation — models the process crashing at
+    /// that instant. A fresh recovery from the medium must then satisfy:
+    ///
+    /// * recovery itself never fails and never replays a torn record;
+    /// * every commit acknowledged *before* the crash point survives;
+    /// * the single in-flight commit (the one whose WAL append the fault
+    ///   struck) may be present or absent, but if present it is complete —
+    ///   both rows of its two-row INSERT, never one;
+    /// * nothing else appears: every recovered row maps back to a commit
+    ///   the workload actually issued.
+    #[test]
+    fn wal_recovery_survives_any_single_io_fault(
+        n_commits in 1usize..6,
+        ckpt_i in 0usize..3,
+        op_i in 0usize..4,
+        nth in 0u64..8,
+        kind_i in 0usize..3,
+        keep in 0usize..80,
+    ) {
+        let checkpoint_every = [0u64, 2, 3][ckpt_i];
+        let op = IO_OPS[op_i];
+        let fault = match kind_i {
+            0 => Fault::Error,
+            1 => Fault::Torn { keep },
+            _ => Fault::SilentTorn { keep },
+        };
+        let mem = MemIo::new();
+        let faulty = FaultyIo::new(mem.clone() as Arc<dyn StorageIo>);
+        faulty.inject(op, nth, fault);
+
+        let wal_cfg = WalConfig { checkpoint_every };
+        let (server, _) = Server::open_durable(
+            ServerConfig::default(),
+            faulty.clone() as Arc<dyn StorageIo>,
+            wal_cfg.clone(),
+        )
+        .expect("open on an empty medium touches no files");
+        let conn = server.connect();
+
+        // Commit 0 creates the table; commit k inserts the pair (2k, 2k+1)
+        // in ONE statement, so partial replay of a commit is observable.
+        let mut acked: Vec<usize> = Vec::new();
+        let mut in_flight: Option<usize> = None;
+        for idx in 0..=n_commits {
+            let sql = if idx == 0 {
+                "CREATE TABLE t (v INT)".to_string()
+            } else {
+                format!("INSERT INTO t (v) VALUES ({}), ({})", 2 * idx, 2 * idx + 1)
+            };
+            let fired_before = !faulty.fired().is_empty();
+            let res = conn.execute(&sql);
+            if res.is_ok() {
+                acked.push(idx);
+            }
+            if !faulty.fired().is_empty() {
+                if !fired_before {
+                    in_flight = Some(idx);
+                }
+                break; // the fault IS the crash: the process dies here
+            }
+        }
+        drop(conn);
+        drop(server);
+
+        // A fresh process recovers from the medium alone.
+        let (revived, report) =
+            Server::open_durable(ServerConfig::default(), mem.clone() as Arc<dyn StorageIo>, wal_cfg)
+                .expect("recovery must always succeed");
+        prop_assert!(report.replay_errors == 0, "a torn record was replayed");
+
+        let values = recovered_values(&revived);
+        let mut present: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        if let Some(vals) = &values {
+            present.insert(0); // the table exists: the CREATE survived
+            for v in vals {
+                let idx = usize::try_from(*v / 2).expect("small test value");
+                prop_assert!(
+                    (1..=n_commits).contains(&idx),
+                    "recovered value {v} maps to no issued commit"
+                );
+                // Commit atomicity: both rows of the pair, never one.
+                prop_assert!(
+                    vals.contains(&(2 * (*v / 2))) == vals.contains(&(2 * (*v / 2) + 1)),
+                    "commit {idx} replayed partially"
+                );
+                present.insert(idx);
+            }
+        }
+
+        // Only a fault on the WAL append leaves the in-flight commit
+        // ambiguous (torn → quarantined, or fully framed → replayed).
+        // Checkpoint-path faults strike *after* the append: the commit is
+        // already durable and must survive.
+        let ambiguous: Option<usize> = match (op, in_flight) {
+            (IoOp::Append, Some(idx)) => Some(idx),
+            _ => None,
+        };
+        for idx in &acked {
+            if Some(*idx) == ambiguous {
+                continue;
+            }
+            prop_assert!(
+                present.contains(idx),
+                "acked commit {idx} lost (op {op:?} nth {nth}, fired {:?})",
+                faulty.fired()
+            );
+        }
+        for idx in &present {
+            prop_assert!(
+                acked.contains(idx) || Some(*idx) == ambiguous,
+                "commit {idx} recovered but was never acknowledged"
+            );
+        }
+    }
+}
+
+#[test]
+fn transient_append_error_fails_the_commit_without_poisoning_the_log() {
+    let mem = MemIo::new();
+    let faulty = FaultyIo::new(mem.clone() as Arc<dyn StorageIo>);
+    let (server, _) = Server::open_durable(
+        ServerConfig::default(),
+        faulty.clone() as Arc<dyn StorageIo>,
+        WalConfig::default(),
+    )
+    .unwrap();
+    let conn = server.connect();
+    conn.execute("CREATE TABLE t (v INT)").unwrap();
+
+    // The disk refuses one append: the commit must fail *to the client*
+    // and roll back in memory — no ack without durability.
+    faulty.inject(IoOp::Append, 1, Fault::Error);
+    let err = conn.execute("INSERT INTO t (v) VALUES (1)").unwrap_err();
+    assert!(matches!(err, DbError::Storage(_)), "got {err:?}");
+    let rows = conn.execute("SELECT v FROM t").unwrap();
+    assert!(rows.outputs[0].rows.is_empty(), "unlogged write is visible");
+
+    // The error persisted no bytes, so the log is intact: the next commit
+    // succeeds and survives a restart.
+    conn.execute("INSERT INTO t (v) VALUES (2)").unwrap();
+    drop(conn);
+    drop(server);
+    let (revived, report) = Server::open_durable(
+        ServerConfig::default(),
+        mem as Arc<dyn StorageIo>,
+        WalConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(report.torn_records, 0);
+    let vals = recovered_values(&revived).expect("table survived");
+    assert_eq!(vals.into_iter().collect::<Vec<_>>(), vec![2]);
 }
